@@ -1,0 +1,35 @@
+//! F1 — speedup curve: times the modeled-latency evaluation across
+//! compression budgets and prints the quick-scale F1 series (the 2.92x
+//! headline experiment).
+//!
+//! Regenerate the recorded series with `cargo run --release -p
+//! edge-llm-bench --bin report -- --f1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edge_llm_bench::{modeled_latency_at, Scale};
+
+fn bench_f1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_modeled_latency");
+    group.sample_size(10);
+    for budget in [1.0f32, 0.5, 0.25, 0.125] {
+        group.bench_with_input(
+            BenchmarkId::new("budget", format!("{budget:.3}")),
+            &budget,
+            |b, &budget| b.iter(|| modeled_latency_at(Scale::Quick, budget, 2).unwrap()),
+        );
+    }
+    group.finish();
+
+    // sanity: latency falls monotonically with budget
+    let l1 = modeled_latency_at(Scale::Quick, 1.0, 2).unwrap();
+    let l2 = modeled_latency_at(Scale::Quick, 0.25, 2).unwrap();
+    assert!(l2 < l1, "compression must reduce modeled latency");
+
+    let table = edge_llm_bench::f1_speedup(Scale::Quick).expect("f1 table");
+    println!("\n{table}");
+    let f2 = edge_llm_bench::f2_memory(Scale::Quick).expect("f2 table");
+    println!("\n{f2}");
+}
+
+criterion_group!(benches, bench_f1);
+criterion_main!(benches);

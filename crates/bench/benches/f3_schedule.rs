@@ -1,0 +1,46 @@
+//! F3 — hardware schedule search: times the cost model, the exhaustive
+//! sweep, and annealing on one compressed GEMM; prints the quick-scale F3
+//! table.
+//!
+//! Regenerate the recorded table with `cargo run --release -p
+//! edge-llm-bench --bin report -- --f3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edge_llm_bench::Scale;
+use edge_llm_hw::{
+    estimate_cost, search_schedule, DeviceModel, GemmWorkload, Schedule, ScheduleSpace,
+    SearchStrategy,
+};
+
+fn bench_f3(c: &mut Criterion) {
+    let device = DeviceModel::jetson_class();
+    let gemm = GemmWorkload::new("fc1", 48, 256, 64).with_bits(4).with_sparsity(0.5);
+    let space = ScheduleSpace::default();
+
+    let mut group = c.benchmark_group("f3_schedule_search");
+    group.sample_size(20);
+    group.bench_function("cost_model_single_point", |b| {
+        b.iter(|| estimate_cost(&gemm, &Schedule::naive(), &device).unwrap())
+    });
+    group.bench_function("exhaustive_1500_points", |b| {
+        b.iter(|| search_schedule(&gemm, &device, &space, SearchStrategy::Exhaustive).unwrap())
+    });
+    group.bench_function("annealing_300_iters", |b| {
+        b.iter(|| {
+            search_schedule(
+                &gemm,
+                &device,
+                &space,
+                SearchStrategy::Annealing { iters: 300, seed: 1 },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    let table = edge_llm_bench::f3_schedule(Scale::Quick).expect("f3 table");
+    println!("\n{table}");
+}
+
+criterion_group!(benches, bench_f3);
+criterion_main!(benches);

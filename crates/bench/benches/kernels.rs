@@ -1,0 +1,85 @@
+//! Microbenchmarks of the numerical kernels every experiment rests on:
+//! dense blocked matmul vs the naive kernel, quantized matmul, sparse CSR
+//! matmul, and fake quantization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edge_llm_model::{EdgeModel, InferenceSession, ModelConfig};
+use edge_llm_prune::{magnitude_prune, CsrMatrix};
+use edge_llm_quant::{fake_quant, BitWidth, QuantScheme, QuantizedTensor};
+use edge_llm_tensor::{MatmulKernel, Tensor, TensorRng};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(1);
+    let a = Tensor::randn(64, 128, 1.0, &mut rng);
+    let b = Tensor::randn(128, 128, 1.0, &mut rng);
+    let w = Tensor::randn(128, 128, 0.3, &mut rng);
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+
+    group.bench_function("matmul_naive_64x128x128", |bench| {
+        bench.iter(|| a.matmul_with(&b, MatmulKernel::Naive).unwrap())
+    });
+    group.bench_function("matmul_blocked_64x128x128", |bench| {
+        bench.iter(|| a.matmul_with(&b, MatmulKernel::Blocked).unwrap())
+    });
+
+    let q4 = QuantizedTensor::quantize(&w, QuantScheme::symmetric(BitWidth::W4)).unwrap();
+    group.bench_function("quantized_matmul_w4", |bench| {
+        bench.iter(|| edge_llm_quant::quantized_matmul(&a, &q4).unwrap())
+    });
+
+    let x8 = edge_llm_quant::quantize_with_range(&a, BitWidth::W8, -4.0, 4.0).unwrap();
+    let w8 = QuantizedTensor::quantize(&w, QuantScheme::symmetric(BitWidth::W8)).unwrap();
+    group.bench_function("integer_matmul_w8", |bench| {
+        bench.iter(|| edge_llm_quant::integer_matmul(&x8, &w8).unwrap())
+    });
+
+    let mask = magnitude_prune(&w, 0.75).unwrap();
+    let csr = CsrMatrix::from_masked(&w, &mask).unwrap();
+    group.bench_function("csr_matmul_75pct_sparse", |bench| {
+        bench.iter(|| csr.matmul_xt(&a).unwrap())
+    });
+
+    group.bench_function("fake_quant_w4_128x128", |bench| {
+        bench.iter_batched(
+            || w.clone(),
+            |wc| fake_quant(&wc, QuantScheme::symmetric(BitWidth::W4)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+
+    decode_benches(c);
+}
+
+/// Per-token decode cost: KV-cached incremental session vs re-running the
+/// full forward per token.
+fn decode_benches(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(2);
+    let cfg = ModelConfig::tiny().with_layers(4).with_d_model(32, 4).with_seq_len(32);
+    let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(20);
+    group.bench_function("kv_cached_32_tokens", |b| {
+        b.iter(|| {
+            let mut session = InferenceSession::new(&model);
+            for t in 0..cfg.seq_len {
+                session.push_token(t % cfg.vocab_size).unwrap();
+            }
+        })
+    });
+    group.bench_function("full_forward_32_tokens", |b| {
+        let window = vec![1usize; cfg.seq_len];
+        b.iter(|| {
+            for _ in 0..cfg.seq_len {
+                model.logits(&window, 1).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! T1 — main comparison: times one training iteration of vanilla full
+//! tuning vs the Edge-LLM configuration (compressed + windowed) on the same
+//! model shape, then prints the quick-scale T1 table.
+//!
+//! Regenerate the recorded table with `cargo run --release -p
+//! edge-llm-bench --bin report -- --t1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edge_llm::compress::apply_policy;
+use edge_llm_bench::{example_policy, Scale};
+use edge_llm_data::{ClozeQaTask, TaskGenerator};
+use edge_llm_model::{AdaptiveTuner, EdgeModel, ModelConfig, Sgd, WindowSchedule};
+use edge_llm_tensor::TensorRng;
+
+fn bench_t1(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(5);
+    let task = ClozeQaTask::new(12, 2);
+    let cfg = ModelConfig::tiny().with_layers(4).with_seq_len(16).with_vocab(task.vocab_size());
+    let batch = task.dataset(2, cfg.seq_len, &mut rng).batch_at(0, 2);
+
+    let mut group = c.benchmark_group("t1_iteration");
+    group.sample_size(20);
+
+    // vanilla: uncompressed, full depth
+    let mut vanilla = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+    let mut vt = AdaptiveTuner::new(WindowSchedule::FullDepth);
+    let mut vopt = Sgd::new(0.0);
+    group.bench_function("vanilla_full_depth", |b| {
+        b.iter(|| vt.step(&mut vanilla, &mut vopt, &batch.tokens, &batch.targets, 2).unwrap())
+    });
+
+    // edge-llm: LUC policy + window depth 2
+    let mut edge = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+    let policy = example_policy(Scale::Quick).unwrap();
+    // example policy is built for the quick-scale 4-layer model
+    assert_eq!(policy.n_layers(), edge.n_layers());
+    apply_policy(&mut edge, &policy).unwrap();
+    let mut et = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 2 });
+    let mut eopt = Sgd::new(0.0);
+    group.bench_function("edge_llm_windowed", |b| {
+        b.iter(|| et.step(&mut edge, &mut eopt, &batch.tokens, &batch.targets, 2).unwrap())
+    });
+
+    group.finish();
+
+    let table = edge_llm_bench::t1_main(Scale::Quick).expect("t1 table");
+    println!("\n{table}");
+}
+
+criterion_group!(benches, bench_t1);
+criterion_main!(benches);

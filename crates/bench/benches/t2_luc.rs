@@ -1,0 +1,50 @@
+//! T2 — LUC ablation: times the three policy-search algorithms on an
+//! 8-layer sensitivity profile, then prints the quick-scale T2 table.
+//!
+//! Regenerate the recorded table with `cargo run --release -p
+//! edge-llm-bench --bin report -- --t2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edge_llm_bench::Scale;
+use edge_llm_luc::{profile, search_policy, FnOracle, LayerPolicy, SearchAlgorithm};
+use edge_llm_quant::BitWidth;
+
+fn synthetic_profile(n: usize) -> edge_llm_luc::SensitivityProfile {
+    let mut oracle = FnOracle::new(
+        n,
+        move |layer, p: LayerPolicy| {
+            let w = 1.0 + (layer as f32).sin().abs() * 3.0;
+            1.0 + w * ((16.0 - p.bits.bits() as f32) / 16.0) * 0.1 + w * p.prune_ratio * 0.12
+        },
+        || 1.0,
+    );
+    profile(
+        &mut oracle,
+        &[BitWidth::W2, BitWidth::W4, BitWidth::W8, BitWidth::W16],
+        &[0.0, 0.25, 0.5, 0.75],
+    )
+    .unwrap()
+}
+
+fn bench_t2(c: &mut Criterion) {
+    let prof = synthetic_profile(8);
+    let mut group = c.benchmark_group("t2_policy_search");
+    group.sample_size(30);
+    group.bench_function("greedy_8_layers", |b| {
+        b.iter(|| search_policy(&prof, 0.25, SearchAlgorithm::Greedy).unwrap())
+    });
+    group.bench_function("dp_8_layers", |b| {
+        b.iter(|| search_policy(&prof, 0.25, SearchAlgorithm::DynamicProgramming).unwrap())
+    });
+    let small = synthetic_profile(3);
+    group.bench_function("exhaustive_3_layers", |b| {
+        b.iter(|| search_policy(&small, 0.25, SearchAlgorithm::Exhaustive).unwrap())
+    });
+    group.finish();
+
+    let table = edge_llm_bench::t2_luc(Scale::Quick).expect("t2 table");
+    println!("\n{table}");
+}
+
+criterion_group!(benches, bench_t2);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! T3 — adaptive layer tuning ablation: times one training iteration at
+//! every backprop-window depth (the memory/time lever of the paper), then
+//! prints the quick-scale T3 table.
+//!
+//! Regenerate the recorded table with `cargo run --release -p
+//! edge-llm-bench --bin report -- --t3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edge_llm_bench::Scale;
+use edge_llm_data::{ClozeQaTask, TaskGenerator};
+use edge_llm_model::{AdaptiveTuner, EdgeModel, ModelConfig, Sgd, WindowSchedule};
+use edge_llm_tensor::TensorRng;
+
+fn bench_t3(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(9);
+    let task = ClozeQaTask::new(12, 2);
+    let cfg = ModelConfig::tiny().with_layers(4).with_seq_len(16).with_vocab(task.vocab_size());
+    let batch = task.dataset(2, cfg.seq_len, &mut rng).batch_at(0, 2);
+
+    let mut group = c.benchmark_group("t3_window_depth");
+    group.sample_size(20);
+    for depth in [1usize, 2, 4] {
+        let mut model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+        let schedule = if depth >= cfg.n_layers {
+            WindowSchedule::FullDepth
+        } else {
+            WindowSchedule::RoundRobin { depth }
+        };
+        let mut tuner = AdaptiveTuner::new(schedule);
+        let mut opt = Sgd::new(0.0);
+        group.bench_with_input(BenchmarkId::new("step_depth", depth), &depth, |b, _| {
+            b.iter(|| tuner.step(&mut model, &mut opt, &batch.tokens, &batch.targets, 2).unwrap())
+        });
+    }
+    group.finish();
+
+    let table = edge_llm_bench::t3_adaptive(Scale::Quick).expect("t3 table");
+    println!("\n{table}");
+}
+
+criterion_group!(benches, bench_t3);
+criterion_main!(benches);

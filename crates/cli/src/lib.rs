@@ -1,0 +1,456 @@
+//! Command-line interface for the Edge-LLM reproduction.
+//!
+//! Four subcommands cover the on-device lifecycle:
+//!
+//! ```text
+//! edgellm adapt    --corpus notes.txt --budget 0.25 --out model.ckpt
+//! edgellm generate --ckpt model.ckpt --prompt "monday:" --tokens 40
+//! edgellm inspect  --ckpt model.ckpt
+//! edgellm policy   --corpus notes.txt --budget 0.25
+//! ```
+//!
+//! Argument parsing and command execution live in this library so they are
+//! unit-testable; `src/main.rs` is a thin wrapper.
+
+use edge_llm::compress::apply_policy;
+use edge_llm::oracle::ModelOracle;
+use edge_llm_data::{Dataset, TaskGenerator, TextLmTask};
+use edge_llm_luc::{profile, search_policy, CompressionPolicy, SearchAlgorithm};
+use edge_llm_model::{
+    generate, load_model, save_model, AdaptiveTuner, Decoding, EdgeModel, ModelConfig, Sgd,
+    VotingCombiner, VotingPolicy, WindowSchedule,
+};
+use edge_llm_quant::BitWidth;
+use edge_llm_tensor::TensorRng;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+
+/// The candidate bit-widths and ratios the `policy`/`adapt` commands sweep.
+const BIT_CHOICES: [BitWidth; 4] = [BitWidth::W2, BitWidth::W4, BitWidth::W8, BitWidth::W16];
+const RATIO_CHOICES: [f32; 4] = [0.0, 0.25, 0.5, 0.75];
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Adapt a model to a text corpus and write a checkpoint.
+    Adapt {
+        /// Path to the UTF-8 corpus file.
+        corpus: String,
+        /// Output checkpoint path.
+        out: String,
+        /// LUC mean-cost budget (1.0 = no compression).
+        budget: f32,
+        /// Backprop window depth.
+        window: usize,
+        /// Adaptation iterations.
+        iterations: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Generate a continuation from an adapted checkpoint.
+    Generate {
+        /// Checkpoint path (written by `adapt`).
+        ckpt: String,
+        /// Prompt text (printable ASCII).
+        prompt: String,
+        /// Number of tokens to generate.
+        tokens: usize,
+        /// Top-k pool size (0 = greedy).
+        top_k: usize,
+        /// Sampling temperature.
+        temperature: f32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print a checkpoint's configuration and size.
+    Inspect {
+        /// Checkpoint path.
+        ckpt: String,
+    },
+    /// Search and print a LUC policy for a corpus without adapting.
+    Policy {
+        /// Path to the UTF-8 corpus file.
+        corpus: String,
+        /// LUC mean-cost budget.
+        budget: f32,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// CLI error: bad arguments or a failed command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The arguments did not parse.
+    Usage(String),
+    /// A command failed while running.
+    Run(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text printed by `edgellm help`.
+pub const USAGE: &str = "\
+edgellm — on-device LLM adaptation (Edge-LLM reproduction)
+
+USAGE:
+  edgellm adapt    --corpus <file> --out <ckpt> [--budget 0.25] [--window 2]
+                   [--iterations 400] [--seed 42]
+  edgellm generate --ckpt <ckpt> --prompt <text> [--tokens 40] [--top-k 3]
+                   [--temperature 0.8] [--seed 42]
+  edgellm inspect  --ckpt <ckpt>
+  edgellm policy   --corpus <file> [--budget 0.25] [--seed 42]
+  edgellm help
+";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, CliError> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => {
+            v.parse().map_err(|_| CliError::Usage(format!("invalid value {v:?} for {flag}")))
+        }
+    }
+}
+
+fn required_flag(args: &[String], flag: &str) -> Result<String, CliError> {
+    flag_value(args, flag)
+        .map(str::to_string)
+        .ok_or_else(|| CliError::Usage(format!("missing required flag {flag}")))
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown subcommands, missing required
+/// flags, or unparseable values.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "adapt" => Ok(Command::Adapt {
+            corpus: required_flag(rest, "--corpus")?,
+            out: required_flag(rest, "--out")?,
+            budget: parse_flag(rest, "--budget", 0.25)?,
+            window: parse_flag(rest, "--window", 2)?,
+            iterations: parse_flag(rest, "--iterations", 400)?,
+            seed: parse_flag(rest, "--seed", 42)?,
+        }),
+        "generate" => Ok(Command::Generate {
+            ckpt: required_flag(rest, "--ckpt")?,
+            prompt: required_flag(rest, "--prompt")?,
+            tokens: parse_flag(rest, "--tokens", 40)?,
+            top_k: parse_flag(rest, "--top-k", 3)?,
+            temperature: parse_flag(rest, "--temperature", 0.8)?,
+            seed: parse_flag(rest, "--seed", 42)?,
+        }),
+        "inspect" => Ok(Command::Inspect { ckpt: required_flag(rest, "--ckpt")? }),
+        "policy" => Ok(Command::Policy {
+            corpus: required_flag(rest, "--corpus")?,
+            budget: parse_flag(rest, "--budget", 0.25)?,
+            seed: parse_flag(rest, "--seed", 42)?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn run_err<E: fmt::Display>(e: E) -> CliError {
+    CliError::Run(e.to_string())
+}
+
+fn text_task(corpus_path: &str) -> Result<TextLmTask, CliError> {
+    let corpus = fs::read_to_string(corpus_path)
+        .map_err(|e| CliError::Run(format!("cannot read corpus {corpus_path}: {e}")))?;
+    TextLmTask::new(&corpus).map_err(run_err)
+}
+
+fn cli_model_config(vocab: usize) -> ModelConfig {
+    ModelConfig::tiny().with_layers(4).with_d_model(64, 4).with_seq_len(48).with_vocab(vocab)
+}
+
+fn search_corpus_policy(
+    model: &EdgeModel,
+    task: &TextLmTask,
+    budget: f32,
+    rng: &mut TensorRng,
+) -> Result<CompressionPolicy, CliError> {
+    let seq = model.config().seq_len;
+    let calib: Vec<_> = (0..4).map(|_| task.sample(seq, rng)).collect();
+    let tokens: Vec<usize> = calib.iter().flat_map(|s| s.tokens.clone()).collect();
+    let targets: Vec<usize> = calib.iter().flat_map(|s| s.targets.clone()).collect();
+    let mut oracle = ModelOracle::new(model, &tokens, &targets, 4);
+    let prof = profile(&mut oracle, &BIT_CHOICES, &RATIO_CHOICES).map_err(run_err)?;
+    Ok(search_policy(&prof, budget, SearchAlgorithm::DynamicProgramming).map_err(run_err)?.policy)
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Run`] when file access, adaptation, or generation
+/// fails.
+pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            write!(out, "{USAGE}").map_err(run_err)?;
+        }
+        Command::Policy { corpus, budget, seed } => {
+            let task = text_task(corpus)?;
+            let mut rng = TensorRng::seed_from(*seed);
+            let model = EdgeModel::new(cli_model_config(task.vocab_size()), &mut rng)
+                .map_err(run_err)?;
+            // brief warmup so sensitivity is meaningful
+            let mut model = model;
+            adapt_model(&mut model, &task, 100, 1, &mut rng)?;
+            let policy = search_corpus_policy(&model, &task, *budget, &mut rng)?;
+            writeln!(out, "policy: {policy}").map_err(run_err)?;
+            writeln!(out, "compact: {}", policy.to_compact_string()).map_err(run_err)?;
+            writeln!(out, "mean cost: {:.3}  mean bits: {:.1}", policy.mean_cost(), policy.mean_bits())
+                .map_err(run_err)?;
+        }
+        Command::Adapt { corpus, out: ckpt, budget, window, iterations, seed } => {
+            let task = text_task(corpus)?;
+            let mut rng = TensorRng::seed_from(*seed);
+            let mut model = EdgeModel::new(cli_model_config(task.vocab_size()), &mut rng)
+                .map_err(run_err)?;
+            // warmup -> policy -> compressed windowed adaptation
+            let full_depth = model.n_layers();
+            adapt_model(&mut model, &task, iterations / 4, full_depth, &mut rng)?;
+            let policy = if *budget < 1.0 {
+                let p = search_corpus_policy(&model, &task, *budget, &mut rng)?;
+                apply_policy(&mut model, &p).map_err(run_err)?;
+                p
+            } else {
+                CompressionPolicy::identity(model.n_layers())
+            };
+            let final_loss = adapt_model(&mut model, &task, *iterations, *window, &mut rng)?;
+            let mut file = fs::File::create(ckpt)
+                .map_err(|e| CliError::Run(format!("cannot create {ckpt}: {e}")))?;
+            save_model(&mut model, &mut file).map_err(run_err)?;
+            file.flush().map_err(run_err)?;
+            writeln!(out, "adapted on {corpus}: final loss {final_loss:.3}").map_err(run_err)?;
+            writeln!(out, "policy: {}", policy.to_compact_string()).map_err(run_err)?;
+            writeln!(out, "checkpoint written to {ckpt}").map_err(run_err)?;
+        }
+        Command::Generate { ckpt, prompt, tokens, top_k, temperature, seed } => {
+            let mut file = fs::File::open(ckpt)
+                .map_err(|e| CliError::Run(format!("cannot open {ckpt}: {e}")))?;
+            let model = load_model(&mut file).map_err(run_err)?;
+            let tok = edge_llm_data::CharTokenizer::new();
+            if model.config().vocab_size != tok.vocab_size() {
+                return Err(CliError::Run(format!(
+                    "checkpoint vocabulary {} is not a text-model vocabulary ({})",
+                    model.config().vocab_size,
+                    tok.vocab_size()
+                )));
+            }
+            let mut rng = TensorRng::seed_from(*seed);
+            let decoding = if *top_k == 0 {
+                Decoding::Greedy
+            } else {
+                Decoding::TopK { k: *top_k, temperature: *temperature }
+            };
+            let voting = VotingPolicy::all_exits(
+                model.n_layers(),
+                VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
+            );
+            let ids = tok.encode(prompt);
+            let generated =
+                generate(&model, &voting, &ids, *tokens, decoding, &mut rng).map_err(run_err)?;
+            writeln!(out, "{}", tok.decode(&generated)).map_err(run_err)?;
+        }
+        Command::Inspect { ckpt } => {
+            let mut file = fs::File::open(ckpt)
+                .map_err(|e| CliError::Run(format!("cannot open {ckpt}: {e}")))?;
+            let model = load_model(&mut file).map_err(run_err)?;
+            let cfg = model.config();
+            writeln!(out, "layers: {}", cfg.n_layers).map_err(run_err)?;
+            writeln!(out, "d_model: {} ({} heads)", cfg.d_model, cfg.n_heads).map_err(run_err)?;
+            writeln!(out, "seq_len: {}", cfg.seq_len).map_err(run_err)?;
+            writeln!(out, "vocab: {}", cfg.vocab_size).map_err(run_err)?;
+            writeln!(out, "parameters: {}", model.num_params()).map_err(run_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn adapt_model(
+    model: &mut EdgeModel,
+    task: &TextLmTask,
+    iterations: usize,
+    window: usize,
+    rng: &mut TensorRng,
+) -> Result<f32, CliError> {
+    let cfg = model.config().clone();
+    let ds = Dataset::from_samples((0..32).map(|_| task.sample(cfg.seq_len, rng)).collect());
+    let schedule = if window >= cfg.n_layers {
+        WindowSchedule::FullDepth
+    } else {
+        WindowSchedule::RoundRobin { depth: window.max(1) }
+    };
+    let mut tuner = AdaptiveTuner::new(schedule);
+    let mut opt = Sgd::new(0.1);
+    let mut last = f32::NAN;
+    for it in 0..iterations {
+        let b = ds.batch_at(it * 4, 4);
+        last = tuner
+            .step(model, &mut opt, &b.tokens, &b.targets, b.batch)
+            .map_err(run_err)?
+            .loss;
+    }
+    Ok(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_adapt_with_defaults() {
+        let cmd = parse_args(&argv("adapt --corpus notes.txt --out m.ckpt")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Adapt {
+                corpus: "notes.txt".into(),
+                out: "m.ckpt".into(),
+                budget: 0.25,
+                window: 2,
+                iterations: 400,
+                seed: 42,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_generate_flags() {
+        let cmd = parse_args(&argv(
+            "generate --ckpt m.ckpt --prompt hello --tokens 10 --top-k 0 --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Generate { tokens, top_k, seed, .. } => {
+                assert_eq!(tokens, 10);
+                assert_eq!(top_k, 0);
+                assert_eq!(seed, 7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        assert!(matches!(parse_args(&argv("adapt --out x")), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&argv("inspect")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bad_value_errors() {
+        assert!(matches!(
+            parse_args(&argv("adapt --corpus a --out b --budget abc")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(matches!(parse_args(&argv("frobnicate")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn empty_args_are_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        let mut buf = Vec::new();
+        run(&Command::Help, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("edgellm adapt"));
+    }
+
+    #[test]
+    fn end_to_end_adapt_inspect_generate() {
+        let dir = std::env::temp_dir().join("edgellm-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("notes.txt");
+        let ckpt_path = dir.join("model.ckpt");
+        std::fs::write(
+            &corpus_path,
+            "water the plants. water the plants. check the sensors. water the plants. ",
+        )
+        .unwrap();
+        let adapt = Command::Adapt {
+            corpus: corpus_path.to_string_lossy().into_owned(),
+            out: ckpt_path.to_string_lossy().into_owned(),
+            budget: 0.5,
+            window: 2,
+            iterations: 20,
+            seed: 1,
+        };
+        let mut buf = Vec::new();
+        run(&adapt, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("checkpoint written"));
+
+        let mut buf = Vec::new();
+        run(&Command::Inspect { ckpt: ckpt_path.to_string_lossy().into_owned() }, &mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("layers: 4"));
+        assert!(text.contains("vocab: 96"));
+
+        let mut buf = Vec::new();
+        run(
+            &Command::Generate {
+                ckpt: ckpt_path.to_string_lossy().into_owned(),
+                prompt: "water".into(),
+                tokens: 8,
+                top_k: 0,
+                temperature: 1.0,
+                seed: 2,
+            },
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("water"));
+        assert!(text.trim_end().len() >= "water".len() + 8);
+    }
+
+    #[test]
+    fn generate_rejects_missing_checkpoint() {
+        let cmd = Command::Generate {
+            ckpt: "/nonexistent/nope.ckpt".into(),
+            prompt: "x".into(),
+            tokens: 1,
+            top_k: 0,
+            temperature: 1.0,
+            seed: 1,
+        };
+        let mut buf = Vec::new();
+        assert!(matches!(run(&cmd, &mut buf), Err(CliError::Run(_))));
+    }
+}

@@ -1,0 +1,27 @@
+//! `edgellm` — the Edge-LLM reproduction's command-line interface.
+
+use edge_llm_cli::{parse_args, run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", edge_llm_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = run(&command, &mut stdout) {
+        match e {
+            CliError::Usage(_) => {
+                eprintln!("{e}\n\n{}", edge_llm_cli::USAGE);
+                std::process::exit(2);
+            }
+            CliError::Run(_) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

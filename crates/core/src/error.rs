@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Top-level error type for the Edge-LLM pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EdgeLlmError {
+    /// The model substrate failed.
+    Model(edge_llm_model::ModelError),
+    /// The LUC policy machinery failed.
+    Luc(edge_llm_luc::LucError),
+    /// The hardware model failed.
+    Hw(edge_llm_hw::HwError),
+    /// A tensor kernel failed.
+    Tensor(edge_llm_tensor::TensorError),
+    /// The experiment configuration was inconsistent.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EdgeLlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeLlmError::Model(e) => write!(f, "model error: {e}"),
+            EdgeLlmError::Luc(e) => write!(f, "luc error: {e}"),
+            EdgeLlmError::Hw(e) => write!(f, "hardware error: {e}"),
+            EdgeLlmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EdgeLlmError::BadConfig { reason } => write!(f, "invalid experiment config: {reason}"),
+        }
+    }
+}
+
+impl Error for EdgeLlmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EdgeLlmError::Model(e) => Some(e),
+            EdgeLlmError::Luc(e) => Some(e),
+            EdgeLlmError::Hw(e) => Some(e),
+            EdgeLlmError::Tensor(e) => Some(e),
+            EdgeLlmError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<edge_llm_model::ModelError> for EdgeLlmError {
+    fn from(e: edge_llm_model::ModelError) -> Self {
+        EdgeLlmError::Model(e)
+    }
+}
+
+impl From<edge_llm_luc::LucError> for EdgeLlmError {
+    fn from(e: edge_llm_luc::LucError) -> Self {
+        EdgeLlmError::Luc(e)
+    }
+}
+
+impl From<edge_llm_hw::HwError> for EdgeLlmError {
+    fn from(e: edge_llm_hw::HwError) -> Self {
+        EdgeLlmError::Hw(e)
+    }
+}
+
+impl From<edge_llm_tensor::TensorError> for EdgeLlmError {
+    fn from(e: edge_llm_tensor::TensorError) -> Self {
+        EdgeLlmError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_roundtrip() {
+        let e = EdgeLlmError::from(edge_llm_tensor::TensorError::ZeroDimension { op: "x" });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        let b = EdgeLlmError::BadConfig { reason: "nope".into() };
+        assert!(b.source().is_none());
+    }
+}

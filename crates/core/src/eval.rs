@@ -1,0 +1,116 @@
+//! Task evaluation with and without exit voting.
+
+use crate::EdgeLlmError;
+use edge_llm_data::{accuracy, Dataset};
+use edge_llm_model::{EdgeModel, VotingPolicy};
+use edge_llm_tensor::{Tensor, IGNORE_TARGET};
+
+/// Accuracy and perplexity of a model (under a voting policy) on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Exact-match accuracy over supervised positions.
+    pub accuracy: f32,
+    /// Perplexity over supervised positions.
+    pub perplexity: f32,
+    /// Number of supervised positions evaluated.
+    pub positions: usize,
+}
+
+/// Evaluates `model` on `dataset` using `voting` to combine exits.
+///
+/// # Errors
+///
+/// Returns [`EdgeLlmError::BadConfig`] for an empty dataset and propagates
+/// model errors.
+pub fn evaluate(
+    model: &EdgeModel,
+    voting: &VotingPolicy,
+    dataset: &Dataset,
+    batch: usize,
+) -> Result<EvalResult, EdgeLlmError> {
+    if dataset.is_empty() {
+        return Err(EdgeLlmError::BadConfig { reason: "empty evaluation dataset".into() });
+    }
+    let mut correct_weighted = 0.0f64;
+    let mut nll = 0.0f64;
+    let mut positions = 0usize;
+    for b in dataset.epoch_batches(batch) {
+        let probs = voting.predict(model, &b.tokens, b.batch)?;
+        // accuracy on probabilities == accuracy on their logs
+        let log_probs = probs.map(|p| (p.max(1e-12)).ln());
+        let batch_positions = b.targets.iter().filter(|&&t| t != IGNORE_TARGET).count();
+        let acc = accuracy(&log_probs, &b.targets);
+        correct_weighted += acc as f64 * batch_positions as f64;
+        nll += batch_nll(&probs, &b.targets);
+        positions += batch_positions;
+    }
+    if positions == 0 {
+        return Err(EdgeLlmError::BadConfig { reason: "dataset has no supervised positions".into() });
+    }
+    Ok(EvalResult {
+        accuracy: (correct_weighted / positions as f64) as f32,
+        perplexity: ((nll / positions as f64).exp()) as f32,
+        positions,
+    })
+}
+
+fn batch_nll(probs: &Tensor, targets: &[usize]) -> f64 {
+    let mut nll = 0.0f64;
+    for (r, &t) in targets.iter().enumerate() {
+        if t == IGNORE_TARGET {
+            continue;
+        }
+        nll -= (probs.get(r, t).max(1e-12) as f64).ln();
+    }
+    nll
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_llm_data::{ClozeQaTask, TaskGenerator};
+    use edge_llm_model::{ModelConfig, VotingCombiner};
+    use edge_llm_tensor::TensorRng;
+
+    fn setup() -> (EdgeModel, Dataset) {
+        let mut rng = TensorRng::seed_from(5);
+        let cfg = ModelConfig::tiny().with_vocab(32);
+        let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+        let task = ClozeQaTask::new(10, 2);
+        assert!(task.vocab_size() <= cfg.vocab_size);
+        let ds = task.dataset(6, cfg.seq_len, &mut rng);
+        (model, ds)
+    }
+
+    #[test]
+    fn untrained_model_scores_near_chance() {
+        let (model, ds) = setup();
+        let policy = VotingPolicy::final_only(model.n_layers());
+        let r = evaluate(&model, &policy, &ds, 2).unwrap();
+        assert!(r.accuracy < 0.5);
+        assert!(r.perplexity > 2.0);
+        assert!(r.positions > 0);
+    }
+
+    #[test]
+    fn voting_policies_produce_valid_metrics() {
+        let (model, ds) = setup();
+        for combiner in [
+            VotingCombiner::LastExit,
+            VotingCombiner::Average,
+            VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
+        ] {
+            let policy = VotingPolicy::all_exits(model.n_layers(), combiner);
+            let r = evaluate(&model, &policy, &ds, 3).unwrap();
+            assert!((0.0..=1.0).contains(&r.accuracy));
+            assert!(r.perplexity.is_finite());
+        }
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let (model, _) = setup();
+        let policy = VotingPolicy::final_only(model.n_layers());
+        assert!(evaluate(&model, &policy, &Dataset::default(), 1).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! The LUC sensitivity oracle over a live [`EdgeModel`].
+//!
+//! Sensitivity of layer *l* to a candidate compression is measured as the
+//! calibration-batch loss of the model with **only** layer *l* compressed.
+//! Each probe clones the model, installs the single-layer policy, and
+//! evaluates — the model under adaptation is never disturbed.
+
+use crate::compress::apply_layer_policy;
+use edge_llm_luc::{LayerPolicy, SensitivityOracle};
+use edge_llm_model::EdgeModel;
+use edge_llm_tensor::cross_entropy_forward;
+
+/// A [`SensitivityOracle`] backed by a model and a calibration batch.
+pub struct ModelOracle<'a> {
+    model: &'a EdgeModel,
+    tokens: &'a [usize],
+    targets: &'a [usize],
+    batch: usize,
+    probes: usize,
+}
+
+impl<'a> ModelOracle<'a> {
+    /// Wraps `model` with a calibration batch of `batch` sequences.
+    pub fn new(model: &'a EdgeModel, tokens: &'a [usize], targets: &'a [usize], batch: usize) -> Self {
+        ModelOracle { model, tokens, targets, batch, probes: 0 }
+    }
+
+    /// Number of compressed-model evaluations performed so far.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    fn eval(&self, model: &EdgeModel) -> f32 {
+        match model.logits(self.tokens, self.batch) {
+            Ok(logits) => match cross_entropy_forward(&logits, self.targets) {
+                Ok(ce) => ce.loss,
+                Err(_) => f32::INFINITY,
+            },
+            Err(_) => f32::INFINITY,
+        }
+    }
+}
+
+impl SensitivityOracle for ModelOracle<'_> {
+    fn n_layers(&self) -> usize {
+        self.model.n_layers()
+    }
+
+    fn loss_with(&mut self, layer: usize, policy: LayerPolicy) -> f32 {
+        self.probes += 1;
+        let mut probe = self.model.clone();
+        if apply_layer_policy(&mut probe, layer, policy).is_err() {
+            return f32::INFINITY;
+        }
+        self.eval(&probe)
+    }
+
+    fn baseline_loss(&mut self) -> f32 {
+        self.eval(self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_llm_luc::profile;
+    use edge_llm_model::ModelConfig;
+    use edge_llm_quant::BitWidth;
+    use edge_llm_tensor::TensorRng;
+
+    #[test]
+    fn oracle_profiles_a_real_model() {
+        let mut rng = TensorRng::seed_from(3);
+        let cfg = ModelConfig::tiny();
+        let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+        let tokens: Vec<usize> = (0..cfg.seq_len).map(|i| (i * 7) % cfg.vocab_size).collect();
+        let mut oracle = ModelOracle::new(&model, &tokens, &tokens, 1);
+        let prof = profile(&mut oracle, &[BitWidth::W2, BitWidth::W8], &[0.5]).unwrap();
+        prof.validate().unwrap();
+        assert_eq!(prof.n_layers(), 2);
+        // 2-bit must hurt at least as much as 8-bit on every layer
+        for l in 0..2 {
+            assert!(prof.quant_delta[l][0] >= prof.quant_delta[l][1]);
+        }
+        assert_eq!(oracle.probes(), 2 * (2 + 1));
+        assert!(prof.baseline.is_finite());
+    }
+
+    #[test]
+    fn oracle_leaves_model_untouched() {
+        let mut rng = TensorRng::seed_from(4);
+        let cfg = ModelConfig::tiny();
+        let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+        let tokens: Vec<usize> = (0..cfg.seq_len).collect();
+        let before = model.logits(&tokens, 1).unwrap();
+        let mut oracle = ModelOracle::new(&model, &tokens, &tokens, 1);
+        let _ = oracle.loss_with(0, LayerPolicy { bits: BitWidth::W2, prune_ratio: 0.5 });
+        let after = model.logits(&tokens, 1).unwrap();
+        assert!(before.approx_eq(&after, 0.0));
+    }
+}

@@ -1,0 +1,153 @@
+use crate::Sample;
+use edge_llm_tensor::TensorRng;
+
+/// A flattened batch ready for the model: `batch * seq_len` tokens and
+/// targets in row-major order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Flattened token ids.
+    pub tokens: Vec<usize>,
+    /// Flattened targets (with ignore markers).
+    pub targets: Vec<usize>,
+    /// Number of sequences in the batch.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+}
+
+/// An in-memory dataset of fixed-length samples.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Wraps a vector of samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Dataset { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Immutable access to the samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Splits into `(train, eval)` at `train_fraction` (clamped to `[0,1]`).
+    pub fn split(self, train_fraction: f32) -> (Dataset, Dataset) {
+        let n = self.samples.len();
+        let cut = ((train_fraction.clamp(0.0, 1.0) as f64) * n as f64).round() as usize;
+        let mut samples = self.samples;
+        let eval = samples.split_off(cut.min(n));
+        (Dataset { samples }, Dataset { samples: eval })
+    }
+
+    /// Builds a batch from `batch` samples starting at `start` (wrapping
+    /// around the dataset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `batch == 0`.
+    pub fn batch_at(&self, start: usize, batch: usize) -> Batch {
+        assert!(!self.samples.is_empty(), "cannot batch an empty dataset");
+        assert!(batch > 0, "batch size must be positive");
+        let seq_len = self.samples[0].tokens.len();
+        let mut tokens = Vec::with_capacity(batch * seq_len);
+        let mut targets = Vec::with_capacity(batch * seq_len);
+        for i in 0..batch {
+            let s = &self.samples[(start + i) % self.samples.len()];
+            tokens.extend_from_slice(&s.tokens);
+            targets.extend_from_slice(&s.targets);
+        }
+        Batch { tokens, targets, batch, seq_len }
+    }
+
+    /// Shuffles sample order in place.
+    pub fn shuffle(&mut self, rng: &mut TensorRng) {
+        rng.shuffle(&mut self.samples);
+    }
+
+    /// Iterates over consecutive batches covering one epoch (the tail
+    /// wraps around so every batch is full).
+    pub fn epoch_batches(&self, batch: usize) -> impl Iterator<Item = Batch> + '_ {
+        let n_batches = self.len().div_ceil(batch.max(1)).max(1);
+        (0..n_batches).map(move |i| self.batch_at(i * batch, batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClozeQaTask, TaskGenerator};
+
+    fn make_dataset(n: usize) -> Dataset {
+        let mut rng = TensorRng::seed_from(1);
+        ClozeQaTask::new(8, 4).dataset(n, 16, &mut rng)
+    }
+
+    #[test]
+    fn batch_flattening() {
+        let ds = make_dataset(4);
+        let b = ds.batch_at(0, 2);
+        assert_eq!(b.tokens.len(), 2 * 16);
+        assert_eq!(&b.tokens[..16], &ds.samples()[0].tokens[..]);
+        assert_eq!(&b.tokens[16..], &ds.samples()[1].tokens[..]);
+    }
+
+    #[test]
+    fn batch_wraps_around() {
+        let ds = make_dataset(3);
+        let b = ds.batch_at(2, 2);
+        assert_eq!(&b.tokens[..16], &ds.samples()[2].tokens[..]);
+        assert_eq!(&b.tokens[16..], &ds.samples()[0].tokens[..]);
+    }
+
+    #[test]
+    fn split_fractions() {
+        let ds = make_dataset(10);
+        let (train, eval) = ds.split(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(eval.len(), 2);
+        let (all, none) = make_dataset(5).split(1.5);
+        assert_eq!(all.len(), 5);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn epoch_covers_dataset() {
+        let ds = make_dataset(7);
+        let batches: Vec<Batch> = ds.epoch_batches(3).collect();
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.batch == 3));
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut ds = make_dataset(20);
+        let before: Vec<Vec<usize>> = ds.samples().iter().map(|s| s.tokens.clone()).collect();
+        let mut rng = TensorRng::seed_from(9);
+        ds.shuffle(&mut rng);
+        let mut after: Vec<Vec<usize>> = ds.samples().iter().map(|s| s.tokens.clone()).collect();
+        let mut sorted_before = before.clone();
+        sorted_before.sort();
+        after.sort();
+        assert_eq!(sorted_before, after);
+        assert_ne!(before, ds.samples().iter().map(|s| s.tokens.clone()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_batch_panics() {
+        let ds = Dataset::default();
+        let _ = ds.batch_at(0, 1);
+    }
+}

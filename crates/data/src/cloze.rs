@@ -1,0 +1,164 @@
+use crate::{Sample, TaskGenerator};
+use edge_llm_tensor::{TensorRng, IGNORE_TARGET};
+
+/// Templated subject–relation–object cloze QA — the stand-in for the
+/// paper's commonsense-QA adaptation sets.
+///
+/// A seeded knowledge base assigns each (subject, relation) pair a unique
+/// object. A sample renders `subject relation = object` with only the
+/// object position supervised, so task accuracy is exact-match retrieval —
+/// the model must *memorize the KB during adaptation*, which is precisely
+/// the behaviour on-device tuning is meant to deliver.
+#[derive(Debug, Clone)]
+pub struct ClozeQaTask {
+    n_subjects: usize,
+    n_relations: usize,
+    kb: Vec<usize>,
+    n_objects: usize,
+}
+
+impl ClozeQaTask {
+    /// Builds a KB with `n_subjects * n_relations` facts; objects are drawn
+    /// from a pool the same size as the subject pool. The KB derives from a
+    /// fixed internal seed so tasks of equal shape are identical across
+    /// runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(n_subjects: usize, n_relations: usize) -> Self {
+        Self::with_seed(n_subjects, n_relations, 0x5eed)
+    }
+
+    /// Builds a KB with an explicit structure seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn with_seed(n_subjects: usize, n_relations: usize, seed: u64) -> Self {
+        assert!(n_subjects > 0 && n_relations > 0, "kb dimensions must be positive");
+        let n_objects = n_subjects;
+        let mut rng = TensorRng::seed_from(seed);
+        let kb = (0..n_subjects * n_relations).map(|_| rng.index(n_objects)).collect();
+        ClozeQaTask { n_subjects, n_relations, kb, n_objects }
+    }
+
+    /// Number of facts in the KB.
+    pub fn n_facts(&self) -> usize {
+        self.kb.len()
+    }
+
+    /// The ground-truth object for `(subject, relation)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn answer(&self, subject: usize, relation: usize) -> usize {
+        assert!(subject < self.n_subjects && relation < self.n_relations);
+        self.kb[subject * self.n_relations + relation]
+    }
+
+    fn token_ids(&self) -> (usize, usize, usize) {
+        // layout: subjects, relations, objects, '=', pad
+        let rel_base = self.n_subjects;
+        let obj_base = rel_base + self.n_relations;
+        let eq = obj_base + self.n_objects;
+        (rel_base, obj_base, eq)
+    }
+}
+
+impl TaskGenerator for ClozeQaTask {
+    fn vocab_size(&self) -> usize {
+        self.n_subjects + self.n_relations + self.n_objects + 2
+    }
+
+    fn name(&self) -> &str {
+        "cloze-qa"
+    }
+
+    fn sample(&self, seq_len: usize, rng: &mut TensorRng) -> Sample {
+        let (rel_base, obj_base, eq) = self.token_ids();
+        let pad = eq + 1;
+        let mut tokens = Vec::with_capacity(seq_len);
+        let mut targets = vec![IGNORE_TARGET; seq_len];
+        // pack as many facts as fit: s r = o  (4 tokens each)
+        while tokens.len() + 4 <= seq_len {
+            let s = rng.index(self.n_subjects);
+            let r = rng.index(self.n_relations);
+            let o = self.answer(s, r);
+            let base = tokens.len();
+            tokens.extend_from_slice(&[s, rel_base + r, eq, obj_base + o]);
+            // supervise only the object, predicted from '='
+            targets[base + 2] = obj_base + o;
+        }
+        while tokens.len() < seq_len {
+            tokens.push(pad);
+        }
+        Sample { tokens, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_is_deterministic() {
+        let a = ClozeQaTask::new(8, 4);
+        let b = ClozeQaTask::new(8, 4);
+        for s in 0..8 {
+            for r in 0..4 {
+                assert_eq!(a.answer(s, r), b.answer(s, r));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ClozeQaTask::with_seed(16, 8, 1);
+        let b = ClozeQaTask::with_seed(16, 8, 2);
+        let same = (0..16).flat_map(|s| (0..8).map(move |r| (s, r))).all(|(s, r)| a.answer(s, r) == b.answer(s, r));
+        assert!(!same);
+    }
+
+    #[test]
+    fn sample_layout_and_supervision() {
+        let mut rng = TensorRng::seed_from(1);
+        let task = ClozeQaTask::new(8, 4);
+        let s = task.sample(16, &mut rng);
+        assert_eq!(s.tokens.len(), 16);
+        let (rel_base, obj_base, eq) = task.token_ids();
+        for fact in 0..4 {
+            let base = fact * 4;
+            let subj = s.tokens[base];
+            let rel = s.tokens[base + 1] - rel_base;
+            assert_eq!(s.tokens[base + 2], eq);
+            let obj = s.tokens[base + 3] - obj_base;
+            assert_eq!(obj, task.answer(subj, rel));
+            // supervised object at '=' position
+            assert_eq!(s.targets[base + 2], obj_base + obj);
+            assert_eq!(s.targets[base], IGNORE_TARGET);
+            assert_eq!(s.targets[base + 1], IGNORE_TARGET);
+        }
+    }
+
+    #[test]
+    fn short_sequences_are_padded() {
+        let mut rng = TensorRng::seed_from(2);
+        let task = ClozeQaTask::new(4, 2);
+        let s = task.sample(6, &mut rng);
+        assert_eq!(s.tokens.len(), 6);
+        // one fact (4 tokens) + 2 pads
+        let pad = task.vocab_size() - 1;
+        assert_eq!(s.tokens[4], pad);
+        assert_eq!(s.tokens[5], pad);
+    }
+
+    #[test]
+    fn vocab_covers_all_tokens() {
+        let mut rng = TensorRng::seed_from(3);
+        let task = ClozeQaTask::new(5, 3);
+        let s = task.sample(20, &mut rng);
+        assert!(s.tokens.iter().all(|&t| t < task.vocab_size()));
+    }
+}

@@ -1,0 +1,110 @@
+use edge_llm_tensor::{Tensor, IGNORE_TARGET};
+
+/// Exact-match accuracy of argmax predictions on supervised positions.
+///
+/// Positions whose target is [`IGNORE_TARGET`] are skipped. Returns `0.0`
+/// when no position is supervised.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()`.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(targets.len(), logits.rows(), "one target per logit row");
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        if t == IGNORE_TARGET {
+            continue;
+        }
+        total += 1;
+        let row = logits.row(r);
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (c, &v) in row.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        if best == t {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f32 / total as f32
+    }
+}
+
+/// Perplexity `exp(mean NLL)` over supervised positions.
+///
+/// Returns `f32::INFINITY` if any supervised target has ~zero probability,
+/// and `1.0` when nothing is supervised.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()`.
+pub fn perplexity(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(targets.len(), logits.rows(), "one target per logit row");
+    let probs = edge_llm_tensor::softmax_rows(logits);
+    let mut nll = 0.0f64;
+    let mut total = 0usize;
+    for (r, &t) in targets.iter().enumerate() {
+        if t == IGNORE_TARGET {
+            continue;
+        }
+        total += 1;
+        let p = probs.get(r, t) as f64;
+        if p <= 1e-30 {
+            return f32::INFINITY;
+        }
+        nll -= p.ln();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        ((nll / total as f64).exp()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let logits = Tensor::from_vec(2, 3, vec![5., 0., 0., 0., 0., 5.]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 2]), 1.0);
+        assert!(perplexity(&logits, &[0, 2]) < 1.1);
+    }
+
+    #[test]
+    fn wrong_predictions() {
+        let logits = Tensor::from_vec(2, 3, vec![5., 0., 0., 0., 0., 5.]).unwrap();
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert!(perplexity(&logits, &[1, 0]) > 10.0);
+    }
+
+    #[test]
+    fn ignored_positions_skipped() {
+        let logits = Tensor::from_vec(2, 3, vec![5., 0., 0., 5., 0., 0.]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, IGNORE_TARGET]), 1.0);
+        assert_eq!(accuracy(&logits, &[IGNORE_TARGET, IGNORE_TARGET]), 0.0);
+        assert_eq!(perplexity(&logits, &[IGNORE_TARGET, IGNORE_TARGET]), 1.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_vocab_perplexity() {
+        let logits = Tensor::zeros(4, 10);
+        let ppl = perplexity(&logits, &[0, 1, 2, 3]);
+        assert!((ppl - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let logits = Tensor::zeros(2, 3);
+        let _ = accuracy(&logits, &[0]);
+    }
+}

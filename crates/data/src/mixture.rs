@@ -1,0 +1,167 @@
+use crate::{Sample, TaskGenerator};
+use edge_llm_tensor::TensorRng;
+
+/// A weighted mixture of task generators sharing one padded vocabulary —
+/// multi-domain adaptation data (e.g. QA plus language modelling), the
+/// setting continual on-device adaptation actually faces.
+///
+/// Component tasks keep their own token ids; the mixture's vocabulary is
+/// the maximum of the components', so ids never collide across the shared
+/// embedding table.
+///
+/// # Example
+///
+/// ```
+/// use edge_llm_data::{ClozeQaTask, CopyTask, MixtureTask, TaskGenerator};
+/// use edge_llm_tensor::TensorRng;
+///
+/// # fn main() -> Result<(), edge_llm_data::EmptyMixtureError> {
+/// let mix = MixtureTask::new(vec![
+///     (1.0, Box::new(ClozeQaTask::new(8, 2)) as Box<dyn TaskGenerator>),
+///     (2.0, Box::new(CopyTask::new(6))),
+/// ])?;
+/// let mut rng = TensorRng::seed_from(0);
+/// let s = mix.sample(16, &mut rng);
+/// assert!(s.tokens.iter().all(|&t| t < mix.vocab_size()));
+/// # Ok(())
+/// # }
+/// ```
+pub struct MixtureTask {
+    components: Vec<(f32, Box<dyn TaskGenerator>)>,
+    total_weight: f32,
+    vocab: usize,
+}
+
+/// Error returned when a mixture has no usable components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyMixtureError;
+
+impl std::fmt::Display for EmptyMixtureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mixture needs at least one component with positive weight")
+    }
+}
+
+impl std::error::Error for EmptyMixtureError {}
+
+impl MixtureTask {
+    /// Builds a mixture from `(weight, task)` pairs. Non-positive weights
+    /// are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyMixtureError`] if no component has positive weight.
+    pub fn new(
+        components: Vec<(f32, Box<dyn TaskGenerator>)>,
+    ) -> Result<Self, EmptyMixtureError> {
+        let components: Vec<_> =
+            components.into_iter().filter(|(w, _)| *w > 0.0 && w.is_finite()).collect();
+        if components.is_empty() {
+            return Err(EmptyMixtureError);
+        }
+        let total_weight = components.iter().map(|(w, _)| *w).sum();
+        let vocab = components.iter().map(|(_, t)| t.vocab_size()).max().unwrap_or(1);
+        Ok(MixtureTask { components, total_weight, vocab })
+    }
+
+    /// Number of component tasks.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl std::fmt::Debug for MixtureTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.components.iter().map(|(_, t)| t.name()).collect();
+        write!(f, "MixtureTask({names:?})")
+    }
+}
+
+impl TaskGenerator for MixtureTask {
+    fn vocab_size(&self) -> usize {
+        self.vocab
+    }
+
+    fn name(&self) -> &str {
+        "mixture"
+    }
+
+    fn sample(&self, seq_len: usize, rng: &mut TensorRng) -> Sample {
+        let mut u = rng.uniform(0.0, self.total_weight);
+        for (w, task) in &self.components {
+            if u < *w {
+                return task.sample(seq_len, rng);
+            }
+            u -= w;
+        }
+        self.components.last().expect("non-empty by construction").1.sample(seq_len, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClozeQaTask, CopyTask, MarkovTextTask};
+
+    fn mixture() -> MixtureTask {
+        MixtureTask::new(vec![
+            (1.0, Box::new(ClozeQaTask::new(8, 2)) as Box<dyn TaskGenerator>),
+            (3.0, Box::new(MarkovTextTask::new(16, 2, 1))),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn vocab_is_component_max() {
+        let mix = mixture();
+        let cloze_vocab = ClozeQaTask::new(8, 2).vocab_size();
+        assert_eq!(mix.vocab_size(), cloze_vocab.max(16));
+    }
+
+    #[test]
+    fn samples_respect_weights_roughly() {
+        let mix = mixture();
+        let mut rng = TensorRng::seed_from(5);
+        // markov samples supervise every position; cloze masks some
+        let mut markov_like = 0;
+        let n = 400;
+        for _ in 0..n {
+            let s = mix.sample(16, &mut rng);
+            if s.targets.iter().all(|&t| t != edge_llm_tensor::IGNORE_TARGET) {
+                markov_like += 1;
+            }
+        }
+        let frac = markov_like as f32 / n as f32;
+        assert!((frac - 0.75).abs() < 0.1, "markov fraction {frac}, expected ~0.75");
+    }
+
+    #[test]
+    fn empty_or_nonpositive_mixture_rejected() {
+        assert!(MixtureTask::new(vec![]).is_err());
+        assert!(MixtureTask::new(vec![(0.0, Box::new(CopyTask::new(4)) as Box<dyn TaskGenerator>)])
+            .is_err());
+        assert!(MixtureTask::new(vec![(
+            f32::NAN,
+            Box::new(CopyTask::new(4)) as Box<dyn TaskGenerator>
+        )])
+        .is_err());
+    }
+
+    #[test]
+    fn tokens_stay_in_mixture_vocab() {
+        let mix = mixture();
+        let mut rng = TensorRng::seed_from(6);
+        for _ in 0..50 {
+            let s = mix.sample(12, &mut rng);
+            assert!(s.tokens.iter().all(|&t| t < mix.vocab_size()));
+        }
+    }
+
+    #[test]
+    fn debug_lists_components() {
+        let mix = mixture();
+        let d = format!("{mix:?}");
+        assert!(d.contains("cloze-qa"));
+        assert_eq!(mix.n_components(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+/// A printable-ASCII character tokenizer with a vocabulary of 96 ids:
+/// ids 0–94 map to characters `' '`(0x20) through `'~'`(0x7E), id 95 is the
+/// unknown marker.
+///
+/// # Example
+///
+/// ```
+/// use edge_llm_data::CharTokenizer;
+///
+/// let tok = CharTokenizer::new();
+/// let ids = tok.encode("Hi!");
+/// assert_eq!(tok.decode(&ids), "Hi!");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CharTokenizer;
+
+const FIRST: u8 = 0x20;
+const LAST: u8 = 0x7E;
+
+impl CharTokenizer {
+    /// Creates the tokenizer.
+    pub fn new() -> Self {
+        CharTokenizer
+    }
+
+    /// Vocabulary size (95 printable characters + unknown).
+    pub fn vocab_size(&self) -> usize {
+        (LAST - FIRST) as usize + 2
+    }
+
+    /// The id reserved for characters outside printable ASCII.
+    pub fn unk_id(&self) -> usize {
+        self.vocab_size() - 1
+    }
+
+    /// Encodes a string to token ids.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.bytes()
+            .map(|b| {
+                if (FIRST..=LAST).contains(&b) {
+                    (b - FIRST) as usize
+                } else {
+                    self.unk_id()
+                }
+            })
+            .collect()
+    }
+
+    /// Decodes token ids back to a string; unknown and out-of-range ids
+    /// become `'?'`.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .map(|&id| {
+                if id < self.unk_id() {
+                    (FIRST + id as u8) as char
+                } else {
+                    '?'
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_printable_ascii() {
+        let tok = CharTokenizer::new();
+        let s = "The 7 quick brown foxes! (all of them) ~";
+        assert_eq!(tok.decode(&tok.encode(s)), s);
+    }
+
+    #[test]
+    fn vocab_size_is_96() {
+        assert_eq!(CharTokenizer::new().vocab_size(), 96);
+    }
+
+    #[test]
+    fn non_printable_maps_to_unk() {
+        let tok = CharTokenizer::new();
+        let ids = tok.encode("a\nb\u{00e9}");
+        assert!(ids.contains(&tok.unk_id()));
+        // all ids are in range
+        assert!(ids.iter().all(|&id| id < tok.vocab_size()));
+    }
+
+    #[test]
+    fn decode_out_of_range_is_question_mark() {
+        let tok = CharTokenizer::new();
+        assert_eq!(tok.decode(&[9999]), "?");
+    }
+}

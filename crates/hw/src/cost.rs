@@ -1,0 +1,203 @@
+use crate::device::DeviceModel;
+use crate::schedule::Schedule;
+use crate::workload::GemmWorkload;
+use crate::HwError;
+
+/// Latency / energy / utilization estimate for one GEMM under one schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    /// Total cycles (compute and DRAM, overlapped if double-buffered).
+    pub cycles: f64,
+    /// Wall-clock latency in microseconds at the device clock.
+    pub latency_us: f64,
+    /// Energy in microjoules (MACs + DRAM traffic).
+    pub energy_uj: f64,
+    /// Compute cycles / total cycles, in `(0, 1]`.
+    pub utilization: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// Peak SRAM bytes required by the tiles.
+    pub sram_bytes: usize,
+}
+
+/// Estimates the cost of executing `gemm` with `schedule` on `device`.
+///
+/// The model is a roofline with loop-order-aware DRAM traffic:
+///
+/// * **compute**: `effective_macs / effective_macs_per_cycle(bits, sparsity)`,
+/// * **traffic**: each operand tile is re-fetched once per iteration of
+///   every loop at or above the deepest loop indexing it (the standard
+///   tiled-GEMM reuse rule); `C` is written once and read back per partial
+///   sum when the reduction is tiled above it,
+/// * **overlap**: with double buffering the two are overlapped
+///   (`max(compute, dram)`), otherwise summed.
+///
+/// # Errors
+///
+/// Returns [`HwError::SramOverflow`] if the tiles (x2 when double-buffered)
+/// do not fit on-chip, and [`HwError::BadParameter`] for a degenerate
+/// workload or schedule.
+pub fn estimate_cost(
+    gemm: &GemmWorkload,
+    schedule: &Schedule,
+    device: &DeviceModel,
+) -> Result<CostEstimate, HwError> {
+    if gemm.m == 0 || gemm.n == 0 || gemm.k == 0 {
+        return Err(HwError::BadParameter { reason: format!("degenerate workload {}", gemm.name) });
+    }
+    if schedule.tile_m == 0 || schedule.tile_n == 0 || schedule.tile_k == 0 {
+        return Err(HwError::BadParameter { reason: "zero tile size".to_string() });
+    }
+    let tm = schedule.tile_m.min(gemm.m);
+    let tn = schedule.tile_n.min(gemm.n);
+    let tk = schedule.tile_k.min(gemm.k);
+    let weight_bytes_per_elem = gemm.bits as f64 / 8.0;
+    // A = activations (m x k, 16-bit), B = weights (k x n, policy bits),
+    // C = output (m x n, f32 accumulator).
+    let tile_a = (tm * tk) as f64 * 2.0;
+    let tile_b = (tk * tn) as f64 * weight_bytes_per_elem;
+    let tile_c = (tm * tn) as f64 * 4.0;
+    let sram_needed = {
+        let base = tile_a + tile_b + tile_c;
+        let scaled = if schedule.double_buffer { base * 2.0 } else { base };
+        scaled as usize
+    };
+    if sram_needed > device.sram_bytes {
+        return Err(HwError::SramOverflow { required: sram_needed, available: device.sram_bytes });
+    }
+    let trips = [
+        ('m', gemm.m.div_ceil(tm) as f64),
+        ('n', gemm.n.div_ceil(tn) as f64),
+        ('k', gemm.k.div_ceil(tk) as f64),
+    ];
+    let trip = |c: char| trips.iter().find(|t| t.0 == c).map(|t| t.1).unwrap_or(1.0);
+    let order = schedule.loop_order.vars();
+    let loads_of = |vars: &[char]| -> f64 {
+        let depth = schedule.loop_order.reload_depth(vars);
+        order[..=depth].iter().map(|&v| trip(v)).product()
+    };
+    // weights benefit from sparsity compression in traffic too
+    let a_traffic = loads_of(&['m', 'k']) * tile_a;
+    let b_traffic = loads_of(&['n', 'k']) * tile_b * (1.0 - gemm.sparsity as f64).max(0.05);
+    // C: written once; if the reduction loop sits outside the deepest C
+    // loop, partial sums spill (read + write per revisit).
+    let c_visits = loads_of(&['m', 'n']);
+    let c_tiles = trip('m') * trip('n');
+    let c_traffic = c_tiles * tile_c + (c_visits - c_tiles).max(0.0) * tile_c * 2.0;
+    let dram_bytes = a_traffic + b_traffic + c_traffic;
+    let compute_cycles =
+        gemm.effective_macs() as f64 / device.effective_macs_per_cycle(gemm.bits, gemm.sparsity) as f64;
+    let dram_cycles = dram_bytes / device.dram_bytes_per_cycle as f64;
+    let cycles = if schedule.double_buffer {
+        compute_cycles.max(dram_cycles)
+    } else {
+        compute_cycles + dram_cycles
+    };
+    let latency_us = cycles / (device.freq_ghz as f64 * 1e3);
+    let energy_uj = (gemm.effective_macs() as f64 * device.energy_per_mac_at(gemm.bits) as f64
+        + dram_bytes * device.energy_per_dram_byte_pj as f64)
+        / 1e6;
+    Ok(CostEstimate {
+        cycles,
+        latency_us,
+        energy_uj,
+        utilization: (compute_cycles / cycles.max(1e-9)).min(1.0),
+        dram_bytes,
+        sram_bytes: sram_needed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::LoopOrder;
+
+    fn gemm() -> GemmWorkload {
+        GemmWorkload::new("t", 64, 256, 128)
+    }
+
+    fn sched(tm: usize, tn: usize, tk: usize, lo: LoopOrder, db: bool) -> Schedule {
+        Schedule { tile_m: tm, tile_n: tn, tile_k: tk, loop_order: lo, double_buffer: db }
+    }
+
+    #[test]
+    fn bigger_tiles_reduce_traffic() {
+        let d = DeviceModel::jetson_class();
+        let small = estimate_cost(&gemm(), &sched(8, 8, 8, LoopOrder::Mnk, false), &d).unwrap();
+        let big = estimate_cost(&gemm(), &sched(64, 64, 64, LoopOrder::Mnk, false), &d).unwrap();
+        assert!(big.dram_bytes < small.dram_bytes);
+        assert!(big.cycles < small.cycles);
+    }
+
+    #[test]
+    fn double_buffering_hides_latency() {
+        let d = DeviceModel::jetson_class();
+        let nodb = estimate_cost(&gemm(), &sched(32, 32, 32, LoopOrder::Mnk, false), &d).unwrap();
+        let db = estimate_cost(&gemm(), &sched(32, 32, 32, LoopOrder::Mnk, true), &d).unwrap();
+        assert!(db.cycles < nodb.cycles);
+        assert!(db.utilization > nodb.utilization);
+        assert!(db.sram_bytes > nodb.sram_bytes);
+    }
+
+    #[test]
+    fn output_stationary_beats_k_outer_for_large_k() {
+        let d = DeviceModel::jetson_class();
+        let g = GemmWorkload::new("deep-k", 64, 64, 2048);
+        let os = estimate_cost(&g, &sched(32, 32, 32, LoopOrder::Mnk, false), &d).unwrap();
+        let ko = estimate_cost(&g, &sched(32, 32, 32, LoopOrder::Kmn, false), &d).unwrap();
+        assert!(os.dram_bytes < ko.dram_bytes, "k-outer spills partial sums");
+    }
+
+    #[test]
+    fn quantized_weights_cut_traffic_and_compute() {
+        let d = DeviceModel::jetson_class();
+        let s = sched(32, 32, 32, LoopOrder::Mnk, false);
+        let fp = estimate_cost(&gemm(), &s, &d).unwrap();
+        let q4 = estimate_cost(&gemm().with_bits(4), &s, &d).unwrap();
+        assert!(q4.cycles < fp.cycles);
+        assert!(q4.energy_uj < fp.energy_uj);
+    }
+
+    #[test]
+    fn sparsity_cuts_compute() {
+        let d = DeviceModel::jetson_class();
+        let s = sched(32, 32, 32, LoopOrder::Mnk, true);
+        let dense = estimate_cost(&gemm(), &s, &d).unwrap();
+        let sparse = estimate_cost(&gemm().with_sparsity(0.75), &s, &d).unwrap();
+        assert!(sparse.cycles < dense.cycles);
+    }
+
+    #[test]
+    fn sram_overflow_detected() {
+        let d = DeviceModel::jetson_class();
+        let s = sched(1024, 1024, 1024, LoopOrder::Mnk, true);
+        let g = GemmWorkload::new("huge", 4096, 4096, 4096);
+        assert!(matches!(estimate_cost(&g, &s, &d), Err(HwError::SramOverflow { .. })));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let d = DeviceModel::jetson_class();
+        let g = GemmWorkload::new("zero", 0, 4, 4);
+        assert!(estimate_cost(&g, &Schedule::naive(), &d).is_err());
+        let bad = sched(0, 8, 8, LoopOrder::Mnk, false);
+        assert!(estimate_cost(&gemm(), &bad, &d).is_err());
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let d = DeviceModel::jetson_class();
+        for db in [false, true] {
+            let c = estimate_cost(&gemm(), &sched(64, 64, 64, LoopOrder::Mnk, db), &d).unwrap();
+            assert!(c.utilization > 0.0 && c.utilization <= 1.0);
+        }
+    }
+
+    #[test]
+    fn tiles_clamp_to_workload() {
+        let d = DeviceModel::jetson_class();
+        let tiny = GemmWorkload::new("tiny", 4, 4, 4);
+        let c = estimate_cost(&tiny, &sched(128, 128, 128, LoopOrder::Mnk, false), &d).unwrap();
+        assert!(c.sram_bytes < 1024);
+    }
+}

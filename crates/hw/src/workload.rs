@@ -1,0 +1,120 @@
+/// One GEMM (`C[m x n] = A[m x k] · B[k x n]`) with the precision and
+/// sparsity assigned to it by the compression policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemmWorkload {
+    /// Name for reports (e.g. `"l3.qkv"`).
+    pub name: String,
+    /// Output rows (tokens).
+    pub m: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Reduction length.
+    pub k: usize,
+    /// Weight operand bit-width.
+    pub bits: u32,
+    /// Weight sparsity fraction in `[0, 1)`.
+    pub sparsity: f32,
+}
+
+impl GemmWorkload {
+    /// Creates a dense 16-bit workload.
+    pub fn new(name: impl Into<String>, m: usize, n: usize, k: usize) -> Self {
+        GemmWorkload { name: name.into(), m, n, k, bits: 16, sparsity: 0.0 }
+    }
+
+    /// Sets the weight bit-width.
+    pub fn with_bits(mut self, bits: u32) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Sets the weight sparsity.
+    pub fn with_sparsity(mut self, sparsity: f32) -> Self {
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// Total multiply-accumulates, ignoring sparsity.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// MACs remaining after ideal zero-skipping.
+    pub fn effective_macs(&self) -> u64 {
+        (self.macs() as f64 * (1.0 - self.sparsity as f64).max(0.0)) as u64
+    }
+}
+
+/// Extracts the per-layer GEMM workloads of one transformer block under a
+/// given `(bits, sparsity)` assignment.
+///
+/// Covers the six GEMMs of a block: QKV projection, attention scores `QKᵀ`,
+/// attention-value product, output projection, and the two MLP projections.
+/// Attention-internal GEMMs carry activations, so they keep 16-bit dense
+/// operands regardless of the weight policy (matching how weight-only
+/// compression deploys).
+pub fn transformer_layer_workloads(
+    layer: usize,
+    d_model: usize,
+    d_ff: usize,
+    seq: usize,
+    batch: usize,
+    n_heads: usize,
+    bits: u32,
+    sparsity: f32,
+) -> Vec<GemmWorkload> {
+    let tokens = batch * seq;
+    let hs = if n_heads > 0 { d_model / n_heads } else { d_model };
+    let p = |s: &str| format!("l{layer}.{s}");
+    vec![
+        GemmWorkload::new(p("qkv"), tokens, 3 * d_model, d_model)
+            .with_bits(bits)
+            .with_sparsity(sparsity),
+        // per-head score and value GEMMs folded into one batched workload
+        GemmWorkload::new(p("scores"), batch * n_heads.max(1) * seq, seq, hs),
+        GemmWorkload::new(p("attv"), batch * n_heads.max(1) * seq, hs, seq),
+        GemmWorkload::new(p("proj"), tokens, d_model, d_model)
+            .with_bits(bits)
+            .with_sparsity(sparsity),
+        GemmWorkload::new(p("fc1"), tokens, d_ff, d_model).with_bits(bits).with_sparsity(sparsity),
+        GemmWorkload::new(p("fc2"), tokens, d_model, d_ff).with_bits(bits).with_sparsity(sparsity),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_product() {
+        let g = GemmWorkload::new("t", 4, 5, 6);
+        assert_eq!(g.macs(), 120);
+        assert_eq!(g.effective_macs(), 120);
+        assert_eq!(g.with_sparsity(0.5).effective_macs(), 60);
+    }
+
+    #[test]
+    fn layer_workloads_cover_six_gemms() {
+        let ws = transformer_layer_workloads(3, 128, 512, 64, 2, 4, 4, 0.5);
+        assert_eq!(ws.len(), 6);
+        assert!(ws.iter().all(|w| w.name.starts_with("l3.")));
+        // weight GEMMs carry the policy; activation GEMMs stay 16-bit dense
+        let qkv = &ws[0];
+        assert_eq!(qkv.bits, 4);
+        assert_eq!(qkv.sparsity, 0.5);
+        let scores = &ws[1];
+        assert_eq!(scores.bits, 16);
+        assert_eq!(scores.sparsity, 0.0);
+    }
+
+    #[test]
+    fn workload_shapes_match_transformer_math() {
+        let ws = transformer_layer_workloads(0, 128, 512, 64, 1, 4, 16, 0.0);
+        let qkv = &ws[0];
+        assert_eq!((qkv.m, qkv.n, qkv.k), (64, 384, 128));
+        let fc1 = &ws[4];
+        assert_eq!((fc1.m, fc1.n, fc1.k), (64, 512, 128));
+        let scores = &ws[1];
+        assert_eq!((scores.m, scores.n, scores.k), (4 * 64, 64, 32));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the hardware cost model and schedule search.
+
+use edge_llm_hw::{
+    estimate_cost, search_schedule, DeviceModel, GemmWorkload, LoopOrder, Schedule,
+    ScheduleSpace, SearchStrategy,
+};
+use proptest::prelude::*;
+
+fn gemm_strategy() -> impl Strategy<Value = GemmWorkload> {
+    (1usize..256, 1usize..256, 1usize..256, prop_oneof![Just(2u32), Just(4), Just(8), Just(16)], 0.0f32..0.9)
+        .prop_map(|(m, n, k, bits, sparsity)| {
+            GemmWorkload::new("prop", m, n, k).with_bits(bits).with_sparsity(sparsity)
+        })
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    (
+        prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
+        prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
+        prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
+        0usize..6,
+        any::<bool>(),
+    )
+        .prop_map(|(tm, tn, tk, lo, db)| Schedule {
+            tile_m: tm,
+            tile_n: tn,
+            tile_k: tk,
+            loop_order: LoopOrder::ALL[lo],
+            double_buffer: db,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_estimates_are_sane(gemm in gemm_strategy(), schedule in schedule_strategy()) {
+        let device = DeviceModel::jetson_class();
+        if let Ok(cost) = estimate_cost(&gemm, &schedule, &device) {
+            prop_assert!(cost.cycles > 0.0);
+            prop_assert!(cost.latency_us > 0.0);
+            prop_assert!(cost.energy_uj > 0.0);
+            prop_assert!(cost.utilization > 0.0 && cost.utilization <= 1.0);
+            prop_assert!(cost.dram_bytes > 0.0);
+            prop_assert!(cost.sram_bytes <= device.sram_bytes);
+        }
+    }
+
+    #[test]
+    fn narrower_bits_never_slow_down(m in 4usize..64, n in 4usize..64, k in 4usize..64) {
+        let device = DeviceModel::jetson_class();
+        let schedule = Schedule { tile_m: 16, tile_n: 16, tile_k: 16, loop_order: LoopOrder::Mnk, double_buffer: false };
+        let mut prev = f64::INFINITY;
+        for bits in [16u32, 8, 4, 2] {
+            let g = GemmWorkload::new("w", m, n, k).with_bits(bits);
+            let cost = estimate_cost(&g, &schedule, &device).unwrap();
+            prop_assert!(cost.cycles <= prev + 1e-6, "{} bits slower", bits);
+            prev = cost.cycles;
+        }
+    }
+
+    #[test]
+    fn sparsity_never_slows_down(m in 4usize..64, n in 4usize..64, k in 4usize..64) {
+        let device = DeviceModel::jetson_class();
+        let schedule = Schedule { tile_m: 16, tile_n: 16, tile_k: 16, loop_order: LoopOrder::Mnk, double_buffer: false };
+        let mut prev = f64::INFINITY;
+        for sparsity in [0.0f32, 0.25, 0.5, 0.75] {
+            let g = GemmWorkload::new("w", m, n, k).with_sparsity(sparsity);
+            let cost = estimate_cost(&g, &schedule, &device).unwrap();
+            prop_assert!(cost.cycles <= prev + 1e-6);
+            prev = cost.cycles;
+        }
+    }
+
+    #[test]
+    fn double_buffering_never_slows_down(gemm in gemm_strategy(), schedule in schedule_strategy()) {
+        let device = DeviceModel::tx2_class();
+        let nodb = Schedule { double_buffer: false, ..schedule };
+        let db = Schedule { double_buffer: true, ..schedule };
+        if let (Ok(a), Ok(b)) = (estimate_cost(&gemm, &nodb, &device), estimate_cost(&gemm, &db, &device)) {
+            prop_assert!(b.cycles <= a.cycles + 1e-6);
+        }
+    }
+
+    #[test]
+    fn searched_schedule_is_at_least_as_good_as_any_space_point(gemm in gemm_strategy(), probe in schedule_strategy()) {
+        let device = DeviceModel::jetson_class();
+        let space = ScheduleSpace {
+            tile_options: vec![8, 16, 32, 64],
+            loop_orders: LoopOrder::ALL.to_vec(),
+            allow_double_buffer: true,
+        };
+        let best = search_schedule(&gemm, &device, &space, SearchStrategy::Exhaustive).unwrap();
+        if let Ok(probe_cost) = estimate_cost(&gemm, &probe, &device) {
+            prop_assert!(
+                best.cost.cycles <= probe_cost.cycles + 1e-6,
+                "probe {} beat search {}", probe_cost.cycles, best.cost.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn annealing_stays_within_space_and_feasible(gemm in gemm_strategy(), seed in any::<u64>()) {
+        let device = DeviceModel::jetson_class();
+        let space = ScheduleSpace::default();
+        let out = search_schedule(&gemm, &device, &space, SearchStrategy::Annealing { iters: 100, seed }).unwrap();
+        prop_assert!(space.iter().any(|s| s == out.schedule));
+        prop_assert!(out.cost.sram_bytes <= device.sram_bytes);
+    }
+}

@@ -1,0 +1,393 @@
+use crate::error::ModelError;
+use crate::linear::{Linear, LinearCache};
+use edge_llm_tensor::{matmul_a_bt, matmul_at_b, softmax_backward, softmax_rows, Tensor, TensorRng};
+
+/// Causal multi-head self-attention.
+///
+/// Input and output are `(batch * seq) x d_model` row-major token matrices.
+/// The QKV projection is a single fused [`Linear`] (`d_model -> 3 d_model`)
+/// followed by per-head scaled dot-product attention with a causal mask and
+/// an output projection.
+#[derive(Debug, Clone)]
+pub struct Attention {
+    qkv: Linear,
+    proj: Linear,
+    n_heads: usize,
+    d_model: usize,
+}
+
+/// Per-step activations cached by [`Attention::forward`].
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    qkv_cache: LinearCache,
+    proj_cache: LinearCache,
+    /// Post-softmax attention matrices, one per `(batch, head)`.
+    att: Vec<Tensor>,
+    /// Per-(batch, head) value matrices `(seq, head_dim)`.
+    v: Vec<Tensor>,
+    /// Per-(batch, head) query/key matrices, needed for score gradients.
+    q: Vec<Tensor>,
+    k: Vec<Tensor>,
+    batch: usize,
+    seq: usize,
+}
+
+impl AttentionCache {
+    /// Approximate bytes held alive by this cache.
+    pub fn bytes(&self) -> usize {
+        let per_tensor: usize = self
+            .att
+            .iter()
+            .chain(self.v.iter())
+            .chain(self.q.iter())
+            .chain(self.k.iter())
+            .map(|t| t.len() * 4)
+            .sum();
+        per_tensor + self.qkv_cache.bytes() + self.proj_cache.bytes()
+    }
+}
+
+impl Attention {
+    /// Creates an attention module for `d_model` with `n_heads` heads.
+    pub fn new(d_model: usize, n_heads: usize, rng: &mut TensorRng) -> Self {
+        Attention {
+            qkv: Linear::new(d_model, 3 * d_model, rng),
+            proj: Linear::new(d_model, d_model, rng),
+            n_heads,
+            d_model,
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.qkv.num_params() + self.proj.num_params()
+    }
+
+    /// The fused QKV projection (exposed for compression policies).
+    pub fn qkv_mut(&mut self) -> &mut Linear {
+        &mut self.qkv
+    }
+
+    /// The output projection (exposed for compression policies).
+    pub fn proj_mut(&mut self) -> &mut Linear {
+        &mut self.proj
+    }
+
+    /// Read access to the projections, in `(qkv, proj)` order.
+    pub fn linears(&self) -> (&Linear, &Linear) {
+        (&self.qkv, &self.proj)
+    }
+
+    /// Number of attention heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Forward pass over `batch` sequences of length `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadBatch`] if `x.rows() != batch * seq`, and
+    /// propagates kernel shape errors.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+    ) -> Result<(Tensor, AttentionCache), ModelError> {
+        self.forward_impl(x, batch, seq, true)
+            .map(|(y, c)| (y, c.expect("cache requested")))
+    }
+
+    /// Forward pass that does not retain activations.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Attention::forward`].
+    pub fn forward_no_cache(&self, x: &Tensor, batch: usize, seq: usize) -> Result<Tensor, ModelError> {
+        Ok(self.forward_impl(x, batch, seq, false)?.0)
+    }
+
+    fn forward_impl(
+        &self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        want_cache: bool,
+    ) -> Result<(Tensor, Option<AttentionCache>), ModelError> {
+        if x.rows() != batch * seq || x.cols() != self.d_model {
+            return Err(ModelError::BadBatch { expected: batch * seq, actual: x.rows() });
+        }
+        let hs = self.d_model / self.n_heads;
+        let scale = 1.0 / (hs as f32).sqrt();
+        let (qkv_out, qkv_cache) = self.qkv.forward(x)?;
+        let mut concat = Tensor::zeros(batch * seq, self.d_model);
+        let mut att_all = Vec::new();
+        let mut v_all = Vec::new();
+        let mut q_all = Vec::new();
+        let mut k_all = Vec::new();
+        for b in 0..batch {
+            for h in 0..self.n_heads {
+                let (q, k, v) = split_head(&qkv_out, b, seq, h, hs, self.d_model);
+                let mut scores = matmul_a_bt(&q, &k)?;
+                scores.scale_in_place(scale);
+                apply_causal_mask(&mut scores);
+                let att = softmax_rows(&scores);
+                let y = att.matmul(&v)?;
+                write_head(&mut concat, &y, b, seq, h, hs);
+                if want_cache {
+                    att_all.push(att);
+                    v_all.push(v);
+                    q_all.push(q);
+                    k_all.push(k);
+                }
+            }
+        }
+        let (out, proj_cache) = self.proj.forward(&concat)?;
+        let cache = want_cache.then(|| AttentionCache {
+            qkv_cache,
+            proj_cache,
+            att: att_all,
+            v: v_all,
+            q: q_all,
+            k: k_all,
+            batch,
+            seq,
+        });
+        Ok((out, cache))
+    }
+
+    /// Backward pass: accumulates projection gradients, returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn backward(&mut self, cache: &AttentionCache, dout: &Tensor) -> Result<Tensor, ModelError> {
+        let hs = self.d_model / self.n_heads;
+        let scale = 1.0 / (hs as f32).sqrt();
+        let (batch, seq) = (cache.batch, cache.seq);
+        let dconcat = self.proj.backward(&cache.proj_cache, dout)?;
+        let mut dqkv = Tensor::zeros(batch * seq, 3 * self.d_model);
+        for b in 0..batch {
+            for h in 0..self.n_heads {
+                let idx = b * self.n_heads + h;
+                let att = &cache.att[idx];
+                let v = &cache.v[idx];
+                let q = &cache.q[idx];
+                let k = &cache.k[idx];
+                let dy = read_head(&dconcat, b, seq, h, hs);
+                // y = att · v
+                let datt = matmul_a_bt(&dy, v)?;
+                let dv = matmul_at_b(att, &dy)?;
+                // att = softmax(scores); masked entries have att == 0 so
+                // their score gradient is identically zero.
+                let mut ds = softmax_backward(att, &datt)?;
+                ds.scale_in_place(scale);
+                // scores = q · kᵀ (pre-scale)
+                let dq = ds.matmul(k)?;
+                let dk = matmul_at_b(&ds, q)?;
+                scatter_head(&mut dqkv, &dq, b, seq, h, hs, 0, self.d_model);
+                scatter_head(&mut dqkv, &dk, b, seq, h, hs, self.d_model, self.d_model);
+                scatter_head(&mut dqkv, &dv, b, seq, h, hs, 2 * self.d_model, self.d_model);
+            }
+        }
+        let dx = self.qkv.backward(&cache.qkv_cache, &dqkv)?;
+        Ok(dx)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.qkv.zero_grad();
+        self.proj.zero_grad();
+    }
+
+    /// Visits `(param, grad)` pairs: qkv weight/bias then proj weight/bias.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.qkv.visit_params(f);
+        self.proj.visit_params(f);
+    }
+
+    /// Re-applies pruning masks after an optimizer step.
+    pub fn enforce_masks(&mut self) {
+        self.qkv.enforce_mask();
+        self.proj.enforce_mask();
+    }
+}
+
+fn split_head(
+    qkv: &Tensor,
+    b: usize,
+    seq: usize,
+    h: usize,
+    hs: usize,
+    d_model: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let mut q = Tensor::zeros(seq, hs);
+    let mut k = Tensor::zeros(seq, hs);
+    let mut v = Tensor::zeros(seq, hs);
+    for t in 0..seq {
+        let row = qkv.row(b * seq + t);
+        q.row_mut(t).copy_from_slice(&row[h * hs..(h + 1) * hs]);
+        k.row_mut(t).copy_from_slice(&row[d_model + h * hs..d_model + (h + 1) * hs]);
+        v.row_mut(t).copy_from_slice(&row[2 * d_model + h * hs..2 * d_model + (h + 1) * hs]);
+    }
+    (q, k, v)
+}
+
+fn write_head(concat: &mut Tensor, y: &Tensor, b: usize, seq: usize, h: usize, hs: usize) {
+    for t in 0..seq {
+        concat.row_mut(b * seq + t)[h * hs..(h + 1) * hs].copy_from_slice(y.row(t));
+    }
+}
+
+fn read_head(x: &Tensor, b: usize, seq: usize, h: usize, hs: usize) -> Tensor {
+    let mut out = Tensor::zeros(seq, hs);
+    for t in 0..seq {
+        out.row_mut(t).copy_from_slice(&x.row(b * seq + t)[h * hs..(h + 1) * hs]);
+    }
+    out
+}
+
+fn scatter_head(
+    dst: &mut Tensor,
+    src: &Tensor,
+    b: usize,
+    seq: usize,
+    h: usize,
+    hs: usize,
+    offset: usize,
+    _d_model: usize,
+) {
+    for t in 0..seq {
+        dst.row_mut(b * seq + t)[offset + h * hs..offset + (h + 1) * hs].copy_from_slice(src.row(t));
+    }
+}
+
+fn apply_causal_mask(scores: &mut Tensor) {
+    let (rows, cols) = scores.shape();
+    for i in 0..rows {
+        let row = scores.row_mut(i);
+        for j in 0..cols {
+            if j > i {
+                row[j] = -1e30;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = TensorRng::seed_from(1);
+        let attn = Attention::new(16, 4, &mut rng);
+        let x = Tensor::randn(2 * 6, 16, 1.0, &mut rng);
+        let (y, _) = attn.forward(&x, 2, 6).unwrap();
+        assert_eq!(y.shape(), (12, 16));
+    }
+
+    #[test]
+    fn causality_future_tokens_do_not_affect_past() {
+        let mut rng = TensorRng::seed_from(2);
+        let attn = Attention::new(8, 2, &mut rng);
+        let seq = 5;
+        let x1 = Tensor::randn(seq, 8, 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        // perturb the last token only
+        for c in 0..8 {
+            let v = x2.get(seq - 1, c);
+            x2.set(seq - 1, c, v + 3.0);
+        }
+        let y1 = attn.forward_no_cache(&x1, 1, seq).unwrap();
+        let y2 = attn.forward_no_cache(&x2, 1, seq).unwrap();
+        for t in 0..seq - 1 {
+            for c in 0..8 {
+                assert!((y1.get(t, c) - y2.get(t, c)).abs() < 1e-5, "token {t} changed");
+            }
+        }
+        // but the perturbed position itself must change
+        let last_diff: f32 = (0..8).map(|c| (y1.get(seq - 1, c) - y2.get(seq - 1, c)).abs()).sum();
+        assert!(last_diff > 1e-3);
+    }
+
+    #[test]
+    fn batch_sequences_are_independent() {
+        let mut rng = TensorRng::seed_from(3);
+        let attn = Attention::new(8, 2, &mut rng);
+        let seq = 4;
+        let a = Tensor::randn(seq, 8, 1.0, &mut rng);
+        let b = Tensor::randn(seq, 8, 1.0, &mut rng);
+        // batched forward
+        let mut xb = Tensor::zeros(2 * seq, 8);
+        for t in 0..seq {
+            xb.row_mut(t).copy_from_slice(a.row(t));
+            xb.row_mut(seq + t).copy_from_slice(b.row(t));
+        }
+        let yb = attn.forward_no_cache(&xb, 2, seq).unwrap();
+        let ya = attn.forward_no_cache(&a, 1, seq).unwrap();
+        for t in 0..seq {
+            for c in 0..8 {
+                assert!((yb.get(t, c) - ya.get(t, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_numeric_gradient() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut attn = Attention::new(4, 2, &mut rng);
+        let seq = 3;
+        let x = Tensor::randn(seq, 4, 0.7, &mut rng);
+        let dy = Tensor::randn(seq, 4, 1.0, &mut rng);
+        let (_, cache) = attn.forward(&x, 1, seq).unwrap();
+        let dx = attn.backward(&cache, &dy).unwrap();
+        // numeric dL/dx where L = sum(y * dy)
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let orig = xp.as_slice()[i];
+            xp.as_mut_slice()[i] = orig + eps;
+            let lp: f32 = attn
+                .forward_no_cache(&xp, 1, seq)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            xp.as_mut_slice()[i] = orig - eps;
+            let lm: f32 = attn
+                .forward_no_cache(&xp, 1, seq)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
+            xp.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = dx.as_slice()[i];
+            assert!((num - ana).abs() < 3e-2, "element {i}: numeric {num} vs analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn bad_batch_shape_errors() {
+        let mut rng = TensorRng::seed_from(5);
+        let attn = Attention::new(8, 2, &mut rng);
+        let x = Tensor::zeros(7, 8);
+        assert!(matches!(attn.forward(&x, 2, 4), Err(ModelError::BadBatch { .. })));
+    }
+
+    #[test]
+    fn no_cache_forward_matches_cached() {
+        let mut rng = TensorRng::seed_from(6);
+        let attn = Attention::new(8, 4, &mut rng);
+        let x = Tensor::randn(6, 8, 1.0, &mut rng);
+        let (y1, _) = attn.forward(&x, 1, 6).unwrap();
+        let y2 = attn.forward_no_cache(&x, 1, 6).unwrap();
+        assert!(y1.approx_eq(&y2, 0.0));
+    }
+}

@@ -1,0 +1,215 @@
+use crate::attention::{Attention, AttentionCache};
+use crate::error::ModelError;
+use crate::mlp::{Mlp, MlpCache};
+use crate::norm::LayerNorm;
+use edge_llm_tensor::{LayerNormCache, Tensor, TensorRng};
+
+/// A pre-norm transformer block:
+/// `x + attn(ln1(x))` followed by `x + mlp(ln2(x))`.
+#[derive(Debug, Clone)]
+pub struct Block {
+    ln1: LayerNorm,
+    attn: Attention,
+    ln2: LayerNorm,
+    mlp: Mlp,
+}
+
+/// Activations cached by [`Block::forward`]. Dropping a block's cache is
+/// exactly the memory saving adaptive layer tuning exploits for frozen
+/// layers.
+#[derive(Debug, Clone)]
+pub struct BlockCache {
+    ln1_cache: LayerNormCache,
+    attn_cache: AttentionCache,
+    ln2_cache: LayerNormCache,
+    mlp_cache: MlpCache,
+}
+
+impl BlockCache {
+    /// Approximate bytes held alive by this cache.
+    pub fn bytes(&self) -> usize {
+        let ln = (self.ln1_cache.xhat.len() + self.ln2_cache.xhat.len()) * 4
+            + (self.ln1_cache.rstd.len() + self.ln2_cache.rstd.len()) * 4;
+        ln + self.attn_cache.bytes() + self.mlp_cache.bytes()
+    }
+}
+
+impl Block {
+    /// Creates a block for the given width, head count, and MLP width.
+    pub fn new(d_model: usize, n_heads: usize, d_ff: usize, rng: &mut TensorRng) -> Self {
+        Block {
+            ln1: LayerNorm::new(d_model),
+            attn: Attention::new(d_model, n_heads, rng),
+            ln2: LayerNorm::new(d_model),
+            mlp: Mlp::new(d_model, d_ff, rng),
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.ln1.num_params() + self.attn.num_params() + self.ln2.num_params() + self.mlp.num_params()
+    }
+
+    /// The attention module (exposed for compression policies).
+    pub fn attn_mut(&mut self) -> &mut Attention {
+        &mut self.attn
+    }
+
+    /// The MLP module (exposed for compression policies).
+    pub fn mlp_mut(&mut self) -> &mut Mlp {
+        &mut self.mlp
+    }
+
+    /// Read access to the attention module.
+    pub fn attn(&self) -> &Attention {
+        &self.attn
+    }
+
+    /// Read access to the first LayerNorm (pre-attention).
+    pub fn ln1(&self) -> &LayerNorm {
+        &self.ln1
+    }
+
+    /// Read access to the second LayerNorm (pre-MLP).
+    pub fn ln2(&self) -> &LayerNorm {
+        &self.ln2
+    }
+
+    /// Read access to the MLP module.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Forward pass, caching activations for backward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn forward(
+        &self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+    ) -> Result<(Tensor, BlockCache), ModelError> {
+        let (n1, ln1_cache) = self.ln1.forward(x)?;
+        let (a, attn_cache) = self.attn.forward(&n1, batch, seq)?;
+        let x1 = x.add(&a)?;
+        let (n2, ln2_cache) = self.ln2.forward(&x1)?;
+        let (m, mlp_cache) = self.mlp.forward(&n2)?;
+        let y = x1.add(&m)?;
+        Ok((y, BlockCache { ln1_cache, attn_cache, ln2_cache, mlp_cache }))
+    }
+
+    /// Forward pass without retaining activations (frozen layers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn forward_no_cache(&self, x: &Tensor, batch: usize, seq: usize) -> Result<Tensor, ModelError> {
+        let n1 = self.ln1.forward_no_cache(x)?;
+        let a = self.attn.forward_no_cache(&n1, batch, seq)?;
+        let x1 = x.add(&a)?;
+        let n2 = self.ln2.forward_no_cache(&x1)?;
+        let m = self.mlp.forward_no_cache(&n2)?;
+        Ok(x1.add(&m)?)
+    }
+
+    /// Backward pass: accumulates gradients in every submodule, returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn backward(&mut self, cache: &BlockCache, dy: &Tensor) -> Result<Tensor, ModelError> {
+        // y = x1 + mlp(ln2(x1))
+        let dm = dy; // gradient into mlp output
+        let dn2 = self.mlp.backward(&cache.mlp_cache, dm)?;
+        let mut dx1 = self.ln2.backward(&cache.ln2_cache, &dn2)?;
+        dx1.axpy(1.0, dy)?; // residual path
+        // x1 = x + attn(ln1(x))
+        let dn1 = self.attn.backward(&cache.attn_cache, &dx1)?;
+        let mut dx = self.ln1.backward(&cache.ln1_cache, &dn1)?;
+        dx.axpy(1.0, &dx1)?; // residual path
+        Ok(dx)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.ln1.zero_grad();
+        self.attn.zero_grad();
+        self.ln2.zero_grad();
+        self.mlp.zero_grad();
+    }
+
+    /// Visits `(param, grad)` pairs in a stable order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.ln1.visit_params(f);
+        self.attn.visit_params(f);
+        self.ln2.visit_params(f);
+        self.mlp.visit_params(f);
+    }
+
+    /// Re-applies pruning masks after an optimizer step.
+    pub fn enforce_masks(&mut self) {
+        self.attn.enforce_masks();
+        self.mlp.enforce_masks();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes_and_no_cache_equivalence() {
+        let mut rng = TensorRng::seed_from(1);
+        let block = Block::new(8, 2, 16, &mut rng);
+        let x = Tensor::randn(2 * 4, 8, 1.0, &mut rng);
+        let (y, _) = block.forward(&x, 2, 4).unwrap();
+        assert_eq!(y.shape(), (8, 8));
+        assert!(y.approx_eq(&block.forward_no_cache(&x, 2, 4).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn backward_matches_numeric() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut block = Block::new(4, 2, 8, &mut rng);
+        let seq = 3;
+        let x = Tensor::randn(seq, 4, 0.6, &mut rng);
+        let dy = Tensor::randn(seq, 4, 1.0, &mut rng);
+        let (_, cache) = block.forward(&x, 1, seq).unwrap();
+        let dx = block.backward(&cache, &dy).unwrap();
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let orig = xp.as_slice()[i];
+            xp.as_mut_slice()[i] = orig + eps;
+            let lp: f32 = block.forward_no_cache(&xp, 1, seq).unwrap().as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            xp.as_mut_slice()[i] = orig - eps;
+            let lm: f32 = block.forward_no_cache(&xp, 1, seq).unwrap().as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            xp.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dx.as_slice()[i]).abs() < 5e-2, "element {i}: {num} vs {}", dx.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn residual_path_preserves_identity_signal() {
+        // With zeroed attention/MLP output projections, a block is identity.
+        let mut rng = TensorRng::seed_from(3);
+        let mut block = Block::new(8, 2, 16, &mut rng);
+        block.attn_mut().proj_mut().weight_mut().fill(0.0);
+        block.mlp_mut().fc2_mut().weight_mut().fill(0.0);
+        let x = Tensor::randn(4, 8, 1.0, &mut rng);
+        let y = block.forward_no_cache(&x, 1, 4).unwrap();
+        assert!(y.approx_eq(&x, 1e-5));
+    }
+
+    #[test]
+    fn cache_bytes_positive() {
+        let mut rng = TensorRng::seed_from(4);
+        let block = Block::new(8, 2, 16, &mut rng);
+        let x = Tensor::randn(4, 8, 1.0, &mut rng);
+        let (_, cache) = block.forward(&x, 1, 4).unwrap();
+        assert!(cache.bytes() > 0);
+    }
+}

@@ -1,0 +1,91 @@
+use edge_llm_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for model construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The configuration was internally inconsistent.
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A token batch did not match `batch * seq_len`.
+    BadBatch {
+        /// Expected token count.
+        expected: usize,
+        /// Provided token count.
+        actual: usize,
+    },
+    /// A layer index exceeded the model depth.
+    LayerOutOfRange {
+        /// Requested layer.
+        layer: usize,
+        /// Model depth.
+        depth: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A compression operation failed.
+    Compression {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadConfig { reason } => write!(f, "invalid model config: {reason}"),
+            ModelError::BadBatch { expected, actual } => {
+                write!(f, "token batch length {actual} does not equal batch*seq_len {expected}")
+            }
+            ModelError::LayerOutOfRange { layer, depth } => {
+                write!(f, "layer {layer} out of range for depth {depth}")
+            }
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::Compression { reason } => write!(f, "compression error: {reason}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for ModelError {
+    fn from(e: TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<edge_llm_quant::QuantError> for ModelError {
+    fn from(e: edge_llm_quant::QuantError) -> Self {
+        ModelError::Compression { reason: e.to_string() }
+    }
+}
+
+impl From<edge_llm_prune::PruneError> for ModelError {
+    fn from(e: edge_llm_prune::PruneError) -> Self {
+        ModelError::Compression { reason: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::from(TensorError::ZeroDimension { op: "x" });
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        let e = ModelError::BadConfig { reason: "d_model not divisible".into() };
+        assert!(e.to_string().contains("invalid model config"));
+    }
+}

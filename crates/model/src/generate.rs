@@ -1,0 +1,228 @@
+//! Autoregressive generation with optional exit voting.
+//!
+//! On-device adaptation exists to serve on-device *inference*; this module
+//! closes the loop by sampling continuations from an adapted model, either
+//! from the final exit or through a [`VotingPolicy`] — the deployment mode
+//! of an Edge-LLM model.
+
+use crate::error::ModelError;
+use crate::model::EdgeModel;
+use crate::voting::VotingPolicy;
+use edge_llm_tensor::{softmax_rows, Tensor, TensorRng};
+
+/// Decoding strategy for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decoding {
+    /// Always pick the most probable token.
+    Greedy,
+    /// Sample from the full distribution at the given temperature.
+    Sample {
+        /// Softmax temperature (> 0).
+        temperature: f32,
+    },
+    /// Sample from the `k` most probable tokens at the given temperature.
+    TopK {
+        /// Candidate pool size (>= 1).
+        k: usize,
+        /// Softmax temperature (> 0).
+        temperature: f32,
+    },
+}
+
+/// Generates `n_new` tokens after `prompt`, feeding the model a fixed-size
+/// window of the most recent `seq_len` tokens each step.
+///
+/// The model's per-position predictions come from `voting` (use
+/// [`VotingPolicy::final_only`] for vanilla decoding).
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadBatch`] for an empty prompt or a prompt token
+/// outside the vocabulary, and propagates model errors.
+pub fn generate(
+    model: &EdgeModel,
+    voting: &VotingPolicy,
+    prompt: &[usize],
+    n_new: usize,
+    decoding: Decoding,
+    rng: &mut TensorRng,
+) -> Result<Vec<usize>, ModelError> {
+    let seq_len = model.config().seq_len;
+    let vocab = model.config().vocab_size;
+    if prompt.is_empty() {
+        return Err(ModelError::BadBatch { expected: 1, actual: 0 });
+    }
+    if let Some(&bad) = prompt.iter().find(|&&t| t >= vocab) {
+        return Err(ModelError::BadConfig {
+            reason: format!("prompt token {bad} outside vocabulary {vocab}"),
+        });
+    }
+    validate_decoding(decoding)?;
+    let mut tokens: Vec<usize> = prompt.to_vec();
+    for _ in 0..n_new {
+        // window of the last seq_len tokens, left-padded by repetition of
+        // the first token when the context is still short
+        let mut window = vec![tokens[0]; seq_len];
+        let take = tokens.len().min(seq_len);
+        window[seq_len - take..].copy_from_slice(&tokens[tokens.len() - take..]);
+        let probs = voting.predict(model, &window, 1)?;
+        let last = probs.row(seq_len - 1);
+        let next = pick(last, decoding, rng);
+        tokens.push(next);
+    }
+    Ok(tokens)
+}
+
+fn validate_decoding(decoding: Decoding) -> Result<(), ModelError> {
+    let bad = |reason: &str| Err(ModelError::BadConfig { reason: reason.to_string() });
+    match decoding {
+        Decoding::Greedy => Ok(()),
+        Decoding::Sample { temperature } if temperature <= 0.0 => bad("temperature must be positive"),
+        Decoding::TopK { k, temperature } if k == 0 || temperature <= 0.0 => {
+            bad("top-k needs k >= 1 and positive temperature")
+        }
+        _ => Ok(()),
+    }
+}
+
+fn pick(probs: &[f32], decoding: Decoding, rng: &mut TensorRng) -> usize {
+    match decoding {
+        Decoding::Greedy => argmax(probs),
+        Decoding::Sample { temperature } => {
+            let reweighted = temper(probs, temperature);
+            sample_from(&reweighted, rng)
+        }
+        Decoding::TopK { k, temperature } => {
+            let mut order: Vec<usize> = (0..probs.len()).collect();
+            order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+            let keep = &order[..k.min(order.len())];
+            // temper over the kept candidates only; pruned tokens must stay
+            // at exactly zero probability
+            let kept_probs: Vec<f32> = keep.iter().map(|&i| probs[i]).collect();
+            let reweighted = temper(&kept_probs, temperature);
+            keep[sample_from(&reweighted, rng)]
+        }
+    }
+}
+
+fn temper(probs: &[f32], temperature: f32) -> Vec<f32> {
+    // re-softmax of log p / T, numerically via Tensor helper
+    let logits: Vec<f32> = probs.iter().map(|&p| (p.max(1e-12)).ln() / temperature).collect();
+    let t = Tensor::from_vec(1, logits.len(), logits).expect("shape by construction");
+    softmax_rows(&t).into_vec()
+}
+
+fn sample_from(probs: &[f32], rng: &mut TensorRng) -> usize {
+    let total: f32 = probs.iter().sum();
+    if total <= 0.0 {
+        return 0;
+    }
+    let mut u = rng.uniform(0.0, total);
+    for (i, &p) in probs.iter().enumerate() {
+        if u < p {
+            return i;
+        }
+        u -= p;
+    }
+    probs.len() - 1
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::voting::VotingCombiner;
+
+    fn model() -> EdgeModel {
+        let mut rng = TensorRng::seed_from(1);
+        EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn generates_requested_length() {
+        let m = model();
+        let mut rng = TensorRng::seed_from(2);
+        let policy = VotingPolicy::final_only(m.n_layers());
+        let out = generate(&m, &policy, &[1, 2, 3], 5, Decoding::Greedy, &mut rng).unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(&out[..3], &[1, 2, 3]);
+        assert!(out.iter().all(|&t| t < m.config().vocab_size));
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let m = model();
+        let policy = VotingPolicy::final_only(m.n_layers());
+        let mut r1 = TensorRng::seed_from(3);
+        let mut r2 = TensorRng::seed_from(99);
+        let a = generate(&m, &policy, &[5], 6, Decoding::Greedy, &mut r1).unwrap();
+        let b = generate(&m, &policy, &[5], 6, Decoding::Greedy, &mut r2).unwrap();
+        assert_eq!(a, b, "greedy decoding must not depend on the rng");
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let m = model();
+        let policy = VotingPolicy::final_only(m.n_layers());
+        let mut r1 = TensorRng::seed_from(4);
+        let mut r2 = TensorRng::seed_from(4);
+        let d = Decoding::Sample { temperature: 1.0 };
+        let a = generate(&m, &policy, &[5], 6, d, &mut r1).unwrap();
+        let b = generate(&m, &policy, &[5], 6, d, &mut r2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_k_restricts_candidates() {
+        let m = model();
+        let policy = VotingPolicy::final_only(m.n_layers());
+        let mut rng = TensorRng::seed_from(5);
+        // k = 1 at any temperature must agree with greedy
+        let topk =
+            generate(&m, &policy, &[7, 8], 4, Decoding::TopK { k: 1, temperature: 5.0 }, &mut rng)
+                .unwrap();
+        let mut rng2 = TensorRng::seed_from(6);
+        let greedy = generate(&m, &policy, &[7, 8], 4, Decoding::Greedy, &mut rng2).unwrap();
+        assert_eq!(topk, greedy);
+    }
+
+    #[test]
+    fn voting_generation_runs() {
+        let m = model();
+        let mut rng = TensorRng::seed_from(7);
+        let policy = VotingPolicy::all_exits(m.n_layers(), VotingCombiner::Average);
+        let out = generate(&m, &policy, &[1], 4, Decoding::Greedy, &mut rng).unwrap();
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let m = model();
+        let mut rng = TensorRng::seed_from(8);
+        let policy = VotingPolicy::final_only(m.n_layers());
+        assert!(generate(&m, &policy, &[], 3, Decoding::Greedy, &mut rng).is_err());
+        assert!(generate(&m, &policy, &[9999], 3, Decoding::Greedy, &mut rng).is_err());
+        assert!(generate(&m, &policy, &[1], 3, Decoding::Sample { temperature: 0.0 }, &mut rng)
+            .is_err());
+        assert!(generate(&m, &policy, &[1], 3, Decoding::TopK { k: 0, temperature: 1.0 }, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn long_prompts_use_recent_window() {
+        let m = model();
+        let mut rng = TensorRng::seed_from(9);
+        let policy = VotingPolicy::final_only(m.n_layers());
+        let prompt: Vec<usize> = (0..20).map(|i| i % 16).collect();
+        let out = generate(&m, &policy, &prompt, 2, Decoding::Greedy, &mut rng).unwrap();
+        assert_eq!(out.len(), 22);
+    }
+}

@@ -1,0 +1,260 @@
+//! KV-cached incremental decoding.
+//!
+//! [`crate::generate`] re-runs the full forward pass per emitted token —
+//! simple but O(seq²·layers) per token. An [`InferenceSession`] keeps each
+//! layer's key/value projections cached so appending one token costs one
+//! token's worth of compute, which is how an adapted Edge-LLM model would
+//! actually serve on a device. The session produces exactly the same
+//! logits as the batched forward pass (verified by the equivalence tests).
+
+use crate::error::ModelError;
+use crate::model::EdgeModel;
+use edge_llm_tensor::{softmax_rows, Tensor};
+
+/// Incremental decoding state over a borrowed model.
+///
+/// # Example
+///
+/// ```
+/// use edge_llm_model::{EdgeModel, InferenceSession, ModelConfig};
+/// use edge_llm_tensor::TensorRng;
+///
+/// # fn main() -> Result<(), edge_llm_model::ModelError> {
+/// let mut rng = TensorRng::seed_from(0);
+/// let model = EdgeModel::new(ModelConfig::tiny(), &mut rng)?;
+/// let mut session = InferenceSession::new(&model);
+/// let logits = session.push_token(3)?;
+/// assert_eq!(logits.shape(), (1, model.config().vocab_size));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferenceSession<'a> {
+    model: &'a EdgeModel,
+    /// Per layer: cached keys and values, `(t, d_model)` filled up to `t`.
+    keys: Vec<Tensor>,
+    values: Vec<Tensor>,
+    t: usize,
+}
+
+impl<'a> InferenceSession<'a> {
+    /// Starts an empty session (capacity = the model's `seq_len`).
+    pub fn new(model: &'a EdgeModel) -> Self {
+        let cfg = model.config();
+        let keys = (0..model.n_layers()).map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model)).collect();
+        let values =
+            (0..model.n_layers()).map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model)).collect();
+        InferenceSession { model, keys, values, t: 0 }
+    }
+
+    /// Tokens consumed so far.
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// Whether no token has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+
+    /// Remaining capacity before the positional table is exhausted.
+    pub fn remaining(&self) -> usize {
+        self.model.config().seq_len - self.t
+    }
+
+    /// Bytes held by the key/value caches.
+    pub fn cache_bytes(&self) -> usize {
+        self.keys.iter().chain(self.values.iter()).map(|t| t.len() * 4).sum()
+    }
+
+    /// Resets the session to empty without reallocating.
+    pub fn reset(&mut self) {
+        self.t = 0;
+    }
+
+    /// Feeds one token and returns the next-token logits `(1, vocab)` from
+    /// the final exit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::LayerOutOfRange`] when capacity (`seq_len`) is
+    /// exhausted and [`ModelError::BadConfig`] for an out-of-vocabulary
+    /// token.
+    pub fn push_token(&mut self, token: usize) -> Result<Tensor, ModelError> {
+        let h = self.advance(token)?;
+        self.model.exit_logits_no_cache(&h, self.model.n_layers() - 1)
+    }
+
+    /// Feeds one token and returns per-exit logits for the given exits
+    /// (for voting during incremental decoding).
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceSession::push_token`], plus
+    /// [`ModelError::LayerOutOfRange`] for a bad exit index.
+    pub fn push_token_exits(
+        &mut self,
+        token: usize,
+        exits: &[usize],
+    ) -> Result<Vec<Tensor>, ModelError> {
+        if let Some(&bad) = exits.iter().find(|&&e| e >= self.model.n_layers()) {
+            return Err(ModelError::LayerOutOfRange { layer: bad, depth: self.model.n_layers() });
+        }
+        let mut per_exit = vec![None; exits.len()];
+        let mut x = self.model.embed_one(token, self.t)?;
+        for l in 0..self.model.n_layers() {
+            x = self.block_step(l, &x)?;
+            for (slot, &e) in per_exit.iter_mut().zip(exits.iter()) {
+                if e == l {
+                    *slot = Some(self.model.exit_logits_no_cache(&x, l)?);
+                }
+            }
+        }
+        self.t += 1;
+        Ok(per_exit.into_iter().map(|o| o.expect("exit bounds checked")).collect())
+    }
+
+    fn advance(&mut self, token: usize) -> Result<Tensor, ModelError> {
+        let mut x = self.model.embed_one(token, self.t)?;
+        for l in 0..self.model.n_layers() {
+            x = self.block_step(l, &x)?;
+        }
+        self.t += 1;
+        Ok(x)
+    }
+
+    /// One block applied to a single-token row, reading/extending the KV
+    /// cache for layer `l`.
+    fn block_step(&mut self, l: usize, x: &Tensor) -> Result<Tensor, ModelError> {
+        let cfg = self.model.config();
+        let (c, heads) = (cfg.d_model, cfg.n_heads);
+        let hs = c / heads;
+        let scale = 1.0 / (hs as f32).sqrt();
+        let block = self.model.block(l);
+        let n1 = block.ln1().forward_no_cache(x)?;
+        let (qkv_lin, proj) = block.attn().linears();
+        let qkv = qkv_lin.forward_no_cache(&n1)?; // (1, 3c)
+        let row = qkv.row(0);
+        self.keys[l].row_mut(self.t).copy_from_slice(&row[c..2 * c]);
+        self.values[l].row_mut(self.t).copy_from_slice(&row[2 * c..3 * c]);
+        let t_now = self.t + 1;
+        let mut concat = Tensor::zeros(1, c);
+        for h in 0..heads {
+            let q = &qkv.row(0)[h * hs..(h + 1) * hs];
+            // scores over cached keys
+            let mut scores = Tensor::zeros(1, t_now);
+            for p in 0..t_now {
+                let k = &self.keys[l].row(p)[h * hs..(h + 1) * hs];
+                let dot: f32 = q.iter().zip(k.iter()).map(|(a, b)| a * b).sum();
+                scores.set(0, p, dot * scale);
+            }
+            let att = softmax_rows(&scores);
+            let out = &mut concat.row_mut(0)[h * hs..(h + 1) * hs];
+            for p in 0..t_now {
+                let w = att.get(0, p);
+                let v = &self.values[l].row(p)[h * hs..(h + 1) * hs];
+                for (o, &vv) in out.iter_mut().zip(v.iter()) {
+                    *o += w * vv;
+                }
+            }
+        }
+        let a = proj.forward_no_cache(&concat)?;
+        let x1 = x.add(&a)?;
+        let n2 = block.ln2().forward_no_cache(&x1)?;
+        let m = block.mlp().forward_no_cache(&n2)?;
+        Ok(x1.add(&m)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use edge_llm_tensor::TensorRng;
+
+    fn model(seed: u64) -> EdgeModel {
+        let mut rng = TensorRng::seed_from(seed);
+        EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_full_forward_exactly() {
+        let m = model(1);
+        let cfg = m.config().clone();
+        let mut rng = TensorRng::seed_from(2);
+        let tokens: Vec<usize> = (0..cfg.seq_len).map(|_| rng.index(cfg.vocab_size)).collect();
+        let full = m.logits(&tokens, 1).unwrap();
+        let mut session = InferenceSession::new(&m);
+        for (t, &tok) in tokens.iter().enumerate() {
+            let row = session.push_token(tok).unwrap();
+            for v in 0..cfg.vocab_size {
+                let a = full.get(t, v);
+                let b = row.get(0, v);
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "position {t} vocab {v}: batched {a} vs incremental {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_exit_logits_match_batched_exits() {
+        let m = model(3);
+        let cfg = m.config().clone();
+        let tokens: Vec<usize> = (0..cfg.seq_len).map(|i| (i * 3) % cfg.vocab_size).collect();
+        let exits = [0usize, 1];
+        let batched = m.logits_at_exits(&tokens, 1, &exits).unwrap();
+        let mut session = InferenceSession::new(&m);
+        for (t, &tok) in tokens.iter().enumerate() {
+            let rows = session.push_token_exits(tok, &exits).unwrap();
+            for (e, row) in rows.iter().enumerate() {
+                for v in 0..cfg.vocab_size {
+                    assert!(
+                        (batched[e].get(t, v) - row.get(0, v)).abs() < 1e-4,
+                        "exit {e} position {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let m = model(4);
+        let mut session = InferenceSession::new(&m);
+        for _ in 0..m.config().seq_len {
+            session.push_token(1).unwrap();
+        }
+        assert_eq!(session.remaining(), 0);
+        assert!(session.push_token(1).is_err());
+        session.reset();
+        assert!(session.is_empty());
+        assert!(session.push_token(1).is_ok());
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        let m = model(5);
+        let mut session = InferenceSession::new(&m);
+        assert!(session.push_token(9999).is_err());
+        // a failed push must not consume capacity
+        assert_eq!(session.len(), 0);
+    }
+
+    #[test]
+    fn bad_exit_rejected() {
+        let m = model(6);
+        let mut session = InferenceSession::new(&m);
+        assert!(session.push_token_exits(1, &[99]).is_err());
+        assert_eq!(session.len(), 0);
+    }
+
+    #[test]
+    fn cache_bytes_scale_with_model() {
+        let m = model(7);
+        let session = InferenceSession::new(&m);
+        let cfg = m.config();
+        assert_eq!(session.cache_bytes(), 2 * m.n_layers() * cfg.seq_len * cfg.d_model * 4);
+    }
+}

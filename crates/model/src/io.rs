@@ -1,0 +1,189 @@
+//! Checkpoint serialization.
+//!
+//! An adapted model is only useful if it can be stored on the device and
+//! reloaded. The format is a small self-describing binary: a magic tag and
+//! version, the [`ModelConfig`], then every parameter tensor in the
+//! model's canonical visitation order (little-endian `f32`). Compression
+//! state (masks/quant hooks) is runtime configuration and is re-installed
+//! by re-applying the policy after loading.
+
+use crate::config::ModelConfig;
+use crate::error::ModelError;
+use crate::model::EdgeModel;
+use edge_llm_tensor::TensorRng;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"EDGELLM\x01";
+
+fn io_err(e: std::io::Error) -> ModelError {
+    ModelError::BadConfig { reason: format!("checkpoint io error: {e}") }
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), ModelError> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, ModelError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn config_fields(config: &ModelConfig) -> [u64; 7] {
+    [
+        config.vocab_size as u64,
+        config.d_model as u64,
+        config.n_heads as u64,
+        config.n_layers as u64,
+        config.seq_len as u64,
+        config.d_ff as u64,
+        config.tie_exit_heads as u64,
+    ]
+}
+
+/// Serializes `model` to `writer`.
+///
+/// A mutable borrow is required because parameters are reached through the
+/// model's canonical visitor; the model is not modified.
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadConfig`] wrapping any underlying I/O error.
+pub fn save_model<W: Write>(model: &mut EdgeModel, writer: &mut W) -> Result<(), ModelError> {
+    writer.write_all(MAGIC).map_err(io_err)?;
+    for f in config_fields(&model.config().clone()) {
+        write_u64(writer, f)?;
+    }
+    let mut result = Ok(());
+    let mut total = 0u64;
+    model.visit_params_all(&mut |_, p, _| {
+        if result.is_err() {
+            return;
+        }
+        total += p.len() as u64;
+        for v in p.iter() {
+            if let Err(e) = writer.write_all(&v.to_le_bytes()) {
+                result = Err(io_err(e));
+                return;
+            }
+        }
+    });
+    result?;
+    write_u64(writer, total)
+}
+
+/// Deserializes a model previously written by [`save_model`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadConfig`] for a bad magic tag, a corrupt or
+/// truncated stream, or a parameter-count mismatch.
+pub fn load_model<R: Read>(reader: &mut R) -> Result<EdgeModel, ModelError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(ModelError::BadConfig { reason: "not an edge-llm checkpoint".into() });
+    }
+    let mut f = [0u64; 7];
+    for v in f.iter_mut() {
+        *v = read_u64(reader)?;
+    }
+    let config = ModelConfig {
+        vocab_size: f[0] as usize,
+        d_model: f[1] as usize,
+        n_heads: f[2] as usize,
+        n_layers: f[3] as usize,
+        seq_len: f[4] as usize,
+        d_ff: f[5] as usize,
+        tie_exit_heads: f[6] != 0,
+    };
+    let mut rng = TensorRng::seed_from(0);
+    let mut model = EdgeModel::new(config, &mut rng)?;
+    let mut result = Ok(());
+    let mut total = 0u64;
+    model.visit_params_all(&mut |_, p, _| {
+        if result.is_err() {
+            return;
+        }
+        total += p.len() as u64;
+        let mut buf = [0u8; 4];
+        for v in p.iter_mut() {
+            match reader.read_exact(&mut buf) {
+                Ok(()) => *v = f32::from_le_bytes(buf),
+                Err(e) => {
+                    result = Err(io_err(e));
+                    return;
+                }
+            }
+        }
+    });
+    result?;
+    let recorded = read_u64(reader)?;
+    if recorded != total {
+        return Err(ModelError::BadConfig {
+            reason: format!("checkpoint holds {recorded} params, model needs {total}"),
+        });
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    fn model(seed: u64) -> EdgeModel {
+        let mut rng = TensorRng::seed_from(seed);
+        EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let mut m = model(1);
+        let mut bytes = Vec::new();
+        save_model(&mut m, &mut bytes).unwrap();
+        let loaded = load_model(&mut bytes.as_slice()).unwrap();
+        let tokens: Vec<usize> = (0..8).map(|i| i % 32).collect();
+        let a = m.logits(&tokens, 1).unwrap();
+        let b = loaded.logits(&tokens, 1).unwrap();
+        assert!(a.approx_eq(&b, 0.0), "loaded model must be bit-identical");
+        assert_eq!(loaded.config(), m.config());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = b"NOTEDGE\x01restofjunkrestofjunkrestofjunk".to_vec();
+        assert!(load_model(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let mut m = model(2);
+        let mut bytes = Vec::new();
+        save_model(&mut m, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(load_model(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_param_count_rejected() {
+        let mut m = model(3);
+        let mut bytes = Vec::new();
+        save_model(&mut m, &mut bytes).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff; // flip the recorded count
+        assert!(load_model(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn different_models_serialize_differently() {
+        let mut a = model(4);
+        let mut b = model(5);
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        save_model(&mut a, &mut ba).unwrap();
+        save_model(&mut b, &mut bb).unwrap();
+        assert_ne!(ba, bb);
+        assert_eq!(ba.len(), bb.len(), "same config, same checkpoint size");
+    }
+}

@@ -1,0 +1,67 @@
+//! Decoder-only transformer with explicit backward passes, early-exit heads,
+//! adaptive layer tuning, and exit voting — the model substrate of the
+//! Edge-LLM reproduction.
+//!
+//! Unlike tape-based autograd frameworks, every block here exposes separate
+//! `forward` / `backward` entry points and owns its gradient buffers. That
+//! structure is what lets the Edge-LLM **adaptive layer tuning** scheme
+//! truncate backpropagation to a window of layers per iteration (saving
+//! activation memory and backward compute), and what lets the **voting**
+//! combiner blend per-exit logits at inference time.
+//!
+//! # Example
+//!
+//! ```
+//! use edge_llm_model::{EdgeModel, ModelConfig};
+//! use edge_llm_tensor::TensorRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ModelConfig::tiny();
+//! let mut rng = TensorRng::seed_from(0);
+//! let model = EdgeModel::new(config.clone(), &mut rng)?;
+//! let tokens = vec![1usize; config.seq_len];
+//! let logits = model.logits(&tokens, 1)?;
+//! assert_eq!(logits.shape(), (config.seq_len, config.vocab_size));
+//! # Ok(())
+//! # }
+//! ```
+
+mod adaptive;
+mod attention;
+mod beam;
+mod block;
+mod config;
+mod error;
+mod generate;
+mod gradcheck;
+mod infer;
+mod io;
+mod linear;
+mod lora;
+mod lr;
+mod memory;
+mod mlp;
+mod model;
+mod norm;
+mod optim;
+mod voting;
+
+pub use adaptive::{AdaptiveTuner, LayerWindow, TuneStepReport, WindowSchedule};
+pub use attention::{Attention, AttentionCache};
+pub use beam::{beam_search, BeamHypothesis};
+pub use block::{Block, BlockCache};
+pub use config::ModelConfig;
+pub use error::ModelError;
+pub use generate::{generate, Decoding};
+pub use gradcheck::{gradient_check, GradCheckReport};
+pub use infer::InferenceSession;
+pub use io::{load_model, save_model};
+pub use linear::{Linear, LinearCache};
+pub use lora::{LoraCache, LoraLinear};
+pub use lr::LrSchedule;
+pub use memory::{MemoryBreakdown, MemoryModel};
+pub use mlp::{Mlp, MlpCache};
+pub use model::{EdgeModel, ExitForward, ForwardCaches};
+pub use norm::LayerNorm;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use voting::{combine, fit_learned_weights, VotingCombiner, VotingPolicy};

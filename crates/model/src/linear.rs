@@ -1,0 +1,375 @@
+use crate::error::ModelError;
+use edge_llm_prune::PruneMask;
+use edge_llm_quant::{fake_quant, fake_quant_backward, QuantScheme};
+use edge_llm_tensor::{
+    add_bias_backward, add_bias_forward, matmul_a_bt, matmul_at_b, Tensor, TensorRng,
+};
+
+/// A fully-connected layer `y = x · W + b` with explicit gradients and
+/// optional per-layer compression state.
+///
+/// The weight is stored as `(d_in, d_out)`. Compression hooks:
+///
+/// * a [`PruneMask`] keeps pruned weights (and their gradients) at zero,
+/// * a [`QuantScheme`] makes the forward pass use the fake-quantized weight
+///   while gradients flow via the straight-through estimator.
+///
+/// These are exactly the per-layer knobs a LUC policy assigns.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: Tensor,
+    b: Vec<f32>,
+    dw: Tensor,
+    db: Vec<f32>,
+    mask: Option<PruneMask>,
+    quant: Option<QuantScheme>,
+    act_quant: Option<QuantScheme>,
+}
+
+/// Activations cached by [`Linear::forward`] for the backward pass.
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    x: Tensor,
+    w_eff: Option<Tensor>,
+}
+
+impl LinearCache {
+    /// Approximate bytes held alive by this cache.
+    pub fn bytes(&self) -> usize {
+        let w = self.w_eff.as_ref().map_or(0, |t| t.len() * 4);
+        self.x.len() * 4 + w
+    }
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-initialized weights and zero bias.
+    pub fn new(d_in: usize, d_out: usize, rng: &mut TensorRng) -> Self {
+        Linear {
+            w: Tensor::kaiming(d_in, d_out, rng),
+            b: vec![0.0; d_out],
+            dw: Tensor::zeros(d_in, d_out),
+            db: vec![0.0; d_out],
+            mask: None,
+            quant: None,
+            act_quant: None,
+        }
+    }
+
+    /// Creates a bias-free layer (used for the unembedding head).
+    pub fn new_no_bias(d_in: usize, d_out: usize, rng: &mut TensorRng) -> Self {
+        let mut l = Self::new(d_in, d_out, rng);
+        l.b.clear();
+        l.db.clear();
+        l
+    }
+
+    /// `(d_in, d_out)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.w.shape()
+    }
+
+    /// Read access to the weight.
+    pub fn weight(&self) -> &Tensor {
+        &self.w
+    }
+
+    /// Mutable access to the weight (used by LoRA merging and tests).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.w
+    }
+
+    /// Read access to the accumulated weight gradient.
+    pub fn weight_grad(&self) -> &Tensor {
+        &self.dw
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Installs (or clears) a pruning mask; the weight is masked immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Compression`] if the mask shape differs.
+    pub fn set_mask(&mut self, mask: Option<PruneMask>) -> Result<(), ModelError> {
+        if let Some(m) = &mask {
+            m.apply(&mut self.w)?;
+        }
+        self.mask = mask;
+        Ok(())
+    }
+
+    /// Installs (or clears) a fake-quantization scheme for the forward pass.
+    pub fn set_quant(&mut self, quant: Option<QuantScheme>) {
+        self.quant = quant;
+    }
+
+    /// Installs (or clears) an *activation* fake-quantization scheme: the
+    /// layer input is quantize-dequantized before the matmul, modelling a
+    /// fully integer datapath. Use an asymmetric scheme (activations are
+    /// not zero-centred); because the fitted range covers the batch, the
+    /// straight-through backward is exactly the identity.
+    pub fn set_activation_quant(&mut self, act_quant: Option<QuantScheme>) {
+        self.act_quant = act_quant;
+    }
+
+    /// The installed activation-quantization scheme, if any.
+    pub fn activation_quant(&self) -> Option<QuantScheme> {
+        self.act_quant
+    }
+
+    /// The installed mask, if any.
+    pub fn mask(&self) -> Option<&PruneMask> {
+        self.mask.as_ref()
+    }
+
+    /// The installed quantization scheme, if any.
+    pub fn quant(&self) -> Option<QuantScheme> {
+        self.quant
+    }
+
+    /// The weight actually used by the forward pass (masked and, when a
+    /// scheme is installed, fake-quantized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Compression`] if fake quantization fails.
+    pub fn effective_weight(&self) -> Result<Tensor, ModelError> {
+        let mut w = match self.quant {
+            Some(scheme) => fake_quant(&self.w, scheme)?,
+            None => return Ok(self.w.clone()),
+        };
+        // Quantization can perturb pruned zeros off zero; re-mask.
+        if let Some(m) = &self.mask {
+            m.apply(&mut w)?;
+        }
+        Ok(w)
+    }
+
+    /// Forward pass, caching what the backward pass needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying kernels.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LinearCache), ModelError> {
+        let x_used = self.effective_input(x)?;
+        let (y, w_eff) = self.forward_inner(&x_used)?;
+        Ok((y, LinearCache { x: x_used, w_eff }))
+    }
+
+    fn effective_input(&self, x: &Tensor) -> Result<Tensor, ModelError> {
+        match self.act_quant {
+            Some(scheme) => Ok(fake_quant(x, scheme)?),
+            None => Ok(x.clone()),
+        }
+    }
+
+    /// Forward pass without retaining activations (inference / frozen
+    /// layers in adaptive tuning).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying kernels.
+    pub fn forward_no_cache(&self, x: &Tensor) -> Result<Tensor, ModelError> {
+        let x_used = self.effective_input(x)?;
+        Ok(self.forward_inner(&x_used)?.0)
+    }
+
+    fn forward_inner(&self, x: &Tensor) -> Result<(Tensor, Option<Tensor>), ModelError> {
+        let (y, w_eff) = match self.quant {
+            Some(_) => {
+                let w = self.effective_weight()?;
+                (x.matmul(&w)?, Some(w))
+            }
+            None => (x.matmul(&self.w)?, None),
+        };
+        let y = if self.b.is_empty() { y } else { add_bias_forward(&y, &self.b)? };
+        Ok((y, w_eff))
+    }
+
+    /// Backward pass: accumulates `dw`/`db` and returns `dx`.
+    ///
+    /// Pruned positions receive zero gradient; with quantization installed
+    /// the weight gradient passes through the straight-through estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying kernels.
+    pub fn backward(&mut self, cache: &LinearCache, dy: &Tensor) -> Result<Tensor, ModelError> {
+        let w_used = cache.w_eff.as_ref().unwrap_or(&self.w);
+        let dx = matmul_a_bt(dy, w_used)?;
+        let mut dw = matmul_at_b(&cache.x, dy)?;
+        if let Some(scheme) = self.quant {
+            dw = fake_quant_backward(&self.w, &dw, scheme)?;
+        }
+        if let Some(m) = &self.mask {
+            m.apply(&mut dw)?;
+        }
+        self.dw.axpy(1.0, &dw)?;
+        if !self.b.is_empty() {
+            let db = add_bias_backward(dy);
+            for (acc, g) in self.db.iter_mut().zip(db.iter()) {
+                *acc += g;
+            }
+        }
+        Ok(dx)
+    }
+
+    /// Zeroes the accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.dw.fill(0.0);
+        self.db.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Visits `(param, grad)` slice pairs in a stable order (weight, then
+    /// bias). Optimizers use this to update parameters without owning them.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(self.w.as_mut_slice(), self.dw.as_mut_slice());
+        if !self.b.is_empty() {
+            f(&mut self.b, &mut self.db);
+        }
+    }
+
+    /// Re-applies the pruning mask to the stored weight (call after an
+    /// optimizer step so pruned weights stay pruned).
+    pub fn enforce_mask(&mut self) {
+        if let Some(m) = self.mask.clone() {
+            let _ = m.apply(&mut self.w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_llm_prune::magnitude_prune;
+    use edge_llm_quant::BitWidth;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut l = Linear::new(3, 2, &mut rng);
+        l.w.as_mut_slice().copy_from_slice(&[1., 0., 0., 1., 1., 1.]);
+        l.b.copy_from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(1, 3, vec![2., 3., 4.]).unwrap();
+        let (y, _) = l.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2. + 4. + 0.5, 3. + 4. - 0.5]);
+    }
+
+    #[test]
+    fn backward_grad_shapes_and_accumulation() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::randn(5, 4, 1.0, &mut rng);
+        let (_, cache) = l.forward(&x).unwrap();
+        let dy = Tensor::randn(5, 3, 1.0, &mut rng);
+        let dx = l.backward(&cache, &dy).unwrap();
+        assert_eq!(dx.shape(), (5, 4));
+        let g1 = l.dw.clone();
+        l.backward(&cache, &dy).unwrap();
+        // gradients accumulate
+        assert!(l.dw.approx_eq(&g1.scale(2.0), 1e-5));
+        l.zero_grad();
+        assert_eq!(l.dw.sum(), 0.0);
+    }
+
+    #[test]
+    fn mask_zeroes_weights_and_grads() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut l = Linear::new(8, 8, &mut rng);
+        let mask = magnitude_prune(l.weight(), 0.5).unwrap();
+        l.set_mask(Some(mask.clone())).unwrap();
+        // weights masked immediately
+        for r in 0..8 {
+            for c in 0..8 {
+                if !mask.is_kept(r, c) {
+                    assert_eq!(l.weight().get(r, c), 0.0);
+                }
+            }
+        }
+        let x = Tensor::randn(2, 8, 1.0, &mut rng);
+        let (_, cache) = l.forward(&x).unwrap();
+        let dy = Tensor::randn(2, 8, 1.0, &mut rng);
+        l.backward(&cache, &dy).unwrap();
+        for r in 0..8 {
+            for c in 0..8 {
+                if !mask.is_kept(r, c) {
+                    assert_eq!(l.weight_grad().get(r, c), 0.0, "pruned grad must be zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_forward_uses_quantized_weight() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut l = Linear::new(8, 8, &mut rng);
+        let x = Tensor::randn(2, 8, 1.0, &mut rng);
+        let y_fp = l.forward_no_cache(&x).unwrap();
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W2)));
+        let y_q = l.forward_no_cache(&x).unwrap();
+        assert!(!y_fp.approx_eq(&y_q, 1e-4), "2-bit quantization must perturb outputs");
+    }
+
+    #[test]
+    fn activation_quant_perturbs_outputs() {
+        let mut rng = TensorRng::seed_from(7);
+        let mut l = Linear::new(8, 8, &mut rng);
+        let x = Tensor::randn(3, 8, 1.0, &mut rng);
+        let clean = l.forward_no_cache(&x).unwrap();
+        l.set_activation_quant(Some(QuantScheme::asymmetric(edge_llm_quant::BitWidth::W2)));
+        let quantized = l.forward_no_cache(&x).unwrap();
+        assert!(!clean.approx_eq(&quantized, 1e-4));
+        assert!(l.activation_quant().is_some());
+        // at 8 bits the perturbation is small
+        l.set_activation_quant(Some(QuantScheme::asymmetric(edge_llm_quant::BitWidth::W8)));
+        let fine = l.forward_no_cache(&x).unwrap();
+        assert!(clean.approx_eq(&fine, 0.05));
+    }
+
+    #[test]
+    fn activation_quant_backward_uses_quantized_input() {
+        let mut rng = TensorRng::seed_from(8);
+        let mut l = Linear::new(4, 4, &mut rng);
+        l.set_activation_quant(Some(QuantScheme::asymmetric(edge_llm_quant::BitWidth::W4)));
+        let x = Tensor::randn(2, 4, 1.0, &mut rng);
+        let (_, cache) = l.forward(&x).unwrap();
+        let dy = Tensor::ones(2, 4);
+        let dx = l.backward(&cache, &dy).unwrap();
+        assert_eq!(dx.shape(), (2, 4));
+        // dW = x_qᵀ·dy with the quantized input
+        let xq = edge_llm_quant::fake_quant(&x, QuantScheme::asymmetric(edge_llm_quant::BitWidth::W4)).unwrap();
+        let expect = edge_llm_tensor::matmul_at_b(&xq, &dy).unwrap();
+        assert!(l.weight_grad().approx_eq(&expect, 1e-4));
+    }
+
+    #[test]
+    fn no_bias_layer_visits_one_param() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut l = Linear::new_no_bias(4, 4, &mut rng);
+        let mut count = 0;
+        l.visit_params(&mut |_, _| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(l.num_params(), 16);
+    }
+
+    #[test]
+    fn enforce_mask_after_fake_update() {
+        let mut rng = TensorRng::seed_from(6);
+        let mut l = Linear::new(4, 4, &mut rng);
+        let mask = magnitude_prune(l.weight(), 0.5).unwrap();
+        l.set_mask(Some(mask.clone())).unwrap();
+        // simulate an optimizer perturbing everything
+        l.visit_params(&mut |p, _| p.iter_mut().for_each(|v| *v += 1.0));
+        l.enforce_mask();
+        for r in 0..4 {
+            for c in 0..4 {
+                if !mask.is_kept(r, c) {
+                    assert_eq!(l.weight().get(r, c), 0.0);
+                }
+            }
+        }
+    }
+}

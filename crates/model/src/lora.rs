@@ -1,0 +1,207 @@
+//! Low-rank adaptation (LoRA) baseline.
+//!
+//! The paper compares Edge-LLM against parameter-efficient tuning methods;
+//! LoRA is the canonical one. A [`LoraLinear`] freezes a base weight and
+//! trains only a rank-`r` residual `B · A`, scaled by `alpha / r`.
+
+use crate::error::ModelError;
+use edge_llm_tensor::{matmul_a_bt, matmul_at_b, Tensor, TensorRng};
+
+/// A frozen linear layer with a trainable low-rank residual:
+/// `y = x · (W + (alpha/r) · A · B)` where `A: d_in x r`, `B: r x d_out`.
+///
+/// # Example
+///
+/// ```
+/// use edge_llm_model::LoraLinear;
+/// use edge_llm_tensor::{Tensor, TensorRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = TensorRng::seed_from(0);
+/// let base = Tensor::randn(8, 8, 0.2, &mut rng);
+/// let lora = LoraLinear::new(base, 2, 4.0, &mut rng);
+/// assert_eq!(lora.trainable_params(), 8 * 2 + 2 * 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoraLinear {
+    base: Tensor,
+    a: Tensor,
+    b: Tensor,
+    da: Tensor,
+    db: Tensor,
+    scale: f32,
+}
+
+/// Cache for [`LoraLinear::forward`].
+#[derive(Debug, Clone)]
+pub struct LoraCache {
+    x: Tensor,
+    xa: Tensor,
+}
+
+impl LoraLinear {
+    /// Wraps a frozen `base` weight `(d_in, d_out)` with a rank-`rank`
+    /// adapter. `A` is Gaussian-initialized, `B` zero-initialized, so the
+    /// adapter starts as an exact no-op (standard LoRA initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank == 0`.
+    pub fn new(base: Tensor, rank: usize, alpha: f32, rng: &mut TensorRng) -> Self {
+        assert!(rank > 0, "lora rank must be positive");
+        let (d_in, d_out) = base.shape();
+        LoraLinear {
+            a: Tensor::randn(d_in, rank, 0.02, rng),
+            b: Tensor::zeros(rank, d_out),
+            da: Tensor::zeros(d_in, rank),
+            db: Tensor::zeros(rank, d_out),
+            scale: alpha / rank as f32,
+            base,
+        }
+    }
+
+    /// Number of trainable scalars (the adapter only).
+    pub fn trainable_params(&self) -> usize {
+        self.a.len() + self.b.len()
+    }
+
+    /// Total scalars including the frozen base.
+    pub fn total_params(&self) -> usize {
+        self.trainable_params() + self.base.len()
+    }
+
+    /// Forward pass: `y = x·W + scale · (x·A)·B`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LoraCache), ModelError> {
+        let mut y = x.matmul(&self.base)?;
+        let xa = x.matmul(&self.a)?;
+        let delta = xa.matmul(&self.b)?;
+        y.axpy(self.scale, &delta)?;
+        Ok((y, LoraCache { x: x.clone(), xa }))
+    }
+
+    /// Backward pass: accumulates adapter gradients only (the base stays
+    /// frozen), returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn backward(&mut self, cache: &LoraCache, dy: &Tensor) -> Result<Tensor, ModelError> {
+        // dx = dy·Wᵀ + scale · (dy·Bᵀ)·Aᵀ
+        let mut dx = matmul_a_bt(dy, &self.base)?;
+        let dxa = matmul_a_bt(dy, &self.b)?; // (m, r)
+        let dx_lora = matmul_a_bt(&dxa, &self.a)?; // (m, d_in)
+        dx.axpy(self.scale, &dx_lora)?;
+        // dB = scale · (x·A)ᵀ·dy ; dA = scale · xᵀ·(dy·Bᵀ)
+        let db = matmul_at_b(&cache.xa, dy)?;
+        self.db.axpy(self.scale, &db)?;
+        let da = matmul_at_b(&cache.x, &dxa)?;
+        self.da.axpy(self.scale, &da)?;
+        Ok(dx)
+    }
+
+    /// Zeroes adapter gradients.
+    pub fn zero_grad(&mut self) {
+        self.da.fill(0.0);
+        self.db.fill(0.0);
+    }
+
+    /// Visits `(param, grad)` pairs: `A` then `B`.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(self.a.as_mut_slice(), self.da.as_mut_slice());
+        f(self.b.as_mut_slice(), self.db.as_mut_slice());
+    }
+
+    /// Merges the adapter into the base weight and returns it, consuming
+    /// the adapter (deployment-time folding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn merge(self) -> Result<Tensor, ModelError> {
+        let delta = self.a.matmul(&self.b)?;
+        let mut w = self.base;
+        w.axpy(self.scale, &delta)?;
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_adapter_is_identity() {
+        let mut rng = TensorRng::seed_from(1);
+        let base = Tensor::randn(6, 4, 0.5, &mut rng);
+        let lora = LoraLinear::new(base.clone(), 2, 4.0, &mut rng);
+        let x = Tensor::randn(3, 6, 1.0, &mut rng);
+        let (y, _) = lora.forward(&x).unwrap();
+        let plain = x.matmul(&base).unwrap();
+        assert!(y.approx_eq(&plain, 1e-5), "B=0 means adapter must be a no-op");
+    }
+
+    #[test]
+    fn backward_matches_numeric_for_adapter() {
+        let mut rng = TensorRng::seed_from(2);
+        let base = Tensor::randn(4, 3, 0.5, &mut rng);
+        let mut lora = LoraLinear::new(base, 2, 2.0, &mut rng);
+        // make B nonzero so gradients flow both ways
+        *lora.b.as_mut_slice().first_mut().unwrap() = 0.3;
+        let x = Tensor::randn(2, 4, 1.0, &mut rng);
+        let dy = Tensor::randn(2, 3, 1.0, &mut rng);
+        let (_, cache) = lora.forward(&x).unwrap();
+        let dx = lora.backward(&cache, &dy).unwrap();
+        // numeric check on dx
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let orig = xp.as_slice()[i];
+            xp.as_mut_slice()[i] = orig + eps;
+            let lp: f32 = lora.forward(&xp).unwrap().0.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            xp.as_mut_slice()[i] = orig - eps;
+            let lm: f32 = lora.forward(&xp).unwrap().0.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            xp.as_mut_slice()[i] = orig;
+            assert!(((lp - lm) / (2.0 * eps) - dx.as_slice()[i]).abs() < 2e-2, "dx[{i}]");
+        }
+        // numeric check on dA
+        let mut ap = lora.a.clone();
+        for i in 0..ap.len() {
+            let orig = ap.as_slice()[i];
+            let mut probe = lora.clone();
+            probe.a.as_mut_slice()[i] = orig + eps;
+            let lp: f32 = probe.forward(&x).unwrap().0.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            probe.a.as_mut_slice()[i] = orig - eps;
+            let lm: f32 = probe.forward(&x).unwrap().0.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            ap.as_mut_slice()[i] = orig;
+            assert!(((lp - lm) / (2.0 * eps) - lora.da.as_slice()[i]).abs() < 2e-2, "dA[{i}]");
+        }
+    }
+
+    #[test]
+    fn merge_equals_forward() {
+        let mut rng = TensorRng::seed_from(3);
+        let base = Tensor::randn(5, 5, 0.5, &mut rng);
+        let mut lora = LoraLinear::new(base, 3, 6.0, &mut rng);
+        // random nonzero B
+        lora.b = Tensor::randn(3, 5, 0.1, &mut rng);
+        let x = Tensor::randn(2, 5, 1.0, &mut rng);
+        let (y, _) = lora.forward(&x).unwrap();
+        let merged = lora.merge().unwrap();
+        let y2 = x.matmul(&merged).unwrap();
+        assert!(y.approx_eq(&y2, 1e-4));
+    }
+
+    #[test]
+    fn trainable_far_fewer_than_total() {
+        let mut rng = TensorRng::seed_from(4);
+        let base = Tensor::randn(128, 128, 0.1, &mut rng);
+        let lora = LoraLinear::new(base, 4, 8.0, &mut rng);
+        assert!(lora.trainable_params() * 10 < lora.total_params());
+    }
+}

@@ -1,0 +1,102 @@
+//! Learning-rate schedules for adaptation runs.
+//!
+//! The tuner itself is schedule-agnostic: call [`LrSchedule::lr_at`] each
+//! iteration and push the value into the optimizer with `set_lr`.
+
+/// A deterministic learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// A fixed rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup to `lr` over `warmup` steps, then cosine decay to
+    /// `min_lr` at `total` steps (clamped afterwards).
+    CosineWithWarmup {
+        /// Peak rate.
+        lr: f32,
+        /// Floor rate.
+        min_lr: f32,
+        /// Warmup steps.
+        warmup: usize,
+        /// Total steps of the decay horizon.
+        total: usize,
+    },
+    /// Multiply by `gamma` every `every` steps.
+    Step {
+        /// Initial rate.
+        lr: f32,
+        /// Decay factor per stage (usually < 1).
+        gamma: f32,
+        /// Steps per stage.
+        every: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at iteration `step` (0-based).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::CosineWithWarmup { lr, min_lr, warmup, total } => {
+                if warmup > 0 && step < warmup {
+                    return lr * (step + 1) as f32 / warmup as f32;
+                }
+                let total = total.max(warmup + 1);
+                let progress =
+                    ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+            LrSchedule::Step { lr, gamma, every } => {
+                let stages = if every == 0 { 0 } else { step / every };
+                lr * gamma.powi(stages as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1000), 0.1);
+    }
+
+    #[test]
+    fn cosine_warms_up_then_decays() {
+        let s = LrSchedule::CosineWithWarmup { lr: 1.0, min_lr: 0.1, warmup: 10, total: 110 };
+        assert!(s.lr_at(0) < s.lr_at(5));
+        assert!(s.lr_at(5) < s.lr_at(9));
+        assert!((s.lr_at(10) - 1.0).abs() < 0.01);
+        assert!(s.lr_at(60) < 1.0);
+        assert!((s.lr_at(110) - 0.1).abs() < 1e-3);
+        // clamps after the horizon
+        assert!((s.lr_at(10_000) - 0.1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_halfway_is_midpoint() {
+        let s = LrSchedule::CosineWithWarmup { lr: 1.0, min_lr: 0.0, warmup: 0, total: 100 };
+        assert!((s.lr_at(50) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn step_decays_in_stages() {
+        let s = LrSchedule::Step { lr: 1.0, gamma: 0.5, every: 10 };
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert_eq!(s.lr_at(10), 0.5);
+        assert_eq!(s.lr_at(25), 0.25);
+    }
+
+    #[test]
+    fn step_with_zero_period_never_decays() {
+        let s = LrSchedule::Step { lr: 1.0, gamma: 0.5, every: 0 };
+        assert_eq!(s.lr_at(100), 1.0);
+    }
+}

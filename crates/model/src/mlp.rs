@@ -1,0 +1,149 @@
+use crate::error::ModelError;
+use crate::linear::{Linear, LinearCache};
+use edge_llm_tensor::{gelu_backward, gelu_forward, Tensor, TensorRng};
+
+/// Two-layer GELU MLP: `d_model -> d_ff -> d_model`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+/// Activations cached by [`Mlp::forward`].
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    fc1_cache: LinearCache,
+    pre_act: Tensor,
+    fc2_cache: LinearCache,
+}
+
+impl MlpCache {
+    /// Approximate bytes held alive by this cache.
+    pub fn bytes(&self) -> usize {
+        self.fc1_cache.bytes() + self.pre_act.len() * 4 + self.fc2_cache.bytes()
+    }
+}
+
+impl Mlp {
+    /// Creates an MLP with the given input and hidden widths.
+    pub fn new(d_model: usize, d_ff: usize, rng: &mut TensorRng) -> Self {
+        Mlp { fc1: Linear::new(d_model, d_ff, rng), fc2: Linear::new(d_ff, d_model, rng) }
+    }
+
+    /// Number of trainable scalars.
+    pub fn num_params(&self) -> usize {
+        self.fc1.num_params() + self.fc2.num_params()
+    }
+
+    /// First projection (exposed for compression policies).
+    pub fn fc1_mut(&mut self) -> &mut Linear {
+        &mut self.fc1
+    }
+
+    /// Second projection (exposed for compression policies).
+    pub fn fc2_mut(&mut self) -> &mut Linear {
+        &mut self.fc2
+    }
+
+    /// Read access to the projections, `(fc1, fc2)`.
+    pub fn linears(&self) -> (&Linear, &Linear) {
+        (&self.fc1, &self.fc2)
+    }
+
+    /// Forward pass, caching activations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn forward(&self, x: &Tensor) -> Result<(Tensor, MlpCache), ModelError> {
+        let (pre_act, fc1_cache) = self.fc1.forward(x)?;
+        let act = gelu_forward(&pre_act);
+        let (y, fc2_cache) = self.fc2.forward(&act)?;
+        Ok((y, MlpCache { fc1_cache, pre_act, fc2_cache }))
+    }
+
+    /// Forward pass without retaining activations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn forward_no_cache(&self, x: &Tensor) -> Result<Tensor, ModelError> {
+        let h = gelu_forward(&self.fc1.forward_no_cache(x)?);
+        self.fc2.forward_no_cache(&h)
+    }
+
+    /// Backward pass: accumulates projection gradients, returns `dx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn backward(&mut self, cache: &MlpCache, dy: &Tensor) -> Result<Tensor, ModelError> {
+        let dact = self.fc2.backward(&cache.fc2_cache, dy)?;
+        let dpre = gelu_backward(&cache.pre_act, &dact)?;
+        self.fc1.backward(&cache.fc1_cache, &dpre)
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.fc1.zero_grad();
+        self.fc2.zero_grad();
+    }
+
+    /// Visits `(param, grad)` pairs: fc1 then fc2, weight before bias.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+
+    /// Re-applies pruning masks after an optimizer step.
+    pub fn enforce_masks(&mut self) {
+        self.fc1.enforce_mask();
+        self.fc2.enforce_mask();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let mut rng = TensorRng::seed_from(1);
+        let mlp = Mlp::new(8, 32, &mut rng);
+        let x = Tensor::randn(5, 8, 1.0, &mut rng);
+        let (y, _) = mlp.forward(&x).unwrap();
+        assert_eq!(y.shape(), (5, 8));
+        assert_eq!(mlp.num_params(), 8 * 32 + 32 + 32 * 8 + 8);
+    }
+
+    #[test]
+    fn backward_matches_numeric() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut mlp = Mlp::new(4, 8, &mut rng);
+        let x = Tensor::randn(3, 4, 0.8, &mut rng);
+        let dy = Tensor::randn(3, 4, 1.0, &mut rng);
+        let (_, cache) = mlp.forward(&x).unwrap();
+        let dx = mlp.backward(&cache, &dy).unwrap();
+        let eps = 1e-3;
+        let mut xp = x.clone();
+        for i in 0..x.len() {
+            let orig = xp.as_slice()[i];
+            xp.as_mut_slice()[i] = orig + eps;
+            let lp: f32 = mlp.forward_no_cache(&xp).unwrap().as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            xp.as_mut_slice()[i] = orig - eps;
+            let lm: f32 = mlp.forward_no_cache(&xp).unwrap().as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            xp.as_mut_slice()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - dx.as_slice()[i]).abs() < 2e-2, "element {i}");
+        }
+    }
+
+    #[test]
+    fn no_cache_matches_cached() {
+        let mut rng = TensorRng::seed_from(3);
+        let mlp = Mlp::new(6, 12, &mut rng);
+        let x = Tensor::randn(4, 6, 1.0, &mut rng);
+        let (y1, _) = mlp.forward(&x).unwrap();
+        assert!(y1.approx_eq(&mlp.forward_no_cache(&x).unwrap(), 0.0));
+    }
+}

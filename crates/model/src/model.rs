@@ -1,0 +1,605 @@
+use crate::adaptive::LayerWindow;
+use crate::block::{Block, BlockCache};
+use crate::config::ModelConfig;
+use crate::error::ModelError;
+use crate::linear::{Linear, LinearCache};
+use crate::norm::LayerNorm;
+use edge_llm_tensor::{embedding_backward, embedding_forward, LayerNormCache, Tensor, TensorRng};
+
+/// An early-exit head: a LayerNorm plus (optionally) a private unembedding.
+///
+/// When the head `Linear` is `None` the exit projects through the model's
+/// shared unembedding — the parameter-cheap configuration the paper's
+/// adaptive layer voting uses by default.
+#[derive(Debug, Clone)]
+struct ExitHead {
+    norm: LayerNorm,
+    head: Option<Linear>,
+}
+
+/// The Edge-LLM decoder-only transformer.
+///
+/// Every layer has an early-exit head, so the model can produce logits from
+/// any depth; adaptive layer tuning trains a window of blocks against the
+/// exit at the window's end, and adaptive layer voting combines several
+/// exits at inference time.
+#[derive(Debug, Clone)]
+pub struct EdgeModel {
+    config: ModelConfig,
+    tok_emb: Tensor,
+    dtok_emb: Tensor,
+    pos_emb: Tensor,
+    dpos_emb: Tensor,
+    blocks: Vec<Block>,
+    exits: Vec<ExitHead>,
+    shared_head: Linear,
+}
+
+/// Caches retained by [`EdgeModel::forward_exit`] for the backward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardCaches {
+    tokens: Vec<usize>,
+    batch: usize,
+    grad_from: usize,
+    exit_layer: usize,
+    block_caches: Vec<Option<BlockCache>>,
+    exit_norm_cache: LayerNormCache,
+    head_cache: LinearCache,
+}
+
+impl ForwardCaches {
+    /// Approximate activation bytes held alive — the quantity the paper's
+    /// memory experiments (F2) track as a function of backprop depth.
+    pub fn activation_bytes(&self) -> usize {
+        let blocks: usize = self.block_caches.iter().flatten().map(|c| c.bytes()).sum();
+        blocks
+            + self.exit_norm_cache.xhat.len() * 4
+            + self.exit_norm_cache.rstd.len() * 4
+            + self.head_cache.bytes()
+    }
+
+    /// The exit layer this forward ran to.
+    pub fn exit_layer(&self) -> usize {
+        self.exit_layer
+    }
+
+    /// First layer with gradients enabled.
+    pub fn grad_from(&self) -> usize {
+        self.grad_from
+    }
+}
+
+/// Result of a cached partial forward: logits at the requested exit plus the
+/// caches needed to run the truncated backward.
+#[derive(Debug, Clone)]
+pub struct ExitForward {
+    /// Logits at the exit layer, `(batch * seq) x vocab`.
+    pub logits: Tensor,
+    /// Caches for [`EdgeModel::backward_exit`].
+    pub caches: ForwardCaches,
+}
+
+impl EdgeModel {
+    /// Builds a model with randomly initialized parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadConfig`] if `config` fails validation.
+    pub fn new(config: ModelConfig, rng: &mut TensorRng) -> Result<Self, ModelError> {
+        config.validate()?;
+        let c = config.d_model;
+        let tok_emb = Tensor::randn(config.vocab_size, c, 0.02, rng);
+        let pos_emb = Tensor::randn(config.seq_len, c, 0.02, rng);
+        let blocks =
+            (0..config.n_layers).map(|_| Block::new(c, config.n_heads, config.d_ff, rng)).collect();
+        let exits = (0..config.n_layers)
+            .map(|_| ExitHead {
+                norm: LayerNorm::new(c),
+                head: if config.tie_exit_heads {
+                    None
+                } else {
+                    Some(Linear::new_no_bias(c, config.vocab_size, rng))
+                },
+            })
+            .collect();
+        let shared_head = Linear::new_no_bias(c, config.vocab_size, rng);
+        Ok(EdgeModel {
+            dtok_emb: Tensor::zeros(config.vocab_size, c),
+            dpos_emb: Tensor::zeros(config.seq_len, c),
+            config,
+            tok_emb,
+            pos_emb,
+            blocks,
+            exits,
+            shared_head,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Model depth in blocks.
+    pub fn n_layers(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Mutable access to block `l` (compression policies install masks and
+    /// quantization schemes through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= n_layers()`.
+    pub fn block_mut(&mut self, l: usize) -> &mut Block {
+        &mut self.blocks[l]
+    }
+
+    /// Read access to block `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= n_layers()`.
+    pub fn block(&self, l: usize) -> &Block {
+        &self.blocks[l]
+    }
+
+    /// Total number of trainable scalars (including untied exit heads).
+    pub fn num_params(&self) -> usize {
+        let blocks: usize = self.blocks.iter().map(|b| b.num_params()).sum();
+        let exits: usize = self
+            .exits
+            .iter()
+            .map(|e| e.norm.num_params() + e.head.as_ref().map_or(0, |h| h.num_params()))
+            .sum();
+        self.tok_emb.len() + self.pos_emb.len() + blocks + exits + self.shared_head.num_params()
+    }
+
+    fn check_tokens(&self, tokens: &[usize], batch: usize) -> Result<(), ModelError> {
+        let expected = batch * self.config.seq_len;
+        if tokens.len() != expected {
+            return Err(ModelError::BadBatch { expected, actual: tokens.len() });
+        }
+        Ok(())
+    }
+
+    /// Embedding of a single token at position `pos` (incremental decoding).
+    pub(crate) fn embed_one(&self, token: usize, pos: usize) -> Result<Tensor, ModelError> {
+        if token >= self.config.vocab_size {
+            return Err(ModelError::BadConfig {
+                reason: format!("token {token} outside vocabulary {}", self.config.vocab_size),
+            });
+        }
+        if pos >= self.config.seq_len {
+            return Err(ModelError::LayerOutOfRange { layer: pos, depth: self.config.seq_len });
+        }
+        let mut x = Tensor::zeros(1, self.config.d_model);
+        for ((o, &e), &p) in
+            x.row_mut(0).iter_mut().zip(self.tok_emb.row(token)).zip(self.pos_emb.row(pos))
+        {
+            *o = e + p;
+        }
+        Ok(x)
+    }
+
+    fn embed(&self, tokens: &[usize], batch: usize) -> Result<Tensor, ModelError> {
+        let seq = self.config.seq_len;
+        let mut x = embedding_forward(tokens, &self.tok_emb)?;
+        for b in 0..batch {
+            for t in 0..seq {
+                let pos = self.pos_emb.row(t);
+                for (xv, &pv) in x.row_mut(b * seq + t).iter_mut().zip(pos.iter()) {
+                    *xv += pv;
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    pub(crate) fn exit_logits_no_cache(&self, h: &Tensor, exit_layer: usize) -> Result<Tensor, ModelError> {
+        let exit = &self.exits[exit_layer];
+        let n = exit.norm.forward_no_cache(h)?;
+        match &exit.head {
+            Some(own) => own.forward_no_cache(&n),
+            None => self.shared_head.forward_no_cache(&n),
+        }
+    }
+
+    /// Runs the model to `exit_layer` (inclusive), keeping backward caches
+    /// only for blocks `grad_from..=exit_layer`.
+    ///
+    /// Blocks past the exit never execute — the forward-compute saving — and
+    /// blocks before `grad_from` run without caches — the memory saving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::LayerOutOfRange`] for a bad exit layer and
+    /// [`ModelError::BadBatch`] for a wrong token count.
+    pub fn forward_exit(
+        &self,
+        tokens: &[usize],
+        batch: usize,
+        exit_layer: usize,
+        grad_from: usize,
+    ) -> Result<ExitForward, ModelError> {
+        if exit_layer >= self.n_layers() {
+            return Err(ModelError::LayerOutOfRange { layer: exit_layer, depth: self.n_layers() });
+        }
+        self.check_tokens(tokens, batch)?;
+        let seq = self.config.seq_len;
+        let mut x = self.embed(tokens, batch)?;
+        let mut block_caches: Vec<Option<BlockCache>> = vec![None; self.n_layers()];
+        for l in 0..=exit_layer {
+            if l >= grad_from {
+                let (y, cache) = self.blocks[l].forward(&x, batch, seq)?;
+                block_caches[l] = Some(cache);
+                x = y;
+            } else {
+                x = self.blocks[l].forward_no_cache(&x, batch, seq)?;
+            }
+        }
+        let exit = &self.exits[exit_layer];
+        let (n, exit_norm_cache) = exit.norm.forward(&x)?;
+        let (logits, head_cache) = match &exit.head {
+            Some(own) => own.forward(&n)?,
+            None => self.shared_head.forward(&n)?,
+        };
+        Ok(ExitForward {
+            logits,
+            caches: ForwardCaches {
+                tokens: tokens.to_vec(),
+                batch,
+                grad_from,
+                exit_layer,
+                block_caches,
+                exit_norm_cache,
+                head_cache,
+            },
+        })
+    }
+
+    /// Truncated backward from `dlogits` through the exit head and the
+    /// blocks `grad_from..=exit_layer`, accumulating gradients in place.
+    ///
+    /// Gradients reach the embeddings only when `grad_from == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel shape errors.
+    pub fn backward_exit(
+        &mut self,
+        caches: &ForwardCaches,
+        dlogits: &Tensor,
+    ) -> Result<(), ModelError> {
+        let exit_layer = caches.exit_layer;
+        let dn = {
+            let exit = &mut self.exits[exit_layer];
+            match &mut exit.head {
+                Some(own) => own.backward(&caches.head_cache, dlogits)?,
+                None => self.shared_head.backward(&caches.head_cache, dlogits)?,
+            }
+        };
+        let mut dx = self.exits[exit_layer].norm.backward(&caches.exit_norm_cache, &dn)?;
+        for l in (caches.grad_from..=exit_layer).rev() {
+            let cache = caches.block_caches[l]
+                .as_ref()
+                .ok_or(ModelError::LayerOutOfRange { layer: l, depth: self.n_layers() })?;
+            dx = self.blocks[l].backward(cache, &dx)?;
+        }
+        if caches.grad_from == 0 {
+            embedding_backward(&caches.tokens, &dx, &mut self.dtok_emb)?;
+            let seq = self.config.seq_len;
+            for b in 0..caches.batch {
+                for t in 0..seq {
+                    let src = dx.row(b * seq + t);
+                    for (acc, &g) in self.dpos_emb.row_mut(t).iter_mut().zip(src.iter()) {
+                        *acc += g;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full-depth logits from the final exit (inference path, no caches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadBatch`] for a wrong token count.
+    pub fn logits(&self, tokens: &[usize], batch: usize) -> Result<Tensor, ModelError> {
+        self.check_tokens(tokens, batch)?;
+        let seq = self.config.seq_len;
+        let mut x = self.embed(tokens, batch)?;
+        for block in &self.blocks {
+            x = block.forward_no_cache(&x, batch, seq)?;
+        }
+        self.exit_logits_no_cache(&x, self.n_layers() - 1)
+    }
+
+    /// Logits from every exit in `exit_layers` in one forward sweep
+    /// (inference path for adaptive layer voting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::LayerOutOfRange`] if any exit is out of range.
+    pub fn logits_at_exits(
+        &self,
+        tokens: &[usize],
+        batch: usize,
+        exit_layers: &[usize],
+    ) -> Result<Vec<Tensor>, ModelError> {
+        self.check_tokens(tokens, batch)?;
+        let max_exit = match exit_layers.iter().max() {
+            Some(&m) => m,
+            None => return Ok(Vec::new()),
+        };
+        if max_exit >= self.n_layers() {
+            return Err(ModelError::LayerOutOfRange { layer: max_exit, depth: self.n_layers() });
+        }
+        let seq = self.config.seq_len;
+        let mut x = self.embed(tokens, batch)?;
+        let mut per_layer: Vec<Option<Tensor>> = vec![None; max_exit + 1];
+        for l in 0..=max_exit {
+            x = self.blocks[l].forward_no_cache(&x, batch, seq)?;
+            if exit_layers.contains(&l) {
+                per_layer[l] = Some(self.exit_logits_no_cache(&x, l)?);
+            }
+        }
+        Ok(exit_layers
+            .iter()
+            .map(|&l| per_layer[l].take().expect("computed above"))
+            .collect())
+    }
+
+    /// Zeroes every gradient buffer in the model.
+    pub fn zero_grad(&mut self) {
+        self.dtok_emb.fill(0.0);
+        self.dpos_emb.fill(0.0);
+        for b in &mut self.blocks {
+            b.zero_grad();
+        }
+        for e in &mut self.exits {
+            e.norm.zero_grad();
+            if let Some(h) = &mut e.head {
+                h.zero_grad();
+            }
+        }
+        self.shared_head.zero_grad();
+    }
+
+    /// Re-applies every installed pruning mask (call after optimizer steps).
+    pub fn enforce_masks(&mut self) {
+        for b in &mut self.blocks {
+            b.enforce_masks();
+        }
+        self.shared_head.enforce_mask();
+        for e in &mut self.exits {
+            if let Some(h) = &mut e.head {
+                h.enforce_mask();
+            }
+        }
+    }
+
+    /// Visits `(id, param, grad)` for every parameter whose module is
+    /// *trainable* under `window` with the exit at `exit_layer`:
+    ///
+    /// * embeddings — only when the window starts at layer 0,
+    /// * blocks inside the window,
+    /// * the exit norm (and untied head) at `exit_layer`,
+    /// * the shared head — whenever the exit at `exit_layer` is tied to it.
+    ///
+    /// Ids are assigned by enumerating the **whole** model in a fixed order,
+    /// so a given parameter keeps its id across different windows — which is
+    /// what lets stateful optimizers keep per-parameter state.
+    pub fn visit_params_window(
+        &mut self,
+        window: LayerWindow,
+        exit_layer: usize,
+        f: &mut dyn FnMut(usize, &mut [f32], &mut [f32]),
+    ) {
+        let mut id = 0usize;
+        {
+            let active = window.start == 0;
+            if active {
+                f(id, self.tok_emb.as_mut_slice(), self.dtok_emb.as_mut_slice());
+            }
+            id += 1;
+            if active {
+                f(id, self.pos_emb.as_mut_slice(), self.dpos_emb.as_mut_slice());
+            }
+            id += 1;
+        }
+        for (l, block) in self.blocks.iter_mut().enumerate() {
+            let active = window.contains(l);
+            block.visit_params(&mut |p, g| {
+                if active {
+                    f(id, p, g);
+                }
+                id += 1;
+            });
+        }
+        for (l, exit) in self.exits.iter_mut().enumerate() {
+            let active = l == exit_layer;
+            exit.norm.visit_params(&mut |p, g| {
+                if active {
+                    f(id, p, g);
+                }
+                id += 1;
+            });
+            if let Some(h) = &mut exit.head {
+                h.visit_params(&mut |p, g| {
+                    if active {
+                        f(id, p, g);
+                    }
+                    id += 1;
+                });
+            }
+        }
+        {
+            let tied_exit = self.exits[exit_layer].head.is_none();
+            self.shared_head.visit_params(&mut |p, g| {
+                if tied_exit {
+                    f(id, p, g);
+                }
+                id += 1;
+            });
+        }
+    }
+
+    /// Visits every parameter in the model (full tuning baseline).
+    pub fn visit_params_all(&mut self, f: &mut dyn FnMut(usize, &mut [f32], &mut [f32])) {
+        let full = LayerWindow { start: 0, end: self.n_layers() };
+        let last = self.n_layers() - 1;
+        // The full window activates everything except non-final exit heads;
+        // enumerate those too by visiting each exit as its own "exit layer".
+        let mut id_seen = std::collections::HashSet::new();
+        for exit in 0..self.n_layers() {
+            let keep = exit == last;
+            self.visit_params_window(full, exit, &mut |id, p, g| {
+                if (keep || !id_seen.contains(&id)) && id_seen.insert(id) {
+                    f(id, p, g);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_llm_tensor::{cross_entropy_backward, cross_entropy_forward};
+
+    fn tiny_model(seed: u64) -> EdgeModel {
+        let mut rng = TensorRng::seed_from(seed);
+        EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap()
+    }
+
+    fn tokens_for(model: &EdgeModel, batch: usize, seed: u64) -> Vec<usize> {
+        let mut rng = TensorRng::seed_from(seed);
+        (0..batch * model.config().seq_len).map(|_| rng.index(model.config().vocab_size)).collect()
+    }
+
+    #[test]
+    fn logits_shape() {
+        let model = tiny_model(1);
+        let tokens = tokens_for(&model, 2, 10);
+        let logits = model.logits(&tokens, 2).unwrap();
+        assert_eq!(logits.shape(), (2 * 8, 32));
+    }
+
+    #[test]
+    fn forward_exit_matches_full_forward_at_last_layer() {
+        let model = tiny_model(2);
+        let tokens = tokens_for(&model, 1, 11);
+        let full = model.logits(&tokens, 1).unwrap();
+        let exit = model.forward_exit(&tokens, 1, model.n_layers() - 1, 0).unwrap();
+        assert!(full.approx_eq(&exit.logits, 1e-5));
+    }
+
+    #[test]
+    fn early_exit_differs_from_final() {
+        let model = tiny_model(3);
+        let tokens = tokens_for(&model, 1, 12);
+        let exits = model.logits_at_exits(&tokens, 1, &[0, 1]).unwrap();
+        assert_eq!(exits.len(), 2);
+        assert!(!exits[0].approx_eq(&exits[1], 1e-3));
+    }
+
+    #[test]
+    fn truncated_forward_skips_caches() {
+        let model = tiny_model(4);
+        let tokens = tokens_for(&model, 1, 13);
+        let full = model.forward_exit(&tokens, 1, 1, 0).unwrap();
+        let trunc = model.forward_exit(&tokens, 1, 1, 1).unwrap();
+        assert!(full.caches.activation_bytes() > trunc.caches.activation_bytes());
+        assert!(trunc.caches.block_caches[0].is_none());
+        assert!(trunc.caches.block_caches[1].is_some());
+        // logits identical either way
+        assert!(full.logits.approx_eq(&trunc.logits, 1e-5));
+    }
+
+    #[test]
+    fn backward_only_touches_window() {
+        let mut model = tiny_model(5);
+        let tokens = tokens_for(&model, 1, 14);
+        let targets: Vec<usize> = tokens.clone();
+        let fwd = model.forward_exit(&tokens, 1, 1, 1).unwrap();
+        let ce = cross_entropy_forward(&fwd.logits, &targets).unwrap();
+        let dl = cross_entropy_backward(&ce, &targets).unwrap();
+        model.zero_grad();
+        model.backward_exit(&fwd.caches, &dl).unwrap();
+        // block 0 frozen: zero grads
+        let mut b0_grad = 0.0f32;
+        model.blocks[0].visit_params(&mut |_, g| b0_grad += g.iter().map(|x| x.abs()).sum::<f32>());
+        assert_eq!(b0_grad, 0.0);
+        let mut b1_grad = 0.0f32;
+        model.blocks[1].visit_params(&mut |_, g| b1_grad += g.iter().map(|x| x.abs()).sum::<f32>());
+        assert!(b1_grad > 0.0);
+        // embeddings frozen because grad_from > 0
+        assert_eq!(model.dtok_emb.sum(), 0.0);
+    }
+
+    #[test]
+    fn full_window_reaches_embeddings() {
+        let mut model = tiny_model(6);
+        let tokens = tokens_for(&model, 1, 15);
+        let fwd = model.forward_exit(&tokens, 1, 1, 0).unwrap();
+        let ce = cross_entropy_forward(&fwd.logits, &tokens).unwrap();
+        let dl = cross_entropy_backward(&ce, &tokens).unwrap();
+        model.zero_grad();
+        model.backward_exit(&fwd.caches, &dl).unwrap();
+        let g: f32 = model.dtok_emb.as_slice().iter().map(|x| x.abs()).sum();
+        assert!(g > 0.0);
+        let gp: f32 = model.dpos_emb.as_slice().iter().map(|x| x.abs()).sum();
+        assert!(gp > 0.0);
+    }
+
+    #[test]
+    fn window_ids_are_stable_across_windows() {
+        let mut model = tiny_model(7);
+        let mut ids_a = Vec::new();
+        model.visit_params_window(LayerWindow { start: 0, end: 1 }, 0, &mut |id, _, _| ids_a.push(id));
+        let mut ids_b = Vec::new();
+        model.visit_params_window(LayerWindow { start: 1, end: 2 }, 1, &mut |id, _, _| ids_b.push(id));
+        // tied shared head appears in both windows, with the same id
+        let shared = *ids_a.last().unwrap();
+        assert_eq!(ids_a.last(), ids_b.last());
+        // apart from the shared head, the two disjoint windows train
+        // disjoint parameters (embeddings 0/1 belong to window A only)
+        for id in &ids_a {
+            if *id > 1 && *id != shared {
+                assert!(!ids_b.contains(id), "id {id} appears in both disjoint windows");
+            }
+        }
+    }
+
+    #[test]
+    fn visit_all_covers_every_param_once() {
+        let mut model = tiny_model(8);
+        let mut total = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        model.visit_params_all(&mut |id, p, _| {
+            assert!(seen.insert(id), "duplicate id {id}");
+            total += p.len();
+        });
+        assert_eq!(total, model.num_params());
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        let model = tiny_model(9);
+        let tokens = tokens_for(&model, 1, 16);
+        assert!(model.logits(&tokens[..5], 1).is_err());
+        assert!(model.forward_exit(&tokens, 1, 99, 0).is_err());
+        assert!(model.logits_at_exits(&tokens, 1, &[7]).is_err());
+    }
+
+    #[test]
+    fn untied_exits_have_private_heads() {
+        let mut rng = TensorRng::seed_from(10);
+        let cfg = ModelConfig::tiny().with_tied_exits(false);
+        let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+        let tied = EdgeModel::new(cfg.with_tied_exits(true), &mut rng).unwrap();
+        assert!(model.num_params() > tied.num_params());
+    }
+}

@@ -1,0 +1,244 @@
+use std::collections::HashMap;
+
+/// A parameter-slice optimizer driven by the model's id-keyed visitor.
+///
+/// The model calls [`Optimizer::update`] once per trainable parameter slice,
+/// passing a stable `id` so stateful optimizers can keep per-parameter
+/// moments even though adaptive layer tuning trains a different subset of
+/// parameters each iteration.
+pub trait Optimizer {
+    /// Applies one update to `param` given `grad`, then zeroes `grad`.
+    fn update(&mut self, id: usize, param: &mut [f32], grad: &mut [f32]);
+
+    /// Advances the step counter (call once per optimization step, before
+    /// the per-parameter updates of that step).
+    fn begin_step(&mut self);
+}
+
+fn clip_slice(grad: &mut [f32], max_norm: f32) {
+    if !(max_norm > 0.0) {
+        return;
+    }
+    let norm = grad.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        grad.iter_mut().for_each(|g| *g *= scale);
+    }
+}
+
+/// Stochastic gradient descent with optional momentum and per-slice
+/// gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    clip: f32,
+    velocity: HashMap<usize, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD at learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, clip: 0.0, velocity: HashMap::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, clip: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Enables per-parameter-tensor gradient-norm clipping.
+    pub fn with_clip(mut self, max_norm: f32) -> Self {
+        self.clip = max_norm;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, id: usize, param: &mut [f32], grad: &mut [f32]) {
+        clip_slice(grad, self.clip);
+        if self.momentum == 0.0 {
+            for (p, g) in param.iter_mut().zip(grad.iter_mut()) {
+                *p -= self.lr * *g;
+                *g = 0.0;
+            }
+            return;
+        }
+        let v = self.velocity.entry(id).or_insert_with(|| vec![0.0; param.len()]);
+        for ((p, g), vi) in param.iter_mut().zip(grad.iter_mut()).zip(v.iter_mut()) {
+            *vi = self.momentum * *vi + *g;
+            *p -= self.lr * *vi;
+            *g = 0.0;
+        }
+    }
+
+    fn begin_step(&mut self) {}
+}
+
+#[derive(Debug, Clone)]
+struct AdamSlot {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Adam optimizer with bias correction and optional per-slice gradient
+/// clipping.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    clip: f32,
+    t: u32,
+    slots: HashMap<usize, AdamSlot>,
+}
+
+impl Adam {
+    /// Adam with the standard betas `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 0.0, t: 0, slots: HashMap::new() }
+    }
+
+    /// Enables per-parameter-tensor gradient-norm clipping.
+    pub fn with_clip(mut self, max_norm: f32) -> Self {
+        self.clip = max_norm;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Adam {
+    fn update(&mut self, id: usize, param: &mut [f32], grad: &mut [f32]) {
+        clip_slice(grad, self.clip);
+        let slot = self
+            .slots
+            .entry(id)
+            .or_insert_with(|| AdamSlot { m: vec![0.0; param.len()], v: vec![0.0; param.len()] });
+        let t = self.t.max(1) as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for i in 0..param.len() {
+            let g = grad[i];
+            slot.m[i] = self.beta1 * slot.m[i] + (1.0 - self.beta1) * g;
+            slot.v[i] = self.beta2 * slot.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = slot.m[i] / bc1;
+            let vhat = slot.v[i] / bc2;
+            param[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            grad[i] = 0.0;
+        }
+    }
+
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_descend<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        // minimize f(p) = 0.5 * p^2, grad = p
+        let mut p = vec![4.0f32];
+        for _ in 0..steps {
+            opt.begin_step();
+            let mut g = vec![p[0]];
+            opt.update(0, &mut p, &mut g);
+            assert_eq!(g[0], 0.0, "grad must be zeroed after update");
+        }
+        p[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let final_p = quadratic_descend(&mut Sgd::new(0.1), 100);
+        assert!(final_p.abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let plain = quadratic_descend(&mut Sgd::new(0.01), 50).abs();
+        let fast = quadratic_descend(&mut Sgd::with_momentum(0.01, 0.9), 50).abs();
+        assert!(fast < plain);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let final_p = quadratic_descend(&mut Adam::new(0.3), 200);
+        assert!(final_p.abs() < 0.05, "got {final_p}");
+    }
+
+    #[test]
+    fn adam_state_is_per_id() {
+        let mut adam = Adam::new(0.1);
+        adam.begin_step();
+        let mut p0 = vec![1.0f32];
+        let mut g0 = vec![1.0f32];
+        adam.update(0, &mut p0, &mut g0);
+        let mut p1 = vec![1.0f32];
+        let mut g1 = vec![1.0f32];
+        adam.update(1, &mut p1, &mut g1);
+        // identical fresh state: identical first update
+        assert_eq!(p0[0], p1[0]);
+        assert_eq!(adam.slots.len(), 2);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut sgd = Sgd::new(1.0).with_clip(1.0);
+        let mut p = vec![0.0f32, 0.0];
+        let mut g = vec![30.0f32, 40.0]; // norm 50 -> clipped to 1
+        sgd.begin_step();
+        sgd.update(0, &mut p, &mut g);
+        let moved = (p[0] * p[0] + p[1] * p[1]).sqrt();
+        assert!((moved - 1.0).abs() < 1e-4, "moved {moved}");
+        // direction preserved
+        assert!((p[0] / p[1] - 30.0 / 40.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clipping_leaves_small_gradients_alone() {
+        let mut adam = Adam::new(0.1).with_clip(10.0);
+        let mut adam_ref = Adam::new(0.1);
+        let mut p1 = vec![1.0f32];
+        let mut p2 = vec![1.0f32];
+        let mut g1 = vec![0.5f32];
+        let mut g2 = vec![0.5f32];
+        adam.begin_step();
+        adam_ref.begin_step();
+        adam.update(0, &mut p1, &mut g1);
+        adam_ref.update(0, &mut p2, &mut g2);
+        assert_eq!(p1[0], p2[0]);
+    }
+
+    #[test]
+    fn set_lr_changes_step_size() {
+        let mut sgd = Sgd::new(1.0);
+        sgd.set_lr(0.0);
+        let mut p = vec![2.0f32];
+        let mut g = vec![1.0f32];
+        sgd.update(0, &mut p, &mut g);
+        assert_eq!(p[0], 2.0);
+        assert_eq!(sgd.lr(), 0.0);
+    }
+}

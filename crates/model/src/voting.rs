@@ -1,0 +1,274 @@
+//! Adaptive layer voting: combining early-exit logits at inference time.
+//!
+//! Adaptive layer tuning leaves the model with several trained exit heads.
+//! Rather than trusting only the deepest exit, Edge-LLM *votes*: each exit's
+//! distribution contributes to the final prediction with a weight that
+//! adapts to how confident that exit is on the current input.
+
+use crate::error::ModelError;
+use crate::model::EdgeModel;
+use edge_llm_tensor::{softmax_rows, Tensor};
+
+/// Strategy for combining per-exit logits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VotingCombiner {
+    /// Use only the deepest exit (the no-voting ablation).
+    LastExit,
+    /// Uniform average of the exit probability distributions.
+    Average,
+    /// Weight each exit per token by its confidence
+    /// `exp(-entropy / temperature)`, normalized across exits — confident
+    /// exits dominate, uncertain ones are discounted (the paper's adaptive
+    /// combination).
+    ConfidenceWeighted {
+        /// Softening temperature for the confidence weights (must be > 0).
+        temperature: f32,
+    },
+    /// Fixed learned per-exit scalar weights (normalized internally).
+    Learned(Vec<f32>),
+}
+
+impl Default for VotingCombiner {
+    fn default() -> Self {
+        VotingCombiner::ConfidenceWeighted { temperature: 1.0 }
+    }
+}
+
+/// Which exits participate in voting, plus the combiner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VotingPolicy {
+    /// Exit layer indices, ascending.
+    pub exits: Vec<usize>,
+    /// How to combine them.
+    pub combiner: VotingCombiner,
+}
+
+impl VotingPolicy {
+    /// Votes over every layer of a model of depth `n_layers`.
+    pub fn all_exits(n_layers: usize, combiner: VotingCombiner) -> Self {
+        VotingPolicy { exits: (0..n_layers).collect(), combiner }
+    }
+
+    /// Uses only the final exit (vanilla inference).
+    pub fn final_only(n_layers: usize) -> Self {
+        VotingPolicy { exits: vec![n_layers.saturating_sub(1)], combiner: VotingCombiner::LastExit }
+    }
+
+    /// Runs the model and returns the combined probability distribution,
+    /// `(batch * seq) x vocab`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors; returns [`ModelError::BadConfig`] for an
+    /// empty exit list, a non-positive temperature, or mismatched learned
+    /// weights.
+    pub fn predict(
+        &self,
+        model: &EdgeModel,
+        tokens: &[usize],
+        batch: usize,
+    ) -> Result<Tensor, ModelError> {
+        if self.exits.is_empty() {
+            return Err(ModelError::BadConfig { reason: "voting requires at least one exit".into() });
+        }
+        let logits = model.logits_at_exits(tokens, batch, &self.exits)?;
+        combine(&logits, &self.combiner)
+    }
+}
+
+/// Combines per-exit logits into one probability tensor.
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadConfig`] for invalid combiner parameters and
+/// propagates shape errors.
+pub fn combine(exit_logits: &[Tensor], combiner: &VotingCombiner) -> Result<Tensor, ModelError> {
+    let last = exit_logits
+        .last()
+        .ok_or_else(|| ModelError::BadConfig { reason: "no exit logits provided".into() })?;
+    match combiner {
+        VotingCombiner::LastExit => Ok(softmax_rows(last)),
+        VotingCombiner::Average => {
+            let mut acc = Tensor::zeros(last.rows(), last.cols());
+            for logits in exit_logits {
+                acc.axpy(1.0 / exit_logits.len() as f32, &softmax_rows(logits))?;
+            }
+            Ok(acc)
+        }
+        VotingCombiner::ConfidenceWeighted { temperature } => {
+            if !(*temperature > 0.0) {
+                return Err(ModelError::BadConfig { reason: "temperature must be positive".into() });
+            }
+            let probs: Vec<Tensor> = exit_logits.iter().map(softmax_rows).collect();
+            let (rows, cols) = last.shape();
+            let mut out = Tensor::zeros(rows, cols);
+            for r in 0..rows {
+                // per-token confidence weight: exp(-entropy / T)
+                let mut weights = Vec::with_capacity(probs.len());
+                let mut wsum = 0.0f32;
+                for p in &probs {
+                    let h: f32 = p
+                        .row(r)
+                        .iter()
+                        .map(|&q| if q > 1e-12 { -q * q.ln() } else { 0.0 })
+                        .sum();
+                    let w = (-h / temperature).exp();
+                    weights.push(w);
+                    wsum += w;
+                }
+                if wsum <= 0.0 {
+                    weights.iter_mut().for_each(|w| *w = 1.0 / probs.len() as f32);
+                } else {
+                    weights.iter_mut().for_each(|w| *w /= wsum);
+                }
+                let orow = out.row_mut(r);
+                for (p, &w) in probs.iter().zip(weights.iter()) {
+                    for (o, &q) in orow.iter_mut().zip(p.row(r).iter()) {
+                        *o += w * q;
+                    }
+                }
+            }
+            Ok(out)
+        }
+        VotingCombiner::Learned(ws) => {
+            if ws.len() != exit_logits.len() {
+                return Err(ModelError::BadConfig {
+                    reason: format!("{} weights for {} exits", ws.len(), exit_logits.len()),
+                });
+            }
+            let total: f32 = ws.iter().map(|w| w.max(0.0)).sum();
+            if total <= 0.0 {
+                return Err(ModelError::BadConfig { reason: "learned weights sum to zero".into() });
+            }
+            let mut acc = Tensor::zeros(last.rows(), last.cols());
+            for (logits, &w) in exit_logits.iter().zip(ws.iter()) {
+                acc.axpy(w.max(0.0) / total, &softmax_rows(logits))?;
+            }
+            Ok(acc)
+        }
+    }
+}
+
+/// Fits [`VotingCombiner::Learned`] weights on held-out data by measuring
+/// each exit's standalone accuracy and weighting exits proportionally.
+///
+/// `targets` uses [`edge_llm_tensor::IGNORE_TARGET`] for untested positions.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn fit_learned_weights(
+    model: &EdgeModel,
+    exits: &[usize],
+    tokens: &[usize],
+    targets: &[usize],
+    batch: usize,
+) -> Result<Vec<f32>, ModelError> {
+    let logits = model.logits_at_exits(tokens, batch, exits)?;
+    let mut weights = Vec::with_capacity(exits.len());
+    for l in &logits {
+        let probs = softmax_rows(l);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (r, &t) in targets.iter().enumerate() {
+            if t == edge_llm_tensor::IGNORE_TARGET {
+                continue;
+            }
+            total += 1;
+            let row = probs.row(r);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if argmax == t {
+                correct += 1;
+            }
+        }
+        let acc = if total == 0 { 0.0 } else { correct as f32 / total as f32 };
+        weights.push(acc + 1e-3); // floor so no exit is hard-zeroed
+    }
+    Ok(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use edge_llm_tensor::TensorRng;
+
+    fn logits_pair() -> Vec<Tensor> {
+        // exit 0: confident on class 0; exit 1: uniform (max entropy)
+        let confident = Tensor::from_vec(1, 3, vec![10.0, 0.0, 0.0]).unwrap();
+        let uniform = Tensor::zeros(1, 3);
+        vec![confident, uniform]
+    }
+
+    #[test]
+    fn last_exit_ignores_earlier() {
+        let out = combine(&logits_pair(), &VotingCombiner::LastExit).unwrap();
+        for c in 0..3 {
+            assert!((out.get(0, c) - 1.0 / 3.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn average_blends_equally() {
+        let out = combine(&logits_pair(), &VotingCombiner::Average).unwrap();
+        // class 0 gets ~ (1.0 + 1/3)/2
+        assert!((out.get(0, 0) - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-3);
+        let s: f32 = out.row(0).iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confidence_weighting_prefers_confident_exit() {
+        let out =
+            combine(&logits_pair(), &VotingCombiner::ConfidenceWeighted { temperature: 0.5 }).unwrap();
+        // confident exit (entropy ~0) should dominate the uniform one
+        assert!(out.get(0, 0) > 0.9, "got {}", out.get(0, 0));
+    }
+
+    #[test]
+    fn learned_weights_normalize() {
+        let out = combine(&logits_pair(), &VotingCombiner::Learned(vec![3.0, 1.0])).unwrap();
+        assert!((out.get(0, 0) - (0.75 * 1.0 + 0.25 / 3.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(combine(&logits_pair(), &VotingCombiner::Learned(vec![1.0])).is_err());
+        assert!(combine(&logits_pair(), &VotingCombiner::Learned(vec![0.0, 0.0])).is_err());
+        assert!(
+            combine(&logits_pair(), &VotingCombiner::ConfidenceWeighted { temperature: 0.0 }).is_err()
+        );
+        assert!(combine(&[], &VotingCombiner::Average).is_err());
+    }
+
+    #[test]
+    fn policy_runs_on_model() {
+        let mut rng = TensorRng::seed_from(1);
+        let cfg = ModelConfig::tiny();
+        let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+        let tokens: Vec<usize> = (0..cfg.seq_len).map(|i| i % cfg.vocab_size).collect();
+        let policy = VotingPolicy::all_exits(model.n_layers(), VotingCombiner::default());
+        let probs = policy.predict(&model, &tokens, 1).unwrap();
+        assert_eq!(probs.shape(), (cfg.seq_len, cfg.vocab_size));
+        for r in 0..cfg.seq_len {
+            let s: f32 = probs.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn fit_learned_weights_produces_positive_weights() {
+        let mut rng = TensorRng::seed_from(2);
+        let cfg = ModelConfig::tiny();
+        let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+        let tokens: Vec<usize> = (0..cfg.seq_len).map(|i| i % cfg.vocab_size).collect();
+        let ws = fit_learned_weights(&model, &[0, 1], &tokens, &tokens, 1).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert!(ws.iter().all(|&w| w > 0.0));
+    }
+}

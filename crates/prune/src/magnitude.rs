@@ -1,0 +1,91 @@
+use crate::mask::PruneMask;
+use crate::PruneError;
+use edge_llm_tensor::Tensor;
+
+/// Unstructured magnitude pruning: drops the `ratio` fraction of elements
+/// with the smallest absolute value.
+///
+/// Ties at the threshold are broken by position (earlier elements pruned
+/// first) so the achieved sparsity is exactly `floor(ratio * len) / len`.
+///
+/// # Errors
+///
+/// Returns [`PruneError::RatioOutOfRange`] unless `0 <= ratio <= 1`.
+pub fn magnitude_prune(w: &Tensor, ratio: f32) -> Result<PruneMask, PruneError> {
+    if !(0.0..=1.0).contains(&ratio) || ratio.is_nan() {
+        return Err(PruneError::RatioOutOfRange { ratio });
+    }
+    let (rows, cols) = w.shape();
+    let n = w.len();
+    let n_prune = ((ratio as f64) * n as f64).floor() as usize;
+    if n_prune == 0 {
+        return Ok(PruneMask::dense(rows, cols));
+    }
+    // Sort indices by |w| ascending; prune the first n_prune.
+    let mut order: Vec<usize> = (0..n).collect();
+    let data = w.as_slice();
+    order.sort_by(|&a, &b| {
+        data[a]
+            .abs()
+            .partial_cmp(&data[b].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut keep = vec![true; n];
+    for &i in order.iter().take(n_prune) {
+        keep[i] = false;
+    }
+    PruneMask::from_vec(rows, cols, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_llm_tensor::TensorRng;
+
+    #[test]
+    fn exact_sparsity() {
+        let mut rng = TensorRng::seed_from(1);
+        let w = Tensor::randn(10, 10, 1.0, &mut rng);
+        for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let m = magnitude_prune(&w, ratio).unwrap();
+            assert!((m.sparsity() - ratio).abs() < 1e-6, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn prunes_smallest_magnitudes() {
+        let w = Tensor::from_vec(1, 4, vec![0.1, -5.0, 0.01, 3.0]).unwrap();
+        let m = magnitude_prune(&w, 0.5).unwrap();
+        assert_eq!(m.as_slice(), &[false, true, false, true]);
+    }
+
+    #[test]
+    fn surviving_elements_dominate_norm() {
+        let mut rng = TensorRng::seed_from(2);
+        let w = Tensor::randn(16, 16, 1.0, &mut rng);
+        let m = magnitude_prune(&w, 0.5).unwrap();
+        let pruned = m.apply_to(&w).unwrap();
+        let total = edge_llm_tensor::l2_norm(&w);
+        let kept = edge_llm_tensor::l2_norm(&pruned);
+        // half the elements but far more than half the energy
+        assert!(kept / total > 0.9);
+    }
+
+    #[test]
+    fn invalid_ratio_errors() {
+        let w = Tensor::zeros(2, 2);
+        assert!(magnitude_prune(&w, -0.1).is_err());
+        assert!(magnitude_prune(&w, 1.1).is_err());
+        assert!(magnitude_prune(&w, f32::NAN).is_err());
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let w = Tensor::ones(1, 4);
+        let m1 = magnitude_prune(&w, 0.5).unwrap();
+        let m2 = magnitude_prune(&w, 0.5).unwrap();
+        assert_eq!(m1, m2);
+        assert_eq!(m1.kept(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+use crate::PruneError;
+use edge_llm_tensor::Tensor;
+
+/// Compressed sparse row storage of a pruned weight matrix.
+///
+/// Pruning only saves compute if the kernels skip zeros; this type stores
+/// exactly the surviving elements and provides the sparse matmul that the
+/// latency benchmarks (F1) time.
+///
+/// # Example
+///
+/// ```
+/// use edge_llm_prune::{magnitude_prune, CsrMatrix};
+/// use edge_llm_tensor::{Tensor, TensorRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = TensorRng::seed_from(0);
+/// let w = Tensor::randn(8, 8, 1.0, &mut rng);
+/// let mask = magnitude_prune(&w, 0.75)?;
+/// let csr = CsrMatrix::from_masked(&w, &mask)?;
+/// assert_eq!(csr.nnz(), 16);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds CSR storage from a tensor, keeping elements where `mask` keeps
+    /// them **and** the value is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::ShapeMismatch`] if the mask shape differs.
+    pub fn from_masked(w: &Tensor, mask: &crate::PruneMask) -> Result<Self, PruneError> {
+        if w.shape() != mask.shape() {
+            return Err(PruneError::ShapeMismatch { op: "csr_from_masked", lhs: w.shape(), rhs: mask.shape() });
+        }
+        let (rows, cols) = w.shape();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..rows {
+            let row = w.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                if mask.is_kept(r, c) && v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+    }
+
+    /// Builds CSR storage from a tensor, keeping every non-zero element.
+    pub fn from_dense(w: &Tensor) -> Self {
+        let mask = crate::PruneMask::dense(w.rows(), w.cols());
+        Self::from_masked(w, &mask).expect("dense mask always matches")
+    }
+
+    /// Number of stored (non-zero) elements.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(rows, cols)` of the logical matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Fraction of elements that are zero.
+    pub fn sparsity(&self) -> f32 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f32 / total as f32
+    }
+
+    /// Actual bytes of CSR storage (values + column indices + row pointers).
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 8
+    }
+
+    /// Reconstructs the dense tensor.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                out.set(r, self.col_idx[i] as usize, self.values[i]);
+            }
+        }
+        out
+    }
+
+    /// Computes `x · Wᵀ` where `W` is this sparse matrix (`W: n x k`,
+    /// `x: m x k`, result `m x n`), touching only stored elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::ShapeMismatch`] unless `x.cols() == self.cols`.
+    pub fn matmul_xt(&self, x: &Tensor) -> Result<Tensor, PruneError> {
+        if x.cols() != self.cols {
+            return Err(PruneError::ShapeMismatch { op: "csr_matmul", lhs: x.shape(), rhs: self.shape() });
+        }
+        let m = x.rows();
+        let mut out = Tensor::zeros(m, self.rows);
+        for j in 0..self.rows {
+            let (start, end) = (self.row_ptr[j], self.row_ptr[j + 1]);
+            for i in 0..m {
+                let xr = x.row(i);
+                let mut acc = 0.0f32;
+                for p in start..end {
+                    acc += self.values[p] * xr[self.col_idx[p] as usize];
+                }
+                out.set(i, j, acc);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magnitude::magnitude_prune;
+    use edge_llm_tensor::{matmul_a_bt, max_abs_diff, TensorRng};
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut rng = TensorRng::seed_from(1);
+        let w = Tensor::randn(6, 9, 1.0, &mut rng);
+        let csr = CsrMatrix::from_dense(&w);
+        assert!(max_abs_diff(&csr.to_dense(), &w) < 1e-7);
+        assert_eq!(csr.nnz(), 54);
+    }
+
+    #[test]
+    fn masked_roundtrip_matches_masked_dense() {
+        let mut rng = TensorRng::seed_from(2);
+        let w = Tensor::randn(8, 8, 1.0, &mut rng);
+        let mask = magnitude_prune(&w, 0.6).unwrap();
+        let csr = CsrMatrix::from_masked(&w, &mask).unwrap();
+        let expected = mask.apply_to(&w).unwrap();
+        assert!(max_abs_diff(&csr.to_dense(), &expected) < 1e-7);
+        assert!((csr.sparsity() - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn sparse_matmul_matches_dense_reference() {
+        let mut rng = TensorRng::seed_from(3);
+        let w = Tensor::randn(10, 16, 1.0, &mut rng);
+        let x = Tensor::randn(5, 16, 1.0, &mut rng);
+        let mask = magnitude_prune(&w, 0.5).unwrap();
+        let masked = mask.apply_to(&w).unwrap();
+        let csr = CsrMatrix::from_masked(&w, &mask).unwrap();
+        let sparse = csr.matmul_xt(&x).unwrap();
+        let dense = matmul_a_bt(&x, &masked).unwrap();
+        assert!(max_abs_diff(&sparse, &dense) < 1e-4);
+    }
+
+    #[test]
+    fn high_sparsity_shrinks_storage() {
+        let mut rng = TensorRng::seed_from(4);
+        let w = Tensor::randn(32, 32, 1.0, &mut rng);
+        let mask = magnitude_prune(&w, 0.9).unwrap();
+        let csr = CsrMatrix::from_masked(&w, &mask).unwrap();
+        let dense_bytes = 32 * 32 * 4;
+        assert!(csr.storage_bytes() < dense_bytes / 2);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let w = Tensor::zeros(2, 3);
+        let mask = crate::PruneMask::dense(3, 2);
+        assert!(CsrMatrix::from_masked(&w, &mask).is_err());
+        let csr = CsrMatrix::from_dense(&w);
+        assert!(csr.matmul_xt(&Tensor::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_behaves() {
+        let csr = CsrMatrix::from_dense(&Tensor::zeros(0, 0));
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.sparsity(), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+use crate::mask::PruneMask;
+use crate::PruneError;
+use edge_llm_tensor::Tensor;
+
+/// Which axis structured pruning removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructuredAxis {
+    /// Remove whole rows (output channels).
+    Row,
+    /// Remove whole columns (input channels).
+    Col,
+}
+
+/// Structured pruning: zeroes whole rows or columns with the smallest L2
+/// norms until `ratio` of them are removed.
+///
+/// # Errors
+///
+/// Returns [`PruneError::RatioOutOfRange`] unless `0 <= ratio <= 1`.
+pub fn structured_prune(
+    w: &Tensor,
+    axis: StructuredAxis,
+    ratio: f32,
+) -> Result<PruneMask, PruneError> {
+    if !(0.0..=1.0).contains(&ratio) || ratio.is_nan() {
+        return Err(PruneError::RatioOutOfRange { ratio });
+    }
+    let (rows, cols) = w.shape();
+    let units = match axis {
+        StructuredAxis::Row => rows,
+        StructuredAxis::Col => cols,
+    };
+    let n_prune = ((ratio as f64) * units as f64).floor() as usize;
+    let mut norms: Vec<(usize, f64)> = (0..units)
+        .map(|u| {
+            let sq: f64 = match axis {
+                StructuredAxis::Row => w.row(u).iter().map(|v| (*v as f64) * (*v as f64)).sum(),
+                StructuredAxis::Col => {
+                    (0..rows).map(|r| (w.get(r, u) as f64) * (w.get(r, u) as f64)).sum()
+                }
+            };
+            (u, sq)
+        })
+        .collect();
+    norms.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    let mut drop_unit = vec![false; units];
+    for &(u, _) in norms.iter().take(n_prune) {
+        drop_unit[u] = true;
+    }
+    let mut keep = vec![true; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            let dropped = match axis {
+                StructuredAxis::Row => drop_unit[r],
+                StructuredAxis::Col => drop_unit[c],
+            };
+            if dropped {
+                keep[r * cols + c] = false;
+            }
+        }
+    }
+    PruneMask::from_vec(rows, cols, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_weakest_rows() {
+        let w = Tensor::from_vec(3, 2, vec![10., 10., 0.1, 0.1, 5., 5.]).unwrap();
+        let m = structured_prune(&w, StructuredAxis::Row, 1.0 / 3.0).unwrap();
+        // middle row has the smallest norm
+        assert!(!m.is_kept(1, 0) && !m.is_kept(1, 1));
+        assert!(m.is_kept(0, 0) && m.is_kept(2, 1));
+    }
+
+    #[test]
+    fn removes_weakest_cols() {
+        let w = Tensor::from_vec(2, 3, vec![1., 0.01, 2., 1., 0.01, 2.]).unwrap();
+        let m = structured_prune(&w, StructuredAxis::Col, 1.0 / 3.0).unwrap();
+        assert!(!m.is_kept(0, 1) && !m.is_kept(1, 1));
+        assert!(m.is_kept(0, 0) && m.is_kept(1, 2));
+    }
+
+    #[test]
+    fn ratio_zero_keeps_all_one_drops_all() {
+        let w = Tensor::ones(4, 4);
+        assert_eq!(structured_prune(&w, StructuredAxis::Row, 0.0).unwrap().sparsity(), 0.0);
+        assert_eq!(structured_prune(&w, StructuredAxis::Row, 1.0).unwrap().sparsity(), 1.0);
+    }
+
+    #[test]
+    fn structured_mask_has_row_granularity() {
+        let w = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32).collect()).unwrap();
+        let m = structured_prune(&w, StructuredAxis::Row, 0.5).unwrap();
+        for r in 0..4 {
+            let kept: Vec<bool> = (0..3).map(|c| m.is_kept(r, c)).collect();
+            assert!(kept.iter().all(|&k| k == kept[0]), "row {r} must be all-or-nothing");
+        }
+    }
+
+    #[test]
+    fn invalid_ratio_errors() {
+        let w = Tensor::zeros(2, 2);
+        assert!(structured_prune(&w, StructuredAxis::Col, 2.0).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of pruning invariants.
+
+use edge_llm_prune::{magnitude_prune, nm_prune, structured_prune, CsrMatrix, StructuredAxis};
+use edge_llm_tensor::{matmul_a_bt, max_abs_diff, Tensor, TensorRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn magnitude_sparsity_is_exact(seed in any::<u64>(), r in 1usize..10, c in 1usize..10, ratio in 0.0f32..1.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(r, c, 1.0, &mut rng);
+        let mask = magnitude_prune(&w, ratio).unwrap();
+        let expected = ((ratio as f64) * (r * c) as f64).floor() as usize;
+        prop_assert_eq!((r * c) - mask.kept(), expected);
+    }
+
+    #[test]
+    fn kept_elements_dominate_pruned(seed in any::<u64>(), ratio in 0.1f32..0.9) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(8, 8, 1.0, &mut rng);
+        let mask = magnitude_prune(&w, ratio).unwrap();
+        // the smallest kept magnitude >= the largest pruned magnitude
+        let mut min_kept = f32::INFINITY;
+        let mut max_pruned = 0.0f32;
+        for r in 0..8 {
+            for c in 0..8 {
+                let v = w.get(r, c).abs();
+                if mask.is_kept(r, c) {
+                    min_kept = min_kept.min(v);
+                } else {
+                    max_pruned = max_pruned.max(v);
+                }
+            }
+        }
+        prop_assert!(min_kept >= max_pruned);
+    }
+
+    #[test]
+    fn mask_apply_is_idempotent(seed in any::<u64>(), ratio in 0.0f32..1.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(6, 6, 1.0, &mut rng);
+        let mask = magnitude_prune(&w, ratio).unwrap();
+        let once = mask.apply_to(&w).unwrap();
+        let twice = mask.apply_to(&once).unwrap();
+        prop_assert!(once.approx_eq(&twice, 0.0));
+    }
+
+    #[test]
+    fn csr_matmul_equals_masked_dense(seed in any::<u64>(), ratio in 0.0f32..0.95) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(6, 12, 1.0, &mut rng);
+        let x = Tensor::randn(3, 12, 1.0, &mut rng);
+        let mask = magnitude_prune(&w, ratio).unwrap();
+        let csr = CsrMatrix::from_masked(&w, &mask).unwrap();
+        let sparse = csr.matmul_xt(&x).unwrap();
+        let dense = matmul_a_bt(&x, &mask.apply_to(&w).unwrap()).unwrap();
+        prop_assert!(max_abs_diff(&sparse, &dense) < 1e-3);
+    }
+
+    #[test]
+    fn csr_roundtrip(seed in any::<u64>(), ratio in 0.0f32..1.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(5, 7, 1.0, &mut rng);
+        let mask = magnitude_prune(&w, ratio).unwrap();
+        let csr = CsrMatrix::from_masked(&w, &mask).unwrap();
+        prop_assert!(max_abs_diff(&csr.to_dense(), &mask.apply_to(&w).unwrap()) < 1e-7);
+    }
+
+    #[test]
+    fn nm_groups_keep_exactly_n(seed in any::<u64>(), n in 1usize..4, groups in 1usize..6) {
+        let m = 4usize;
+        let n = n.min(m);
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(3, groups * m, 1.0, &mut rng);
+        let mask = nm_prune(&w, n, m).unwrap();
+        for r in 0..3 {
+            for g in 0..groups {
+                let kept = (g * m..(g + 1) * m).filter(|&c| mask.is_kept(r, c)).count();
+                prop_assert_eq!(kept, n);
+            }
+        }
+    }
+
+    #[test]
+    fn structured_rows_all_or_nothing(seed in any::<u64>(), ratio in 0.0f32..1.0) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(6, 5, 1.0, &mut rng);
+        let mask = structured_prune(&w, StructuredAxis::Row, ratio).unwrap();
+        for r in 0..6 {
+            let kept: Vec<bool> = (0..5).map(|c| mask.is_kept(r, c)).collect();
+            prop_assert!(kept.iter().all(|&k| k == kept[0]));
+        }
+    }
+
+    #[test]
+    fn mask_and_is_intersection(seed in any::<u64>(), ra in 0.0f32..0.9, rb in 0.0f32..0.9) {
+        let mut rng = TensorRng::seed_from(seed);
+        let w = Tensor::randn(5, 5, 1.0, &mut rng);
+        let a = magnitude_prune(&w, ra).unwrap();
+        let b = structured_prune(&w, StructuredAxis::Row, rb).unwrap();
+        let both = a.and(&b).unwrap();
+        for r in 0..5 {
+            for c in 0..5 {
+                prop_assert_eq!(both.is_kept(r, c), a.is_kept(r, c) && b.is_kept(r, c));
+            }
+        }
+        prop_assert!(both.sparsity() >= a.sparsity().max(b.sparsity()) - 1e-6);
+    }
+}

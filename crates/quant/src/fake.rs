@@ -1,0 +1,149 @@
+//! Fake quantization (quantize–dequantize) for quantization-aware tuning.
+//!
+//! During Edge-LLM adaptation the compressed weights participate in the
+//! forward pass through their quantized values while gradients flow as if
+//! the quantizer were the identity inside its clipping range — the
+//! straight-through estimator (STE).
+
+use crate::affine::QuantizedTensor;
+use crate::scheme::{QuantMode, QuantScheme};
+use crate::QuantError;
+use edge_llm_tensor::{Tensor, TensorError};
+
+/// Quantizes then immediately dequantizes `x`, returning the f32 tensor the
+/// forward pass should use.
+///
+/// # Errors
+///
+/// Returns [`QuantError::BadGroupSize`] for an invalid group granularity.
+pub fn fake_quant(x: &Tensor, scheme: QuantScheme) -> Result<Tensor, QuantError> {
+    Ok(QuantizedTensor::quantize(x, scheme)?.dequantize())
+}
+
+/// Straight-through-estimator backward for [`fake_quant`].
+///
+/// Gradients pass through unchanged wherever the input fell inside the
+/// quantizer's representable range and are zeroed where it clipped. The
+/// clipping range is recomputed from `x` with the same group statistics the
+/// forward pass used.
+///
+/// # Errors
+///
+/// Returns [`QuantError::ShapeMismatch`] if `x` and `dy` differ in shape, or
+/// [`QuantError::BadGroupSize`] for an invalid granularity.
+pub fn fake_quant_backward(
+    x: &Tensor,
+    dy: &Tensor,
+    scheme: QuantScheme,
+) -> Result<Tensor, QuantError> {
+    if x.shape() != dy.shape() {
+        return Err(QuantError::ShapeMismatch { op: "fake_quant_backward", lhs: x.shape(), rhs: dy.shape() });
+    }
+    let (rows, cols) = x.shape();
+    scheme.group_count(rows, cols)?;
+    let group_len = scheme.group_len(rows, cols);
+    let data = x.as_slice();
+    let mut dx = dy.clone();
+    let n_groups = data.len().div_ceil(group_len.max(1)).max(1);
+    for g in 0..n_groups {
+        let lo_i = g * group_len;
+        let hi_i = ((g + 1) * group_len).min(data.len());
+        if lo_i >= hi_i {
+            break;
+        }
+        let chunk = &data[lo_i..hi_i];
+        let (lo, hi) = clip_range(chunk, scheme);
+        let dchunk = &mut dx.as_mut_slice()[lo_i..hi_i];
+        for (gd, &v) in dchunk.iter_mut().zip(chunk.iter()) {
+            if v < lo || v > hi {
+                *gd = 0.0;
+            }
+        }
+    }
+    Ok(dx)
+}
+
+fn clip_range(chunk: &[f32], scheme: QuantScheme) -> (f32, f32) {
+    match scheme.mode {
+        QuantMode::Symmetric => {
+            let max_abs = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            (-max_abs, max_abs)
+        }
+        QuantMode::Asymmetric => {
+            let (mut lo, mut hi) = (0.0f32, 0.0f32);
+            for &v in chunk {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (lo, hi)
+        }
+    }
+}
+
+/// Convenience: applies fake quantization in place, returning the
+/// quantization error `max |x - q(x)|`.
+///
+/// # Errors
+///
+/// Propagates errors from [`fake_quant`]; also returns an error if the
+/// internal shape bookkeeping fails (which would indicate a bug).
+pub fn fake_quant_in_place(x: &mut Tensor, scheme: QuantScheme) -> Result<f32, QuantError> {
+    let q = fake_quant(x, scheme)?;
+    let err = edge_llm_tensor::max_abs_diff(x, &q);
+    *x = q;
+    Ok(err)
+}
+
+impl From<TensorError> for QuantError {
+    fn from(e: TensorError) -> Self {
+        match e {
+            TensorError::ShapeMismatch { op, lhs, rhs } => QuantError::ShapeMismatch { op, lhs, rhs },
+            _ => QuantError::ShapeMismatch { op: "tensor", lhs: (0, 0), rhs: (0, 0) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitwidth::BitWidth;
+    use edge_llm_tensor::TensorRng;
+
+    #[test]
+    fn fake_quant_is_idempotent() {
+        let mut rng = TensorRng::seed_from(1);
+        let x = Tensor::randn(4, 16, 1.0, &mut rng);
+        let s = QuantScheme::symmetric(BitWidth::W4);
+        let once = fake_quant(&x, s).unwrap();
+        let twice = fake_quant(&once, s).unwrap();
+        assert!(once.approx_eq(&twice, 1e-5));
+    }
+
+    #[test]
+    fn ste_passes_gradient_inside_range() {
+        let mut rng = TensorRng::seed_from(2);
+        let x = Tensor::randn(2, 8, 1.0, &mut rng);
+        let dy = Tensor::ones(2, 8);
+        // symmetric range is [-max_abs, max_abs]: nothing clips
+        let dx = fake_quant_backward(&x, &dy, QuantScheme::symmetric(BitWidth::W4)).unwrap();
+        assert!(dx.approx_eq(&dy, 0.0));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let x = Tensor::zeros(2, 2);
+        let dy = Tensor::zeros(2, 3);
+        assert!(fake_quant_backward(&x, &dy, QuantScheme::default()).is_err());
+    }
+
+    #[test]
+    fn in_place_reports_error_magnitude() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut x = Tensor::randn(4, 16, 1.0, &mut rng);
+        let orig = x.clone();
+        let err2 = fake_quant_in_place(&mut x.clone(), QuantScheme::symmetric(BitWidth::W2)).unwrap();
+        let err8 = fake_quant_in_place(&mut x, QuantScheme::symmetric(BitWidth::W8)).unwrap();
+        assert!(err2 > err8, "coarser quantization must hurt more: {err2} vs {err8}");
+        assert!(!x.approx_eq(&orig, 0.0) || err8 == 0.0);
+    }
+}

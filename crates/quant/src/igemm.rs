@@ -1,0 +1,153 @@
+//! True integer matrix multiplication.
+//!
+//! [`quantized_matmul`](crate::quantized_matmul) dequantizes weights to f32
+//! and multiplies in floating point — faithful numerics, but not how an
+//! edge accelerator executes. This module is the real datapath: both
+//! operands as integer codes, an `i32` accumulator, and one floating-point
+//! rescale per output element:
+//!
+//! ```text
+//! y[i][j] = sx * sw_j * Σ_p (qx[i][p] - zx) * (qw[j][p] - zw_j)
+//! ```
+//!
+//! The equivalence tests verify this path matches the f32 reference to the
+//! quantization error bound — the property that lets the hardware cost
+//! model's `effective_macs_per_cycle(bits, ..)` lane-packing claims stand
+//! on executable code.
+
+use crate::affine::QuantizedTensor;
+use crate::scheme::{Granularity, QuantMode};
+use crate::QuantError;
+use edge_llm_tensor::Tensor;
+
+/// Computes `x · Wᵀ` entirely in integer arithmetic.
+///
+/// * `x_q` — activations, quantized **asymmetric per-tensor** (one scale /
+///   zero-point; use [`crate::quantize_with_range`] or a per-tensor
+///   [`crate::QuantScheme`]), shape `m x k`;
+/// * `w_q` — weights, quantized **symmetric per-row**, shape `n x k`.
+///
+/// Returns the rescaled `m x n` f32 result.
+///
+/// # Errors
+///
+/// Returns [`QuantError::ShapeMismatch`] unless `x_q.cols() == w_q.cols()`,
+/// and [`QuantError::BadGroupSize`] when either operand's scheme is not the
+/// required granularity/mode for the integer path.
+pub fn integer_matmul(x_q: &QuantizedTensor, w_q: &QuantizedTensor) -> Result<Tensor, QuantError> {
+    if x_q.cols() != w_q.cols() {
+        return Err(QuantError::ShapeMismatch {
+            op: "integer_matmul",
+            lhs: x_q.shape(),
+            rhs: w_q.shape(),
+        });
+    }
+    let xs = x_q.scheme();
+    let ws = w_q.scheme();
+    if xs.granularity != Granularity::PerTensor {
+        return Err(QuantError::BadGroupSize { group: 1, cols: x_q.cols() });
+    }
+    if ws.mode != QuantMode::Symmetric || ws.granularity != Granularity::PerRow {
+        return Err(QuantError::BadGroupSize { group: w_q.rows(), cols: w_q.cols() });
+    }
+    let (m, k) = x_q.shape();
+    let n = w_q.rows();
+    // unpack codes once; subtract zero-points into i32 operands
+    let zx = x_q.zero_point(0) as i32;
+    let x_codes: Vec<i32> = x_q.codes().iter().map(|c| c as i32 - zx).collect();
+    let mut out = Tensor::zeros(m, n);
+    let sx = x_q.scale(0);
+    let mut w_row = vec![0i32; k];
+    for j in 0..n {
+        let zw = w_q.zero_point(j) as i32;
+        let sw = w_q.scale(j);
+        let w_codes = w_q.row_codes(j);
+        for (dst, &c) in w_row.iter_mut().zip(w_codes.iter()) {
+            *dst = c as i32 - zw;
+        }
+        let rescale = sx * sw;
+        for i in 0..m {
+            let xr = &x_codes[i * k..(i + 1) * k];
+            let mut acc: i64 = 0;
+            for p in 0..k {
+                acc += (xr[p] as i64) * (w_row[p] as i64);
+            }
+            out.set(i, j, acc as f32 * rescale);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::quantize_with_range;
+    use crate::scheme::QuantScheme;
+    use crate::BitWidth;
+    use edge_llm_tensor::{l2_norm, matmul_a_bt, TensorRng};
+
+    fn operands(seed: u64, bits: BitWidth) -> (Tensor, Tensor, QuantizedTensor, QuantizedTensor) {
+        let mut rng = TensorRng::seed_from(seed);
+        let x = Tensor::randn(5, 32, 1.0, &mut rng);
+        let w = Tensor::randn(7, 32, 0.3, &mut rng);
+        let (lo, hi) = x
+            .as_slice()
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        let x_q = quantize_with_range(&x, bits, lo, hi).unwrap();
+        let w_q = QuantizedTensor::quantize(&w, QuantScheme::symmetric(bits)).unwrap();
+        (x, w, x_q, w_q)
+    }
+
+    #[test]
+    fn integer_path_matches_dequantized_float_path() {
+        let (_, _, x_q, w_q) = operands(1, BitWidth::W8);
+        let integer = integer_matmul(&x_q, &w_q).unwrap();
+        let float = matmul_a_bt(&x_q.dequantize(), &w_q.dequantize()).unwrap();
+        let rel = l2_norm(&integer.sub(&float).unwrap()) / l2_norm(&float).max(1e-6);
+        assert!(rel < 1e-4, "integer vs float-on-dequantized rel err {rel}");
+    }
+
+    #[test]
+    fn integer_path_approximates_full_precision() {
+        let (x, w, x_q, w_q) = operands(2, BitWidth::W8);
+        let integer = integer_matmul(&x_q, &w_q).unwrap();
+        let exact = matmul_a_bt(&x, &w).unwrap();
+        let rel = l2_norm(&integer.sub(&exact).unwrap()) / l2_norm(&exact).max(1e-6);
+        assert!(rel < 0.03, "8-bit integer GEMM rel err {rel}");
+    }
+
+    #[test]
+    fn lower_bits_degrade_gracefully() {
+        let (x, w, _, _) = operands(3, BitWidth::W8);
+        let exact = matmul_a_bt(&x, &w).unwrap();
+        let mut prev = 0.0f32;
+        for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
+            let (_, _, x_q, w_q) = operands(3, bits);
+            let integer = integer_matmul(&x_q, &w_q).unwrap();
+            let rel = l2_norm(&integer.sub(&exact).unwrap()) / l2_norm(&exact).max(1e-6);
+            assert!(rel >= prev, "{bits:?} should not beat wider precision");
+            prev = rel;
+        }
+        assert!(prev < 1.0, "even 2-bit keeps some signal: rel {prev}");
+    }
+
+    #[test]
+    fn scheme_requirements_enforced() {
+        let mut rng = TensorRng::seed_from(4);
+        let x = Tensor::randn(2, 8, 1.0, &mut rng);
+        let w = Tensor::randn(3, 8, 1.0, &mut rng);
+        // per-row activations are rejected
+        let x_bad = QuantizedTensor::quantize(&x, QuantScheme::asymmetric(BitWidth::W8)).unwrap();
+        let w_ok = QuantizedTensor::quantize(&w, QuantScheme::symmetric(BitWidth::W8)).unwrap();
+        assert!(integer_matmul(&x_bad, &w_ok).is_err());
+        // asymmetric weights are rejected
+        let x_ok = quantize_with_range(&x, BitWidth::W8, -3.0, 3.0).unwrap();
+        let w_bad = QuantizedTensor::quantize(&w, QuantScheme::asymmetric(BitWidth::W8)).unwrap();
+        assert!(integer_matmul(&x_ok, &w_bad).is_err());
+        // shape mismatch
+        let w2 = Tensor::randn(3, 9, 1.0, &mut rng);
+        let w2_q = QuantizedTensor::quantize(&w2, QuantScheme::symmetric(BitWidth::W8)).unwrap();
+        assert!(integer_matmul(&x_ok, &w2_q).is_err());
+    }
+}

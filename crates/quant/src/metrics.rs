@@ -1,0 +1,91 @@
+use edge_llm_tensor::Tensor;
+
+/// Mean squared error between a tensor and its reconstruction.
+///
+/// Returns `f32::INFINITY` when shapes differ.
+pub fn quant_mse(original: &Tensor, reconstructed: &Tensor) -> f32 {
+    if original.shape() != reconstructed.shape() || original.is_empty() {
+        return if original.shape() == reconstructed.shape() { 0.0 } else { f32::INFINITY };
+    }
+    let n = original.len() as f64;
+    let sum: f64 = original
+        .as_slice()
+        .iter()
+        .zip(reconstructed.as_slice().iter())
+        .map(|(a, b)| {
+            let d = (*a - *b) as f64;
+            d * d
+        })
+        .sum();
+    (sum / n) as f32
+}
+
+/// Signal-to-quantization-noise ratio in decibels:
+/// `10 log10(||x||² / ||x - x̂||²)`.
+///
+/// Returns `f32::INFINITY` for an exact reconstruction and
+/// `f32::NEG_INFINITY` when the signal itself is zero but the error is not.
+pub fn sqnr_db(original: &Tensor, reconstructed: &Tensor) -> f32 {
+    let signal: f64 = original.as_slice().iter().map(|v| (*v as f64) * (*v as f64)).sum();
+    if original.shape() != reconstructed.shape() {
+        return f32::NEG_INFINITY;
+    }
+    let noise: f64 = original
+        .as_slice()
+        .iter()
+        .zip(reconstructed.as_slice().iter())
+        .map(|(a, b)| {
+            let d = (*a - *b) as f64;
+            d * d
+        })
+        .sum();
+    if noise == 0.0 {
+        return f32::INFINITY;
+    }
+    if signal == 0.0 {
+        return f32::NEG_INFINITY;
+    }
+    (10.0 * (signal / noise).log10()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitWidth, QuantScheme, QuantizedTensor};
+    use edge_llm_tensor::TensorRng;
+
+    #[test]
+    fn mse_of_identical_tensors_is_zero() {
+        let t = Tensor::full(3, 3, 2.0);
+        assert_eq!(quant_mse(&t, &t), 0.0);
+        assert_eq!(sqnr_db(&t, &t), f32::INFINITY);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = Tensor::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+        let b = Tensor::from_vec(1, 2, vec![1.0, 3.0]).unwrap();
+        assert!((quant_mse(&a, &b) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_mismatch_is_infinite() {
+        let a = Tensor::zeros(1, 2);
+        let b = Tensor::zeros(2, 1);
+        assert_eq!(quant_mse(&a, &b), f32::INFINITY);
+        assert_eq!(sqnr_db(&a, &b), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sqnr_improves_roughly_6db_per_bit() {
+        let mut rng = TensorRng::seed_from(1);
+        let x = Tensor::randn(32, 64, 1.0, &mut rng);
+        let mut prev = f32::NEG_INFINITY;
+        for bits in [BitWidth::W2, BitWidth::W4, BitWidth::W8] {
+            let q = QuantizedTensor::quantize(&x, QuantScheme::symmetric(bits)).unwrap();
+            let s = sqnr_db(&x, &q.dequantize());
+            assert!(s > prev + 5.0, "{bits}: sqnr {s} vs prev {prev}");
+            prev = s;
+        }
+    }
+}

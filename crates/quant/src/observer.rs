@@ -1,0 +1,213 @@
+//! Range observation for static (calibrated) quantization.
+//!
+//! Dynamic activation quantization fits `(scale, zero)` per batch; real
+//! integer deployments instead *calibrate* a fixed range on sample data and
+//! clamp outliers at run time. [`RangeObserver`] accumulates an
+//! exponential-moving-average range over calibration batches, and
+//! [`QuantizedTensor::quantize_static`](crate::QuantizedTensor) (via
+//! [`quantize_with_range`]) quantizes against the frozen range.
+
+use crate::bitwidth::BitWidth;
+use crate::packed::PackedInts;
+use crate::scheme::{Granularity, QuantMode, QuantScheme};
+use crate::{QuantError, QuantizedTensor};
+use edge_llm_tensor::Tensor;
+
+/// An exponential-moving-average min/max observer.
+///
+/// # Example
+///
+/// ```
+/// use edge_llm_quant::RangeObserver;
+/// use edge_llm_tensor::{Tensor, TensorRng};
+///
+/// let mut obs = RangeObserver::new(0.9);
+/// let mut rng = TensorRng::seed_from(0);
+/// for _ in 0..10 {
+///     obs.observe(&Tensor::randn(4, 8, 1.0, &mut rng));
+/// }
+/// let (lo, hi) = obs.range().unwrap();
+/// assert!(lo < 0.0 && hi > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeObserver {
+    momentum: f32,
+    range: Option<(f32, f32)>,
+    batches: usize,
+}
+
+impl RangeObserver {
+    /// Creates an observer; `momentum` in `[0, 1)` controls how much of the
+    /// previous range is kept per batch (0 = always replace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    pub fn new(momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        RangeObserver { momentum, range: None, batches: 0 }
+    }
+
+    /// Folds one batch's min/max into the running range. Non-finite
+    /// elements are ignored.
+    pub fn observe(&mut self, x: &Tensor) {
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in x.as_slice() {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo > hi {
+            return; // nothing finite in this batch
+        }
+        self.batches += 1;
+        self.range = Some(match self.range {
+            None => (lo, hi),
+            Some((plo, phi)) => (
+                self.momentum * plo + (1.0 - self.momentum) * lo,
+                self.momentum * phi + (1.0 - self.momentum) * hi,
+            ),
+        });
+    }
+
+    /// The calibrated `(lo, hi)` range, if any batch has been observed.
+    pub fn range(&self) -> Option<(f32, f32)> {
+        self.range
+    }
+
+    /// Number of batches folded in.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+}
+
+/// Quantizes `x` per-tensor asymmetric at `bits` against a **fixed** range,
+/// clamping values outside `[lo, hi]` (the static-quantization deployment
+/// path).
+///
+/// # Errors
+///
+/// Returns [`QuantError::BadGroupSize`] if `lo >= hi` or either bound is
+/// non-finite, and [`QuantError::NonFinite`] for non-finite input data.
+pub fn quantize_with_range(
+    x: &Tensor,
+    bits: BitWidth,
+    lo: f32,
+    hi: f32,
+) -> Result<QuantizedTensor, QuantError> {
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(QuantError::BadGroupSize { group: 0, cols: 0 });
+    }
+    if x.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(QuantError::NonFinite);
+    }
+    // include zero so integer accumulation behaves
+    let lo = lo.min(0.0);
+    let hi = hi.max(0.0);
+    let max_code = bits.max_code() as f32;
+    let scale = (hi - lo) / max_code;
+    let zero = (-lo / scale).round();
+    let codes: Vec<u32> = x
+        .as_slice()
+        .iter()
+        .map(|&v| (v.clamp(lo, hi) / scale + zero).round().clamp(0.0, max_code) as u32)
+        .collect();
+    let scheme = QuantScheme {
+        bits,
+        mode: QuantMode::Asymmetric,
+        granularity: Granularity::PerTensor,
+    };
+    Ok(QuantizedTensor::from_parts(
+        x.rows(),
+        x.cols(),
+        scheme,
+        PackedInts::pack(bits, &codes),
+        vec![scale],
+        vec![zero],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edge_llm_tensor::{max_abs_diff, TensorRng};
+
+    #[test]
+    fn observer_tracks_envelope() {
+        let mut obs = RangeObserver::new(0.0); // replace each batch
+        obs.observe(&Tensor::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).unwrap());
+        assert_eq!(obs.range(), Some((-1.0, 2.0)));
+        obs.observe(&Tensor::from_vec(1, 2, vec![-3.0, 1.0]).unwrap());
+        assert_eq!(obs.range(), Some((-3.0, 1.0)));
+        assert_eq!(obs.batches(), 2);
+    }
+
+    #[test]
+    fn momentum_smooths_range() {
+        let mut obs = RangeObserver::new(0.5);
+        obs.observe(&Tensor::from_vec(1, 2, vec![0.0, 2.0]).unwrap());
+        obs.observe(&Tensor::from_vec(1, 2, vec![0.0, 4.0]).unwrap());
+        let (_, hi) = obs.range().unwrap();
+        assert!((hi - 3.0).abs() < 1e-6, "ema of 2 and 4 should be 3, got {hi}");
+    }
+
+    #[test]
+    fn non_finite_batches_ignored() {
+        let mut obs = RangeObserver::new(0.9);
+        let mut bad = Tensor::zeros(1, 2);
+        bad.set(0, 0, f32::NAN);
+        bad.set(0, 1, f32::INFINITY);
+        obs.observe(&bad);
+        assert_eq!(obs.range(), None);
+        assert_eq!(obs.batches(), 0);
+    }
+
+    #[test]
+    fn static_quant_clamps_outliers() {
+        let mut rng = TensorRng::seed_from(1);
+        let calib = Tensor::randn(8, 8, 1.0, &mut rng);
+        let mut obs = RangeObserver::new(0.0);
+        obs.observe(&calib);
+        let (lo, hi) = obs.range().unwrap();
+        // data with an outlier beyond the calibrated range
+        let mut x = Tensor::randn(2, 8, 1.0, &mut rng);
+        x.set(0, 0, hi * 10.0);
+        let q = quantize_with_range(&x, BitWidth::W8, lo, hi).unwrap();
+        let back = q.dequantize();
+        assert!(back.get(0, 0) <= hi + 0.05, "outlier must clamp to the range");
+        // in-range values reconstruct accurately
+        let mut inliers_err = 0.0f32;
+        for c in 1..8 {
+            inliers_err = inliers_err.max((back.get(1, c) - x.get(1, c).clamp(lo, hi)).abs());
+        }
+        assert!(inliers_err < (hi - lo) / 100.0);
+    }
+
+    #[test]
+    fn static_quant_matches_dynamic_when_range_is_exact() {
+        let mut rng = TensorRng::seed_from(2);
+        let x = Tensor::randn(4, 8, 1.0, &mut rng);
+        let (lo, hi) = x.as_slice().iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+        let q_static = quantize_with_range(&x, BitWidth::W8, lo, hi).unwrap();
+        let scheme = QuantScheme::asymmetric(BitWidth::W8).with_granularity(Granularity::PerTensor);
+        let q_dyn = QuantizedTensor::quantize(&x, scheme).unwrap();
+        assert!(max_abs_diff(&q_static.dequantize(), &q_dyn.dequantize()) < 0.05);
+    }
+
+    #[test]
+    fn bad_ranges_rejected() {
+        let x = Tensor::zeros(1, 2);
+        assert!(quantize_with_range(&x, BitWidth::W8, 1.0, 1.0).is_err());
+        assert!(quantize_with_range(&x, BitWidth::W8, 2.0, 1.0).is_err());
+        assert!(quantize_with_range(&x, BitWidth::W8, f32::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_momentum_panics() {
+        let _ = RangeObserver::new(1.0);
+    }
+}

@@ -1,0 +1,133 @@
+use crate::bitwidth::BitWidth;
+
+/// A bit-packed vector of unsigned integer codes.
+///
+/// Codes of 2/4/8/16 bits are packed little-endian into `u32` words; widths
+/// always divide 32 so no code straddles a word boundary. This is the actual
+/// storage format behind [`crate::QuantizedTensor`] — the memory numbers in
+/// the benchmark tables come from `words.len() * 4` real bytes, not from an
+/// estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedInts {
+    bits: BitWidth,
+    len: usize,
+    words: Vec<u32>,
+}
+
+impl PackedInts {
+    /// Packs `codes` at the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) if any code exceeds `bits.max_code()`.
+    pub fn pack(bits: BitWidth, codes: &[u32]) -> Self {
+        let per_word = (32 / bits.bits()) as usize;
+        let n_words = codes.len().div_ceil(per_word);
+        let mut words = vec![0u32; n_words];
+        for (i, &code) in codes.iter().enumerate() {
+            debug_assert!(code <= bits.max_code(), "code {code} exceeds {bits}");
+            let w = i / per_word;
+            let shift = (i % per_word) as u32 * bits.bits();
+            words[w] |= (code & bits.max_code()) << shift;
+        }
+        PackedInts { bits, len: codes.len(), words }
+    }
+
+    /// Number of stored codes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no codes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Storage width.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// The code at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> u32 {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let per_word = (32 / self.bits.bits()) as usize;
+        let w = i / per_word;
+        let shift = (i % per_word) as u32 * self.bits.bits();
+        (self.words[w] >> shift) & self.bits.max_code()
+    }
+
+    /// Iterates over the stored codes in order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// Unpacks all codes into a fresh vector.
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Actual bytes occupied by the packed words.
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        for bits in BitWidth::ALL {
+            let codes: Vec<u32> = (0..100).map(|i| (i * 7) as u32 & bits.max_code()).collect();
+            let packed = PackedInts::pack(bits, &codes);
+            assert_eq!(packed.unpack(), codes, "width {bits}");
+            assert_eq!(packed.len(), 100);
+        }
+    }
+
+    #[test]
+    fn storage_is_compressed() {
+        let codes = vec![1u32; 64];
+        let p2 = PackedInts::pack(BitWidth::W2, &codes);
+        let p8 = PackedInts::pack(BitWidth::W8, &codes);
+        assert_eq!(p2.storage_bytes(), 16); // 64 * 2 bits = 128 bits
+        assert_eq!(p8.storage_bytes(), 64);
+    }
+
+    #[test]
+    fn non_multiple_lengths() {
+        let codes: Vec<u32> = (0..7).collect();
+        let p = PackedInts::pack(BitWidth::W4, &codes);
+        assert_eq!(p.unpack(), codes);
+        assert_eq!(p.storage_bytes(), 4); // 7 nibbles fit one word
+    }
+
+    #[test]
+    fn empty_pack() {
+        let p = PackedInts::pack(BitWidth::W4, &[]);
+        assert!(p.is_empty());
+        assert_eq!(p.storage_bytes(), 0);
+        assert_eq!(p.unpack(), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_bounds_panics() {
+        let p = PackedInts::pack(BitWidth::W4, &[1, 2]);
+        let _ = p.get(2);
+    }
+
+    #[test]
+    fn max_codes_survive() {
+        for bits in BitWidth::ALL {
+            let codes = vec![bits.max_code(); 33];
+            assert_eq!(PackedInts::pack(bits, &codes).unpack(), codes);
+        }
+    }
+}

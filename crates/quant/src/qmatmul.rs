@@ -1,0 +1,73 @@
+use crate::affine::QuantizedTensor;
+use crate::QuantError;
+use edge_llm_tensor::Tensor;
+
+/// Computes `x · Wᵀ` where `W` is quantized row-wise (`W: n x k`,
+/// `x: m x k`, result `m x n`).
+///
+/// Weight rows are dequantized one at a time into a scratch buffer, so the
+/// peak extra memory is one row of f32 regardless of the weight size — the
+/// execution pattern an edge device with a small on-chip buffer would use.
+///
+/// # Errors
+///
+/// Returns [`QuantError::ShapeMismatch`] unless `x.cols() == w.cols()`.
+pub fn quantized_matmul(x: &Tensor, w: &QuantizedTensor) -> Result<Tensor, QuantError> {
+    if x.cols() != w.cols() {
+        return Err(QuantError::ShapeMismatch { op: "quantized_matmul", lhs: x.shape(), rhs: w.shape() });
+    }
+    let (m, k) = x.shape();
+    let n = w.rows();
+    let mut out = Tensor::zeros(m, n);
+    let mut wrow = vec![0.0f32; k];
+    for j in 0..n {
+        w.dequantize_row_into(j, &mut wrow);
+        for i in 0..m {
+            let xr = x.row(i);
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += xr[p] * wrow[p];
+            }
+            out.set(i, j, acc);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitwidth::BitWidth;
+    use crate::scheme::QuantScheme;
+    use edge_llm_tensor::{matmul_a_bt, max_abs_diff, TensorRng};
+
+    #[test]
+    fn matches_dequantized_reference() {
+        let mut rng = TensorRng::seed_from(1);
+        let x = Tensor::randn(5, 32, 1.0, &mut rng);
+        let w = Tensor::randn(7, 32, 0.3, &mut rng);
+        let q = QuantizedTensor::quantize(&w, QuantScheme::symmetric(BitWidth::W8)).unwrap();
+        let fast = quantized_matmul(&x, &q).unwrap();
+        let reference = matmul_a_bt(&x, &q.dequantize()).unwrap();
+        assert!(max_abs_diff(&fast, &reference) < 1e-4);
+    }
+
+    #[test]
+    fn approximates_full_precision_at_8_bits() {
+        let mut rng = TensorRng::seed_from(2);
+        let x = Tensor::randn(4, 64, 0.5, &mut rng);
+        let w = Tensor::randn(6, 64, 0.2, &mut rng);
+        let exact = matmul_a_bt(&x, &w).unwrap();
+        let q = QuantizedTensor::quantize(&w, QuantScheme::symmetric(BitWidth::W8)).unwrap();
+        let approx = quantized_matmul(&x, &q).unwrap();
+        let scale = edge_llm_tensor::l2_norm(&exact).max(1e-6);
+        assert!(edge_llm_tensor::l2_norm(&approx.sub(&exact).unwrap()) / scale < 0.02);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let x = Tensor::zeros(2, 8);
+        let w = QuantizedTensor::quantize(&Tensor::zeros(3, 4), QuantScheme::default()).unwrap();
+        assert!(quantized_matmul(&x, &w).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Every fallible public function in this crate returns
+/// `Result<_, TensorError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes.
+    ///
+    /// Carries the operation name and the offending `(rows, cols)` pairs.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// A constructor was handed a buffer whose length does not match the
+    /// requested shape.
+    LengthMismatch {
+        /// Expected element count (`rows * cols`).
+        expected: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// An index was out of range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+    /// A dimension argument was zero where a positive value is required.
+    ZeroDimension {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape ({expected} elements expected)")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (len {bound})")
+            }
+            TensorError::ZeroDimension { op } => {
+                write!(f, "zero-sized dimension passed to {op}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            TensorError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) },
+            TensorError::LengthMismatch { expected: 6, actual: 5 },
+            TensorError::IndexOutOfBounds { index: 9, bound: 4 },
+            TensorError::ZeroDimension { op: "zeros" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

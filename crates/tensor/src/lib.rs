@@ -1,0 +1,46 @@
+//! Dense tensor math for the Edge-LLM reproduction.
+//!
+//! This crate provides the numerical substrate every other Edge-LLM crate is
+//! built on: a row-major, `f32`, two-dimensional [`Tensor`], blocked matrix
+//! multiplication kernels, and forward **and** backward implementations of
+//! the neural-network primitives a decoder-only transformer needs (softmax,
+//! layer normalization, GELU, embeddings, cross-entropy).
+//!
+//! Backward passes are explicit free functions rather than an autograd tape:
+//! the Edge-LLM adaptive layer tuning scheme controls *which* layers run
+//! backward each iteration, so the training loop — not a tape — must own
+//! backward scheduling (see `edge-llm-model`).
+//!
+//! # Example
+//!
+//! ```
+//! use edge_llm_tensor::{Tensor, TensorRng};
+//!
+//! # fn main() -> Result<(), edge_llm_tensor::TensorError> {
+//! let mut rng = TensorRng::seed_from(42);
+//! let a = Tensor::randn(4, 8, 0.1, &mut rng);
+//! let b = Tensor::randn(8, 3, 0.1, &mut rng);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), (4, 3));
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod matmul;
+mod ops;
+mod rng;
+mod stats;
+mod tensor;
+
+pub use error::TensorError;
+pub use matmul::{matmul_at_b, matmul_a_bt, MatmulKernel};
+pub use ops::{
+    add_bias_backward, add_bias_forward, cross_entropy_backward, cross_entropy_forward,
+    embedding_backward, embedding_forward, gelu_backward, gelu_forward, layernorm_backward,
+    layernorm_forward, relu_backward, relu_forward, softmax_backward, softmax_rows,
+    CrossEntropyOutput, LayerNormCache, IGNORE_TARGET,
+};
+pub use rng::TensorRng;
+pub use stats::{cosine_similarity, l2_norm, max_abs_diff, mean, variance};
+pub use tensor::Tensor;

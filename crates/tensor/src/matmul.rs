@@ -1,0 +1,251 @@
+//! Matrix multiplication kernels.
+//!
+//! Three layouts are needed by transformer training:
+//!
+//! * `C = A · B` — forward projections ([`Tensor::matmul`]),
+//! * `C = Aᵀ · B` — weight gradients ([`matmul_at_b`]),
+//! * `C = A · Bᵀ` — input gradients and attention scores ([`matmul_a_bt`]).
+//!
+//! All kernels are cache-blocked over `TILE x TILE` panels; the block size is
+//! also the unit the hardware scheduling search in `edge-llm-hw` reasons
+//! about.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Cache block edge used by the blocked kernels.
+const TILE: usize = 32;
+
+/// Selects the matmul implementation.
+///
+/// The naive kernel exists as a correctness oracle for tests and as the
+/// "unscheduled" baseline in the hardware-scheduling experiments (F3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatmulKernel {
+    /// Triple loop in row-major order, no blocking.
+    Naive,
+    /// Cache-blocked kernel (default).
+    #[default]
+    Blocked,
+}
+
+impl Tensor {
+    /// Computes `self · other` with the default blocked kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.matmul_with(other, MatmulKernel::Blocked)
+    }
+
+    /// Computes `self · other` with an explicit kernel choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul_with(&self, other: &Tensor, kernel: MatmulKernel) -> Result<Tensor, TensorError> {
+        if self.cols() != other.rows() {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let mut out = Tensor::zeros(m, n);
+        match kernel {
+            MatmulKernel::Naive => naive(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n),
+            MatmulKernel::Blocked => blocked(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n),
+        }
+        Ok(out)
+    }
+}
+
+fn naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
+fn blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for ib in (0..m).step_by(TILE) {
+        let imax = (ib + TILE).min(m);
+        for pb in (0..k).step_by(TILE) {
+            let pmax = (pb + TILE).min(k);
+            for jb in (0..n).step_by(TILE) {
+                let jmax = (jb + TILE).min(n);
+                for i in ib..imax {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let crow = &mut c[i * n..(i + 1) * n];
+                    for p in pb..pmax {
+                        let av = arow[p];
+                        let brow = &b[p * n..(p + 1) * n];
+                        for j in jb..jmax {
+                            crow[j] += av * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes `Aᵀ · B` without materializing the transpose.
+///
+/// Given `A: k x m` and `B: k x n`, returns an `m x n` tensor. This is the
+/// weight-gradient kernel: `dW = Xᵀ · dY`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.rows() == b.rows()`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.rows() != b.rows() {
+        return Err(TensorError::ShapeMismatch { op: "matmul_at_b", lhs: a.shape(), rhs: b.shape() });
+    }
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for i in 0..m {
+            let av = arow[i];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `A · Bᵀ` without materializing the transpose.
+///
+/// Given `A: m x k` and `B: n x k`, returns an `m x n` tensor. This is the
+/// input-gradient kernel (`dX = dY · Wᵀ`) and the attention-score kernel
+/// (`S = Q · Kᵀ`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.cols()`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch { op: "matmul_a_bt", lhs: a.shape(), rhs: b.shape() });
+    }
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Tensor::zeros(m, n);
+    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            crow[j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = TensorRng::seed_from(1);
+        let a = Tensor::randn(5, 5, 1.0, &mut rng);
+        let mut eye = Tensor::zeros(5, 5);
+        for i in 0..5 {
+            eye.set(i, i, 1.0);
+        }
+        let out = a.matmul(&eye).unwrap();
+        assert!(out.approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let mut rng = TensorRng::seed_from(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (33, 65, 34), (64, 32, 96)] {
+            let a = Tensor::randn(m, k, 1.0, &mut rng);
+            let b = Tensor::randn(k, n, 1.0, &mut rng);
+            let c1 = a.matmul_with(&b, MatmulKernel::Naive).unwrap();
+            let c2 = a.matmul_with(&b, MatmulKernel::Blocked).unwrap();
+            assert!(c1.approx_eq(&c2, 1e-4), "mismatch at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = TensorRng::seed_from(3);
+        let a = Tensor::randn(9, 4, 1.0, &mut rng);
+        let b = Tensor::randn(9, 6, 1.0, &mut rng);
+        let fast = matmul_at_b(&a, &b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = TensorRng::seed_from(4);
+        let a = Tensor::randn(5, 8, 1.0, &mut rng);
+        let b = Tensor::randn(7, 8, 1.0, &mut rng);
+        let fast = matmul_a_bt(&a, &b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 2);
+        assert!(a.matmul(&b).is_err());
+        assert!(matmul_at_b(&a, &b).is_err());
+        let c = Tensor::zeros(4, 5);
+        assert!(matmul_a_bt(&a, &c).is_err());
+    }
+
+    #[test]
+    fn empty_operands_produce_empty_output() {
+        let a = Tensor::zeros(0, 3);
+        let b = Tensor::zeros(3, 2);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (0, 2));
+    }
+
+    #[test]
+    fn matmul_kernel_default_is_blocked() {
+        assert_eq!(MatmulKernel::default(), MatmulKernel::Blocked);
+    }
+}

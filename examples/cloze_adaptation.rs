@@ -1,0 +1,96 @@
+//! On-device adaptation scenario: privately memorizing a user's knowledge
+//! base.
+//!
+//! This drives the three Edge-LLM mechanisms explicitly (instead of through
+//! the one-call pipeline): profile the model's layer sensitivities, search
+//! a compression policy, adapt with windowed tuning, and compare exit
+//! voting strategies on the adapted model.
+//!
+//! ```text
+//! cargo run --release --example cloze_adaptation
+//! ```
+
+use edge_llm::compress::apply_policy;
+use edge_llm::eval::evaluate;
+use edge_llm::oracle::ModelOracle;
+use edge_llm::report::{f3, pct, Table};
+use edge_llm::EdgeLlmError;
+use edge_llm_data::{ClozeQaTask, TaskGenerator};
+use edge_llm_luc::{profile, search_policy, SearchAlgorithm};
+use edge_llm_model::{
+    AdaptiveTuner, EdgeModel, ModelConfig, Sgd, VotingCombiner, VotingPolicy, WindowSchedule,
+};
+use edge_llm_quant::BitWidth;
+use edge_llm_tensor::TensorRng;
+
+fn main() -> Result<(), EdgeLlmError> {
+    let mut rng = TensorRng::seed_from(11);
+    let task = ClozeQaTask::new(16, 2);
+    let cfg = ModelConfig::tiny().with_layers(4).with_seq_len(16).with_vocab(task.vocab_size());
+    let mut model = EdgeModel::new(cfg.clone(), &mut rng)?;
+    let mut train = task.dataset(32, cfg.seq_len, &mut rng);
+    let eval_set = task.dataset(16, cfg.seq_len, &mut rng);
+    train.shuffle(&mut rng);
+
+    // --- 1. LUC: profile layer sensitivity and search a policy ----------
+    let calib = train.batch_at(0, 4);
+    let mut oracle = ModelOracle::new(&model, &calib.tokens, &calib.targets, 4);
+    let prof = profile(
+        &mut oracle,
+        &[BitWidth::W2, BitWidth::W4, BitWidth::W8, BitWidth::W16],
+        &[0.0, 0.25, 0.5],
+    )?;
+    println!("layer sensitivity scores (higher = more fragile):");
+    for (l, s) in prof.layer_scores().iter().enumerate() {
+        println!("  layer {l}: {}", f3(*s as f64));
+    }
+    let outcome = search_policy(&prof, 0.3, SearchAlgorithm::DynamicProgramming)?;
+    println!("\nsearched policy (budget 0.30): {}", outcome.policy);
+    println!("predicted loss increase: {}\n", f3(outcome.predicted_delta as f64));
+    apply_policy(&mut model, &outcome.policy)?;
+
+    // --- 2. adaptive layer tuning ---------------------------------------
+    let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 2 });
+    let mut opt = Sgd::new(0.08);
+    for it in 0..120 {
+        let b = train.batch_at(it * 4, 4);
+        let report = tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)?;
+        if it % 30 == 0 {
+            println!(
+                "iter {it:>3}: window {:?}  loss {}",
+                (report.window.start, report.window.end),
+                f3(report.loss as f64)
+            );
+        }
+    }
+
+    // --- 3. adaptive layer voting ---------------------------------------
+    let mut table = Table::new("exit voting comparison", &["policy", "accuracy", "ppl"]);
+    let combiners: [(&str, VotingPolicy); 4] = [
+        ("final exit only", VotingPolicy::final_only(model.n_layers())),
+        (
+            "average vote",
+            VotingPolicy::all_exits(model.n_layers(), VotingCombiner::Average),
+        ),
+        (
+            "confidence vote",
+            VotingPolicy::all_exits(
+                model.n_layers(),
+                VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
+            ),
+        ),
+        (
+            "deep exits vote",
+            VotingPolicy {
+                exits: vec![model.n_layers() - 2, model.n_layers() - 1],
+                combiner: VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
+            },
+        ),
+    ];
+    for (name, policy) in combiners {
+        let r = evaluate(&model, &policy, &eval_set, 4)?;
+        table.add_row(vec![name.to_string(), pct(r.accuracy as f64), f3(r.perplexity as f64)]);
+    }
+    println!("\n{table}");
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Compression-policy exploration: sweep LUC budgets, compare search
+//! algorithms, and print the accuracy/cost Pareto frontier.
+//!
+//! ```text
+//! cargo run --release --example compression_policy
+//! ```
+
+use edge_llm::compress::apply_policy;
+use edge_llm::eval::evaluate;
+use edge_llm::oracle::ModelOracle;
+use edge_llm::report::{f3, pct, Table};
+use edge_llm::EdgeLlmError;
+use edge_llm_data::{ClozeQaTask, TaskGenerator};
+use edge_llm_luc::{
+    pareto_frontier, profile, search_policy, PolicyPoint, SearchAlgorithm,
+};
+use edge_llm_model::{AdaptiveTuner, EdgeModel, ModelConfig, Sgd, VotingPolicy, WindowSchedule};
+use edge_llm_quant::BitWidth;
+use edge_llm_tensor::TensorRng;
+
+fn main() -> Result<(), EdgeLlmError> {
+    let mut rng = TensorRng::seed_from(21);
+    let task = ClozeQaTask::new(12, 2);
+    let cfg = ModelConfig::tiny().with_layers(4).with_seq_len(16).with_vocab(task.vocab_size());
+    let mut model = EdgeModel::new(cfg.clone(), &mut rng)?;
+    let mut train = task.dataset(24, cfg.seq_len, &mut rng);
+    train.shuffle(&mut rng);
+    let calib = train.batch_at(0, 4);
+    let eval_set = task.dataset(16, cfg.seq_len, &mut rng);
+
+    // Sensitivity is only meaningful on a model that has something to
+    // lose: adapt briefly before profiling.
+    let mut tuner = AdaptiveTuner::new(WindowSchedule::FullDepth);
+    let mut opt = Sgd::new(0.08);
+    for it in 0..120 {
+        let b = train.batch_at(it * 4, 4);
+        tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)?;
+    }
+
+    let mut oracle = ModelOracle::new(&model, &calib.tokens, &calib.targets, 4);
+    let prof = profile(
+        &mut oracle,
+        &[BitWidth::W2, BitWidth::W4, BitWidth::W8, BitWidth::W16],
+        &[0.0, 0.25, 0.5, 0.75],
+    )?;
+    println!("sensitivity profiling used {} model probes\n", oracle.probes());
+
+    // --- search-algorithm comparison at one budget -----------------------
+    let mut algo_table =
+        Table::new("search algorithms at budget 0.25", &["algorithm", "pred. delta", "evals"]);
+    for (name, algo) in [
+        ("greedy", SearchAlgorithm::Greedy),
+        ("dp", SearchAlgorithm::DynamicProgramming),
+        ("exhaustive", SearchAlgorithm::Exhaustive),
+    ] {
+        let out = search_policy(&prof, 0.25, algo)?;
+        algo_table.add_row(vec![
+            name.to_string(),
+            f3(out.predicted_delta as f64),
+            out.evaluations.to_string(),
+        ]);
+    }
+    println!("{algo_table}");
+
+    // --- budget sweep and Pareto frontier --------------------------------
+    let mut points = Vec::new();
+    let mut sweep = Table::new(
+        "budget sweep (DP search, adapted model)",
+        &["budget", "policy", "mean bits", "accuracy"],
+    );
+    for budget in [0.1f32, 0.15, 0.2, 0.3, 0.5, 0.8] {
+        let out = search_policy(&prof, budget, SearchAlgorithm::DynamicProgramming)?;
+        let mut m = model.clone();
+        apply_policy(&mut m, &out.policy)?;
+        let r = evaluate(&m, &VotingPolicy::final_only(m.n_layers()), &eval_set, 4)?;
+        sweep.add_row(vec![
+            f3(budget as f64),
+            out.policy.to_string(),
+            f3(out.policy.mean_bits() as f64),
+            pct(r.accuracy as f64),
+        ]);
+        points.push(PolicyPoint {
+            cost: out.policy.mean_cost(),
+            loss: 1.0 - r.accuracy,
+            policy: out.policy,
+        });
+    }
+    println!("{sweep}");
+
+    let frontier = pareto_frontier(&points);
+    println!("pareto frontier ({} of {} points):", frontier.len(), points.len());
+    for p in frontier {
+        println!("  cost {}  error {}", f3(p.cost as f64), f3(p.loss as f64));
+    }
+    Ok(())
+}

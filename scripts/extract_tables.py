@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Extract one experiment's table block from a report output file.
+
+Usage: python3 scripts/extract_tables.py full_report.txt T1
+Prints the ``== ... ==`` block (table only, no timing footer) for splicing
+into EXPERIMENTS.md.
+"""
+import sys
+
+
+def extract(path: str, tag: str) -> str:
+    lines = open(path).read().splitlines()
+    out = []
+    grab = False
+    for line in lines:
+        if line.startswith(f"== {tag}"):
+            grab = True
+        if grab:
+            if line.startswith("[") and "regenerated" in line:
+                break
+            out.append(line)
+    return "\n".join(out).rstrip()
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    print(extract(sys.argv[1], sys.argv[2]))
