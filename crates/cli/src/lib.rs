@@ -14,17 +14,19 @@
 
 use edge_llm::compress::apply_policy;
 use edge_llm::oracle::ModelOracle;
+use edge_llm::resilience::{resilient_adapt, ResilienceConfig};
 use edge_llm_data::{Dataset, TaskGenerator, TextLmTask};
 use edge_llm_luc::{profile, search_policy, CompressionPolicy, SearchAlgorithm};
 use edge_llm_model::{
     generate, load_model, save_model, AdaptiveTuner, Decoding, EdgeModel, ModelConfig, Sgd,
-    VotingCombiner, VotingPolicy, WindowSchedule,
+    TrainingCheckpoint, VotingCombiner, VotingPolicy, WindowSchedule,
 };
 use edge_llm_quant::BitWidth;
 use edge_llm_tensor::TensorRng;
 use std::fmt;
 use std::fs;
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// The candidate bit-widths and ratios the `policy`/`adapt` commands sweep.
 const BIT_CHOICES: [BitWidth; 4] = [BitWidth::W2, BitWidth::W4, BitWidth::W8, BitWidth::W16];
@@ -47,6 +49,10 @@ pub enum Command {
         iterations: usize,
         /// RNG seed.
         seed: u64,
+        /// Write a resumable training state every N iterations (0 = off).
+        checkpoint_every: usize,
+        /// Resume from a training state written by `--checkpoint-every`.
+        resume: Option<String>,
     },
     /// Generate a continuation from an adapted checkpoint.
     Generate {
@@ -107,7 +113,8 @@ edgellm — on-device LLM adaptation (Edge-LLM reproduction)
 
 USAGE:
   edgellm adapt    --corpus <file> --out <ckpt> [--budget 0.25] [--window 2]
-                   [--iterations 400] [--seed 42]
+                   [--iterations 400] [--seed 42] [--checkpoint-every N]
+                   [--resume <ckpt>.state]
   edgellm generate --ckpt <ckpt> --prompt <text> [--tokens 40] [--top-k 3]
                    [--temperature 0.8] [--seed 42]
   edgellm inspect  --ckpt <ckpt>
@@ -116,7 +123,10 @@ USAGE:
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn parse_flag<T: std::str::FromStr>(
@@ -126,9 +136,9 @@ fn parse_flag<T: std::str::FromStr>(
 ) -> Result<T, CliError> {
     match flag_value(args, flag) {
         None => Ok(default),
-        Some(v) => {
-            v.parse().map_err(|_| CliError::Usage(format!("invalid value {v:?} for {flag}")))
-        }
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value {v:?} for {flag}"))),
     }
 }
 
@@ -157,6 +167,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             window: parse_flag(rest, "--window", 2)?,
             iterations: parse_flag(rest, "--iterations", 400)?,
             seed: parse_flag(rest, "--seed", 42)?,
+            checkpoint_every: parse_flag(rest, "--checkpoint-every", 0)?,
+            resume: flag_value(rest, "--resume").map(str::to_string),
         }),
         "generate" => Ok(Command::Generate {
             ckpt: required_flag(rest, "--ckpt")?,
@@ -166,7 +178,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             temperature: parse_flag(rest, "--temperature", 0.8)?,
             seed: parse_flag(rest, "--seed", 42)?,
         }),
-        "inspect" => Ok(Command::Inspect { ckpt: required_flag(rest, "--ckpt")? }),
+        "inspect" => Ok(Command::Inspect {
+            ckpt: required_flag(rest, "--ckpt")?,
+        }),
         "policy" => Ok(Command::Policy {
             corpus: required_flag(rest, "--corpus")?,
             budget: parse_flag(rest, "--budget", 0.25)?,
@@ -188,7 +202,11 @@ fn text_task(corpus_path: &str) -> Result<TextLmTask, CliError> {
 }
 
 fn cli_model_config(vocab: usize) -> ModelConfig {
-    ModelConfig::tiny().with_layers(4).with_d_model(64, 4).with_seq_len(48).with_vocab(vocab)
+    ModelConfig::tiny()
+        .with_layers(4)
+        .with_d_model(64, 4)
+        .with_seq_len(48)
+        .with_vocab(vocab)
 }
 
 fn search_corpus_policy(
@@ -203,7 +221,11 @@ fn search_corpus_policy(
     let targets: Vec<usize> = calib.iter().flat_map(|s| s.targets.clone()).collect();
     let mut oracle = ModelOracle::new(model, &tokens, &targets, 4);
     let prof = profile(&mut oracle, &BIT_CHOICES, &RATIO_CHOICES).map_err(run_err)?;
-    Ok(search_policy(&prof, budget, SearchAlgorithm::DynamicProgramming).map_err(run_err)?.policy)
+    Ok(
+        search_policy(&prof, budget, SearchAlgorithm::DynamicProgramming)
+            .map_err(run_err)?
+            .policy,
+    )
 }
 
 /// Executes a parsed command, writing human-readable output to `out`.
@@ -217,45 +239,154 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
         Command::Help => {
             write!(out, "{USAGE}").map_err(run_err)?;
         }
-        Command::Policy { corpus, budget, seed } => {
+        Command::Policy {
+            corpus,
+            budget,
+            seed,
+        } => {
             let task = text_task(corpus)?;
             let mut rng = TensorRng::seed_from(*seed);
-            let model = EdgeModel::new(cli_model_config(task.vocab_size()), &mut rng)
-                .map_err(run_err)?;
+            let model =
+                EdgeModel::new(cli_model_config(task.vocab_size()), &mut rng).map_err(run_err)?;
             // brief warmup so sensitivity is meaningful
             let mut model = model;
             adapt_model(&mut model, &task, 100, 1, &mut rng)?;
             let policy = search_corpus_policy(&model, &task, *budget, &mut rng)?;
             writeln!(out, "policy: {policy}").map_err(run_err)?;
             writeln!(out, "compact: {}", policy.to_compact_string()).map_err(run_err)?;
-            writeln!(out, "mean cost: {:.3}  mean bits: {:.1}", policy.mean_cost(), policy.mean_bits())
-                .map_err(run_err)?;
+            writeln!(
+                out,
+                "mean cost: {:.3}  mean bits: {:.1}",
+                policy.mean_cost(),
+                policy.mean_bits()
+            )
+            .map_err(run_err)?;
         }
-        Command::Adapt { corpus, out: ckpt, budget, window, iterations, seed } => {
+        Command::Adapt {
+            corpus,
+            out: ckpt,
+            budget,
+            window,
+            iterations,
+            seed,
+            checkpoint_every,
+            resume,
+        } => {
             let task = text_task(corpus)?;
-            let mut rng = TensorRng::seed_from(*seed);
-            let mut model = EdgeModel::new(cli_model_config(task.vocab_size()), &mut rng)
-                .map_err(run_err)?;
-            // warmup -> policy -> compressed windowed adaptation
-            let full_depth = model.n_layers();
-            adapt_model(&mut model, &task, iterations / 4, full_depth, &mut rng)?;
-            let policy = if *budget < 1.0 {
-                let p = search_corpus_policy(&model, &task, *budget, &mut rng)?;
-                apply_policy(&mut model, &p).map_err(run_err)?;
-                p
-            } else {
-                CompressionPolicy::identity(model.n_layers())
+            // Dataset sampling uses its own seed-derived stream so a resumed
+            // run can regenerate the identical dataset from the checkpoint.
+            let (mut model, mut opt, mut rng, policy, data_seed, window, start) = match resume {
+                Some(path) => {
+                    let tc = TrainingCheckpoint::load_file(Path::new(path))
+                        .map_err(|e| CliError::Run(format!("cannot resume from {path}: {e}")))?;
+                    let (policy, data_seed, window) = decode_run_extra(&tc.extra)?;
+                    let mut model = tc.build_model().map_err(run_err)?;
+                    if model.config().vocab_size != task.vocab_size() {
+                        return Err(CliError::Run(format!(
+                            "training state vocabulary {} does not match corpus vocabulary {}",
+                            model.config().vocab_size,
+                            task.vocab_size()
+                        )));
+                    }
+                    // Params first, then the policy: pruning re-selects the
+                    // already-zeroed weights, so the mask is reproduced.
+                    apply_policy(&mut model, &policy).map_err(run_err)?;
+                    let start = tc.iteration as usize;
+                    (
+                        model,
+                        tc.optimizer(),
+                        tc.rng(),
+                        policy,
+                        data_seed,
+                        window,
+                        start,
+                    )
+                }
+                None => {
+                    let mut rng = TensorRng::seed_from(*seed);
+                    let mut model = EdgeModel::new(cli_model_config(task.vocab_size()), &mut rng)
+                        .map_err(run_err)?;
+                    // warmup -> policy -> compressed windowed adaptation
+                    let full_depth = model.n_layers();
+                    adapt_model(&mut model, &task, iterations / 4, full_depth, &mut rng)?;
+                    let policy = if *budget < 1.0 {
+                        let p = search_corpus_policy(&model, &task, *budget, &mut rng)?;
+                        apply_policy(&mut model, &p).map_err(run_err)?;
+                        p
+                    } else {
+                        CompressionPolicy::identity(model.n_layers())
+                    };
+                    let data_seed = seed ^ 0xDA7A_5EED;
+                    (model, Sgd::new(0.1), rng, policy, data_seed, *window, 0)
+                }
             };
-            let final_loss = adapt_model(&mut model, &task, *iterations, *window, &mut rng)?;
+            let cfg = model.config().clone();
+            let mut data_rng = TensorRng::seed_from(data_seed);
+            let ds = Dataset::from_samples(
+                (0..32)
+                    .map(|_| task.sample(cfg.seq_len, &mut data_rng))
+                    .collect(),
+            );
+            let schedule = if window >= cfg.n_layers {
+                WindowSchedule::FullDepth
+            } else {
+                WindowSchedule::RoundRobin {
+                    depth: window.max(1),
+                }
+            };
+            let mut tuner = AdaptiveTuner::new(schedule);
+            tuner.set_iteration(start);
+            let state_path = format!("{ckpt}.state");
+            let res = ResilienceConfig {
+                checkpoint_every: *checkpoint_every,
+                checkpoint_path: (*checkpoint_every > 0).then(|| PathBuf::from(&state_path)),
+                ..ResilienceConfig::default()
+            };
+            let extra = encode_run_extra(&policy, data_seed, window);
+            let run = resilient_adapt(
+                &mut model,
+                &mut opt,
+                &mut tuner,
+                &mut rng,
+                &ds,
+                4,
+                *iterations,
+                extra,
+                &res,
+            )
+            .map_err(run_err)?;
             let mut file = fs::File::create(ckpt)
                 .map_err(|e| CliError::Run(format!("cannot create {ckpt}: {e}")))?;
             save_model(&mut model, &mut file).map_err(run_err)?;
             file.flush().map_err(run_err)?;
-            writeln!(out, "adapted on {corpus}: final loss {final_loss:.3}").map_err(run_err)?;
+            if run.steps_executed == 0 {
+                writeln!(
+                    out,
+                    "nothing to do: resumed at iteration {start} of {iterations}"
+                )
+                .map_err(run_err)?;
+            } else {
+                writeln!(out, "adapted on {corpus}: final loss {:.3}", run.final_loss)
+                    .map_err(run_err)?;
+            }
             writeln!(out, "policy: {}", policy.to_compact_string()).map_err(run_err)?;
+            if !run.journal.is_empty() {
+                writeln!(out, "recovery journal:").map_err(run_err)?;
+                write!(out, "{}", run.journal).map_err(run_err)?;
+            }
             writeln!(out, "checkpoint written to {ckpt}").map_err(run_err)?;
+            if *checkpoint_every > 0 {
+                writeln!(out, "training state written to {state_path}").map_err(run_err)?;
+            }
         }
-        Command::Generate { ckpt, prompt, tokens, top_k, temperature, seed } => {
+        Command::Generate {
+            ckpt,
+            prompt,
+            tokens,
+            top_k,
+            temperature,
+            seed,
+        } => {
             let mut file = fs::File::open(ckpt)
                 .map_err(|e| CliError::Run(format!("cannot open {ckpt}: {e}")))?;
             let model = load_model(&mut file).map_err(run_err)?;
@@ -271,7 +402,10 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             let decoding = if *top_k == 0 {
                 Decoding::Greedy
             } else {
-                Decoding::TopK { k: *top_k, temperature: *temperature }
+                Decoding::TopK {
+                    k: *top_k,
+                    temperature: *temperature,
+                }
             };
             let voting = VotingPolicy::all_exits(
                 model.n_layers(),
@@ -297,6 +431,40 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
     Ok(())
 }
 
+/// Encodes everything a resumed `adapt` needs beyond the training state
+/// itself: the applied policy, the dataset seed, and the window depth.
+fn encode_run_extra(policy: &CompressionPolicy, data_seed: u64, window: usize) -> Vec<u8> {
+    format!(
+        "policy={}\ndata_seed={data_seed}\nwindow={window}\n",
+        policy.to_compact_string()
+    )
+    .into_bytes()
+}
+
+fn decode_run_extra(extra: &[u8]) -> Result<(CompressionPolicy, u64, usize), CliError> {
+    let text = std::str::from_utf8(extra)
+        .map_err(|_| CliError::Run("training state metadata is not UTF-8".into()))?;
+    let mut policy = None;
+    let mut data_seed = None;
+    let mut window = None;
+    for line in text.lines() {
+        match line.split_once('=') {
+            Some(("policy", v)) => {
+                policy = Some(CompressionPolicy::parse_compact(v).map_err(run_err)?);
+            }
+            Some(("data_seed", v)) => data_seed = v.parse::<u64>().ok(),
+            Some(("window", v)) => window = v.parse::<usize>().ok(),
+            _ => {}
+        }
+    }
+    match (policy, data_seed, window) {
+        (Some(p), Some(d), Some(w)) => Ok((p, d, w)),
+        _ => Err(CliError::Run(
+            "training state was not written by `edgellm adapt` (missing run metadata)".into(),
+        )),
+    }
+}
+
 fn adapt_model(
     model: &mut EdgeModel,
     task: &TextLmTask,
@@ -309,7 +477,9 @@ fn adapt_model(
     let schedule = if window >= cfg.n_layers {
         WindowSchedule::FullDepth
     } else {
-        WindowSchedule::RoundRobin { depth: window.max(1) }
+        WindowSchedule::RoundRobin {
+            depth: window.max(1),
+        }
     };
     let mut tuner = AdaptiveTuner::new(schedule);
     let mut opt = Sgd::new(0.1);
@@ -344,8 +514,29 @@ mod tests {
                 window: 2,
                 iterations: 400,
                 seed: 42,
+                checkpoint_every: 0,
+                resume: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_adapt_resilience_flags() {
+        let cmd = parse_args(&argv(
+            "adapt --corpus notes.txt --out m.ckpt --checkpoint-every 25 --resume m.ckpt.state",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Adapt {
+                checkpoint_every,
+                resume,
+                ..
+            } => {
+                assert_eq!(checkpoint_every, 25);
+                assert_eq!(resume.as_deref(), Some("m.ckpt.state"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]
@@ -355,7 +546,12 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Generate { tokens, top_k, seed, .. } => {
+            Command::Generate {
+                tokens,
+                top_k,
+                seed,
+                ..
+            } => {
                 assert_eq!(tokens, 10);
                 assert_eq!(top_k, 0);
                 assert_eq!(seed, 7);
@@ -366,8 +562,14 @@ mod tests {
 
     #[test]
     fn missing_required_flag_errors() {
-        assert!(matches!(parse_args(&argv("adapt --out x")), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&argv("inspect")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&argv("adapt --out x")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&argv("inspect")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -380,7 +582,10 @@ mod tests {
 
     #[test]
     fn unknown_subcommand_errors() {
-        assert!(matches!(parse_args(&argv("frobnicate")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&argv("frobnicate")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -410,14 +615,23 @@ mod tests {
             window: 2,
             iterations: 20,
             seed: 1,
+            checkpoint_every: 0,
+            resume: None,
         };
         let mut buf = Vec::new();
         run(&adapt, &mut buf).unwrap();
-        assert!(String::from_utf8(buf).unwrap().contains("checkpoint written"));
+        assert!(String::from_utf8(buf)
+            .unwrap()
+            .contains("checkpoint written"));
 
         let mut buf = Vec::new();
-        run(&Command::Inspect { ckpt: ckpt_path.to_string_lossy().into_owned() }, &mut buf)
-            .unwrap();
+        run(
+            &Command::Inspect {
+                ckpt: ckpt_path.to_string_lossy().into_owned(),
+            },
+            &mut buf,
+        )
+        .unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("layers: 4"));
         assert!(text.contains("vocab: 96"));
@@ -438,6 +652,115 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("water"));
         assert!(text.trim_end().len() >= "water".len() + 8);
+    }
+
+    fn adapt_cmd(corpus: &Path, ckpt: &Path, iterations: usize) -> Command {
+        Command::Adapt {
+            corpus: corpus.to_string_lossy().into_owned(),
+            out: ckpt.to_string_lossy().into_owned(),
+            budget: 1.0,
+            window: 2,
+            iterations,
+            seed: 3,
+            checkpoint_every: 0,
+            resume: None,
+        }
+    }
+
+    #[test]
+    fn checkpoint_every_writes_state_and_resume_continues() {
+        let dir = std::env::temp_dir().join("edgellm-cli-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("notes.txt");
+        let ckpt_path = dir.join("model.ckpt");
+        std::fs::write(&corpus_path, "check the sensors. water the plants. ").unwrap();
+
+        let mut first = adapt_cmd(&corpus_path, &ckpt_path, 12);
+        if let Command::Adapt {
+            checkpoint_every, ..
+        } = &mut first
+        {
+            *checkpoint_every = 6;
+        }
+        let mut buf = Vec::new();
+        run(&first, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("training state written"));
+        let state_path = dir.join("model.ckpt.state");
+        assert!(state_path.exists());
+
+        // resume past the recorded iteration and finish the run
+        let mut second = adapt_cmd(&corpus_path, &ckpt_path, 16);
+        if let Command::Adapt { resume, .. } = &mut second {
+            *resume = Some(state_path.to_string_lossy().into_owned());
+        }
+        let mut buf = Vec::new();
+        run(&second, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("adapted on"), "resume did not run: {text}");
+        assert!(text.contains("checkpoint written"));
+
+        // resuming at-or-past the target is a clean no-op, not an error
+        let mut third = adapt_cmd(&corpus_path, &ckpt_path, 6);
+        if let Command::Adapt { resume, .. } = &mut third {
+            *resume = Some(state_path.to_string_lossy().into_owned());
+        }
+        let mut buf = Vec::new();
+        run(&third, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("nothing to do"));
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_state() {
+        let dir = std::env::temp_dir().join("edgellm-cli-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("notes.txt");
+        let ckpt_path = dir.join("model.ckpt");
+        std::fs::write(&corpus_path, "water the plants. check the sensors. ").unwrap();
+
+        let mut first = adapt_cmd(&corpus_path, &ckpt_path, 8);
+        if let Command::Adapt {
+            checkpoint_every, ..
+        } = &mut first
+        {
+            *checkpoint_every = 4;
+        }
+        run(&first, &mut Vec::new()).unwrap();
+        let state_path = dir.join("model.ckpt.state");
+
+        // flip one payload byte: the checksum must catch it
+        let mut bytes = std::fs::read(&state_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let flipped = dir.join("flipped.state");
+        std::fs::write(&flipped, &bytes).unwrap();
+        let mut cmd = adapt_cmd(&corpus_path, &ckpt_path, 16);
+        if let Command::Adapt { resume, .. } = &mut cmd {
+            *resume = Some(flipped.to_string_lossy().into_owned());
+        }
+        match run(&cmd, &mut Vec::new()) {
+            Err(CliError::Run(msg)) => assert!(msg.contains("cannot resume"), "message: {msg}"),
+            other => panic!("corrupt state accepted: {other:?}"),
+        }
+
+        // truncation is rejected too
+        let truncated = dir.join("truncated.state");
+        std::fs::write(&truncated, &std::fs::read(&state_path).unwrap()[..20]).unwrap();
+        if let Command::Adapt { resume, .. } = &mut cmd {
+            *resume = Some(truncated.to_string_lossy().into_owned());
+        }
+        assert!(matches!(run(&cmd, &mut Vec::new()), Err(CliError::Run(_))));
+
+        // a model-only (v1) checkpoint is a version mismatch, not a panic
+        if let Command::Adapt { resume, .. } = &mut cmd {
+            *resume = Some(ckpt_path.to_string_lossy().into_owned());
+        }
+        match run(&cmd, &mut Vec::new()) {
+            Err(CliError::Run(msg)) => {
+                assert!(msg.contains("format v1"), "message: {msg}");
+            }
+            other => panic!("v1 checkpoint accepted as training state: {other:?}"),
+        }
     }
 
     #[test]

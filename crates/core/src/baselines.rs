@@ -18,7 +18,10 @@ pub fn uniform_policy_for_budget(n_layers: usize, budget: f32) -> CompressionPol
     let mut best: Option<LayerPolicy> = None;
     for &bits in &BitWidth::ALL {
         for &ratio in &UNIFORM_GRID_RATIOS {
-            let cand = LayerPolicy { bits, prune_ratio: ratio };
+            let cand = LayerPolicy {
+                bits,
+                prune_ratio: ratio,
+            };
             let cost = cand.cost();
             if cost > budget + 1e-6 {
                 continue;
@@ -27,8 +30,7 @@ pub fn uniform_policy_for_budget(n_layers: usize, budget: f32) -> CompressionPol
                 None => true,
                 Some(cur) => {
                     let (cc, bc) = (cur.cost(), cost);
-                    bc > cc + 1e-6
-                        || ((bc - cc).abs() <= 1e-6 && cand.bits > cur.bits)
+                    bc > cc + 1e-6 || ((bc - cc).abs() <= 1e-6 && cand.bits > cur.bits)
                 }
             };
             if better {
@@ -36,7 +38,10 @@ pub fn uniform_policy_for_budget(n_layers: usize, budget: f32) -> CompressionPol
             }
         }
     }
-    let layer = best.unwrap_or(LayerPolicy { bits: BitWidth::W2, prune_ratio: 0.75 });
+    let layer = best.unwrap_or(LayerPolicy {
+        bits: BitWidth::W2,
+        prune_ratio: 0.75,
+    });
     CompressionPolicy::uniform(n_layers, layer.bits, layer.prune_ratio)
 }
 
@@ -51,8 +56,7 @@ pub fn lora_trainable_fraction(config: &ModelConfig, rank: usize) -> f32 {
         (c, config.d_ff),
         (config.d_ff, c),
     ];
-    let lora_per_block: usize =
-        per_block_weights.iter().map(|&(i, o)| rank * (i + o)).sum();
+    let lora_per_block: usize = per_block_weights.iter().map(|&(i, o)| rank * (i + o)).sum();
     let trainable = config.n_layers * lora_per_block;
     trainable as f32 / config.param_count() as f32
 }
@@ -65,7 +69,11 @@ mod tests {
     fn uniform_policy_meets_budget() {
         for budget in [0.1f32, 0.2, 0.3, 0.5, 1.0] {
             let p = uniform_policy_for_budget(8, budget);
-            assert!(p.mean_cost() <= budget + 1e-5, "budget {budget}: cost {}", p.mean_cost());
+            assert!(
+                p.mean_cost() <= budget + 1e-5,
+                "budget {budget}: cost {}",
+                p.mean_cost()
+            );
         }
     }
 

@@ -157,7 +157,10 @@ mod tests {
     fn policy_depth_mismatch_rejected() {
         let mut m = model();
         let p = CompressionPolicy::uniform(5, BitWidth::W4, 0.5);
-        assert!(matches!(apply_policy(&mut m, &p), Err(EdgeLlmError::BadConfig { .. })));
+        assert!(matches!(
+            apply_policy(&mut m, &p),
+            Err(EdgeLlmError::BadConfig { .. })
+        ));
     }
 
     #[test]
@@ -183,10 +186,22 @@ mod tests {
     #[test]
     fn masks_actually_sparsify_weights() {
         let mut m = model();
-        apply_layer_policy(&mut m, 0, LayerPolicy { bits: BitWidth::W16, prune_ratio: 0.5 })
-            .unwrap();
+        apply_layer_policy(
+            &mut m,
+            0,
+            LayerPolicy {
+                bits: BitWidth::W16,
+                prune_ratio: 0.5,
+            },
+        )
+        .unwrap();
         let (qkv, _) = m.block(0).attn().linears();
-        let zeros = qkv.weight().as_slice().iter().filter(|&&v| v == 0.0).count();
+        let zeros = qkv
+            .weight()
+            .as_slice()
+            .iter()
+            .filter(|&&v| v == 0.0)
+            .count();
         assert!(zeros as f32 >= 0.5 * qkv.weight().len() as f32);
     }
 

@@ -17,6 +17,16 @@ pub enum EdgeLlmError {
         /// Human-readable reason.
         reason: String,
     },
+    /// Adaptation left the stable regime and the rollback budget of the
+    /// resilient runtime was exhausted.
+    Diverged {
+        /// Iteration at which the final divergence was detected.
+        iteration: u64,
+        /// Rollbacks taken before giving up.
+        rollbacks: usize,
+        /// Loss of the final offending step.
+        last_loss: f32,
+    },
 }
 
 impl fmt::Display for EdgeLlmError {
@@ -27,6 +37,10 @@ impl fmt::Display for EdgeLlmError {
             EdgeLlmError::Hw(e) => write!(f, "hardware error: {e}"),
             EdgeLlmError::Tensor(e) => write!(f, "tensor error: {e}"),
             EdgeLlmError::BadConfig { reason } => write!(f, "invalid experiment config: {reason}"),
+            EdgeLlmError::Diverged { iteration, rollbacks, last_loss } => write!(
+                f,
+                "adaptation diverged at iteration {iteration} after {rollbacks} rollbacks (last loss {last_loss})"
+            ),
         }
     }
 }
@@ -38,7 +52,7 @@ impl Error for EdgeLlmError {
             EdgeLlmError::Luc(e) => Some(e),
             EdgeLlmError::Hw(e) => Some(e),
             EdgeLlmError::Tensor(e) => Some(e),
-            EdgeLlmError::BadConfig { .. } => None,
+            EdgeLlmError::BadConfig { .. } | EdgeLlmError::Diverged { .. } => None,
         }
     }
 }
@@ -76,7 +90,9 @@ mod tests {
         let e = EdgeLlmError::from(edge_llm_tensor::TensorError::ZeroDimension { op: "x" });
         assert!(e.to_string().contains("tensor error"));
         assert!(e.source().is_some());
-        let b = EdgeLlmError::BadConfig { reason: "nope".into() };
+        let b = EdgeLlmError::BadConfig {
+            reason: "nope".into(),
+        };
         assert!(b.source().is_none());
     }
 }

@@ -29,7 +29,9 @@ pub fn evaluate(
     batch: usize,
 ) -> Result<EvalResult, EdgeLlmError> {
     if dataset.is_empty() {
-        return Err(EdgeLlmError::BadConfig { reason: "empty evaluation dataset".into() });
+        return Err(EdgeLlmError::BadConfig {
+            reason: "empty evaluation dataset".into(),
+        });
     }
     let mut correct_weighted = 0.0f64;
     let mut nll = 0.0f64;
@@ -45,7 +47,9 @@ pub fn evaluate(
         positions += batch_positions;
     }
     if positions == 0 {
-        return Err(EdgeLlmError::BadConfig { reason: "dataset has no supervised positions".into() });
+        return Err(EdgeLlmError::BadConfig {
+            reason: "dataset has no supervised positions".into(),
+        });
     }
     Ok(EvalResult {
         accuracy: (correct_weighted / positions as f64) as f32,

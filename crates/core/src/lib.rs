@@ -41,6 +41,7 @@ pub mod eval;
 pub mod oracle;
 pub mod pipeline;
 pub mod report;
+pub mod resilience;
 pub mod schedule;
 pub mod windows;
 

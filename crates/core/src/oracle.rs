@@ -21,8 +21,19 @@ pub struct ModelOracle<'a> {
 
 impl<'a> ModelOracle<'a> {
     /// Wraps `model` with a calibration batch of `batch` sequences.
-    pub fn new(model: &'a EdgeModel, tokens: &'a [usize], targets: &'a [usize], batch: usize) -> Self {
-        ModelOracle { model, tokens, targets, batch, probes: 0 }
+    pub fn new(
+        model: &'a EdgeModel,
+        tokens: &'a [usize],
+        targets: &'a [usize],
+        batch: usize,
+    ) -> Self {
+        ModelOracle {
+            model,
+            tokens,
+            targets,
+            batch,
+            probes: 0,
+        }
     }
 
     /// Number of compressed-model evaluations performed so far.
@@ -94,7 +105,13 @@ mod tests {
         let tokens: Vec<usize> = (0..cfg.seq_len).collect();
         let before = model.logits(&tokens, 1).unwrap();
         let mut oracle = ModelOracle::new(&model, &tokens, &tokens, 1);
-        let _ = oracle.loss_with(0, LayerPolicy { bits: BitWidth::W2, prune_ratio: 0.5 });
+        let _ = oracle.loss_with(
+            0,
+            LayerPolicy {
+                bits: BitWidth::W2,
+                prune_ratio: 0.5,
+            },
+        );
         let after = model.logits(&tokens, 1).unwrap();
         assert!(before.approx_eq(&after, 0.0));
     }

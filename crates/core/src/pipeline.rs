@@ -10,22 +10,18 @@ use crate::baselines::uniform_policy_for_budget;
 use crate::compress::apply_policy;
 use crate::eval::{evaluate, EvalResult};
 use crate::oracle::ModelOracle;
+use crate::resilience::{policy_extra, resilient_adapt, RecoveryJournal, ResilienceConfig};
 use crate::schedule::modeled_training_iteration;
 use crate::EdgeLlmError;
-use edge_llm_data::{
-    ClozeQaTask, CopyTask, Dataset, MarkovTextTask, ModArithTask, TaskGenerator,
-};
+use edge_llm_data::{ClozeQaTask, CopyTask, Dataset, MarkovTextTask, ModArithTask, TaskGenerator};
 use edge_llm_hw::DeviceModel;
-use edge_llm_luc::{
-    profile, search_policy, CompressionPolicy, SearchAlgorithm,
-};
+use edge_llm_luc::{profile, search_policy, CompressionPolicy, SearchAlgorithm};
 use edge_llm_model::{
     AdaptiveTuner, EdgeModel, LayerWindow, ModelConfig, Sgd, VotingCombiner, VotingPolicy,
     WindowSchedule,
 };
 use edge_llm_quant::BitWidth;
 use edge_llm_tensor::TensorRng;
-use std::time::Instant;
 
 /// Which synthetic adaptation task to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,9 +63,14 @@ impl TaskKind {
     /// is the paper's continuous-adaptation setting.
     pub fn build_with_salt(&self, salt: u64) -> Box<dyn TaskGenerator> {
         match *self {
-            TaskKind::ClozeQa { subjects, relations } => {
-                Box::new(ClozeQaTask::with_seed(subjects, relations, 0x5eed ^ (salt * 0x9e37)))
-            }
+            TaskKind::ClozeQa {
+                subjects,
+                relations,
+            } => Box::new(ClozeQaTask::with_seed(
+                subjects,
+                relations,
+                0x5eed ^ (salt * 0x9e37),
+            )),
             TaskKind::Markov { branching } => {
                 Box::new(MarkovTextTask::new(64, branching, 0xeda ^ (salt * 0x9e37)))
             }
@@ -152,7 +153,10 @@ impl ExperimentConfig {
     pub fn smoke_test() -> Self {
         ExperimentConfig {
             model: ModelConfig::tiny().with_layers(2),
-            task: TaskKind::ClozeQa { subjects: 8, relations: 2 },
+            task: TaskKind::ClozeQa {
+                subjects: 8,
+                relations: 2,
+            },
             seed: 7,
             train_samples: 8,
             eval_samples: 4,
@@ -173,8 +177,13 @@ impl ExperimentConfig {
     /// that lands at the paper's ~2.9x per-iteration speedup.
     pub fn edge_default() -> Self {
         ExperimentConfig {
-            model: ModelConfig::edge_base().with_d_model(64, 4).with_seq_len(48),
-            task: TaskKind::ClozeQa { subjects: 16, relations: 2 },
+            model: ModelConfig::edge_base()
+                .with_d_model(64, 4)
+                .with_seq_len(48),
+            task: TaskKind::ClozeQa {
+                subjects: 16,
+                relations: 2,
+            },
             seed: 42,
             train_samples: 32,
             eval_samples: 16,
@@ -195,15 +204,24 @@ impl ExperimentConfig {
     ///
     /// Returns [`EdgeLlmError::BadConfig`] for zero-sized knobs.
     pub fn validate(&self) -> Result<(), EdgeLlmError> {
-        if self.train_samples == 0 || self.eval_samples == 0 || self.batch == 0 || self.iterations == 0
+        if self.train_samples == 0
+            || self.eval_samples == 0
+            || self.batch == 0
+            || self.iterations == 0
         {
-            return Err(EdgeLlmError::BadConfig { reason: "all sizes must be positive".into() });
+            return Err(EdgeLlmError::BadConfig {
+                reason: "all sizes must be positive".into(),
+            });
         }
         if self.window_depth == 0 {
-            return Err(EdgeLlmError::BadConfig { reason: "window depth must be positive".into() });
+            return Err(EdgeLlmError::BadConfig {
+                reason: "window depth must be positive".into(),
+            });
         }
         if !(0.0..=1.0).contains(&self.budget) {
-            return Err(EdgeLlmError::BadConfig { reason: "budget must be in [0,1]".into() });
+            return Err(EdgeLlmError::BadConfig {
+                reason: "budget must be in [0,1]".into(),
+            });
         }
         self.model.validate().map_err(EdgeLlmError::from)
     }
@@ -236,6 +254,9 @@ pub struct AdaptationOutcome {
     pub policy_ratio: f32,
     /// The quality/latency evaluation used (voting or final exit).
     pub eval: EvalResult,
+    /// What the resilient runtime did to keep the run alive (empty on a
+    /// clean run).
+    pub journal: RecoveryJournal,
 }
 
 /// The candidate sets the LUC profiler sweeps.
@@ -262,20 +283,45 @@ pub fn luc_policy(
     Ok(search_policy(&prof, budget, algorithm)?.policy)
 }
 
-/// Runs one adaptation method end to end.
+/// Runs one adaptation method end to end with the default resilience
+/// settings (divergence guard on, no periodic checkpoints, no faults).
 ///
 /// # Errors
 ///
 /// Propagates configuration, compression, training, and evaluation errors.
-pub fn run_method(method: Method, config: &ExperimentConfig) -> Result<AdaptationOutcome, EdgeLlmError> {
+pub fn run_method(
+    method: Method,
+    config: &ExperimentConfig,
+) -> Result<AdaptationOutcome, EdgeLlmError> {
+    run_method_with(method, config, &ResilienceConfig::default())
+}
+
+/// Runs one adaptation method end to end under an explicit
+/// [`ResilienceConfig`] — periodic checkpoints, rollback budget, and (in
+/// tests) a fault-injection plan.
+///
+/// # Errors
+///
+/// Propagates configuration, compression, training, and evaluation
+/// errors; returns [`EdgeLlmError::Diverged`] when the rollback budget is
+/// exhausted.
+pub fn run_method_with(
+    method: Method,
+    config: &ExperimentConfig,
+    resilience: &ResilienceConfig,
+) -> Result<AdaptationOutcome, EdgeLlmError> {
     config.validate()?;
     let task = config.task.build();
     let mut rng = TensorRng::seed_from(config.seed);
     let model_cfg = config.model.clone().with_vocab(task.vocab_size());
     model_cfg.validate()?;
     let mut model = EdgeModel::new(model_cfg.clone(), &mut rng)?;
-    let mut train = task.as_ref().dataset_boxed(config.train_samples, model_cfg.seq_len, &mut rng);
-    let eval_set = task.as_ref().dataset_boxed(config.eval_samples, model_cfg.seq_len, &mut rng);
+    let mut train = task
+        .as_ref()
+        .dataset_boxed(config.train_samples, model_cfg.seq_len, &mut rng);
+    let eval_set = task
+        .as_ref()
+        .dataset_boxed(config.eval_samples, model_cfg.seq_len, &mut rng);
     train.shuffle(&mut rng);
 
     // 0. pretraining on the source task (deep supervision so every exit
@@ -283,9 +329,12 @@ pub fn run_method(method: Method, config: &ExperimentConfig) -> Result<Adaptatio
     if config.pretrain_iterations > 0 {
         let source = config.task.build_with_salt(1);
         let pre_train =
-            source.as_ref().dataset_boxed(config.train_samples, model_cfg.seq_len, &mut rng);
-        let windows: Vec<LayerWindow> =
-            (1..=model_cfg.n_layers).map(|e| LayerWindow { start: 0, end: e }).collect();
+            source
+                .as_ref()
+                .dataset_boxed(config.train_samples, model_cfg.seq_len, &mut rng);
+        let windows: Vec<LayerWindow> = (1..=model_cfg.n_layers)
+            .map(|e| LayerWindow { start: 0, end: e })
+            .collect();
         let mut tuner = AdaptiveTuner::new(WindowSchedule::Ordered(windows));
         let mut opt = Sgd::new(config.lr);
         for it in 0..config.pretrain_iterations {
@@ -300,7 +349,9 @@ pub fn run_method(method: Method, config: &ExperimentConfig) -> Result<Adaptatio
     let calib = if config.pretrain_iterations > 0 {
         let source = config.task.build_with_salt(1);
         let calib_set =
-            source.as_ref().dataset_boxed(config.batch * 2, model_cfg.seq_len, &mut rng);
+            source
+                .as_ref()
+                .dataset_boxed(config.batch * 2, model_cfg.seq_len, &mut rng);
         calib_set.batch_at(0, config.batch * 2)
     } else {
         train.batch_at(0, config.batch * 2)
@@ -339,23 +390,26 @@ pub fn run_method(method: Method, config: &ExperimentConfig) -> Result<Adaptatio
             end: model_cfg.n_layers,
         }]),
         _ if window_depth >= model_cfg.n_layers => WindowSchedule::FullDepth,
-        _ => WindowSchedule::RoundRobin { depth: window_depth },
+        _ => WindowSchedule::RoundRobin {
+            depth: window_depth,
+        },
     };
     let mut tuner = AdaptiveTuner::new(schedule);
     let mut opt = Sgd::new(config.lr);
 
-    // 3. adaptation loop with per-iteration timing
-    let mut total_ms = 0.0f64;
-    let mut peak_activation = 0usize;
-    let mut final_loss = f32::NAN;
-    for it in 0..config.iterations {
-        let b = train.batch_at(it * config.batch, config.batch);
-        let t0 = Instant::now();
-        let report = tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)?;
-        total_ms += t0.elapsed().as_secs_f64() * 1e3;
-        peak_activation = peak_activation.max(report.activation_bytes);
-        final_loss = report.loss;
-    }
+    // 3. adaptation under the resilient runtime: checkpointed, guarded
+    //    against divergence, degradable under pressure
+    let run = resilient_adapt(
+        &mut model,
+        &mut opt,
+        &mut tuner,
+        &mut rng,
+        &train,
+        config.batch,
+        config.iterations,
+        policy_extra(&policy),
+        resilience,
+    )?;
 
     // 4. evaluation. Edge-LLM's voting is *adaptive*: per-exit reliability
     // weights are fitted on (held-in) training data, then blended with the
@@ -375,7 +429,10 @@ pub fn run_method(method: Method, config: &ExperimentConfig) -> Result<Adaptatio
             for w in &mut weights {
                 *w = w.powi(3);
             }
-            VotingPolicy { exits, combiner: VotingCombiner::Learned(weights) }
+            VotingPolicy {
+                exits,
+                combiner: VotingCombiner::Learned(weights),
+            }
         }
         _ => VotingPolicy::final_only(model.n_layers()),
     };
@@ -394,15 +451,16 @@ pub fn run_method(method: Method, config: &ExperimentConfig) -> Result<Adaptatio
         method: method.label().to_string(),
         accuracy: eval.accuracy,
         perplexity: eval.perplexity,
-        final_loss,
-        mean_iter_ms: total_ms / config.iterations as f64,
-        peak_activation_bytes: peak_activation,
+        final_loss: run.final_loss,
+        mean_iter_ms: run.total_ms / run.steps_executed.max(1) as f64,
+        peak_activation_bytes: run.peak_activation_bytes,
         modeled_iter_us,
         modeled_iter_uj,
         policy_cost: policy.mean_cost(),
         policy_bits: policy.mean_bits(),
         policy_ratio: policy.mean_prune_ratio(),
         eval,
+        journal: run.journal,
     })
 }
 
@@ -475,7 +533,10 @@ mod tests {
     #[test]
     fn task_kinds_build() {
         for task in [
-            TaskKind::ClozeQa { subjects: 4, relations: 2 },
+            TaskKind::ClozeQa {
+                subjects: 4,
+                relations: 2,
+            },
             TaskKind::Markov { branching: 3 },
             TaskKind::Copy { symbols: 8 },
             TaskKind::ModArith { modulus: 7 },

@@ -43,7 +43,10 @@ impl Table {
 
     /// Cell at `(row, col)`, if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 }
 
@@ -119,7 +122,10 @@ pub fn ascii_chart(points: &[(f64, f64)], width: usize, height: usize) -> String
     }
     let mut pts: Vec<(f64, f64)> = points.to_vec();
     pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-    let (x_min, x_max) = (pts.first().map(|p| p.0).unwrap_or(0.0), pts.last().map(|p| p.0).unwrap_or(1.0));
+    let (x_min, x_max) = (
+        pts.first().map(|p| p.0).unwrap_or(0.0),
+        pts.last().map(|p| p.0).unwrap_or(1.0),
+    );
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
     for &(_, y) in &pts {
         y_min = y_min.min(y);
@@ -147,7 +153,12 @@ pub fn ascii_chart(points: &[(f64, f64)], width: usize, height: usize) -> String
         out.push('\n');
     }
     out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(width)));
-    out.push_str(&format!("{:>12}{x_min:<.3}{:>pad$}{x_max:<.3}\n", "", "", pad = width.saturating_sub(12)));
+    out.push_str(&format!(
+        "{:>12}{x_min:<.3}{:>pad$}{x_max:<.3}\n",
+        "",
+        "",
+        pad = width.saturating_sub(12)
+    ));
     out
 }
 

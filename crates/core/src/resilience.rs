@@ -1,0 +1,781 @@
+//! Fault-tolerant adaptation runtime: checkpointing, divergence rollback,
+//! and deterministic fault injection.
+//!
+//! On-device adaptation runs on hardware that browns out, gets preempted
+//! by foreground apps, and occasionally flips bits. This module wraps the
+//! adaptation loop with the machinery to survive that:
+//!
+//! * **Training checkpoints** — periodic [`TrainingCheckpoint`] snapshots
+//!   (parameters, optimizer velocity, schedule cursor, RNG state) kept in
+//!   memory and optionally on disk with atomic writes;
+//! * **Divergence detection** — a [`DivergenceGuard`] flags non-finite
+//!   losses/gradient norms and EWMA loss spikes, triggering rollback to
+//!   the last good checkpoint with learning-rate backoff under a bounded
+//!   retry budget;
+//! * **Graceful degradation** — repeated rollbacks (or simulated memory
+//!   pressure) shrink the backprop window depth instead of aborting;
+//! * **Deterministic fault injection** — a seeded plan of
+//!   [`PlannedFault`]s (gradient bit flips, NaN injection, checkpoint
+//!   corruption, preemption) exercises every recovery path in tests;
+//! * **Recovery journal** — every event is recorded in a
+//!   [`RecoveryJournal`] attached to the run's outcome.
+//!
+//! Rollback restores parameters **in place**: compression hooks and
+//! pruning masks stay installed, and masks are re-enforced after the
+//! restore. Cross-process resume rebuilds the model from the checkpoint
+//! first and re-applies the compression policy afterwards — masked
+//! positions are exactly the zero-valued parameters, so magnitude pruning
+//! re-selects the identical mask.
+
+use crate::compress::apply_policy;
+use crate::EdgeLlmError;
+use edge_llm_data::Dataset;
+use edge_llm_luc::CompressionPolicy;
+use edge_llm_model::{
+    AdaptiveTuner, EdgeModel, Optimizer, Sgd, TrainingCheckpoint, WindowSchedule,
+};
+use edge_llm_tensor::TensorRng;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One injectable fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// XOR bit `bit` into a few gradient values before the optimizer sees
+    /// them (models a radiation/DMA bit flip; high exponent bits blow the
+    /// update up).
+    FlipGradBit {
+        /// Bit index (mod 32) to flip.
+        bit: u32,
+    },
+    /// Overwrite a few gradient values with NaN.
+    NanGrad,
+    /// Overwrite a few parameter values with NaN after the update.
+    NanParam,
+    /// Corrupt a serialized copy of the current checkpoint and verify the
+    /// loader rejects it (the previous good snapshot stays live).
+    CorruptCheckpoint,
+    /// Simulate the process being killed and restarted: all live state is
+    /// dropped and reloaded from the last durable checkpoint.
+    Preempt,
+    /// Simulate memory pressure: the runtime sheds activation memory by
+    /// shrinking the backprop window depth.
+    MemoryPressure,
+}
+
+impl FaultKind {
+    fn label(&self) -> String {
+        match self {
+            FaultKind::FlipGradBit { bit } => format!("flip-grad-bit({bit})"),
+            FaultKind::NanGrad => "nan-grad".into(),
+            FaultKind::NanParam => "nan-param".into(),
+            FaultKind::CorruptCheckpoint => "corrupt-checkpoint".into(),
+            FaultKind::Preempt => "preempt".into(),
+            FaultKind::MemoryPressure => "memory-pressure".into(),
+        }
+    }
+}
+
+/// A fault scheduled at a specific adaptation iteration. Each planned
+/// fault fires exactly once (transient-fault model): after a rollback the
+/// replayed iteration runs clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Iteration at which the fault fires.
+    pub at_iteration: u64,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// Configuration of the resilient adaptation runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Take a rollback checkpoint every N completed iterations
+    /// (0 keeps only the initial snapshot).
+    pub checkpoint_every: usize,
+    /// When set, checkpoints are also written (atomically) to this path.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Rollbacks allowed before the run fails with
+    /// [`EdgeLlmError::Diverged`].
+    pub max_rollbacks: usize,
+    /// Learning-rate multiplier applied on every rollback.
+    pub lr_backoff: f32,
+    /// A loss above `spike_factor * EWMA(loss)` counts as divergence.
+    pub spike_factor: f32,
+    /// EWMA smoothing coefficient for the spike detector.
+    pub ewma_alpha: f32,
+    /// Steps before spike detection engages (non-finite detection is
+    /// always active).
+    pub warmup_steps: usize,
+    /// Rollbacks tolerated before the window depth is degraded.
+    pub degrade_after: usize,
+    /// Deterministic fault-injection plan (empty in production).
+    pub faults: Vec<PlannedFault>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            max_rollbacks: 3,
+            lr_backoff: 0.5,
+            spike_factor: 4.0,
+            ewma_alpha: 0.2,
+            warmup_steps: 8,
+            degrade_after: 2,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// One entry in the recovery journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// A rollback checkpoint was captured (and possibly persisted).
+    CheckpointWritten {
+        /// Completed iterations at capture time.
+        iteration: u64,
+        /// Serialized size.
+        bytes: usize,
+        /// Disk destination, if any.
+        path: Option<String>,
+    },
+    /// A planned fault fired.
+    FaultInjected {
+        /// Iteration at which it fired.
+        iteration: u64,
+        /// Fault label.
+        kind: String,
+    },
+    /// The divergence guard tripped.
+    DivergenceDetected {
+        /// Iteration of the offending step.
+        iteration: u64,
+        /// Loss at that step.
+        loss: f32,
+        /// Window gradient norm at that step.
+        grad_norm: f32,
+        /// Guard's explanation.
+        reason: String,
+    },
+    /// Training state was rolled back to the last good checkpoint.
+    RollbackTaken {
+        /// Iteration the run had reached.
+        from_iteration: u64,
+        /// Checkpoint iteration restored to.
+        to_iteration: u64,
+        /// Learning rate after backoff.
+        new_lr: f32,
+    },
+    /// The backprop window depth was reduced.
+    WindowDegraded {
+        /// Iteration at which degradation applied.
+        iteration: u64,
+        /// Depth before.
+        old_depth: usize,
+        /// Depth after.
+        new_depth: usize,
+    },
+    /// A corrupt checkpoint was detected and refused.
+    CheckpointRejected {
+        /// Iteration at which the load was attempted.
+        iteration: u64,
+        /// Loader's error.
+        reason: String,
+    },
+    /// Simulated preemption killed the live training state.
+    Preempted {
+        /// Iteration at which the process "died".
+        iteration: u64,
+    },
+    /// Training state was reloaded from a checkpoint.
+    Resumed {
+        /// Checkpoint iteration execution resumed from.
+        from_iteration: u64,
+    },
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryEvent::CheckpointWritten {
+                iteration,
+                bytes,
+                path,
+            } => match path {
+                Some(p) => write!(f, "[it {iteration}] checkpoint written ({bytes} B) -> {p}"),
+                None => write!(
+                    f,
+                    "[it {iteration}] checkpoint captured ({bytes} B, in memory)"
+                ),
+            },
+            RecoveryEvent::FaultInjected { iteration, kind } => {
+                write!(f, "[it {iteration}] fault injected: {kind}")
+            }
+            RecoveryEvent::DivergenceDetected {
+                iteration,
+                loss,
+                grad_norm,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "[it {iteration}] divergence detected: {reason} (loss {loss}, grad norm {grad_norm})"
+                )
+            }
+            RecoveryEvent::RollbackTaken {
+                from_iteration,
+                to_iteration,
+                new_lr,
+            } => {
+                write!(
+                    f,
+                    "[it {from_iteration} -> {to_iteration}] rollback, lr now {new_lr}"
+                )
+            }
+            RecoveryEvent::WindowDegraded {
+                iteration,
+                old_depth,
+                new_depth,
+            } => {
+                write!(
+                    f,
+                    "[it {iteration}] window depth degraded {old_depth} -> {new_depth}"
+                )
+            }
+            RecoveryEvent::CheckpointRejected { iteration, reason } => {
+                write!(f, "[it {iteration}] checkpoint rejected: {reason}")
+            }
+            RecoveryEvent::Preempted { iteration } => {
+                write!(f, "[it {iteration}] preempted: live training state lost")
+            }
+            RecoveryEvent::Resumed { from_iteration } => {
+                write!(f, "[it {from_iteration}] resumed from checkpoint")
+            }
+        }
+    }
+}
+
+/// Structured log of everything the resilient runtime did to keep a run
+/// alive. Attached to the adaptation outcome and printed by the CLI.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryJournal {
+    events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: RecoveryEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Whether nothing noteworthy happened.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of rollbacks taken.
+    pub fn rollbacks(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, RecoveryEvent::RollbackTaken { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for RecoveryJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Flags steps whose loss or gradient norm indicates the run has left the
+/// stable regime: non-finite values always trip it; after a warmup, a
+/// loss above `spike_factor` times the exponential moving average does
+/// too.
+#[derive(Debug, Clone)]
+pub struct DivergenceGuard {
+    spike_factor: f32,
+    alpha: f32,
+    warmup: usize,
+    ewma: f32,
+    steps: usize,
+}
+
+impl DivergenceGuard {
+    /// Creates a guard; see [`ResilienceConfig`] for the knobs.
+    pub fn new(spike_factor: f32, alpha: f32, warmup: usize) -> Self {
+        DivergenceGuard {
+            spike_factor,
+            alpha,
+            warmup,
+            ewma: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Feeds one step's observations. Returns a reason string if the step
+    /// diverged (the step's statistics are then *not* absorbed into the
+    /// moving average).
+    pub fn observe(&mut self, loss: f32, grad_norm: f32) -> Option<String> {
+        if !loss.is_finite() {
+            return Some(format!("non-finite loss {loss}"));
+        }
+        if !grad_norm.is_finite() {
+            return Some(format!("non-finite gradient norm {grad_norm}"));
+        }
+        if self.steps >= self.warmup && self.ewma > 0.0 && loss > self.spike_factor * self.ewma {
+            return Some(format!(
+                "loss {loss:.4} above {:.1}x EWMA {:.4}",
+                self.spike_factor, self.ewma
+            ));
+        }
+        self.ewma = if self.steps == 0 {
+            loss
+        } else {
+            self.alpha * loss + (1.0 - self.alpha) * self.ewma
+        };
+        self.steps += 1;
+        None
+    }
+
+    /// Clears history (after a rollback the loss scale starts over).
+    pub fn reset(&mut self) {
+        self.ewma = 0.0;
+        self.steps = 0;
+    }
+}
+
+/// Optimizer wrapper that applies at most one gradient/parameter fault on
+/// the first parameter slice of the step, then delegates.
+struct FaultyOptimizer<'a> {
+    inner: &'a mut dyn Optimizer,
+    pending: Option<FaultKind>,
+}
+
+/// Corrupt a few spread-out positions so the fault survives pruning masks
+/// that happen to cover one of them.
+fn poison_positions(len: usize) -> [usize; 3] {
+    [0, len / 2, len.saturating_sub(1)]
+}
+
+impl Optimizer for FaultyOptimizer<'_> {
+    fn update(&mut self, id: usize, param: &mut [f32], grad: &mut [f32]) {
+        match self.pending.take() {
+            Some(FaultKind::FlipGradBit { bit }) => {
+                for idx in poison_positions(grad.len()) {
+                    if let Some(g) = grad.get_mut(idx) {
+                        *g = f32::from_bits(g.to_bits() ^ (1u32 << (bit % 32)));
+                    }
+                }
+            }
+            Some(FaultKind::NanGrad) => {
+                for idx in poison_positions(grad.len()) {
+                    if let Some(g) = grad.get_mut(idx) {
+                        *g = f32::NAN;
+                    }
+                }
+            }
+            Some(FaultKind::NanParam) => {
+                self.inner.update(id, param, grad);
+                for idx in poison_positions(param.len()) {
+                    if let Some(p) = param.get_mut(idx) {
+                        *p = f32::NAN;
+                    }
+                }
+                return;
+            }
+            _ => {}
+        }
+        self.inner.update(id, param, grad);
+    }
+
+    fn begin_step(&mut self) {
+        self.inner.begin_step();
+    }
+}
+
+fn schedule_depth(schedule: &WindowSchedule, n_layers: usize) -> usize {
+    match schedule {
+        WindowSchedule::FullDepth => n_layers,
+        WindowSchedule::RoundRobin { depth } => (*depth).min(n_layers),
+        WindowSchedule::Ordered(windows) => windows.iter().map(|w| w.depth()).max().unwrap_or(1),
+    }
+}
+
+/// Halves the backprop window depth, or `None` when already at depth 1.
+/// The degraded schedule is always round-robin so every layer keeps
+/// getting trained.
+fn degraded_schedule(
+    schedule: &WindowSchedule,
+    n_layers: usize,
+) -> Option<(WindowSchedule, usize, usize)> {
+    let old = schedule_depth(schedule, n_layers);
+    if old <= 1 {
+        return None;
+    }
+    let new = (old / 2).max(1);
+    Some((WindowSchedule::RoundRobin { depth: new }, old, new))
+}
+
+/// Encodes the applied compression policy into the checkpoint's opaque
+/// extra blob (the pipeline's convention; the CLI stores a richer blob).
+pub fn policy_extra(policy: &CompressionPolicy) -> Vec<u8> {
+    policy.to_compact_string().into_bytes()
+}
+
+/// Rebuilds a runnable training state from a pipeline checkpoint: a fresh
+/// model with the checkpoint's parameters restored and its compression
+/// policy re-applied, plus the captured optimizer and RNG.
+///
+/// Parameters are restored *before* the policy is applied: masked
+/// positions are exactly the zero-valued weights, so magnitude pruning
+/// re-selects the identical mask and resumed training is bit-identical.
+///
+/// # Errors
+///
+/// Propagates checkpoint, policy-parse, and compression errors.
+pub fn restore_run(
+    ckpt: &TrainingCheckpoint,
+) -> Result<(EdgeModel, Sgd, TensorRng, CompressionPolicy), EdgeLlmError> {
+    let mut model = ckpt.build_model()?;
+    let policy = if ckpt.extra.is_empty() {
+        CompressionPolicy::identity(model.n_layers())
+    } else {
+        let s = std::str::from_utf8(&ckpt.extra).map_err(|_| EdgeLlmError::BadConfig {
+            reason: "checkpoint extra blob is not a UTF-8 policy string".into(),
+        })?;
+        CompressionPolicy::parse_compact(s)?
+    };
+    apply_policy(&mut model, &policy)?;
+    Ok((model, ckpt.optimizer(), ckpt.rng(), policy))
+}
+
+/// What the resilient loop hands back in addition to a trained model.
+#[derive(Debug, Clone)]
+pub struct AdaptRun {
+    /// Loss of the last accepted step (NaN if no step ran).
+    pub final_loss: f32,
+    /// Peak activation bytes across accepted steps.
+    pub peak_activation_bytes: usize,
+    /// Wall-clock spent inside tuning steps, milliseconds.
+    pub total_ms: f64,
+    /// Steps actually executed (>= iterations when rollbacks replayed).
+    pub steps_executed: usize,
+    /// Everything the runtime did to keep the run alive.
+    pub journal: RecoveryJournal,
+}
+
+/// Runs the adaptation loop from the tuner's current iteration up to
+/// `iterations`, with checkpointing, divergence rollback, learning-rate
+/// backoff, graceful window degradation, and (in tests) fault injection.
+///
+/// The tuner's iteration cursor selects the starting point, so a caller
+/// resuming from a [`TrainingCheckpoint`] sets it via
+/// [`AdaptiveTuner::set_iteration`] and calls this again; batches are
+/// addressed by absolute iteration, making resumed runs bit-identical to
+/// uninterrupted ones.
+///
+/// # Errors
+///
+/// Returns [`EdgeLlmError::Diverged`] when the rollback budget is
+/// exhausted, and propagates model, checkpoint-I/O, and kernel errors.
+#[allow(clippy::too_many_arguments)]
+pub fn resilient_adapt(
+    model: &mut EdgeModel,
+    opt: &mut Sgd,
+    tuner: &mut AdaptiveTuner,
+    rng: &mut TensorRng,
+    train: &Dataset,
+    batch: usize,
+    iterations: usize,
+    extra: Vec<u8>,
+    res: &ResilienceConfig,
+) -> Result<AdaptRun, EdgeLlmError> {
+    let mut journal = RecoveryJournal::new();
+    let mut guard = DivergenceGuard::new(res.spike_factor, res.ewma_alpha, res.warmup_steps);
+    let mut fired = vec![false; res.faults.len()];
+    let mut it = tuner.iterations();
+    let mut snapshot = TrainingCheckpoint::capture(model, opt, it as u64, rng, extra.clone());
+    if let Some(path) = &res.checkpoint_path {
+        snapshot.save_file(path)?;
+        journal.record(RecoveryEvent::CheckpointWritten {
+            iteration: it as u64,
+            bytes: checkpoint_size(&snapshot)?,
+            path: Some(path.display().to_string()),
+        });
+    }
+    // learning-rate scale accumulated by backoff since the last snapshot
+    // (the snapshot's own lr already includes earlier backoffs)
+    let mut lr_scale = 1.0f32;
+    let mut rollbacks = 0usize;
+    let mut total_ms = 0.0f64;
+    let mut steps_executed = 0usize;
+    let mut peak_activation = 0usize;
+    let mut final_loss = f32::NAN;
+
+    while it < iterations {
+        let mut step_fault: Option<FaultKind> = None;
+        for (i, fault) in res.faults.iter().enumerate() {
+            if fired[i] || fault.at_iteration != it as u64 {
+                continue;
+            }
+            fired[i] = true;
+            journal.record(RecoveryEvent::FaultInjected {
+                iteration: it as u64,
+                kind: fault.kind.label(),
+            });
+            match fault.kind {
+                FaultKind::Preempt => {
+                    journal.record(RecoveryEvent::Preempted {
+                        iteration: it as u64,
+                    });
+                    let restored = match &res.checkpoint_path {
+                        Some(path) => TrainingCheckpoint::load_file(path)?,
+                        None => snapshot.clone(),
+                    };
+                    restored.restore_params(model)?;
+                    *opt = restored.optimizer();
+                    *rng = restored.rng();
+                    tuner.set_iteration(restored.iteration as usize);
+                    it = restored.iteration as usize;
+                    journal.record(RecoveryEvent::Resumed {
+                        from_iteration: restored.iteration,
+                    });
+                    snapshot = restored;
+                    lr_scale = 1.0;
+                    guard.reset();
+                }
+                FaultKind::MemoryPressure => {
+                    if let Some((sched, old, new)) =
+                        degraded_schedule(tuner.schedule(), model.n_layers())
+                    {
+                        *tuner = AdaptiveTuner::new(sched);
+                        tuner.set_iteration(it);
+                        journal.record(RecoveryEvent::WindowDegraded {
+                            iteration: it as u64,
+                            old_depth: old,
+                            new_depth: new,
+                        });
+                    }
+                }
+                FaultKind::CorruptCheckpoint => {
+                    let mut bytes = Vec::new();
+                    snapshot.write_to(&mut bytes)?;
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x20;
+                    match TrainingCheckpoint::read_from(&mut bytes.as_slice()) {
+                        Err(e) => journal.record(RecoveryEvent::CheckpointRejected {
+                            iteration: it as u64,
+                            reason: e.to_string(),
+                        }),
+                        Ok(_) => {
+                            return Err(EdgeLlmError::BadConfig {
+                                reason: "corrupt checkpoint passed validation".into(),
+                            })
+                        }
+                    }
+                }
+                kind => step_fault = Some(kind),
+            }
+        }
+
+        let b = train.batch_at(it * batch, batch);
+        let t0 = Instant::now();
+        let report = {
+            let mut fopt = FaultyOptimizer {
+                inner: opt,
+                pending: step_fault,
+            };
+            tuner.step(model, &mut fopt, &b.tokens, &b.targets, b.batch)?
+        };
+        total_ms += t0.elapsed().as_secs_f64() * 1e3;
+        steps_executed += 1;
+
+        if let Some(reason) = guard.observe(report.loss, report.grad_norm) {
+            journal.record(RecoveryEvent::DivergenceDetected {
+                iteration: it as u64,
+                loss: report.loss,
+                grad_norm: report.grad_norm,
+                reason,
+            });
+            if rollbacks >= res.max_rollbacks {
+                return Err(EdgeLlmError::Diverged {
+                    iteration: it as u64,
+                    rollbacks,
+                    last_loss: report.loss,
+                });
+            }
+            rollbacks += 1;
+            lr_scale *= res.lr_backoff;
+            snapshot.restore_params(model)?;
+            *opt = snapshot.optimizer();
+            let new_lr = opt.lr() * lr_scale;
+            opt.set_lr(new_lr);
+            *rng = snapshot.rng();
+            tuner.set_iteration(snapshot.iteration as usize);
+            journal.record(RecoveryEvent::RollbackTaken {
+                from_iteration: it as u64,
+                to_iteration: snapshot.iteration,
+                new_lr,
+            });
+            it = snapshot.iteration as usize;
+            if rollbacks >= res.degrade_after {
+                if let Some((sched, old, new)) =
+                    degraded_schedule(tuner.schedule(), model.n_layers())
+                {
+                    *tuner = AdaptiveTuner::new(sched);
+                    tuner.set_iteration(it);
+                    journal.record(RecoveryEvent::WindowDegraded {
+                        iteration: it as u64,
+                        old_depth: old,
+                        new_depth: new,
+                    });
+                }
+            }
+            guard.reset();
+            continue;
+        }
+
+        peak_activation = peak_activation.max(report.activation_bytes);
+        final_loss = report.loss;
+        it += 1;
+
+        if res.checkpoint_every > 0 && it.is_multiple_of(res.checkpoint_every) && it < iterations {
+            snapshot = TrainingCheckpoint::capture(model, opt, it as u64, rng, extra.clone());
+            lr_scale = 1.0;
+            let bytes = checkpoint_size(&snapshot)?;
+            let path_str = match &res.checkpoint_path {
+                Some(path) => {
+                    snapshot.save_file(path)?;
+                    Some(path.display().to_string())
+                }
+                None => None,
+            };
+            journal.record(RecoveryEvent::CheckpointWritten {
+                iteration: it as u64,
+                bytes,
+                path: path_str,
+            });
+        }
+    }
+
+    Ok(AdaptRun {
+        final_loss,
+        peak_activation_bytes: peak_activation,
+        total_ms,
+        steps_executed,
+        journal,
+    })
+}
+
+fn checkpoint_size(ckpt: &TrainingCheckpoint) -> Result<usize, EdgeLlmError> {
+    let mut bytes = Vec::new();
+    ckpt.write_to(&mut bytes)?;
+    Ok(bytes.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_trips_on_non_finite() {
+        let mut g = DivergenceGuard::new(4.0, 0.2, 8);
+        assert!(g.observe(1.0, 1.0).is_none());
+        assert!(g
+            .observe(f32::NAN, 1.0)
+            .unwrap()
+            .contains("non-finite loss"));
+        assert!(g
+            .observe(1.0, f32::INFINITY)
+            .unwrap()
+            .contains("gradient norm"));
+    }
+
+    #[test]
+    fn guard_trips_on_spike_only_after_warmup() {
+        let mut g = DivergenceGuard::new(2.0, 0.5, 3);
+        // during warmup even a big jump is absorbed
+        assert!(g.observe(1.0, 1.0).is_none());
+        assert!(g.observe(100.0, 1.0).is_none());
+        let mut g = DivergenceGuard::new(2.0, 0.5, 2);
+        assert!(g.observe(1.0, 1.0).is_none());
+        assert!(g.observe(1.0, 1.0).is_none());
+        assert!(g.observe(1.1, 1.0).is_none(), "mild wobble passes");
+        assert!(g.observe(50.0, 1.0).unwrap().contains("EWMA"));
+    }
+
+    #[test]
+    fn guard_reset_restarts_warmup() {
+        let mut g = DivergenceGuard::new(2.0, 0.5, 1);
+        assert!(g.observe(1.0, 1.0).is_none());
+        assert!(g.observe(9.0, 1.0).is_some());
+        g.reset();
+        assert!(g.observe(9.0, 1.0).is_none(), "fresh history after reset");
+    }
+
+    #[test]
+    fn degraded_schedule_halves_to_floor_one() {
+        let (s, old, new) = degraded_schedule(&WindowSchedule::FullDepth, 8).unwrap();
+        assert_eq!((old, new), (8, 4));
+        assert_eq!(s, WindowSchedule::RoundRobin { depth: 4 });
+        let (_, old, new) = degraded_schedule(&WindowSchedule::RoundRobin { depth: 3 }, 8).unwrap();
+        assert_eq!((old, new), (3, 1));
+        assert!(degraded_schedule(&WindowSchedule::RoundRobin { depth: 1 }, 8).is_none());
+    }
+
+    #[test]
+    fn journal_counts_and_prints() {
+        let mut j = RecoveryJournal::new();
+        assert!(j.is_empty());
+        j.record(RecoveryEvent::RollbackTaken {
+            from_iteration: 5,
+            to_iteration: 2,
+            new_lr: 0.05,
+        });
+        j.record(RecoveryEvent::FaultInjected {
+            iteration: 5,
+            kind: "nan-grad".into(),
+        });
+        assert_eq!(j.rollbacks(), 1);
+        assert_eq!(j.len(), 2);
+        let text = j.to_string();
+        assert!(text.contains("rollback"));
+        assert!(text.contains("nan-grad"));
+    }
+
+    #[test]
+    fn fault_labels_are_distinct() {
+        let kinds = [
+            FaultKind::FlipGradBit { bit: 30 },
+            FaultKind::NanGrad,
+            FaultKind::NanParam,
+            FaultKind::CorruptCheckpoint,
+            FaultKind::Preempt,
+            FaultKind::MemoryPressure,
+        ];
+        let labels: std::collections::HashSet<String> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

@@ -219,9 +219,13 @@ mod tests {
         let policy = CompressionPolicy::uniform(4, BitWidth::W4, 0.5);
         let ws = model_workloads(&c, &policy, 1).unwrap();
         let device = DeviceModel::jetson_class();
-        let scheduled =
-            schedule_workloads(&ws, &device, &ScheduleSpace::default(), SearchStrategy::Exhaustive)
-                .unwrap();
+        let scheduled = schedule_workloads(
+            &ws,
+            &device,
+            &ScheduleSpace::default(),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
         let searched = total_latency_us(&scheduled);
         let naive = naive_latency_us(&ws, &device).unwrap();
         assert!(searched < naive, "searched {searched} vs naive {naive}");

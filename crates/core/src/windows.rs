@@ -24,10 +24,7 @@ const MAX_WEIGHT: usize = 3;
 /// # Panics
 ///
 /// Panics if `depth == 0`.
-pub fn sensitivity_window_schedule(
-    profile: &SensitivityProfile,
-    depth: usize,
-) -> WindowSchedule {
+pub fn sensitivity_window_schedule(profile: &SensitivityProfile, depth: usize) -> WindowSchedule {
     assert!(depth > 0, "window depth must be positive");
     let n = profile.n_layers();
     let depth = depth.min(n);
@@ -36,9 +33,11 @@ pub fn sensitivity_window_schedule(
     let n_positions = n.div_ceil(depth);
     for pos in 0..n_positions {
         let start = (pos * depth).min(n - depth);
-        let window = LayerWindow { start, end: start + depth };
-        let mean: f32 =
-            scores[start..start + depth].iter().sum::<f32>() / depth as f32;
+        let window = LayerWindow {
+            start,
+            end: start + depth,
+        };
+        let mean: f32 = scores[start..start + depth].iter().sum::<f32>() / depth as f32;
         windows.push((window, mean));
     }
     let max = windows.iter().map(|(_, s)| *s).fold(0.0f32, f32::max);
@@ -86,9 +85,15 @@ mod tests {
     #[test]
     fn flat_profile_falls_back_to_round_robin() {
         let prof = profile_with_weights(vec![1.0; 4]);
-        assert_eq!(sensitivity_window_schedule(&prof, 2), WindowSchedule::RoundRobin { depth: 2 });
+        assert_eq!(
+            sensitivity_window_schedule(&prof, 2),
+            WindowSchedule::RoundRobin { depth: 2 }
+        );
         let zero = profile_with_weights(vec![0.0; 4]);
-        assert_eq!(sensitivity_window_schedule(&zero, 2), WindowSchedule::RoundRobin { depth: 2 });
+        assert_eq!(
+            sensitivity_window_schedule(&zero, 2),
+            WindowSchedule::RoundRobin { depth: 2 }
+        );
     }
 
     #[test]

@@ -68,7 +68,12 @@ impl Dataset {
             tokens.extend_from_slice(&s.tokens);
             targets.extend_from_slice(&s.targets);
         }
-        Batch { tokens, targets, batch, seq_len }
+        Batch {
+            tokens,
+            targets,
+            batch,
+            seq_len,
+        }
     }
 
     /// Shuffles sample order in place.
@@ -141,7 +146,13 @@ mod tests {
         sorted_before.sort();
         after.sort();
         assert_eq!(sorted_before, after);
-        assert_ne!(before, ds.samples().iter().map(|s| s.tokens.clone()).collect::<Vec<_>>());
+        assert_ne!(
+            before,
+            ds.samples()
+                .iter()
+                .map(|s| s.tokens.clone())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -36,11 +36,21 @@ impl ClozeQaTask {
     ///
     /// Panics if either count is zero.
     pub fn with_seed(n_subjects: usize, n_relations: usize, seed: u64) -> Self {
-        assert!(n_subjects > 0 && n_relations > 0, "kb dimensions must be positive");
+        assert!(
+            n_subjects > 0 && n_relations > 0,
+            "kb dimensions must be positive"
+        );
         let n_objects = n_subjects;
         let mut rng = TensorRng::seed_from(seed);
-        let kb = (0..n_subjects * n_relations).map(|_| rng.index(n_objects)).collect();
-        ClozeQaTask { n_subjects, n_relations, kb, n_objects }
+        let kb = (0..n_subjects * n_relations)
+            .map(|_| rng.index(n_objects))
+            .collect();
+        ClozeQaTask {
+            n_subjects,
+            n_relations,
+            kb,
+            n_objects,
+        }
     }
 
     /// Number of facts in the KB.
@@ -117,7 +127,9 @@ mod tests {
     fn different_seeds_differ() {
         let a = ClozeQaTask::with_seed(16, 8, 1);
         let b = ClozeQaTask::with_seed(16, 8, 2);
-        let same = (0..16).flat_map(|s| (0..8).map(move |r| (s, r))).all(|(s, r)| a.answer(s, r) == b.answer(s, r));
+        let same = (0..16)
+            .flat_map(|s| (0..8).map(move |r| (s, r)))
+            .all(|(s, r)| a.answer(s, r) == b.answer(s, r));
         assert!(!same);
     }
 

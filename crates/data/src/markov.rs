@@ -25,7 +25,10 @@ impl MarkovTextTask {
     ///
     /// Panics if `vocab == 0` or `branching == 0`.
     pub fn new(vocab: usize, branching: usize, seed: u64) -> Self {
-        assert!(vocab > 0 && branching > 0, "vocab and branching must be positive");
+        assert!(
+            vocab > 0 && branching > 0,
+            "vocab and branching must be positive"
+        );
         let mut rng = TensorRng::seed_from(seed);
         let branching = branching.min(vocab);
         let successors = (0..vocab)
@@ -44,7 +47,11 @@ impl MarkovTextTask {
                 succ
             })
             .collect();
-        MarkovTextTask { vocab, successors, name: format!("markov-b{branching}") }
+        MarkovTextTask {
+            vocab,
+            successors,
+            name: format!("markov-b{branching}"),
+        }
     }
 
     fn step(&self, state: usize, rng: &mut TensorRng) -> usize {

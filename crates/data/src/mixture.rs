@@ -38,7 +38,10 @@ pub struct EmptyMixtureError;
 
 impl std::fmt::Display for EmptyMixtureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "mixture needs at least one component with positive weight")
+        write!(
+            f,
+            "mixture needs at least one component with positive weight"
+        )
     }
 }
 
@@ -51,17 +54,25 @@ impl MixtureTask {
     /// # Errors
     ///
     /// Returns [`EmptyMixtureError`] if no component has positive weight.
-    pub fn new(
-        components: Vec<(f32, Box<dyn TaskGenerator>)>,
-    ) -> Result<Self, EmptyMixtureError> {
-        let components: Vec<_> =
-            components.into_iter().filter(|(w, _)| *w > 0.0 && w.is_finite()).collect();
+    pub fn new(components: Vec<(f32, Box<dyn TaskGenerator>)>) -> Result<Self, EmptyMixtureError> {
+        let components: Vec<_> = components
+            .into_iter()
+            .filter(|(w, _)| *w > 0.0 && w.is_finite())
+            .collect();
         if components.is_empty() {
             return Err(EmptyMixtureError);
         }
         let total_weight = components.iter().map(|(w, _)| *w).sum();
-        let vocab = components.iter().map(|(_, t)| t.vocab_size()).max().unwrap_or(1);
-        Ok(MixtureTask { components, total_weight, vocab })
+        let vocab = components
+            .iter()
+            .map(|(_, t)| t.vocab_size())
+            .max()
+            .unwrap_or(1);
+        Ok(MixtureTask {
+            components,
+            total_weight,
+            vocab,
+        })
     }
 
     /// Number of component tasks.
@@ -94,7 +105,11 @@ impl TaskGenerator for MixtureTask {
             }
             u -= w;
         }
-        self.components.last().expect("non-empty by construction").1.sample(seq_len, rng)
+        self.components
+            .last()
+            .expect("non-empty by construction")
+            .1
+            .sample(seq_len, rng)
     }
 }
 
@@ -105,7 +120,10 @@ mod tests {
 
     fn mixture() -> MixtureTask {
         MixtureTask::new(vec![
-            (1.0, Box::new(ClozeQaTask::new(8, 2)) as Box<dyn TaskGenerator>),
+            (
+                1.0,
+                Box::new(ClozeQaTask::new(8, 2)) as Box<dyn TaskGenerator>,
+            ),
             (3.0, Box::new(MarkovTextTask::new(16, 2, 1))),
         ])
         .unwrap()
@@ -127,19 +145,28 @@ mod tests {
         let n = 400;
         for _ in 0..n {
             let s = mix.sample(16, &mut rng);
-            if s.targets.iter().all(|&t| t != edge_llm_tensor::IGNORE_TARGET) {
+            if s.targets
+                .iter()
+                .all(|&t| t != edge_llm_tensor::IGNORE_TARGET)
+            {
                 markov_like += 1;
             }
         }
         let frac = markov_like as f32 / n as f32;
-        assert!((frac - 0.75).abs() < 0.1, "markov fraction {frac}, expected ~0.75");
+        assert!(
+            (frac - 0.75).abs() < 0.1,
+            "markov fraction {frac}, expected ~0.75"
+        );
     }
 
     #[test]
     fn empty_or_nonpositive_mixture_rejected() {
         assert!(MixtureTask::new(vec![]).is_err());
-        assert!(MixtureTask::new(vec![(0.0, Box::new(CopyTask::new(4)) as Box<dyn TaskGenerator>)])
-            .is_err());
+        assert!(MixtureTask::new(vec![(
+            0.0,
+            Box::new(CopyTask::new(4)) as Box<dyn TaskGenerator>
+        )])
+        .is_err());
         assert!(MixtureTask::new(vec![(
             f32::NAN,
             Box::new(CopyTask::new(4)) as Box<dyn TaskGenerator>

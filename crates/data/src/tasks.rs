@@ -67,7 +67,13 @@ impl ModArithTask {
 
 /// Builds a transduction sample: `payload SEP answer`, padded/truncated to
 /// `seq_len`, with only answer positions supervised.
-fn transduce(payload: &[usize], answer: &[usize], sep: usize, pad: usize, seq_len: usize) -> Sample {
+fn transduce(
+    payload: &[usize],
+    answer: &[usize],
+    sep: usize,
+    pad: usize,
+    seq_len: usize,
+) -> Sample {
     let mut tokens = Vec::with_capacity(seq_len);
     tokens.extend_from_slice(payload);
     tokens.push(sep);
@@ -81,10 +87,14 @@ fn transduce(payload: &[usize], answer: &[usize], sep: usize, pad: usize, seq_le
     let answer_start = payload.len() + 1;
     let answer_end = (answer_start + answer.len()).min(seq_len);
     let mut targets = vec![IGNORE_TARGET; seq_len];
-    for t in 0..seq_len.saturating_sub(1) {
+    for (t, target) in targets
+        .iter_mut()
+        .enumerate()
+        .take(seq_len.saturating_sub(1))
+    {
         let next = t + 1;
         if next >= answer_start && next < answer_end {
-            targets[t] = tokens[next];
+            *target = tokens[next];
         }
     }
     Sample { tokens, targets }
@@ -139,7 +149,11 @@ impl TaskGenerator for ModArithTask {
         let a = rng.index(m);
         let b = rng.index(m);
         let mul = rng.bernoulli(0.5);
-        let (op, result) = if mul { (times, (a * b) % m) } else { (plus, (a + b) % m) };
+        let (op, result) = if mul {
+            (times, (a * b) % m)
+        } else {
+            (plus, (a + b) % m)
+        };
         let payload = vec![a, op, b];
         let answer = vec![result];
         transduce(&payload, &answer, eq, pad, seq_len)
@@ -157,7 +171,10 @@ mod tests {
         let s = task.sample(16, &mut rng);
         let payload_len = 7;
         assert_eq!(s.tokens[payload_len], 8, "separator after payload");
-        assert_eq!(&s.tokens[payload_len + 1..2 * payload_len + 1], &s.tokens[..payload_len]);
+        assert_eq!(
+            &s.tokens[payload_len + 1..2 * payload_len + 1],
+            &s.tokens[..payload_len]
+        );
     }
 
     #[test]
@@ -184,8 +201,12 @@ mod tests {
             assert_eq!(s.targets[t], IGNORE_TARGET, "position {t}");
         }
         // supervised positions exist and point at answer tokens
-        let supervised: Vec<usize> =
-            s.targets.iter().copied().filter(|&t| t != IGNORE_TARGET).collect();
+        let supervised: Vec<usize> = s
+            .targets
+            .iter()
+            .copied()
+            .filter(|&t| t != IGNORE_TARGET)
+            .collect();
         assert_eq!(supervised.len(), p);
         assert_eq!(supervised, s.tokens[p + 1..2 * p + 1].to_vec());
     }

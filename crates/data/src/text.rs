@@ -37,7 +37,11 @@ pub struct CorpusTooShortError {
 
 impl std::fmt::Display for CorpusTooShortError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "corpus of {} characters is too short (need at least 2)", self.len)
+        write!(
+            f,
+            "corpus of {} characters is too short (need at least 2)",
+            self.len
+        )
     }
 }
 
@@ -86,7 +90,10 @@ impl TaskGenerator for TextLmTask {
         for i in 0..=seq_len {
             window.push(self.ids[(start + i) % n]);
         }
-        Sample { tokens: window[..seq_len].to_vec(), targets: window[1..].to_vec() }
+        Sample {
+            tokens: window[..seq_len].to_vec(),
+            targets: window[1..].to_vec(),
+        }
     }
 }
 

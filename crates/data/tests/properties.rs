@@ -1,86 +1,112 @@
-//! Property-based tests of the task generators and batching pipeline.
+//! Property-based tests of the task generators and batching pipeline,
+//! driven by the in-repo seeded case harness (`edge_llm_tensor::check`).
 
 use edge_llm_data::{
     ClozeQaTask, CopyTask, MarkovTextTask, ModArithTask, ReverseTask, TaskGenerator,
 };
+use edge_llm_tensor::check::run_cases;
 use edge_llm_tensor::{TensorRng, IGNORE_TARGET};
-use proptest::prelude::*;
 
-fn check_sample_invariants(task: &dyn TaskGenerator, seq_len: usize, seed: u64) -> Result<(), TestCaseError> {
+fn check_sample_invariants(task: &dyn TaskGenerator, seq_len: usize, seed: u64) {
     let mut rng = TensorRng::seed_from(seed);
     let s = task.sample(seq_len, &mut rng);
-    prop_assert_eq!(s.tokens.len(), seq_len);
-    prop_assert_eq!(s.targets.len(), seq_len);
-    prop_assert!(s.tokens.iter().all(|&t| t < task.vocab_size()), "token out of vocab");
-    prop_assert!(
-        s.targets.iter().all(|&t| t == IGNORE_TARGET || t < task.vocab_size()),
+    assert_eq!(s.tokens.len(), seq_len);
+    assert_eq!(s.targets.len(), seq_len);
+    assert!(
+        s.tokens.iter().all(|&t| t < task.vocab_size()),
+        "token out of vocab"
+    );
+    assert!(
+        s.targets
+            .iter()
+            .all(|&t| t == IGNORE_TARGET || t < task.vocab_size()),
         "target out of vocab"
     );
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn all_generators_respect_shape_and_vocab() {
+    run_cases("generator invariants", 48, |g| {
+        let seq = g.usize_in(4, 64);
+        let seed = g.u64();
+        check_sample_invariants(&ClozeQaTask::new(8, 3), seq, seed);
+        check_sample_invariants(&CopyTask::new(6), seq, seed);
+        check_sample_invariants(&ReverseTask::new(6), seq, seed);
+        check_sample_invariants(&ModArithTask::new(7), seq, seed);
+        check_sample_invariants(&MarkovTextTask::new(16, 3, 1), seq, seed);
+    });
+}
 
-    #[test]
-    fn all_generators_respect_shape_and_vocab(seq in 4usize..64, seed in any::<u64>()) {
-        check_sample_invariants(&ClozeQaTask::new(8, 3), seq, seed)?;
-        check_sample_invariants(&CopyTask::new(6), seq, seed)?;
-        check_sample_invariants(&ReverseTask::new(6), seq, seed)?;
-        check_sample_invariants(&ModArithTask::new(7), seq, seed)?;
-        check_sample_invariants(&MarkovTextTask::new(16, 3, 1), seq, seed)?;
-    }
-
-    #[test]
-    fn generators_are_deterministic(seq in 4usize..32, seed in any::<u64>()) {
+#[test]
+fn generators_are_deterministic() {
+    run_cases("generator determinism", 48, |g| {
+        let seq = g.usize_in(4, 32);
+        let seed = g.u64();
         let task = ClozeQaTask::new(8, 3);
         let mut r1 = TensorRng::seed_from(seed);
         let mut r2 = TensorRng::seed_from(seed);
-        prop_assert_eq!(task.sample(seq, &mut r1), task.sample(seq, &mut r2));
-    }
+        assert_eq!(task.sample(seq, &mut r1), task.sample(seq, &mut r2));
+    });
+}
 
-    #[test]
-    fn markov_supervises_every_position(seq in 2usize..32, seed in any::<u64>()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn markov_supervises_every_position() {
+    run_cases("markov full supervision", 48, |g| {
+        let seq = g.usize_in(2, 32);
+        let mut rng = TensorRng::seed_from(g.u64());
         let s = MarkovTextTask::new(16, 3, 2).sample(seq, &mut rng);
-        prop_assert!(s.targets.iter().all(|&t| t != IGNORE_TARGET));
-    }
+        assert!(s.targets.iter().all(|&t| t != IGNORE_TARGET));
+    });
+}
 
-    #[test]
-    fn transduction_masks_prompts(seq in 6usize..40, seed in any::<u64>()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn transduction_masks_prompts() {
+    run_cases("copy masks prompts", 48, |g| {
+        let seq = g.usize_in(6, 40);
+        let mut rng = TensorRng::seed_from(g.u64());
         let s = CopyTask::new(6).sample(seq, &mut rng);
         let supervised = s.targets.iter().filter(|&&t| t != IGNORE_TARGET).count();
         let payload = (seq - 1) / 2;
-        prop_assert_eq!(supervised, payload.min(seq.saturating_sub(payload + 1)));
-    }
+        assert_eq!(supervised, payload.min(seq.saturating_sub(payload + 1)));
+    });
+}
 
-    #[test]
-    fn batches_concatenate_samples(n in 1usize..10, batch in 1usize..6, seed in any::<u64>()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn batches_concatenate_samples() {
+    run_cases("batch concatenation", 48, |g| {
+        let n = g.usize_in(1, 10);
+        let batch = g.usize_in(1, 6);
+        let mut rng = TensorRng::seed_from(g.u64());
         let task = ClozeQaTask::new(6, 2);
         let ds = task.dataset(n, 12, &mut rng);
         let b = ds.batch_at(0, batch);
-        prop_assert_eq!(b.tokens.len(), batch * 12);
+        assert_eq!(b.tokens.len(), batch * 12);
         for i in 0..batch {
             let expect = &ds.samples()[i % n];
-            prop_assert_eq!(&b.tokens[i * 12..(i + 1) * 12], &expect.tokens[..]);
-            prop_assert_eq!(&b.targets[i * 12..(i + 1) * 12], &expect.targets[..]);
+            assert_eq!(&b.tokens[i * 12..(i + 1) * 12], &expect.tokens[..]);
+            assert_eq!(&b.targets[i * 12..(i + 1) * 12], &expect.targets[..]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn split_partitions_dataset(n in 2usize..30, frac in 0.0f32..1.0, seed in any::<u64>()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn split_partitions_dataset() {
+    run_cases("split partitions", 48, |g| {
+        let n = g.usize_in(2, 30);
+        let frac = g.f32_in(0.0, 1.0);
+        let mut rng = TensorRng::seed_from(g.u64());
         let ds = ClozeQaTask::new(6, 2).dataset(n, 8, &mut rng);
         let (train, eval) = ds.split(frac);
-        prop_assert_eq!(train.len() + eval.len(), n);
-    }
+        assert_eq!(train.len() + eval.len(), n);
+    });
+}
 
-    #[test]
-    fn cloze_answers_are_kb_consistent(seq in 8usize..48, seed in any::<u64>()) {
+#[test]
+fn cloze_answers_are_kb_consistent() {
+    run_cases("cloze KB consistency", 48, |g| {
+        let seq = g.usize_in(8, 48);
         let task = ClozeQaTask::new(10, 3);
-        let mut rng = TensorRng::seed_from(seed);
+        let mut rng = TensorRng::seed_from(g.u64());
         let s = task.sample(seq, &mut rng);
         // every 4-token fact must agree with the KB
         let rel_base = 10;
@@ -91,7 +117,7 @@ proptest! {
             let subj = s.tokens[base];
             let rel = s.tokens[base + 1] - rel_base;
             let obj = s.tokens[base + 3] - obj_base;
-            prop_assert_eq!(obj, task.answer(subj, rel));
+            assert_eq!(obj, task.answer(subj, rel));
         }
-    }
+    });
 }

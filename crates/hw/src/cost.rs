@@ -43,10 +43,14 @@ pub fn estimate_cost(
     device: &DeviceModel,
 ) -> Result<CostEstimate, HwError> {
     if gemm.m == 0 || gemm.n == 0 || gemm.k == 0 {
-        return Err(HwError::BadParameter { reason: format!("degenerate workload {}", gemm.name) });
+        return Err(HwError::BadParameter {
+            reason: format!("degenerate workload {}", gemm.name),
+        });
     }
     if schedule.tile_m == 0 || schedule.tile_n == 0 || schedule.tile_k == 0 {
-        return Err(HwError::BadParameter { reason: "zero tile size".to_string() });
+        return Err(HwError::BadParameter {
+            reason: "zero tile size".to_string(),
+        });
     }
     let tm = schedule.tile_m.min(gemm.m);
     let tn = schedule.tile_n.min(gemm.n);
@@ -59,11 +63,18 @@ pub fn estimate_cost(
     let tile_c = (tm * tn) as f64 * 4.0;
     let sram_needed = {
         let base = tile_a + tile_b + tile_c;
-        let scaled = if schedule.double_buffer { base * 2.0 } else { base };
+        let scaled = if schedule.double_buffer {
+            base * 2.0
+        } else {
+            base
+        };
         scaled as usize
     };
     if sram_needed > device.sram_bytes {
-        return Err(HwError::SramOverflow { required: sram_needed, available: device.sram_bytes });
+        return Err(HwError::SramOverflow {
+            required: sram_needed,
+            available: device.sram_bytes,
+        });
     }
     let trips = [
         ('m', gemm.m.div_ceil(tm) as f64),
@@ -85,8 +96,8 @@ pub fn estimate_cost(
     let c_tiles = trip('m') * trip('n');
     let c_traffic = c_tiles * tile_c + (c_visits - c_tiles).max(0.0) * tile_c * 2.0;
     let dram_bytes = a_traffic + b_traffic + c_traffic;
-    let compute_cycles =
-        gemm.effective_macs() as f64 / device.effective_macs_per_cycle(gemm.bits, gemm.sparsity) as f64;
+    let compute_cycles = gemm.effective_macs() as f64
+        / device.effective_macs_per_cycle(gemm.bits, gemm.sparsity) as f64;
     let dram_cycles = dram_bytes / device.dram_bytes_per_cycle as f64;
     let cycles = if schedule.double_buffer {
         compute_cycles.max(dram_cycles)
@@ -117,7 +128,13 @@ mod tests {
     }
 
     fn sched(tm: usize, tn: usize, tk: usize, lo: LoopOrder, db: bool) -> Schedule {
-        Schedule { tile_m: tm, tile_n: tn, tile_k: tk, loop_order: lo, double_buffer: db }
+        Schedule {
+            tile_m: tm,
+            tile_n: tn,
+            tile_k: tk,
+            loop_order: lo,
+            double_buffer: db,
+        }
     }
 
     #[test]
@@ -172,7 +189,10 @@ mod tests {
         let d = DeviceModel::jetson_class();
         let s = sched(1024, 1024, 1024, LoopOrder::Mnk, true);
         let g = GemmWorkload::new("huge", 4096, 4096, 4096);
-        assert!(matches!(estimate_cost(&g, &s, &d), Err(HwError::SramOverflow { .. })));
+        assert!(matches!(
+            estimate_cost(&g, &s, &d),
+            Err(HwError::SramOverflow { .. })
+        ));
     }
 
     #[test]

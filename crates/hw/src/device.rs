@@ -108,7 +108,10 @@ mod tests {
     fn narrower_bits_raise_throughput() {
         let d = DeviceModel::jetson_class();
         assert!(d.effective_macs_per_cycle(4, 0.0) > d.effective_macs_per_cycle(16, 0.0));
-        assert!((d.effective_macs_per_cycle(4, 0.0) / d.effective_macs_per_cycle(16, 0.0) - 4.0).abs() < 1e-3);
+        assert!(
+            (d.effective_macs_per_cycle(4, 0.0) / d.effective_macs_per_cycle(16, 0.0) - 4.0).abs()
+                < 1e-3
+        );
     }
 
     #[test]

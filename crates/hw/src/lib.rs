@@ -71,8 +71,14 @@ impl std::fmt::Display for HwError {
             HwError::NoFeasibleSchedule { workload } => {
                 write!(f, "no feasible schedule for workload {workload}")
             }
-            HwError::SramOverflow { required, available } => {
-                write!(f, "schedule needs {required} bytes of sram, device has {available}")
+            HwError::SramOverflow {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "schedule needs {required} bytes of sram, device has {available}"
+                )
             }
             HwError::BadParameter { reason } => write!(f, "bad parameter: {reason}"),
         }
@@ -87,7 +93,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = HwError::SramOverflow { required: 100, available: 10 };
+        let e = HwError::SramOverflow {
+            required: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("100"));
     }
 }

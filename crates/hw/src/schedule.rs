@@ -23,8 +23,14 @@ pub enum LoopOrder {
 
 impl LoopOrder {
     /// All six orders.
-    pub const ALL: [LoopOrder; 6] =
-        [LoopOrder::Mnk, LoopOrder::Mkn, LoopOrder::Nmk, LoopOrder::Nkm, LoopOrder::Kmn, LoopOrder::Knm];
+    pub const ALL: [LoopOrder; 6] = [
+        LoopOrder::Mnk,
+        LoopOrder::Mkn,
+        LoopOrder::Nmk,
+        LoopOrder::Nkm,
+        LoopOrder::Kmn,
+        LoopOrder::Knm,
+    ];
 
     /// The loop variables outermost-to-innermost as characters.
     pub fn vars(self) -> [char; 3] {
@@ -79,7 +85,13 @@ impl Schedule {
     /// This is what "unscheduled" execution of an irregular compressed
     /// workload looks like, and the F3 comparison point.
     pub fn naive() -> Self {
-        Schedule { tile_m: 8, tile_n: 8, tile_k: 8, loop_order: LoopOrder::Kmn, double_buffer: false }
+        Schedule {
+            tile_m: 8,
+            tile_n: 8,
+            tile_k: 8,
+            loop_order: LoopOrder::Kmn,
+            double_buffer: false,
+        }
     }
 }
 
@@ -133,7 +145,11 @@ impl ScheduleSpace {
 
     /// Iterates over every schedule in the space.
     pub fn iter(&self) -> impl Iterator<Item = Schedule> + '_ {
-        let dbs: &[bool] = if self.allow_double_buffer { &[false, true] } else { &[false] };
+        let dbs: &[bool] = if self.allow_double_buffer {
+            &[false, true]
+        } else {
+            &[false]
+        };
         self.tile_options.iter().flat_map(move |&tm| {
             self.tile_options.iter().flat_map(move |&tn| {
                 self.tile_options.iter().flat_map(move |&tk| {
@@ -173,7 +189,13 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let s = Schedule { tile_m: 32, tile_n: 64, tile_k: 16, loop_order: LoopOrder::Mnk, double_buffer: true };
+        let s = Schedule {
+            tile_m: 32,
+            tile_n: 64,
+            tile_k: 16,
+            loop_order: LoopOrder::Mnk,
+            double_buffer: true,
+        };
         assert_eq!(s.to_string(), "32x64x16/mnk/db");
         assert_eq!(Schedule::naive().to_string(), "8x8x8/kmn");
     }
@@ -189,7 +211,10 @@ mod tests {
 
     #[test]
     fn empty_space_detected() {
-        let s = ScheduleSpace { tile_options: vec![], ..Default::default() };
+        let s = ScheduleSpace {
+            tile_options: vec![],
+            ..Default::default()
+        };
         assert!(s.is_empty());
     }
 }

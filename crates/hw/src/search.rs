@@ -47,7 +47,9 @@ pub fn search_schedule(
     strategy: SearchStrategy,
 ) -> Result<ScheduledGemm, HwError> {
     if space.is_empty() {
-        return Err(HwError::BadParameter { reason: "empty schedule space".to_string() });
+        return Err(HwError::BadParameter {
+            reason: "empty schedule space".to_string(),
+        });
     }
     match strategy {
         SearchStrategy::Exhaustive => exhaustive(gemm, device, space),
@@ -65,14 +67,20 @@ fn exhaustive(
     for schedule in space.iter() {
         evaluated += 1;
         if let Ok(cost) = estimate_cost(gemm, &schedule, device) {
-            if best.as_ref().map_or(true, |(_, b)| cost.cycles < b.cycles) {
+            if best.as_ref().is_none_or(|(_, b)| cost.cycles < b.cycles) {
                 best = Some((schedule, cost));
             }
         }
     }
-    let (schedule, cost) =
-        best.ok_or_else(|| HwError::NoFeasibleSchedule { workload: gemm.name.clone() })?;
-    Ok(ScheduledGemm { gemm: gemm.clone(), schedule, cost, evaluated })
+    let (schedule, cost) = best.ok_or_else(|| HwError::NoFeasibleSchedule {
+        workload: gemm.name.clone(),
+    })?;
+    Ok(ScheduledGemm {
+        gemm: gemm.clone(),
+        schedule,
+        cost,
+        evaluated,
+    })
 }
 
 fn annealing(
@@ -90,10 +98,13 @@ fn annealing(
         .filter_map(|(i, s)| estimate_cost(gemm, s, device).ok().map(|c| (i, c)))
         .take(1)
         .collect();
-    let (mut cur_idx, mut cur_cost) = feasible
-        .first()
-        .copied()
-        .ok_or_else(|| HwError::NoFeasibleSchedule { workload: gemm.name.clone() })?;
+    let (mut cur_idx, mut cur_cost) =
+        feasible
+            .first()
+            .copied()
+            .ok_or_else(|| HwError::NoFeasibleSchedule {
+                workload: gemm.name.clone(),
+            })?;
     let mut best_idx = cur_idx;
     let mut best_cost = cur_cost;
     let mut evaluated = 1usize;
@@ -118,7 +129,12 @@ fn annealing(
             }
         }
     }
-    Ok(ScheduledGemm { gemm: gemm.clone(), schedule: schedules[best_idx], cost: best_cost, evaluated })
+    Ok(ScheduledGemm {
+        gemm: gemm.clone(),
+        schedule: schedules[best_idx],
+        cost: best_cost,
+        evaluated,
+    })
 }
 
 fn neighbor(cur: usize, len: usize, rng: &mut TensorRng) -> usize {
@@ -137,14 +153,21 @@ mod tests {
     use crate::schedule::LoopOrder;
 
     fn gemm() -> GemmWorkload {
-        GemmWorkload::new("fc1", 64, 512, 128).with_bits(4).with_sparsity(0.5)
+        GemmWorkload::new("fc1", 64, 512, 128)
+            .with_bits(4)
+            .with_sparsity(0.5)
     }
 
     #[test]
     fn exhaustive_beats_naive() {
         let d = DeviceModel::jetson_class();
-        let best = search_schedule(&gemm(), &d, &ScheduleSpace::default(), SearchStrategy::Exhaustive)
-            .unwrap();
+        let best = search_schedule(
+            &gemm(),
+            &d,
+            &ScheduleSpace::default(),
+            SearchStrategy::Exhaustive,
+        )
+        .unwrap();
         let naive = estimate_cost(&gemm(), &Schedule::naive(), &d).unwrap();
         assert!(
             best.cost.cycles < naive.cycles / 2.0,
@@ -164,7 +187,10 @@ mod tests {
             &gemm(),
             &d,
             &space,
-            SearchStrategy::Annealing { iters: 600, seed: 3 },
+            SearchStrategy::Annealing {
+                iters: 600,
+                seed: 3,
+            },
         )
         .unwrap();
         assert!(
@@ -179,7 +205,10 @@ mod tests {
     fn annealing_is_seed_deterministic() {
         let d = DeviceModel::jetson_class();
         let space = ScheduleSpace::default();
-        let s = SearchStrategy::Annealing { iters: 200, seed: 7 };
+        let s = SearchStrategy::Annealing {
+            iters: 200,
+            seed: 7,
+        };
         let a = search_schedule(&gemm(), &d, &space, s).unwrap();
         let b = search_schedule(&gemm(), &d, &space, s).unwrap();
         assert_eq!(a.schedule, b.schedule);
@@ -187,7 +216,10 @@ mod tests {
 
     #[test]
     fn infeasible_space_errors() {
-        let d = DeviceModel { sram_bytes: 16, ..DeviceModel::jetson_class() };
+        let d = DeviceModel {
+            sram_bytes: 16,
+            ..DeviceModel::jetson_class()
+        };
         let space = ScheduleSpace {
             tile_options: vec![128],
             loop_orders: vec![LoopOrder::Mnk],
@@ -203,7 +235,10 @@ mod tests {
     #[test]
     fn empty_space_is_bad_parameter() {
         let d = DeviceModel::jetson_class();
-        let space = ScheduleSpace { tile_options: vec![], ..Default::default() };
+        let space = ScheduleSpace {
+            tile_options: vec![],
+            ..Default::default()
+        };
         assert!(matches!(
             search_schedule(&gemm(), &d, &space, SearchStrategy::Exhaustive),
             Err(HwError::BadParameter { .. })

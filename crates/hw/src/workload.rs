@@ -19,7 +19,14 @@ pub struct GemmWorkload {
 impl GemmWorkload {
     /// Creates a dense 16-bit workload.
     pub fn new(name: impl Into<String>, m: usize, n: usize, k: usize) -> Self {
-        GemmWorkload { name: name.into(), m, n, k, bits: 16, sparsity: 0.0 }
+        GemmWorkload {
+            name: name.into(),
+            m,
+            n,
+            k,
+            bits: 16,
+            sparsity: 0.0,
+        }
     }
 
     /// Sets the weight bit-width.
@@ -53,6 +60,7 @@ impl GemmWorkload {
 /// Attention-internal GEMMs carry activations, so they keep 16-bit dense
 /// operands regardless of the weight policy (matching how weight-only
 /// compression deploys).
+#[allow(clippy::too_many_arguments)]
 pub fn transformer_layer_workloads(
     layer: usize,
     d_model: usize,
@@ -64,7 +72,7 @@ pub fn transformer_layer_workloads(
     sparsity: f32,
 ) -> Vec<GemmWorkload> {
     let tokens = batch * seq;
-    let hs = if n_heads > 0 { d_model / n_heads } else { d_model };
+    let hs = d_model.checked_div(n_heads).unwrap_or(d_model);
     let p = |s: &str| format!("l{layer}.{s}");
     vec![
         GemmWorkload::new(p("qkv"), tokens, 3 * d_model, d_model)
@@ -76,8 +84,12 @@ pub fn transformer_layer_workloads(
         GemmWorkload::new(p("proj"), tokens, d_model, d_model)
             .with_bits(bits)
             .with_sparsity(sparsity),
-        GemmWorkload::new(p("fc1"), tokens, d_ff, d_model).with_bits(bits).with_sparsity(sparsity),
-        GemmWorkload::new(p("fc2"), tokens, d_model, d_ff).with_bits(bits).with_sparsity(sparsity),
+        GemmWorkload::new(p("fc1"), tokens, d_ff, d_model)
+            .with_bits(bits)
+            .with_sparsity(sparsity),
+        GemmWorkload::new(p("fc2"), tokens, d_model, d_ff)
+            .with_bits(bits)
+            .with_sparsity(sparsity),
     ]
 }
 

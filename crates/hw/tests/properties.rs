@@ -1,89 +1,126 @@
-//! Property-based tests of the hardware cost model and schedule search.
+//! Property-based tests of the hardware cost model and schedule search,
+//! driven by the in-repo seeded case harness (`edge_llm_tensor::check`).
 
 use edge_llm_hw::{
-    estimate_cost, search_schedule, DeviceModel, GemmWorkload, LoopOrder, Schedule,
-    ScheduleSpace, SearchStrategy,
+    estimate_cost, search_schedule, DeviceModel, GemmWorkload, LoopOrder, Schedule, ScheduleSpace,
+    SearchStrategy,
 };
-use proptest::prelude::*;
+use edge_llm_tensor::check::{run_cases, Gen};
 
-fn gemm_strategy() -> impl Strategy<Value = GemmWorkload> {
-    (1usize..256, 1usize..256, 1usize..256, prop_oneof![Just(2u32), Just(4), Just(8), Just(16)], 0.0f32..0.9)
-        .prop_map(|(m, n, k, bits, sparsity)| {
-            GemmWorkload::new("prop", m, n, k).with_bits(bits).with_sparsity(sparsity)
-        })
+fn random_gemm(g: &mut Gen) -> GemmWorkload {
+    let m = g.usize_in(1, 256);
+    let n = g.usize_in(1, 256);
+    let k = g.usize_in(1, 256);
+    let bits = *g.choose(&[2u32, 4, 8, 16]);
+    let sparsity = g.f32_in(0.0, 0.9);
+    GemmWorkload::new("prop", m, n, k)
+        .with_bits(bits)
+        .with_sparsity(sparsity)
 }
 
-fn schedule_strategy() -> impl Strategy<Value = Schedule> {
-    (
-        prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
-        prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
-        prop_oneof![Just(8usize), Just(16), Just(32), Just(64)],
-        0usize..6,
-        any::<bool>(),
-    )
-        .prop_map(|(tm, tn, tk, lo, db)| Schedule {
-            tile_m: tm,
-            tile_n: tn,
-            tile_k: tk,
-            loop_order: LoopOrder::ALL[lo],
-            double_buffer: db,
-        })
+fn random_schedule(g: &mut Gen) -> Schedule {
+    Schedule {
+        tile_m: *g.choose(&[8usize, 16, 32, 64]),
+        tile_n: *g.choose(&[8usize, 16, 32, 64]),
+        tile_k: *g.choose(&[8usize, 16, 32, 64]),
+        loop_order: LoopOrder::ALL[g.usize_in(0, LoopOrder::ALL.len())],
+        double_buffer: g.bool(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn cost_estimates_are_sane(gemm in gemm_strategy(), schedule in schedule_strategy()) {
+#[test]
+fn cost_estimates_are_sane() {
+    run_cases("cost estimate sanity", 64, |g| {
+        let gemm = random_gemm(g);
+        let schedule = random_schedule(g);
         let device = DeviceModel::jetson_class();
         if let Ok(cost) = estimate_cost(&gemm, &schedule, &device) {
-            prop_assert!(cost.cycles > 0.0);
-            prop_assert!(cost.latency_us > 0.0);
-            prop_assert!(cost.energy_uj > 0.0);
-            prop_assert!(cost.utilization > 0.0 && cost.utilization <= 1.0);
-            prop_assert!(cost.dram_bytes > 0.0);
-            prop_assert!(cost.sram_bytes <= device.sram_bytes);
+            assert!(cost.cycles > 0.0);
+            assert!(cost.latency_us > 0.0);
+            assert!(cost.energy_uj > 0.0);
+            assert!(cost.utilization > 0.0 && cost.utilization <= 1.0);
+            assert!(cost.dram_bytes > 0.0);
+            assert!(cost.sram_bytes <= device.sram_bytes);
         }
-    }
+    });
+}
 
-    #[test]
-    fn narrower_bits_never_slow_down(m in 4usize..64, n in 4usize..64, k in 4usize..64) {
+#[test]
+fn narrower_bits_never_slow_down() {
+    run_cases("bits monotone", 64, |g| {
+        let m = g.usize_in(4, 64);
+        let n = g.usize_in(4, 64);
+        let k = g.usize_in(4, 64);
         let device = DeviceModel::jetson_class();
-        let schedule = Schedule { tile_m: 16, tile_n: 16, tile_k: 16, loop_order: LoopOrder::Mnk, double_buffer: false };
+        let schedule = Schedule {
+            tile_m: 16,
+            tile_n: 16,
+            tile_k: 16,
+            loop_order: LoopOrder::Mnk,
+            double_buffer: false,
+        };
         let mut prev = f64::INFINITY;
         for bits in [16u32, 8, 4, 2] {
-            let g = GemmWorkload::new("w", m, n, k).with_bits(bits);
-            let cost = estimate_cost(&g, &schedule, &device).unwrap();
-            prop_assert!(cost.cycles <= prev + 1e-6, "{} bits slower", bits);
+            let gemm = GemmWorkload::new("w", m, n, k).with_bits(bits);
+            let cost = estimate_cost(&gemm, &schedule, &device).unwrap();
+            assert!(cost.cycles <= prev + 1e-6, "{bits} bits slower");
             prev = cost.cycles;
         }
-    }
+    });
+}
 
-    #[test]
-    fn sparsity_never_slows_down(m in 4usize..64, n in 4usize..64, k in 4usize..64) {
+#[test]
+fn sparsity_never_slows_down() {
+    run_cases("sparsity monotone", 64, |g| {
+        let m = g.usize_in(4, 64);
+        let n = g.usize_in(4, 64);
+        let k = g.usize_in(4, 64);
         let device = DeviceModel::jetson_class();
-        let schedule = Schedule { tile_m: 16, tile_n: 16, tile_k: 16, loop_order: LoopOrder::Mnk, double_buffer: false };
+        let schedule = Schedule {
+            tile_m: 16,
+            tile_n: 16,
+            tile_k: 16,
+            loop_order: LoopOrder::Mnk,
+            double_buffer: false,
+        };
         let mut prev = f64::INFINITY;
         for sparsity in [0.0f32, 0.25, 0.5, 0.75] {
-            let g = GemmWorkload::new("w", m, n, k).with_sparsity(sparsity);
-            let cost = estimate_cost(&g, &schedule, &device).unwrap();
-            prop_assert!(cost.cycles <= prev + 1e-6);
+            let gemm = GemmWorkload::new("w", m, n, k).with_sparsity(sparsity);
+            let cost = estimate_cost(&gemm, &schedule, &device).unwrap();
+            assert!(cost.cycles <= prev + 1e-6);
             prev = cost.cycles;
         }
-    }
+    });
+}
 
-    #[test]
-    fn double_buffering_never_slows_down(gemm in gemm_strategy(), schedule in schedule_strategy()) {
+#[test]
+fn double_buffering_never_slows_down() {
+    run_cases("double buffering", 64, |g| {
+        let gemm = random_gemm(g);
+        let schedule = random_schedule(g);
         let device = DeviceModel::tx2_class();
-        let nodb = Schedule { double_buffer: false, ..schedule };
-        let db = Schedule { double_buffer: true, ..schedule };
-        if let (Ok(a), Ok(b)) = (estimate_cost(&gemm, &nodb, &device), estimate_cost(&gemm, &db, &device)) {
-            prop_assert!(b.cycles <= a.cycles + 1e-6);
+        let nodb = Schedule {
+            double_buffer: false,
+            ..schedule
+        };
+        let db = Schedule {
+            double_buffer: true,
+            ..schedule
+        };
+        if let (Ok(a), Ok(b)) = (
+            estimate_cost(&gemm, &nodb, &device),
+            estimate_cost(&gemm, &db, &device),
+        ) {
+            assert!(b.cycles <= a.cycles + 1e-6);
         }
-    }
+    });
+}
 
-    #[test]
-    fn searched_schedule_is_at_least_as_good_as_any_space_point(gemm in gemm_strategy(), probe in schedule_strategy()) {
+#[test]
+fn searched_schedule_is_at_least_as_good_as_any_space_point() {
+    run_cases("search optimality", 24, |g| {
+        let gemm = random_gemm(g);
+        let probe = random_schedule(g);
         let device = DeviceModel::jetson_class();
         let space = ScheduleSpace {
             tile_options: vec![8, 16, 32, 64],
@@ -92,19 +129,31 @@ proptest! {
         };
         let best = search_schedule(&gemm, &device, &space, SearchStrategy::Exhaustive).unwrap();
         if let Ok(probe_cost) = estimate_cost(&gemm, &probe, &device) {
-            prop_assert!(
+            assert!(
                 best.cost.cycles <= probe_cost.cycles + 1e-6,
-                "probe {} beat search {}", probe_cost.cycles, best.cost.cycles
+                "probe {} beat search {}",
+                probe_cost.cycles,
+                best.cost.cycles
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn annealing_stays_within_space_and_feasible(gemm in gemm_strategy(), seed in any::<u64>()) {
+#[test]
+fn annealing_stays_within_space_and_feasible() {
+    run_cases("annealing feasibility", 24, |g| {
+        let gemm = random_gemm(g);
+        let seed = g.u64();
         let device = DeviceModel::jetson_class();
         let space = ScheduleSpace::default();
-        let out = search_schedule(&gemm, &device, &space, SearchStrategy::Annealing { iters: 100, seed }).unwrap();
-        prop_assert!(space.iter().any(|s| s == out.schedule));
-        prop_assert!(out.cost.sram_bytes <= device.sram_bytes);
-    }
+        let out = search_schedule(
+            &gemm,
+            &device,
+            &space,
+            SearchStrategy::Annealing { iters: 100, seed },
+        )
+        .unwrap();
+        assert!(space.iter().any(|s| s == out.schedule));
+        assert!(out.cost.sram_bytes <= device.sram_bytes);
+    });
 }

@@ -60,8 +60,14 @@ pub enum LucError {
 impl std::fmt::Display for LucError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LucError::InfeasibleBudget { budget, min_achievable } => {
-                write!(f, "budget {budget} below cheapest achievable mean cost {min_achievable}")
+            LucError::InfeasibleBudget {
+                budget,
+                min_achievable,
+            } => {
+                write!(
+                    f,
+                    "budget {budget} below cheapest achievable mean cost {min_achievable}"
+                )
             }
             LucError::ProfileMismatch { reason } => write!(f, "profile mismatch: {reason}"),
             LucError::BadParameter { reason } => write!(f, "bad parameter: {reason}"),
@@ -77,7 +83,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = LucError::InfeasibleBudget { budget: 0.01, min_achievable: 0.1 };
+        let e = LucError::InfeasibleBudget {
+            budget: 0.01,
+            min_achievable: 0.1,
+        };
         assert!(e.to_string().contains("0.01"));
     }
 }

@@ -31,7 +31,11 @@ pub fn pareto_frontier(points: &[PolicyPoint]) -> Vec<PolicyPoint> {
         a.cost
             .partial_cmp(&b.cost)
             .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal))
+            .then(
+                a.loss
+                    .partial_cmp(&b.loss)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
     });
     frontier.dedup_by(|a, b| a.cost == b.cost && a.loss == b.loss);
     frontier
@@ -42,7 +46,11 @@ mod tests {
     use super::*;
 
     fn pt(cost: f32, loss: f32) -> PolicyPoint {
-        PolicyPoint { cost, loss, policy: CompressionPolicy::identity(1) }
+        PolicyPoint {
+            cost,
+            loss,
+            policy: CompressionPolicy::identity(1),
+        }
     }
 
     #[test]
@@ -60,7 +68,10 @@ mod tests {
         let f = pareto_frontier(&points);
         for w in f.windows(2) {
             assert!(w[0].cost <= w[1].cost);
-            assert!(w[0].loss >= w[1].loss, "loss must not increase along the frontier");
+            assert!(
+                w[0].loss >= w[1].loss,
+                "loss must not increase along the frontier"
+            );
         }
     }
 

@@ -14,7 +14,10 @@ pub struct LayerPolicy {
 impl LayerPolicy {
     /// Full precision, no pruning.
     pub fn uncompressed() -> Self {
-        LayerPolicy { bits: BitWidth::W16, prune_ratio: 0.0 }
+        LayerPolicy {
+            bits: BitWidth::W16,
+            prune_ratio: 0.0,
+        }
     }
 
     /// Relative compute cost of a layer under this policy, normalized so
@@ -71,7 +74,9 @@ impl CompressionPolicy {
     /// A policy assigning the same `(bits, ratio)` to every layer — the
     /// uniform-compression baseline LUC is compared against (T2).
     pub fn uniform(n_layers: usize, bits: BitWidth, prune_ratio: f32) -> Self {
-        CompressionPolicy { layers: vec![LayerPolicy { bits, prune_ratio }; n_layers] }
+        CompressionPolicy {
+            layers: vec![LayerPolicy { bits, prune_ratio }; n_layers],
+        }
     }
 
     /// A fully uncompressed policy.
@@ -133,7 +138,11 @@ impl CompressionPolicy {
         if self.layers.is_empty() {
             return 0.0;
         }
-        self.layers.iter().map(|l| l.bits.bits() as f32).sum::<f32>() / self.layers.len() as f32
+        self.layers
+            .iter()
+            .map(|l| l.bits.bits() as f32)
+            .sum::<f32>()
+            / self.layers.len() as f32
     }
 
     /// Average assigned pruning ratio.
@@ -182,12 +191,16 @@ impl CompressionPolicy {
             let (b, r) = part
                 .split_once(':')
                 .ok_or_else(|| bad(format!("layer {i}: expected bits:ratio, got {part:?}")))?;
-            let bits_raw: u32 =
-                b.trim().parse().map_err(|_| bad(format!("layer {i}: bad bits {b:?}")))?;
+            let bits_raw: u32 = b
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("layer {i}: bad bits {b:?}")))?;
             let bits = BitWidth::try_from(bits_raw)
                 .map_err(|_| bad(format!("layer {i}: unsupported width {bits_raw}")))?;
-            let prune_ratio: f32 =
-                r.trim().parse().map_err(|_| bad(format!("layer {i}: bad ratio {r:?}")))?;
+            let prune_ratio: f32 = r
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("layer {i}: bad ratio {r:?}")))?;
             let layer = LayerPolicy { bits, prune_ratio };
             layer.validate()?;
             layers.push(layer);
@@ -216,13 +229,19 @@ mod tests {
     #[test]
     fn cost_model_extremes() {
         assert_eq!(LayerPolicy::uncompressed().cost(), 1.0);
-        let aggressive = LayerPolicy { bits: BitWidth::W2, prune_ratio: 0.75 };
+        let aggressive = LayerPolicy {
+            bits: BitWidth::W2,
+            prune_ratio: 0.75,
+        };
         assert!((aggressive.cost() - (2.0 / 16.0) * 0.25).abs() < 1e-6);
     }
 
     #[test]
     fn memory_includes_index_overhead() {
-        let pruned = LayerPolicy { bits: BitWidth::W16, prune_ratio: 0.5 };
+        let pruned = LayerPolicy {
+            bits: BitWidth::W16,
+            prune_ratio: 0.5,
+        };
         // 0.5 kept + 0.125 index overhead
         assert!((pruned.memory() - 0.625).abs() < 1e-6);
         assert_eq!(LayerPolicy::uncompressed().memory(), 1.0);
@@ -245,7 +264,13 @@ mod tests {
     #[test]
     fn set_layer_changes_means() {
         let mut p = CompressionPolicy::identity(2);
-        p.set_layer(0, LayerPolicy { bits: BitWidth::W2, prune_ratio: 0.0 });
+        p.set_layer(
+            0,
+            LayerPolicy {
+                bits: BitWidth::W2,
+                prune_ratio: 0.0,
+            },
+        );
         assert_eq!(p.mean_bits(), 9.0);
     }
 
@@ -256,7 +281,12 @@ mod tests {
             prune_ratio: 1.0,
         }]);
         assert!(p.validate().is_err());
-        assert!(LayerPolicy { bits: BitWidth::W4, prune_ratio: f32::NAN }.validate().is_err());
+        assert!(LayerPolicy {
+            bits: BitWidth::W4,
+            prune_ratio: f32::NAN
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -269,9 +299,18 @@ mod tests {
     #[test]
     fn compact_string_roundtrip() {
         let p = CompressionPolicy::from_layers(vec![
-            LayerPolicy { bits: BitWidth::W4, prune_ratio: 0.25 },
-            LayerPolicy { bits: BitWidth::W16, prune_ratio: 0.0 },
-            LayerPolicy { bits: BitWidth::W2, prune_ratio: 0.5 },
+            LayerPolicy {
+                bits: BitWidth::W4,
+                prune_ratio: 0.25,
+            },
+            LayerPolicy {
+                bits: BitWidth::W16,
+                prune_ratio: 0.0,
+            },
+            LayerPolicy {
+                bits: BitWidth::W2,
+                prune_ratio: 0.5,
+            },
         ]);
         let s = p.to_compact_string();
         assert_eq!(s, "4:0.25,16:0,2:0.5");

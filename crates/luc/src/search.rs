@@ -38,7 +38,11 @@ fn combos(profile: &SensitivityProfile) -> Vec<Combo> {
     for (bi, &bits) in profile.bit_choices.iter().enumerate() {
         for (ri, &prune_ratio) in profile.ratio_choices.iter().enumerate() {
             let cost = LayerPolicy { bits, prune_ratio }.cost();
-            out.push(Combo { bit_idx: bi, ratio_idx: ri, cost });
+            out.push(Combo {
+                bit_idx: bi,
+                ratio_idx: ri,
+                cost,
+            });
         }
     }
     out
@@ -86,7 +90,10 @@ pub fn search_policy(
     let n = profile.n_layers();
     let min_cost = all.iter().map(|c| c.cost).fold(f32::INFINITY, f32::min);
     if budget < min_cost {
-        return Err(LucError::InfeasibleBudget { budget, min_achievable: min_cost });
+        return Err(LucError::InfeasibleBudget {
+            budget,
+            min_achievable: min_cost,
+        });
     }
     match algorithm {
         SearchAlgorithm::Greedy => greedy(profile, &all, budget, n),
@@ -116,7 +123,9 @@ fn greedy(
     budget: f32,
     n: usize,
 ) -> Result<SearchOutcome, LucError> {
-    let mut picks: Vec<Combo> = (0..n).map(|l| cheapest_per_delta(profile, all, l)).collect();
+    let mut picks: Vec<Combo> = (0..n)
+        .map(|l| cheapest_per_delta(profile, all, l))
+        .collect();
     let mut evaluations = n * all.len();
     let target_total = budget * n as f32;
     loop {
@@ -126,8 +135,7 @@ fn greedy(
         }
         // best move: maximize cost saved per unit of added delta
         let mut best: Option<(usize, Combo, f32)> = None;
-        for l in 0..n {
-            let cur = picks[l];
+        for (l, &cur) in picks.iter().enumerate() {
             let cur_delta = profile.predicted_delta(l, cur.bit_idx, cur.ratio_idx);
             for &cand in all {
                 evaluations += 1;
@@ -137,7 +145,7 @@ fn greedy(
                 let delta = profile.predicted_delta(l, cand.bit_idx, cand.ratio_idx);
                 let added = (delta - cur_delta).max(1e-9);
                 let score = (cur.cost - cand.cost) / added;
-                if best.as_ref().map_or(true, |&(_, _, s)| score > s) {
+                if best.as_ref().is_none_or(|&(_, _, s)| score > s) {
                     best = Some((l, cand, score));
                 }
             }
@@ -149,7 +157,11 @@ fn greedy(
     }
     let policy = policy_of(profile, &picks);
     let predicted_delta = total_delta(profile, &picks);
-    Ok(SearchOutcome { policy, predicted_delta, evaluations })
+    Ok(SearchOutcome {
+        policy,
+        predicted_delta,
+        evaluations,
+    })
 }
 
 const DP_RESOLUTION: f32 = 320.0;
@@ -209,7 +221,11 @@ fn dp(
     }
     let policy = policy_of(profile, &picks);
     let predicted_delta = total_delta(profile, &picks);
-    Ok(SearchOutcome { policy, predicted_delta, evaluations })
+    Ok(SearchOutcome {
+        policy,
+        predicted_delta,
+        evaluations,
+    })
 }
 
 const EXHAUSTIVE_LIMIT: u128 = 2_000_000;
@@ -220,7 +236,9 @@ fn exhaustive(
     budget: f32,
     n: usize,
 ) -> Result<SearchOutcome, LucError> {
-    let states = (all.len() as u128).checked_pow(n as u32).unwrap_or(u128::MAX);
+    let states = (all.len() as u128)
+        .checked_pow(n as u32)
+        .unwrap_or(u128::MAX);
     if states > EXHAUSTIVE_LIMIT {
         return Err(LucError::BadParameter {
             reason: format!("exhaustive search space {states} exceeds limit {EXHAUSTIVE_LIMIT}"),
@@ -239,7 +257,7 @@ fn exhaustive(
         let cost: f32 = picks.iter().map(|c| c.cost).sum();
         if cost <= target_total + 1e-6 {
             let d = total_delta(profile, &picks);
-            if best.as_ref().map_or(true, |(_, bd)| d < *bd) {
+            if best.as_ref().is_none_or(|(_, bd)| d < *bd) {
                 best = Some((picks.clone(), d));
             }
         }
@@ -299,7 +317,11 @@ mod tests {
             SearchAlgorithm::Exhaustive,
         ] {
             let out = search_policy(&prof, 0.25, algo).unwrap();
-            assert!(out.policy.mean_cost() <= 0.25 + 1e-4, "{algo:?}: {}", out.policy.mean_cost());
+            assert!(
+                out.policy.mean_cost() <= 0.25 + 1e-4,
+                "{algo:?}: {}",
+                out.policy.mean_cost()
+            );
             assert_eq!(out.policy.n_layers(), 4);
         }
     }
@@ -384,6 +406,9 @@ mod tests {
     fn relaxed_budget_returns_uncompressed() {
         let prof = synthetic_profile(3);
         let out = search_policy(&prof, 1.0, SearchAlgorithm::DynamicProgramming).unwrap();
-        assert!(out.predicted_delta < 1e-6, "full budget should allow zero-delta policy");
+        assert!(
+            out.predicted_delta < 1e-6,
+            "full budget should allow zero-delta policy"
+        );
     }
 }

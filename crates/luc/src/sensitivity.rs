@@ -39,7 +39,11 @@ where
 {
     /// Wraps the closures.
     pub fn new(n_layers: usize, loss_with: F, baseline: B) -> Self {
-        FnOracle { n_layers, loss_with, baseline }
+        FnOracle {
+            n_layers,
+            loss_with,
+            baseline,
+        }
     }
 }
 
@@ -119,14 +123,25 @@ impl SensitivityProfile {
     /// Returns [`LucError::ProfileMismatch`] on ragged or empty tables.
     pub fn validate(&self) -> Result<(), LucError> {
         if self.bit_choices.is_empty() || self.ratio_choices.is_empty() {
-            return Err(LucError::ProfileMismatch { reason: "empty choice sets".into() });
+            return Err(LucError::ProfileMismatch {
+                reason: "empty choice sets".into(),
+            });
         }
         if self.quant_delta.len() != self.prune_delta.len() {
-            return Err(LucError::ProfileMismatch { reason: "layer count disagreement".into() });
+            return Err(LucError::ProfileMismatch {
+                reason: "layer count disagreement".into(),
+            });
         }
-        for (l, (q, p)) in self.quant_delta.iter().zip(self.prune_delta.iter()).enumerate() {
+        for (l, (q, p)) in self
+            .quant_delta
+            .iter()
+            .zip(self.prune_delta.iter())
+            .enumerate()
+        {
             if q.len() != self.bit_choices.len() || p.len() != self.ratio_choices.len() {
-                return Err(LucError::ProfileMismatch { reason: format!("ragged row at layer {l}") });
+                return Err(LucError::ProfileMismatch {
+                    reason: format!("ragged row at layer {l}"),
+                });
             }
         }
         Ok(())
@@ -149,7 +164,9 @@ pub fn profile(
     ratio_choices: &[f32],
 ) -> Result<SensitivityProfile, LucError> {
     if bit_choices.is_empty() || ratio_choices.is_empty() {
-        return Err(LucError::BadParameter { reason: "choice sets must be non-empty".into() });
+        return Err(LucError::BadParameter {
+            reason: "choice sets must be non-empty".into(),
+        });
     }
     let baseline = oracle.baseline_loss();
     let n = oracle.n_layers();
@@ -159,15 +176,26 @@ pub fn profile(
         let q: Vec<f32> = bit_choices
             .iter()
             .map(|&bits| {
-                let loss = oracle.loss_with(layer, LayerPolicy { bits, prune_ratio: 0.0 });
+                let loss = oracle.loss_with(
+                    layer,
+                    LayerPolicy {
+                        bits,
+                        prune_ratio: 0.0,
+                    },
+                );
                 (loss - baseline).max(0.0)
             })
             .collect();
         let p: Vec<f32> = ratio_choices
             .iter()
             .map(|&prune_ratio| {
-                let loss =
-                    oracle.loss_with(layer, LayerPolicy { bits: BitWidth::W16, prune_ratio });
+                let loss = oracle.loss_with(
+                    layer,
+                    LayerPolicy {
+                        bits: BitWidth::W16,
+                        prune_ratio,
+                    },
+                );
                 (loss - baseline).max(0.0)
             })
             .collect();
@@ -203,8 +231,12 @@ mod tests {
     #[test]
     fn profile_shapes() {
         let mut oracle = synthetic_oracle(4);
-        let prof = profile(&mut oracle, &[BitWidth::W2, BitWidth::W4, BitWidth::W8], &[0.25, 0.5])
-            .unwrap();
+        let prof = profile(
+            &mut oracle,
+            &[BitWidth::W2, BitWidth::W4, BitWidth::W8],
+            &[0.25, 0.5],
+        )
+        .unwrap();
         prof.validate().unwrap();
         assert_eq!(prof.n_layers(), 4);
         assert_eq!(prof.quant_delta[0].len(), 3);
@@ -215,11 +247,13 @@ mod tests {
     #[test]
     fn deeper_layers_are_more_sensitive_in_synthetic() {
         let mut oracle = synthetic_oracle(4);
-        let prof =
-            profile(&mut oracle, &[BitWidth::W2], &[0.5]).unwrap();
+        let prof = profile(&mut oracle, &[BitWidth::W2], &[0.5]).unwrap();
         let scores = prof.layer_scores();
         for w in scores.windows(2) {
-            assert!(w[1] > w[0], "synthetic sensitivity must increase with depth");
+            assert!(
+                w[1] > w[0],
+                "synthetic sensitivity must increase with depth"
+            );
         }
     }
 

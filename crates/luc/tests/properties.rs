@@ -1,18 +1,21 @@
 //! Property-based tests of LUC policy search invariants on randomized
-//! sensitivity landscapes.
+//! sensitivity landscapes, driven by the in-repo seeded case harness
+//! (`edge_llm_tensor::check`).
 
 use edge_llm_luc::{
-    pareto_frontier, profile, search_policy, CompressionPolicy, FnOracle, LayerPolicy,
-    PolicyPoint, SearchAlgorithm, SensitivityProfile,
+    pareto_frontier, profile, search_policy, CompressionPolicy, FnOracle, LayerPolicy, PolicyPoint,
+    SearchAlgorithm, SensitivityProfile,
 };
 use edge_llm_quant::BitWidth;
-use proptest::prelude::*;
+use edge_llm_tensor::check::run_cases;
 
 fn random_profile(n_layers: usize, seed: u64) -> SensitivityProfile {
     let mut weights = Vec::new();
     let mut s = seed;
     for _ in 0..n_layers {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         weights.push(0.2 + (s >> 33) as f32 / u32::MAX as f32 * 3.0);
     }
     let mut oracle = FnOracle::new(
@@ -31,84 +34,108 @@ fn random_profile(n_layers: usize, seed: u64) -> SensitivityProfile {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn every_algorithm_respects_random_budgets(seed in any::<u64>(), n in 2usize..7, budget in 0.05f32..1.0) {
-        let prof = random_profile(n, seed);
+#[test]
+fn every_algorithm_respects_random_budgets() {
+    run_cases("search respects budgets", 32, |g| {
+        let n = g.usize_in(2, 7);
+        let budget = g.f32_in(0.05, 1.0);
+        let prof = random_profile(n, g.u64());
         for algo in [SearchAlgorithm::Greedy, SearchAlgorithm::DynamicProgramming] {
             let out = search_policy(&prof, budget, algo).unwrap();
-            prop_assert!(
+            assert!(
                 out.policy.mean_cost() <= budget + 1e-4,
-                "{:?} at budget {}: cost {}", algo, budget, out.policy.mean_cost()
+                "{:?} at budget {}: cost {}",
+                algo,
+                budget,
+                out.policy.mean_cost()
             );
-            prop_assert_eq!(out.policy.n_layers(), n);
-            prop_assert!(out.policy.validate().is_ok());
-            prop_assert!(out.predicted_delta >= 0.0);
+            assert_eq!(out.policy.n_layers(), n);
+            assert!(out.policy.validate().is_ok());
+            assert!(out.predicted_delta >= 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn dp_matches_exhaustive_within_discretization(seed in any::<u64>(), budget in 0.1f32..0.9) {
-        let prof = random_profile(3, seed);
+#[test]
+fn dp_matches_exhaustive_within_discretization() {
+    run_cases("dp vs exhaustive", 32, |g| {
+        let budget = g.f32_in(0.1, 0.9);
+        let prof = random_profile(3, g.u64());
         let dp = search_policy(&prof, budget, SearchAlgorithm::DynamicProgramming).unwrap();
         let ex = search_policy(&prof, budget, SearchAlgorithm::Exhaustive).unwrap();
         // ceil-discretized DP can only lose a sliver of the budget
-        prop_assert!(
+        assert!(
             dp.predicted_delta <= ex.predicted_delta + 0.05,
-            "dp {} vs exhaustive {}", dp.predicted_delta, ex.predicted_delta
+            "dp {} vs exhaustive {}",
+            dp.predicted_delta,
+            ex.predicted_delta
         );
-    }
+    });
+}
 
-    #[test]
-    fn looser_budgets_never_increase_delta(seed in any::<u64>()) {
-        let prof = random_profile(4, seed);
+#[test]
+fn looser_budgets_never_increase_delta() {
+    run_cases("budget monotonicity", 32, |g| {
+        let prof = random_profile(4, g.u64());
         let mut prev = f32::INFINITY;
         for budget in [0.1f32, 0.2, 0.4, 0.8, 1.0] {
             let out = search_policy(&prof, budget, SearchAlgorithm::DynamicProgramming).unwrap();
-            prop_assert!(
+            assert!(
                 out.predicted_delta <= prev + 1e-5,
-                "budget {} made things worse: {} > {}", budget, out.predicted_delta, prev
+                "budget {} made things worse: {} > {}",
+                budget,
+                out.predicted_delta,
+                prev
             );
             prev = out.predicted_delta;
         }
-    }
+    });
+}
 
-    #[test]
-    fn pareto_frontier_is_monotone_and_minimal(seeds in prop::collection::vec(any::<u64>(), 2..20)) {
-        let points: Vec<PolicyPoint> = seeds
-            .iter()
-            .map(|&s| PolicyPoint {
-                cost: ((s >> 5) % 1000) as f32 / 1000.0,
-                loss: ((s >> 25) % 1000) as f32 / 1000.0,
-                policy: CompressionPolicy::identity(1),
+#[test]
+fn pareto_frontier_is_monotone_and_minimal() {
+    run_cases("pareto frontier", 32, |g| {
+        let n_points = g.usize_in(2, 20);
+        let points: Vec<PolicyPoint> = (0..n_points)
+            .map(|_| {
+                let s = g.u64();
+                PolicyPoint {
+                    cost: ((s >> 5) % 1000) as f32 / 1000.0,
+                    loss: ((s >> 25) % 1000) as f32 / 1000.0,
+                    policy: CompressionPolicy::identity(1),
+                }
             })
             .collect();
         let frontier = pareto_frontier(&points);
-        prop_assert!(!frontier.is_empty());
+        assert!(!frontier.is_empty());
         for w in frontier.windows(2) {
-            prop_assert!(w[0].cost <= w[1].cost);
-            prop_assert!(w[0].loss >= w[1].loss);
+            assert!(w[0].cost <= w[1].cost);
+            assert!(w[0].loss >= w[1].loss);
         }
         // no frontier point is dominated by any input point
         for f in &frontier {
             for p in &points {
-                let dominates = (p.cost <= f.cost && p.loss < f.loss)
-                    || (p.cost < f.cost && p.loss <= f.loss);
-                prop_assert!(!dominates);
+                let dominates =
+                    (p.cost <= f.cost && p.loss < f.loss) || (p.cost < f.cost && p.loss <= f.loss);
+                assert!(!dominates);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn policy_cost_bounds(bits_idx in 0usize..4, ratio in 0.0f32..0.99) {
-        let bits = BitWidth::ALL[bits_idx];
-        let p = LayerPolicy { bits, prune_ratio: ratio };
-        prop_assert!(p.cost() > 0.0);
-        prop_assert!(p.cost() <= 1.0);
-        prop_assert!(p.memory() > 0.0);
-        prop_assert!(p.memory() <= 1.0 + 1e-6);
-        prop_assert!(p.validate().is_ok());
-    }
+#[test]
+fn policy_cost_bounds() {
+    run_cases("policy cost bounds", 32, |g| {
+        let bits = *g.choose(&BitWidth::ALL);
+        let ratio = g.f32_in(0.0, 0.99);
+        let p = LayerPolicy {
+            bits,
+            prune_ratio: ratio,
+        };
+        assert!(p.cost() > 0.0);
+        assert!(p.cost() <= 1.0);
+        assert!(p.memory() > 0.0);
+        assert!(p.memory() <= 1.0 + 1e-6);
+        assert!(p.validate().is_ok());
+    });
 }

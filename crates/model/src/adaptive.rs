@@ -64,14 +64,20 @@ impl WindowSchedule {
     /// `RoundRobin` depth is zero.
     pub fn window_for(&self, iter: usize, n_layers: usize) -> LayerWindow {
         match self {
-            WindowSchedule::FullDepth => LayerWindow { start: 0, end: n_layers },
+            WindowSchedule::FullDepth => LayerWindow {
+                start: 0,
+                end: n_layers,
+            },
             WindowSchedule::RoundRobin { depth } => {
                 assert!(*depth > 0, "round-robin depth must be positive");
                 let depth = (*depth).min(n_layers);
                 let n_positions = n_layers.div_ceil(depth);
                 let pos = iter % n_positions;
                 let start = (pos * depth).min(n_layers - depth);
-                LayerWindow { start, end: start + depth }
+                LayerWindow {
+                    start,
+                    end: start + depth,
+                }
             }
             WindowSchedule::Ordered(windows) => {
                 assert!(!windows.is_empty(), "ordered schedule must be non-empty");
@@ -92,6 +98,9 @@ pub struct TuneStepReport {
     pub activation_bytes: usize,
     /// Layers executed in the forward pass (exit layer + 1).
     pub forward_layers: usize,
+    /// L2 norm of the gradient over the window's parameters, measured
+    /// before the optimizer step (divergence guards key off this).
+    pub grad_norm: f32,
 }
 
 /// Drives adaptive layer tuning of an [`EdgeModel`].
@@ -131,6 +140,12 @@ impl AdaptiveTuner {
         self.iter
     }
 
+    /// Repositions the schedule cursor (checkpoint resume and rollback):
+    /// the next [`AdaptiveTuner::step`] behaves as iteration `iter`.
+    pub fn set_iteration(&mut self, iter: usize) {
+        self.iter = iter;
+    }
+
     /// The schedule in use.
     pub fn schedule(&self) -> &WindowSchedule {
         &self.schedule
@@ -162,6 +177,10 @@ impl AdaptiveTuner {
         let dlogits = cross_entropy_backward(&ce, targets)?;
         let activation_bytes = fwd.caches.activation_bytes();
         model.backward_exit(&fwd.caches, &dlogits)?;
+        let mut grad_sq = 0f64;
+        model.visit_params_window(window, exit_layer, &mut |_, _, g| {
+            grad_sq += g.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+        });
         opt.begin_step();
         model.visit_params_window(window, exit_layer, &mut |id, p, g| opt.update(id, p, g));
         model.enforce_masks();
@@ -170,6 +189,7 @@ impl AdaptiveTuner {
             window,
             activation_bytes,
             forward_layers: exit_layer + 1,
+            grad_norm: grad_sq.sqrt() as f32,
         })
     }
 
@@ -251,10 +271,16 @@ mod tests {
         let (mut model, tokens) = setup(2);
         let mut tuner = AdaptiveTuner::new(WindowSchedule::FullDepth);
         let mut opt = Sgd::new(0.1);
-        let first = tuner.step(&mut model, &mut opt, &tokens, &tokens, 1).unwrap().loss;
+        let first = tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap()
+            .loss;
         let mut last = first;
         for _ in 0..30 {
-            last = tuner.step(&mut model, &mut opt, &tokens, &tokens, 1).unwrap().loss;
+            last = tuner
+                .step(&mut model, &mut opt, &tokens, &tokens, 1)
+                .unwrap()
+                .loss;
         }
         assert!(last < first * 0.8, "loss should drop: {first} -> {last}");
     }
@@ -266,7 +292,9 @@ mod tests {
         let mut opt = Sgd::new(0.1);
         let first = tuner.eval_loss(&model, &tokens, &tokens, 1).unwrap();
         for _ in 0..40 {
-            tuner.step(&mut model, &mut opt, &tokens, &tokens, 1).unwrap();
+            tuner
+                .step(&mut model, &mut opt, &tokens, &tokens, 1)
+                .unwrap();
         }
         let last = tuner.eval_loss(&model, &tokens, &tokens, 1).unwrap();
         assert!(last < first, "loss should drop: {first} -> {last}");
@@ -277,9 +305,15 @@ mod tests {
         let (mut model, tokens) = setup(4);
         let mut opt = Sgd::new(0.0);
         let mut full = AdaptiveTuner::new(WindowSchedule::FullDepth);
-        let full_mem = full.step(&mut model, &mut opt, &tokens, &tokens, 1).unwrap().activation_bytes;
+        let full_mem = full
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap()
+            .activation_bytes;
         let mut windowed = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 1 });
-        let win_mem = windowed.step(&mut model, &mut opt, &tokens, &tokens, 1).unwrap().activation_bytes;
+        let win_mem = windowed
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap()
+            .activation_bytes;
         assert!(
             win_mem * 2 < full_mem,
             "1-layer window ({win_mem} B) should use far less than full depth ({full_mem} B)"
@@ -287,14 +321,55 @@ mod tests {
     }
 
     #[test]
+    fn grad_norm_is_positive_and_matches_optimizer_view() {
+        let (mut model, tokens) = setup(2);
+        let mut tuner = AdaptiveTuner::new(WindowSchedule::FullDepth);
+        // lr 0 keeps params fixed so the gradient is a pure function of the
+        // batch — two identical steps must report the same norm.
+        let mut opt = Sgd::new(0.0);
+        let r0 = tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap();
+        let r1 = tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap();
+        assert!(r0.grad_norm > 0.0);
+        assert!(r0.grad_norm.is_finite());
+        assert_eq!(r0.grad_norm, r1.grad_norm);
+    }
+
+    #[test]
+    fn set_iteration_repositions_schedule() {
+        let (mut model, tokens) = setup(4);
+        let mut opt = Sgd::new(0.0);
+        let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 1 });
+        tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap();
+        tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap();
+        tuner.set_iteration(0);
+        let r = tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap();
+        assert_eq!(r.window, LayerWindow { start: 0, end: 1 });
+        assert_eq!(tuner.iterations(), 1);
+    }
+
+    #[test]
     fn forward_layers_tracks_exit() {
         let (mut model, tokens) = setup(4);
         let mut opt = Sgd::new(0.0);
         let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 1 });
-        let r0 = tuner.step(&mut model, &mut opt, &tokens, &tokens, 1).unwrap();
+        let r0 = tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap();
         assert_eq!(r0.window, LayerWindow { start: 0, end: 1 });
         assert_eq!(r0.forward_layers, 1);
-        let r1 = tuner.step(&mut model, &mut opt, &tokens, &tokens, 1).unwrap();
+        let r1 = tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .unwrap();
         assert_eq!(r1.forward_layers, 2);
     }
 }

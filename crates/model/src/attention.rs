@@ -1,6 +1,8 @@
 use crate::error::ModelError;
 use crate::linear::{Linear, LinearCache};
-use edge_llm_tensor::{matmul_a_bt, matmul_at_b, softmax_backward, softmax_rows, Tensor, TensorRng};
+use edge_llm_tensor::{
+    matmul_a_bt, matmul_at_b, softmax_backward, softmax_rows, Tensor, TensorRng,
+};
 
 /// Causal multi-head self-attention.
 ///
@@ -104,7 +106,12 @@ impl Attention {
     /// # Errors
     ///
     /// Same as [`Attention::forward`].
-    pub fn forward_no_cache(&self, x: &Tensor, batch: usize, seq: usize) -> Result<Tensor, ModelError> {
+    pub fn forward_no_cache(
+        &self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+    ) -> Result<Tensor, ModelError> {
         Ok(self.forward_impl(x, batch, seq, false)?.0)
     }
 
@@ -116,7 +123,10 @@ impl Attention {
         want_cache: bool,
     ) -> Result<(Tensor, Option<AttentionCache>), ModelError> {
         if x.rows() != batch * seq || x.cols() != self.d_model {
-            return Err(ModelError::BadBatch { expected: batch * seq, actual: x.rows() });
+            return Err(ModelError::BadBatch {
+                expected: batch * seq,
+                actual: x.rows(),
+            });
         }
         let hs = self.d_model / self.n_heads;
         let scale = 1.0 / (hs as f32).sqrt();
@@ -144,7 +154,7 @@ impl Attention {
             }
         }
         let (out, proj_cache) = self.proj.forward(&concat)?;
-        let cache = want_cache.then(|| AttentionCache {
+        let cache = want_cache.then_some(AttentionCache {
             qkv_cache,
             proj_cache,
             att: att_all,
@@ -162,7 +172,11 @@ impl Attention {
     /// # Errors
     ///
     /// Propagates kernel shape errors.
-    pub fn backward(&mut self, cache: &AttentionCache, dout: &Tensor) -> Result<Tensor, ModelError> {
+    pub fn backward(
+        &mut self,
+        cache: &AttentionCache,
+        dout: &Tensor,
+    ) -> Result<Tensor, ModelError> {
         let hs = self.d_model / self.n_heads;
         let scale = 1.0 / (hs as f32).sqrt();
         let (batch, seq) = (cache.batch, cache.seq);
@@ -186,9 +200,9 @@ impl Attention {
                 // scores = q · kᵀ (pre-scale)
                 let dq = ds.matmul(k)?;
                 let dk = matmul_at_b(&ds, q)?;
-                scatter_head(&mut dqkv, &dq, b, seq, h, hs, 0, self.d_model);
-                scatter_head(&mut dqkv, &dk, b, seq, h, hs, self.d_model, self.d_model);
-                scatter_head(&mut dqkv, &dv, b, seq, h, hs, 2 * self.d_model, self.d_model);
+                scatter_head(&mut dqkv, &dq, b, seq, h, hs, 0);
+                scatter_head(&mut dqkv, &dk, b, seq, h, hs, self.d_model);
+                scatter_head(&mut dqkv, &dv, b, seq, h, hs, 2 * self.d_model);
             }
         }
         let dx = self.qkv.backward(&cache.qkv_cache, &dqkv)?;
@@ -228,8 +242,10 @@ fn split_head(
     for t in 0..seq {
         let row = qkv.row(b * seq + t);
         q.row_mut(t).copy_from_slice(&row[h * hs..(h + 1) * hs]);
-        k.row_mut(t).copy_from_slice(&row[d_model + h * hs..d_model + (h + 1) * hs]);
-        v.row_mut(t).copy_from_slice(&row[2 * d_model + h * hs..2 * d_model + (h + 1) * hs]);
+        k.row_mut(t)
+            .copy_from_slice(&row[d_model + h * hs..d_model + (h + 1) * hs]);
+        v.row_mut(t)
+            .copy_from_slice(&row[2 * d_model + h * hs..2 * d_model + (h + 1) * hs]);
     }
     (q, k, v)
 }
@@ -243,7 +259,8 @@ fn write_head(concat: &mut Tensor, y: &Tensor, b: usize, seq: usize, h: usize, h
 fn read_head(x: &Tensor, b: usize, seq: usize, h: usize, hs: usize) -> Tensor {
     let mut out = Tensor::zeros(seq, hs);
     for t in 0..seq {
-        out.row_mut(t).copy_from_slice(&x.row(b * seq + t)[h * hs..(h + 1) * hs]);
+        out.row_mut(t)
+            .copy_from_slice(&x.row(b * seq + t)[h * hs..(h + 1) * hs]);
     }
     out
 }
@@ -256,10 +273,10 @@ fn scatter_head(
     h: usize,
     hs: usize,
     offset: usize,
-    _d_model: usize,
 ) {
     for t in 0..seq {
-        dst.row_mut(b * seq + t)[offset + h * hs..offset + (h + 1) * hs].copy_from_slice(src.row(t));
+        dst.row_mut(b * seq + t)[offset + h * hs..offset + (h + 1) * hs]
+            .copy_from_slice(src.row(t));
     }
 }
 
@@ -267,10 +284,8 @@ fn apply_causal_mask(scores: &mut Tensor) {
     let (rows, cols) = scores.shape();
     for i in 0..rows {
         let row = scores.row_mut(i);
-        for j in 0..cols {
-            if j > i {
-                row[j] = -1e30;
-            }
+        for v in row.iter_mut().take(cols).skip(i + 1) {
+            *v = -1e30;
         }
     }
 }
@@ -304,11 +319,16 @@ mod tests {
         let y2 = attn.forward_no_cache(&x2, 1, seq).unwrap();
         for t in 0..seq - 1 {
             for c in 0..8 {
-                assert!((y1.get(t, c) - y2.get(t, c)).abs() < 1e-5, "token {t} changed");
+                assert!(
+                    (y1.get(t, c) - y2.get(t, c)).abs() < 1e-5,
+                    "token {t} changed"
+                );
             }
         }
         // but the perturbed position itself must change
-        let last_diff: f32 = (0..8).map(|c| (y1.get(seq - 1, c) - y2.get(seq - 1, c)).abs()).sum();
+        let last_diff: f32 = (0..8)
+            .map(|c| (y1.get(seq - 1, c) - y2.get(seq - 1, c)).abs())
+            .sum();
         assert!(last_diff > 1e-3);
     }
 
@@ -369,7 +389,10 @@ mod tests {
             xp.as_mut_slice()[i] = orig;
             let num = (lp - lm) / (2.0 * eps);
             let ana = dx.as_slice()[i];
-            assert!((num - ana).abs() < 3e-2, "element {i}: numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < 3e-2,
+                "element {i}: numeric {num} vs analytic {ana}"
+            );
         }
     }
 
@@ -378,7 +401,10 @@ mod tests {
         let mut rng = TensorRng::seed_from(5);
         let attn = Attention::new(8, 2, &mut rng);
         let x = Tensor::zeros(7, 8);
-        assert!(matches!(attn.forward(&x, 2, 4), Err(ModelError::BadBatch { .. })));
+        assert!(matches!(
+            attn.forward(&x, 2, 4),
+            Err(ModelError::BadBatch { .. })
+        ));
     }
 
     #[test]

@@ -55,8 +55,12 @@ pub fn beam_search(
     for &tok in prompt {
         last_logits = Some(session.push_token(tok)?);
     }
-    let mut beams: Vec<(InferenceSession, Vec<usize>, f64, Option<edge_llm_tensor::Tensor>)> =
-        vec![(session, prompt.to_vec(), 0.0, last_logits)];
+    let mut beams: Vec<(
+        InferenceSession,
+        Vec<usize>,
+        f64,
+        Option<edge_llm_tensor::Tensor>,
+    )> = vec![(session, prompt.to_vec(), 0.0, last_logits)];
     for _ in 0..n_new {
         let mut candidates: Vec<(usize, usize, f64)> = Vec::new(); // (beam idx, token, new score)
         for (bi, (_, _, score, logits)) in beams.iter().enumerate() {
@@ -66,7 +70,9 @@ pub fn beam_search(
             // consider the top `width` extensions of this beam
             let mut order: Vec<usize> = (0..row.len()).collect();
             order.sort_by(|&a, &b| {
-                row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+                row[b]
+                    .partial_cmp(&row[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             for &tok in order.iter().take(width) {
                 candidates.push((bi, tok, score + (row[tok].max(1e-12) as f64).ln()));
@@ -89,7 +95,11 @@ pub fn beam_search(
         .into_iter()
         .map(|(_, tokens, log_prob, _)| BeamHypothesis { tokens, log_prob })
         .collect();
-    out.sort_by(|a, b| b.log_prob.partial_cmp(&a.log_prob).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| {
+        b.log_prob
+            .partial_cmp(&a.log_prob)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(out)
 }
 

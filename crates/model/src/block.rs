@@ -47,7 +47,10 @@ impl Block {
 
     /// Number of trainable scalars.
     pub fn num_params(&self) -> usize {
-        self.ln1.num_params() + self.attn.num_params() + self.ln2.num_params() + self.mlp.num_params()
+        self.ln1.num_params()
+            + self.attn.num_params()
+            + self.ln2.num_params()
+            + self.mlp.num_params()
     }
 
     /// The attention module (exposed for compression policies).
@@ -97,7 +100,15 @@ impl Block {
         let (n2, ln2_cache) = self.ln2.forward(&x1)?;
         let (m, mlp_cache) = self.mlp.forward(&n2)?;
         let y = x1.add(&m)?;
-        Ok((y, BlockCache { ln1_cache, attn_cache, ln2_cache, mlp_cache }))
+        Ok((
+            y,
+            BlockCache {
+                ln1_cache,
+                attn_cache,
+                ln2_cache,
+                mlp_cache,
+            },
+        ))
     }
 
     /// Forward pass without retaining activations (frozen layers).
@@ -105,7 +116,12 @@ impl Block {
     /// # Errors
     ///
     /// Propagates kernel shape errors.
-    pub fn forward_no_cache(&self, x: &Tensor, batch: usize, seq: usize) -> Result<Tensor, ModelError> {
+    pub fn forward_no_cache(
+        &self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+    ) -> Result<Tensor, ModelError> {
         let n1 = self.ln1.forward_no_cache(x)?;
         let a = self.attn.forward_no_cache(&n1, batch, seq)?;
         let x1 = x.add(&a)?;
@@ -125,7 +141,7 @@ impl Block {
         let dn2 = self.mlp.backward(&cache.mlp_cache, dm)?;
         let mut dx1 = self.ln2.backward(&cache.ln2_cache, &dn2)?;
         dx1.axpy(1.0, dy)?; // residual path
-        // x1 = x + attn(ln1(x))
+                            // x1 = x + attn(ln1(x))
         let dn1 = self.attn.backward(&cache.attn_cache, &dx1)?;
         let mut dx = self.ln1.backward(&cache.ln1_cache, &dn1)?;
         dx.axpy(1.0, &dx1)?; // residual path
@@ -183,12 +199,30 @@ mod tests {
         for i in 0..x.len() {
             let orig = xp.as_slice()[i];
             xp.as_mut_slice()[i] = orig + eps;
-            let lp: f32 = block.forward_no_cache(&xp, 1, seq).unwrap().as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            let lp: f32 = block
+                .forward_no_cache(&xp, 1, seq)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             xp.as_mut_slice()[i] = orig - eps;
-            let lm: f32 = block.forward_no_cache(&xp, 1, seq).unwrap().as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            let lm: f32 = block
+                .forward_no_cache(&xp, 1, seq)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             xp.as_mut_slice()[i] = orig;
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - dx.as_slice()[i]).abs() < 5e-2, "element {i}: {num} vs {}", dx.as_slice()[i]);
+            assert!(
+                (num - dx.as_slice()[i]).abs() < 5e-2,
+                "element {i}: {num} vs {}",
+                dx.as_slice()[i]
+            );
         }
     }
 

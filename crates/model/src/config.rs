@@ -105,11 +105,20 @@ impl ModelConfig {
     /// Returns [`ModelError::BadConfig`] when any dimension is zero or
     /// `n_heads` does not divide `d_model`.
     pub fn validate(&self) -> Result<(), ModelError> {
-        let bad = |reason: &str| Err(ModelError::BadConfig { reason: reason.to_string() });
-        if self.vocab_size == 0 || self.d_model == 0 || self.n_layers == 0 || self.seq_len == 0 || self.d_ff == 0 {
+        let bad = |reason: &str| {
+            Err(ModelError::BadConfig {
+                reason: reason.to_string(),
+            })
+        };
+        if self.vocab_size == 0
+            || self.d_model == 0
+            || self.n_layers == 0
+            || self.seq_len == 0
+            || self.d_ff == 0
+        {
             return bad("all dimensions must be positive");
         }
-        if self.n_heads == 0 || self.d_model % self.n_heads != 0 {
+        if self.n_heads == 0 || !self.d_model.is_multiple_of(self.n_heads) {
             return bad("n_heads must be positive and divide d_model");
         }
         Ok(())

@@ -31,6 +31,12 @@ pub enum ModelError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A checkpoint could not be written, or was unreadable, corrupt, or
+    /// incompatible with this model.
+    Checkpoint {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -38,13 +44,17 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::BadConfig { reason } => write!(f, "invalid model config: {reason}"),
             ModelError::BadBatch { expected, actual } => {
-                write!(f, "token batch length {actual} does not equal batch*seq_len {expected}")
+                write!(
+                    f,
+                    "token batch length {actual} does not equal batch*seq_len {expected}"
+                )
             }
             ModelError::LayerOutOfRange { layer, depth } => {
                 write!(f, "layer {layer} out of range for depth {depth}")
             }
             ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
             ModelError::Compression { reason } => write!(f, "compression error: {reason}"),
+            ModelError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
         }
     }
 }
@@ -66,13 +76,17 @@ impl From<TensorError> for ModelError {
 
 impl From<edge_llm_quant::QuantError> for ModelError {
     fn from(e: edge_llm_quant::QuantError) -> Self {
-        ModelError::Compression { reason: e.to_string() }
+        ModelError::Compression {
+            reason: e.to_string(),
+        }
     }
 }
 
 impl From<edge_llm_prune::PruneError> for ModelError {
     fn from(e: edge_llm_prune::PruneError) -> Self {
-        ModelError::Compression { reason: e.to_string() }
+        ModelError::Compression {
+            reason: e.to_string(),
+        }
     }
 }
 
@@ -85,7 +99,9 @@ mod tests {
         let e = ModelError::from(TensorError::ZeroDimension { op: "x" });
         assert!(e.to_string().contains("tensor error"));
         assert!(e.source().is_some());
-        let e = ModelError::BadConfig { reason: "d_model not divisible".into() };
+        let e = ModelError::BadConfig {
+            reason: "d_model not divisible".into(),
+        };
         assert!(e.to_string().contains("invalid model config"));
     }
 }

@@ -50,7 +50,10 @@ pub fn generate(
     let seq_len = model.config().seq_len;
     let vocab = model.config().vocab_size;
     if prompt.is_empty() {
-        return Err(ModelError::BadBatch { expected: 1, actual: 0 });
+        return Err(ModelError::BadBatch {
+            expected: 1,
+            actual: 0,
+        });
     }
     if let Some(&bad) = prompt.iter().find(|&&t| t >= vocab) {
         return Err(ModelError::BadConfig {
@@ -74,10 +77,16 @@ pub fn generate(
 }
 
 fn validate_decoding(decoding: Decoding) -> Result<(), ModelError> {
-    let bad = |reason: &str| Err(ModelError::BadConfig { reason: reason.to_string() });
+    let bad = |reason: &str| {
+        Err(ModelError::BadConfig {
+            reason: reason.to_string(),
+        })
+    };
     match decoding {
         Decoding::Greedy => Ok(()),
-        Decoding::Sample { temperature } if temperature <= 0.0 => bad("temperature must be positive"),
+        Decoding::Sample { temperature } if temperature <= 0.0 => {
+            bad("temperature must be positive")
+        }
         Decoding::TopK { k, temperature } if k == 0 || temperature <= 0.0 => {
             bad("top-k needs k >= 1 and positive temperature")
         }
@@ -94,7 +103,11 @@ fn pick(probs: &[f32], decoding: Decoding, rng: &mut TensorRng) -> usize {
         }
         Decoding::TopK { k, temperature } => {
             let mut order: Vec<usize> = (0..probs.len()).collect();
-            order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+            order.sort_by(|&a, &b| {
+                probs[b]
+                    .partial_cmp(&probs[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             let keep = &order[..k.min(order.len())];
             // temper over the kept candidates only; pruned tokens must stay
             // at exactly zero probability
@@ -107,7 +120,10 @@ fn pick(probs: &[f32], decoding: Decoding, rng: &mut TensorRng) -> usize {
 
 fn temper(probs: &[f32], temperature: f32) -> Vec<f32> {
     // re-softmax of log p / T, numerically via Tensor helper
-    let logits: Vec<f32> = probs.iter().map(|&p| (p.max(1e-12)).ln() / temperature).collect();
+    let logits: Vec<f32> = probs
+        .iter()
+        .map(|&p| (p.max(1e-12)).ln() / temperature)
+        .collect();
     let t = Tensor::from_vec(1, logits.len(), logits).expect("shape by construction");
     softmax_rows(&t).into_vec()
 }
@@ -186,9 +202,18 @@ mod tests {
         let policy = VotingPolicy::final_only(m.n_layers());
         let mut rng = TensorRng::seed_from(5);
         // k = 1 at any temperature must agree with greedy
-        let topk =
-            generate(&m, &policy, &[7, 8], 4, Decoding::TopK { k: 1, temperature: 5.0 }, &mut rng)
-                .unwrap();
+        let topk = generate(
+            &m,
+            &policy,
+            &[7, 8],
+            4,
+            Decoding::TopK {
+                k: 1,
+                temperature: 5.0,
+            },
+            &mut rng,
+        )
+        .unwrap();
         let mut rng2 = TensorRng::seed_from(6);
         let greedy = generate(&m, &policy, &[7, 8], 4, Decoding::Greedy, &mut rng2).unwrap();
         assert_eq!(topk, greedy);
@@ -210,10 +235,27 @@ mod tests {
         let policy = VotingPolicy::final_only(m.n_layers());
         assert!(generate(&m, &policy, &[], 3, Decoding::Greedy, &mut rng).is_err());
         assert!(generate(&m, &policy, &[9999], 3, Decoding::Greedy, &mut rng).is_err());
-        assert!(generate(&m, &policy, &[1], 3, Decoding::Sample { temperature: 0.0 }, &mut rng)
-            .is_err());
-        assert!(generate(&m, &policy, &[1], 3, Decoding::TopK { k: 0, temperature: 1.0 }, &mut rng)
-            .is_err());
+        assert!(generate(
+            &m,
+            &policy,
+            &[1],
+            3,
+            Decoding::Sample { temperature: 0.0 },
+            &mut rng
+        )
+        .is_err());
+        assert!(generate(
+            &m,
+            &policy,
+            &[1],
+            3,
+            Decoding::TopK {
+                k: 0,
+                temperature: 1.0
+            },
+            &mut rng
+        )
+        .is_err());
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub fn gradient_check(
         let numeric = (lp - lm) / (2.0 * eps);
         max_abs_err = max_abs_err.max((numeric - gv).abs());
     }
-    Ok(GradCheckReport { max_abs_err, probed })
+    Ok(GradCheckReport {
+        max_abs_err,
+        probed,
+    })
 }
 
 #[cfg(test)]
@@ -88,8 +91,12 @@ mod tests {
         let mut rng = TensorRng::seed_from(7);
         let cfg = ModelConfig::tiny().with_tied_exits(tied);
         let mut model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
-        let tokens: Vec<usize> = (0..cfg.seq_len).map(|i| (i * 5 + 1) % cfg.vocab_size).collect();
-        let targets: Vec<usize> = (0..cfg.seq_len).map(|i| (i * 3 + 2) % cfg.vocab_size).collect();
+        let tokens: Vec<usize> = (0..cfg.seq_len)
+            .map(|i| (i * 5 + 1) % cfg.vocab_size)
+            .collect();
+        let targets: Vec<usize> = (0..cfg.seq_len)
+            .map(|i| (i * 3 + 2) % cfg.vocab_size)
+            .collect();
         gradient_check(&mut model, &tokens, &targets, 1, window, 97).unwrap()
     }
 
@@ -97,25 +104,41 @@ mod tests {
     fn full_model_gradients_are_correct() {
         let report = check(LayerWindow { start: 0, end: 2 }, true);
         assert!(report.probed > 20);
-        assert!(report.max_abs_err < 2e-2, "max grad err {}", report.max_abs_err);
+        assert!(
+            report.max_abs_err < 2e-2,
+            "max grad err {}",
+            report.max_abs_err
+        );
     }
 
     #[test]
     fn truncated_window_gradients_are_correct() {
         let report = check(LayerWindow { start: 1, end: 2 }, true);
         assert!(report.probed > 10);
-        assert!(report.max_abs_err < 2e-2, "max grad err {}", report.max_abs_err);
+        assert!(
+            report.max_abs_err < 2e-2,
+            "max grad err {}",
+            report.max_abs_err
+        );
     }
 
     #[test]
     fn early_exit_gradients_are_correct() {
         let report = check(LayerWindow { start: 0, end: 1 }, true);
-        assert!(report.max_abs_err < 2e-2, "max grad err {}", report.max_abs_err);
+        assert!(
+            report.max_abs_err < 2e-2,
+            "max grad err {}",
+            report.max_abs_err
+        );
     }
 
     #[test]
     fn untied_exit_gradients_are_correct() {
         let report = check(LayerWindow { start: 0, end: 1 }, false);
-        assert!(report.max_abs_err < 2e-2, "max grad err {}", report.max_abs_err);
+        assert!(
+            report.max_abs_err < 2e-2,
+            "max grad err {}",
+            report.max_abs_err
+        );
     }
 }

@@ -41,10 +41,18 @@ impl<'a> InferenceSession<'a> {
     /// Starts an empty session (capacity = the model's `seq_len`).
     pub fn new(model: &'a EdgeModel) -> Self {
         let cfg = model.config();
-        let keys = (0..model.n_layers()).map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model)).collect();
-        let values =
-            (0..model.n_layers()).map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model)).collect();
-        InferenceSession { model, keys, values, t: 0 }
+        let keys = (0..model.n_layers())
+            .map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model))
+            .collect();
+        let values = (0..model.n_layers())
+            .map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model))
+            .collect();
+        InferenceSession {
+            model,
+            keys,
+            values,
+            t: 0,
+        }
     }
 
     /// Tokens consumed so far.
@@ -64,7 +72,11 @@ impl<'a> InferenceSession<'a> {
 
     /// Bytes held by the key/value caches.
     pub fn cache_bytes(&self) -> usize {
-        self.keys.iter().chain(self.values.iter()).map(|t| t.len() * 4).sum()
+        self.keys
+            .iter()
+            .chain(self.values.iter())
+            .map(|t| t.len() * 4)
+            .sum()
     }
 
     /// Resets the session to empty without reallocating.
@@ -82,7 +94,8 @@ impl<'a> InferenceSession<'a> {
     /// token.
     pub fn push_token(&mut self, token: usize) -> Result<Tensor, ModelError> {
         let h = self.advance(token)?;
-        self.model.exit_logits_no_cache(&h, self.model.n_layers() - 1)
+        self.model
+            .exit_logits_no_cache(&h, self.model.n_layers() - 1)
     }
 
     /// Feeds one token and returns per-exit logits for the given exits
@@ -98,7 +111,10 @@ impl<'a> InferenceSession<'a> {
         exits: &[usize],
     ) -> Result<Vec<Tensor>, ModelError> {
         if let Some(&bad) = exits.iter().find(|&&e| e >= self.model.n_layers()) {
-            return Err(ModelError::LayerOutOfRange { layer: bad, depth: self.model.n_layers() });
+            return Err(ModelError::LayerOutOfRange {
+                layer: bad,
+                depth: self.model.n_layers(),
+            });
         }
         let mut per_exit = vec![None; exits.len()];
         let mut x = self.model.embed_one(token, self.t)?;
@@ -111,7 +127,10 @@ impl<'a> InferenceSession<'a> {
             }
         }
         self.t += 1;
-        Ok(per_exit.into_iter().map(|o| o.expect("exit bounds checked")).collect())
+        Ok(per_exit
+            .into_iter()
+            .map(|o| o.expect("exit bounds checked"))
+            .collect())
     }
 
     fn advance(&mut self, token: usize) -> Result<Tensor, ModelError> {
@@ -136,7 +155,9 @@ impl<'a> InferenceSession<'a> {
         let qkv = qkv_lin.forward_no_cache(&n1)?; // (1, 3c)
         let row = qkv.row(0);
         self.keys[l].row_mut(self.t).copy_from_slice(&row[c..2 * c]);
-        self.values[l].row_mut(self.t).copy_from_slice(&row[2 * c..3 * c]);
+        self.values[l]
+            .row_mut(self.t)
+            .copy_from_slice(&row[2 * c..3 * c]);
         let t_now = self.t + 1;
         let mut concat = Tensor::zeros(1, c);
         for h in 0..heads {
@@ -182,7 +203,9 @@ mod tests {
         let m = model(1);
         let cfg = m.config().clone();
         let mut rng = TensorRng::seed_from(2);
-        let tokens: Vec<usize> = (0..cfg.seq_len).map(|_| rng.index(cfg.vocab_size)).collect();
+        let tokens: Vec<usize> = (0..cfg.seq_len)
+            .map(|_| rng.index(cfg.vocab_size))
+            .collect();
         let full = m.logits(&tokens, 1).unwrap();
         let mut session = InferenceSession::new(&m);
         for (t, &tok) in tokens.iter().enumerate() {
@@ -255,6 +278,9 @@ mod tests {
         let m = model(7);
         let session = InferenceSession::new(&m);
         let cfg = m.config();
-        assert_eq!(session.cache_bytes(), 2 * m.n_layers() * cfg.seq_len * cfg.d_model * 4);
+        assert_eq!(
+            session.cache_bytes(),
+            2 * m.n_layers() * cfg.seq_len * cfg.d_model * 4
+        );
     }
 }

@@ -10,13 +10,21 @@
 use crate::config::ModelConfig;
 use crate::error::ModelError;
 use crate::model::EdgeModel;
-use edge_llm_tensor::TensorRng;
+use crate::optim::{Sgd, SgdState};
+use edge_llm_tensor::{RngState, TensorRng, RNG_STATE_BYTES};
 use std::io::{Read, Write};
+use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"EDGELLM\x01";
+const TRAIN_MAGIC: &[u8; 8] = b"EDGELLM\x02";
+/// Upper bound on a plausible payload, so a corrupt length field fails
+/// cleanly instead of attempting a giant allocation.
+const MAX_PAYLOAD: u64 = 1 << 32;
 
 fn io_err(e: std::io::Error) -> ModelError {
-    ModelError::BadConfig { reason: format!("checkpoint io error: {e}") }
+    ModelError::BadConfig {
+        reason: format!("checkpoint io error: {e}"),
+    }
 }
 
 fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), ModelError> {
@@ -82,7 +90,9 @@ pub fn load_model<R: Read>(reader: &mut R) -> Result<EdgeModel, ModelError> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic).map_err(io_err)?;
     if &magic != MAGIC {
-        return Err(ModelError::BadConfig { reason: "not an edge-llm checkpoint".into() });
+        return Err(ModelError::BadConfig {
+            reason: "not an edge-llm checkpoint".into(),
+        });
     }
     let mut f = [0u64; 7];
     for v in f.iter_mut() {
@@ -125,6 +135,350 @@ pub fn load_model<R: Read>(reader: &mut R) -> Result<EdgeModel, ModelError> {
         });
     }
     Ok(model)
+}
+
+// ---------------------------------------------------------------------------
+// Training checkpoints (format v2)
+// ---------------------------------------------------------------------------
+
+fn ck(reason: impl Into<String>) -> ModelError {
+    ModelError::Checkpoint {
+        reason: reason.into(),
+    }
+}
+
+/// FNV-1a 64-bit hash, the checkpoint envelope's integrity check.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take_u64(cur: &mut &[u8]) -> Result<u64, ModelError> {
+    let mut b = [0u8; 8];
+    cur.read_exact(&mut b)
+        .map_err(|_| ck("truncated payload"))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn take_f32(cur: &mut &[u8]) -> Result<f32, ModelError> {
+    let mut b = [0u8; 4];
+    cur.read_exact(&mut b)
+        .map_err(|_| ck("truncated payload"))?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// A full snapshot of an adaptation run: model parameters, optimizer
+/// state, schedule cursor, RNG state, and an opaque caller blob (the
+/// pipeline stores its compression policy there).
+///
+/// The on-disk format is versioned (`EDGELLM\x02`, distinct from the
+/// model-only `\x01` format) and framed as
+/// `magic | payload_len | payload | fnv1a64(payload)`, so truncation and
+/// bit corruption are both detected before any field is trusted.
+/// [`TrainingCheckpoint::save_file`] writes atomically (temp file in the
+/// same directory, then rename) so a crash mid-write never clobbers the
+/// previous good checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingCheckpoint {
+    /// Architecture of the checkpointed model.
+    pub config: ModelConfig,
+    /// Every parameter in the model's canonical visitation order.
+    pub params: Vec<f32>,
+    /// Optimizer hyperparameters and per-slice velocity.
+    pub optimizer: SgdState,
+    /// Adaptation iterations completed when the snapshot was taken.
+    pub iteration: u64,
+    /// Training RNG state at the snapshot point.
+    pub rng: RngState,
+    /// Opaque caller data carried alongside the core state.
+    pub extra: Vec<u8>,
+}
+
+impl TrainingCheckpoint {
+    /// Snapshots a live training run.
+    ///
+    /// The model borrow is mutable only because parameters are reached
+    /// through the canonical visitor; nothing is modified.
+    pub fn capture(
+        model: &mut EdgeModel,
+        opt: &Sgd,
+        iteration: u64,
+        rng: &TensorRng,
+        extra: Vec<u8>,
+    ) -> Self {
+        let mut params = Vec::new();
+        model.visit_params_all(&mut |_, p, _| params.extend_from_slice(p));
+        TrainingCheckpoint {
+            config: model.config().clone(),
+            params,
+            optimizer: opt.export_state(),
+            iteration,
+            rng: rng.state(),
+            extra,
+        }
+    }
+
+    /// Writes the checkpoint's parameters back into `model` in place
+    /// (rollback path: compression hooks and masks stay installed; masks
+    /// are re-enforced afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Checkpoint`] if the model's architecture or
+    /// parameter count does not match the snapshot.
+    pub fn restore_params(&self, model: &mut EdgeModel) -> Result<(), ModelError> {
+        if model.config() != &self.config {
+            return Err(ck("checkpoint architecture does not match the live model"));
+        }
+        let mut cursor = 0usize;
+        let mut overrun = false;
+        model.visit_params_all(&mut |_, p, _| {
+            if cursor + p.len() > self.params.len() {
+                overrun = true;
+                return;
+            }
+            p.copy_from_slice(&self.params[cursor..cursor + p.len()]);
+            cursor += p.len();
+        });
+        if overrun || cursor != self.params.len() {
+            return Err(ck(format!(
+                "checkpoint holds {} params, model needs a different count",
+                self.params.len()
+            )));
+        }
+        model.enforce_masks();
+        Ok(())
+    }
+
+    /// Builds a fresh model from the snapshot (resume path).
+    ///
+    /// Compression is runtime state: the caller re-applies its policy
+    /// (recorded in [`TrainingCheckpoint::extra`]) after loading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Checkpoint`] on a parameter-count mismatch,
+    /// or any construction error for the recorded config.
+    pub fn build_model(&self) -> Result<EdgeModel, ModelError> {
+        let mut rng = TensorRng::seed_from(0);
+        let mut model = EdgeModel::new(self.config.clone(), &mut rng)?;
+        self.restore_params(&mut model)?;
+        Ok(model)
+    }
+
+    /// Rebuilds the optimizer exactly as captured.
+    pub fn optimizer(&self) -> Sgd {
+        Sgd::from_state(&self.optimizer)
+    }
+
+    /// Rebuilds the training RNG exactly as captured.
+    pub fn rng(&self) -> TensorRng {
+        TensorRng::from_state(self.rng)
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.params.len() * 4 + self.extra.len());
+        for f in config_fields(&self.config) {
+            push_u64(&mut buf, f);
+        }
+        push_u64(&mut buf, self.params.len() as u64);
+        for &v in &self.params {
+            push_f32(&mut buf, v);
+        }
+        push_f32(&mut buf, self.optimizer.lr);
+        push_f32(&mut buf, self.optimizer.momentum);
+        push_f32(&mut buf, self.optimizer.clip);
+        push_u64(&mut buf, self.optimizer.velocity.len() as u64);
+        for (id, v) in &self.optimizer.velocity {
+            push_u64(&mut buf, *id as u64);
+            push_u64(&mut buf, v.len() as u64);
+            for &x in v {
+                push_f32(&mut buf, x);
+            }
+        }
+        push_u64(&mut buf, self.iteration);
+        buf.extend_from_slice(&self.rng.to_bytes());
+        push_u64(&mut buf, self.extra.len() as u64);
+        buf.extend_from_slice(&self.extra);
+        buf
+    }
+
+    fn parse_payload(payload: &[u8]) -> Result<Self, ModelError> {
+        let mut cur = payload;
+        let mut f = [0u64; 7];
+        for v in f.iter_mut() {
+            *v = take_u64(&mut cur)?;
+        }
+        let config = ModelConfig {
+            vocab_size: f[0] as usize,
+            d_model: f[1] as usize,
+            n_heads: f[2] as usize,
+            n_layers: f[3] as usize,
+            seq_len: f[4] as usize,
+            d_ff: f[5] as usize,
+            tie_exit_heads: f[6] != 0,
+        };
+        let n_params = take_u64(&mut cur)? as usize;
+        if n_params * 4 > cur.len() {
+            return Err(ck("truncated payload"));
+        }
+        let mut params = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            params.push(take_f32(&mut cur)?);
+        }
+        let lr = take_f32(&mut cur)?;
+        let momentum = take_f32(&mut cur)?;
+        let clip = take_f32(&mut cur)?;
+        let n_slices = take_u64(&mut cur)? as usize;
+        let mut velocity = Vec::with_capacity(n_slices.min(1 << 20));
+        for _ in 0..n_slices {
+            let id = take_u64(&mut cur)? as usize;
+            let len = take_u64(&mut cur)? as usize;
+            if len * 4 > cur.len() {
+                return Err(ck("truncated payload"));
+            }
+            let mut v = Vec::with_capacity(len);
+            for _ in 0..len {
+                v.push(take_f32(&mut cur)?);
+            }
+            velocity.push((id, v));
+        }
+        let iteration = take_u64(&mut cur)?;
+        let mut rng_bytes = [0u8; RNG_STATE_BYTES];
+        (&mut cur)
+            .read_exact(&mut rng_bytes)
+            .map_err(|_| ck("truncated payload"))?;
+        let rng = RngState::from_bytes(&rng_bytes)
+            .ok_or_else(|| ck("invalid RNG state in checkpoint"))?;
+        let extra_len = take_u64(&mut cur)? as usize;
+        if extra_len != cur.len() {
+            return Err(ck("payload length inconsistent with extra-blob length"));
+        }
+        let extra = cur.to_vec();
+        Ok(TrainingCheckpoint {
+            config,
+            params,
+            optimizer: SgdState {
+                lr,
+                momentum,
+                clip,
+                velocity,
+            },
+            iteration,
+            rng,
+            extra,
+        })
+    }
+
+    /// Serializes the checkpoint (magic, length, payload, checksum).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Checkpoint`] wrapping any I/O error.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), ModelError> {
+        let payload = self.payload();
+        writer
+            .write_all(TRAIN_MAGIC)
+            .map_err(|e| ck(format!("write failed: {e}")))?;
+        writer
+            .write_all(&(payload.len() as u64).to_le_bytes())
+            .map_err(|e| ck(format!("write failed: {e}")))?;
+        writer
+            .write_all(&payload)
+            .map_err(|e| ck(format!("write failed: {e}")))?;
+        writer
+            .write_all(&fnv1a64(&payload).to_le_bytes())
+            .map_err(|e| ck(format!("write failed: {e}")))?;
+        Ok(())
+    }
+
+    /// Deserializes a checkpoint written by [`TrainingCheckpoint::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Checkpoint`] for a wrong or older-version
+    /// magic, a truncated stream, a checksum mismatch, or a structurally
+    /// inconsistent payload.
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<Self, ModelError> {
+        let mut magic = [0u8; 8];
+        reader
+            .read_exact(&mut magic)
+            .map_err(|_| ck("truncated checkpoint header"))?;
+        if &magic == MAGIC {
+            return Err(ck(
+                "this is a model-only checkpoint (format v1); expected a training checkpoint",
+            ));
+        }
+        if &magic != TRAIN_MAGIC {
+            return Err(ck("not an edge-llm training checkpoint"));
+        }
+        let mut len_bytes = [0u8; 8];
+        reader
+            .read_exact(&mut len_bytes)
+            .map_err(|_| ck("truncated checkpoint header"))?;
+        let len = u64::from_le_bytes(len_bytes);
+        if len > MAX_PAYLOAD {
+            return Err(ck(format!("implausible payload length {len}")));
+        }
+        let mut payload = vec![0u8; len as usize];
+        reader
+            .read_exact(&mut payload)
+            .map_err(|_| ck("truncated checkpoint payload"))?;
+        let mut sum_bytes = [0u8; 8];
+        reader
+            .read_exact(&mut sum_bytes)
+            .map_err(|_| ck("missing checkpoint checksum"))?;
+        if u64::from_le_bytes(sum_bytes) != fnv1a64(&payload) {
+            return Err(ck("checksum mismatch: checkpoint is corrupt"));
+        }
+        Self::parse_payload(&payload)
+    }
+
+    /// Atomically writes the checkpoint to `path`: the bytes land in a
+    /// `.tmp` sibling first and are renamed into place, so an interrupted
+    /// save never destroys the previous checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Checkpoint`] wrapping any filesystem error.
+    pub fn save_file(&self, path: &Path) -> Result<(), ModelError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(&tmp)
+                .map_err(|e| ck(format!("cannot create {}: {e}", tmp.display())))?,
+        );
+        self.write_to(&mut file)?;
+        file.flush().map_err(|e| ck(format!("flush failed: {e}")))?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+            .map_err(|e| ck(format!("cannot rename into {}: {e}", path.display())))
+    }
+
+    /// Loads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Checkpoint`] if the file cannot be read or
+    /// fails any of [`TrainingCheckpoint::read_from`]'s validation.
+    pub fn load_file(path: &Path) -> Result<Self, ModelError> {
+        let bytes =
+            std::fs::read(path).map_err(|e| ck(format!("cannot read {}: {e}", path.display())))?;
+        Self::read_from(&mut bytes.as_slice())
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +527,109 @@ mod tests {
         let n = bytes.len();
         bytes[n - 1] ^= 0xff; // flip the recorded count
         assert!(load_model(&mut bytes.as_slice()).is_err());
+    }
+
+    fn training_state(seed: u64) -> (EdgeModel, Sgd, TensorRng) {
+        let mut m = model(seed);
+        let mut opt = Sgd::with_momentum(0.05, 0.9).with_clip(1.0);
+        let mut rng = TensorRng::seed_from(seed ^ 0xabcd);
+        // a few real steps so velocity and RNG state are non-trivial
+        let tokens: Vec<usize> = (0..m.config().seq_len).map(|i| i % 16).collect();
+        let mut tuner =
+            crate::adaptive::AdaptiveTuner::new(crate::adaptive::WindowSchedule::FullDepth);
+        for _ in 0..3 {
+            tuner.step(&mut m, &mut opt, &tokens, &tokens, 1).unwrap();
+            let _ = rng.normal();
+        }
+        (m, opt, rng)
+    }
+
+    #[test]
+    fn training_checkpoint_roundtrips_bit_identically() {
+        let (mut m, opt, rng) = training_state(6);
+        let ckpt = TrainingCheckpoint::capture(&mut m, &opt, 3, &rng, b"policy=none".to_vec());
+        let mut bytes = Vec::new();
+        ckpt.write_to(&mut bytes).unwrap();
+        let back = TrainingCheckpoint::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(ckpt, back);
+        let rebuilt = back.build_model().unwrap();
+        let tokens: Vec<usize> = (0..m.config().seq_len).map(|i| i % 16).collect();
+        let a = m.logits(&tokens, 1).unwrap();
+        let b = rebuilt.logits(&tokens, 1).unwrap();
+        assert!(a.approx_eq(&b, 0.0), "restored model must be bit-identical");
+        assert_eq!(
+            back.rng().next_u64(),
+            TensorRng::from_state(rng.state()).next_u64()
+        );
+    }
+
+    #[test]
+    fn training_checkpoint_detects_truncation_and_bitflips() {
+        let (mut m, opt, rng) = training_state(7);
+        let ckpt = TrainingCheckpoint::capture(&mut m, &opt, 1, &rng, Vec::new());
+        let mut bytes = Vec::new();
+        ckpt.write_to(&mut bytes).unwrap();
+        // every truncation point fails with a typed error
+        for cut in [4usize, 12, bytes.len() / 2, bytes.len() - 1] {
+            let short = &bytes[..cut];
+            let err = TrainingCheckpoint::read_from(&mut &short[..]).unwrap_err();
+            assert!(
+                matches!(err, ModelError::Checkpoint { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+        // a single flipped payload bit trips the checksum
+        let mut flipped = bytes.clone();
+        let mid = 16 + (flipped.len() - 24) / 2;
+        flipped[mid] ^= 0x40;
+        let err = TrainingCheckpoint::read_from(&mut flipped.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("corrupt") || err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn training_checkpoint_rejects_v1_and_foreign_files() {
+        let mut m = model(8);
+        let mut v1 = Vec::new();
+        save_model(&mut m, &mut v1).unwrap();
+        let err = TrainingCheckpoint::read_from(&mut v1.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("model-only"),
+            "v1 gets a pointed message: {err}"
+        );
+        let junk = b"GARBAGE!whatever".to_vec();
+        assert!(TrainingCheckpoint::read_from(&mut junk.as_slice()).is_err());
+    }
+
+    #[test]
+    fn training_checkpoint_restore_rejects_wrong_architecture() {
+        let (mut m, opt, rng) = training_state(9);
+        let ckpt = TrainingCheckpoint::capture(&mut m, &opt, 0, &rng, Vec::new());
+        let mut rng2 = TensorRng::seed_from(1);
+        let mut other = EdgeModel::new(
+            ModelConfig::tiny().with_layers(m.config().n_layers + 1),
+            &mut rng2,
+        )
+        .unwrap();
+        assert!(ckpt.restore_params(&mut other).is_err());
+    }
+
+    #[test]
+    fn save_file_is_atomic_and_loadable() {
+        let dir = std::env::temp_dir().join("edgellm-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let (mut m, opt, rng) = training_state(10);
+        let ckpt = TrainingCheckpoint::capture(&mut m, &opt, 2, &rng, vec![1, 2, 3]);
+        ckpt.save_file(&path).unwrap();
+        // no temp file left behind
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        let back = TrainingCheckpoint::load_file(&path).unwrap();
+        assert_eq!(back, ckpt);
+        // overwrite with new state keeps the file valid
+        let ckpt2 = TrainingCheckpoint::capture(&mut m, &opt, 5, &rng, vec![9]);
+        ckpt2.save_file(&path).unwrap();
+        assert_eq!(TrainingCheckpoint::load_file(&path).unwrap().iteration, 5);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use error::ModelError;
 pub use generate::{generate, Decoding};
 pub use gradcheck::{gradient_check, GradCheckReport};
 pub use infer::InferenceSession;
-pub use io::{load_model, save_model};
+pub use io::{load_model, save_model, TrainingCheckpoint};
 pub use linear::{Linear, LinearCache};
 pub use lora::{LoraCache, LoraLinear};
 pub use lr::LrSchedule;
@@ -63,5 +63,5 @@ pub use memory::{MemoryBreakdown, MemoryModel};
 pub use mlp::{Mlp, MlpCache};
 pub use model::{EdgeModel, ExitForward, ForwardCaches};
 pub use norm::LayerNorm;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, Optimizer, Sgd, SgdState};
 pub use voting::{combine, fit_learned_weights, VotingCombiner, VotingPolicy};

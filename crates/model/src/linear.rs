@@ -185,7 +185,11 @@ impl Linear {
             }
             None => (x.matmul(&self.w)?, None),
         };
-        let y = if self.b.is_empty() { y } else { add_bias_forward(&y, &self.b)? };
+        let y = if self.b.is_empty() {
+            y
+        } else {
+            add_bias_forward(&y, &self.b)?
+        };
         Ok((y, w_eff))
     }
 
@@ -251,7 +255,8 @@ mod tests {
     fn forward_matches_manual() {
         let mut rng = TensorRng::seed_from(1);
         let mut l = Linear::new(3, 2, &mut rng);
-        l.w.as_mut_slice().copy_from_slice(&[1., 0., 0., 1., 1., 1.]);
+        l.w.as_mut_slice()
+            .copy_from_slice(&[1., 0., 0., 1., 1., 1.]);
         l.b.copy_from_slice(&[0.5, -0.5]);
         let x = Tensor::from_vec(1, 3, vec![2., 3., 4.]).unwrap();
         let (y, _) = l.forward(&x).unwrap();
@@ -310,7 +315,10 @@ mod tests {
         let y_fp = l.forward_no_cache(&x).unwrap();
         l.set_quant(Some(QuantScheme::symmetric(BitWidth::W2)));
         let y_q = l.forward_no_cache(&x).unwrap();
-        assert!(!y_fp.approx_eq(&y_q, 1e-4), "2-bit quantization must perturb outputs");
+        assert!(
+            !y_fp.approx_eq(&y_q, 1e-4),
+            "2-bit quantization must perturb outputs"
+        );
     }
 
     #[test]
@@ -340,7 +348,9 @@ mod tests {
         let dx = l.backward(&cache, &dy).unwrap();
         assert_eq!(dx.shape(), (2, 4));
         // dW = x_qᵀ·dy with the quantized input
-        let xq = edge_llm_quant::fake_quant(&x, QuantScheme::asymmetric(edge_llm_quant::BitWidth::W4)).unwrap();
+        let xq =
+            edge_llm_quant::fake_quant(&x, QuantScheme::asymmetric(edge_llm_quant::BitWidth::W4))
+                .unwrap();
         let expect = edge_llm_tensor::matmul_at_b(&xq, &dy).unwrap();
         assert!(l.weight_grad().approx_eq(&expect, 1e-4));
     }

@@ -143,7 +143,10 @@ mod tests {
         let x = Tensor::randn(3, 6, 1.0, &mut rng);
         let (y, _) = lora.forward(&x).unwrap();
         let plain = x.matmul(&base).unwrap();
-        assert!(y.approx_eq(&plain, 1e-5), "B=0 means adapter must be a no-op");
+        assert!(
+            y.approx_eq(&plain, 1e-5),
+            "B=0 means adapter must be a no-op"
+        );
     }
 
     #[test]
@@ -163,11 +166,30 @@ mod tests {
         for i in 0..x.len() {
             let orig = xp.as_slice()[i];
             xp.as_mut_slice()[i] = orig + eps;
-            let lp: f32 = lora.forward(&xp).unwrap().0.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            let lp: f32 = lora
+                .forward(&xp)
+                .unwrap()
+                .0
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             xp.as_mut_slice()[i] = orig - eps;
-            let lm: f32 = lora.forward(&xp).unwrap().0.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            let lm: f32 = lora
+                .forward(&xp)
+                .unwrap()
+                .0
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             xp.as_mut_slice()[i] = orig;
-            assert!(((lp - lm) / (2.0 * eps) - dx.as_slice()[i]).abs() < 2e-2, "dx[{i}]");
+            assert!(
+                ((lp - lm) / (2.0 * eps) - dx.as_slice()[i]).abs() < 2e-2,
+                "dx[{i}]"
+            );
         }
         // numeric check on dA
         let mut ap = lora.a.clone();
@@ -175,11 +197,30 @@ mod tests {
             let orig = ap.as_slice()[i];
             let mut probe = lora.clone();
             probe.a.as_mut_slice()[i] = orig + eps;
-            let lp: f32 = probe.forward(&x).unwrap().0.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            let lp: f32 = probe
+                .forward(&x)
+                .unwrap()
+                .0
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             probe.a.as_mut_slice()[i] = orig - eps;
-            let lm: f32 = probe.forward(&x).unwrap().0.as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            let lm: f32 = probe
+                .forward(&x)
+                .unwrap()
+                .0
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             ap.as_mut_slice()[i] = orig;
-            assert!(((lp - lm) / (2.0 * eps) - lora.da.as_slice()[i]).abs() < 2e-2, "dA[{i}]");
+            assert!(
+                ((lp - lm) / (2.0 * eps) - lora.da.as_slice()[i]).abs() < 2e-2,
+                "dA[{i}]"
+            );
         }
     }
 

@@ -39,17 +39,21 @@ impl LrSchedule {
     pub fn lr_at(&self, step: usize) -> f32 {
         match *self {
             LrSchedule::Constant { lr } => lr,
-            LrSchedule::CosineWithWarmup { lr, min_lr, warmup, total } => {
+            LrSchedule::CosineWithWarmup {
+                lr,
+                min_lr,
+                warmup,
+                total,
+            } => {
                 if warmup > 0 && step < warmup {
                     return lr * (step + 1) as f32 / warmup as f32;
                 }
                 let total = total.max(warmup + 1);
-                let progress =
-                    ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
+                let progress = ((step - warmup) as f32 / (total - warmup) as f32).clamp(0.0, 1.0);
                 min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
             }
             LrSchedule::Step { lr, gamma, every } => {
-                let stages = if every == 0 { 0 } else { step / every };
+                let stages = step.checked_div(every).unwrap_or(0);
                 lr * gamma.powi(stages as i32)
             }
         }
@@ -69,7 +73,12 @@ mod tests {
 
     #[test]
     fn cosine_warms_up_then_decays() {
-        let s = LrSchedule::CosineWithWarmup { lr: 1.0, min_lr: 0.1, warmup: 10, total: 110 };
+        let s = LrSchedule::CosineWithWarmup {
+            lr: 1.0,
+            min_lr: 0.1,
+            warmup: 10,
+            total: 110,
+        };
         assert!(s.lr_at(0) < s.lr_at(5));
         assert!(s.lr_at(5) < s.lr_at(9));
         assert!((s.lr_at(10) - 1.0).abs() < 0.01);
@@ -81,13 +90,22 @@ mod tests {
 
     #[test]
     fn cosine_halfway_is_midpoint() {
-        let s = LrSchedule::CosineWithWarmup { lr: 1.0, min_lr: 0.0, warmup: 0, total: 100 };
+        let s = LrSchedule::CosineWithWarmup {
+            lr: 1.0,
+            min_lr: 0.0,
+            warmup: 0,
+            total: 100,
+        };
         assert!((s.lr_at(50) - 0.5).abs() < 0.02);
     }
 
     #[test]
     fn step_decays_in_stages() {
-        let s = LrSchedule::Step { lr: 1.0, gamma: 0.5, every: 10 };
+        let s = LrSchedule::Step {
+            lr: 1.0,
+            gamma: 0.5,
+            every: 10,
+        };
         assert_eq!(s.lr_at(0), 1.0);
         assert_eq!(s.lr_at(9), 1.0);
         assert_eq!(s.lr_at(10), 0.5);
@@ -96,7 +114,11 @@ mod tests {
 
     #[test]
     fn step_with_zero_period_never_decays() {
-        let s = LrSchedule::Step { lr: 1.0, gamma: 0.5, every: 0 };
+        let s = LrSchedule::Step {
+            lr: 1.0,
+            gamma: 0.5,
+            every: 0,
+        };
         assert_eq!(s.lr_at(100), 1.0);
     }
 }

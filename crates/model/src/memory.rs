@@ -43,7 +43,11 @@ pub struct MemoryModel {
 impl MemoryModel {
     /// A full-precision Adam setup at the given batch size.
     pub fn adam_f32(batch: usize) -> Self {
-        MemoryModel { batch, optimizer_moments: 2, weight_bits: 32.0 }
+        MemoryModel {
+            batch,
+            optimizer_moments: 2,
+            weight_bits: 32.0,
+        }
     }
 
     /// Per-block trainable parameter count.
@@ -84,7 +88,12 @@ impl MemoryModel {
             + config.d_model * config.vocab_size; // (shared) head
         let gradient_bytes = 4 * window_params;
         let optimizer_bytes = 4 * self.optimizer_moments * window_params;
-        MemoryBreakdown { weight_bytes, activation_bytes, gradient_bytes, optimizer_bytes }
+        MemoryBreakdown {
+            weight_bytes,
+            activation_bytes,
+            gradient_bytes,
+            optimizer_bytes,
+        }
     }
 }
 
@@ -108,15 +117,30 @@ mod tests {
     fn compression_shrinks_weight_memory() {
         let cfg = ModelConfig::edge_base();
         let fp = MemoryModel::adam_f32(1).estimate(&cfg, 2);
-        let q4 = MemoryModel { batch: 1, optimizer_moments: 2, weight_bits: 4.0 }.estimate(&cfg, 2);
+        let q4 = MemoryModel {
+            batch: 1,
+            optimizer_moments: 2,
+            weight_bits: 4.0,
+        }
+        .estimate(&cfg, 2);
         assert!(q4.weight_bytes * 7 < fp.weight_bytes);
     }
 
     #[test]
     fn optimizer_moments_scale_state() {
         let cfg = ModelConfig::tiny();
-        let sgd = MemoryModel { batch: 1, optimizer_moments: 0, weight_bits: 32.0 }.estimate(&cfg, 1);
-        let adam = MemoryModel { batch: 1, optimizer_moments: 2, weight_bits: 32.0 }.estimate(&cfg, 1);
+        let sgd = MemoryModel {
+            batch: 1,
+            optimizer_moments: 0,
+            weight_bits: 32.0,
+        }
+        .estimate(&cfg, 1);
+        let adam = MemoryModel {
+            batch: 1,
+            optimizer_moments: 2,
+            weight_bits: 32.0,
+        }
+        .estimate(&cfg, 1);
         assert_eq!(sgd.optimizer_bytes, 0);
         assert_eq!(adam.optimizer_bytes, 2 * adam.gradient_bytes);
     }

@@ -27,7 +27,10 @@ impl MlpCache {
 impl Mlp {
     /// Creates an MLP with the given input and hidden widths.
     pub fn new(d_model: usize, d_ff: usize, rng: &mut TensorRng) -> Self {
-        Mlp { fc1: Linear::new(d_model, d_ff, rng), fc2: Linear::new(d_ff, d_model, rng) }
+        Mlp {
+            fc1: Linear::new(d_model, d_ff, rng),
+            fc2: Linear::new(d_ff, d_model, rng),
+        }
     }
 
     /// Number of trainable scalars.
@@ -59,7 +62,14 @@ impl Mlp {
         let (pre_act, fc1_cache) = self.fc1.forward(x)?;
         let act = gelu_forward(&pre_act);
         let (y, fc2_cache) = self.fc2.forward(&act)?;
-        Ok((y, MlpCache { fc1_cache, pre_act, fc2_cache }))
+        Ok((
+            y,
+            MlpCache {
+                fc1_cache,
+                pre_act,
+                fc2_cache,
+            },
+        ))
     }
 
     /// Forward pass without retaining activations.
@@ -129,9 +139,23 @@ mod tests {
         for i in 0..x.len() {
             let orig = xp.as_slice()[i];
             xp.as_mut_slice()[i] = orig + eps;
-            let lp: f32 = mlp.forward_no_cache(&xp).unwrap().as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            let lp: f32 = mlp
+                .forward_no_cache(&xp)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             xp.as_mut_slice()[i] = orig - eps;
-            let lm: f32 = mlp.forward_no_cache(&xp).unwrap().as_slice().iter().zip(dy.as_slice()).map(|(a, b)| a * b).sum();
+            let lm: f32 = mlp
+                .forward_no_cache(&xp)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             xp.as_mut_slice()[i] = orig;
             let num = (lp - lm) / (2.0 * eps);
             assert!((num - dx.as_slice()[i]).abs() < 2e-2, "element {i}");

@@ -6,6 +6,10 @@ use crate::linear::{Linear, LinearCache};
 use crate::norm::LayerNorm;
 use edge_llm_tensor::{embedding_backward, embedding_forward, LayerNormCache, Tensor, TensorRng};
 
+/// Visitor over `(parameter id, parameter slice, gradient slice)` used by
+/// the parameter-traversal methods.
+pub type ParamVisitor<'a> = dyn FnMut(usize, &mut [f32], &mut [f32]) + 'a;
+
 /// An early-exit head: a LayerNorm plus (optionally) a private unembedding.
 ///
 /// When the head `Linear` is `None` the exit projects through the model's
@@ -90,8 +94,9 @@ impl EdgeModel {
         let c = config.d_model;
         let tok_emb = Tensor::randn(config.vocab_size, c, 0.02, rng);
         let pos_emb = Tensor::randn(config.seq_len, c, 0.02, rng);
-        let blocks =
-            (0..config.n_layers).map(|_| Block::new(c, config.n_heads, config.d_ff, rng)).collect();
+        let blocks = (0..config.n_layers)
+            .map(|_| Block::new(c, config.n_heads, config.d_ff, rng))
+            .collect();
         let exits = (0..config.n_layers)
             .map(|_| ExitHead {
                 norm: LayerNorm::new(c),
@@ -158,7 +163,10 @@ impl EdgeModel {
     fn check_tokens(&self, tokens: &[usize], batch: usize) -> Result<(), ModelError> {
         let expected = batch * self.config.seq_len;
         if tokens.len() != expected {
-            return Err(ModelError::BadBatch { expected, actual: tokens.len() });
+            return Err(ModelError::BadBatch {
+                expected,
+                actual: tokens.len(),
+            });
         }
         Ok(())
     }
@@ -167,15 +175,24 @@ impl EdgeModel {
     pub(crate) fn embed_one(&self, token: usize, pos: usize) -> Result<Tensor, ModelError> {
         if token >= self.config.vocab_size {
             return Err(ModelError::BadConfig {
-                reason: format!("token {token} outside vocabulary {}", self.config.vocab_size),
+                reason: format!(
+                    "token {token} outside vocabulary {}",
+                    self.config.vocab_size
+                ),
             });
         }
         if pos >= self.config.seq_len {
-            return Err(ModelError::LayerOutOfRange { layer: pos, depth: self.config.seq_len });
+            return Err(ModelError::LayerOutOfRange {
+                layer: pos,
+                depth: self.config.seq_len,
+            });
         }
         let mut x = Tensor::zeros(1, self.config.d_model);
-        for ((o, &e), &p) in
-            x.row_mut(0).iter_mut().zip(self.tok_emb.row(token)).zip(self.pos_emb.row(pos))
+        for ((o, &e), &p) in x
+            .row_mut(0)
+            .iter_mut()
+            .zip(self.tok_emb.row(token))
+            .zip(self.pos_emb.row(pos))
         {
             *o = e + p;
         }
@@ -196,7 +213,11 @@ impl EdgeModel {
         Ok(x)
     }
 
-    pub(crate) fn exit_logits_no_cache(&self, h: &Tensor, exit_layer: usize) -> Result<Tensor, ModelError> {
+    pub(crate) fn exit_logits_no_cache(
+        &self,
+        h: &Tensor,
+        exit_layer: usize,
+    ) -> Result<Tensor, ModelError> {
         let exit = &self.exits[exit_layer];
         let n = exit.norm.forward_no_cache(h)?;
         match &exit.head {
@@ -223,16 +244,19 @@ impl EdgeModel {
         grad_from: usize,
     ) -> Result<ExitForward, ModelError> {
         if exit_layer >= self.n_layers() {
-            return Err(ModelError::LayerOutOfRange { layer: exit_layer, depth: self.n_layers() });
+            return Err(ModelError::LayerOutOfRange {
+                layer: exit_layer,
+                depth: self.n_layers(),
+            });
         }
         self.check_tokens(tokens, batch)?;
         let seq = self.config.seq_len;
         let mut x = self.embed(tokens, batch)?;
         let mut block_caches: Vec<Option<BlockCache>> = vec![None; self.n_layers()];
-        for l in 0..=exit_layer {
+        for (l, cache_slot) in block_caches.iter_mut().enumerate().take(exit_layer + 1) {
             if l >= grad_from {
                 let (y, cache) = self.blocks[l].forward(&x, batch, seq)?;
-                block_caches[l] = Some(cache);
+                *cache_slot = Some(cache);
                 x = y;
             } else {
                 x = self.blocks[l].forward_no_cache(&x, batch, seq)?;
@@ -279,11 +303,16 @@ impl EdgeModel {
                 None => self.shared_head.backward(&caches.head_cache, dlogits)?,
             }
         };
-        let mut dx = self.exits[exit_layer].norm.backward(&caches.exit_norm_cache, &dn)?;
+        let mut dx = self.exits[exit_layer]
+            .norm
+            .backward(&caches.exit_norm_cache, &dn)?;
         for l in (caches.grad_from..=exit_layer).rev() {
             let cache = caches.block_caches[l]
                 .as_ref()
-                .ok_or(ModelError::LayerOutOfRange { layer: l, depth: self.n_layers() })?;
+                .ok_or(ModelError::LayerOutOfRange {
+                    layer: l,
+                    depth: self.n_layers(),
+                })?;
             dx = self.blocks[l].backward(cache, &dx)?;
         }
         if caches.grad_from == 0 {
@@ -334,15 +363,18 @@ impl EdgeModel {
             None => return Ok(Vec::new()),
         };
         if max_exit >= self.n_layers() {
-            return Err(ModelError::LayerOutOfRange { layer: max_exit, depth: self.n_layers() });
+            return Err(ModelError::LayerOutOfRange {
+                layer: max_exit,
+                depth: self.n_layers(),
+            });
         }
         let seq = self.config.seq_len;
         let mut x = self.embed(tokens, batch)?;
         let mut per_layer: Vec<Option<Tensor>> = vec![None; max_exit + 1];
-        for l in 0..=max_exit {
+        for (l, logits_slot) in per_layer.iter_mut().enumerate().take(max_exit + 1) {
             x = self.blocks[l].forward_no_cache(&x, batch, seq)?;
             if exit_layers.contains(&l) {
-                per_layer[l] = Some(self.exit_logits_no_cache(&x, l)?);
+                *logits_slot = Some(self.exit_logits_no_cache(&x, l)?);
             }
         }
         Ok(exit_layers
@@ -395,17 +427,25 @@ impl EdgeModel {
         &mut self,
         window: LayerWindow,
         exit_layer: usize,
-        f: &mut dyn FnMut(usize, &mut [f32], &mut [f32]),
+        f: &mut ParamVisitor<'_>,
     ) {
         let mut id = 0usize;
         {
             let active = window.start == 0;
             if active {
-                f(id, self.tok_emb.as_mut_slice(), self.dtok_emb.as_mut_slice());
+                f(
+                    id,
+                    self.tok_emb.as_mut_slice(),
+                    self.dtok_emb.as_mut_slice(),
+                );
             }
             id += 1;
             if active {
-                f(id, self.pos_emb.as_mut_slice(), self.dpos_emb.as_mut_slice());
+                f(
+                    id,
+                    self.pos_emb.as_mut_slice(),
+                    self.dpos_emb.as_mut_slice(),
+                );
             }
             id += 1;
         }
@@ -447,8 +487,11 @@ impl EdgeModel {
     }
 
     /// Visits every parameter in the model (full tuning baseline).
-    pub fn visit_params_all(&mut self, f: &mut dyn FnMut(usize, &mut [f32], &mut [f32])) {
-        let full = LayerWindow { start: 0, end: self.n_layers() };
+    pub fn visit_params_all(&mut self, f: &mut ParamVisitor<'_>) {
+        let full = LayerWindow {
+            start: 0,
+            end: self.n_layers(),
+        };
         let last = self.n_layers() - 1;
         // The full window activates everything except non-final exit heads;
         // enumerate those too by visiting each exit as its own "exit layer".
@@ -476,7 +519,9 @@ mod tests {
 
     fn tokens_for(model: &EdgeModel, batch: usize, seed: u64) -> Vec<usize> {
         let mut rng = TensorRng::seed_from(seed);
-        (0..batch * model.config().seq_len).map(|_| rng.index(model.config().vocab_size)).collect()
+        (0..batch * model.config().seq_len)
+            .map(|_| rng.index(model.config().vocab_size))
+            .collect()
     }
 
     #[test]
@@ -492,7 +537,9 @@ mod tests {
         let model = tiny_model(2);
         let tokens = tokens_for(&model, 1, 11);
         let full = model.logits(&tokens, 1).unwrap();
-        let exit = model.forward_exit(&tokens, 1, model.n_layers() - 1, 0).unwrap();
+        let exit = model
+            .forward_exit(&tokens, 1, model.n_layers() - 1, 0)
+            .unwrap();
         assert!(full.approx_eq(&exit.logits, 1e-5));
     }
 
@@ -558,9 +605,13 @@ mod tests {
     fn window_ids_are_stable_across_windows() {
         let mut model = tiny_model(7);
         let mut ids_a = Vec::new();
-        model.visit_params_window(LayerWindow { start: 0, end: 1 }, 0, &mut |id, _, _| ids_a.push(id));
+        model.visit_params_window(LayerWindow { start: 0, end: 1 }, 0, &mut |id, _, _| {
+            ids_a.push(id)
+        });
         let mut ids_b = Vec::new();
-        model.visit_params_window(LayerWindow { start: 1, end: 2 }, 1, &mut |id, _, _| ids_b.push(id));
+        model.visit_params_window(LayerWindow { start: 1, end: 2 }, 1, &mut |id, _, _| {
+            ids_b.push(id)
+        });
         // tied shared head appears in both windows, with the same id
         let shared = *ids_a.last().unwrap();
         assert_eq!(ids_a.last(), ids_b.last());
@@ -568,7 +619,10 @@ mod tests {
         // disjoint parameters (embeddings 0/1 belong to window A only)
         for id in &ids_a {
             if *id > 1 && *id != shared {
-                assert!(!ids_b.contains(id), "id {id} appears in both disjoint windows");
+                assert!(
+                    !ids_b.contains(id),
+                    "id {id} appears in both disjoint windows"
+                );
             }
         }
     }

@@ -16,10 +16,14 @@ pub trait Optimizer {
 }
 
 fn clip_slice(grad: &mut [f32], max_norm: f32) {
-    if !(max_norm > 0.0) {
+    if max_norm <= 0.0 || max_norm.is_nan() {
         return;
     }
-    let norm = grad.iter().map(|g| (*g as f64) * (*g as f64)).sum::<f64>().sqrt() as f32;
+    let norm = grad
+        .iter()
+        .map(|g| (*g as f64) * (*g as f64))
+        .sum::<f64>()
+        .sqrt() as f32;
     if norm > max_norm {
         let scale = max_norm / norm;
         grad.iter_mut().for_each(|g| *g *= scale);
@@ -39,12 +43,22 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD at learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, clip: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            clip: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, clip: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            clip: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Enables per-parameter-tensor gradient-norm clipping.
@@ -62,6 +76,57 @@ impl Sgd {
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    /// Momentum coefficient.
+    pub fn momentum(&self) -> f32 {
+        self.momentum
+    }
+
+    /// Per-slice gradient-norm clip (0 disables).
+    pub fn clip(&self) -> f32 {
+        self.clip
+    }
+
+    /// Snapshots hyperparameters and per-slice velocity, id-sorted so the
+    /// result is deterministic and checkpoints are byte-stable.
+    pub fn export_state(&self) -> SgdState {
+        let mut velocity: Vec<(usize, Vec<f32>)> = self
+            .velocity
+            .iter()
+            .map(|(id, v)| (*id, v.clone()))
+            .collect();
+        velocity.sort_by_key(|(id, _)| *id);
+        SgdState {
+            lr: self.lr,
+            momentum: self.momentum,
+            clip: self.clip,
+            velocity,
+        }
+    }
+
+    /// Rebuilds an optimizer from a snapshot taken by [`Sgd::export_state`].
+    pub fn from_state(state: &SgdState) -> Self {
+        Sgd {
+            lr: state.lr,
+            momentum: state.momentum,
+            clip: state.clip,
+            velocity: state.velocity.iter().cloned().collect(),
+        }
+    }
+}
+
+/// A serializable snapshot of an [`Sgd`] optimizer: hyperparameters plus
+/// the per-slice momentum buffers, keyed by the model's stable slice ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SgdState {
+    /// Learning rate at capture time (resume must honor backoff).
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// Per-slice gradient-norm clip (0 disables).
+    pub clip: f32,
+    /// `(slice id, velocity)` pairs, ascending by id.
+    pub velocity: Vec<(usize, Vec<f32>)>,
 }
 
 impl Optimizer for Sgd {
@@ -74,7 +139,10 @@ impl Optimizer for Sgd {
             }
             return;
         }
-        let v = self.velocity.entry(id).or_insert_with(|| vec![0.0; param.len()]);
+        let v = self
+            .velocity
+            .entry(id)
+            .or_insert_with(|| vec![0.0; param.len()]);
         for ((p, g), vi) in param.iter_mut().zip(grad.iter_mut()).zip(v.iter_mut()) {
             *vi = self.momentum * *vi + *g;
             *p -= self.lr * *vi;
@@ -107,7 +175,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard betas `(0.9, 0.999)`.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip: 0.0, t: 0, slots: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: 0.0,
+            t: 0,
+            slots: HashMap::new(),
+        }
     }
 
     /// Enables per-parameter-tensor gradient-norm clipping.
@@ -130,10 +206,10 @@ impl Adam {
 impl Optimizer for Adam {
     fn update(&mut self, id: usize, param: &mut [f32], grad: &mut [f32]) {
         clip_slice(grad, self.clip);
-        let slot = self
-            .slots
-            .entry(id)
-            .or_insert_with(|| AdamSlot { m: vec![0.0; param.len()], v: vec![0.0; param.len()] });
+        let slot = self.slots.entry(id).or_insert_with(|| AdamSlot {
+            m: vec![0.0; param.len()],
+            v: vec![0.0; param.len()],
+        });
         let t = self.t.max(1) as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
         let bc2 = 1.0 - self.beta2.powf(t);
@@ -229,6 +305,46 @@ mod tests {
         adam.update(0, &mut p1, &mut g1);
         adam_ref.update(0, &mut p2, &mut g2);
         assert_eq!(p1[0], p2[0]);
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_resumes_identically() {
+        let mut a = Sgd::with_momentum(0.05, 0.9).with_clip(2.0);
+        let mut p = vec![1.0f32, -2.0];
+        for _ in 0..5 {
+            a.begin_step();
+            let mut g = vec![p[0], p[1]];
+            a.update(7, &mut p, &mut g);
+        }
+        let mut b = Sgd::from_state(&a.export_state());
+        assert_eq!(a.export_state(), b.export_state());
+        let mut pa = p.clone();
+        let mut pb = p;
+        let mut ga = vec![0.3f32, -0.7];
+        let mut gb = ga.clone();
+        a.begin_step();
+        b.begin_step();
+        a.update(7, &mut pa, &mut ga);
+        b.update(7, &mut pb, &mut gb);
+        assert_eq!(pa, pb, "restored optimizer must step bit-identically");
+    }
+
+    #[test]
+    fn sgd_state_is_id_sorted() {
+        let mut opt = Sgd::with_momentum(0.1, 0.5);
+        for id in [9usize, 2, 5] {
+            let mut p = vec![1.0f32];
+            let mut g = vec![1.0f32];
+            opt.begin_step();
+            opt.update(id, &mut p, &mut g);
+        }
+        let ids: Vec<usize> = opt
+            .export_state()
+            .velocity
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(ids, vec![2, 5, 9]);
     }
 
     #[test]

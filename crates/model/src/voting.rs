@@ -46,12 +46,18 @@ pub struct VotingPolicy {
 impl VotingPolicy {
     /// Votes over every layer of a model of depth `n_layers`.
     pub fn all_exits(n_layers: usize, combiner: VotingCombiner) -> Self {
-        VotingPolicy { exits: (0..n_layers).collect(), combiner }
+        VotingPolicy {
+            exits: (0..n_layers).collect(),
+            combiner,
+        }
     }
 
     /// Uses only the final exit (vanilla inference).
     pub fn final_only(n_layers: usize) -> Self {
-        VotingPolicy { exits: vec![n_layers.saturating_sub(1)], combiner: VotingCombiner::LastExit }
+        VotingPolicy {
+            exits: vec![n_layers.saturating_sub(1)],
+            combiner: VotingCombiner::LastExit,
+        }
     }
 
     /// Runs the model and returns the combined probability distribution,
@@ -69,7 +75,9 @@ impl VotingPolicy {
         batch: usize,
     ) -> Result<Tensor, ModelError> {
         if self.exits.is_empty() {
-            return Err(ModelError::BadConfig { reason: "voting requires at least one exit".into() });
+            return Err(ModelError::BadConfig {
+                reason: "voting requires at least one exit".into(),
+            });
         }
         let logits = model.logits_at_exits(tokens, batch, &self.exits)?;
         combine(&logits, &self.combiner)
@@ -83,9 +91,9 @@ impl VotingPolicy {
 /// Returns [`ModelError::BadConfig`] for invalid combiner parameters and
 /// propagates shape errors.
 pub fn combine(exit_logits: &[Tensor], combiner: &VotingCombiner) -> Result<Tensor, ModelError> {
-    let last = exit_logits
-        .last()
-        .ok_or_else(|| ModelError::BadConfig { reason: "no exit logits provided".into() })?;
+    let last = exit_logits.last().ok_or_else(|| ModelError::BadConfig {
+        reason: "no exit logits provided".into(),
+    })?;
     match combiner {
         VotingCombiner::LastExit => Ok(softmax_rows(last)),
         VotingCombiner::Average => {
@@ -96,8 +104,10 @@ pub fn combine(exit_logits: &[Tensor], combiner: &VotingCombiner) -> Result<Tens
             Ok(acc)
         }
         VotingCombiner::ConfidenceWeighted { temperature } => {
-            if !(*temperature > 0.0) {
-                return Err(ModelError::BadConfig { reason: "temperature must be positive".into() });
+            if *temperature <= 0.0 || temperature.is_nan() {
+                return Err(ModelError::BadConfig {
+                    reason: "temperature must be positive".into(),
+                });
             }
             let probs: Vec<Tensor> = exit_logits.iter().map(softmax_rows).collect();
             let (rows, cols) = last.shape();
@@ -117,7 +127,9 @@ pub fn combine(exit_logits: &[Tensor], combiner: &VotingCombiner) -> Result<Tens
                     wsum += w;
                 }
                 if wsum <= 0.0 {
-                    weights.iter_mut().for_each(|w| *w = 1.0 / probs.len() as f32);
+                    weights
+                        .iter_mut()
+                        .for_each(|w| *w = 1.0 / probs.len() as f32);
                 } else {
                     weights.iter_mut().for_each(|w| *w /= wsum);
                 }
@@ -138,7 +150,9 @@ pub fn combine(exit_logits: &[Tensor], combiner: &VotingCombiner) -> Result<Tens
             }
             let total: f32 = ws.iter().map(|w| w.max(0.0)).sum();
             if total <= 0.0 {
-                return Err(ModelError::BadConfig { reason: "learned weights sum to zero".into() });
+                return Err(ModelError::BadConfig {
+                    reason: "learned weights sum to zero".into(),
+                });
             }
             let mut acc = Tensor::zeros(last.rows(), last.cols());
             for (logits, &w) in exit_logits.iter().zip(ws.iter()) {
@@ -186,7 +200,11 @@ pub fn fit_learned_weights(
                 correct += 1;
             }
         }
-        let acc = if total == 0 { 0.0 } else { correct as f32 / total as f32 };
+        let acc = if total == 0 {
+            0.0
+        } else {
+            correct as f32 / total as f32
+        };
         weights.push(acc + 1e-3); // floor so no exit is hard-zeroed
     }
     Ok(weights)
@@ -224,8 +242,11 @@ mod tests {
 
     #[test]
     fn confidence_weighting_prefers_confident_exit() {
-        let out =
-            combine(&logits_pair(), &VotingCombiner::ConfidenceWeighted { temperature: 0.5 }).unwrap();
+        let out = combine(
+            &logits_pair(),
+            &VotingCombiner::ConfidenceWeighted { temperature: 0.5 },
+        )
+        .unwrap();
         // confident exit (entropy ~0) should dominate the uniform one
         assert!(out.get(0, 0) > 0.9, "got {}", out.get(0, 0));
     }
@@ -240,9 +261,11 @@ mod tests {
     fn invalid_parameters_error() {
         assert!(combine(&logits_pair(), &VotingCombiner::Learned(vec![1.0])).is_err());
         assert!(combine(&logits_pair(), &VotingCombiner::Learned(vec![0.0, 0.0])).is_err());
-        assert!(
-            combine(&logits_pair(), &VotingCombiner::ConfidenceWeighted { temperature: 0.0 }).is_err()
-        );
+        assert!(combine(
+            &logits_pair(),
+            &VotingCombiner::ConfidenceWeighted { temperature: 0.0 }
+        )
+        .is_err());
         assert!(combine(&[], &VotingCombiner::Average).is_err());
     }
 

@@ -1,101 +1,129 @@
 //! Property-based tests of model-level invariants: window schedules,
-//! voting distributions, and optimizer behavior.
+//! voting distributions, and optimizer behavior — driven by the in-repo
+//! seeded case harness (`edge_llm_tensor::check`).
 
 use edge_llm_model::{combine, Adam, Optimizer, Sgd, VotingCombiner, WindowSchedule};
+use edge_llm_tensor::check::run_cases;
 use edge_llm_tensor::{Tensor, TensorRng};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn round_robin_windows_cover_and_stay_in_bounds(n_layers in 1usize..16, depth in 1usize..8, iters in 1usize..64) {
+#[test]
+fn round_robin_windows_cover_and_stay_in_bounds() {
+    run_cases("round robin coverage", 48, |g| {
+        let n_layers = g.usize_in(1, 16);
+        let depth = g.usize_in(1, 8);
+        let iters = g.usize_in(1, 64);
         let sched = WindowSchedule::RoundRobin { depth };
         let mut covered = std::collections::HashSet::new();
         for i in 0..iters.max(n_layers.div_ceil(depth.min(n_layers))) {
             let w = sched.window_for(i, n_layers);
-            prop_assert!(w.start < w.end);
-            prop_assert!(w.end <= n_layers);
-            prop_assert_eq!(w.depth(), depth.min(n_layers));
+            assert!(w.start < w.end);
+            assert!(w.end <= n_layers);
+            assert_eq!(w.depth(), depth.min(n_layers));
             for l in w.start..w.end {
                 covered.insert(l);
             }
         }
         // after a full cycle, every layer has been visited
-        prop_assert_eq!(covered.len(), n_layers);
-    }
+        assert_eq!(covered.len(), n_layers);
+    });
+}
 
-    #[test]
-    fn voting_outputs_are_distributions(seed in any::<u64>(), n_exits in 1usize..5, rows in 1usize..4, cols in 2usize..10) {
-        let mut rng = TensorRng::seed_from(seed);
-        let logits: Vec<Tensor> = (0..n_exits).map(|_| Tensor::randn(rows, cols, 2.0, &mut rng)).collect();
+#[test]
+fn voting_outputs_are_distributions() {
+    run_cases("voting distributions", 48, |g| {
+        let n_exits = g.usize_in(1, 5);
+        let rows = g.usize_in(1, 4);
+        let cols = g.usize_in(2, 10);
+        let mut rng = TensorRng::seed_from(g.u64());
+        let logits: Vec<Tensor> = (0..n_exits)
+            .map(|_| Tensor::randn(rows, cols, 2.0, &mut rng))
+            .collect();
         for combiner in [
             VotingCombiner::LastExit,
             VotingCombiner::Average,
             VotingCombiner::ConfidenceWeighted { temperature: 0.7 },
         ] {
             let out = combine(&logits, &combiner).unwrap();
-            prop_assert_eq!(out.shape(), (rows, cols));
+            assert_eq!(out.shape(), (rows, cols));
             for r in 0..rows {
                 let sum: f32 = out.row(r).iter().sum();
-                prop_assert!((sum - 1.0).abs() < 1e-3, "row sums to {}", sum);
-                prop_assert!(out.row(r).iter().all(|&p| p >= -1e-6));
+                assert!((sum - 1.0).abs() < 1e-3, "row sums to {sum}");
+                assert!(out.row(r).iter().all(|&p| p >= -1e-6));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn single_exit_voting_equals_last_exit(seed in any::<u64>(), rows in 1usize..4, cols in 2usize..8) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn single_exit_voting_equals_last_exit() {
+    run_cases("single-exit voting", 48, |g| {
+        let rows = g.usize_in(1, 4);
+        let cols = g.usize_in(2, 8);
+        let mut rng = TensorRng::seed_from(g.u64());
         let logits = vec![Tensor::randn(rows, cols, 1.0, &mut rng)];
         let avg = combine(&logits, &VotingCombiner::Average).unwrap();
         let last = combine(&logits, &VotingCombiner::LastExit).unwrap();
-        let conf = combine(&logits, &VotingCombiner::ConfidenceWeighted { temperature: 1.0 }).unwrap();
-        prop_assert!(avg.approx_eq(&last, 1e-5));
-        prop_assert!(conf.approx_eq(&last, 1e-4));
-    }
+        let conf = combine(
+            &logits,
+            &VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
+        )
+        .unwrap();
+        assert!(avg.approx_eq(&last, 1e-5));
+        assert!(conf.approx_eq(&last, 1e-4));
+    });
+}
 
-    #[test]
-    fn sgd_descends_any_convex_quadratic(a in 0.5f32..4.0, x0 in -5.0f32..5.0) {
+#[test]
+fn sgd_descends_any_convex_quadratic() {
+    run_cases("sgd descends", 48, |g| {
         // f(x) = a/2 x^2; lr < 1/a guarantees contraction
+        let a = g.f32_in(0.5, 4.0);
+        let x0 = g.f32_in(-5.0, 5.0);
         let lr = 0.5 / a;
         let mut opt = Sgd::new(lr);
         let mut p = vec![x0];
         for _ in 0..50 {
             opt.begin_step();
-            let mut g = vec![a * p[0]];
-            opt.update(0, &mut p, &mut g);
+            let mut grad = vec![a * p[0]];
+            opt.update(0, &mut p, &mut grad);
         }
-        prop_assert!(p[0].abs() <= x0.abs() + 1e-6);
-        prop_assert!(p[0].abs() < 0.2 * x0.abs().max(0.1));
-    }
+        assert!(p[0].abs() <= x0.abs() + 1e-6);
+        assert!(p[0].abs() < 0.2 * x0.abs().max(0.1));
+    });
+}
 
-    #[test]
-    fn adam_descends_any_convex_quadratic(a in 0.5f32..4.0, x0 in -5.0f32..5.0) {
+#[test]
+fn adam_descends_any_convex_quadratic() {
+    run_cases("adam descends", 48, |g| {
+        let a = g.f32_in(0.5, 4.0);
+        let x0 = g.f32_in(-5.0, 5.0);
         let mut opt = Adam::new(0.1);
         let mut p = vec![x0];
         let start = x0.abs();
         for _ in 0..200 {
             opt.begin_step();
-            let mut g = vec![a * p[0]];
-            opt.update(0, &mut p, &mut g);
+            let mut grad = vec![a * p[0]];
+            opt.update(0, &mut p, &mut grad);
         }
-        prop_assert!(p[0].abs() < start.max(0.3), "diverged to {}", p[0]);
-    }
+        assert!(p[0].abs() < start.max(0.3), "diverged to {}", p[0]);
+    });
+}
 
-    #[test]
-    fn optimizers_zero_gradients(seed in any::<u64>(), len in 1usize..32) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn optimizers_zero_gradients() {
+    run_cases("optimizers zero grads", 48, |g| {
+        let len = g.usize_in(1, 32);
+        let mut rng = TensorRng::seed_from(g.u64());
         let mut p: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
-        let mut g: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+        let mut grad: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
         let mut sgd = Sgd::with_momentum(0.01, 0.9);
         sgd.begin_step();
-        sgd.update(3, &mut p, &mut g);
-        prop_assert!(g.iter().all(|&x| x == 0.0));
+        sgd.update(3, &mut p, &mut grad);
+        assert!(grad.iter().all(|&x| x == 0.0));
         let mut adam = Adam::new(0.01);
         let mut g2: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
         adam.begin_step();
         adam.update(9, &mut p, &mut g2);
-        prop_assert!(g2.iter().all(|&x| x == 0.0));
-    }
+        assert!(g2.iter().all(|&x| x == 0.0));
+    });
 }

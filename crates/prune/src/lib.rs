@@ -88,7 +88,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(PruneError::RatioOutOfRange { ratio: 1.5 }.to_string().contains("1.5"));
-        assert!(PruneError::BadPattern { n: 3, m: 2 }.to_string().contains("3:2"));
+        assert!(PruneError::RatioOutOfRange { ratio: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(PruneError::BadPattern { n: 3, m: 2 }
+            .to_string()
+            .contains("3:2"));
     }
 }

@@ -17,7 +17,11 @@ pub struct PruneMask {
 impl PruneMask {
     /// A mask that keeps everything.
     pub fn dense(rows: usize, cols: usize) -> Self {
-        PruneMask { rows, cols, keep: vec![true; rows * cols] }
+        PruneMask {
+            rows,
+            cols,
+            keep: vec![true; rows * cols],
+        }
     }
 
     /// Builds a mask from a row-major boolean buffer.
@@ -81,7 +85,11 @@ impl PruneMask {
     /// Returns [`PruneError::ShapeMismatch`] if shapes differ.
     pub fn apply(&self, x: &mut Tensor) -> Result<(), PruneError> {
         if x.shape() != self.shape() {
-            return Err(PruneError::ShapeMismatch { op: "mask_apply", lhs: x.shape(), rhs: self.shape() });
+            return Err(PruneError::ShapeMismatch {
+                op: "mask_apply",
+                lhs: x.shape(),
+                rhs: self.shape(),
+            });
         }
         for (v, &k) in x.as_mut_slice().iter_mut().zip(self.keep.iter()) {
             if !k {
@@ -109,10 +117,23 @@ impl PruneMask {
     /// Returns [`PruneError::ShapeMismatch`] if shapes differ.
     pub fn and(&self, other: &PruneMask) -> Result<PruneMask, PruneError> {
         if self.shape() != other.shape() {
-            return Err(PruneError::ShapeMismatch { op: "mask_and", lhs: self.shape(), rhs: other.shape() });
+            return Err(PruneError::ShapeMismatch {
+                op: "mask_and",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
-        let keep = self.keep.iter().zip(other.keep.iter()).map(|(&a, &b)| a && b).collect();
-        Ok(PruneMask { rows: self.rows, cols: self.cols, keep })
+        let keep = self
+            .keep
+            .iter()
+            .zip(other.keep.iter())
+            .map(|(&a, &b)| a && b)
+            .collect();
+        Ok(PruneMask {
+            rows: self.rows,
+            cols: self.cols,
+            keep,
+        })
     }
 }
 

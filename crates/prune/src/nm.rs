@@ -23,7 +23,8 @@ pub fn nm_prune(w: &Tensor, n: usize, m: usize) -> Result<PruneMask, PruneError>
         for g in (0..cols).step_by(m) {
             let mut idx: Vec<usize> = (g..g + m).collect();
             idx.sort_by(|&a, &b| {
-                row[b].abs()
+                row[b]
+                    .abs()
                     .partial_cmp(&row[a].abs())
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(a.cmp(&b))

@@ -40,7 +40,11 @@ impl CsrMatrix {
     /// Returns [`PruneError::ShapeMismatch`] if the mask shape differs.
     pub fn from_masked(w: &Tensor, mask: &crate::PruneMask) -> Result<Self, PruneError> {
         if w.shape() != mask.shape() {
-            return Err(PruneError::ShapeMismatch { op: "csr_from_masked", lhs: w.shape(), rhs: mask.shape() });
+            return Err(PruneError::ShapeMismatch {
+                op: "csr_from_masked",
+                lhs: w.shape(),
+                rhs: mask.shape(),
+            });
         }
         let (rows, cols) = w.shape();
         let mut row_ptr = Vec::with_capacity(rows + 1);
@@ -57,7 +61,13 @@ impl CsrMatrix {
             }
             row_ptr.push(values.len());
         }
-        Ok(CsrMatrix { rows, cols, row_ptr, col_idx, values })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Builds CSR storage from a tensor, keeping every non-zero element.
@@ -109,7 +119,11 @@ impl CsrMatrix {
     /// Returns [`PruneError::ShapeMismatch`] unless `x.cols() == self.cols`.
     pub fn matmul_xt(&self, x: &Tensor) -> Result<Tensor, PruneError> {
         if x.cols() != self.cols {
-            return Err(PruneError::ShapeMismatch { op: "csr_matmul", lhs: x.shape(), rhs: self.shape() });
+            return Err(PruneError::ShapeMismatch {
+                op: "csr_matmul",
+                lhs: x.shape(),
+                rhs: self.shape(),
+            });
         }
         let m = x.rows();
         let mut out = Tensor::zeros(m, self.rows);

@@ -35,14 +35,18 @@ pub fn structured_prune(
         .map(|u| {
             let sq: f64 = match axis {
                 StructuredAxis::Row => w.row(u).iter().map(|v| (*v as f64) * (*v as f64)).sum(),
-                StructuredAxis::Col => {
-                    (0..rows).map(|r| (w.get(r, u) as f64) * (w.get(r, u) as f64)).sum()
-                }
+                StructuredAxis::Col => (0..rows)
+                    .map(|r| (w.get(r, u) as f64) * (w.get(r, u) as f64))
+                    .sum(),
             };
             (u, sq)
         })
         .collect();
-    norms.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    norms.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     let mut drop_unit = vec![false; units];
     for &(u, _) in norms.iter().take(n_prune) {
         drop_unit[u] = true;
@@ -86,8 +90,18 @@ mod tests {
     #[test]
     fn ratio_zero_keeps_all_one_drops_all() {
         let w = Tensor::ones(4, 4);
-        assert_eq!(structured_prune(&w, StructuredAxis::Row, 0.0).unwrap().sparsity(), 0.0);
-        assert_eq!(structured_prune(&w, StructuredAxis::Row, 1.0).unwrap().sparsity(), 1.0);
+        assert_eq!(
+            structured_prune(&w, StructuredAxis::Row, 0.0)
+                .unwrap()
+                .sparsity(),
+            0.0
+        );
+        assert_eq!(
+            structured_prune(&w, StructuredAxis::Row, 1.0)
+                .unwrap()
+                .sparsity(),
+            1.0
+        );
     }
 
     #[test]
@@ -96,7 +110,10 @@ mod tests {
         let m = structured_prune(&w, StructuredAxis::Row, 0.5).unwrap();
         for r in 0..4 {
             let kept: Vec<bool> = (0..3).map(|c| m.is_kept(r, c)).collect();
-            assert!(kept.iter().all(|&k| k == kept[0]), "row {r} must be all-or-nothing");
+            assert!(
+                kept.iter().all(|&k| k == kept[0]),
+                "row {r} must be all-or-nothing"
+            );
         }
     }
 

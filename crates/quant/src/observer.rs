@@ -45,7 +45,11 @@ impl RangeObserver {
     /// Panics if `momentum` is outside `[0, 1)`.
     pub fn new(momentum: f32) -> Self {
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
-        RangeObserver { momentum, range: None, batches: 0 }
+        RangeObserver {
+            momentum,
+            range: None,
+            batches: 0,
+        }
     }
 
     /// Folds one batch's min/max into the running range. Non-finite
@@ -111,7 +115,11 @@ pub fn quantize_with_range(
     let codes: Vec<u32> = x
         .as_slice()
         .iter()
-        .map(|&v| (v.clamp(lo, hi) / scale + zero).round().clamp(0.0, max_code) as u32)
+        .map(|&v| {
+            (v.clamp(lo, hi) / scale + zero)
+                .round()
+                .clamp(0.0, max_code) as u32
+        })
         .collect();
     let scheme = QuantScheme {
         bits,
@@ -149,7 +157,10 @@ mod tests {
         obs.observe(&Tensor::from_vec(1, 2, vec![0.0, 2.0]).unwrap());
         obs.observe(&Tensor::from_vec(1, 2, vec![0.0, 4.0]).unwrap());
         let (_, hi) = obs.range().unwrap();
-        assert!((hi - 3.0).abs() < 1e-6, "ema of 2 and 4 should be 3, got {hi}");
+        assert!(
+            (hi - 3.0).abs() < 1e-6,
+            "ema of 2 and 4 should be 3, got {hi}"
+        );
     }
 
     #[test]
@@ -175,7 +186,10 @@ mod tests {
         x.set(0, 0, hi * 10.0);
         let q = quantize_with_range(&x, BitWidth::W8, lo, hi).unwrap();
         let back = q.dequantize();
-        assert!(back.get(0, 0) <= hi + 0.05, "outlier must clamp to the range");
+        assert!(
+            back.get(0, 0) <= hi + 0.05,
+            "outlier must clamp to the range"
+        );
         // in-range values reconstruct accurately
         let mut inliers_err = 0.0f32;
         for c in 1..8 {
@@ -188,9 +202,12 @@ mod tests {
     fn static_quant_matches_dynamic_when_range_is_exact() {
         let mut rng = TensorRng::seed_from(2);
         let x = Tensor::randn(4, 8, 1.0, &mut rng);
-        let (lo, hi) = x.as_slice().iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
-            (l.min(v), h.max(v))
-        });
+        let (lo, hi) = x
+            .as_slice()
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
         let q_static = quantize_with_range(&x, BitWidth::W8, lo, hi).unwrap();
         let scheme = QuantScheme::asymmetric(BitWidth::W8).with_granularity(Granularity::PerTensor);
         let q_dyn = QuantizedTensor::quantize(&x, scheme).unwrap();

@@ -30,7 +30,11 @@ impl PackedInts {
             let shift = (i % per_word) as u32 * bits.bits();
             words[w] |= (code & bits.max_code()) << shift;
         }
-        PackedInts { bits, len: codes.len(), words }
+        PackedInts {
+            bits,
+            len: codes.len(),
+            words,
+        }
     }
 
     /// Number of stored codes.

@@ -14,7 +14,11 @@ use edge_llm_tensor::Tensor;
 /// Returns [`QuantError::ShapeMismatch`] unless `x.cols() == w.cols()`.
 pub fn quantized_matmul(x: &Tensor, w: &QuantizedTensor) -> Result<Tensor, QuantError> {
     if x.cols() != w.cols() {
-        return Err(QuantError::ShapeMismatch { op: "quantized_matmul", lhs: x.shape(), rhs: w.shape() });
+        return Err(QuantError::ShapeMismatch {
+            op: "quantized_matmul",
+            lhs: x.shape(),
+            rhs: w.shape(),
+        });
     }
     let (m, k) = x.shape();
     let n = w.rows();

@@ -50,12 +50,20 @@ pub struct QuantScheme {
 impl QuantScheme {
     /// Symmetric per-row scheme at the given width (the weight default).
     pub fn symmetric(bits: BitWidth) -> Self {
-        QuantScheme { bits, mode: QuantMode::Symmetric, granularity: Granularity::PerRow }
+        QuantScheme {
+            bits,
+            mode: QuantMode::Symmetric,
+            granularity: Granularity::PerRow,
+        }
     }
 
     /// Asymmetric per-row scheme at the given width (the activation default).
     pub fn asymmetric(bits: BitWidth) -> Self {
-        QuantScheme { bits, mode: QuantMode::Asymmetric, granularity: Granularity::PerRow }
+        QuantScheme {
+            bits,
+            mode: QuantMode::Asymmetric,
+            granularity: Granularity::PerRow,
+        }
     }
 
     /// Returns a copy with a different granularity.
@@ -75,7 +83,7 @@ impl QuantScheme {
             Granularity::PerTensor => Ok(1),
             Granularity::PerRow => Ok(rows),
             Granularity::Group(g) => {
-                if g == 0 || cols % g != 0 {
+                if g == 0 || !cols.is_multiple_of(g) {
                     Err(QuantError::BadGroupSize { group: g, cols })
                 } else {
                     Ok(rows * (cols / g))
@@ -161,7 +169,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(QuantScheme::symmetric(BitWidth::W8).to_string(), "8b/sym/row");
+        assert_eq!(
+            QuantScheme::symmetric(BitWidth::W8).to_string(),
+            "8b/sym/row"
+        );
         let g = QuantScheme::asymmetric(BitWidth::W2).with_granularity(Granularity::Group(64));
         assert_eq!(g.to_string(), "2b/asym/g64");
     }

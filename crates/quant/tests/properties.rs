@@ -1,34 +1,37 @@
-//! Property-based tests of quantization invariants.
+//! Property-based tests of quantization invariants, driven by the in-repo
+//! seeded case harness (`edge_llm_tensor::check`).
 
 use edge_llm_quant::{
     fake_quant, quant_mse, BitWidth, Granularity, PackedInts, QuantScheme, QuantizedTensor,
 };
+use edge_llm_tensor::check::{run_cases, Gen};
 use edge_llm_tensor::{max_abs_diff, Tensor, TensorRng};
-use proptest::prelude::*;
 
-fn bits_strategy() -> impl Strategy<Value = BitWidth> {
-    prop_oneof![
-        Just(BitWidth::W2),
-        Just(BitWidth::W4),
-        Just(BitWidth::W8),
-        Just(BitWidth::W16),
-    ]
+fn random_bits(g: &mut Gen) -> BitWidth {
+    *g.choose(&[BitWidth::W2, BitWidth::W4, BitWidth::W8, BitWidth::W16])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pack_unpack_roundtrip(bits in bits_strategy(), len in 0usize..200, seed in any::<u64>()) {
-        let mut rng = TensorRng::seed_from(seed);
-        let codes: Vec<u32> = (0..len).map(|_| rng.index(bits.levels() as usize) as u32).collect();
+#[test]
+fn pack_unpack_roundtrip() {
+    run_cases("pack/unpack roundtrip", 48, |g| {
+        let bits = random_bits(g);
+        let len = g.usize_in(0, 200);
+        let mut rng = TensorRng::seed_from(g.u64());
+        let codes: Vec<u32> = (0..len)
+            .map(|_| rng.index(bits.levels() as usize) as u32)
+            .collect();
         let packed = PackedInts::pack(bits, &codes);
-        prop_assert_eq!(packed.unpack(), codes);
-    }
+        assert_eq!(packed.unpack(), codes);
+    });
+}
 
-    #[test]
-    fn roundtrip_error_is_bounded_by_step(seed in any::<u64>(), r in 1usize..8, c in 1usize..16, bits in bits_strategy()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn roundtrip_error_is_bounded_by_step() {
+    run_cases("quant error bound", 48, |g| {
+        let r = g.usize_in(1, 8);
+        let c = g.usize_in(1, 16);
+        let bits = random_bits(g);
+        let mut rng = TensorRng::seed_from(g.u64());
         let x = Tensor::randn(r, c, 1.0, &mut rng);
         let q = QuantizedTensor::quantize(&x, QuantScheme::symmetric(bits)).unwrap();
         let err = max_abs_diff(&x, &q.dequantize());
@@ -36,66 +39,93 @@ proptest! {
         // is at most one step (half a step plus clamping slack at the edge)
         let max_abs = x.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         let worst_step = max_abs / ((bits.levels() / 2) as f32 - 1.0).max(1.0);
-        prop_assert!(err <= worst_step + 1e-5, "err {} vs step {}", err, worst_step);
-    }
+        assert!(err <= worst_step + 1e-5, "err {err} vs step {worst_step}");
+    });
+}
 
-    #[test]
-    fn fake_quant_is_idempotent(seed in any::<u64>(), bits in bits_strategy()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn fake_quant_is_idempotent() {
+    run_cases("fake quant idempotent", 48, |g| {
+        let bits = random_bits(g);
+        let mut rng = TensorRng::seed_from(g.u64());
         let x = Tensor::randn(4, 8, 1.0, &mut rng);
         let s = QuantScheme::symmetric(bits);
         let once = fake_quant(&x, s).unwrap();
         let twice = fake_quant(&once, s).unwrap();
-        prop_assert!(once.approx_eq(&twice, 1e-4));
-    }
+        assert!(once.approx_eq(&twice, 1e-4));
+    });
+}
 
-    #[test]
-    fn more_bits_never_hurt_mse(seed in any::<u64>()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn more_bits_never_hurt_mse() {
+    run_cases("mse monotone in bits", 48, |g| {
+        let mut rng = TensorRng::seed_from(g.u64());
         let x = Tensor::randn(6, 16, 1.0, &mut rng);
         let mut prev = f32::INFINITY;
         for bits in BitWidth::ALL {
             let q = QuantizedTensor::quantize(&x, QuantScheme::symmetric(bits)).unwrap();
             let mse = quant_mse(&x, &q.dequantize());
-            prop_assert!(mse <= prev + 1e-9, "{}: {} > {}", bits, mse, prev);
+            assert!(mse <= prev + 1e-9, "{bits}: {mse} > {prev}");
             prev = mse;
         }
-    }
+    });
+}
 
-    #[test]
-    fn finer_groups_rarely_hurt_mse(seed in any::<u64>()) {
-        // Rounding error per element is not monotone in the scale, so
-        // finer granularity improves MSE only statistically; allow a
-        // bounded regression while still catching systematic inversions.
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn finer_groups_rarely_hurt_mse() {
+    // Rounding error per element is not monotone in the scale, so
+    // finer granularity improves MSE only statistically; allow a
+    // bounded regression while still catching systematic inversions.
+    run_cases("granularity mse", 48, |g| {
+        let mut rng = TensorRng::seed_from(g.u64());
         let x = Tensor::randn(4, 32, 1.0, &mut rng);
         let coarse = QuantScheme::symmetric(BitWidth::W4).with_granularity(Granularity::PerTensor);
         let row = QuantScheme::symmetric(BitWidth::W4);
         let group = QuantScheme::symmetric(BitWidth::W4).with_granularity(Granularity::Group(8));
-        let m_coarse = quant_mse(&x, &QuantizedTensor::quantize(&x, coarse).unwrap().dequantize());
-        let m_row = quant_mse(&x, &QuantizedTensor::quantize(&x, row).unwrap().dequantize());
-        let m_group = quant_mse(&x, &QuantizedTensor::quantize(&x, group).unwrap().dequantize());
-        prop_assert!(m_row <= m_coarse * 1.25 + 1e-9);
-        prop_assert!(m_group <= m_row * 1.25 + 1e-9);
-        prop_assert!(m_group <= m_coarse * 1.25 + 1e-9);
-    }
+        let m_coarse = quant_mse(
+            &x,
+            &QuantizedTensor::quantize(&x, coarse).unwrap().dequantize(),
+        );
+        let m_row = quant_mse(
+            &x,
+            &QuantizedTensor::quantize(&x, row).unwrap().dequantize(),
+        );
+        let m_group = quant_mse(
+            &x,
+            &QuantizedTensor::quantize(&x, group).unwrap().dequantize(),
+        );
+        assert!(m_row <= m_coarse * 1.25 + 1e-9);
+        assert!(m_group <= m_row * 1.25 + 1e-9);
+        assert!(m_group <= m_coarse * 1.25 + 1e-9);
+    });
+}
 
-    #[test]
-    fn storage_bytes_scale_with_bits(r in 1usize..8, c in 1usize..32, seed in any::<u64>()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn storage_bytes_scale_with_bits() {
+    run_cases("storage scales with bits", 48, |g| {
+        let r = g.usize_in(1, 8);
+        let c = g.usize_in(1, 32);
+        let mut rng = TensorRng::seed_from(g.u64());
         let x = Tensor::randn(r, c, 1.0, &mut rng);
         let q2 = QuantizedTensor::quantize(&x, QuantScheme::symmetric(BitWidth::W2)).unwrap();
         let q8 = QuantizedTensor::quantize(&x, QuantScheme::symmetric(BitWidth::W8)).unwrap();
-        prop_assert!(q2.storage_bytes() <= q8.storage_bytes());
-    }
+        assert!(q2.storage_bytes() <= q8.storage_bytes());
+    });
+}
 
-    #[test]
-    fn asymmetric_keeps_zero_exact(seed in any::<u64>(), bits in bits_strategy()) {
-        let mut rng = TensorRng::seed_from(seed);
+#[test]
+fn asymmetric_keeps_zero_exact() {
+    run_cases("asymmetric zero exact", 48, |g| {
+        let bits = random_bits(g);
+        let mut rng = TensorRng::seed_from(g.u64());
         let mut x = Tensor::randn(2, 8, 1.0, &mut rng);
         x.set(0, 0, 0.0);
         let q = QuantizedTensor::quantize(&x, QuantScheme::asymmetric(bits)).unwrap();
         let back = q.dequantize();
-        prop_assert!(back.get(0, 0).abs() < 1e-6, "zero reconstructed as {}", back.get(0, 0));
-    }
+        assert!(
+            back.get(0, 0).abs() < 1e-6,
+            "zero reconstructed as {}",
+            back.get(0, 0)
+        );
+    });
 }

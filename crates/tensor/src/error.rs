@@ -49,7 +49,10 @@ impl fmt::Display for TensorError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape ({expected} elements expected)")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape ({expected} elements expected)"
+                )
             }
             TensorError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds (len {bound})")
@@ -70,8 +73,15 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            TensorError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) },
-            TensorError::LengthMismatch { expected: 6, actual: 5 },
+            TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: (2, 3),
+                rhs: (4, 5),
+            },
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5,
+            },
             TensorError::IndexOutOfBounds { index: 9, bound: 4 },
             TensorError::ZeroDimension { op: "zeros" },
         ];

@@ -58,8 +58,22 @@ impl Tensor {
         let n = other.cols();
         let mut out = Tensor::zeros(m, n);
         match kernel {
-            MatmulKernel::Naive => naive(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n),
-            MatmulKernel::Blocked => blocked(self.as_slice(), other.as_slice(), out.as_mut_slice(), m, k, n),
+            MatmulKernel::Naive => naive(
+                self.as_slice(),
+                other.as_slice(),
+                out.as_mut_slice(),
+                m,
+                k,
+                n,
+            ),
+            MatmulKernel::Blocked => blocked(
+                self.as_slice(),
+                other.as_slice(),
+                out.as_mut_slice(),
+                m,
+                k,
+                n,
+            ),
         }
         Ok(out)
     }
@@ -114,7 +128,11 @@ fn blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
 /// Returns [`TensorError::ShapeMismatch`] unless `a.rows() == b.rows()`.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     if a.rows() != b.rows() {
-        return Err(TensorError::ShapeMismatch { op: "matmul_at_b", lhs: a.shape(), rhs: b.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at_b",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     let (k, m) = a.shape();
     let n = b.cols();
@@ -148,7 +166,11 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.cols()`.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     if a.cols() != b.cols() {
-        return Err(TensorError::ShapeMismatch { op: "matmul_a_bt", lhs: a.shape(), rhs: b.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_a_bt",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
     }
     let (m, k) = a.shape();
     let n = b.rows();

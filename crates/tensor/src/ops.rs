@@ -49,7 +49,11 @@ pub fn softmax_rows(x: &Tensor) -> Tensor {
 /// Returns [`TensorError::ShapeMismatch`] if `y` and `dy` differ in shape.
 pub fn softmax_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor, TensorError> {
     if y.shape() != dy.shape() {
-        return Err(TensorError::ShapeMismatch { op: "softmax_backward", lhs: y.shape(), rhs: dy.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax_backward",
+            lhs: y.shape(),
+            rhs: dy.shape(),
+        });
     }
     let (rows, cols) = y.shape();
     let mut dx = Tensor::zeros(rows, cols);
@@ -99,12 +103,12 @@ pub fn layernorm_forward(
     let mut y = Tensor::zeros(rows, cols);
     let mut xhat = Tensor::zeros(rows, cols);
     let mut rstd = vec![0.0f32; rows];
-    for r in 0..rows {
+    for (r, rstd_r) in rstd.iter_mut().enumerate() {
         let xr = x.row(r);
         let mean: f32 = xr.iter().sum::<f32>() / cols as f32;
         let var: f32 = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
         let rs = 1.0 / (var + eps).sqrt();
-        rstd[r] = rs;
+        *rstd_r = rs;
         let xhr = xhat.row_mut(r);
         let yr = y.row_mut(r);
         for c in 0..cols {
@@ -177,7 +181,11 @@ pub fn gelu_forward(x: &Tensor) -> Tensor {
 /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
 pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Result<Tensor, TensorError> {
     if x.shape() != dy.shape() {
-        return Err(TensorError::ShapeMismatch { op: "gelu_backward", lhs: x.shape(), rhs: dy.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "gelu_backward",
+            lhs: x.shape(),
+            rhs: dy.shape(),
+        });
     }
     let mut dx = Tensor::zeros(x.rows(), x.cols());
     for (o, (&v, &g)) in dx
@@ -206,7 +214,11 @@ pub fn relu_forward(x: &Tensor) -> Tensor {
 /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
 pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Result<Tensor, TensorError> {
     if x.shape() != dy.shape() {
-        return Err(TensorError::ShapeMismatch { op: "relu_backward", lhs: x.shape(), rhs: dy.shape() });
+        return Err(TensorError::ShapeMismatch {
+            op: "relu_backward",
+            lhs: x.shape(),
+            rhs: dy.shape(),
+        });
     }
     let mut dx = dy.clone();
     for (o, &v) in dx.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
@@ -261,7 +273,10 @@ pub fn embedding_forward(ids: &[usize], table: &Tensor) -> Result<Tensor, Tensor
     let mut out = Tensor::zeros(ids.len(), table.cols());
     for (r, &id) in ids.iter().enumerate() {
         if id >= table.rows() {
-            return Err(TensorError::IndexOutOfBounds { index: id, bound: table.rows() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: id,
+                bound: table.rows(),
+            });
         }
         out.row_mut(r).copy_from_slice(table.row(id));
     }
@@ -288,7 +303,10 @@ pub fn embedding_backward(
     }
     for (r, &id) in ids.iter().enumerate() {
         if id >= table_grad.rows() {
-            return Err(TensorError::IndexOutOfBounds { index: id, bound: table_grad.rows() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: id,
+                bound: table_grad.rows(),
+            });
         }
         let src = dy.row(r);
         for (acc, &g) in table_grad.row_mut(id).iter_mut().zip(src.iter()) {
@@ -338,13 +356,24 @@ pub fn cross_entropy_forward(
             continue;
         }
         if t >= logits.cols() {
-            return Err(TensorError::IndexOutOfBounds { index: t, bound: logits.cols() });
+            return Err(TensorError::IndexOutOfBounds {
+                index: t,
+                bound: logits.cols(),
+            });
         }
         loss += -(probs.get(r, t).max(1e-12) as f64).ln();
         n_valid += 1;
     }
-    let loss = if n_valid == 0 { 0.0 } else { (loss / n_valid as f64) as f32 };
-    Ok(CrossEntropyOutput { loss, probs, n_valid })
+    let loss = if n_valid == 0 {
+        0.0
+    } else {
+        (loss / n_valid as f64) as f32
+    };
+    Ok(CrossEntropyOutput {
+        loss,
+        probs,
+        n_valid,
+    })
 }
 
 /// Backward pass of softmax cross-entropy: `dlogits = (probs - onehot) / n`.
@@ -434,9 +463,16 @@ mod tests {
         let dx = softmax_backward(&y, &dy).unwrap();
         let num = numeric_grad(&x, |xp| {
             let yp = softmax_rows(xp);
-            yp.as_slice().iter().zip(dy.as_slice().iter()).map(|(a, b)| a * b).sum()
+            yp.as_slice()
+                .iter()
+                .zip(dy.as_slice().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         });
-        assert!(dx.approx_eq(&num, 2e-2), "analytic {dx:?} vs numeric {num:?}");
+        assert!(
+            dx.approx_eq(&num, 2e-2),
+            "analytic {dx:?} vs numeric {num:?}"
+        );
     }
 
     #[test]
@@ -465,7 +501,11 @@ mod tests {
         let (dx, dgamma, dbeta) = layernorm_backward(&dy, &cache, &gamma).unwrap();
         let num_dx = numeric_grad(&x, |xp| {
             let (yp, _) = layernorm_forward(xp, &gamma, &beta, 1e-5).unwrap();
-            yp.as_slice().iter().zip(dy.as_slice().iter()).map(|(a, b)| a * b).sum()
+            yp.as_slice()
+                .iter()
+                .zip(dy.as_slice().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         });
         assert!(dx.approx_eq(&num_dx, 3e-2));
         // dbeta is the column sum of dy
@@ -483,7 +523,12 @@ mod tests {
         let dy = Tensor::randn(2, 6, 1.0, &mut rng);
         let dx = gelu_backward(&x, &dy).unwrap();
         let num = numeric_grad(&x, |xp| {
-            gelu_forward(xp).as_slice().iter().zip(dy.as_slice().iter()).map(|(a, b)| a * b).sum()
+            gelu_forward(xp)
+                .as_slice()
+                .iter()
+                .zip(dy.as_slice().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         });
         assert!(dx.approx_eq(&num, 2e-2));
     }
@@ -558,7 +603,9 @@ mod tests {
         let targets = [1usize, 4, 0];
         let out = cross_entropy_forward(&logits, &targets).unwrap();
         let dl = cross_entropy_backward(&out, &targets).unwrap();
-        let num = numeric_grad(&logits, |lp| cross_entropy_forward(lp, &targets).unwrap().loss);
+        let num = numeric_grad(&logits, |lp| {
+            cross_entropy_forward(lp, &targets).unwrap().loss
+        });
         assert!(dl.approx_eq(&num, 2e-2));
     }
 

@@ -22,7 +22,11 @@ pub fn variance(xs: &[f32]) -> f32 {
 
 /// Euclidean norm of all elements of a tensor.
 pub fn l2_norm(t: &Tensor) -> f32 {
-    t.as_slice().iter().map(|x| (*x as f64) * (*x as f64)).sum::<f64>().sqrt() as f32
+    t.as_slice()
+        .iter()
+        .map(|x| (*x as f64) * (*x as f64))
+        .sum::<f64>()
+        .sqrt() as f32
 }
 
 /// Largest absolute element-wise difference; `f32::INFINITY` when shapes

@@ -34,12 +34,20 @@ impl Tensor {
     /// A zero-sized tensor (`rows == 0` or `cols == 0`) is permitted and
     /// behaves as an empty operand.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Tensor { rows, cols, data: vec![value; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -54,7 +62,10 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != rows * cols {
-            return Err(TensorError::LengthMismatch { expected: rows * cols, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
         }
         Ok(Tensor { rows, cols, data })
     }
@@ -124,7 +135,12 @@ impl Tensor {
     ///
     /// Panics if `r >= rows` or `c >= cols`.
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -134,7 +150,12 @@ impl Tensor {
     ///
     /// Panics if `r >= rows` or `c >= cols`.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -144,7 +165,11 @@ impl Tensor {
     ///
     /// Panics if `r >= rows`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -154,7 +179,11 @@ impl Tensor {
     ///
     /// Panics if `r >= rows`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -208,7 +237,11 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) -> Result<(), TensorError> {
         if self.shape() != other.shape() {
-            return Err(TensorError::ShapeMismatch { op: "axpy", lhs: self.shape(), rhs: other.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
@@ -228,7 +261,11 @@ impl Tensor {
 
     /// Returns a new tensor by applying `f` element-wise.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        Tensor { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` element-wise in place.
@@ -247,7 +284,11 @@ impl Tensor {
     /// return `false`.
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape() == other.shape()
-            && self.data.iter().zip(other.data.iter()).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     fn zip_with<F: Fn(f32, f32) -> f32>(
@@ -257,10 +298,23 @@ impl Tensor {
         f: F,
     ) -> Result<Tensor, TensorError> {
         if self.shape() != other.shape() {
-            return Err(TensorError::ShapeMismatch { op, lhs: self.shape(), rhs: other.shape() });
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
         }
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 }
 
@@ -298,7 +352,13 @@ mod tests {
     fn from_vec_checks_length() {
         assert!(Tensor::from_vec(2, 2, vec![1.0; 4]).is_ok());
         let err = Tensor::from_vec(2, 2, vec![1.0; 5]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 5
+            }
+        );
     }
 
     #[test]
@@ -349,7 +409,10 @@ mod tests {
     fn add_shape_mismatch_errors() {
         let a = Tensor::zeros(2, 3);
         let b = Tensor::zeros(3, 2);
-        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { op: "add", .. })));
+        assert!(matches!(
+            a.add(&b),
+            Err(TensorError::ShapeMismatch { op: "add", .. })
+        ));
     }
 
     #[test]

@@ -26,7 +26,10 @@ use edge_llm_tensor::TensorRng;
 fn main() -> Result<(), EdgeLlmError> {
     let mut rng = TensorRng::seed_from(11);
     let task = ClozeQaTask::new(16, 2);
-    let cfg = ModelConfig::tiny().with_layers(4).with_seq_len(16).with_vocab(task.vocab_size());
+    let cfg = ModelConfig::tiny()
+        .with_layers(4)
+        .with_seq_len(16)
+        .with_vocab(task.vocab_size());
     let mut model = EdgeModel::new(cfg.clone(), &mut rng)?;
     let mut train = task.dataset(32, cfg.seq_len, &mut rng);
     let eval_set = task.dataset(16, cfg.seq_len, &mut rng);
@@ -46,7 +49,10 @@ fn main() -> Result<(), EdgeLlmError> {
     }
     let outcome = search_policy(&prof, 0.3, SearchAlgorithm::DynamicProgramming)?;
     println!("\nsearched policy (budget 0.30): {}", outcome.policy);
-    println!("predicted loss increase: {}\n", f3(outcome.predicted_delta as f64));
+    println!(
+        "predicted loss increase: {}\n",
+        f3(outcome.predicted_delta as f64)
+    );
     apply_policy(&mut model, &outcome.policy)?;
 
     // --- 2. adaptive layer tuning ---------------------------------------
@@ -67,7 +73,10 @@ fn main() -> Result<(), EdgeLlmError> {
     // --- 3. adaptive layer voting ---------------------------------------
     let mut table = Table::new("exit voting comparison", &["policy", "accuracy", "ppl"]);
     let combiners: [(&str, VotingPolicy); 4] = [
-        ("final exit only", VotingPolicy::final_only(model.n_layers())),
+        (
+            "final exit only",
+            VotingPolicy::final_only(model.n_layers()),
+        ),
         (
             "average vote",
             VotingPolicy::all_exits(model.n_layers(), VotingCombiner::Average),
@@ -89,7 +98,11 @@ fn main() -> Result<(), EdgeLlmError> {
     ];
     for (name, policy) in combiners {
         let r = evaluate(&model, &policy, &eval_set, 4)?;
-        table.add_row(vec![name.to_string(), pct(r.accuracy as f64), f3(r.perplexity as f64)]);
+        table.add_row(vec![
+            name.to_string(),
+            pct(r.accuracy as f64),
+            f3(r.perplexity as f64),
+        ]);
     }
     println!("\n{table}");
     Ok(())

@@ -11,9 +11,7 @@ use edge_llm::oracle::ModelOracle;
 use edge_llm::report::{f3, pct, Table};
 use edge_llm::EdgeLlmError;
 use edge_llm_data::{ClozeQaTask, TaskGenerator};
-use edge_llm_luc::{
-    pareto_frontier, profile, search_policy, PolicyPoint, SearchAlgorithm,
-};
+use edge_llm_luc::{pareto_frontier, profile, search_policy, PolicyPoint, SearchAlgorithm};
 use edge_llm_model::{AdaptiveTuner, EdgeModel, ModelConfig, Sgd, VotingPolicy, WindowSchedule};
 use edge_llm_quant::BitWidth;
 use edge_llm_tensor::TensorRng;
@@ -21,7 +19,10 @@ use edge_llm_tensor::TensorRng;
 fn main() -> Result<(), EdgeLlmError> {
     let mut rng = TensorRng::seed_from(21);
     let task = ClozeQaTask::new(12, 2);
-    let cfg = ModelConfig::tiny().with_layers(4).with_seq_len(16).with_vocab(task.vocab_size());
+    let cfg = ModelConfig::tiny()
+        .with_layers(4)
+        .with_seq_len(16)
+        .with_vocab(task.vocab_size());
     let mut model = EdgeModel::new(cfg.clone(), &mut rng)?;
     let mut train = task.dataset(24, cfg.seq_len, &mut rng);
     train.shuffle(&mut rng);
@@ -43,11 +44,16 @@ fn main() -> Result<(), EdgeLlmError> {
         &[BitWidth::W2, BitWidth::W4, BitWidth::W8, BitWidth::W16],
         &[0.0, 0.25, 0.5, 0.75],
     )?;
-    println!("sensitivity profiling used {} model probes\n", oracle.probes());
+    println!(
+        "sensitivity profiling used {} model probes\n",
+        oracle.probes()
+    );
 
     // --- search-algorithm comparison at one budget -----------------------
-    let mut algo_table =
-        Table::new("search algorithms at budget 0.25", &["algorithm", "pred. delta", "evals"]);
+    let mut algo_table = Table::new(
+        "search algorithms at budget 0.25",
+        &["algorithm", "pred. delta", "evals"],
+    );
     for (name, algo) in [
         ("greedy", SearchAlgorithm::Greedy),
         ("dp", SearchAlgorithm::DynamicProgramming),
@@ -88,7 +94,11 @@ fn main() -> Result<(), EdgeLlmError> {
     println!("{sweep}");
 
     let frontier = pareto_frontier(&points);
-    println!("pareto frontier ({} of {} points):", frontier.len(), points.len());
+    println!(
+        "pareto frontier ({} of {} points):",
+        frontier.len(),
+        points.len()
+    );
     for p in frontier {
         println!("  cost {}  error {}", f3(p.cost as f64), f3(p.loss as f64));
     }

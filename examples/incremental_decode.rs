@@ -13,10 +13,15 @@ use edge_llm_tensor::TensorRng;
 use std::time::Instant;
 
 fn main() -> Result<(), ModelError> {
-    let cfg = ModelConfig::tiny().with_layers(6).with_d_model(64, 4).with_seq_len(48);
+    let cfg = ModelConfig::tiny()
+        .with_layers(6)
+        .with_d_model(64, 4)
+        .with_seq_len(48);
     let mut rng = TensorRng::seed_from(17);
     let model = EdgeModel::new(cfg.clone(), &mut rng)?;
-    let tokens: Vec<usize> = (0..cfg.seq_len).map(|_| rng.index(cfg.vocab_size)).collect();
+    let tokens: Vec<usize> = (0..cfg.seq_len)
+        .map(|_| rng.index(cfg.vocab_size))
+        .collect();
 
     // equivalence: per-position logits must match the batched forward
     let full = model.logits(&tokens, 1)?;
@@ -28,8 +33,14 @@ fn main() -> Result<(), ModelError> {
             worst = worst.max((full.get(t, v) - row.get(0, v)).abs());
         }
     }
-    println!("max |batched - incremental| over {} positions: {worst:e}", cfg.seq_len);
-    assert!(worst < 1e-4, "incremental decoding must match the batched forward");
+    println!(
+        "max |batched - incremental| over {} positions: {worst:e}",
+        cfg.seq_len
+    );
+    assert!(
+        worst < 1e-4,
+        "incremental decoding must match the batched forward"
+    );
 
     // timing: decode seq_len tokens each way
     let reps = 5;
@@ -50,8 +61,16 @@ fn main() -> Result<(), ModelError> {
     }
     let full_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
 
-    println!("decode {} tokens, kv-cached : {} ms", cfg.seq_len, f3(kv_ms));
-    println!("decode {} tokens, full fwd  : {} ms", cfg.seq_len, f3(full_ms));
+    println!(
+        "decode {} tokens, kv-cached : {} ms",
+        cfg.seq_len,
+        f3(kv_ms)
+    );
+    println!(
+        "decode {} tokens, full fwd  : {} ms",
+        cfg.seq_len,
+        f3(full_ms)
+    );
     println!("kv-cache speedup            : {}", speedup(full_ms / kv_ms));
     println!(
         "kv-cache memory             : {} bytes across {} layers",

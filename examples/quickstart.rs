@@ -14,7 +14,10 @@ fn main() -> Result<(), EdgeLlmError> {
     // A 4-layer model small enough to adapt in seconds on a laptop CPU.
     let config = ExperimentConfig {
         model: ModelConfig::tiny().with_layers(4).with_seq_len(16),
-        task: TaskKind::ClozeQa { subjects: 12, relations: 2 },
+        task: TaskKind::ClozeQa {
+            subjects: 12,
+            relations: 2,
+        },
         seed: 1,
         train_samples: 24,
         eval_samples: 12,
@@ -26,14 +29,25 @@ fn main() -> Result<(), EdgeLlmError> {
         ..ExperimentConfig::smoke_test()
     };
 
-    println!("adapting a {}-layer model on {:?}...\n", config.model.n_layers, config.task);
+    println!(
+        "adapting a {}-layer model on {:?}...\n",
+        config.model.n_layers, config.task
+    );
 
     let vanilla = run_method(Method::Vanilla, &config)?;
     let edge = run_method(Method::EdgeLlm, &config)?;
 
     let mut table = Table::new(
         "quickstart: vanilla tuning vs Edge-LLM",
-        &["method", "accuracy", "ppl", "iter ms", "peak act", "modeled us", "cost"],
+        &[
+            "method",
+            "accuracy",
+            "ppl",
+            "iter ms",
+            "peak act",
+            "modeled us",
+            "cost",
+        ],
     );
     for out in [&vanilla, &edge] {
         table.add_row(vec![

@@ -22,21 +22,44 @@ fn main() -> Result<(), EdgeLlmError> {
     // A deliberately irregular policy: early layers compressed hard, late
     // layers kept gentle — the shape LUC typically produces.
     let policy = CompressionPolicy::from_layers(vec![
-        LayerPolicy { bits: BitWidth::W2, prune_ratio: 0.75 },
-        LayerPolicy { bits: BitWidth::W2, prune_ratio: 0.5 },
-        LayerPolicy { bits: BitWidth::W4, prune_ratio: 0.5 },
-        LayerPolicy { bits: BitWidth::W4, prune_ratio: 0.25 },
-        LayerPolicy { bits: BitWidth::W4, prune_ratio: 0.25 },
-        LayerPolicy { bits: BitWidth::W8, prune_ratio: 0.25 },
-        LayerPolicy { bits: BitWidth::W8, prune_ratio: 0.0 },
-        LayerPolicy { bits: BitWidth::W16, prune_ratio: 0.0 },
+        LayerPolicy {
+            bits: BitWidth::W2,
+            prune_ratio: 0.75,
+        },
+        LayerPolicy {
+            bits: BitWidth::W2,
+            prune_ratio: 0.5,
+        },
+        LayerPolicy {
+            bits: BitWidth::W4,
+            prune_ratio: 0.5,
+        },
+        LayerPolicy {
+            bits: BitWidth::W4,
+            prune_ratio: 0.25,
+        },
+        LayerPolicy {
+            bits: BitWidth::W4,
+            prune_ratio: 0.25,
+        },
+        LayerPolicy {
+            bits: BitWidth::W8,
+            prune_ratio: 0.25,
+        },
+        LayerPolicy {
+            bits: BitWidth::W8,
+            prune_ratio: 0.0,
+        },
+        LayerPolicy {
+            bits: BitWidth::W16,
+            prune_ratio: 0.0,
+        },
     ]);
     let device = DeviceModel::jetson_class();
     let space = ScheduleSpace::default();
 
     let workloads = model_workloads(&cfg, &policy, 1)?;
-    let scheduled =
-        schedule_workloads(&workloads, &device, &space, SearchStrategy::Exhaustive)?;
+    let scheduled = schedule_workloads(&workloads, &device, &space, SearchStrategy::Exhaustive)?;
 
     let mut table = Table::new(
         format!("per-GEMM schedules on {}", device.name),
@@ -53,7 +76,10 @@ fn main() -> Result<(), EdgeLlmError> {
         ]);
     }
     println!("{table}");
-    println!("(first two layers shown; {} GEMMs scheduled in total)\n", scheduled.len());
+    println!(
+        "(first two layers shown; {} GEMMs scheduled in total)\n",
+        scheduled.len()
+    );
 
     let searched = total_latency_us(&scheduled);
     let naive = naive_latency_us(&workloads, &device)?;
@@ -71,7 +97,10 @@ fn main() -> Result<(), EdgeLlmError> {
         &workloads,
         &device,
         &big_space,
-        SearchStrategy::Annealing { iters: 400, seed: 9 },
+        SearchStrategy::Annealing {
+            iters: 400,
+            seed: 9,
+        },
     )?;
     println!(
         "\nannealing over a {}-point space: {} us (exhaustive default-space: {} us)",

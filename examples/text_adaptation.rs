@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut model = EdgeModel::new(cfg.clone(), &mut rng)?;
 
     // compress for on-device execution, then adapt on the notes
-    apply_policy(&mut model, &CompressionPolicy::uniform(4, BitWidth::W8, 0.25))?;
+    apply_policy(
+        &mut model,
+        &CompressionPolicy::uniform(4, BitWidth::W8, 0.25),
+    )?;
     let train = task.dataset(32, cfg.seq_len, &mut rng);
     let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 2 });
     let mut opt = Sgd::new(0.15);
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let eval = task.dataset(8, cfg.seq_len, &mut rng);
     let b = eval.batch_at(0, 8);
     let logits = model.logits(&b.tokens, 8)?;
-    println!("\nperplexity on held-out windows: {}", f3(perplexity(&logits, &b.targets) as f64));
+    println!(
+        "\nperplexity on held-out windows: {}",
+        f3(perplexity(&logits, &b.targets) as f64)
+    );
 
     // generate a continuation via exit voting
     let voting = VotingPolicy::all_exits(
@@ -58,7 +64,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         VotingCombiner::ConfidenceWeighted { temperature: 0.5 },
     );
     let prompt = tok.encode("monday: water");
-    let out = generate(&model, &voting, &prompt, 40, Decoding::TopK { k: 3, temperature: 0.8 }, &mut rng)?;
+    let out = generate(
+        &model,
+        &voting,
+        &prompt,
+        40,
+        Decoding::TopK {
+            k: 3,
+            temperature: 0.8,
+        },
+        &mut rng,
+    )?;
     println!("continuation: {:?}", tok.decode(&out));
 
     // checkpoint round-trip; compression hooks are runtime configuration,
@@ -66,9 +82,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bytes = Vec::new();
     save_model(&mut model, &mut bytes)?;
     let mut restored = load_model(&mut bytes.as_slice())?;
-    apply_policy(&mut restored, &CompressionPolicy::uniform(4, BitWidth::W8, 0.25))?;
+    apply_policy(
+        &mut restored,
+        &CompressionPolicy::uniform(4, BitWidth::W8, 0.25),
+    )?;
     let same = restored.logits(&b.tokens, 8)?;
-    assert!(logits.approx_eq(&same, 1e-6), "checkpoint must restore the exact model");
+    assert!(
+        logits.approx_eq(&same, 1e-6),
+        "checkpoint must restore the exact model"
+    );
     println!("checkpoint: {} bytes, restored bit-exact", bytes.len());
     Ok(())
 }

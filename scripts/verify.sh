@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: formatting, lints, release build, full tests.
+# Run from the repository root: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --release
+cargo test -q

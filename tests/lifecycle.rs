@@ -29,7 +29,10 @@ fn adapt(
     let mut last = f32::NAN;
     for it in 0..iters {
         let b = ds.batch_at(it * 2, 2);
-        last = tuner.step(model, &mut opt, &b.tokens, &b.targets, b.batch).unwrap().loss;
+        last = tuner
+            .step(model, &mut opt, &b.tokens, &b.targets, b.batch)
+            .unwrap()
+            .loss;
     }
     last
 }
@@ -38,7 +41,9 @@ fn adapt(
 fn adapted_checkpoint_roundtrips_with_policy() {
     let mut rng = TensorRng::seed_from(31);
     let task = MarkovTextTask::new(24, 2, 5);
-    let cfg = ModelConfig::tiny().with_layers(4).with_vocab(task.vocab_size());
+    let cfg = ModelConfig::tiny()
+        .with_layers(4)
+        .with_vocab(task.vocab_size());
     let mut model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
     let policy = CompressionPolicy::uniform(4, BitWidth::W8, 0.25);
     apply_policy(&mut model, &policy).unwrap();
@@ -59,15 +64,25 @@ fn adapted_checkpoint_roundtrips_with_policy() {
 fn generation_respects_learned_markov_structure() {
     let mut rng = TensorRng::seed_from(32);
     let task = MarkovTextTask::new(12, 2, 9);
-    let cfg = ModelConfig::tiny().with_layers(2).with_d_model(32, 4).with_vocab(task.vocab_size());
+    let cfg = ModelConfig::tiny()
+        .with_layers(2)
+        .with_d_model(32, 4)
+        .with_vocab(task.vocab_size());
     let mut model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
     adapt(&mut model, &task, 200, 0.15, &mut rng);
     // greedy continuations should mostly follow chain edges
     let policy = VotingPolicy::final_only(model.n_layers());
     let mut gen_rng = TensorRng::seed_from(33);
     let sample = task.sample(cfg.seq_len, &mut gen_rng);
-    let out =
-        generate(&model, &policy, &sample.tokens[..4], 20, Decoding::Greedy, &mut gen_rng).unwrap();
+    let out = generate(
+        &model,
+        &policy,
+        &sample.tokens[..4],
+        20,
+        Decoding::Greedy,
+        &mut gen_rng,
+    )
+    .unwrap();
     assert_eq!(out.len(), 24);
     assert!(out.iter().all(|&t| t < task.vocab_size()));
 }
@@ -76,7 +91,9 @@ fn generation_respects_learned_markov_structure() {
 fn activation_quant_model_still_learns() {
     let mut rng = TensorRng::seed_from(34);
     let task = MarkovTextTask::new(16, 2, 3);
-    let cfg = ModelConfig::tiny().with_layers(2).with_vocab(task.vocab_size());
+    let cfg = ModelConfig::tiny()
+        .with_layers(2)
+        .with_vocab(task.vocab_size());
     let mut model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
     // 8-bit activations on every projection
     for l in 0..model.n_layers() {
@@ -93,13 +110,22 @@ fn activation_quant_model_still_learns() {
     let mut tuner = AdaptiveTuner::new(WindowSchedule::FullDepth);
     let mut opt = Sgd::new(0.1);
     let b0 = ds.batch_at(0, 2);
-    let first = tuner.step(&mut model, &mut opt, &b0.tokens, &b0.targets, 2).unwrap().loss;
+    let first = tuner
+        .step(&mut model, &mut opt, &b0.tokens, &b0.targets, 2)
+        .unwrap()
+        .loss;
     let mut last = first;
     for it in 1..60 {
         let b = ds.batch_at(it * 2, 2);
-        last = tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, 2).unwrap().loss;
+        last = tuner
+            .step(&mut model, &mut opt, &b.tokens, &b.targets, 2)
+            .unwrap()
+            .loss;
     }
-    assert!(last < first, "8-bit activations must not block learning: {first} -> {last}");
+    assert!(
+        last < first,
+        "8-bit activations must not block learning: {first} -> {last}"
+    );
 }
 
 #[test]
@@ -133,21 +159,34 @@ fn lr_schedule_drives_optimizer() {
     // final lr is the floor
     let mut rng = TensorRng::seed_from(36);
     let task = MarkovTextTask::new(16, 2, 4);
-    let cfg = ModelConfig::tiny().with_layers(2).with_vocab(task.vocab_size());
+    let cfg = ModelConfig::tiny()
+        .with_layers(2)
+        .with_vocab(task.vocab_size());
     let mut model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
     let ds = edge_llm_data::Dataset::from_samples(
         (0..8).map(|_| task.sample(cfg.seq_len, &mut rng)).collect(),
     );
-    let schedule = LrSchedule::CosineWithWarmup { lr: 0.15, min_lr: 0.01, warmup: 5, total: 80 };
+    let schedule = LrSchedule::CosineWithWarmup {
+        lr: 0.15,
+        min_lr: 0.01,
+        warmup: 5,
+        total: 80,
+    };
     let mut tuner = AdaptiveTuner::new(WindowSchedule::FullDepth);
     let mut opt = Sgd::new(schedule.lr_at(0));
     let b0 = ds.batch_at(0, 2);
-    let first = tuner.step(&mut model, &mut opt, &b0.tokens, &b0.targets, 2).unwrap().loss;
+    let first = tuner
+        .step(&mut model, &mut opt, &b0.tokens, &b0.targets, 2)
+        .unwrap()
+        .loss;
     let mut last = first;
     for it in 1..80 {
         opt.set_lr(schedule.lr_at(it));
         let b = ds.batch_at(it * 2, 2);
-        last = tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, 2).unwrap().loss;
+        last = tuner
+            .step(&mut model, &mut opt, &b.tokens, &b.targets, 2)
+            .unwrap()
+            .loss;
     }
     assert!(last < first);
     assert!((opt.lr() - 0.01).abs() < 0.01);
@@ -160,8 +199,7 @@ fn policy_compact_string_survives_pipeline() {
     let parsed = CompressionPolicy::parse_compact(&s).unwrap();
     assert_eq!(parsed, policy);
     let mut rng = TensorRng::seed_from(37);
-    let mut model =
-        EdgeModel::new(ModelConfig::tiny().with_layers(3), &mut rng).unwrap();
+    let mut model = EdgeModel::new(ModelConfig::tiny().with_layers(3), &mut rng).unwrap();
     apply_policy(&mut model, &parsed).unwrap();
     let (qkv, _) = model.block(0).attn().linears();
     assert!(qkv.quant().is_some());

@@ -8,8 +8,14 @@ use edge_llm_model::ModelConfig;
 
 fn quick_config() -> ExperimentConfig {
     ExperimentConfig {
-        model: ModelConfig::tiny().with_layers(4).with_d_model(32, 4).with_seq_len(16),
-        task: TaskKind::ClozeQa { subjects: 10, relations: 2 },
+        model: ModelConfig::tiny()
+            .with_layers(4)
+            .with_d_model(32, 4)
+            .with_seq_len(16),
+        task: TaskKind::ClozeQa {
+            subjects: 10,
+            relations: 2,
+        },
         seed: 123,
         train_samples: 16,
         eval_samples: 8,
@@ -51,7 +57,10 @@ fn edge_llm_preserves_the_papers_efficiency_shape() {
     let vanilla = run_method(Method::Vanilla, &cfg).unwrap();
     let edge = run_method(Method::EdgeLlm, &cfg).unwrap();
     let modeled_speedup = vanilla.modeled_iter_us / edge.modeled_iter_us;
-    assert!(modeled_speedup > 1.5, "modeled speedup only {modeled_speedup:.2}x");
+    assert!(
+        modeled_speedup > 1.5,
+        "modeled speedup only {modeled_speedup:.2}x"
+    );
     assert!(edge.peak_activation_bytes < vanilla.peak_activation_bytes);
     assert!(edge.policy_cost < 0.5 * vanilla.policy_cost);
 }

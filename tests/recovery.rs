@@ -1,0 +1,238 @@
+//! Integration tests for the fault-tolerant adaptation runtime:
+//! kill-and-resume equivalence, per-fault-class recovery, and corrupt
+//! checkpoint handling.
+
+use edge_llm::baselines::uniform_policy_for_budget;
+use edge_llm::compress::apply_policy;
+use edge_llm::pipeline::{run_method_with, ExperimentConfig, Method};
+use edge_llm::resilience::{
+    policy_extra, resilient_adapt, restore_run, FaultKind, PlannedFault, RecoveryEvent,
+    ResilienceConfig,
+};
+use edge_llm::EdgeLlmError;
+use edge_llm_data::{Dataset, ModArithTask, TaskGenerator};
+use edge_llm_luc::CompressionPolicy;
+use edge_llm_model::{
+    save_model, AdaptiveTuner, EdgeModel, ModelConfig, Sgd, TrainingCheckpoint, WindowSchedule,
+};
+use edge_llm_tensor::TensorRng;
+
+fn setup(seed: u64) -> (EdgeModel, Sgd, TensorRng, Dataset) {
+    let task = ModArithTask::new(7);
+    let mut rng = TensorRng::seed_from(seed);
+    let cfg = ModelConfig::tiny().with_vocab(task.vocab_size());
+    let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+    let ds = Dataset::from_samples((0..8).map(|_| task.sample(cfg.seq_len, &mut rng)).collect());
+    (model, Sgd::new(0.05), rng, ds)
+}
+
+fn model_bytes(model: &mut EdgeModel) -> Vec<u8> {
+    let mut buf = Vec::new();
+    save_model(model, &mut buf).unwrap();
+    buf
+}
+
+/// Runs `total` iterations straight through, then replays the same run
+/// interrupted at `cut` — serialized to checkpoint bytes, reloaded in a
+/// fresh "process", and resumed — and requires bit-identical parameters.
+fn assert_kill_and_resume_identical(policy: &CompressionPolicy, schedule: WindowSchedule) {
+    const TOTAL: usize = 10;
+    const CUT: usize = 4;
+    let res = ResilienceConfig::default();
+
+    let (mut model, mut opt, mut rng, ds) = setup(11);
+    apply_policy(&mut model, policy).unwrap();
+    let mut tuner = AdaptiveTuner::new(schedule.clone());
+    resilient_adapt(
+        &mut model,
+        &mut opt,
+        &mut tuner,
+        &mut rng,
+        &ds,
+        2,
+        TOTAL,
+        policy_extra(policy),
+        &res,
+    )
+    .unwrap();
+    let straight = model_bytes(&mut model);
+
+    let (mut model, mut opt, mut rng, ds) = setup(11);
+    apply_policy(&mut model, policy).unwrap();
+    let mut tuner = AdaptiveTuner::new(schedule.clone());
+    resilient_adapt(
+        &mut model,
+        &mut opt,
+        &mut tuner,
+        &mut rng,
+        &ds,
+        2,
+        CUT,
+        policy_extra(policy),
+        &res,
+    )
+    .unwrap();
+    let ckpt =
+        TrainingCheckpoint::capture(&mut model, &opt, CUT as u64, &rng, policy_extra(policy));
+    let mut bytes = Vec::new();
+    ckpt.write_to(&mut bytes).unwrap();
+
+    // everything below uses only the serialized bytes — a fresh process
+    let loaded = TrainingCheckpoint::read_from(&mut bytes.as_slice()).unwrap();
+    let (mut model2, mut opt2, mut rng2, policy2) = restore_run(&loaded).unwrap();
+    assert_eq!(policy2.to_compact_string(), policy.to_compact_string());
+    let mut tuner2 = AdaptiveTuner::new(schedule);
+    tuner2.set_iteration(loaded.iteration as usize);
+    resilient_adapt(
+        &mut model2,
+        &mut opt2,
+        &mut tuner2,
+        &mut rng2,
+        &ds,
+        2,
+        TOTAL,
+        policy_extra(&policy2),
+        &res,
+    )
+    .unwrap();
+    assert_eq!(
+        straight,
+        model_bytes(&mut model2),
+        "resumed run drifted from straight run"
+    );
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_vanilla() {
+    let policy = CompressionPolicy::identity(ModelConfig::tiny().n_layers);
+    assert_kill_and_resume_identical(&policy, WindowSchedule::FullDepth);
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_edge_llm() {
+    // compressed model (masks + fake-quant hooks) with windowed backprop
+    let policy = uniform_policy_for_budget(ModelConfig::tiny().n_layers, 0.5);
+    assert_kill_and_resume_identical(&policy, WindowSchedule::RoundRobin { depth: 1 });
+}
+
+fn fault_plan(kind: FaultKind) -> ResilienceConfig {
+    ResilienceConfig {
+        faults: vec![PlannedFault {
+            at_iteration: 2,
+            kind,
+        }],
+        ..ResilienceConfig::default()
+    }
+}
+
+#[test]
+fn every_fault_class_recovers_or_degrades() {
+    let cfg = ExperimentConfig::smoke_test();
+    for kind in [
+        FaultKind::FlipGradBit { bit: 30 },
+        FaultKind::NanGrad,
+        FaultKind::NanParam,
+        FaultKind::CorruptCheckpoint,
+        FaultKind::Preempt,
+        FaultKind::MemoryPressure,
+    ] {
+        let out = run_method_with(Method::Vanilla, &cfg, &fault_plan(kind)).unwrap();
+        let events = out.journal.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::FaultInjected { .. })),
+            "{kind:?}: no fault recorded in {events:?}"
+        );
+        assert!((0.0..=1.0).contains(&out.accuracy), "{kind:?}");
+        match kind {
+            FaultKind::NanGrad | FaultKind::NanParam => {
+                assert!(
+                    out.journal.rollbacks() >= 1,
+                    "{kind:?}: no rollback in {events:?}"
+                );
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| matches!(e, RecoveryEvent::DivergenceDetected { .. })),
+                    "{kind:?}: divergence not detected in {events:?}"
+                );
+            }
+            FaultKind::CorruptCheckpoint => {
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| matches!(e, RecoveryEvent::CheckpointRejected { .. })),
+                    "corrupt checkpoint not rejected in {events:?}"
+                );
+            }
+            FaultKind::Preempt => {
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| matches!(e, RecoveryEvent::Preempted { .. }))
+                        && events
+                            .iter()
+                            .any(|e| matches!(e, RecoveryEvent::Resumed { .. })),
+                    "preemption not journaled in {events:?}"
+                );
+            }
+            FaultKind::MemoryPressure => {
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| matches!(e, RecoveryEvent::WindowDegraded { .. })),
+                    "window not degraded in {events:?}"
+                );
+            }
+            FaultKind::FlipGradBit { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn edge_llm_method_survives_preemption() {
+    let cfg = ExperimentConfig::smoke_test();
+    let out = run_method_with(Method::EdgeLlm, &cfg, &fault_plan(FaultKind::Preempt)).unwrap();
+    let events = out.journal.events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, RecoveryEvent::Resumed { .. })));
+    assert!(out.perplexity.is_finite());
+}
+
+#[test]
+fn exhausted_rollback_budget_fails_typed() {
+    let cfg = ExperimentConfig::smoke_test();
+    let res = ResilienceConfig {
+        max_rollbacks: 0,
+        faults: vec![PlannedFault {
+            at_iteration: 1,
+            kind: FaultKind::NanParam,
+        }],
+        ..ResilienceConfig::default()
+    };
+    match run_method_with(Method::Vanilla, &cfg, &res) {
+        Err(EdgeLlmError::Diverged { rollbacks, .. }) => assert_eq!(rollbacks, 0),
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_checkpoint_bytes_are_rejected() {
+    let (mut model, opt, rng, _ds) = setup(3);
+    let ckpt = TrainingCheckpoint::capture(&mut model, &opt, 5, &rng, b"p=1".to_vec());
+    let mut bytes = Vec::new();
+    ckpt.write_to(&mut bytes).unwrap();
+
+    assert!(TrainingCheckpoint::read_from(&mut &bytes[..bytes.len() - 3]).is_err());
+    assert!(TrainingCheckpoint::read_from(&mut &bytes[..4]).is_err());
+    for idx in [9usize, bytes.len() / 2, bytes.len() - 1] {
+        let mut flipped = bytes.clone();
+        flipped[idx] ^= 0x10;
+        assert!(
+            TrainingCheckpoint::read_from(&mut flipped.as_slice()).is_err(),
+            "flip at {idx} accepted"
+        );
+    }
+}

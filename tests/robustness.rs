@@ -44,7 +44,10 @@ fn session_capacity_errors_are_recoverable() {
         session.push_token(0).unwrap();
     }
     for _ in 0..3 {
-        assert!(session.push_token(0).is_err(), "capacity errors must repeat, not panic");
+        assert!(
+            session.push_token(0).is_err(),
+            "capacity errors must repeat, not panic"
+        );
     }
     session.reset();
     assert!(session.push_token(0).is_ok());
@@ -98,7 +101,10 @@ fn double_compression_is_idempotent_in_shape() {
     let zeros_once = count_zeros(&model);
     apply_policy(&mut model, &policy).unwrap();
     let zeros_twice = count_zeros(&model);
-    assert_eq!(zeros_once, zeros_twice, "re-applying the same policy must be stable");
+    assert_eq!(
+        zeros_once, zeros_twice,
+        "re-applying the same policy must be stable"
+    );
 }
 
 fn count_zeros(model: &EdgeModel) -> usize {
@@ -107,7 +113,12 @@ fn count_zeros(model: &EdgeModel) -> usize {
         let (qkv, proj) = model.block(l).attn().linears();
         let (fc1, fc2) = model.block(l).mlp().linears();
         for lin in [qkv, proj, fc1, fc2] {
-            zeros += lin.weight().as_slice().iter().filter(|&&v| v == 0.0).count();
+            zeros += lin
+                .weight()
+                .as_slice()
+                .iter()
+                .filter(|&&v| v == 0.0)
+                .count();
         }
     }
     zeros
@@ -125,6 +136,8 @@ fn windowed_tuning_with_batch_larger_than_dataset_wraps() {
     let b = ds.batch_at(0, 6);
     let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 1 });
     let mut opt = Sgd::new(0.05);
-    let rep = tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch).unwrap();
+    let rep = tuner
+        .step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)
+        .unwrap();
     assert!(rep.loss.is_finite());
 }
