@@ -1,0 +1,72 @@
+//! Thread-scaling microbenchmark for the parallel matmul backend.
+//!
+//! Times the blocked kernel on a 256x256x256 product (plus a ragged shape
+//! that divides evenly by neither the cache tile nor any worker count) at
+//! 1, 2, 4, and 8 explicit workers. The acceptance bar for the backend is
+//! >= 1.6x at 4 threads on the 256-cube on a 4-core host; on fewer cores
+//! the curve flattens at the core count. Results are bit-identical at
+//! every point — only the wall-clock axis moves.
+//!
+//! Run with `cargo bench --bench matmul_scaling` from `crates/bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use edge_llm_quant::{integer_matmul_with, BitWidth, QuantScheme, QuantizedTensor};
+use edge_llm_tensor::{matmul_a_bt_with, MatmulKernel, Tensor, TensorRng};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_matmul_scaling(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(7);
+
+    for (m, k, n) in [(256usize, 256usize, 256usize), (173, 209, 151)] {
+        let a = Tensor::randn(m, k, 1.0, &mut rng);
+        let b = Tensor::randn(k, n, 1.0, &mut rng);
+        let mut group = c.benchmark_group(format!("matmul_{m}x{k}x{n}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements((m * k * n) as u64));
+        for t in THREAD_COUNTS {
+            group.bench_with_input(BenchmarkId::new("threads", t), &t, |bench, &t| {
+                bench.iter(|| {
+                    a.matmul_with(&b, MatmulKernel::BlockedParallel { threads: t })
+                        .unwrap()
+                })
+            });
+        }
+        group.finish();
+    }
+
+    transposed_and_integer(c);
+}
+
+/// The gradient/attention layout and the integer datapath scale the same
+/// way: disjoint output-row panels, one writer per element.
+fn transposed_and_integer(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(8);
+    let a = Tensor::randn(256, 256, 1.0, &mut rng);
+    let bt = Tensor::randn(256, 256, 1.0, &mut rng);
+
+    let mut group = c.benchmark_group("matmul_a_bt_256");
+    group.sample_size(20);
+    for t in THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |bench, &t| {
+            bench.iter(|| matmul_a_bt_with(&a, &bt, t).unwrap())
+        });
+    }
+    group.finish();
+
+    let x = Tensor::randn(128, 256, 1.0, &mut rng);
+    let w = Tensor::randn(256, 256, 0.3, &mut rng);
+    let x_q = edge_llm_quant::quantize_with_range(&x, BitWidth::W8, -4.0, 4.0).unwrap();
+    let w_q = QuantizedTensor::quantize(&w, QuantScheme::symmetric(BitWidth::W8)).unwrap();
+    let mut group = c.benchmark_group("integer_matmul_128x256x256");
+    group.sample_size(20);
+    for t in THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::new("threads", t), &t, |bench, &t| {
+            bench.iter(|| integer_matmul_with(&x_q, &w_q, t).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_scaling);
+criterion_main!(benches);

@@ -53,6 +53,9 @@ pub enum Command {
         checkpoint_every: usize,
         /// Resume from a training state written by `--checkpoint-every`.
         resume: Option<String>,
+        /// Kernel worker threads (`0` = all cores). `None` leaves the
+        /// `EDGELLM_THREADS` environment default in place.
+        threads: Option<usize>,
     },
     /// Generate a continuation from an adapted checkpoint.
     Generate {
@@ -114,12 +117,16 @@ edgellm — on-device LLM adaptation (Edge-LLM reproduction)
 USAGE:
   edgellm adapt    --corpus <file> --out <ckpt> [--budget 0.25] [--window 2]
                    [--iterations 400] [--seed 42] [--checkpoint-every N]
-                   [--resume <ckpt>.state]
+                   [--resume <ckpt>.state] [--threads N]
   edgellm generate --ckpt <ckpt> --prompt <text> [--tokens 40] [--top-k 3]
                    [--temperature 0.8] [--seed 42]
   edgellm inspect  --ckpt <ckpt>
   edgellm policy   --corpus <file> [--budget 0.25] [--seed 42]
   edgellm help
+
+Kernel threads: results are bit-identical for every thread count, so
+--threads only changes speed. 0 means all cores; the EDGELLM_THREADS
+environment variable sets the default when the flag is absent.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -140,6 +147,18 @@ fn parse_flag<T: std::str::FromStr>(
             .parse()
             .map_err(|_| CliError::Usage(format!("invalid value {v:?} for {flag}"))),
     }
+}
+
+fn parse_opt_flag<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<T>, CliError> {
+    flag_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| CliError::Usage(format!("invalid value {v:?} for {flag}")))
+        })
+        .transpose()
 }
 
 fn required_flag(args: &[String], flag: &str) -> Result<String, CliError> {
@@ -169,6 +188,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             seed: parse_flag(rest, "--seed", 42)?,
             checkpoint_every: parse_flag(rest, "--checkpoint-every", 0)?,
             resume: flag_value(rest, "--resume").map(str::to_string),
+            threads: parse_opt_flag(rest, "--threads")?,
         }),
         "generate" => Ok(Command::Generate {
             ckpt: required_flag(rest, "--ckpt")?,
@@ -271,7 +291,11 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             seed,
             checkpoint_every,
             resume,
+            threads,
         } => {
+            if let Some(t) = threads {
+                edge_llm_tensor::set_configured_threads(*t);
+            }
             let task = text_task(corpus)?;
             // Dataset sampling uses its own seed-derived stream so a resumed
             // run can regenerate the identical dataset from the checkpoint.
@@ -516,8 +540,22 @@ mod tests {
                 seed: 42,
                 checkpoint_every: 0,
                 resume: None,
+                threads: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_adapt_threads_flag() {
+        let cmd = parse_args(&argv("adapt --corpus notes.txt --out m.ckpt --threads 4")).unwrap();
+        match cmd {
+            Command::Adapt { threads, .. } => assert_eq!(threads, Some(4)),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&argv("adapt --corpus a --out b --threads many")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -617,6 +655,7 @@ mod tests {
             seed: 1,
             checkpoint_every: 0,
             resume: None,
+            threads: None,
         };
         let mut buf = Vec::new();
         run(&adapt, &mut buf).unwrap();
@@ -664,6 +703,7 @@ mod tests {
             seed: 3,
             checkpoint_every: 0,
             resume: None,
+            threads: None,
         }
     }
 

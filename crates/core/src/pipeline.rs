@@ -252,6 +252,9 @@ pub struct AdaptationOutcome {
     pub policy_bits: f32,
     /// Average pruning ratio of the applied policy.
     pub policy_ratio: f32,
+    /// Kernel worker threads configured for the run (`EDGELLM_THREADS` /
+    /// `--threads`); affects measured wall-clock only, never the numbers.
+    pub threads: usize,
     /// The quality/latency evaluation used (voting or final exit).
     pub eval: EvalResult,
     /// What the resilient runtime did to keep the run alive (empty on a
@@ -459,6 +462,7 @@ pub fn run_method_with(
         policy_cost: policy.mean_cost(),
         policy_bits: policy.mean_bits(),
         policy_ratio: policy.mean_prune_ratio(),
+        threads: edge_llm_tensor::configured_threads(),
         eval,
         journal: run.journal,
     })

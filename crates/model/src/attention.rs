@@ -1,8 +1,29 @@
 use crate::error::ModelError;
 use crate::linear::{Linear, LinearCache};
 use edge_llm_tensor::{
-    matmul_a_bt, matmul_at_b, softmax_backward, softmax_rows, Tensor, TensorRng,
+    matmul_a_bt_with, matmul_at_b_with, pool, softmax_backward, softmax_rows, MatmulKernel, Tensor,
+    TensorRng,
 };
+
+/// Head-level work (multiply-accumulates across all heads) below this
+/// stays serial; spawn overhead dominates smaller attention maps. The
+/// per-head arithmetic is identical either way, so the cutoff affects
+/// wall-clock only.
+const MIN_PARALLEL_HEAD_MACS: usize = 1 << 16;
+
+/// Workers for a `batch * n_heads`-way head loop with `seq`-length
+/// sequences of `hs`-wide heads, honouring the process-wide setting.
+///
+/// Head computations run on **disjoint** `(batch, head)` slices and their
+/// inner kernels are pinned to the serial path, so the result is
+/// bit-identical for every worker count.
+fn head_workers(items: usize, seq: usize, hs: usize) -> usize {
+    let macs = items * 2 * seq * seq * hs;
+    if macs < MIN_PARALLEL_HEAD_MACS {
+        return 1;
+    }
+    pool::resolve_threads(0).min(items.max(1))
+}
 
 /// Causal multi-head self-attention.
 ///
@@ -136,21 +157,31 @@ impl Attention {
         let mut v_all = Vec::new();
         let mut q_all = Vec::new();
         let mut k_all = Vec::new();
-        for b in 0..batch {
-            for h in 0..self.n_heads {
-                let (q, k, v) = split_head(&qkv_out, b, seq, h, hs, self.d_model);
-                let mut scores = matmul_a_bt(&q, &k)?;
-                scores.scale_in_place(scale);
-                apply_causal_mask(&mut scores);
-                let att = softmax_rows(&scores);
-                let y = att.matmul(&v)?;
-                write_head(&mut concat, &y, b, seq, h, hs);
-                if want_cache {
-                    att_all.push(att);
-                    v_all.push(v);
-                    q_all.push(q);
-                    k_all.push(k);
-                }
+        // Each (batch, head) pair is independent; fan them out over the
+        // pool and merge in index order so the result is bit-identical
+        // for every thread count. Inner matmuls stay serial — the
+        // parallelism lives at head granularity.
+        let items = batch * self.n_heads;
+        let workers = head_workers(items, seq, hs);
+        let heads = pool::parallel_map(items, workers, |idx| {
+            let (b, h) = (idx / self.n_heads, idx % self.n_heads);
+            let (q, k, v) = split_head(&qkv_out, b, seq, h, hs, self.d_model);
+            let mut scores = matmul_a_bt_with(&q, &k, 1)?;
+            scores.scale_in_place(scale);
+            apply_causal_mask(&mut scores);
+            let att = softmax_rows(&scores);
+            let y = att.matmul_with(&v, MatmulKernel::Blocked)?;
+            Ok::<_, ModelError>((q, k, v, att, y))
+        });
+        for (idx, head) in heads.into_iter().enumerate() {
+            let (b, h) = (idx / self.n_heads, idx % self.n_heads);
+            let (q, k, v, att, y) = head?;
+            write_head(&mut concat, &y, b, seq, h, hs);
+            if want_cache {
+                att_all.push(att);
+                v_all.push(v);
+                q_all.push(q);
+                k_all.push(k);
             }
         }
         let (out, proj_cache) = self.proj.forward(&concat)?;
@@ -182,28 +213,37 @@ impl Attention {
         let (batch, seq) = (cache.batch, cache.seq);
         let dconcat = self.proj.backward(&cache.proj_cache, dout)?;
         let mut dqkv = Tensor::zeros(batch * seq, 3 * self.d_model);
-        for b in 0..batch {
-            for h in 0..self.n_heads {
-                let idx = b * self.n_heads + h;
-                let att = &cache.att[idx];
-                let v = &cache.v[idx];
-                let q = &cache.q[idx];
-                let k = &cache.k[idx];
-                let dy = read_head(&dconcat, b, seq, h, hs);
-                // y = att · v
-                let datt = matmul_a_bt(&dy, v)?;
-                let dv = matmul_at_b(att, &dy)?;
-                // att = softmax(scores); masked entries have att == 0 so
-                // their score gradient is identically zero.
-                let mut ds = softmax_backward(att, &datt)?;
-                ds.scale_in_place(scale);
-                // scores = q · kᵀ (pre-scale)
-                let dq = ds.matmul(k)?;
-                let dk = matmul_at_b(&ds, q)?;
-                scatter_head(&mut dqkv, &dq, b, seq, h, hs, 0);
-                scatter_head(&mut dqkv, &dk, b, seq, h, hs, self.d_model);
-                scatter_head(&mut dqkv, &dv, b, seq, h, hs, 2 * self.d_model);
-            }
+        // Same head-level fan-out as the forward pass: gradients for each
+        // (batch, head) are computed on the pool, then scattered serially
+        // in index order (the scatter interleaves columns of shared rows,
+        // so it is not panel-disjoint).
+        let items = batch * self.n_heads;
+        let workers = head_workers(items, seq, hs);
+        let grads = pool::parallel_map(items, workers, |idx| {
+            let att = &cache.att[idx];
+            let v = &cache.v[idx];
+            let q = &cache.q[idx];
+            let k = &cache.k[idx];
+            let (b, h) = (idx / self.n_heads, idx % self.n_heads);
+            let dy = read_head(&dconcat, b, seq, h, hs);
+            // y = att · v
+            let datt = matmul_a_bt_with(&dy, v, 1)?;
+            let dv = matmul_at_b_with(att, &dy, 1)?;
+            // att = softmax(scores); masked entries have att == 0 so
+            // their score gradient is identically zero.
+            let mut ds = softmax_backward(att, &datt)?;
+            ds.scale_in_place(scale);
+            // scores = q · kᵀ (pre-scale)
+            let dq = ds.matmul_with(k, MatmulKernel::Blocked)?;
+            let dk = matmul_at_b_with(&ds, q, 1)?;
+            Ok::<_, ModelError>((dq, dk, dv))
+        });
+        for (idx, grad) in grads.into_iter().enumerate() {
+            let (b, h) = (idx / self.n_heads, idx % self.n_heads);
+            let (dq, dk, dv) = grad?;
+            scatter_head(&mut dqkv, &dq, b, seq, h, hs, 0);
+            scatter_head(&mut dqkv, &dk, b, seq, h, hs, self.d_model);
+            scatter_head(&mut dqkv, &dv, b, seq, h, hs, 2 * self.d_model);
         }
         let dx = self.qkv.backward(&cache.qkv_cache, &dqkv)?;
         Ok(dx)

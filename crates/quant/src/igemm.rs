@@ -18,7 +18,12 @@
 use crate::affine::QuantizedTensor;
 use crate::scheme::{Granularity, QuantMode};
 use crate::QuantError;
-use edge_llm_tensor::Tensor;
+use edge_llm_tensor::{pool, Tensor};
+
+/// Activation-row panels below this many multiply-accumulates stay serial
+/// (same cutoff rationale as the f32 kernels: the result is bit-identical
+/// either way, only wall-clock changes).
+const MIN_PARALLEL_MACS: usize = 1 << 16;
 
 /// Computes `x · Wᵀ` entirely in integer arithmetic.
 ///
@@ -27,7 +32,9 @@ use edge_llm_tensor::Tensor;
 ///   [`crate::QuantScheme`]), shape `m x k`;
 /// * `w_q` — weights, quantized **symmetric per-row**, shape `n x k`.
 ///
-/// Returns the rescaled `m x n` f32 result.
+/// Returns the rescaled `m x n` f32 result. Honours the process-wide
+/// thread setting (`EDGELLM_THREADS`); see [`integer_matmul_with`] for an
+/// explicit worker count.
 ///
 /// # Errors
 ///
@@ -35,6 +42,26 @@ use edge_llm_tensor::Tensor;
 /// and [`QuantError::BadGroupSize`] when either operand's scheme is not the
 /// required granularity/mode for the integer path.
 pub fn integer_matmul(x_q: &QuantizedTensor, w_q: &QuantizedTensor) -> Result<Tensor, QuantError> {
+    integer_matmul_with(x_q, w_q, 0)
+}
+
+/// [`integer_matmul`] with an explicit worker count (`0` = global
+/// setting, `1` = serial).
+///
+/// The parallel path splits the **output rows** (activation rows) into
+/// disjoint contiguous panels; every output element is one `i64`
+/// accumulation over ascending `p` followed by one f32 rescale, written
+/// by exactly one thread, so results are bit-identical for every worker
+/// count.
+///
+/// # Errors
+///
+/// Same as [`integer_matmul`].
+pub fn integer_matmul_with(
+    x_q: &QuantizedTensor,
+    w_q: &QuantizedTensor,
+    threads: usize,
+) -> Result<Tensor, QuantError> {
     if x_q.cols() != w_q.cols() {
         return Err(QuantError::ShapeMismatch {
             op: "integer_matmul",
@@ -58,29 +85,42 @@ pub fn integer_matmul(x_q: &QuantizedTensor, w_q: &QuantizedTensor) -> Result<Te
     }
     let (m, k) = x_q.shape();
     let n = w_q.rows();
+    let mut out = Tensor::zeros(m, n);
+    if out.is_empty() {
+        return Ok(out);
+    }
     // unpack codes once; subtract zero-points into i32 operands
     let zx = x_q.zero_point(0) as i32;
     let x_codes: Vec<i32> = x_q.codes().iter().map(|c| c as i32 - zx).collect();
-    let mut out = Tensor::zeros(m, n);
     let sx = x_q.scale(0);
-    let mut w_row = vec![0i32; k];
+    // unpack the weight matrix once so worker panels share it read-only
+    let mut w_codes = vec![0i32; n * k];
+    let mut rescale = vec![0f32; n];
     for j in 0..n {
         let zw = w_q.zero_point(j) as i32;
-        let sw = w_q.scale(j);
-        let w_codes = w_q.row_codes(j);
-        for (dst, &c) in w_row.iter_mut().zip(w_codes.iter()) {
+        rescale[j] = sx * w_q.scale(j);
+        for (dst, c) in w_codes[j * k..(j + 1) * k].iter_mut().zip(w_q.row_codes(j)) {
             *dst = c as i32 - zw;
         }
-        let rescale = sx * sw;
-        for i in 0..m {
-            let xr = &x_codes[i * k..(i + 1) * k];
-            let mut acc: i64 = 0;
-            for p in 0..k {
-                acc += (xr[p] as i64) * (w_row[p] as i64);
-            }
-            out.set(i, j, acc as f32 * rescale);
-        }
     }
+    let workers = if m * k * n < MIN_PARALLEL_MACS {
+        1
+    } else {
+        pool::resolve_threads(threads).min(m)
+    };
+    pool::parallel_rows_mut(out.as_mut_slice(), m, n, workers, |i0, panel| {
+        for (r, crow) in panel.chunks_mut(n).enumerate() {
+            let xr = &x_codes[(i0 + r) * k..(i0 + r + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let wr = &w_codes[j * k..(j + 1) * k];
+                let mut acc: i64 = 0;
+                for p in 0..k {
+                    acc += (xr[p] as i64) * (wr[p] as i64);
+                }
+                *cv = acc as f32 * rescale[j];
+            }
+        }
+    });
     Ok(out)
 }
 

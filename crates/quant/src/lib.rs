@@ -42,7 +42,7 @@ mod scheme;
 pub use affine::QuantizedTensor;
 pub use bitwidth::BitWidth;
 pub use fake::{fake_quant, fake_quant_backward, fake_quant_in_place};
-pub use igemm::integer_matmul;
+pub use igemm::{integer_matmul, integer_matmul_with};
 pub use metrics::{quant_mse, sqnr_db};
 pub use observer::{quantize_with_range, RangeObserver};
 pub use packed::PackedInts;

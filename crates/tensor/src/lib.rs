@@ -30,18 +30,20 @@ pub mod check;
 mod error;
 mod matmul;
 mod ops;
+pub mod pool;
 mod rng;
 mod stats;
 mod tensor;
 
 pub use error::TensorError;
-pub use matmul::{matmul_a_bt, matmul_at_b, MatmulKernel};
+pub use matmul::{matmul_a_bt, matmul_a_bt_with, matmul_at_b, matmul_at_b_with, MatmulKernel};
 pub use ops::{
     add_bias_backward, add_bias_forward, cross_entropy_backward, cross_entropy_forward,
     embedding_backward, embedding_forward, gelu_backward, gelu_forward, layernorm_backward,
     layernorm_forward, relu_backward, relu_forward, softmax_backward, softmax_rows,
     CrossEntropyOutput, LayerNormCache, IGNORE_TARGET,
 };
+pub use pool::{configured_threads, set_configured_threads, THREADS_ENV_VAR};
 pub use rng::{RngState, TensorRng, RNG_STATE_BYTES};
 pub use stats::{cosine_similarity, l2_norm, max_abs_diff, mean, variance};
 pub use tensor::Tensor;

@@ -9,12 +9,28 @@
 //! All kernels are cache-blocked over `TILE x TILE` panels; the block size is
 //! also the unit the hardware scheduling search in `edge-llm-hw` reasons
 //! about.
+//!
+//! Every layout also has a multi-threaded path
+//! ([`MatmulKernel::BlockedParallel`]) that splits the **output rows** into
+//! disjoint contiguous panels via [`crate::pool`] and runs the serial blocked
+//! loop on each panel. Because the per-element accumulation order over the
+//! reduction dimension is unchanged (ascending `p`, regardless of how rows
+//! are grouped into panels), the parallel kernels are **bit-identical to the
+//! serial ones for every thread count** — the property the oracle tests in
+//! `tests/parallel_oracle.rs` pin down with exact `f32` equality.
 
 use crate::error::TensorError;
+use crate::pool;
 use crate::tensor::Tensor;
 
 /// Cache block edge used by the blocked kernels.
 const TILE: usize = 32;
+
+/// Outputs smaller than this many multiply-accumulates (`m * k * n`) stay
+/// serial even when more threads are configured: panel spawn overhead
+/// dwarfs the arithmetic below it. Serial and parallel results are
+/// bit-identical, so the cutoff affects wall-clock only.
+const MIN_PARALLEL_MACS: usize = 1 << 16;
 
 /// Selects the matmul implementation.
 ///
@@ -24,23 +40,63 @@ const TILE: usize = 32;
 pub enum MatmulKernel {
     /// Triple loop in row-major order, no blocking.
     Naive,
-    /// Cache-blocked kernel (default).
+    /// Cache-blocked serial kernel (default).
     #[default]
     Blocked,
+    /// Cache-blocked kernel over disjoint row panels on `threads` workers
+    /// (`0` = the process-wide [`pool::configured_threads`] setting).
+    /// Bit-identical to [`MatmulKernel::Blocked`] for every thread count.
+    BlockedParallel {
+        /// Worker count; `0` defers to the global `EDGELLM_THREADS` knob.
+        threads: usize,
+    },
+}
+
+impl MatmulKernel {
+    /// The kernel honouring the process-wide thread configuration: the
+    /// parallel path when more than one worker is configured, the serial
+    /// blocked kernel otherwise.
+    pub fn auto() -> Self {
+        MatmulKernel::BlockedParallel { threads: 0 }
+    }
+
+    /// Worker count this kernel resolves to (1 for the serial kernels).
+    pub fn resolved_threads(&self) -> usize {
+        match self {
+            MatmulKernel::Naive | MatmulKernel::Blocked => 1,
+            MatmulKernel::BlockedParallel { threads } => pool::resolve_threads(*threads),
+        }
+    }
+}
+
+/// Workers a `m x k x n` product actually uses: the resolved count, capped
+/// by the row count and the work-size cutoff.
+fn effective_threads(requested: usize, m: usize, k: usize, n: usize) -> usize {
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    if macs < MIN_PARALLEL_MACS {
+        return 1;
+    }
+    pool::resolve_threads(requested).min(m.max(1))
 }
 
 impl Tensor {
-    /// Computes `self · other` with the default blocked kernel.
+    /// Computes `self · other` with the default kernel: the blocked kernel,
+    /// parallelized over row panels when the process-wide thread setting
+    /// (`EDGELLM_THREADS` / [`pool::set_configured_threads`]) asks for more
+    /// than one worker. Results are bit-identical for every thread count.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless
     /// `self.cols() == other.rows()`.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.matmul_with(other, MatmulKernel::Blocked)
+        self.matmul_with(other, MatmulKernel::auto())
     }
 
     /// Computes `self · other` with an explicit kernel choice.
+    ///
+    /// Degenerate operands (zero rows, columns, or reduction length) are
+    /// valid and produce the corresponding all-zero `m x n` output.
     ///
     /// # Errors
     ///
@@ -57,23 +113,21 @@ impl Tensor {
         let (m, k) = self.shape();
         let n = other.cols();
         let mut out = Tensor::zeros(m, n);
+        if out.is_empty() {
+            // zero-sized output: nothing to compute for any kernel
+            return Ok(out);
+        }
+        let (a, b) = (self.as_slice(), other.as_slice());
         match kernel {
-            MatmulKernel::Naive => naive(
-                self.as_slice(),
-                other.as_slice(),
-                out.as_mut_slice(),
-                m,
-                k,
-                n,
-            ),
-            MatmulKernel::Blocked => blocked(
-                self.as_slice(),
-                other.as_slice(),
-                out.as_mut_slice(),
-                m,
-                k,
-                n,
-            ),
+            MatmulKernel::Naive => naive(a, b, out.as_mut_slice(), m, k, n),
+            MatmulKernel::Blocked => blocked(a, b, out.as_mut_slice(), m, k, n),
+            MatmulKernel::BlockedParallel { threads } => {
+                let workers = effective_threads(threads, m, k, n);
+                pool::parallel_rows_mut(out.as_mut_slice(), m, n, workers, |row0, panel| {
+                    let rows = panel.len() / n.max(1);
+                    blocked(&a[row0 * k..(row0 + rows) * k], b, panel, rows, k, n);
+                });
+            }
         }
         Ok(out)
     }
@@ -118,15 +172,50 @@ fn blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     }
 }
 
+/// Serial `Aᵀ · B` over an output-row slice: computes rows
+/// `[i0, i0 + c.len() / n)` of the `m x n` result into `c`.
+///
+/// `p` stays the outer loop exactly as in the full serial kernel, so each
+/// output element accumulates in ascending-`p` order no matter how the
+/// rows are partitioned.
+fn at_b_rows(a: &[f32], b: &[f32], c: &mut [f32], i0: usize, k: usize, m: usize, n: usize) {
+    let rows = c.len() / n.max(1);
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for r in 0..rows {
+            let av = arow[i0 + r];
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[r * n..(r + 1) * n];
+            for j in 0..n {
+                crow[j] += av * brow[j];
+            }
+        }
+    }
+}
+
 /// Computes `Aᵀ · B` without materializing the transpose.
 ///
 /// Given `A: k x m` and `B: k x n`, returns an `m x n` tensor. This is the
-/// weight-gradient kernel: `dW = Xᵀ · dY`.
+/// weight-gradient kernel: `dW = Xᵀ · dY`. Honours the process-wide
+/// thread setting; see [`matmul_at_b_with`] for an explicit worker count.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] unless `a.rows() == b.rows()`.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_at_b_with(a, b, 0)
+}
+
+/// [`matmul_at_b`] with an explicit worker count (`0` = global setting,
+/// `1` = serial). Bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.rows() == b.rows()`.
+pub fn matmul_at_b_with(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor, TensorError> {
     if a.rows() != b.rows() {
         return Err(TensorError::ShapeMismatch {
             op: "matmul_at_b",
@@ -137,34 +226,54 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (k, m) = a.shape();
     let n = b.cols();
     let mut out = Tensor::zeros(m, n);
-    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for i in 0..m {
-            let av = arow[i];
-            if av == 0.0 {
-                continue;
+    if out.is_empty() {
+        return Ok(out);
+    }
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let workers = effective_threads(threads, m, k, n);
+    pool::parallel_rows_mut(out.as_mut_slice(), m, n, workers, |i0, panel| {
+        at_b_rows(ad, bd, panel, i0, k, m, n);
+    });
+    Ok(out)
+}
+
+/// Serial `A · Bᵀ` over an output-row slice: rows `[i0, i0 + rows)`.
+fn a_bt_rows(a: &[f32], b: &[f32], c: &mut [f32], i0: usize, rows: usize, k: usize, n: usize) {
+    for r in 0..rows {
+        let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        let crow = &mut c[r * n..(r + 1) * n];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
             }
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += av * brow[j];
-            }
+            crow[j] = acc;
         }
     }
-    Ok(out)
 }
 
 /// Computes `A · Bᵀ` without materializing the transpose.
 ///
 /// Given `A: m x k` and `B: n x k`, returns an `m x n` tensor. This is the
 /// input-gradient kernel (`dX = dY · Wᵀ`) and the attention-score kernel
-/// (`S = Q · Kᵀ`).
+/// (`S = Q · Kᵀ`). Honours the process-wide thread setting; see
+/// [`matmul_a_bt_with`] for an explicit worker count.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.cols()`.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_a_bt_with(a, b, 0)
+}
+
+/// [`matmul_a_bt`] with an explicit worker count (`0` = global setting,
+/// `1` = serial). Bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.cols()`.
+pub fn matmul_a_bt_with(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor, TensorError> {
     if a.cols() != b.cols() {
         return Err(TensorError::ShapeMismatch {
             op: "matmul_a_bt",
@@ -175,19 +284,15 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k) = a.shape();
     let n = b.rows();
     let mut out = Tensor::zeros(m, n);
-    let (ad, bd, cd) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        let crow = &mut cd[i * n..(i + 1) * n];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += arow[p] * brow[p];
-            }
-            crow[j] = acc;
-        }
+    if out.is_empty() {
+        return Ok(out);
     }
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let workers = effective_threads(threads, m, k, n);
+    pool::parallel_rows_mut(out.as_mut_slice(), m, n, workers, |i0, panel| {
+        let rows = panel.len() / n.max(1);
+        a_bt_rows(ad, bd, panel, i0, rows, k, n);
+    });
     Ok(out)
 }
 
@@ -229,6 +334,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_is_bit_identical_to_blocked() {
+        let mut rng = TensorRng::seed_from(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 7, 5), (33, 65, 34), (70, 64, 48)] {
+            let a = Tensor::randn(m, k, 1.0, &mut rng);
+            let b = Tensor::randn(k, n, 1.0, &mut rng);
+            let serial = a.matmul_with(&b, MatmulKernel::Blocked).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                let par = a
+                    .matmul_with(&b, MatmulKernel::BlockedParallel { threads })
+                    .unwrap();
+                assert_eq!(
+                    serial.as_slice(),
+                    par.as_slice(),
+                    "bit drift at {m}x{k}x{n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn at_b_matches_explicit_transpose() {
         let mut rng = TensorRng::seed_from(3);
         let a = Tensor::randn(9, 4, 1.0, &mut rng);
@@ -246,6 +371,25 @@ mod tests {
         let fast = matmul_a_bt(&a, &b).unwrap();
         let slow = a.matmul(&b.transpose()).unwrap();
         assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn transposed_layouts_are_thread_count_invariant() {
+        let mut rng = TensorRng::seed_from(5);
+        let a = Tensor::randn(65, 33, 1.0, &mut rng);
+        let b = Tensor::randn(65, 41, 1.0, &mut rng);
+        let serial = matmul_at_b_with(&a, &b, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = matmul_at_b_with(&a, &b, threads).unwrap();
+            assert_eq!(serial.as_slice(), par.as_slice(), "at_b threads={threads}");
+        }
+        let x = Tensor::randn(65, 33, 1.0, &mut rng);
+        let y = Tensor::randn(41, 33, 1.0, &mut rng);
+        let serial = matmul_a_bt_with(&x, &y, 1).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = matmul_a_bt_with(&x, &y, threads).unwrap();
+            assert_eq!(serial.as_slice(), par.as_slice(), "a_bt threads={threads}");
+        }
     }
 
     #[test]
@@ -267,7 +411,48 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_shapes_return_cleanly_in_every_layout_and_kernel() {
+        // (m, k, n) with a zero in every position, plus all-zero
+        for &(m, k, n) in &[(0usize, 3usize, 2usize), (2, 0, 3), (2, 3, 0), (0, 0, 0)] {
+            for kernel in [
+                MatmulKernel::Naive,
+                MatmulKernel::Blocked,
+                MatmulKernel::BlockedParallel { threads: 4 },
+            ] {
+                let a = Tensor::zeros(m, k);
+                let b = Tensor::zeros(k, n);
+                let c = a.matmul_with(&b, kernel).unwrap();
+                assert_eq!(c.shape(), (m, n), "{m}x{k}x{n} {kernel:?}");
+                assert!(c.as_slice().iter().all(|&v| v == 0.0));
+            }
+            for threads in [1usize, 4] {
+                let at = Tensor::zeros(k, m);
+                let b = Tensor::zeros(k, n);
+                let c = matmul_at_b_with(&at, &b, threads).unwrap();
+                assert_eq!(c.shape(), (m, n), "at_b {m}x{k}x{n} t={threads}");
+                let a = Tensor::zeros(m, k);
+                let bt = Tensor::zeros(n, k);
+                let c = matmul_a_bt_with(&a, &bt, threads).unwrap();
+                assert_eq!(c.shape(), (m, n), "a_bt {m}x{k}x{n} t={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn matmul_kernel_default_is_blocked() {
         assert_eq!(MatmulKernel::default(), MatmulKernel::Blocked);
+    }
+
+    #[test]
+    fn auto_kernel_defers_to_global_setting() {
+        assert_eq!(
+            MatmulKernel::auto(),
+            MatmulKernel::BlockedParallel { threads: 0 }
+        );
+        assert_eq!(MatmulKernel::Blocked.resolved_threads(), 1);
+        assert_eq!(
+            MatmulKernel::BlockedParallel { threads: 3 }.resolved_threads(),
+            3
+        );
     }
 }

@@ -1,0 +1,283 @@
+//! Chunked thread pool for the CPU kernels.
+//!
+//! Every parallel kernel in the workspace splits its **output** into
+//! contiguous, disjoint row panels and hands each panel to one worker, so
+//! each output element is written by exactly one thread and the
+//! per-element arithmetic (including the floating-point reduction order)
+//! is the same code path the serial kernel runs. The panel boundaries are
+//! a pure function of `(total, threads)` — never of timing — which makes
+//! every kernel **bit-identical across thread counts** (see DESIGN.md,
+//! "Deterministic multi-threading").
+//!
+//! The pool is dependency-free (`std::thread::scope` only; the workspace
+//! builds offline). Workers are scoped per call rather than parked in a
+//! persistent pool: borrowed operands can then cross into workers without
+//! `'static` erasure or unsafe lifetime laundering, and the spawn cost is
+//! amortized by the work-size thresholds the kernels apply before going
+//! parallel.
+//!
+//! The global thread count defaults to `1` (serial, the seed behaviour)
+//! and is raised either programmatically ([`set_configured_threads`]) or
+//! through the `EDGELLM_THREADS` environment variable, which the CLI and
+//! the benchmark harness also honour. `0` means "use all available
+//! cores".
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable controlling the default worker count.
+pub const THREADS_ENV_VAR: &str = "EDGELLM_THREADS";
+
+/// Upper bound on workers per kernel call; panels shrink past the point
+/// of usefulness long before this.
+const MAX_THREADS: usize = 64;
+
+/// `usize::MAX` marks "not yet configured" so `0` can mean "auto".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(usize::MAX);
+static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
+
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn clamp_threads(n: usize) -> usize {
+    if n == 0 {
+        auto_threads().clamp(1, MAX_THREADS)
+    } else {
+        n.min(MAX_THREADS)
+    }
+}
+
+fn env_default() -> usize {
+    *ENV_DEFAULT.get_or_init(|| {
+        match std::env::var(THREADS_ENV_VAR) {
+            // unset or unparseable -> serial, the seed behaviour
+            Err(_) => 1,
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) => clamp_threads(n),
+                Err(_) => 1,
+            },
+        }
+    })
+}
+
+/// The process-wide worker count used by kernels when the caller does not
+/// pass an explicit one. Resolution order: the last
+/// [`set_configured_threads`] call, else `EDGELLM_THREADS`, else 1.
+pub fn configured_threads() -> usize {
+    match CONFIGURED.load(Ordering::Relaxed) {
+        usize::MAX => env_default(),
+        n => n,
+    }
+}
+
+/// Sets the process-wide worker count (`0` = all available cores).
+/// Overrides `EDGELLM_THREADS`.
+pub fn set_configured_threads(threads: usize) {
+    CONFIGURED.store(clamp_threads(threads), Ordering::Relaxed);
+}
+
+/// Resolves a kernel-level request: `0` defers to the global setting,
+/// anything else is clamped to the pool's cap.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        configured_threads()
+    } else {
+        clamp_threads(requested)
+    }
+}
+
+/// Splits `0..total` into at most `chunks` contiguous, near-equal ranges.
+///
+/// The split depends only on `(total, chunks)`: the first `total % chunks`
+/// ranges get one extra element. Empty input yields no ranges; excess
+/// chunks are dropped rather than emitted empty.
+pub fn partition(total: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let chunks = chunks.max(1).min(total);
+    let mut out = Vec::with_capacity(chunks);
+    if total == 0 {
+        return out;
+    }
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `body` over disjoint row panels of a `rows x cols` row-major
+/// output buffer, one panel per worker.
+///
+/// `body` receives the panel's starting row and its mutable slice
+/// (`panel_rows * cols` long). Panels are contiguous and cover the buffer
+/// exactly once, so every output element is written by exactly one
+/// thread. With one worker (or an empty output) the body runs inline on
+/// the calling thread — byte-for-byte the serial kernel.
+pub fn parallel_rows_mut<F>(out: &mut [f32], rows: usize, cols: usize, threads: usize, body: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * cols);
+    let panels = partition(rows, threads.max(1));
+    if panels.len() <= 1 {
+        if !out.is_empty() || rows > 0 {
+            body(0, out);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut workers = Vec::with_capacity(panels.len() - 1);
+        let mut first: Option<(usize, &mut [f32])> = None;
+        for (i, panel) in panels.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(panel.len() * cols);
+            rest = tail;
+            if i == 0 {
+                // the calling thread takes the first panel, after spawning
+                first = Some((panel.start, chunk));
+            } else {
+                let start = panel.start;
+                let body = &body;
+                workers.push(scope.spawn(move || body(start, chunk)));
+            }
+        }
+        if let Some((start, chunk)) = first {
+            body(start, chunk);
+        }
+        for w in workers {
+            // a panicking worker propagates: determinism bugs must not be
+            // silently swallowed
+            if let Err(p) = w.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+}
+
+/// Computes `f(0..n)` across workers and returns the results in index
+/// order.
+///
+/// Indices are partitioned into contiguous chunks; each worker evaluates
+/// its chunk in ascending order, and the chunks are reassembled in chunk
+/// order, so the output is identical for every worker count.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunks = partition(n, threads.max(1));
+    if chunks.len() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut results: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(chunks.len());
+        for chunk in chunks.iter().skip(1).cloned() {
+            let f = &f;
+            workers.push(scope.spawn(move || chunk.map(f).collect::<Vec<T>>()));
+        }
+        let head: Vec<T> = chunks[0].clone().map(&f).collect();
+        let mut all = vec![head];
+        for w in workers {
+            match w.join() {
+                Ok(v) => all.push(v),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+        all
+    });
+    let mut out = Vec::with_capacity(n);
+    for v in &mut results {
+        out.append(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        for total in [0usize, 1, 2, 7, 32, 33, 100] {
+            for chunks in 1..9 {
+                let parts = partition(total, chunks);
+                let mut next = 0;
+                for p in &parts {
+                    assert_eq!(p.start, next, "gap at {total}/{chunks}");
+                    assert!(!p.is_empty(), "empty panel at {total}/{chunks}");
+                    next = p.end;
+                }
+                assert_eq!(next, total, "coverage at {total}/{chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic_and_balanced() {
+        let a = partition(100, 8);
+        let b = partition(100, 8);
+        assert_eq!(a, b);
+        let lens: Vec<usize> = a.iter().map(|r| r.len()).collect();
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn parallel_rows_mut_writes_every_row_once() {
+        for threads in [1usize, 2, 3, 8] {
+            let (rows, cols) = (13, 5);
+            let mut buf = vec![0.0f32; rows * cols];
+            parallel_rows_mut(&mut buf, rows, cols, threads, |start, panel| {
+                for (r, row) in panel.chunks_mut(cols).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (start + r) as f32;
+                    }
+                }
+            });
+            for r in 0..rows {
+                assert!(
+                    buf[r * cols..(r + 1) * cols].iter().all(|&v| v == r as f32),
+                    "row {r} wrong under {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rows_mut_handles_empty_output() {
+        let mut buf: Vec<f32> = Vec::new();
+        parallel_rows_mut(&mut buf, 0, 4, 4, |_, _| panic!("no panels expected"));
+        parallel_rows_mut(&mut buf, 4, 0, 4, |_, panel| assert!(panel.is_empty()));
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1usize, 2, 5, 16] {
+            let got = parallel_map(23, threads, |i| i * i);
+            let want: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(got, want, "order broke under {threads} threads");
+        }
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn resolve_and_clamp() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(MAX_THREADS + 10), MAX_THREADS);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn set_configured_threads_round_trips() {
+        let before = configured_threads();
+        set_configured_threads(2);
+        assert_eq!(configured_threads(), 2);
+        set_configured_threads(before);
+        assert_eq!(configured_threads(), before);
+    }
+}

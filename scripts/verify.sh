@@ -8,3 +8,7 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q
+
+# The kernel backend guarantees bit-identical results for every thread
+# count; re-run the suite with two workers to hold it to that.
+EDGELLM_THREADS=2 cargo test -q

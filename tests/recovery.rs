@@ -15,7 +15,7 @@ use edge_llm_luc::CompressionPolicy;
 use edge_llm_model::{
     save_model, AdaptiveTuner, EdgeModel, ModelConfig, Sgd, TrainingCheckpoint, WindowSchedule,
 };
-use edge_llm_tensor::TensorRng;
+use edge_llm_tensor::{set_configured_threads, TensorRng};
 
 fn setup(seed: u64) -> (EdgeModel, Sgd, TensorRng, Dataset) {
     let task = ModArithTask::new(7);
@@ -113,6 +113,85 @@ fn kill_and_resume_is_bit_identical_edge_llm() {
     // compressed model (masks + fake-quant hooks) with windowed backprop
     let policy = uniform_policy_for_budget(ModelConfig::tiny().n_layers, 0.5);
     assert_kill_and_resume_identical(&policy, WindowSchedule::RoundRobin { depth: 1 });
+}
+
+/// A run killed under one thread count and resumed under a *different*
+/// one must still match the straight run bit-for-bit: the checkpoint
+/// carries no threading state because none exists — the worker count is
+/// pure wall-clock configuration.
+#[test]
+fn kill_and_resume_with_different_thread_count_is_bit_identical() {
+    const TOTAL: usize = 10;
+    const CUT: usize = 4;
+    let res = ResilienceConfig::default();
+    let policy = uniform_policy_for_budget(ModelConfig::tiny().n_layers, 0.5);
+    let schedule = WindowSchedule::RoundRobin { depth: 1 };
+
+    // straight run, serial
+    set_configured_threads(1);
+    let (mut model, mut opt, mut rng, ds) = setup(17);
+    apply_policy(&mut model, &policy).unwrap();
+    let mut tuner = AdaptiveTuner::new(schedule.clone());
+    resilient_adapt(
+        &mut model,
+        &mut opt,
+        &mut tuner,
+        &mut rng,
+        &ds,
+        2,
+        TOTAL,
+        policy_extra(&policy),
+        &res,
+    )
+    .unwrap();
+    let straight = model_bytes(&mut model);
+
+    // the same run killed at CUT under 2 threads...
+    set_configured_threads(2);
+    let (mut model, mut opt, mut rng, ds) = setup(17);
+    apply_policy(&mut model, &policy).unwrap();
+    let mut tuner = AdaptiveTuner::new(schedule.clone());
+    resilient_adapt(
+        &mut model,
+        &mut opt,
+        &mut tuner,
+        &mut rng,
+        &ds,
+        2,
+        CUT,
+        policy_extra(&policy),
+        &res,
+    )
+    .unwrap();
+    let ckpt =
+        TrainingCheckpoint::capture(&mut model, &opt, CUT as u64, &rng, policy_extra(&policy));
+    let mut bytes = Vec::new();
+    ckpt.write_to(&mut bytes).unwrap();
+
+    // ...and resumed from the serialized bytes under 4 threads
+    set_configured_threads(4);
+    let loaded = TrainingCheckpoint::read_from(&mut bytes.as_slice()).unwrap();
+    let (mut model2, mut opt2, mut rng2, policy2) = restore_run(&loaded).unwrap();
+    let mut tuner2 = AdaptiveTuner::new(schedule);
+    tuner2.set_iteration(loaded.iteration as usize);
+    resilient_adapt(
+        &mut model2,
+        &mut opt2,
+        &mut tuner2,
+        &mut rng2,
+        &ds,
+        2,
+        TOTAL,
+        policy_extra(&policy2),
+        &res,
+    )
+    .unwrap();
+    let resumed = model_bytes(&mut model2);
+    set_configured_threads(1);
+    assert_eq!(
+        straight, resumed,
+        "resume under a different thread count drifted"
+    );
 }
 
 fn fault_plan(kind: FaultKind) -> ResilienceConfig {
