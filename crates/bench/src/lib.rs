@@ -1,779 +1,9 @@
-//! Experiment harness for the Edge-LLM reproduction.
+//! Criterion-facing shim over the experiment harness.
 //!
-//! Every table (T1–T3) and figure (F1–F5) of the evaluation is regenerated
-//! by a function in this crate; the `report` binary prints them and the
-//! Criterion benches time the underlying operations. See `DESIGN.md` for
-//! the experiment index and `EXPERIMENTS.md` for recorded results.
+//! The experiment functions themselves live in
+//! `edge_llm::experiments` (inside the workspace, so the `report` binary
+//! and the golden-report regression test build fully offline); this crate
+//! only re-exports them for the Criterion benches, which need a package
+//! registry and therefore live outside the workspace.
 
-use edge_llm::baselines::uniform_policy_for_budget;
-use edge_llm::eval::evaluate;
-use edge_llm::oracle::ModelOracle;
-use edge_llm::pipeline::{
-    luc_policy, run_method, ExperimentConfig, Method, TaskKind, LUC_BIT_CHOICES,
-    LUC_RATIO_CHOICES,
-};
-use edge_llm::report::{bytes, f3, pct, speedup, Table};
-use edge_llm::schedule::{
-    model_workloads, modeled_training_iteration_us, naive_latency_us, schedule_workloads,
-    total_latency_us,
-};
-use edge_llm::EdgeLlmError;
-use edge_llm_hw::{DeviceModel, ScheduleSpace, SearchStrategy};
-use edge_llm_luc::{
-    pareto_frontier, profile, CompressionPolicy, PolicyPoint, SearchAlgorithm,
-};
-use edge_llm_model::{
-    AdaptiveTuner, EdgeModel, MemoryModel, ModelConfig, Sgd, VotingCombiner, VotingPolicy,
-    WindowSchedule,
-};
-use edge_llm_tensor::TensorRng;
-
-/// Experiment scale: `Quick` for CI/benches, `Full` for the recorded
-/// tables.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Seconds-scale runs (small model, few iterations).
-    Quick,
-    /// The configuration the recorded EXPERIMENTS.md numbers use.
-    Full,
-}
-
-impl Scale {
-    /// The base experiment configuration at this scale.
-    pub fn config(self) -> ExperimentConfig {
-        match self {
-            Scale::Quick => ExperimentConfig {
-                model: ModelConfig::tiny().with_layers(4).with_d_model(32, 4).with_seq_len(16),
-                task: TaskKind::ClozeQa { subjects: 12, relations: 2 },
-                seed: 42,
-                train_samples: 24,
-                eval_samples: 12,
-                batch: 4,
-                iterations: 60,
-                lr: 0.08,
-                budget: 0.3,
-                window_depth: 2,
-                voting_temperature: 1.0,
-                device: DeviceModel::jetson_class(),
-                pretrain_iterations: 40,
-            },
-            Scale::Full => ExperimentConfig {
-                model: ModelConfig {
-                    vocab_size: 96,
-                    d_model: 64,
-                    n_heads: 4,
-                    n_layers: 8,
-                    seq_len: 48,
-                    d_ff: 256,
-                    tie_exit_heads: true,
-                },
-                task: TaskKind::ClozeQa { subjects: 16, relations: 2 },
-                seed: 42,
-                train_samples: 32,
-                eval_samples: 16,
-                batch: 2,
-                iterations: 400,
-                lr: 0.1,
-                budget: 0.25,
-                window_depth: 3,
-                voting_temperature: 1.0,
-                device: DeviceModel::jetson_class(),
-                pretrain_iterations: 400,
-            },
-        }
-    }
-}
-
-/// T1 — the main comparison table: task quality and per-iteration cost of
-/// vanilla tuning, parameter-efficient and uniform-compression baselines,
-/// and Edge-LLM.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn t1_main(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let cfg = scale.config();
-    let methods = [
-        Method::Vanilla,
-        Method::LastLayerOnly,
-        Method::UniformCompressed,
-        Method::EdgeLlmNoVoting,
-        Method::EdgeLlm,
-    ];
-    let mut table = Table::new(
-        "T1: adaptation quality and per-iteration cost",
-        &[
-            "method", "acc", "ppl", "iter ms", "modeled us", "speedup", "peak act", "bits",
-            "prune",
-        ],
-    );
-    let mut vanilla_us = None;
-    for m in methods {
-        let out = run_method(m, &cfg)?;
-        let base = *vanilla_us.get_or_insert(out.modeled_iter_us);
-        table.add_row(vec![
-            out.method.clone(),
-            pct(out.accuracy as f64),
-            f3(out.perplexity as f64),
-            f3(out.mean_iter_ms),
-            f3(out.modeled_iter_us),
-            speedup(base / out.modeled_iter_us),
-            bytes(out.peak_activation_bytes),
-            format!("{:.1}", out.policy_bits),
-            pct(out.policy_ratio as f64),
-        ]);
-    }
-    Ok(table)
-}
-
-/// T2 — LUC ablation: uniform vs greedy-searched vs DP-searched policies
-/// at matched budgets, with identical (full-depth) tuning.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn t2_luc(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let budgets: &[f32] = match scale {
-        Scale::Quick => &[0.2, 0.4],
-        Scale::Full => &[0.15, 0.25, 0.4],
-    };
-    let mut table = Table::new(
-        "T2: layer-wise unified compression vs uniform at matched budgets",
-        &["budget", "policy", "acc", "ppl", "mean bits", "mean prune"],
-    );
-    for &budget in budgets {
-        for method in [Method::UniformCompressed, Method::EdgeLlmGreedyLuc, Method::EdgeLlm] {
-            let mut cfg = base.clone();
-            cfg.budget = budget;
-            // isolate the compression axis: same full-depth tuning for all
-            cfg.window_depth = cfg.model.n_layers;
-            let out = run_method(method, &cfg)?;
-            table.add_row(vec![
-                f3(budget as f64),
-                out.method.clone(),
-                pct(out.accuracy as f64),
-                f3(out.perplexity as f64),
-                format!("{:.1}", out.policy_bits),
-                pct(out.policy_ratio as f64),
-            ]);
-        }
-    }
-    Ok(table)
-}
-
-/// T3 — adaptive layer tuning & voting ablation: backprop-window depth
-/// sweep crossed with the voting combiner, no compression (isolates the
-/// second component).
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn t3_adaptive(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let n_layers = base.model.n_layers;
-    let mut depths: Vec<usize> =
-        [1usize, 2, 4, n_layers].into_iter().filter(|&d| d <= n_layers).collect();
-    depths.dedup();
-    let mut table = Table::new(
-        "T3: backprop depth x exit voting (no compression)",
-        &["depth", "voting", "acc", "ppl", "iter ms", "peak act"],
-    );
-    for &depth in &depths {
-        let (model, eval_set, mean_ms, peak) = adapt_uncompressed(&base, depth)?;
-        for (vname, policy) in [
-            ("last exit", VotingPolicy::final_only(n_layers)),
-            (
-                "conf vote",
-                VotingPolicy::all_exits(
-                    n_layers,
-                    VotingCombiner::ConfidenceWeighted { temperature: base.voting_temperature },
-                ),
-            ),
-            ("avg vote", VotingPolicy::all_exits(n_layers, VotingCombiner::Average)),
-        ] {
-            let r = evaluate(&model, &policy, &eval_set, base.batch)?;
-            table.add_row(vec![
-                depth.to_string(),
-                vname.to_string(),
-                pct(r.accuracy as f64),
-                f3(r.perplexity as f64),
-                f3(mean_ms),
-                bytes(peak),
-            ]);
-        }
-    }
-    Ok(table)
-}
-
-/// Adapts an uncompressed model at the given window depth; returns the
-/// model, eval set, mean iteration ms, and peak activation bytes. Matches
-/// the pipeline's setup (including source-task pretraining) minus
-/// compression.
-fn adapt_uncompressed(
-    cfg: &ExperimentConfig,
-    depth: usize,
-) -> Result<(EdgeModel, edge_llm::data::Dataset, f64, usize), EdgeLlmError> {
-    let task = cfg.task.build();
-    let mut rng = TensorRng::seed_from(cfg.seed);
-    let model_cfg = cfg.model.clone().with_vocab(task.vocab_size());
-    let mut model = EdgeModel::new(model_cfg.clone(), &mut rng)?;
-    let mut train = edge_llm::data::Dataset::from_samples(
-        (0..cfg.train_samples).map(|_| task.sample(model_cfg.seq_len, &mut rng)).collect(),
-    );
-    let eval_set = edge_llm::data::Dataset::from_samples(
-        (0..cfg.eval_samples).map(|_| task.sample(model_cfg.seq_len, &mut rng)).collect(),
-    );
-    train.shuffle(&mut rng);
-    if cfg.pretrain_iterations > 0 {
-        let source = cfg.task.build_with_salt(1);
-        let pre = edge_llm::data::Dataset::from_samples(
-            (0..cfg.train_samples).map(|_| source.sample(model_cfg.seq_len, &mut rng)).collect(),
-        );
-        let windows: Vec<edge_llm_model::LayerWindow> = (1..=model_cfg.n_layers)
-            .map(|e| edge_llm_model::LayerWindow { start: 0, end: e })
-            .collect();
-        let mut tuner = AdaptiveTuner::new(WindowSchedule::Ordered(windows));
-        let mut opt = Sgd::new(cfg.lr);
-        for it in 0..cfg.pretrain_iterations {
-            let b = pre.batch_at(it * cfg.batch, cfg.batch);
-            tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)?;
-        }
-    }
-    let schedule = if depth >= model_cfg.n_layers {
-        WindowSchedule::FullDepth
-    } else {
-        WindowSchedule::RoundRobin { depth }
-    };
-    let mut tuner = AdaptiveTuner::new(schedule);
-    let mut opt = Sgd::new(cfg.lr);
-    let mut total_ms = 0.0;
-    let mut peak = 0usize;
-    for it in 0..cfg.iterations {
-        let b = train.batch_at(it * cfg.batch, cfg.batch);
-        let t0 = std::time::Instant::now();
-        let rep = tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)?;
-        total_ms += t0.elapsed().as_secs_f64() * 1e3;
-        peak = peak.max(rep.activation_bytes);
-    }
-    Ok((model, eval_set, total_ms / cfg.iterations as f64, peak))
-}
-
-/// F1 — per-iteration speedup vs compression budget (the 2.92x headline
-/// curve): modeled edge latency and measured CPU wall-clock at each budget,
-/// window depth fixed at the paper default.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn f1_speedup(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let mut table = Table::new(
-        "F1: per-iteration speedup vs compression budget",
-        &["budget", "method", "modeled us", "modeled uJ", "modeled speedup", "iter ms", "measured speedup"],
-    );
-    let vanilla = run_method(Method::Vanilla, &base)?;
-    table.add_row(vec![
-        "1.000".into(),
-        vanilla.method.clone(),
-        f3(vanilla.modeled_iter_us),
-        f3(vanilla.modeled_iter_uj),
-        speedup(1.0),
-        f3(vanilla.mean_iter_ms),
-        speedup(1.0),
-    ]);
-    let budgets: &[f32] = match scale {
-        Scale::Quick => &[0.4, 0.2],
-        Scale::Full => &[0.5, 0.3, 0.2, 0.125],
-    };
-    for &budget in budgets {
-        let mut cfg = base.clone();
-        cfg.budget = budget;
-        let out = run_method(Method::EdgeLlm, &cfg)?;
-        table.add_row(vec![
-            f3(budget as f64),
-            out.method.clone(),
-            f3(out.modeled_iter_us),
-            f3(out.modeled_iter_uj),
-            speedup(vanilla.modeled_iter_us / out.modeled_iter_us),
-            f3(out.mean_iter_ms),
-            speedup(vanilla.mean_iter_ms / out.mean_iter_ms),
-        ]);
-    }
-    Ok(table)
-}
-
-/// F2 — peak adaptation memory vs backprop-window depth: measured
-/// activation bytes against the analytic memory model.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn f2_memory(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let n_layers = base.model.n_layers;
-    let task = base.task.build();
-    let model_cfg = base.model.clone().with_vocab(task.vocab_size());
-    let analytic = MemoryModel { batch: base.batch, optimizer_moments: 0, weight_bits: 32.0 };
-    let mut table = Table::new(
-        "F2: peak adaptation memory vs backprop depth",
-        &["depth", "measured act", "analytic act", "analytic total"],
-    );
-    let mut depths: Vec<usize> =
-        [1usize, 2, 4, n_layers].into_iter().filter(|&d| d <= n_layers).collect();
-    depths.dedup();
-    for depth in depths {
-        let (_, _, _, peak) = adapt_uncompressed(&base, depth)?;
-        let est = analytic.estimate(&model_cfg, depth);
-        table.add_row(vec![
-            depth.to_string(),
-            bytes(peak),
-            bytes(est.activation_bytes),
-            bytes(est.total()),
-        ]);
-    }
-    Ok(table)
-}
-
-/// F3 — hardware scheduling: naive vs exhaustively searched vs annealed
-/// schedules for the compressed workload, whole model.
-///
-/// # Errors
-///
-/// Propagates scheduling errors.
-pub fn f3_schedule(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let task = base.task.build();
-    let model_cfg = base.model.clone().with_vocab(task.vocab_size());
-    let policy = uniform_policy_for_budget(model_cfg.n_layers, base.budget);
-    let device = &base.device;
-    let workloads = model_workloads(&model_cfg, &policy, base.batch)?;
-    let naive = naive_latency_us(&workloads, device)?;
-    let space = ScheduleSpace::default();
-    let exhaustive =
-        schedule_workloads(&workloads, device, &space, SearchStrategy::Exhaustive)?;
-    let annealed = schedule_workloads(
-        &workloads,
-        device,
-        &space,
-        SearchStrategy::Annealing { iters: 300, seed: base.seed },
-    )?;
-    let ex_lat = total_latency_us(&exhaustive);
-    let an_lat = total_latency_us(&annealed);
-    let mean_util = |s: &[edge_llm_hw::ScheduledGemm]| {
-        s.iter().map(|g| g.cost.utilization).sum::<f64>() / s.len().max(1) as f64
-    };
-    let mut table = Table::new(
-        "F3: schedule search on the compressed workload",
-        &["strategy", "latency us", "speedup", "mean util", "evals/gemm"],
-    );
-    table.add_row(vec!["naive".into(), f3(naive), speedup(1.0), "-".into(), "1".into()]);
-    table.add_row(vec![
-        "exhaustive".into(),
-        f3(ex_lat),
-        speedup(naive / ex_lat),
-        pct(mean_util(&exhaustive)),
-        space.len().to_string(),
-    ]);
-    table.add_row(vec![
-        "annealing(300)".into(),
-        f3(an_lat),
-        speedup(naive / an_lat),
-        pct(mean_util(&annealed)),
-        "300".into(),
-    ]);
-    Ok(table)
-}
-
-/// F4 — accuracy vs modeled latency Pareto frontier over LUC budgets.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn f4_pareto(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let budgets: &[f32] = match scale {
-        Scale::Quick => &[1.0, 0.4, 0.2],
-        Scale::Full => &[1.0, 0.5, 0.3, 0.2, 0.125, 0.0625],
-    };
-    let mut points = Vec::new();
-    let mut rows = Vec::new();
-    for &budget in budgets {
-        let mut cfg = base.clone();
-        cfg.budget = budget;
-        let out = if budget >= 1.0 {
-            run_method(Method::Vanilla, &cfg)?
-        } else {
-            run_method(Method::EdgeLlm, &cfg)?
-        };
-        rows.push((budget, out.modeled_iter_us, out.accuracy));
-        points.push(PolicyPoint {
-            cost: out.modeled_iter_us as f32,
-            loss: 1.0 - out.accuracy,
-            policy: CompressionPolicy::identity(base.model.n_layers),
-        });
-    }
-    let frontier = pareto_frontier(&points);
-    let mut table = Table::new(
-        "F4: accuracy vs modeled iteration latency",
-        &["budget", "modeled us", "acc", "on frontier"],
-    );
-    for (budget, us, acc) in rows {
-        let on = frontier.iter().any(|p| (p.cost - us as f32).abs() < 1e-3);
-        table.add_row(vec![
-            f3(budget as f64),
-            f3(us),
-            pct(acc as f64),
-            if on { "yes".into() } else { "".into() },
-        ]);
-    }
-    Ok(table)
-}
-
-/// F5 — the LUC motivation figure: per-layer loss deltas under aggressive
-/// quantization and pruning, measured on an adapted model.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn f5_sensitivity(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let (model, _eval, _, _) = adapt_uncompressed(&base, base.model.n_layers)?;
-    let task = base.task.build();
-    let mut rng = TensorRng::seed_from(base.seed + 1);
-    let model_cfg = base.model.clone().with_vocab(task.vocab_size());
-    let calib: Vec<_> = (0..base.batch).flat_map(|_| task.sample(model_cfg.seq_len, &mut rng).tokens).collect();
-    let targets: Vec<_> = {
-        let mut rng2 = TensorRng::seed_from(base.seed + 1);
-        (0..base.batch).flat_map(|_| task.sample(model_cfg.seq_len, &mut rng2).targets).collect()
-    };
-    let mut oracle = ModelOracle::new(&model, &calib, &targets, base.batch);
-    let prof = profile(&mut oracle, &LUC_BIT_CHOICES, &LUC_RATIO_CHOICES)?;
-    let mut table = Table::new(
-        "F5: per-layer sensitivity of the adapted model",
-        &["layer", "d(2b)", "d(4b)", "d(8b)", "d(prune50)", "d(prune75)"],
-    );
-    for l in 0..prof.n_layers() {
-        table.add_row(vec![
-            l.to_string(),
-            f3(prof.quant_delta[l][0] as f64),
-            f3(prof.quant_delta[l][1] as f64),
-            f3(prof.quant_delta[l][2] as f64),
-            f3(prof.prune_delta[l][2] as f64),
-            f3(prof.prune_delta[l][3] as f64),
-        ]);
-    }
-    Ok(table)
-}
-
-
-
-/// A2 — device sweep: the modeled Edge-LLM per-iteration speedup across
-/// edge-device classes, showing the claim is not an artifact of one device
-/// description.
-///
-/// # Errors
-///
-/// Propagates scheduling errors.
-pub fn a2_devices(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let task = base.task.build();
-    let model_cfg = base.model.clone().with_vocab(task.vocab_size());
-    let n = model_cfg.n_layers;
-    let vanilla_policy = CompressionPolicy::identity(n);
-    let edge_policy = uniform_policy_for_budget(n, base.budget);
-    let mut table = Table::new(
-        "A2: modeled per-iteration speedup across devices",
-        &["device", "vanilla us", "edge-llm us", "speedup"],
-    );
-    for device in [DeviceModel::jetson_class(), DeviceModel::tx2_class(), DeviceModel::orin_class()]
-    {
-        let (v_us, _) = edge_llm::schedule::modeled_training_iteration(
-            &model_cfg,
-            &vanilla_policy,
-            n,
-            base.batch,
-            &device,
-        )?;
-        let (e_us, _) = edge_llm::schedule::modeled_training_iteration(
-            &model_cfg,
-            &edge_policy,
-            base.window_depth,
-            base.batch,
-            &device,
-        )?;
-        table.add_row(vec![
-            device.name.clone(),
-            f3(v_us),
-            f3(e_us),
-            speedup(v_us / e_us),
-        ]);
-    }
-    Ok(table)
-}
-
-/// A1 — design-choice ablations called out in `DESIGN.md`: window schedule
-/// (round-robin vs sensitivity-ordered vs full depth) and exit-head weight
-/// tying, all under the same compression policy and iteration budget.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn a1_ablations(scale: Scale) -> Result<Table, EdgeLlmError> {
-    let base = scale.config();
-    let task = base.task.build();
-    let model_cfg = base.model.clone().with_vocab(task.vocab_size());
-    let mut table = Table::new(
-        "A1: window-schedule and exit-tying ablations",
-        &["variant", "acc", "ppl", "iter ms", "peak act"],
-    );
-    let variants: [(&str, bool, AblationSchedule); 4] = [
-        ("round-robin, tied", true, AblationSchedule::RoundRobin),
-        ("sensitivity-ordered, tied", true, AblationSchedule::Sensitivity),
-        ("full depth, tied", true, AblationSchedule::Full),
-        ("round-robin, untied", false, AblationSchedule::RoundRobin),
-    ];
-    for (name, tied, sched) in variants {
-        let cfg_model = model_cfg.clone().with_tied_exits(tied);
-        let (acc, ppl, ms, peak) = run_ablation(&base, &cfg_model, sched)?;
-        table.add_row(vec![
-            name.to_string(),
-            pct(acc as f64),
-            f3(ppl as f64),
-            f3(ms),
-            bytes(peak),
-        ]);
-    }
-    Ok(table)
-}
-
-#[derive(Clone, Copy)]
-enum AblationSchedule {
-    RoundRobin,
-    Sensitivity,
-    Full,
-}
-
-fn run_ablation(
-    base: &ExperimentConfig,
-    model_cfg: &ModelConfig,
-    sched: AblationSchedule,
-) -> Result<(f32, f32, f64, usize), EdgeLlmError> {
-    let (model, eval_set, ms, peak) = adapt_full_pipeline(base, model_cfg, sched)?;
-    let voting = VotingPolicy::all_exits(
-        model.n_layers(),
-        VotingCombiner::ConfidenceWeighted { temperature: base.voting_temperature },
-    );
-    let r = evaluate(&model, &voting, &eval_set, base.batch)?;
-    Ok((r.accuracy, r.perplexity, ms, peak))
-}
-
-/// Full pipeline (pretrain -> LUC -> compressed windowed adaptation) with a
-/// configurable window schedule; returns the adapted model for post-hoc
-/// deployment ablations.
-fn adapt_full_pipeline(
-    base: &ExperimentConfig,
-    model_cfg: &ModelConfig,
-    sched: AblationSchedule,
-) -> Result<(EdgeModel, edge_llm::data::Dataset, f64, usize), EdgeLlmError> {
-    use edge_llm::compress::apply_policy;
-    let task = base.task.build();
-    let mut rng = TensorRng::seed_from(base.seed);
-    let mut model = EdgeModel::new(model_cfg.clone(), &mut rng)?;
-    let mut train = edge_llm::data::Dataset::from_samples(
-        (0..base.train_samples).map(|_| task.sample(model_cfg.seq_len, &mut rng)).collect(),
-    );
-    let eval_set = edge_llm::data::Dataset::from_samples(
-        (0..base.eval_samples).map(|_| task.sample(model_cfg.seq_len, &mut rng)).collect(),
-    );
-    train.shuffle(&mut rng);
-    // pretrain with deep supervision (as the pipeline does)
-    if base.pretrain_iterations > 0 {
-        let source = base.task.build_with_salt(1);
-        let pre = edge_llm::data::Dataset::from_samples(
-            (0..base.train_samples).map(|_| source.sample(model_cfg.seq_len, &mut rng)).collect(),
-        );
-        let windows: Vec<edge_llm_model::LayerWindow> = (1..=model_cfg.n_layers)
-            .map(|e| edge_llm_model::LayerWindow { start: 0, end: e })
-            .collect();
-        let mut tuner = AdaptiveTuner::new(WindowSchedule::Ordered(windows));
-        let mut opt = Sgd::new(base.lr);
-        for it in 0..base.pretrain_iterations {
-            let b = pre.batch_at(it * base.batch, base.batch);
-            tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)?;
-        }
-    }
-    // LUC policy on the pretrained model, then the requested schedule
-    let calib = train.batch_at(0, base.batch);
-    let policy = luc_policy(
-        &model,
-        &calib.tokens,
-        &calib.targets,
-        base.batch,
-        base.budget,
-        SearchAlgorithm::DynamicProgramming,
-    )?;
-    let schedule = match sched {
-        AblationSchedule::Full => WindowSchedule::FullDepth,
-        AblationSchedule::RoundRobin => WindowSchedule::RoundRobin { depth: base.window_depth },
-        AblationSchedule::Sensitivity => {
-            let mut oracle = ModelOracle::new(&model, &calib.tokens, &calib.targets, base.batch);
-            let prof = profile(&mut oracle, &LUC_BIT_CHOICES, &LUC_RATIO_CHOICES)?;
-            edge_llm::windows::sensitivity_window_schedule(&prof, base.window_depth)
-        }
-    };
-    apply_policy(&mut model, &policy)?;
-    let mut tuner = AdaptiveTuner::new(schedule);
-    let mut opt = Sgd::new(base.lr);
-    let mut total_ms = 0.0;
-    let mut peak = 0usize;
-    for it in 0..base.iterations {
-        let b = train.batch_at(it * base.batch, base.batch);
-        let t0 = std::time::Instant::now();
-        let rep = tuner.step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)?;
-        total_ms += t0.elapsed().as_secs_f64() * 1e3;
-        peak = peak.max(rep.activation_bytes);
-    }
-    Ok((model, eval_set, total_ms / base.iterations as f64, peak))
-}
-
-/// A3 — deployment ablations on an adapted Edge-LLM model: dynamic
-/// activation quantization (W8/W4) and conversion of the unstructured LUC
-/// masks to hardware-native 2:4 semi-structured sparsity.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn a3_deployment(scale: Scale) -> Result<Table, EdgeLlmError> {
-    use edge_llm::compress::{apply_activation_quant, apply_nm_sparsity};
-    use edge_llm_quant::{BitWidth, QuantScheme};
-    let base = scale.config();
-    let task = base.task.build();
-    let model_cfg = base.model.clone().with_vocab(task.vocab_size());
-    let (model, eval_set, _, _) =
-        adapt_full_pipeline(&base, &model_cfg, AblationSchedule::RoundRobin)?;
-    let voting = VotingPolicy::all_exits(
-        model.n_layers(),
-        VotingCombiner::ConfidenceWeighted { temperature: base.voting_temperature },
-    );
-    let mut table = Table::new(
-        "A3: post-adaptation deployment transforms",
-        &["deployment", "acc", "ppl"],
-    );
-    let baseline = evaluate(&model, &voting, &eval_set, base.batch)?;
-    table.add_row(vec![
-        "as adapted".into(),
-        pct(baseline.accuracy as f64),
-        f3(baseline.perplexity as f64),
-    ]);
-    for (name, bits) in [("+ w8 activations", BitWidth::W8), ("+ w4 activations", BitWidth::W4)] {
-        let mut m = model.clone();
-        apply_activation_quant(&mut m, Some(QuantScheme::asymmetric(bits)))?;
-        let r = evaluate(&m, &voting, &eval_set, base.batch)?;
-        table.add_row(vec![name.into(), pct(r.accuracy as f64), f3(r.perplexity as f64)]);
-    }
-    {
-        let mut m = model.clone();
-        apply_nm_sparsity(&mut m, 2, 4)?;
-        let r = evaluate(&m, &voting, &eval_set, base.batch)?;
-        table.add_row(vec!["+ 2:4 re-mask".into(), pct(r.accuracy as f64), f3(r.perplexity as f64)]);
-    }
-    Ok(table)
-}
-
-/// Convenience: the searched LUC policy for the scale's configuration
-/// (used by benches that need a realistic policy without a full run).
-///
-/// # Errors
-///
-/// Propagates profiling/search errors.
-pub fn example_policy(scale: Scale) -> Result<CompressionPolicy, EdgeLlmError> {
-    let base = scale.config();
-    let task = base.task.build();
-    let mut rng = TensorRng::seed_from(base.seed);
-    let model_cfg = base.model.clone().with_vocab(task.vocab_size());
-    let model = EdgeModel::new(model_cfg.clone(), &mut rng)?;
-    let sample = task.sample(model_cfg.seq_len, &mut rng);
-    luc_policy(
-        &model,
-        &sample.tokens,
-        &sample.targets,
-        1,
-        base.budget,
-        SearchAlgorithm::DynamicProgramming,
-    )
-}
-
-/// The modeled training-iteration latency for a (budget, depth) pair at
-/// the scale's model shape — the F1 primitive the benches time.
-///
-/// # Errors
-///
-/// Propagates scheduling errors.
-pub fn modeled_latency_at(scale: Scale, budget: f32, depth: usize) -> Result<f64, EdgeLlmError> {
-    let base = scale.config();
-    let task = base.task.build();
-    let model_cfg = base.model.clone().with_vocab(task.vocab_size());
-    let policy = uniform_policy_for_budget(model_cfg.n_layers, budget);
-    modeled_training_iteration_us(&model_cfg, &policy, depth, base.batch, &base.device)
-}
-
-/// Runs one table by id (`"t1"`, `"f3"`, ...) — the report binary's
-/// dispatch.
-///
-/// # Errors
-///
-/// Returns [`EdgeLlmError::BadConfig`] for an unknown id.
-pub fn run_experiment(id: &str, scale: Scale) -> Result<Table, EdgeLlmError> {
-    match id {
-        "t1" => t1_main(scale),
-        "t2" => t2_luc(scale),
-        "t3" => t3_adaptive(scale),
-        "f1" => f1_speedup(scale),
-        "f2" => f2_memory(scale),
-        "f3" => f3_schedule(scale),
-        "f4" => f4_pareto(scale),
-        "f5" => f5_sensitivity(scale),
-        "a1" => a1_ablations(scale),
-        "a2" => a2_devices(scale),
-        "a3" => a3_deployment(scale),
-        other => Err(EdgeLlmError::BadConfig { reason: format!("unknown experiment id {other}") }),
-    }
-}
-
-/// All experiment ids in report order.
-pub const ALL_EXPERIMENTS: [&str; 11] =
-    ["t1", "t2", "t3", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3"];
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn quick_t1_has_all_rows() {
-        let t = t1_main(Scale::Quick).unwrap();
-        assert_eq!(t.n_rows(), 5);
-    }
-
-    #[test]
-    fn quick_f3_shows_speedup() {
-        let t = f3_schedule(Scale::Quick).unwrap();
-        assert_eq!(t.n_rows(), 3);
-        // exhaustive speedup cell ends with 'x' and is > 1
-        let cell = t.cell(1, 2).unwrap();
-        let v: f64 = cell.trim_end_matches('x').parse().unwrap();
-        assert!(v > 1.0, "schedule search should beat naive: {cell}");
-    }
-
-    #[test]
-    fn unknown_experiment_rejected() {
-        assert!(run_experiment("t9", Scale::Quick).is_err());
-    }
-
-    #[test]
-    fn modeled_latency_monotone_in_budget() {
-        let hi = modeled_latency_at(Scale::Quick, 1.0, 4).unwrap();
-        let lo = modeled_latency_at(Scale::Quick, 0.2, 4).unwrap();
-        assert!(lo < hi);
-    }
-}
+pub use edge_llm::experiments::*;

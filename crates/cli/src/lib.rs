@@ -1,10 +1,11 @@
 //! Command-line interface for the Edge-LLM reproduction.
 //!
-//! Four subcommands cover the on-device lifecycle:
+//! Five subcommands cover the on-device lifecycle:
 //!
 //! ```text
 //! edgellm adapt    --corpus notes.txt --budget 0.25 --out model.ckpt
 //! edgellm generate --ckpt model.ckpt --prompt "monday:" --tokens 40
+//! edgellm serve    --ckpt model.ckpt --requests queue.txt --batch 4
 //! edgellm inspect  --ckpt model.ckpt
 //! edgellm policy   --corpus notes.txt --budget 0.25
 //! ```
@@ -22,6 +23,7 @@ use edge_llm_model::{
     TrainingCheckpoint, VotingCombiner, VotingPolicy, WindowSchedule,
 };
 use edge_llm_quant::BitWidth;
+use edge_llm_serve::{BatchedInferenceEngine, FinishReason, ServeRequest};
 use edge_llm_tensor::TensorRng;
 use std::fmt;
 use std::fs;
@@ -72,6 +74,19 @@ pub enum Command {
         /// RNG seed.
         seed: u64,
     },
+    /// Serve a batch of generation requests from a request file through
+    /// the continuous-batching engine.
+    Serve {
+        /// Checkpoint path (written by `adapt`).
+        ckpt: String,
+        /// Path to the request file (one request per line, see `help`).
+        requests: String,
+        /// Maximum requests per batched forward pass.
+        batch: usize,
+        /// Kernel worker threads (`0` = all cores). `None` leaves the
+        /// `EDGELLM_THREADS` environment default in place.
+        threads: Option<usize>,
+    },
     /// Print a checkpoint's configuration and size.
     Inspect {
         /// Checkpoint path.
@@ -120,9 +135,18 @@ USAGE:
                    [--resume <ckpt>.state] [--threads N]
   edgellm generate --ckpt <ckpt> --prompt <text> [--tokens 40] [--top-k 3]
                    [--temperature 0.8] [--seed 42]
+  edgellm serve    --ckpt <ckpt> --requests <file> [--batch 4] [--threads N]
   edgellm inspect  --ckpt <ckpt>
   edgellm policy   --corpus <file> [--budget 0.25] [--seed 42]
   edgellm help
+
+Request file (serve): one request per line, '#' starts a comment line.
+Key=value options, then ' :: ', then the prompt text:
+  id=r1 tokens=20 mode=topk k=3 temp=0.9 seed=7 voting=conf deadline=40 :: monday:
+Options (all optional): id, tokens (max new tokens), mode
+(greedy|sample|topk), k, temp, seed, voting (final|last|conf|avg),
+deadline (max fed tokens). Each request decodes exactly as it would
+alone: batching never changes outputs, only throughput.
 
 Kernel threads: results are bit-identical for every thread count, so
 --threads only changes speed. 0 means all cores; the EDGELLM_THREADS
@@ -197,6 +221,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             top_k: parse_flag(rest, "--top-k", 3)?,
             temperature: parse_flag(rest, "--temperature", 0.8)?,
             seed: parse_flag(rest, "--seed", 42)?,
+        }),
+        "serve" => Ok(Command::Serve {
+            ckpt: required_flag(rest, "--ckpt")?,
+            requests: required_flag(rest, "--requests")?,
+            batch: parse_flag(rest, "--batch", 4)?,
+            threads: parse_opt_flag(rest, "--threads")?,
         }),
         "inspect" => Ok(Command::Inspect {
             ckpt: required_flag(rest, "--ckpt")?,
@@ -440,6 +470,79 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 generate(&model, &voting, &ids, *tokens, decoding, &mut rng).map_err(run_err)?;
             writeln!(out, "{}", tok.decode(&generated)).map_err(run_err)?;
         }
+        Command::Serve {
+            ckpt,
+            requests,
+            batch,
+            threads,
+        } => {
+            if let Some(t) = threads {
+                edge_llm_tensor::set_configured_threads(*t);
+            }
+            let mut file = fs::File::open(ckpt)
+                .map_err(|e| CliError::Run(format!("cannot open {ckpt}: {e}")))?;
+            let model = load_model(&mut file).map_err(run_err)?;
+            let tok = edge_llm_data::CharTokenizer::new();
+            if model.config().vocab_size != tok.vocab_size() {
+                return Err(CliError::Run(format!(
+                    "checkpoint vocabulary {} is not a text-model vocabulary ({})",
+                    model.config().vocab_size,
+                    tok.vocab_size()
+                )));
+            }
+            let text = fs::read_to_string(requests)
+                .map_err(|e| CliError::Run(format!("cannot read requests {requests}: {e}")))?;
+            let parsed = parse_request_file(&text, &tok, model.n_layers())?;
+            if parsed.is_empty() {
+                return Err(CliError::Run(format!("no requests in {requests}")));
+            }
+            let mut engine = BatchedInferenceEngine::new(&model, *batch).map_err(run_err)?;
+            let ids: Vec<String> = parsed.iter().map(|r| r.id.clone()).collect();
+            for r in parsed {
+                engine.submit(r);
+            }
+            let t0 = std::time::Instant::now();
+            let outcomes = engine.run_to_completion().map_err(run_err)?;
+            let elapsed = t0.elapsed().as_secs_f64();
+            let mut total_tokens = 0usize;
+            for id in &ids {
+                let o = outcomes
+                    .iter()
+                    .find(|o| &o.id == id)
+                    .expect("every submission produces an outcome");
+                match &o.finish {
+                    FinishReason::Rejected { reason } => {
+                        writeln!(out, "{id} [rejected: {reason}]").map_err(run_err)?;
+                    }
+                    finish => {
+                        let status = match finish {
+                            FinishReason::Completed => "completed",
+                            FinishReason::DeadlineExceeded => "deadline exceeded",
+                            FinishReason::CapacityExhausted => "capacity exhausted",
+                            FinishReason::Rejected { .. } => unreachable!("handled above"),
+                        };
+                        total_tokens += o.tokens.len();
+                        writeln!(
+                            out,
+                            "{id} [{status}, {} tokens, {} steps]: {}",
+                            o.tokens.len(),
+                            o.steps,
+                            tok.decode(&o.tokens)
+                        )
+                        .map_err(run_err)?;
+                    }
+                }
+            }
+            writeln!(
+                out,
+                "served {} requests in {elapsed:.2}s: {total_tokens} tokens, \
+                 {:.1} tokens/s, {} batched passes",
+                ids.len(),
+                total_tokens as f64 / elapsed.max(1e-9),
+                engine.steps_run()
+            )
+            .map_err(run_err)?;
+        }
         Command::Inspect { ckpt } => {
             let mut file = fs::File::open(ckpt)
                 .map_err(|e| CliError::Run(format!("cannot open {ckpt}: {e}")))?;
@@ -453,6 +556,109 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
         }
     }
     Ok(())
+}
+
+/// Parses a serve request file: one request per line, `#` comment lines
+/// and blank lines skipped. Each line is `key=value ... :: prompt text`.
+fn parse_request_file(
+    text: &str,
+    tok: &edge_llm_data::CharTokenizer,
+    n_layers: usize,
+) -> Result<Vec<ServeRequest>, CliError> {
+    let mut requests = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let n = lineno + 1;
+        // a line may start at the separator (no options at all)
+        let (head, prompt_text) = if let Some(rest) = line.strip_prefix(":: ") {
+            ("", rest)
+        } else if let Some(split) = line.split_once(" :: ") {
+            split
+        } else {
+            return Err(CliError::Usage(format!(
+                "request line {n}: missing ' :: ' between options and prompt"
+            )));
+        };
+        let mut id = format!("req{}", requests.len() + 1);
+        let mut tokens = 20usize;
+        let mut mode = "greedy".to_string();
+        let mut k = 3usize;
+        let mut temp = 0.8f32;
+        let mut seed = 42u64;
+        let mut voting_name = "conf".to_string();
+        let mut deadline = None;
+        for pair in head.split_whitespace() {
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(CliError::Usage(format!(
+                    "request line {n}: expected key=value, got {pair:?}"
+                )));
+            };
+            let bad_value = || {
+                CliError::Usage(format!(
+                    "request line {n}: invalid value {value:?} for {key}"
+                ))
+            };
+            match key {
+                "id" => id = value.to_string(),
+                "tokens" => tokens = value.parse().map_err(|_| bad_value())?,
+                "mode" => mode = value.to_string(),
+                "k" => k = value.parse().map_err(|_| bad_value())?,
+                "temp" => temp = value.parse().map_err(|_| bad_value())?,
+                "seed" => seed = value.parse().map_err(|_| bad_value())?,
+                "voting" => voting_name = value.to_string(),
+                "deadline" => deadline = Some(value.parse().map_err(|_| bad_value())?),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "request line {n}: unknown option {other:?}"
+                    )));
+                }
+            }
+        }
+        let decoding = match mode.as_str() {
+            "greedy" => Decoding::Greedy,
+            "sample" => Decoding::Sample { temperature: temp },
+            "topk" => Decoding::TopK {
+                k,
+                temperature: temp,
+            },
+            other => {
+                return Err(CliError::Usage(format!(
+                    "request line {n}: unknown mode {other:?} (greedy|sample|topk)"
+                )));
+            }
+        };
+        let voting = match voting_name.as_str() {
+            "final" => VotingPolicy::final_only(n_layers),
+            "last" => VotingPolicy::all_exits(n_layers, VotingCombiner::LastExit),
+            "conf" => VotingPolicy::all_exits(
+                n_layers,
+                VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
+            ),
+            "avg" => VotingPolicy::all_exits(n_layers, VotingCombiner::Average),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "request line {n}: unknown voting {other:?} (final|last|conf|avg)"
+                )));
+            }
+        };
+        let prompt = tok.encode(prompt_text);
+        if prompt.is_empty() {
+            return Err(CliError::Usage(format!("request line {n}: empty prompt")));
+        }
+        requests.push(ServeRequest {
+            id,
+            prompt,
+            max_new_tokens: tokens,
+            decoding,
+            voting,
+            seed,
+            deadline_steps: deadline,
+        });
+    }
+    Ok(requests)
 }
 
 /// Encodes everything a resumed `adapt` needs beyond the training state
@@ -801,6 +1007,124 @@ mod tests {
             }
             other => panic!("v1 checkpoint accepted as training state: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let cmd = parse_args(&argv(
+            "serve --ckpt m.ckpt --requests q.txt --batch 8 --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                ckpt: "m.ckpt".into(),
+                requests: "q.txt".into(),
+                batch: 8,
+                threads: Some(2),
+            }
+        );
+        assert!(matches!(
+            parse_args(&argv("serve --ckpt m.ckpt")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn request_file_parses_options_and_defaults() {
+        let tok = edge_llm_data::CharTokenizer::new();
+        let text = "\
+# queue for the morning
+id=r1 tokens=12 mode=topk k=3 temp=0.9 seed=7 voting=avg deadline=40 :: monday:
+
+ :: bare prompt with defaults
+";
+        let reqs = parse_request_file(text, &tok, 4).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[0].id, "r1");
+        assert_eq!(reqs[0].max_new_tokens, 12);
+        assert_eq!(
+            reqs[0].decoding,
+            Decoding::TopK {
+                k: 3,
+                temperature: 0.9
+            }
+        );
+        assert_eq!(reqs[0].seed, 7);
+        assert_eq!(reqs[0].deadline_steps, Some(40));
+        assert_eq!(reqs[0].voting.combiner, VotingCombiner::Average);
+        assert_eq!(reqs[0].prompt, tok.encode("monday:"));
+        // second line: everything defaulted
+        assert_eq!(reqs[1].id, "req2");
+        assert_eq!(reqs[1].max_new_tokens, 20);
+        assert_eq!(reqs[1].decoding, Decoding::Greedy);
+        assert_eq!(reqs[1].deadline_steps, None);
+
+        for bad in [
+            "no separator here",
+            "id=r1 stray :: p",
+            "mode=banana :: p",
+            "voting=banana :: p",
+            "tokens=many :: p",
+            " :: ",
+        ] {
+            assert!(
+                matches!(parse_request_file(bad, &tok, 4), Err(CliError::Usage(_))),
+                "line accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_serve_reports_outcomes_and_throughput() {
+        let dir = std::env::temp_dir().join("edgellm-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let corpus_path = dir.join("notes.txt");
+        let ckpt_path = dir.join("model.ckpt");
+        std::fs::write(
+            &corpus_path,
+            "water the plants. water the plants. check the sensors. ",
+        )
+        .unwrap();
+        run(&adapt_cmd(&corpus_path, &ckpt_path, 8), &mut Vec::new()).unwrap();
+
+        let requests_path = dir.join("queue.txt");
+        std::fs::write(
+            &requests_path,
+            "\
+id=morning tokens=6 :: water
+id=evening tokens=4 mode=topk k=2 temp=0.9 seed=5 :: check
+id=late tokens=8 deadline=2 :: sensors
+",
+        )
+        .unwrap();
+        let cmd = Command::Serve {
+            ckpt: ckpt_path.to_string_lossy().into_owned(),
+            requests: requests_path.to_string_lossy().into_owned(),
+            batch: 2,
+            threads: None,
+        };
+        let mut buf = Vec::new();
+        run(&cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("morning [completed, 6 tokens"), "{text}");
+        assert!(text.contains("evening [completed, 4 tokens"), "{text}");
+        // deadline of 2 fed tokens stops "late" during its 7-token prompt
+        assert!(text.contains("late [deadline exceeded, 0 tokens"), "{text}");
+        assert!(text.contains("served 3 requests"), "{text}");
+        assert!(text.contains("tokens/s"), "{text}");
+        assert!(text.contains("batched passes"), "{text}");
+    }
+
+    #[test]
+    fn serve_rejects_missing_inputs() {
+        let cmd = Command::Serve {
+            ckpt: "/nonexistent/nope.ckpt".into(),
+            requests: "/nonexistent/queue.txt".into(),
+            batch: 4,
+            threads: None,
+        };
+        assert!(matches!(run(&cmd, &mut Vec::new()), Err(CliError::Run(_))));
     }
 
     #[test]

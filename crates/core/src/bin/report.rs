@@ -1,0 +1,52 @@
+//! Regenerates the evaluation tables and figures of the Edge-LLM paper
+//! reproduction.
+//!
+//! ```text
+//! report [--quick] [--t1 --t2 --t3 --f1 ... --a3 --s1 | --all]
+//! ```
+//!
+//! With no experiment flags, `--all` is assumed. `--quick` runs the
+//! seconds-scale configuration; the default is the full configuration the
+//! numbers in `EXPERIMENTS.md` were recorded with.
+
+use edge_llm::experiments::{run_experiment, Scale, ALL_EXPERIMENTS};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let mut requested: Vec<&str> = ALL_EXPERIMENTS
+        .iter()
+        .copied()
+        .filter(|id| args.iter().any(|a| a == &format!("--{id}")))
+        .collect();
+    if requested.is_empty() || args.iter().any(|a| a == "--all") {
+        requested = ALL_EXPERIMENTS.to_vec();
+    }
+    for bad in args.iter().filter(|a| {
+        *a != "--quick"
+            && *a != "--all"
+            && !ALL_EXPERIMENTS.iter().any(|id| **a == format!("--{id}"))
+    }) {
+        eprintln!("warning: unknown flag {bad}");
+    }
+
+    println!(
+        "edge-llm report ({} scale)\n",
+        if quick { "quick" } else { "full" }
+    );
+    for id in requested {
+        let t0 = Instant::now();
+        match run_experiment(id, scale) {
+            Ok(table) => {
+                println!("{table}");
+                println!("[{id} regenerated in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: experiment {id} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -18,9 +18,11 @@
 //!    model (`edge-llm-hw`).
 //!
 //! The [`pipeline`] module runs the full flow; [`baselines`] provides the
-//! comparison points (vanilla full tuning, uniform compression, LoRA); the
-//! `edge-llm-bench` crate regenerates every table and figure of the paper's
-//! evaluation from these entry points.
+//! comparison points (vanilla full tuning, uniform compression, LoRA);
+//! [`experiments`] regenerates every table and figure of the paper's
+//! evaluation from these entry points (the `report` binary prints them),
+//! and the `edge-llm-serve` crate (re-exported as [`serve`]) batches
+//! adapted-model inference across concurrent requests.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 pub mod baselines;
 pub mod compress;
 pub mod eval;
+pub mod experiments;
 pub mod oracle;
 pub mod pipeline;
 pub mod report;
@@ -56,4 +59,5 @@ pub use edge_llm_luc as luc;
 pub use edge_llm_model as model;
 pub use edge_llm_prune as prune;
 pub use edge_llm_quant as quant;
+pub use edge_llm_serve as serve;
 pub use edge_llm_tensor as tensor;

@@ -1,0 +1,605 @@
+//! Batched KV-cached decoding for serving several sessions at once.
+//!
+//! An [`crate::InferenceSession`] advances one sequence per forward pass;
+//! a serving engine with N in-flight requests would pay N full passes per
+//! step. [`batched_decode_step`] instead packs one token from each active
+//! sequence into a shared `(n, d_model)` activation and runs every linear
+//! projection as a single matmul over all rows, while each sequence keeps
+//! its own [`SequenceKv`] cache and attends only over its own history.
+//!
+//! # Bit-identity
+//!
+//! Every stage of the batched step is row-independent:
+//!
+//! - the blocked matmul kernel accumulates each output element over the
+//!   shared dimension in a fixed ascending order regardless of how many
+//!   rows are in flight (and the threaded kernel splits by output row);
+//! - layer norm, softmax, GELU, bias-add, and the residual adds are
+//!   per-row or elementwise;
+//! - activation fake-quantisation is applied per row
+//!   ([`crate::Linear::forward_rows_no_cache`]), so even per-tensor
+//!   calibration schemes cannot couple rows;
+//! - attention is evaluated per slot with the same scalar loops as the
+//!   single-sequence session.
+//!
+//! Row `i` of a batched step is therefore bit-identical to pushing the
+//! same token through a solo [`crate::InferenceSession`] with the same
+//! history — the invariant the serving differential tests pin down.
+//!
+//! # Multi-threading
+//!
+//! Row-independence also makes the batch the natural parallel axis: when
+//! more than one worker is configured (`EDGELLM_THREADS`), the step
+//! splits its slots into contiguous chunks and runs the serial pass on
+//! each chunk concurrently, suppressing kernel-level threading inside the
+//! chunks. One spawn per pass amortizes over the whole layer stack, and —
+//! unlike threading each (tiny) matmul — it parallelizes the per-slot
+//! attention and elementwise work too. The chunk split is a pure function
+//! of `(batch, workers)`, so results stay bit-identical for every thread
+//! count.
+
+use crate::error::ModelError;
+use crate::model::EdgeModel;
+use edge_llm_tensor::{gelu_forward, pool, softmax_rows, Tensor};
+
+/// Per-sequence key/value cache for [`batched_decode_step`] — the state an
+/// [`crate::InferenceSession`] keeps internally, split out so a scheduler
+/// can own one per request and batch any subset of them each step.
+#[derive(Debug, Clone)]
+pub struct SequenceKv {
+    /// Per layer: cached keys and values, `(seq_len, d_model)`, filled up
+    /// to `t`.
+    keys: Vec<Tensor>,
+    values: Vec<Tensor>,
+    t: usize,
+    capacity: usize,
+    d_model: usize,
+}
+
+impl SequenceKv {
+    /// Starts an empty cache sized for `model` (capacity = `seq_len`).
+    pub fn new(model: &EdgeModel) -> Self {
+        let cfg = model.config();
+        let keys = (0..model.n_layers())
+            .map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model))
+            .collect();
+        let values = (0..model.n_layers())
+            .map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model))
+            .collect();
+        SequenceKv {
+            keys,
+            values,
+            t: 0,
+            capacity: cfg.seq_len,
+            d_model: cfg.d_model,
+        }
+    }
+
+    /// Tokens consumed so far.
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// Whether no token has been fed yet.
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+
+    /// Remaining capacity before the positional table is exhausted.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.t
+    }
+
+    /// Resets the cache to empty without reallocating, so a serving slot
+    /// can be reused for the next queued request.
+    pub fn reset(&mut self) {
+        self.t = 0;
+    }
+
+    /// Bytes held by the key/value buffers.
+    pub fn cache_bytes(&self) -> usize {
+        self.keys
+            .iter()
+            .chain(self.values.iter())
+            .map(|t| t.len() * 4)
+            .sum()
+    }
+
+    fn check_model(&self, model: &EdgeModel) -> Result<(), ModelError> {
+        let cfg = model.config();
+        if self.keys.len() != model.n_layers()
+            || self.capacity != cfg.seq_len
+            || self.d_model != cfg.d_model
+        {
+            return Err(ModelError::BadConfig {
+                reason: format!(
+                    "sequence cache shaped for {} layers / seq {} / d_model {} \
+                     does not match model with {} layers / seq {} / d_model {}",
+                    self.keys.len(),
+                    self.capacity,
+                    self.d_model,
+                    model.n_layers(),
+                    cfg.seq_len,
+                    cfg.d_model
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One sequence's contribution to a batched decode step.
+#[derive(Debug)]
+pub struct BatchedStep<'a> {
+    /// Token to feed at this sequence's current position.
+    pub token: usize,
+    /// The sequence's cache, advanced by one position on success.
+    pub kv: &'a mut SequenceKv,
+    /// Exit layers to return logits for (empty to skip logits entirely,
+    /// e.g. during prompt prefill).
+    pub exits: &'a [usize],
+}
+
+/// Advances every sequence in `steps` by one token through a shared
+/// batched forward pass and returns, per slot, one `(1, vocab)` logits
+/// tensor per requested exit (in the slot's `exits` order).
+///
+/// All slots are validated before any cache is touched, so on error no
+/// sequence has advanced.
+///
+/// # Errors
+///
+/// Returns [`ModelError::CapacityExhausted`] if any slot's cache is full,
+/// [`ModelError::BadConfig`] for an out-of-vocabulary token or a cache
+/// shaped for a different model, and [`ModelError::LayerOutOfRange`] for
+/// an exit index past the model depth.
+pub fn batched_decode_step(
+    model: &EdgeModel,
+    steps: &mut [BatchedStep<'_>],
+) -> Result<Vec<Vec<Tensor>>, ModelError> {
+    let cfg = model.config();
+    if steps.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Validate every slot up front: a batched step must be all-or-nothing
+    // so a bad request cannot leave its batch-mates half advanced. (This
+    // also means the pass below cannot fail, so the slot-partitioned
+    // parallel path cannot leave one chunk advanced and another not.)
+    for step in steps.iter() {
+        if step.token >= cfg.vocab_size {
+            return Err(ModelError::BadConfig {
+                reason: format!("token {} outside vocabulary {}", step.token, cfg.vocab_size),
+            });
+        }
+        step.kv.check_model(model)?;
+        if step.kv.remaining() == 0 {
+            return Err(ModelError::CapacityExhausted {
+                capacity: step.kv.capacity,
+            });
+        }
+        if let Some(&bad) = step.exits.iter().find(|&&e| e >= model.n_layers()) {
+            return Err(ModelError::LayerOutOfRange {
+                layer: bad,
+                depth: model.n_layers(),
+            });
+        }
+    }
+    let workers = pool::resolve_threads(0).min(steps.len());
+    if workers <= 1 {
+        return decode_chunk(model, steps);
+    }
+    // Slot-partitioned parallel pass: every stage of the step is
+    // row-independent (the bit-identity contract above), so splitting the
+    // batch into contiguous slot chunks and running the serial pass on
+    // each chunk concurrently produces the same bits as one serial pass
+    // over the full batch. Parallelizing here — once per pass — instead of
+    // inside each matmul amortizes the spawn cost over the *whole* layer
+    // stack and also parallelizes the per-slot attention and elementwise
+    // work, which kernel-level threading never touches. Kernel-level
+    // threading is suppressed inside each chunk (`serial_scope`) so
+    // workers do not spawn nested workers.
+    let parts = pool::partition(steps.len(), workers);
+    let mut chunk_results: Vec<Result<Vec<Vec<Tensor>>, ModelError>> =
+        Vec::with_capacity(parts.len());
+    std::thread::scope(|scope| {
+        let mut rest = steps;
+        let mut head = None;
+        let mut handles = Vec::with_capacity(parts.len() - 1);
+        for (ci, part) in parts.iter().enumerate() {
+            let (chunk, tail) = rest.split_at_mut(part.len());
+            rest = tail;
+            if ci == 0 {
+                // the calling thread takes the first chunk, after spawning
+                head = Some(chunk);
+            } else {
+                handles
+                    .push(scope.spawn(move || pool::serial_scope(|| decode_chunk(model, chunk))));
+            }
+        }
+        let first = head.expect("partition yields at least one chunk");
+        chunk_results.push(pool::serial_scope(|| decode_chunk(model, first)));
+        for h in handles {
+            match h.join() {
+                Ok(r) => chunk_results.push(r),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(
+        chunk_results
+            .iter()
+            .map(|r| r.as_ref().map_or(0, Vec::len))
+            .sum(),
+    );
+    for r in chunk_results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+/// The serial batched pass over one contiguous chunk of slots — the whole
+/// batch when one worker is configured, a sub-range of it under the
+/// slot-partitioned parallel path. Slots must already be validated.
+fn decode_chunk(
+    model: &EdgeModel,
+    steps: &mut [BatchedStep<'_>],
+) -> Result<Vec<Vec<Tensor>>, ModelError> {
+    let cfg = model.config();
+    let (c, heads) = (cfg.d_model, cfg.n_heads);
+    let hs = c / heads;
+    let scale = 1.0 / (hs as f32).sqrt();
+    let n = steps.len();
+    let mut x = Tensor::zeros(n, c);
+    for (i, step) in steps.iter().enumerate() {
+        let e = model.embed_one(step.token, step.kv.t)?;
+        x.row_mut(i).copy_from_slice(e.row(0));
+    }
+    let mut per_exit: Vec<Vec<Option<Tensor>>> =
+        steps.iter().map(|s| vec![None; s.exits.len()]).collect();
+    for l in 0..model.n_layers() {
+        let block = model.block(l);
+        let n1 = block.ln1().forward_no_cache(&x)?;
+        let (qkv_lin, proj) = block.attn().linears();
+        let qkv = qkv_lin.forward_rows_no_cache(&n1)?; // (n, 3c)
+        let mut concat = Tensor::zeros(n, c);
+        for (i, step) in steps.iter_mut().enumerate() {
+            let t = step.kv.t;
+            let row = qkv.row(i);
+            step.kv.keys[l].row_mut(t).copy_from_slice(&row[c..2 * c]);
+            step.kv.values[l]
+                .row_mut(t)
+                .copy_from_slice(&row[2 * c..3 * c]);
+            let t_now = t + 1;
+            for h in 0..heads {
+                let q = &row[h * hs..(h + 1) * hs];
+                // scores over this sequence's cached keys only
+                let mut scores = Tensor::zeros(1, t_now);
+                for p in 0..t_now {
+                    let k = &step.kv.keys[l].row(p)[h * hs..(h + 1) * hs];
+                    let dot: f32 = q.iter().zip(k.iter()).map(|(a, b)| a * b).sum();
+                    scores.set(0, p, dot * scale);
+                }
+                let att = softmax_rows(&scores);
+                let out = &mut concat.row_mut(i)[h * hs..(h + 1) * hs];
+                for p in 0..t_now {
+                    let w = att.get(0, p);
+                    let v = &step.kv.values[l].row(p)[h * hs..(h + 1) * hs];
+                    for (o, &vv) in out.iter_mut().zip(v.iter()) {
+                        *o += w * vv;
+                    }
+                }
+            }
+        }
+        let a = proj.forward_rows_no_cache(&concat)?;
+        let x1 = x.add(&a)?;
+        let n2 = block.ln2().forward_no_cache(&x1)?;
+        let (fc1, fc2) = block.mlp().linears();
+        let mid = fc1.forward_rows_no_cache(&n2)?;
+        let act = gelu_forward(&mid);
+        let m_out = fc2.forward_rows_no_cache(&act)?;
+        x = x1.add(&m_out)?;
+        // one shared unembedding matmul over every slot exiting at l
+        let needing: Vec<usize> = (0..n).filter(|&i| steps[i].exits.contains(&l)).collect();
+        if !needing.is_empty() {
+            let mut sub = Tensor::zeros(needing.len(), c);
+            for (r, &i) in needing.iter().enumerate() {
+                sub.row_mut(r).copy_from_slice(x.row(i));
+            }
+            let logits = model.exit_logits_rows(&sub, l)?;
+            let vocab = logits.shape().1;
+            for (r, &i) in needing.iter().enumerate() {
+                let row = Tensor::from_vec(1, vocab, logits.row(r).to_vec())
+                    .map_err(ModelError::Tensor)?;
+                for (slot, &e) in per_exit[i].iter_mut().zip(steps[i].exits.iter()) {
+                    if e == l {
+                        *slot = Some(row.clone());
+                    }
+                }
+            }
+        }
+    }
+    for step in steps.iter_mut() {
+        step.kv.t += 1;
+    }
+    Ok(per_exit
+        .into_iter()
+        .map(|slots| {
+            slots
+                .into_iter()
+                .map(|o| o.expect("exit bounds checked"))
+                .collect()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::infer::InferenceSession;
+    use edge_llm_tensor::TensorRng;
+
+    fn model(seed: u64) -> EdgeModel {
+        let mut rng = TensorRng::seed_from(seed);
+        EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap()
+    }
+
+    fn assert_rows_bit_equal(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        let (rows, cols) = a.shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(
+                    a.get(r, c).to_bits(),
+                    b.get(r, c).to_bits(),
+                    "{what}: ({r}, {c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_solo_sessions_bitwise() {
+        let m = model(1);
+        let cfg = m.config().clone();
+        let exits: Vec<usize> = vec![0, m.n_layers() - 1];
+        let sequences: Vec<Vec<usize>> = vec![
+            (0..cfg.seq_len)
+                .map(|i| (i * 5 + 1) % cfg.vocab_size)
+                .collect(),
+            (0..cfg.seq_len)
+                .map(|i| (i * 7 + 2) % cfg.vocab_size)
+                .collect(),
+            (0..cfg.seq_len)
+                .map(|i| (i * 11 + 3) % cfg.vocab_size)
+                .collect(),
+        ];
+        let mut kvs: Vec<SequenceKv> = sequences.iter().map(|_| SequenceKv::new(&m)).collect();
+        let mut solos: Vec<InferenceSession> = sequences
+            .iter()
+            .map(|_| InferenceSession::new(&m))
+            .collect();
+        // lockstep over time: `t` indexes every sequence at once
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..cfg.seq_len {
+            let mut steps: Vec<BatchedStep> = kvs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, kv)| BatchedStep {
+                    token: sequences[i][t],
+                    kv,
+                    exits: &exits,
+                })
+                .collect();
+            let batched = batched_decode_step(&m, &mut steps).unwrap();
+            for (i, solo) in solos.iter_mut().enumerate() {
+                let reference = solo.push_token_exits(sequences[i][t], &exits).unwrap();
+                for (e, r) in reference.iter().enumerate() {
+                    assert_rows_bit_equal(&batched[i][e], r, &format!("slot {i} exit {e} t {t}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn late_joining_sequence_is_unaffected_by_batch_mates() {
+        let m = model(2);
+        let exits = [m.n_layers() - 1];
+        // sequence A runs alone for 3 tokens, then B joins mid-flight
+        let a_tokens = [1usize, 2, 3, 4, 5, 6];
+        let b_tokens = [9usize, 8, 7];
+        let mut kv_a = SequenceKv::new(&m);
+        let mut kv_b = SequenceKv::new(&m);
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        for t in 0..a_tokens.len() {
+            let mut steps = Vec::new();
+            steps.push(BatchedStep {
+                token: a_tokens[t],
+                kv: &mut kv_a,
+                exits: &exits,
+            });
+            if t >= 3 {
+                steps.push(BatchedStep {
+                    token: b_tokens[t - 3],
+                    kv: &mut kv_b,
+                    exits: &exits,
+                });
+            }
+            let out = batched_decode_step(&m, &mut steps).unwrap();
+            got_a.push(out[0][0].clone());
+            if t >= 3 {
+                got_b.push(out[1][0].clone());
+            }
+        }
+        let mut solo_a = InferenceSession::new(&m);
+        for (t, &tok) in a_tokens.iter().enumerate() {
+            let r = solo_a.push_token_exits(tok, &exits).unwrap();
+            assert_rows_bit_equal(&got_a[t], &r[0], &format!("A t {t}"));
+        }
+        let mut solo_b = InferenceSession::new(&m);
+        for (t, &tok) in b_tokens.iter().enumerate() {
+            let r = solo_b.push_token_exits(tok, &exits).unwrap();
+            assert_rows_bit_equal(&got_b[t], &r[0], &format!("B t {t}"));
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_a_single_bit() {
+        use edge_llm_tensor::{configured_threads, set_configured_threads};
+        let m = model(8);
+        let cfg = m.config().clone();
+        let exits: Vec<usize> = (0..m.n_layers()).collect();
+        let sequences: Vec<Vec<usize>> = (0..5)
+            .map(|s| {
+                (0..cfg.seq_len)
+                    .map(|i| (i * 3 + s * 5 + 1) % cfg.vocab_size)
+                    .collect()
+            })
+            .collect();
+        let run = |threads: usize| {
+            let before = configured_threads();
+            set_configured_threads(threads);
+            let mut kvs: Vec<SequenceKv> = sequences.iter().map(|_| SequenceKv::new(&m)).collect();
+            let mut all = Vec::new();
+            // lockstep over time: `t` indexes every sequence at once
+            #[allow(clippy::needless_range_loop)]
+            for t in 0..cfg.seq_len {
+                let mut steps: Vec<BatchedStep> = kvs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, kv)| BatchedStep {
+                        token: sequences[i][t],
+                        kv,
+                        exits: &exits,
+                    })
+                    .collect();
+                all.push(batched_decode_step(&m, &mut steps).unwrap());
+            }
+            set_configured_threads(before);
+            all
+        };
+        let serial = run(1);
+        for threads in [2usize, 3, 8] {
+            let par = run(threads);
+            for (t, (a, b)) in serial.iter().zip(par.iter()).enumerate() {
+                for (slot, (sa, sb)) in a.iter().zip(b.iter()).enumerate() {
+                    for (e, (ta, tb)) in sa.iter().zip(sb.iter()).enumerate() {
+                        assert_rows_bit_equal(
+                            ta,
+                            tb,
+                            &format!("threads {threads} t {t} slot {slot} exit {e}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_skips_logits() {
+        let m = model(3);
+        let mut kv = SequenceKv::new(&m);
+        let mut steps = [BatchedStep {
+            token: 1,
+            kv: &mut kv,
+            exits: &[],
+        }];
+        let out = batched_decode_step(&m, &mut steps).unwrap();
+        assert!(out[0].is_empty());
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn validation_is_all_or_nothing() {
+        let m = model(4);
+        let mut kv_good = SequenceKv::new(&m);
+        let mut kv_bad = SequenceKv::new(&m);
+        let exits = [0usize];
+        {
+            let mut steps = [
+                BatchedStep {
+                    token: 1,
+                    kv: &mut kv_good,
+                    exits: &exits,
+                },
+                BatchedStep {
+                    token: 99_999,
+                    kv: &mut kv_bad,
+                    exits: &exits,
+                },
+            ];
+            assert!(matches!(
+                batched_decode_step(&m, &mut steps),
+                Err(ModelError::BadConfig { .. })
+            ));
+        }
+        // neither sequence advanced
+        assert_eq!(kv_good.len(), 0);
+        assert_eq!(kv_bad.len(), 0);
+        {
+            let mut steps = [BatchedStep {
+                token: 1,
+                kv: &mut kv_good,
+                exits: &[99],
+            }];
+            assert!(matches!(
+                batched_decode_step(&m, &mut steps),
+                Err(ModelError::LayerOutOfRange { .. })
+            ));
+        }
+        assert_eq!(kv_good.len(), 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced_before_any_mutation() {
+        let m = model(5);
+        let seq_len = m.config().seq_len;
+        let mut kv_full = SequenceKv::new(&m);
+        for _ in 0..seq_len {
+            let mut steps = [BatchedStep {
+                token: 1,
+                kv: &mut kv_full,
+                exits: &[],
+            }];
+            batched_decode_step(&m, &mut steps).unwrap();
+        }
+        assert_eq!(kv_full.remaining(), 0);
+        let mut kv_fresh = SequenceKv::new(&m);
+        let mut steps = [
+            BatchedStep {
+                token: 1,
+                kv: &mut kv_fresh,
+                exits: &[],
+            },
+            BatchedStep {
+                token: 1,
+                kv: &mut kv_full,
+                exits: &[],
+            },
+        ];
+        assert!(matches!(
+            batched_decode_step(&m, &mut steps),
+            Err(ModelError::CapacityExhausted { .. })
+        ));
+        assert_eq!(kv_fresh.len(), 0, "batch-mate must not advance");
+        kv_full.reset();
+        assert!(kv_full.is_empty());
+        assert_eq!(kv_full.remaining(), seq_len);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let m = model(6);
+        let out = batched_decode_step(&m, &mut []).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cache_bytes_match_session() {
+        let m = model(7);
+        let kv = SequenceKv::new(&m);
+        let session = InferenceSession::new(&m);
+        assert_eq!(kv.cache_bytes(), session.cache_bytes());
+    }
+}

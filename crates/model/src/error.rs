@@ -24,6 +24,12 @@ pub enum ModelError {
         /// Model depth.
         depth: usize,
     },
+    /// A decoding session was pushed past the positional capacity
+    /// (`seq_len`) of its key/value cache.
+    CapacityExhausted {
+        /// The session capacity that was exceeded.
+        capacity: usize,
+    },
     /// An underlying tensor operation failed.
     Tensor(TensorError),
     /// A compression operation failed.
@@ -51,6 +57,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::LayerOutOfRange { layer, depth } => {
                 write!(f, "layer {layer} out of range for depth {depth}")
+            }
+            ModelError::CapacityExhausted { capacity } => {
+                write!(f, "session capacity of {capacity} tokens exhausted")
             }
             ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
             ModelError::Compression { reason } => write!(f, "compression error: {reason}"),

@@ -70,13 +70,21 @@ pub fn generate(
         window[seq_len - take..].copy_from_slice(&tokens[tokens.len() - take..]);
         let probs = voting.predict(model, &window, 1)?;
         let last = probs.row(seq_len - 1);
-        let next = pick(last, decoding, rng);
+        let next = sample_token(last, decoding, rng);
         tokens.push(next);
     }
     Ok(tokens)
 }
 
-fn validate_decoding(decoding: Decoding) -> Result<(), ModelError> {
+/// Validates a [`Decoding`] configuration without running a model — the
+/// same check [`generate`] applies, exposed so serving frontends can
+/// reject a bad request at submission instead of mid-decode.
+///
+/// # Errors
+///
+/// Returns [`ModelError::BadConfig`] for a non-positive temperature or a
+/// zero top-k pool.
+pub fn validate_decoding(decoding: Decoding) -> Result<(), ModelError> {
     let bad = |reason: &str| {
         Err(ModelError::BadConfig {
             reason: reason.to_string(),
@@ -94,7 +102,16 @@ fn validate_decoding(decoding: Decoding) -> Result<(), ModelError> {
     }
 }
 
-fn pick(probs: &[f32], decoding: Decoding, rng: &mut TensorRng) -> usize {
+/// Draws the next token from a probability row under `decoding` — the
+/// single sampling primitive shared by [`generate`] and the serving
+/// engine, so every decode path maps identical probabilities and rng
+/// state to an identical token.
+///
+/// Ties resolve to the lowest index in every mode (greedy picks the first
+/// maximum; top-k keeps candidates in ascending index order), so
+/// `TopK { k: 1, .. }` agrees with `Greedy` and `TopK` with `k >= vocab`
+/// agrees with `Sample` draw-for-draw.
+pub fn sample_token(probs: &[f32], decoding: Decoding, rng: &mut TensorRng) -> usize {
     match decoding {
         Decoding::Greedy => argmax(probs),
         Decoding::Sample { temperature } => {
@@ -108,7 +125,11 @@ fn pick(probs: &[f32], decoding: Decoding, rng: &mut TensorRng) -> usize {
                     .partial_cmp(&probs[a])
                     .unwrap_or(std::cmp::Ordering::Equal)
             });
-            let keep = &order[..k.min(order.len())];
+            // ascending index order makes the CDF walk below traverse the
+            // survivors exactly as full sampling would, so k >= vocab
+            // degenerates to Sample on the same rng draw
+            let mut keep: Vec<usize> = order[..k.min(order.len())].to_vec();
+            keep.sort_unstable();
             // temper over the kept candidates only; pruned tokens must stay
             // at exactly zero probability
             let kept_probs: Vec<f32> = keep.iter().map(|&i| probs[i]).collect();
@@ -118,12 +139,15 @@ fn pick(probs: &[f32], decoding: Decoding, rng: &mut TensorRng) -> usize {
     }
 }
 
-fn temper(probs: &[f32], temperature: f32) -> Vec<f32> {
-    // re-softmax of log p / T, numerically via Tensor helper
-    let logits: Vec<f32> = probs
-        .iter()
-        .map(|&p| (p.max(1e-12)).ln() / temperature)
-        .collect();
+pub(crate) fn temper(probs: &[f32], temperature: f32) -> Vec<f32> {
+    // re-softmax of (log p - max log p) / T. Subtracting the max *before*
+    // dividing keeps every logit finite at extreme temperatures (softmax
+    // itself is shift-invariant): without it, ln(p)/T overflows to -inf
+    // for every candidate once T is small enough, and exp(-inf - -inf)
+    // turns the whole distribution into NaN.
+    let logs: Vec<f32> = probs.iter().map(|&p| p.max(1e-12).ln()).collect();
+    let max = logs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let logits: Vec<f32> = logs.iter().map(|&l| (l - max) / temperature).collect();
     let t = Tensor::from_vec(1, logits.len(), logits).expect("shape by construction");
     softmax_rows(&t).into_vec()
 }
@@ -144,11 +168,15 @@ fn sample_from(probs: &[f32], rng: &mut TensorRng) -> usize {
 }
 
 fn argmax(xs: &[f32]) -> usize {
-    xs.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+    // first maximum on ties, matching the stable descending sort in
+    // sample_token's top-k path so greedy and TopK{k: 1} agree exactly
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]

@@ -89,13 +89,22 @@ impl<'a> InferenceSession<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::LayerOutOfRange`] when capacity (`seq_len`) is
-    /// exhausted and [`ModelError::BadConfig`] for an out-of-vocabulary
-    /// token.
+    /// Returns [`ModelError::CapacityExhausted`] when capacity (`seq_len`)
+    /// is exhausted and [`ModelError::BadConfig`] for an
+    /// out-of-vocabulary token.
     pub fn push_token(&mut self, token: usize) -> Result<Tensor, ModelError> {
         let h = self.advance(token)?;
         self.model
             .exit_logits_no_cache(&h, self.model.n_layers() - 1)
+    }
+
+    /// Feeds one token without computing any logits (prompt prefill).
+    ///
+    /// # Errors
+    ///
+    /// As [`InferenceSession::push_token`].
+    pub fn advance_token(&mut self, token: usize) -> Result<(), ModelError> {
+        self.advance(token).map(|_| ())
     }
 
     /// Feeds one token and returns per-exit logits for the given exits
@@ -116,6 +125,10 @@ impl<'a> InferenceSession<'a> {
                 depth: self.model.n_layers(),
             });
         }
+        let capacity = self.model.config().seq_len;
+        if self.t >= capacity {
+            return Err(ModelError::CapacityExhausted { capacity });
+        }
         let mut per_exit = vec![None; exits.len()];
         let mut x = self.model.embed_one(token, self.t)?;
         for l in 0..self.model.n_layers() {
@@ -134,6 +147,10 @@ impl<'a> InferenceSession<'a> {
     }
 
     fn advance(&mut self, token: usize) -> Result<Tensor, ModelError> {
+        let capacity = self.model.config().seq_len;
+        if self.t >= capacity {
+            return Err(ModelError::CapacityExhausted { capacity });
+        }
         let mut x = self.model.embed_one(token, self.t)?;
         for l in 0..self.model.n_layers() {
             x = self.block_step(l, &x)?;

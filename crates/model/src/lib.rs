@@ -28,6 +28,7 @@
 
 mod adaptive;
 mod attention;
+mod batched;
 mod beam;
 mod block;
 mod config;
@@ -48,11 +49,12 @@ mod voting;
 
 pub use adaptive::{AdaptiveTuner, LayerWindow, TuneStepReport, WindowSchedule};
 pub use attention::{Attention, AttentionCache};
+pub use batched::{batched_decode_step, BatchedStep, SequenceKv};
 pub use beam::{beam_search, BeamHypothesis};
 pub use block::{Block, BlockCache};
 pub use config::ModelConfig;
 pub use error::ModelError;
-pub use generate::{generate, Decoding};
+pub use generate::{generate, sample_token, validate_decoding, Decoding};
 pub use gradcheck::{gradient_check, GradCheckReport};
 pub use infer::InferenceSession;
 pub use io::{load_model, save_model, TrainingCheckpoint};

@@ -177,6 +177,38 @@ impl Linear {
         Ok(self.forward_inner(&x_used)?.0)
     }
 
+    /// Forward pass whose output row `r` is bit-identical to
+    /// `forward_no_cache` on row `r` alone, for any batch of rows.
+    ///
+    /// The matmul kernels already guarantee this (each output element
+    /// accumulates in a fixed order independent of the row count), so the
+    /// only difference from [`Linear::forward_no_cache`] is that an
+    /// installed *activation* quantization scheme is fitted per input row
+    /// rather than across the batch — coupling rows there would let one
+    /// request's activations perturb another's logits. The batched serving
+    /// path routes every projection through this method.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying kernels.
+    pub fn forward_rows_no_cache(&self, x: &Tensor) -> Result<Tensor, ModelError> {
+        let x_used = match self.act_quant {
+            None => return Ok(self.forward_inner(x)?.0),
+            Some(scheme) => {
+                let (rows, cols) = x.shape();
+                let mut q = Tensor::zeros(rows, cols);
+                for r in 0..rows {
+                    let row =
+                        Tensor::from_vec(1, cols, x.row(r).to_vec()).map_err(ModelError::Tensor)?;
+                    let qr = fake_quant(&row, scheme)?;
+                    q.row_mut(r).copy_from_slice(qr.row(0));
+                }
+                q
+            }
+        };
+        Ok(self.forward_inner(&x_used)?.0)
+    }
+
     fn forward_inner(&self, x: &Tensor) -> Result<(Tensor, Option<Tensor>), ModelError> {
         let (y, w_eff) = match self.quant {
             Some(_) => {

@@ -226,6 +226,24 @@ impl EdgeModel {
         }
     }
 
+    /// As [`EdgeModel::exit_logits_no_cache`] but with the unembedding
+    /// applied row-independently ([`Linear::forward_rows_no_cache`]), so a
+    /// batch of hidden states from different sequences produces the same
+    /// per-row logits as separate single-row calls (the exit norm is
+    /// already row-wise). Used by the batched serving path.
+    pub(crate) fn exit_logits_rows(
+        &self,
+        h: &Tensor,
+        exit_layer: usize,
+    ) -> Result<Tensor, ModelError> {
+        let exit = &self.exits[exit_layer];
+        let n = exit.norm.forward_no_cache(h)?;
+        match &exit.head {
+            Some(own) => own.forward_rows_no_cache(&n),
+            None => self.shared_head.forward_rows_no_cache(&n),
+        }
+    }
+
     /// Runs the model to `exit_layer` (inclusive), keeping backward caches
     /// only for blocks `grad_from..=exit_layer`.
     ///

@@ -1,0 +1,247 @@
+//! Decode-path equivalence and decoding edge cases.
+//!
+//! The repo has two ways to produce a next-token distribution: the
+//! full-forward path ([`generate`] / `VotingPolicy::predict`, re-running
+//! the whole window each step) and the KV-cached incremental path
+//! ([`InferenceSession`], one token per step). Serving is built on the
+//! second, all reported quality numbers on the first — so these tests pin
+//! them together across every decoding mode and every voting combiner,
+//! and pin down the sampling primitive's edge-case contracts.
+
+use edge_llm_model::{
+    combine, generate, sample_token, Decoding, EdgeModel, InferenceSession, ModelConfig,
+    ModelError, VotingCombiner, VotingPolicy,
+};
+use edge_llm_tensor::check::run_cases;
+use edge_llm_tensor::{Tensor, TensorRng};
+
+fn model(seed: u64) -> EdgeModel {
+    let mut rng = TensorRng::seed_from(seed);
+    EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap()
+}
+
+/// Re-implements [`generate`]'s fixed-window decode loop on top of
+/// KV-cached sessions: each step replays the same left-padded window
+/// through a fresh [`InferenceSession`] and samples from the last
+/// position's combined distribution.
+fn session_generate(
+    model: &EdgeModel,
+    voting: &VotingPolicy,
+    prompt: &[usize],
+    n_new: usize,
+    decoding: Decoding,
+    rng: &mut TensorRng,
+) -> Vec<usize> {
+    let seq_len = model.config().seq_len;
+    let mut tokens = prompt.to_vec();
+    for _ in 0..n_new {
+        let mut window = vec![tokens[0]; seq_len];
+        let take = tokens.len().min(seq_len);
+        window[seq_len - take..].copy_from_slice(&tokens[tokens.len() - take..]);
+        let mut session = InferenceSession::new(model);
+        let mut probs = None;
+        for &tok in &window {
+            let exits = session.push_token_exits(tok, &voting.exits).unwrap();
+            probs = Some(combine(&exits, &voting.combiner).unwrap());
+        }
+        let probs = probs.expect("seq_len >= 1");
+        tokens.push(sample_token(probs.row(0), decoding, rng));
+    }
+    tokens
+}
+
+/// Every voting policy shape the crate offers.
+fn all_policies(n_layers: usize) -> Vec<(&'static str, VotingPolicy)> {
+    vec![
+        ("final-only", VotingPolicy::final_only(n_layers)),
+        (
+            "last-exit",
+            VotingPolicy::all_exits(n_layers, VotingCombiner::LastExit),
+        ),
+        (
+            "average",
+            VotingPolicy::all_exits(n_layers, VotingCombiner::Average),
+        ),
+        (
+            "confidence",
+            VotingPolicy::all_exits(
+                n_layers,
+                VotingCombiner::ConfidenceWeighted { temperature: 0.8 },
+            ),
+        ),
+        (
+            "learned",
+            VotingPolicy::all_exits(
+                n_layers,
+                VotingCombiner::Learned((1..=n_layers).map(|i| i as f32).collect()),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn session_decode_matches_generate_for_every_mode_and_policy() {
+    let m = model(21);
+    let decodings = [
+        Decoding::Greedy,
+        Decoding::Sample { temperature: 0.9 },
+        Decoding::TopK {
+            k: 5,
+            temperature: 1.2,
+        },
+    ];
+    for (pname, policy) in all_policies(m.n_layers()) {
+        for (di, &decoding) in decodings.iter().enumerate() {
+            let seed = 100 + di as u64;
+            let prompt = [3usize, 7, 1];
+            let mut rng_a = TensorRng::seed_from(seed);
+            let full = generate(&m, &policy, &prompt, 6, decoding, &mut rng_a).unwrap();
+            let mut rng_b = TensorRng::seed_from(seed);
+            let incremental = session_generate(&m, &policy, &prompt, 6, decoding, &mut rng_b);
+            assert_eq!(
+                full, incremental,
+                "policy {pname}, decoding {decoding:?}: full-forward and \
+                 KV-cached decoding must emit the same token stream"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_position_session_probs_match_predict_rows() {
+    let m = model(22);
+    let cfg = m.config().clone();
+    let tokens: Vec<usize> = (0..cfg.seq_len)
+        .map(|i| (i * 5 + 2) % cfg.vocab_size)
+        .collect();
+    for (pname, policy) in all_policies(m.n_layers()) {
+        let batched = policy.predict(&m, &tokens, 1).unwrap();
+        let mut session = InferenceSession::new(&m);
+        for (t, &tok) in tokens.iter().enumerate() {
+            let exits = session.push_token_exits(tok, &policy.exits).unwrap();
+            let row = combine(&exits, &policy.combiner).unwrap();
+            for v in 0..cfg.vocab_size {
+                let a = batched.get(t, v);
+                let b = row.get(0, v);
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "policy {pname}, position {t}, vocab {v}: batched {a} vs incremental {b}"
+                );
+            }
+        }
+    }
+}
+
+/// A random probability row (positive entries summing to 1).
+fn random_probs(rng: &mut TensorRng, n: usize) -> Vec<f32> {
+    let raw: Vec<f32> = (0..n).map(|_| rng.uniform(0.01, 1.0)).collect();
+    let total: f32 = raw.iter().sum();
+    raw.into_iter().map(|p| p / total).collect()
+}
+
+#[test]
+fn top_k_covering_the_vocab_degenerates_to_full_sampling() {
+    run_cases("topk degenerates to sample", 64, |g| {
+        let n = g.usize_in(2, 40);
+        let temperature = g.f32_in(0.2, 3.0);
+        let probs = random_probs(g.rng(), n);
+        let k = n + g.usize_in(0, 4); // k >= vocab, possibly beyond
+        let seed = g.u64();
+        let mut rng_a = TensorRng::seed_from(seed);
+        let mut rng_b = TensorRng::seed_from(seed);
+        for draw in 0..8 {
+            let full = sample_token(&probs, Decoding::Sample { temperature }, &mut rng_a);
+            let topk = sample_token(&probs, Decoding::TopK { k, temperature }, &mut rng_b);
+            assert_eq!(
+                full, topk,
+                "draw {draw}: k={k} covers all {n} candidates, so top-k must \
+                 agree with full sampling draw-for-draw"
+            );
+        }
+    });
+}
+
+#[test]
+fn top_1_agrees_with_greedy_at_any_temperature() {
+    run_cases("top-1 is greedy", 64, |g| {
+        let n = g.usize_in(2, 40);
+        let temperature = g.f32_in(0.001, 50.0);
+        let probs = random_probs(g.rng(), n);
+        let greedy = sample_token(&probs, Decoding::Greedy, g.rng());
+        let top1 = sample_token(&probs, Decoding::TopK { k: 1, temperature }, g.rng());
+        assert_eq!(greedy, top1);
+    });
+}
+
+#[test]
+fn extreme_temperatures_stay_finite_and_in_range() {
+    run_cases("extreme temperatures", 64, |g| {
+        let n = g.usize_in(2, 40);
+        let probs = random_probs(g.rng(), n);
+        for &temperature in &[1e-6f32, 1e-3, 1.0, 100.0, 1e6] {
+            let s = sample_token(&probs, Decoding::Sample { temperature }, g.rng());
+            assert!(s < n, "Sample at T={temperature} returned {s} out of {n}");
+            let k = g.usize_in(1, n + 1);
+            let t = sample_token(&probs, Decoding::TopK { k, temperature }, g.rng());
+            assert!(t < n, "TopK at T={temperature} returned {t} out of {n}");
+        }
+        // as T -> 0 the tempered distribution collapses onto the mode, so a
+        // near-zero temperature must agree with greedy (the max is unique
+        // with probability 1 for random rows)
+        let cold = sample_token(&probs, Decoding::Sample { temperature: 1e-6 }, g.rng());
+        let greedy = sample_token(&probs, Decoding::Greedy, g.rng());
+        assert_eq!(cold, greedy, "T=1e-6 sampling must collapse onto the mode");
+    });
+}
+
+#[test]
+fn exhausted_sessions_fail_cleanly_without_consuming_capacity() {
+    run_cases("capacity exhaustion", 16, |g| {
+        let m = model(g.u64());
+        let seq_len = m.config().seq_len;
+        let mut session = InferenceSession::new(&m);
+        for i in 0..seq_len {
+            session.push_token(i % m.config().vocab_size).unwrap();
+        }
+        assert_eq!(session.remaining(), 0);
+        // every push style must fail with CapacityExhausted, repeatedly,
+        // and leave the session state untouched
+        for _ in 0..3 {
+            assert!(matches!(
+                session.push_token(1),
+                Err(ModelError::CapacityExhausted { capacity }) if capacity == seq_len
+            ));
+            assert!(matches!(
+                session.advance_token(1),
+                Err(ModelError::CapacityExhausted { .. })
+            ));
+            assert!(matches!(
+                session.push_token_exits(1, &[0]),
+                Err(ModelError::CapacityExhausted { .. })
+            ));
+            assert_eq!(session.len(), seq_len, "failed pushes must not advance");
+        }
+        session.reset();
+        assert!(session.push_token(1).is_ok());
+    });
+}
+
+#[test]
+fn learned_combiner_votes_like_a_weighted_average() {
+    // spot-check the remaining combiner against a hand computation so
+    // every VotingCombiner variant is exercised by this suite
+    let mut rng = TensorRng::seed_from(23);
+    let a = Tensor::randn(1, 4, 1.0, &mut rng);
+    let b = Tensor::randn(1, 4, 1.0, &mut rng);
+    let got = combine(
+        &[a.clone(), b.clone()],
+        &VotingCombiner::Learned(vec![1.0, 3.0]),
+    )
+    .unwrap();
+    let sa = edge_llm_tensor::softmax_rows(&a);
+    let sb = edge_llm_tensor::softmax_rows(&b);
+    for v in 0..4 {
+        let want = 0.25 * sa.get(0, v) + 0.75 * sb.get(0, v);
+        assert!((got.get(0, v) - want).abs() < 1e-5, "vocab {v}");
+    }
+}

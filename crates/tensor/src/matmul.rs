@@ -8,7 +8,12 @@
 //!
 //! All kernels are cache-blocked over `TILE x TILE` panels; the block size is
 //! also the unit the hardware scheduling search in `edge-llm-hw` reasons
-//! about.
+//! about. Inside a panel the forward kernel runs an `IR x JR` register
+//! micro-tile that reuses each loaded `B` vector across `IR` output rows, so
+//! a multi-row (batched) product is genuinely cheaper per row than repeated
+//! single-row calls — without changing the per-element accumulation order
+//! (see [`micro_tile`]): results stay bit-identical to the scalar loop for
+//! every row count.
 //!
 //! Every layout also has a multi-threaded path
 //! ([`MatmulKernel::BlockedParallel`]) that splits the **output rows** into
@@ -149,6 +154,52 @@ fn naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     }
 }
 
+/// Columns per register micro-tile: the partial sums for `JR` output
+/// columns stay in registers across a whole `p` block instead of being
+/// loaded and stored from `C` on every step.
+const JR: usize = 8;
+
+/// Rows per register micro-tile: each `B` vector loaded in the inner loop
+/// is reused across `IR` output rows, which is what makes a multi-row
+/// (batched) product genuinely cheaper per row than `IR` single-row calls.
+const IR: usize = 4;
+
+/// `IR x JR` register micro-kernel over the `p` block `prange`.
+///
+/// For every output element the adds still happen in ascending-`p` order
+/// within the block (the accumulator is loaded from `C` before the block
+/// and stored after), so the result is bit-identical to the plain scalar
+/// loop.
+#[inline(always)]
+fn micro_tile<const ROWS: usize>(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    (i, j): (usize, usize),
+    prange: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0f32; JR]; ROWS];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&c[(i + r) * n + j..(i + r) * n + j + JR]);
+    }
+    for p in prange {
+        let brow: [f32; JR] = b[p * n + j..p * n + j + JR]
+            .try_into()
+            .expect("JR-sized slice");
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[(i + r) * k + p];
+            for jj in 0..JR {
+                accr[jj] += av * brow[jj];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        c[(i + r) * n + j..(i + r) * n + j + JR].copy_from_slice(accr);
+    }
+}
+
 fn blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     for ib in (0..m).step_by(TILE) {
         let imax = (ib + TILE).min(m);
@@ -156,14 +207,31 @@ fn blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
             let pmax = (pb + TILE).min(k);
             for jb in (0..n).step_by(TILE) {
                 let jmax = (jb + TILE).min(n);
-                for i in ib..imax {
-                    let arow = &a[i * k..(i + 1) * k];
-                    let crow = &mut c[i * n..(i + 1) * n];
-                    for p in pb..pmax {
-                        let av = arow[p];
-                        let brow = &b[p * n..(p + 1) * n];
-                        for j in jb..jmax {
-                            crow[j] += av * brow[j];
+                // full row quads go through the register micro-kernel
+                let quads_end = ib + (imax - ib) / IR * IR;
+                let mut j = jb;
+                while j + JR <= jmax {
+                    let mut i = ib;
+                    while i < quads_end {
+                        micro_tile::<IR>(a, b, c, (i, j), pb..pmax, k, n);
+                        i += IR;
+                    }
+                    j += JR;
+                }
+                // ragged column tail of the quad rows, then leftover rows
+                // (fewer than IR, e.g. any single-row product) over the
+                // whole tile: the plain scalar loop, same p order
+                let tails = [(ib, quads_end, j), (quads_end, imax, jb)];
+                for (row0, row1, jtail) in tails {
+                    for i in row0..row1 {
+                        let arow = &a[i * k..(i + 1) * k];
+                        let crow = &mut c[i * n..(i + 1) * n];
+                        for p in pb..pmax {
+                            let av = arow[p];
+                            let brow = &b[p * n..(p + 1) * n];
+                            for jj in jtail..jmax {
+                                crow[jj] += av * brow[jj];
+                            }
                         }
                     }
                 }

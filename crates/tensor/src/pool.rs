@@ -22,6 +22,7 @@
 //! the benchmark harness also honour. `0` means "use all available
 //! cores".
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -35,6 +36,31 @@ const MAX_THREADS: usize = 64;
 /// `usize::MAX` marks "not yet configured" so `0` can mean "auto".
 static CONFIGURED: AtomicUsize = AtomicUsize::new(usize::MAX);
 static ENV_DEFAULT: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Set inside [`serial_scope`]: kernels on this thread resolve to one
+    /// worker regardless of the global setting.
+    static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with every kernel-level thread request on the current thread
+/// resolved to `1`.
+///
+/// Used by callers that already parallelized at a coarser granularity
+/// (e.g. the batched decode step splitting its slots across workers):
+/// nested kernel-level spawns would oversubscribe the machine for
+/// microseconds of work per call. The override is per-thread and restored
+/// on exit, including on unwind.
+pub fn serial_scope<T>(f: impl FnOnce() -> T) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_SERIAL.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCE_SERIAL.with(|c| c.replace(true)));
+    f()
+}
 
 fn auto_threads() -> usize {
     std::thread::available_parallelism()
@@ -64,9 +90,13 @@ fn env_default() -> usize {
 }
 
 /// The process-wide worker count used by kernels when the caller does not
-/// pass an explicit one. Resolution order: the last
-/// [`set_configured_threads`] call, else `EDGELLM_THREADS`, else 1.
+/// pass an explicit one. Resolution order: an enclosing [`serial_scope`]
+/// (always 1), else the last [`set_configured_threads`] call, else
+/// `EDGELLM_THREADS`, else 1.
 pub fn configured_threads() -> usize {
+    if FORCE_SERIAL.with(|c| c.get()) {
+        return 1;
+    }
     match CONFIGURED.load(Ordering::Relaxed) {
         usize::MAX => env_default(),
         n => n,
@@ -80,9 +110,12 @@ pub fn set_configured_threads(threads: usize) {
 }
 
 /// Resolves a kernel-level request: `0` defers to the global setting,
-/// anything else is clamped to the pool's cap.
+/// anything else is clamped to the pool's cap. Inside a [`serial_scope`]
+/// every request resolves to 1.
 pub fn resolve_threads(requested: usize) -> usize {
-    if requested == 0 {
+    if FORCE_SERIAL.with(|c| c.get()) {
+        1
+    } else if requested == 0 {
         configured_threads()
     } else {
         clamp_threads(requested)
@@ -270,6 +303,23 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert_eq!(resolve_threads(MAX_THREADS + 10), MAX_THREADS);
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn serial_scope_forces_one_worker_and_restores() {
+        assert_eq!(serial_scope(|| resolve_threads(8)), 1);
+        assert_eq!(serial_scope(configured_threads), 1);
+        // nested scopes restore the outer override, not the global state
+        serial_scope(|| {
+            serial_scope(|| assert_eq!(resolve_threads(4), 1));
+            assert_eq!(resolve_threads(4), 1);
+        });
+        assert_eq!(resolve_threads(3), 3);
+        // the override is per-thread, not process-wide
+        serial_scope(|| {
+            let other = std::thread::spawn(|| resolve_threads(5)).join().unwrap();
+            assert_eq!(other, 5);
+        });
     }
 
     #[test]

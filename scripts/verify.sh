@@ -10,5 +10,22 @@ cargo build --release
 cargo test -q
 
 # The kernel backend guarantees bit-identical results for every thread
-# count; re-run the suite with two workers to hold it to that.
+# count; re-run the suite with two workers to hold it to that, and run
+# the serving differential suite explicitly — it is the proof that
+# continuous batching never changes a single token.
 EDGELLM_THREADS=2 cargo test -q
+EDGELLM_THREADS=2 cargo test -q --test serving_equivalence
+
+# Budget check: the quick report tier exists so a laptop can regenerate
+# the headline tables in well under a coffee break. Hold it to a
+# generous multiple of its measured runtime so a quadratic regression
+# in the pipeline or serving engine fails loudly here.
+QUICK_BUDGET_S=600
+start=$(date +%s)
+cargo run --release -q --bin report -- --quick >/dev/null
+elapsed=$(( $(date +%s) - start ))
+echo "quick report tier: ${elapsed}s (budget ${QUICK_BUDGET_S}s)"
+if [ "$elapsed" -gt "$QUICK_BUDGET_S" ]; then
+    echo "error: quick report tier exceeded its ${QUICK_BUDGET_S}s budget" >&2
+    exit 1
+fi

@@ -1,0 +1,96 @@
+//! Golden-report regression test: runs the quick-scale T1 and T3
+//! experiments through the library (the same code path as `report
+//! --quick`), projects away wall-clock columns, and compares the
+//! remaining cells against checked-in snapshots.
+//!
+//! Every number in the snapshot is produced by seeded, fixed-order
+//! arithmetic, so any drift means an algorithmic change — a kernel
+//! reorder, a schedule tweak, a quantizer edit — not noise. When a
+//! change is intentional, regenerate with:
+//!
+//! ```text
+//! EDGELLM_UPDATE_GOLDEN=1 cargo test -q --test golden_report
+//! ```
+
+use edge_llm::experiments::{t1_main, t3_adaptive, Scale};
+use edge_llm::report::Table;
+use std::fs;
+use std::path::PathBuf;
+
+/// Columns that measure host wall-clock time and therefore vary run to
+/// run; everything else in the report is deterministic.
+const NONDETERMINISTIC: &[&str] = &["iter ms"];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+/// Renders the deterministic projection of a table: the title, the kept
+/// headers, and each row's kept cells, pipe-separated.
+fn deterministic_projection(table: &Table) -> String {
+    let keep: Vec<usize> = table
+        .headers()
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| !NONDETERMINISTIC.contains(&h.as_str()))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        keep.len() < table.headers().len(),
+        "expected at least one wall-clock column in {:?}",
+        table.headers()
+    );
+    let mut lines = Vec::with_capacity(table.n_rows() + 1);
+    lines.push(
+        keep.iter()
+            .map(|&i| table.headers()[i].as_str())
+            .collect::<Vec<_>>()
+            .join(" | "),
+    );
+    for row in 0..table.n_rows() {
+        lines.push(
+            keep.iter()
+                .map(|&i| table.cell(row, i).unwrap_or(""))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+    }
+    lines.join("\n") + "\n"
+}
+
+fn assert_matches_golden(table: &Table, file: &str) {
+    let projection = deterministic_projection(table);
+    let path = golden_path(file);
+    if std::env::var_os("EDGELLM_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &projection).unwrap();
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); regenerate with EDGELLM_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        projection,
+        golden,
+        "deterministic report cells drifted from {}; if the change is \
+         intentional, regenerate with EDGELLM_UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+#[test]
+fn t1_quick_matches_snapshot() {
+    let table = t1_main(Scale::Quick).expect("t1 quick");
+    assert_matches_golden(&table, "t1_quick.txt");
+}
+
+#[test]
+fn t3_quick_matches_snapshot() {
+    let table = t3_adaptive(Scale::Quick).expect("t3 quick");
+    assert_matches_golden(&table, "t3_quick.txt");
+}

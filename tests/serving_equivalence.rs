@@ -1,0 +1,318 @@
+//! Differential proof of the serving engine's core invariant: for any
+//! request mix, any arrival order, any batch size, and any kernel thread
+//! count, every request's generated tokens — and the combined
+//! distribution behind its final token — are **bit-identical** to running
+//! that request alone through a single-sequence `InferenceSession`
+//! (`run_solo`, an independently written reference decoder).
+//!
+//! The randomized-mix tests draw prompt lengths, decoding modes, voting
+//! policies, deadlines, and scheduling shape from the in-repo property
+//! harness, so every CI run explores fresh interleavings with a
+//! reproducible per-case seed.
+
+use edge_llm::compress::apply_activation_quant;
+use edge_llm_model::{Decoding, EdgeModel, ModelConfig, VotingCombiner, VotingPolicy};
+use edge_llm_quant::{BitWidth, Granularity, QuantScheme};
+use edge_llm_serve::{run_solo, BatchedInferenceEngine, FinishReason, ServeOutcome, ServeRequest};
+use edge_llm_tensor::check::{run_cases, Gen};
+use edge_llm_tensor::{configured_threads, set_configured_threads, TensorRng};
+use std::sync::Mutex;
+
+/// Serializes tests that touch the process-wide thread setting.
+static KNOB: Mutex<()> = Mutex::new(());
+
+fn tiny_model(seed: u64) -> EdgeModel {
+    let mut rng = TensorRng::seed_from(seed);
+    EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap()
+}
+
+/// Draws one random request against `model`'s shape.
+fn random_request(g: &mut Gen, model: &EdgeModel, id: usize) -> ServeRequest {
+    let cfg = model.config();
+    let n_layers = model.n_layers();
+    let prompt_len = g.usize_in(1, cfg.seq_len + 2); // may exceed capacity
+    let prompt: Vec<usize> = (0..prompt_len)
+        .map(|_| g.usize_in(0, cfg.vocab_size))
+        .collect();
+    let decoding = match g.usize_in(0, 3) {
+        0 => Decoding::Greedy,
+        1 => Decoding::Sample {
+            temperature: g.f32_in(0.3, 2.0),
+        },
+        _ => Decoding::TopK {
+            k: g.usize_in(1, cfg.vocab_size + 4),
+            temperature: g.f32_in(0.3, 2.0),
+        },
+    };
+    let voting = match g.usize_in(0, 4) {
+        0 => VotingPolicy::final_only(n_layers),
+        1 => VotingPolicy::all_exits(n_layers, VotingCombiner::Average),
+        2 => VotingPolicy::all_exits(n_layers, VotingCombiner::LastExit),
+        _ => VotingPolicy::all_exits(
+            n_layers,
+            VotingCombiner::ConfidenceWeighted {
+                temperature: g.f32_in(0.5, 2.0),
+            },
+        ),
+    };
+    ServeRequest {
+        id: format!("r{id}"),
+        prompt,
+        max_new_tokens: g.usize_in(0, cfg.seq_len),
+        decoding,
+        voting,
+        seed: g.u64(),
+        deadline_steps: if g.bool() {
+            Some(g.usize_in(0, 2 * cfg.seq_len))
+        } else {
+            None
+        },
+    }
+}
+
+fn assert_outcome_bit_equal(batched: &ServeOutcome, solo: &ServeOutcome, ctx: &str) {
+    assert_eq!(batched.id, solo.id, "{ctx}: id");
+    assert_eq!(batched.tokens, solo.tokens, "{ctx} {}: tokens", solo.id);
+    assert_eq!(batched.finish, solo.finish, "{ctx} {}: finish", solo.id);
+    assert_eq!(batched.steps, solo.steps, "{ctx} {}: steps", solo.id);
+    let bits = |probs: &Option<Vec<f32>>| {
+        probs
+            .as_ref()
+            .map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>())
+    };
+    assert_eq!(
+        bits(&batched.final_probs),
+        bits(&solo.final_probs),
+        "{ctx} {}: final distribution must be bit-identical",
+        solo.id
+    );
+}
+
+/// Serves `requests` at the given batch size and compares every outcome
+/// against the solo reference, bitwise.
+fn assert_engine_matches_solo(
+    model: &EdgeModel,
+    requests: &[ServeRequest],
+    batch: usize,
+    ctx: &str,
+) {
+    let mut engine = BatchedInferenceEngine::new(model, batch).unwrap();
+    for r in requests {
+        engine.submit(r.clone());
+    }
+    let outcomes = engine.run_to_completion().unwrap();
+    assert_eq!(outcomes.len(), requests.len(), "{ctx}: outcome count");
+    for req in requests {
+        let solo = run_solo(model, req).unwrap();
+        let batched = outcomes
+            .iter()
+            .find(|o| o.id == req.id)
+            .unwrap_or_else(|| panic!("{ctx}: no outcome for {}", req.id));
+        assert_outcome_bit_equal(batched, &solo, ctx);
+    }
+}
+
+#[test]
+fn randomized_mixes_match_solo_across_batch_sizes_and_threads() {
+    let _guard = KNOB.lock().unwrap();
+    let saved = configured_threads();
+    let model = tiny_model(11);
+    run_cases("serving_equivalence_mix", 12, |g| {
+        let n_requests = g.usize_in(1, 9);
+        let requests: Vec<ServeRequest> = (0..n_requests)
+            .map(|i| random_request(g, &model, i))
+            .collect();
+        let batch = *g.choose(&[1usize, 2, 4, 8]);
+        let threads = *g.choose(&[1usize, 2, 4]);
+        set_configured_threads(threads);
+        assert_engine_matches_solo(
+            &model,
+            &requests,
+            batch,
+            &format!("batch {batch} threads {threads}"),
+        );
+    });
+    set_configured_threads(saved);
+}
+
+#[test]
+fn every_batch_size_yields_the_same_stream_for_a_fixed_mix() {
+    let _guard = KNOB.lock().unwrap();
+    let saved = configured_threads();
+    let model = tiny_model(12);
+    let cfg = model.config();
+    // a fixed heterogeneous mix: varied prompts, all decoding modes, a
+    // deadline eviction, and a capacity eviction (prompt past seq_len)
+    let requests = vec![
+        ServeRequest {
+            id: "greedy".into(),
+            prompt: vec![1, 2, 3],
+            max_new_tokens: 4,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(model.n_layers()),
+            seed: 1,
+            deadline_steps: None,
+        },
+        ServeRequest {
+            id: "sample".into(),
+            prompt: vec![4],
+            max_new_tokens: 5,
+            decoding: Decoding::Sample { temperature: 0.7 },
+            voting: VotingPolicy::all_exits(model.n_layers(), VotingCombiner::Average),
+            seed: 2,
+            deadline_steps: None,
+        },
+        ServeRequest {
+            id: "topk".into(),
+            prompt: vec![5, 6, 7, 8],
+            max_new_tokens: 3,
+            decoding: Decoding::TopK {
+                k: 3,
+                temperature: 1.2,
+            },
+            voting: VotingPolicy::all_exits(
+                model.n_layers(),
+                VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
+            ),
+            seed: 3,
+            deadline_steps: None,
+        },
+        ServeRequest {
+            id: "deadline".into(),
+            prompt: vec![1; 4],
+            max_new_tokens: cfg.seq_len,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(model.n_layers()),
+            seed: 4,
+            deadline_steps: Some(5),
+        },
+        ServeRequest {
+            id: "capacity".into(),
+            prompt: (0..cfg.seq_len + 2).map(|i| i % cfg.vocab_size).collect(),
+            max_new_tokens: 2,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(model.n_layers()),
+            seed: 5,
+            deadline_steps: None,
+        },
+    ];
+    for threads in [1usize, 2, 4] {
+        set_configured_threads(threads);
+        for batch in [1usize, 2, 4, 8] {
+            assert_engine_matches_solo(
+                &model,
+                &requests,
+                batch,
+                &format!("fixed mix, batch {batch}, threads {threads}"),
+            );
+        }
+    }
+    set_configured_threads(saved);
+}
+
+#[test]
+fn arrival_order_never_changes_any_request() {
+    let model = tiny_model(13);
+    run_cases("serving_equivalence_order", 6, |g| {
+        let mut requests: Vec<ServeRequest> =
+            (0..5).map(|i| random_request(g, &model, i)).collect();
+        let batch = *g.choose(&[2usize, 4]);
+        assert_engine_matches_solo(&model, &requests, batch, "original order");
+        // reverse the arrival order: every per-request outcome must be
+        // unchanged because solo references don't depend on order at all
+        requests.reverse();
+        assert_engine_matches_solo(&model, &requests, batch, "reversed order");
+    });
+}
+
+#[test]
+fn activation_quantization_does_not_couple_batch_rows() {
+    // per-tensor and grouped activation calibration are the schemes where
+    // a naive batched implementation would couple rows (the quant range
+    // would span all in-flight sequences); the engine must fit ranges per
+    // row and stay bit-identical to solo
+    let schemes = [
+        QuantScheme::asymmetric(BitWidth::W8).with_granularity(Granularity::PerTensor),
+        QuantScheme::asymmetric(BitWidth::W4).with_granularity(Granularity::PerTensor),
+        QuantScheme::asymmetric(BitWidth::W8).with_granularity(Granularity::Group(8)),
+    ];
+    for (si, scheme) in schemes.into_iter().enumerate() {
+        let mut model = tiny_model(14);
+        apply_activation_quant(&mut model, Some(scheme)).unwrap();
+        run_cases(&format!("serving_equivalence_quant_{si}"), 4, |g| {
+            let requests: Vec<ServeRequest> =
+                (0..4).map(|i| random_request(g, &model, i)).collect();
+            let batch = *g.choose(&[2usize, 4, 8]);
+            assert_engine_matches_solo(&model, &requests, batch, &format!("quant {scheme:?}"));
+        });
+    }
+}
+
+#[test]
+fn rejected_and_evicted_requests_report_identically() {
+    let model = tiny_model(15);
+    let cfg = model.config();
+    let requests = vec![
+        ServeRequest {
+            id: "empty-prompt".into(),
+            prompt: vec![],
+            max_new_tokens: 2,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(model.n_layers()),
+            seed: 1,
+            deadline_steps: None,
+        },
+        ServeRequest {
+            id: "bad-token".into(),
+            prompt: vec![cfg.vocab_size + 5],
+            max_new_tokens: 2,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(model.n_layers()),
+            seed: 2,
+            deadline_steps: None,
+        },
+        ServeRequest {
+            id: "bad-temp".into(),
+            prompt: vec![1],
+            max_new_tokens: 2,
+            decoding: Decoding::Sample { temperature: -1.0 },
+            voting: VotingPolicy::final_only(model.n_layers()),
+            seed: 3,
+            deadline_steps: None,
+        },
+        ServeRequest {
+            id: "zero-deadline".into(),
+            prompt: vec![1, 2],
+            max_new_tokens: 2,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(model.n_layers()),
+            seed: 4,
+            deadline_steps: Some(0),
+        },
+        ServeRequest {
+            id: "survivor".into(),
+            prompt: vec![3, 4],
+            max_new_tokens: 3,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(model.n_layers()),
+            seed: 5,
+            deadline_steps: None,
+        },
+    ];
+    assert_engine_matches_solo(&model, &requests, 4, "degenerate requests");
+    // and the reasons are the expected ones
+    let mut engine = BatchedInferenceEngine::new(&model, 4).unwrap();
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let outcomes = engine.run_to_completion().unwrap();
+    let finish = |id: &str| outcomes.iter().find(|o| o.id == id).unwrap().finish.clone();
+    assert!(matches!(
+        finish("empty-prompt"),
+        FinishReason::Rejected { .. }
+    ));
+    assert!(matches!(finish("bad-token"), FinishReason::Rejected { .. }));
+    assert!(matches!(finish("bad-temp"), FinishReason::Rejected { .. }));
+    assert_eq!(finish("zero-deadline"), FinishReason::DeadlineExceeded);
+    assert_eq!(finish("survivor"), FinishReason::Completed);
+}
