@@ -1,0 +1,99 @@
+//! Weight-cache microbenchmarks: the cost of one forward pass with the
+//! compressed-weight cache cold (re-quantize everything), warm (reuse
+//! cached effective weights), and packed (decode straight from integer
+//! codes), plus the standalone re-quantization cost the cache removes.
+//!
+//! The machine-readable before/after numbers are regenerated with
+//! `cargo run --release --bin bench_cache` from the repo root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edge_llm::compress::apply_layer_policy;
+use edge_llm_luc::LayerPolicy;
+use edge_llm_model::{EdgeModel, InferenceSession, ModelConfig};
+use edge_llm_quant::BitWidth;
+use edge_llm_tensor::TensorRng;
+
+fn quantized_model(bits: BitWidth) -> EdgeModel {
+    let cfg = ModelConfig::tiny().with_layers(4).with_d_model(128, 4);
+    let mut rng = TensorRng::seed_from(42);
+    let mut model = EdgeModel::new(cfg, &mut rng).expect("bench config");
+    for l in 0..model.n_layers() {
+        apply_layer_policy(
+            &mut model,
+            l,
+            LayerPolicy {
+                bits,
+                prune_ratio: 0.25,
+            },
+        )
+        .expect("bench policy");
+    }
+    model
+}
+
+fn tokens(model: &EdgeModel) -> Vec<usize> {
+    let mut rng = TensorRng::seed_from(7);
+    (0..model.config().seq_len)
+        .map(|_| rng.index(model.config().vocab_size))
+        .collect()
+}
+
+fn invalidate_all(model: &mut EdgeModel) {
+    // a no-op parameter sweep marks every layer dirty, forcing the next
+    // forward to re-quantize from scratch — the pre-cache behavior
+    model.visit_params_all(&mut |_, _, _| {});
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_cache_forward");
+    group.sample_size(20);
+    for bits in [BitWidth::W2, BitWidth::W4, BitWidth::W8] {
+        let mut model = quantized_model(bits);
+        let toks = tokens(&model);
+
+        group.bench_with_input(
+            BenchmarkId::new("cold", format!("{bits:?}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    invalidate_all(&mut model);
+                    model.logits(&toks, 1).unwrap()
+                })
+            },
+        );
+
+        model.logits(&toks, 1).unwrap(); // warm every cache
+        group.bench_with_input(
+            BenchmarkId::new("warm", format!("{bits:?}")),
+            &(),
+            |b, _| b.iter(|| model.logits(&toks, 1).unwrap()),
+        );
+
+        model.pack_frozen_weights().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("packed_decode", format!("{bits:?}")),
+            &(),
+            |b, _| {
+                let mut session = InferenceSession::new(&model);
+                b.iter(|| {
+                    if session.remaining() == 0 {
+                        session.reset();
+                    }
+                    session.push_token(0).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // sanity: warm and cold paths agree bit-for-bit
+    let mut model = quantized_model(BitWidth::W4);
+    let toks = tokens(&model);
+    let warm = model.logits(&toks, 1).unwrap();
+    invalidate_all(&mut model);
+    let cold = model.logits(&toks, 1).unwrap();
+    assert_eq!(warm.as_slice(), cold.as_slice());
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

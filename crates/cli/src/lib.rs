@@ -411,7 +411,7 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             .map_err(run_err)?;
             let mut file = fs::File::create(ckpt)
                 .map_err(|e| CliError::Run(format!("cannot create {ckpt}: {e}")))?;
-            save_model(&mut model, &mut file).map_err(run_err)?;
+            save_model(&model, &mut file).map_err(run_err)?;
             file.flush().map_err(run_err)?;
             if run.steps_executed == 0 {
                 writeln!(
@@ -466,6 +466,9 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
             );
             let ids = tok.encode(prompt);
+            // Generation never mutates weights: pack any quantized layers
+            // so decode runs off integer codes (no-op on dense models).
+            model.pack_frozen_weights().map_err(run_err)?;
             let generated =
                 generate(&model, &voting, &ids, *tokens, decoding, &mut rng).map_err(run_err)?;
             writeln!(out, "{}", tok.decode(&generated)).map_err(run_err)?;
@@ -536,10 +539,11 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             writeln!(
                 out,
                 "served {} requests in {elapsed:.2}s: {total_tokens} tokens, \
-                 {:.1} tokens/s, {} batched passes",
+                 {:.1} tokens/s, {} batched passes, {} resident weight bytes",
                 ids.len(),
                 total_tokens as f64 / elapsed.max(1e-9),
-                engine.steps_run()
+                engine.steps_run(),
+                engine.weight_resident_bytes()
             )
             .map_err(run_err)?;
         }

@@ -261,10 +261,44 @@ impl Attention {
         self.proj.visit_params(f);
     }
 
+    /// Read-only mirror of [`Attention::visit_params`]: same slice order,
+    /// no cache invalidation.
+    pub fn visit_params_ro(&self, f: &mut dyn FnMut(&[f32])) {
+        self.qkv.visit_params_ro(f);
+        self.proj.visit_params_ro(f);
+    }
+
+    /// Number of slice pairs [`Attention::visit_params`] yields.
+    pub fn param_slice_count(&self) -> usize {
+        self.qkv.param_slice_count() + self.proj.param_slice_count()
+    }
+
     /// Re-applies pruning masks after an optimizer step.
     pub fn enforce_masks(&mut self) {
         self.qkv.enforce_mask();
         self.proj.enforce_mask();
+    }
+
+    /// Quantizes the projections' weights into packed integer codes for
+    /// the decode path (see [`Linear::pack_weights`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures.
+    pub fn pack_weights(&self) -> Result<(), ModelError> {
+        self.qkv.pack_weights()?;
+        self.proj.pack_weights()
+    }
+
+    /// Enables or disables the compressed-weight cache on both projections.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.qkv.set_cache_enabled(enabled);
+        self.proj.set_cache_enabled(enabled);
+    }
+
+    /// Bytes the decode path keeps resident for the projections' weights.
+    pub fn weight_storage_bytes(&self) -> usize {
+        self.qkv.weight_storage_bytes() + self.proj.weight_storage_bytes()
     }
 }
 

@@ -164,10 +164,52 @@ impl Block {
         self.mlp.visit_params(f);
     }
 
+    /// Read-only mirror of [`Block::visit_params`]: same slice order, no
+    /// cache invalidation.
+    pub fn visit_params_ro(&self, f: &mut dyn FnMut(&[f32])) {
+        self.ln1.visit_params_ro(f);
+        self.attn.visit_params_ro(f);
+        self.ln2.visit_params_ro(f);
+        self.mlp.visit_params_ro(f);
+    }
+
+    /// Number of slice pairs [`Block::visit_params`] yields. Window
+    /// traversals use this to skip frozen blocks without borrowing their
+    /// parameters mutably (which would invalidate their weight caches).
+    pub fn param_slice_count(&self) -> usize {
+        self.ln1.param_slice_count()
+            + self.attn.param_slice_count()
+            + self.ln2.param_slice_count()
+            + self.mlp.param_slice_count()
+    }
+
     /// Re-applies pruning masks after an optimizer step.
     pub fn enforce_masks(&mut self) {
         self.attn.enforce_masks();
         self.mlp.enforce_masks();
+    }
+
+    /// Quantizes this block's four projection weights into packed integer
+    /// codes for the decode path (see [`crate::Linear::pack_weights`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures.
+    pub fn pack_weights(&self) -> Result<(), ModelError> {
+        self.attn.pack_weights()?;
+        self.mlp.pack_weights()
+    }
+
+    /// Enables or disables the compressed-weight cache on every projection.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.attn.set_cache_enabled(enabled);
+        self.mlp.set_cache_enabled(enabled);
+    }
+
+    /// Bytes the decode path keeps resident for this block's projection
+    /// weights.
+    pub fn weight_storage_bytes(&self) -> usize {
+        self.attn.weight_storage_bytes() + self.mlp.weight_storage_bytes()
     }
 }
 

@@ -51,20 +51,22 @@ fn config_fields(config: &ModelConfig) -> [u64; 7] {
 
 /// Serializes `model` to `writer`.
 ///
-/// A mutable borrow is required because parameters are reached through the
-/// model's canonical visitor; the model is not modified.
+/// Parameters are reached through the model's read-only canonical visitor
+/// ([`EdgeModel::visit_params_all_ro`]), which emits the same bytes in the
+/// same order as the mutable visitor without invalidating any
+/// compressed-weight caches.
 ///
 /// # Errors
 ///
 /// Returns [`ModelError::BadConfig`] wrapping any underlying I/O error.
-pub fn save_model<W: Write>(model: &mut EdgeModel, writer: &mut W) -> Result<(), ModelError> {
+pub fn save_model<W: Write>(model: &EdgeModel, writer: &mut W) -> Result<(), ModelError> {
     writer.write_all(MAGIC).map_err(io_err)?;
-    for f in config_fields(&model.config().clone()) {
+    for f in config_fields(model.config()) {
         write_u64(writer, f)?;
     }
     let mut result = Ok(());
     let mut total = 0u64;
-    model.visit_params_all(&mut |_, p, _| {
+    model.visit_params_all_ro(&mut |_, p| {
         if result.is_err() {
             return;
         }
@@ -209,17 +211,17 @@ pub struct TrainingCheckpoint {
 impl TrainingCheckpoint {
     /// Snapshots a live training run.
     ///
-    /// The model borrow is mutable only because parameters are reached
-    /// through the canonical visitor; nothing is modified.
+    /// Parameters are reached through the read-only canonical visitor, so
+    /// periodic checkpointing never evicts compressed-weight caches.
     pub fn capture(
-        model: &mut EdgeModel,
+        model: &EdgeModel,
         opt: &Sgd,
         iteration: u64,
         rng: &TensorRng,
         extra: Vec<u8>,
     ) -> Self {
         let mut params = Vec::new();
-        model.visit_params_all(&mut |_, p, _| params.extend_from_slice(p));
+        model.visit_params_all_ro(&mut |_, p| params.extend_from_slice(p));
         TrainingCheckpoint {
             config: model.config().clone(),
             params,
@@ -493,9 +495,9 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_outputs() {
-        let mut m = model(1);
+        let m = model(1);
         let mut bytes = Vec::new();
-        save_model(&mut m, &mut bytes).unwrap();
+        save_model(&m, &mut bytes).unwrap();
         let loaded = load_model(&mut bytes.as_slice()).unwrap();
         let tokens: Vec<usize> = (0..8).map(|i| i % 32).collect();
         let a = m.logits(&tokens, 1).unwrap();
@@ -512,18 +514,18 @@ mod tests {
 
     #[test]
     fn truncated_stream_rejected() {
-        let mut m = model(2);
+        let m = model(2);
         let mut bytes = Vec::new();
-        save_model(&mut m, &mut bytes).unwrap();
+        save_model(&m, &mut bytes).unwrap();
         bytes.truncate(bytes.len() / 2);
         assert!(load_model(&mut bytes.as_slice()).is_err());
     }
 
     #[test]
     fn corrupt_param_count_rejected() {
-        let mut m = model(3);
+        let m = model(3);
         let mut bytes = Vec::new();
-        save_model(&mut m, &mut bytes).unwrap();
+        save_model(&m, &mut bytes).unwrap();
         let n = bytes.len();
         bytes[n - 1] ^= 0xff; // flip the recorded count
         assert!(load_model(&mut bytes.as_slice()).is_err());
@@ -546,8 +548,8 @@ mod tests {
 
     #[test]
     fn training_checkpoint_roundtrips_bit_identically() {
-        let (mut m, opt, rng) = training_state(6);
-        let ckpt = TrainingCheckpoint::capture(&mut m, &opt, 3, &rng, b"policy=none".to_vec());
+        let (m, opt, rng) = training_state(6);
+        let ckpt = TrainingCheckpoint::capture(&m, &opt, 3, &rng, b"policy=none".to_vec());
         let mut bytes = Vec::new();
         ckpt.write_to(&mut bytes).unwrap();
         let back = TrainingCheckpoint::read_from(&mut bytes.as_slice()).unwrap();
@@ -565,8 +567,8 @@ mod tests {
 
     #[test]
     fn training_checkpoint_detects_truncation_and_bitflips() {
-        let (mut m, opt, rng) = training_state(7);
-        let ckpt = TrainingCheckpoint::capture(&mut m, &opt, 1, &rng, Vec::new());
+        let (m, opt, rng) = training_state(7);
+        let ckpt = TrainingCheckpoint::capture(&m, &opt, 1, &rng, Vec::new());
         let mut bytes = Vec::new();
         ckpt.write_to(&mut bytes).unwrap();
         // every truncation point fails with a typed error
@@ -588,9 +590,9 @@ mod tests {
 
     #[test]
     fn training_checkpoint_rejects_v1_and_foreign_files() {
-        let mut m = model(8);
+        let m = model(8);
         let mut v1 = Vec::new();
-        save_model(&mut m, &mut v1).unwrap();
+        save_model(&m, &mut v1).unwrap();
         let err = TrainingCheckpoint::read_from(&mut v1.as_slice()).unwrap_err();
         assert!(
             err.to_string().contains("model-only"),
@@ -602,8 +604,8 @@ mod tests {
 
     #[test]
     fn training_checkpoint_restore_rejects_wrong_architecture() {
-        let (mut m, opt, rng) = training_state(9);
-        let ckpt = TrainingCheckpoint::capture(&mut m, &opt, 0, &rng, Vec::new());
+        let (m, opt, rng) = training_state(9);
+        let ckpt = TrainingCheckpoint::capture(&m, &opt, 0, &rng, Vec::new());
         let mut rng2 = TensorRng::seed_from(1);
         let mut other = EdgeModel::new(
             ModelConfig::tiny().with_layers(m.config().n_layers + 1),
@@ -618,15 +620,15 @@ mod tests {
         let dir = std::env::temp_dir().join("edgellm-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("run.ckpt");
-        let (mut m, opt, rng) = training_state(10);
-        let ckpt = TrainingCheckpoint::capture(&mut m, &opt, 2, &rng, vec![1, 2, 3]);
+        let (m, opt, rng) = training_state(10);
+        let ckpt = TrainingCheckpoint::capture(&m, &opt, 2, &rng, vec![1, 2, 3]);
         ckpt.save_file(&path).unwrap();
         // no temp file left behind
         assert!(!path.with_extension("ckpt.tmp").exists());
         let back = TrainingCheckpoint::load_file(&path).unwrap();
         assert_eq!(back, ckpt);
         // overwrite with new state keeps the file valid
-        let ckpt2 = TrainingCheckpoint::capture(&mut m, &opt, 5, &rng, vec![9]);
+        let ckpt2 = TrainingCheckpoint::capture(&m, &opt, 5, &rng, vec![9]);
         ckpt2.save_file(&path).unwrap();
         assert_eq!(TrainingCheckpoint::load_file(&path).unwrap().iteration, 5);
         std::fs::remove_file(&path).ok();
@@ -634,12 +636,12 @@ mod tests {
 
     #[test]
     fn different_models_serialize_differently() {
-        let mut a = model(4);
-        let mut b = model(5);
+        let a = model(4);
+        let b = model(5);
         let mut ba = Vec::new();
         let mut bb = Vec::new();
-        save_model(&mut a, &mut ba).unwrap();
-        save_model(&mut b, &mut bb).unwrap();
+        save_model(&a, &mut ba).unwrap();
+        save_model(&b, &mut bb).unwrap();
         assert_ne!(ba, bb);
         assert_eq!(ba.len(), bb.len(), "same config, same checkpoint size");
     }

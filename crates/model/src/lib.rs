@@ -63,7 +63,7 @@ pub use lora::{LoraCache, LoraLinear};
 pub use lr::LrSchedule;
 pub use memory::{MemoryBreakdown, MemoryModel};
 pub use mlp::{Mlp, MlpCache};
-pub use model::{EdgeModel, ExitForward, ForwardCaches};
+pub use model::{EdgeModel, ExitForward, ForwardCaches, ParamVisitor, ParamVisitorRo};
 pub use norm::LayerNorm;
 pub use optim::{Adam, Optimizer, Sgd, SgdState};
 pub use voting::{combine, fit_learned_weights, VotingCombiner, VotingPolicy};

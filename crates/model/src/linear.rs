@@ -1,9 +1,14 @@
 use crate::error::ModelError;
 use edge_llm_prune::PruneMask;
-use edge_llm_quant::{fake_quant, fake_quant_backward, QuantScheme};
-use edge_llm_tensor::{
-    add_bias_backward, add_bias_forward, matmul_a_bt, matmul_at_b, Tensor, TensorRng,
+use edge_llm_quant::{
+    fake_quant, fake_quant_backward, fake_quant_row_in_place, QuantScheme, QuantizedTensor,
 };
+use edge_llm_tensor::{
+    add_bias_backward, add_bias_forward, matmul_a_bt, matmul_at_b, matmul_fill_b_with, Tensor,
+    TensorRng,
+};
+use std::borrow::Cow;
+use std::sync::{Arc, OnceLock};
 
 /// A fully-connected layer `y = x · W + b` with explicit gradients and
 /// optional per-layer compression state.
@@ -15,6 +20,22 @@ use edge_llm_tensor::{
 ///   while gradients flow via the straight-through estimator.
 ///
 /// These are exactly the per-layer knobs a LUC policy assigns.
+///
+/// # Compressed-weight cache
+///
+/// Masking + fake-quantizing the whole weight on every forward call wastes
+/// the one property Edge-LLM's compressed layers have: they are *frozen*
+/// almost all of the time (only the layers inside the adaptive tuning
+/// window change per iteration, and at inference nothing changes at all).
+/// The layer therefore keeps a lazily-populated cache of its effective
+/// weight, plus — after [`Linear::pack_weights`] — the weight as packed
+/// integer codes routed through a blocked row-dequantizing kernel.
+///
+/// Every mutation path (`visit_params`, `set_mask` / `set_quant` /
+/// `set_activation_quant`, `enforce_mask` when it actually changes a
+/// value, `weight_mut`) invalidates the cache, so cached results are
+/// **bit-identical** to recomputing the effective weight on every call —
+/// the invariant the staleness tests in `tests/weight_cache.rs` pin down.
 #[derive(Debug, Clone)]
 pub struct Linear {
     w: Tensor,
@@ -24,13 +45,28 @@ pub struct Linear {
     mask: Option<PruneMask>,
     quant: Option<QuantScheme>,
     act_quant: Option<QuantScheme>,
+    wcache: WeightCache,
+    cache_enabled: bool,
+}
+
+/// Lazily-populated derived forms of the weight. `OnceLock` lets the
+/// immutable forward paths (shared across the batched-decode worker
+/// threads) populate the cache; every mutating method clears it by
+/// replacing the cells.
+#[derive(Debug, Clone, Default)]
+struct WeightCache {
+    /// The dense effective (masked + fake-quantized) weight.
+    dense: OnceLock<Arc<Tensor>>,
+    /// The weight as packed integer codes (decode/serving path); holds the
+    /// layer's resident weight bytes at the LUC policy's bit-width ratio.
+    packed: OnceLock<Arc<QuantizedTensor>>,
 }
 
 /// Activations cached by [`Linear::forward`] for the backward pass.
 #[derive(Debug, Clone)]
 pub struct LinearCache {
     x: Tensor,
-    w_eff: Option<Tensor>,
+    w_eff: Option<Arc<Tensor>>,
 }
 
 impl LinearCache {
@@ -52,6 +88,8 @@ impl Linear {
             mask: None,
             quant: None,
             act_quant: None,
+            wcache: WeightCache::default(),
+            cache_enabled: true,
         }
     }
 
@@ -74,7 +112,10 @@ impl Linear {
     }
 
     /// Mutable access to the weight (used by LoRA merging and tests).
+    /// Invalidates the compressed-weight cache: the caller may write
+    /// through the returned borrow.
     pub fn weight_mut(&mut self) -> &mut Tensor {
+        self.invalidate_weight_cache();
         &mut self.w
     }
 
@@ -98,12 +139,14 @@ impl Linear {
             m.apply(&mut self.w)?;
         }
         self.mask = mask;
+        self.invalidate_weight_cache();
         Ok(())
     }
 
     /// Installs (or clears) a fake-quantization scheme for the forward pass.
     pub fn set_quant(&mut self, quant: Option<QuantScheme>) {
         self.quant = quant;
+        self.invalidate_weight_cache();
     }
 
     /// Installs (or clears) an *activation* fake-quantization scheme: the
@@ -113,6 +156,10 @@ impl Linear {
     /// straight-through backward is exactly the identity.
     pub fn set_activation_quant(&mut self, act_quant: Option<QuantScheme>) {
         self.act_quant = act_quant;
+        // The weight cache does not depend on the activation scheme, but a
+        // scheme change redefines the layer's datapath; drop derived state
+        // conservatively rather than reason about which parts survive.
+        self.invalidate_weight_cache();
     }
 
     /// The installed activation-quantization scheme, if any.
@@ -130,22 +177,108 @@ impl Linear {
         self.quant
     }
 
+    /// Enables or disables the compressed-weight cache (enabled by
+    /// default). Disabling recomputes the effective weight on every
+    /// forward call — the recompute-every-time baseline the benchmarks
+    /// compare against; results are bit-identical either way.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.invalidate_weight_cache();
+        }
+    }
+
+    /// Whether the compressed-weight cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Whether a dense effective weight is currently cached (test hook for
+    /// the staleness suite).
+    pub fn has_cached_weight(&self) -> bool {
+        self.wcache.dense.get().is_some()
+    }
+
+    /// Whether the weight is held as packed integer codes.
+    pub fn is_packed(&self) -> bool {
+        self.wcache.packed.get().is_some()
+    }
+
+    /// Bytes the decode path keeps resident for this layer's weight:
+    /// the packed codes plus group metadata once [`Linear::pack_weights`]
+    /// has run, the dense f32 weight otherwise.
+    pub fn weight_storage_bytes(&self) -> usize {
+        match self.wcache.packed.get() {
+            Some(q) => q.storage_bytes(),
+            None => self.w.len() * 4,
+        }
+    }
+
+    fn invalidate_weight_cache(&mut self) {
+        self.wcache.dense.take();
+        self.wcache.packed.take();
+    }
+
+    /// Quantizes the weight into packed integer codes so the no-cache
+    /// forward paths (inference, serving) run the blocked row-dequantizing
+    /// kernel instead of materializing the dense effective weight. A no-op
+    /// for layers without a quant scheme, with the cache disabled, or when
+    /// already packed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Compression`] if quantization fails (e.g.
+    /// non-finite weights).
+    pub fn pack_weights(&self) -> Result<(), ModelError> {
+        let Some(scheme) = self.quant else {
+            return Ok(());
+        };
+        if !self.cache_enabled || self.wcache.packed.get().is_some() {
+            return Ok(());
+        }
+        let q = Arc::new(QuantizedTensor::quantize(&self.w, scheme)?);
+        let _ = self.wcache.packed.set(q);
+        Ok(())
+    }
+
     /// The weight actually used by the forward pass (masked and, when a
-    /// scheme is installed, fake-quantized).
+    /// scheme is installed, fake-quantized). Borrows the stored weight when
+    /// no scheme is installed — the uncompressed path allocates nothing.
     ///
     /// # Errors
     ///
     /// Returns [`ModelError::Compression`] if fake quantization fails.
-    pub fn effective_weight(&self) -> Result<Tensor, ModelError> {
-        let mut w = match self.quant {
-            Some(scheme) => fake_quant(&self.w, scheme)?,
-            None => return Ok(self.w.clone()),
+    pub fn effective_weight(&self) -> Result<Cow<'_, Tensor>, ModelError> {
+        let Some(scheme) = self.quant else {
+            return Ok(Cow::Borrowed(&self.w));
         };
+        let mut w = fake_quant(&self.w, scheme)?;
         // Quantization can perturb pruned zeros off zero; re-mask.
         if let Some(m) = &self.mask {
             m.apply(&mut w)?;
         }
-        Ok(w)
+        Ok(Cow::Owned(w))
+    }
+
+    /// [`Linear::effective_weight`] through the cache: computed at most
+    /// once per mutation, shared via `Arc`. Falls back to a fresh
+    /// computation when the cache is disabled (or no scheme is installed,
+    /// where the cache would only duplicate the stored weight).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Compression`] if fake quantization fails.
+    pub fn cached_effective_weight(&self) -> Result<Arc<Tensor>, ModelError> {
+        if self.quant.is_none() || !self.cache_enabled {
+            return Ok(Arc::new(self.effective_weight()?.into_owned()));
+        }
+        if let Some(w) = self.wcache.dense.get() {
+            return Ok(Arc::clone(w));
+        }
+        let w = Arc::new(self.effective_weight()?.into_owned());
+        // Racing initializers computed identical bits from the same frozen
+        // weight; get_or_init keeps exactly one.
+        Ok(Arc::clone(self.wcache.dense.get_or_init(|| w)))
     }
 
     /// Forward pass, caching what the backward pass needs.
@@ -156,25 +289,34 @@ impl Linear {
     pub fn forward(&self, x: &Tensor) -> Result<(Tensor, LinearCache), ModelError> {
         let x_used = self.effective_input(x)?;
         let (y, w_eff) = self.forward_inner(&x_used)?;
-        Ok((y, LinearCache { x: x_used, w_eff }))
+        Ok((
+            y,
+            LinearCache {
+                x: x_used.into_owned(),
+                w_eff,
+            },
+        ))
     }
 
-    fn effective_input(&self, x: &Tensor) -> Result<Tensor, ModelError> {
+    fn effective_input<'a>(&self, x: &'a Tensor) -> Result<Cow<'a, Tensor>, ModelError> {
         match self.act_quant {
-            Some(scheme) => Ok(fake_quant(x, scheme)?),
-            None => Ok(x.clone()),
+            Some(scheme) => Ok(Cow::Owned(fake_quant(x, scheme)?)),
+            None => Ok(Cow::Borrowed(x)),
         }
     }
 
     /// Forward pass without retaining activations (inference / frozen
-    /// layers in adaptive tuning).
+    /// layers in adaptive tuning). Uses the packed decode path when
+    /// [`Linear::pack_weights`] has run, the dense cache otherwise; both
+    /// are bit-identical to recomputing the effective weight.
     ///
     /// # Errors
     ///
     /// Propagates shape errors from the underlying kernels.
     pub fn forward_no_cache(&self, x: &Tensor) -> Result<Tensor, ModelError> {
         let x_used = self.effective_input(x)?;
-        Ok(self.forward_inner(&x_used)?.0)
+        let y = self.matmul_effective(&x_used)?;
+        self.add_bias(y)
     }
 
     /// Forward pass whose output row `r` is bit-identical to
@@ -193,36 +335,87 @@ impl Linear {
     /// Propagates shape errors from the underlying kernels.
     pub fn forward_rows_no_cache(&self, x: &Tensor) -> Result<Tensor, ModelError> {
         let x_used = match self.act_quant {
-            None => return Ok(self.forward_inner(x)?.0),
+            None => {
+                let y = self.matmul_effective(x)?;
+                return self.add_bias(y);
+            }
             Some(scheme) => {
-                let (rows, cols) = x.shape();
-                let mut q = Tensor::zeros(rows, cols);
+                // Quantize each row in place in the copied batch: no
+                // per-row temporaries, same bits as quantizing a 1 x cols
+                // tensor per row.
+                let mut q = x.clone();
+                let (rows, _) = q.shape();
                 for r in 0..rows {
-                    let row =
-                        Tensor::from_vec(1, cols, x.row(r).to_vec()).map_err(ModelError::Tensor)?;
-                    let qr = fake_quant(&row, scheme)?;
-                    q.row_mut(r).copy_from_slice(qr.row(0));
+                    fake_quant_row_in_place(q.row_mut(r), scheme)?;
                 }
                 q
             }
         };
-        Ok(self.forward_inner(&x_used)?.0)
+        let y = self.matmul_effective(&x_used)?;
+        self.add_bias(y)
     }
 
-    fn forward_inner(&self, x: &Tensor) -> Result<(Tensor, Option<Tensor>), ModelError> {
+    fn forward_inner(&self, x: &Tensor) -> Result<(Tensor, Option<Arc<Tensor>>), ModelError> {
         let (y, w_eff) = match self.quant {
             Some(_) => {
-                let w = self.effective_weight()?;
-                (x.matmul(&w)?, Some(w))
+                let w = self.cached_effective_weight()?;
+                (x.matmul(w.as_ref())?, Some(w))
             }
             None => (x.matmul(&self.w)?, None),
         };
-        let y = if self.b.is_empty() {
-            y
+        Ok((self.add_bias(y)?, w_eff))
+    }
+
+    fn add_bias(&self, y: Tensor) -> Result<Tensor, ModelError> {
+        if self.b.is_empty() {
+            Ok(y)
         } else {
-            add_bias_forward(&y, &self.b)?
+            Ok(add_bias_forward(&y, &self.b)?)
+        }
+    }
+
+    /// `x · W_eff` for the no-cache paths: packed codes through the blocked
+    /// row-dequantizing kernel when available, the cached dense effective
+    /// weight otherwise, and a fresh recompute when the cache is disabled.
+    fn matmul_effective(&self, x: &Tensor) -> Result<Tensor, ModelError> {
+        if self.quant.is_none() {
+            return Ok(x.matmul(&self.w)?);
+        }
+        if self.cache_enabled {
+            if let Some(q) = self.wcache.packed.get() {
+                return self.packed_matmul(x, q);
+            }
+            let w = self.cached_effective_weight()?;
+            return Ok(x.matmul(w.as_ref())?);
+        }
+        let w = self.effective_weight()?;
+        Ok(x.matmul(w.as_ref())?)
+    }
+
+    /// `x · W_eff` where the weight lives as packed codes: `TILE`-row
+    /// panels are dequantized (and re-masked, exactly as
+    /// [`Linear::effective_weight`] re-masks) on demand inside the kernel,
+    /// so the dense weight never materializes. Bit-identical to
+    /// `x.matmul(&effective_weight())` because panel dequantization
+    /// reproduces `fake_quant` bit-for-bit and the kernel preserves the
+    /// per-element accumulation order.
+    fn packed_matmul(&self, x: &Tensor, q: &QuantizedTensor) -> Result<Tensor, ModelError> {
+        let (rows, cols) = self.w.shape();
+        let keep = self.mask.as_ref().map(|m| m.as_slice());
+        let fill = move |p0: usize, panel: &mut [f32]| {
+            for (r, row) in panel.chunks_mut(cols).enumerate() {
+                q.dequantize_row_into(p0 + r, row);
+                if let Some(keep) = keep {
+                    let krow = &keep[(p0 + r) * cols..(p0 + r + 1) * cols];
+                    for (v, &k) in row.iter_mut().zip(krow) {
+                        if !k {
+                            *v = 0.0;
+                        }
+                    }
+                }
+            }
         };
-        Ok((y, w_eff))
+        Ok(matmul_fill_b_with(x, rows, cols, 0, &fill)?)
     }
 
     /// Backward pass: accumulates `dw`/`db` and returns `dx`.
@@ -234,7 +427,10 @@ impl Linear {
     ///
     /// Propagates shape errors from the underlying kernels.
     pub fn backward(&mut self, cache: &LinearCache, dy: &Tensor) -> Result<Tensor, ModelError> {
-        let w_used = cache.w_eff.as_ref().unwrap_or(&self.w);
+        let w_used: &Tensor = match &cache.w_eff {
+            Some(w) => w,
+            None => &self.w,
+        };
         let dx = matmul_a_bt(dy, w_used)?;
         let mut dw = matmul_at_b(&cache.x, dy)?;
         if let Some(scheme) = self.quant {
@@ -261,18 +457,56 @@ impl Linear {
 
     /// Visits `(param, grad)` slice pairs in a stable order (weight, then
     /// bias). Optimizers use this to update parameters without owning them.
+    /// Invalidates the compressed-weight cache — the visitor may write the
+    /// parameters — so callers that only *read* should use
+    /// [`Linear::visit_params_ro`].
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        self.invalidate_weight_cache();
         f(self.w.as_mut_slice(), self.dw.as_mut_slice());
         if !self.b.is_empty() {
             f(&mut self.b, &mut self.db);
         }
     }
 
+    /// Read-only mirror of [`Linear::visit_params`]: identical slice order,
+    /// shared borrows, and no cache invalidation. Checkpoint capture and
+    /// model serialization use this so saving never forces the next forward
+    /// pass to re-quantize.
+    pub fn visit_params_ro(&self, f: &mut dyn FnMut(&[f32])) {
+        f(self.w.as_slice());
+        if !self.b.is_empty() {
+            f(&self.b);
+        }
+    }
+
+    /// Number of slice pairs [`Linear::visit_params`] yields. Traversals
+    /// that skip inactive layers advance their id counters by this without
+    /// touching (or invalidating) the layer.
+    pub fn param_slice_count(&self) -> usize {
+        1 + usize::from(!self.b.is_empty())
+    }
+
     /// Re-applies the pruning mask to the stored weight (call after an
-    /// optimizer step so pruned weights stay pruned).
+    /// optimizer step so pruned weights stay pruned). The weight cache is
+    /// invalidated only when a masked position actually held a nonzero
+    /// value: the tuner enforces masks on *every* layer every iteration,
+    /// and re-masking an unchanged frozen layer must not evict its cache.
     pub fn enforce_mask(&mut self) {
-        if let Some(m) = self.mask.clone() {
-            let _ = m.apply(&mut self.w);
+        let Some(m) = &self.mask else {
+            return;
+        };
+        let keep = m.as_slice();
+        let w = self.w.as_mut_slice();
+        debug_assert_eq!(keep.len(), w.len());
+        let mut changed = false;
+        for (v, &k) in w.iter_mut().zip(keep) {
+            if !k && v.to_bits() != 0 {
+                *v = 0.0;
+                changed = true;
+            }
+        }
+        if changed {
+            self.invalidate_weight_cache();
         }
     }
 }
@@ -394,6 +628,7 @@ mod tests {
         let mut count = 0;
         l.visit_params(&mut |_, _| count += 1);
         assert_eq!(count, 1);
+        assert_eq!(l.param_slice_count(), 1);
         assert_eq!(l.num_params(), 16);
     }
 
@@ -412,6 +647,141 @@ mod tests {
                     assert_eq!(l.weight().get(r, c), 0.0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn uncompressed_effective_weight_borrows() {
+        let mut rng = TensorRng::seed_from(11);
+        let l = Linear::new(4, 4, &mut rng);
+        assert!(matches!(
+            l.effective_weight().unwrap(),
+            Cow::Borrowed(w) if std::ptr::eq(w, l.weight())
+        ));
+    }
+
+    #[test]
+    fn cache_populates_lazily_and_matches_fresh() {
+        let mut rng = TensorRng::seed_from(12);
+        let mut l = Linear::new(8, 8, &mut rng);
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W4)));
+        assert!(!l.has_cached_weight());
+        let x = Tensor::randn(2, 8, 1.0, &mut rng);
+        let y = l.forward_no_cache(&x).unwrap();
+        assert!(l.has_cached_weight());
+        assert_eq!(
+            l.cached_effective_weight().unwrap().as_slice(),
+            l.effective_weight().unwrap().as_slice()
+        );
+        // repeated forwards hit the cache and stay bit-identical
+        assert_eq!(y.as_slice(), l.forward_no_cache(&x).unwrap().as_slice());
+    }
+
+    #[test]
+    fn every_mutation_path_invalidates() {
+        let mut rng = TensorRng::seed_from(13);
+        let mut l = Linear::new(8, 8, &mut rng);
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W4)));
+        let warm = |l: &Linear| {
+            let _ = l.cached_effective_weight().unwrap();
+            let _ = l.pack_weights();
+            assert!(l.has_cached_weight() && l.is_packed());
+        };
+        warm(&l);
+        l.visit_params(&mut |_, _| {});
+        assert!(!l.has_cached_weight() && !l.is_packed(), "visit_params");
+        warm(&l);
+        let _ = l.weight_mut();
+        assert!(!l.has_cached_weight() && !l.is_packed(), "weight_mut");
+        warm(&l);
+        l.set_mask(Some(magnitude_prune(l.weight(), 0.5).unwrap()))
+            .unwrap();
+        assert!(!l.has_cached_weight() && !l.is_packed(), "set_mask");
+        warm(&l);
+        l.set_activation_quant(Some(QuantScheme::asymmetric(BitWidth::W8)));
+        assert!(
+            !l.has_cached_weight() && !l.is_packed(),
+            "set_activation_quant"
+        );
+        warm(&l);
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W2)));
+        assert!(!l.has_cached_weight() && !l.is_packed(), "set_quant");
+    }
+
+    #[test]
+    fn enforce_mask_keeps_cache_when_nothing_changed() {
+        let mut rng = TensorRng::seed_from(14);
+        let mut l = Linear::new(8, 8, &mut rng);
+        l.set_mask(Some(magnitude_prune(l.weight(), 0.5).unwrap()))
+            .unwrap();
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W4)));
+        let _ = l.cached_effective_weight().unwrap();
+        // masked weights already at zero: enforcement is a no-op
+        l.enforce_mask();
+        assert!(l.has_cached_weight(), "no-op enforce must keep the cache");
+        // perturb one masked weight off zero: enforcement must invalidate
+        let mask = l.mask().unwrap().clone();
+        let (mut mr, mut mc) = (0, 0);
+        'outer: for r in 0..8 {
+            for c in 0..8 {
+                if !mask.is_kept(r, c) {
+                    (mr, mc) = (r, c);
+                    break 'outer;
+                }
+            }
+        }
+        l.weight_mut().set(mr, mc, 0.25);
+        let _ = l.cached_effective_weight().unwrap();
+        l.enforce_mask();
+        assert!(!l.has_cached_weight(), "real change must invalidate");
+        assert_eq!(l.weight().get(mr, mc), 0.0);
+    }
+
+    #[test]
+    fn packed_forward_is_bit_identical_to_dense() {
+        let mut rng = TensorRng::seed_from(15);
+        for bits in [BitWidth::W2, BitWidth::W4, BitWidth::W8] {
+            let mut l = Linear::new(40, 24, &mut rng);
+            l.set_mask(Some(magnitude_prune(l.weight(), 0.4).unwrap()))
+                .unwrap();
+            l.set_quant(Some(QuantScheme::symmetric(bits)));
+            let x = Tensor::randn(3, 40, 1.0, &mut rng);
+            let dense = l.forward_no_cache(&x).unwrap();
+            l.pack_weights().unwrap();
+            assert!(l.is_packed());
+            let packed = l.forward_no_cache(&x).unwrap();
+            assert_eq!(dense.as_slice(), packed.as_slice(), "{bits}");
+            // and bit-identical to the disabled-cache baseline
+            l.set_cache_enabled(false);
+            let baseline = l.forward_no_cache(&x).unwrap();
+            assert_eq!(baseline.as_slice(), packed.as_slice(), "{bits} baseline");
+        }
+    }
+
+    #[test]
+    fn packed_weight_bytes_drop_by_bit_width_ratio() {
+        let mut rng = TensorRng::seed_from(16);
+        let mut l = Linear::new(64, 64, &mut rng);
+        let dense_bytes = l.weight_storage_bytes();
+        assert_eq!(dense_bytes, 64 * 64 * 4);
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W4)));
+        l.pack_weights().unwrap();
+        // 4-bit codes: 8x fewer code bytes, plus per-row metadata
+        assert_eq!(l.weight_storage_bytes(), 64 * 64 / 2 + 64 * 4);
+        assert!(l.weight_storage_bytes() * 7 < dense_bytes);
+    }
+
+    #[test]
+    fn forward_rows_matches_per_row_calls_with_act_quant() {
+        let mut rng = TensorRng::seed_from(17);
+        let mut l = Linear::new(8, 6, &mut rng);
+        l.set_activation_quant(Some(QuantScheme::asymmetric(BitWidth::W4)));
+        let x = Tensor::randn(5, 8, 1.0, &mut rng);
+        let batched = l.forward_rows_no_cache(&x).unwrap();
+        for r in 0..5 {
+            let row = Tensor::from_vec(1, 8, x.row(r).to_vec()).unwrap();
+            let solo = l.forward_no_cache(&row).unwrap();
+            assert_eq!(batched.row(r), solo.row(0), "row {r}");
         }
     }
 }

@@ -105,10 +105,44 @@ impl Mlp {
         self.fc2.visit_params(f);
     }
 
+    /// Read-only mirror of [`Mlp::visit_params`]: same slice order, no
+    /// cache invalidation.
+    pub fn visit_params_ro(&self, f: &mut dyn FnMut(&[f32])) {
+        self.fc1.visit_params_ro(f);
+        self.fc2.visit_params_ro(f);
+    }
+
+    /// Number of slice pairs [`Mlp::visit_params`] yields.
+    pub fn param_slice_count(&self) -> usize {
+        self.fc1.param_slice_count() + self.fc2.param_slice_count()
+    }
+
     /// Re-applies pruning masks after an optimizer step.
     pub fn enforce_masks(&mut self) {
         self.fc1.enforce_mask();
         self.fc2.enforce_mask();
+    }
+
+    /// Quantizes the projections' weights into packed integer codes for
+    /// the decode path (see [`Linear::pack_weights`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures.
+    pub fn pack_weights(&self) -> Result<(), ModelError> {
+        self.fc1.pack_weights()?;
+        self.fc2.pack_weights()
+    }
+
+    /// Enables or disables the compressed-weight cache on both projections.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.fc1.set_cache_enabled(enabled);
+        self.fc2.set_cache_enabled(enabled);
+    }
+
+    /// Bytes the decode path keeps resident for the projections' weights.
+    pub fn weight_storage_bytes(&self) -> usize {
+        self.fc1.weight_storage_bytes() + self.fc2.weight_storage_bytes()
     }
 }
 

@@ -10,6 +10,11 @@ use edge_llm_tensor::{embedding_backward, embedding_forward, LayerNormCache, Ten
 /// the parameter-traversal methods.
 pub type ParamVisitor<'a> = dyn FnMut(usize, &mut [f32], &mut [f32]) + 'a;
 
+/// Read-only visitor over `(parameter id, parameter slice)` — same ids and
+/// emission order as [`ParamVisitor`] traversals, without the mutable
+/// borrow (so compressed-weight caches survive the walk).
+pub type ParamVisitorRo<'a> = dyn FnMut(usize, &[f32]) + 'a;
+
 /// An early-exit head: a LayerNorm plus (optionally) a private unembedding.
 ///
 /// When the head `Linear` is `None` the exit projects through the model's
@@ -468,37 +473,101 @@ impl EdgeModel {
             id += 1;
         }
         for (l, block) in self.blocks.iter_mut().enumerate() {
-            let active = window.contains(l);
-            block.visit_params(&mut |p, g| {
-                if active {
+            if window.contains(l) {
+                block.visit_params(&mut |p, g| {
                     f(id, p, g);
-                }
-                id += 1;
-            });
+                    id += 1;
+                });
+            } else {
+                // Frozen blocks advance the id counter by count only:
+                // borrowing their parameters mutably would invalidate
+                // their compressed-weight caches every iteration.
+                id += block.param_slice_count();
+            }
         }
         for (l, exit) in self.exits.iter_mut().enumerate() {
             let active = l == exit_layer;
-            exit.norm.visit_params(&mut |p, g| {
-                if active {
+            if active {
+                exit.norm.visit_params(&mut |p, g| {
                     f(id, p, g);
-                }
-                id += 1;
-            });
-            if let Some(h) = &mut exit.head {
-                h.visit_params(&mut |p, g| {
-                    if active {
-                        f(id, p, g);
-                    }
                     id += 1;
                 });
+            } else {
+                id += exit.norm.param_slice_count();
+            }
+            if let Some(h) = &mut exit.head {
+                if active {
+                    h.visit_params(&mut |p, g| {
+                        f(id, p, g);
+                        id += 1;
+                    });
+                } else {
+                    id += h.param_slice_count();
+                }
             }
         }
-        {
-            let tied_exit = self.exits[exit_layer].head.is_none();
+        if self.exits[exit_layer].head.is_none() {
             self.shared_head.visit_params(&mut |p, g| {
-                if tied_exit {
-                    f(id, p, g);
+                f(id, p, g);
+                id += 1;
+            });
+        }
+    }
+
+    /// Read-only mirror of [`EdgeModel::visit_params_window`]: identical
+    /// ids, identical emission order, shared borrows.
+    pub fn visit_params_window_ro(
+        &self,
+        window: LayerWindow,
+        exit_layer: usize,
+        f: &mut ParamVisitorRo<'_>,
+    ) {
+        let mut id = 0usize;
+        {
+            let active = window.start == 0;
+            if active {
+                f(id, self.tok_emb.as_slice());
+            }
+            id += 1;
+            if active {
+                f(id, self.pos_emb.as_slice());
+            }
+            id += 1;
+        }
+        for (l, block) in self.blocks.iter().enumerate() {
+            if window.contains(l) {
+                block.visit_params_ro(&mut |p| {
+                    f(id, p);
+                    id += 1;
+                });
+            } else {
+                id += block.param_slice_count();
+            }
+        }
+        for (l, exit) in self.exits.iter().enumerate() {
+            let active = l == exit_layer;
+            if active {
+                exit.norm.visit_params_ro(&mut |p| {
+                    f(id, p);
+                    id += 1;
+                });
+            } else {
+                id += exit.norm.param_slice_count();
+            }
+            if let Some(h) = &exit.head {
+                if active {
+                    h.visit_params_ro(&mut |p| {
+                        f(id, p);
+                        id += 1;
+                    });
+                } else {
+                    id += h.param_slice_count();
                 }
+            }
+        }
+        if self.exits[exit_layer].head.is_none() {
+            self.shared_head.visit_params_ro(&mut |p| {
+                f(id, p);
                 id += 1;
             });
         }
@@ -522,6 +591,78 @@ impl EdgeModel {
                 }
             });
         }
+    }
+
+    /// Read-only mirror of [`EdgeModel::visit_params_all`] — identical ids
+    /// **and emission order** (it replicates the same sweep-with-dedup
+    /// structure), so checkpoint and model-file byte layouts are unchanged
+    /// while the weight caches survive serialization.
+    pub fn visit_params_all_ro(&self, f: &mut ParamVisitorRo<'_>) {
+        let full = LayerWindow {
+            start: 0,
+            end: self.n_layers(),
+        };
+        let last = self.n_layers() - 1;
+        let mut id_seen = std::collections::HashSet::new();
+        for exit in 0..self.n_layers() {
+            let keep = exit == last;
+            self.visit_params_window_ro(full, exit, &mut |id, p| {
+                if (keep || !id_seen.contains(&id)) && id_seen.insert(id) {
+                    f(id, p);
+                }
+            });
+        }
+    }
+
+    /// Quantizes every compressed projection's weight into packed integer
+    /// codes so the no-cache forward paths (inference, serving) run the
+    /// blocked row-dequantizing kernel. Call after loading a model for
+    /// generation/serving; layers without a quant scheme are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantization failures (e.g. non-finite weights).
+    pub fn pack_frozen_weights(&self) -> Result<(), ModelError> {
+        for b in &self.blocks {
+            b.pack_weights()?;
+        }
+        self.shared_head.pack_weights()?;
+        for e in &self.exits {
+            if let Some(h) = &e.head {
+                h.pack_weights()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Enables or disables the compressed-weight cache on every projection
+    /// (enabled by default). Disabling reproduces the
+    /// recompute-every-forward baseline bit-for-bit; the benchmarks use it
+    /// to measure the cache's win.
+    pub fn set_weight_cache_enabled(&mut self, enabled: bool) {
+        for b in &mut self.blocks {
+            b.set_cache_enabled(enabled);
+        }
+        self.shared_head.set_cache_enabled(enabled);
+        for e in &mut self.exits {
+            if let Some(h) = &mut e.head {
+                h.set_cache_enabled(enabled);
+            }
+        }
+    }
+
+    /// Bytes the decode path keeps resident for projection weights (block
+    /// QKV/proj/fc1/fc2 plus unembedding heads): packed-code bytes for
+    /// packed layers, dense f32 bytes otherwise. Embeddings and norms are
+    /// excluded — they are never quantized.
+    pub fn decode_weight_bytes(&self) -> usize {
+        let blocks: usize = self.blocks.iter().map(|b| b.weight_storage_bytes()).sum();
+        let exits: usize = self
+            .exits
+            .iter()
+            .map(|e| e.head.as_ref().map_or(0, |h| h.weight_storage_bytes()))
+            .sum();
+        blocks + exits + self.shared_head.weight_storage_bytes()
     }
 }
 
@@ -655,6 +796,106 @@ mod tests {
             total += p.len();
         });
         assert_eq!(total, model.num_params());
+    }
+
+    #[test]
+    fn ro_visitors_mirror_mutable_ids_order_and_content() {
+        for tied in [true, false] {
+            let mut rng = TensorRng::seed_from(20);
+            let cfg = ModelConfig::tiny().with_tied_exits(tied);
+            let mut model = EdgeModel::new(cfg, &mut rng).unwrap();
+            let mut mutable: Vec<(usize, Vec<f32>)> = Vec::new();
+            model.visit_params_all(&mut |id, p, _| mutable.push((id, p.to_vec())));
+            let mut ro: Vec<(usize, Vec<f32>)> = Vec::new();
+            model.visit_params_all_ro(&mut |id, p| ro.push((id, p.to_vec())));
+            assert_eq!(mutable, ro, "tied={tied}");
+            // window traversals mirror too
+            let window = LayerWindow { start: 1, end: 2 };
+            let mut wm: Vec<(usize, Vec<f32>)> = Vec::new();
+            model.visit_params_window(window, 1, &mut |id, p, _| wm.push((id, p.to_vec())));
+            let mut wr: Vec<(usize, Vec<f32>)> = Vec::new();
+            model.visit_params_window_ro(window, 1, &mut |id, p| wr.push((id, p.to_vec())));
+            assert_eq!(wm, wr, "tied={tied} window");
+        }
+    }
+
+    #[test]
+    fn window_visit_skips_frozen_block_caches() {
+        use edge_llm_quant::{BitWidth, QuantScheme};
+        let mut model = tiny_model(21);
+        let scheme = QuantScheme::symmetric(BitWidth::W4);
+        for l in 0..model.n_layers() {
+            let b = model.block_mut(l);
+            b.attn_mut().qkv_mut().set_quant(Some(scheme));
+            b.attn_mut().proj_mut().set_quant(Some(scheme));
+            b.mlp_mut().fc1_mut().set_quant(Some(scheme));
+            b.mlp_mut().fc2_mut().set_quant(Some(scheme));
+        }
+        // warm every block's cache with a forward pass
+        let tokens = tokens_for(&model, 1, 22);
+        model.logits(&tokens, 1).unwrap();
+        let cached = |m: &EdgeModel, l: usize| m.block(l).attn().linears().0.has_cached_weight();
+        assert!(cached(&model, 0) && cached(&model, 1));
+        // an optimizer pass over window [1, 2) must leave block 0's cache
+        model.visit_params_window(LayerWindow { start: 1, end: 2 }, 1, &mut |_, _, _| {});
+        assert!(cached(&model, 0), "frozen block cache must survive");
+        assert!(!cached(&model, 1), "trained block cache must be dropped");
+        // a read-only sweep touches nothing
+        model.logits(&tokens, 1).unwrap();
+        model.visit_params_all_ro(&mut |_, _| {});
+        assert!(cached(&model, 0) && cached(&model, 1));
+    }
+
+    #[test]
+    fn packed_model_logits_are_bit_identical() {
+        use edge_llm_quant::{BitWidth, QuantScheme};
+        let mut model = tiny_model(23);
+        let scheme = QuantScheme::symmetric(BitWidth::W2);
+        for l in 0..model.n_layers() {
+            let b = model.block_mut(l);
+            b.attn_mut().qkv_mut().set_quant(Some(scheme));
+            b.mlp_mut().fc1_mut().set_quant(Some(scheme));
+        }
+        let tokens = tokens_for(&model, 1, 24);
+        let dense = model.logits(&tokens, 1).unwrap();
+        model.pack_frozen_weights().unwrap();
+        assert!(model.block(0).attn().linears().0.is_packed());
+        let packed = model.logits(&tokens, 1).unwrap();
+        assert_eq!(dense.as_slice(), packed.as_slice());
+        // and identical to the cache-disabled recompute baseline
+        model.set_weight_cache_enabled(false);
+        let baseline = model.logits(&tokens, 1).unwrap();
+        assert_eq!(baseline.as_slice(), packed.as_slice());
+    }
+
+    #[test]
+    fn decode_weight_bytes_shrink_after_packing() {
+        use edge_llm_quant::{BitWidth, QuantScheme};
+        let mut model = tiny_model(25);
+        let before = model.decode_weight_bytes();
+        let scheme = QuantScheme::symmetric(BitWidth::W4);
+        for l in 0..model.n_layers() {
+            let b = model.block_mut(l);
+            b.attn_mut().qkv_mut().set_quant(Some(scheme));
+            b.attn_mut().proj_mut().set_quant(Some(scheme));
+            b.mlp_mut().fc1_mut().set_quant(Some(scheme));
+            b.mlp_mut().fc2_mut().set_quant(Some(scheme));
+        }
+        assert_eq!(model.decode_weight_bytes(), before);
+        let blocks_dense: usize = (0..model.n_layers())
+            .map(|l| model.block(l).weight_storage_bytes())
+            .sum();
+        model.pack_frozen_weights().unwrap();
+        let blocks_packed: usize = (0..model.n_layers())
+            .map(|l| model.block(l).weight_storage_bytes())
+            .sum();
+        // W4 codes are 8x smaller than f32; per-row scales add some back
+        // (significant at the tiny config's short rows)
+        assert!(
+            blocks_packed * 5 < blocks_dense,
+            "packed {blocks_packed} vs dense {blocks_dense}"
+        );
+        assert!(model.decode_weight_bytes() < before);
     }
 
     #[test]

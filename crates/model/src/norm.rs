@@ -79,6 +79,17 @@ impl LayerNorm {
         f(&mut self.gamma, &mut self.dgamma);
         f(&mut self.beta, &mut self.dbeta);
     }
+
+    /// Read-only mirror of [`LayerNorm::visit_params`]: gamma then beta.
+    pub fn visit_params_ro(&self, f: &mut dyn FnMut(&[f32])) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
+
+    /// Number of slice pairs [`LayerNorm::visit_params`] yields.
+    pub fn param_slice_count(&self) -> usize {
+        2
+    }
 }
 
 #[cfg(test)]

@@ -189,7 +189,7 @@ impl QuantizedTensor {
     }
 }
 
-fn fit_group(chunk: &[f32], bits: BitWidth, mode: QuantMode) -> (f32, f32) {
+pub(crate) fn fit_group(chunk: &[f32], bits: BitWidth, mode: QuantMode) -> (f32, f32) {
     let max_code = bits.max_code() as f32;
     match mode {
         QuantMode::Symmetric => {

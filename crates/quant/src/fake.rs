@@ -84,6 +84,42 @@ fn clip_range(chunk: &[f32], scheme: QuantScheme) -> (f32, f32) {
     }
 }
 
+/// Fake-quantizes one row in place, treating it as a `1 x len` tensor —
+/// **bit-identical** to `fake_quant` on that tensor, with zero allocation.
+///
+/// The packed-code roundtrip in [`QuantizedTensor`] is exact for the small
+/// integer codes involved (`q as u32` then back to `f32` reproduces `q`),
+/// so applying the affine arithmetic directly yields the same bits as
+/// quantize-then-dequantize. The batched decode path quantizes each
+/// request's activations through this instead of materializing per-row
+/// temporaries.
+///
+/// # Errors
+///
+/// Returns [`QuantError::BadGroupSize`] for an invalid group granularity
+/// and [`QuantError::NonFinite`] when the row holds NaN or infinities.
+pub fn fake_quant_row_in_place(row: &mut [f32], scheme: QuantScheme) -> Result<(), QuantError> {
+    if row.iter().any(|v| !v.is_finite()) {
+        return Err(QuantError::NonFinite);
+    }
+    if row.is_empty() {
+        return Ok(());
+    }
+    let n_groups = scheme.group_count(1, row.len())?;
+    let group_len = scheme.group_len(1, row.len());
+    let max_code = scheme.bits.max_code() as f32;
+    let len = row.len();
+    for g in 0..n_groups {
+        let chunk = &mut row[g * group_len..((g + 1) * group_len).min(len)];
+        let (scale, zero) = crate::affine::fit_group(chunk, scheme.bits, scheme.mode);
+        for v in chunk.iter_mut() {
+            let q = (*v / scale + zero).round().clamp(0.0, max_code);
+            *v = (q - zero) * scale;
+        }
+    }
+    Ok(())
+}
+
 /// Convenience: applies fake quantization in place, returning the
 /// quantization error `max |x - q(x)|`.
 ///
@@ -144,6 +180,29 @@ mod tests {
         let x = Tensor::zeros(2, 2);
         let dy = Tensor::zeros(2, 3);
         assert!(fake_quant_backward(&x, &dy, QuantScheme::default()).is_err());
+    }
+
+    #[test]
+    fn row_in_place_is_bit_identical_to_fake_quant() {
+        let mut rng = TensorRng::seed_from(7);
+        for scheme in [
+            QuantScheme::symmetric(BitWidth::W2),
+            QuantScheme::symmetric(BitWidth::W4),
+            QuantScheme::asymmetric(BitWidth::W4),
+            QuantScheme::asymmetric(BitWidth::W8),
+            QuantScheme::symmetric(BitWidth::W4)
+                .with_granularity(crate::scheme::Granularity::Group(8)),
+        ] {
+            let x = Tensor::randn(1, 32, 1.0, &mut rng);
+            let reference = fake_quant(&x, scheme).unwrap();
+            let mut row = x.as_slice().to_vec();
+            fake_quant_row_in_place(&mut row, scheme).unwrap();
+            assert_eq!(&row[..], reference.as_slice(), "{scheme:?}");
+        }
+        // empty rows and non-finite inputs
+        fake_quant_row_in_place(&mut [], QuantScheme::default()).unwrap();
+        let mut bad = [1.0, f32::NAN];
+        assert!(fake_quant_row_in_place(&mut bad, QuantScheme::default()).is_err());
     }
 
     #[test]

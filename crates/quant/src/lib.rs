@@ -41,12 +41,12 @@ mod scheme;
 
 pub use affine::QuantizedTensor;
 pub use bitwidth::BitWidth;
-pub use fake::{fake_quant, fake_quant_backward, fake_quant_in_place};
+pub use fake::{fake_quant, fake_quant_backward, fake_quant_in_place, fake_quant_row_in_place};
 pub use igemm::{integer_matmul, integer_matmul_with};
 pub use metrics::{quant_mse, sqnr_db};
 pub use observer::{quantize_with_range, RangeObserver};
 pub use packed::PackedInts;
-pub use qmatmul::quantized_matmul;
+pub use qmatmul::{quantized_matmul, quantized_matmul_with};
 pub use scheme::{Granularity, QuantMode, QuantScheme};
 
 /// Error type for quantization operations.

@@ -1,18 +1,45 @@
 use crate::affine::QuantizedTensor;
 use crate::QuantError;
-use edge_llm_tensor::Tensor;
+use edge_llm_tensor::{pool, Tensor};
+
+/// Products below this many multiply-accumulates stay serial: the panel
+/// spawn overhead dwarfs the arithmetic (mirrors the cutoff the dense
+/// kernels in `edge-llm-tensor` apply).
+const MIN_PARALLEL_MACS: usize = 1 << 16;
 
 /// Computes `x · Wᵀ` where `W` is quantized row-wise (`W: n x k`,
-/// `x: m x k`, result `m x n`).
+/// `x: m x k`, result `m x n`), honouring the process-wide thread setting.
 ///
-/// Weight rows are dequantized one at a time into a scratch buffer, so the
-/// peak extra memory is one row of f32 regardless of the weight size — the
-/// execution pattern an edge device with a small on-chip buffer would use.
+/// Weight rows are dequantized one at a time into a per-worker scratch
+/// buffer, so the peak extra memory is one row of f32 per worker
+/// regardless of the weight size — the execution pattern an edge device
+/// with a small on-chip buffer would use.
 ///
 /// # Errors
 ///
 /// Returns [`QuantError::ShapeMismatch`] unless `x.cols() == w.cols()`.
 pub fn quantized_matmul(x: &Tensor, w: &QuantizedTensor) -> Result<Tensor, QuantError> {
+    quantized_matmul_with(x, w, 0)
+}
+
+/// [`quantized_matmul`] with an explicit worker count (`0` = the global
+/// setting, `1` = serial).
+///
+/// The output rows are split into disjoint contiguous panels exactly like
+/// the dense kernels in `edge-llm-tensor`; inside a panel every element is
+/// a single ascending-`p` dot product against the dequantized weight row,
+/// the same accumulation the serial kernel runs. Results are therefore
+/// **bit-identical for every thread count**, and bit-identical to
+/// `matmul_a_bt(x, &w.dequantize())`.
+///
+/// # Errors
+///
+/// Returns [`QuantError::ShapeMismatch`] unless `x.cols() == w.cols()`.
+pub fn quantized_matmul_with(
+    x: &Tensor,
+    w: &QuantizedTensor,
+    threads: usize,
+) -> Result<Tensor, QuantError> {
     if x.cols() != w.cols() {
         return Err(QuantError::ShapeMismatch {
             op: "quantized_matmul",
@@ -23,18 +50,30 @@ pub fn quantized_matmul(x: &Tensor, w: &QuantizedTensor) -> Result<Tensor, Quant
     let (m, k) = x.shape();
     let n = w.rows();
     let mut out = Tensor::zeros(m, n);
-    let mut wrow = vec![0.0f32; k];
-    for j in 0..n {
-        w.dequantize_row_into(j, &mut wrow);
-        for i in 0..m {
-            let xr = x.row(i);
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += xr[p] * wrow[p];
-            }
-            out.set(i, j, acc);
-        }
+    if out.is_empty() {
+        return Ok(out);
     }
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    let workers = if macs < MIN_PARALLEL_MACS {
+        1
+    } else {
+        pool::resolve_threads(threads).min(m)
+    };
+    pool::parallel_rows_mut(out.as_mut_slice(), m, n, workers, |i0, panel| {
+        let rows = panel.len() / n.max(1);
+        let mut wrow = vec![0.0f32; k];
+        for j in 0..n {
+            w.dequantize_row_into(j, &mut wrow);
+            for r in 0..rows {
+                let xr = x.row(i0 + r);
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += xr[p] * wrow[p];
+                }
+                panel[r * n + j] = acc;
+            }
+        }
+    });
     Ok(out)
 }
 
@@ -73,5 +112,36 @@ mod tests {
         let x = Tensor::zeros(2, 8);
         let w = QuantizedTensor::quantize(&Tensor::zeros(3, 4), QuantScheme::default()).unwrap();
         assert!(quantized_matmul(&x, &w).is_err());
+    }
+
+    #[test]
+    fn thread_counts_are_bit_identical() {
+        let mut rng = TensorRng::seed_from(9);
+        // shapes straddling the parallel cutoff, including single-row decode
+        for &(m, k, n) in &[(1usize, 64usize, 48usize), (5, 33, 7), (70, 64, 48)] {
+            let x = Tensor::randn(m, k, 1.0, &mut rng);
+            let w = Tensor::randn(n, k, 0.3, &mut rng);
+            let q = QuantizedTensor::quantize(&w, QuantScheme::symmetric(BitWidth::W4)).unwrap();
+            let serial = quantized_matmul_with(&x, &q, 1).unwrap();
+            for threads in [2usize, 3, 8] {
+                let par = quantized_matmul_with(&x, &q, threads).unwrap();
+                assert_eq!(
+                    serial.as_slice(),
+                    par.as_slice(),
+                    "bit drift at {m}x{k}x{n} threads={threads}"
+                );
+            }
+            // the streaming kernel is bit-identical to the dense transposed
+            // layout because both accumulate each element ascending over p
+            let dense = matmul_a_bt(&x, &q.dequantize()).unwrap();
+            assert_eq!(serial.as_slice(), dense.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_operands_produce_empty_output() {
+        let x = Tensor::zeros(0, 8);
+        let w = QuantizedTensor::quantize(&Tensor::zeros(3, 8), QuantScheme::default()).unwrap();
+        assert_eq!(quantized_matmul(&x, &w).unwrap().shape(), (0, 3));
     }
 }

@@ -56,6 +56,10 @@ impl<'a> BatchedInferenceEngine<'a> {
                 reason: "batch size must be at least 1".into(),
             });
         }
+        // Serving never mutates weights, so quantized layers can hold
+        // their weights as packed integer codes for the engine's whole
+        // lifetime: same bits out, fewer resident bytes.
+        model.pack_frozen_weights()?;
         Ok(BatchedInferenceEngine {
             model,
             slots: (0..max_batch).map(|_| None).collect(),
@@ -103,6 +107,12 @@ impl<'a> BatchedInferenceEngine<'a> {
     /// Batched forward passes executed so far.
     pub fn steps_run(&self) -> usize {
         self.steps_run
+    }
+
+    /// Bytes of decode-path weights resident for this engine's model,
+    /// counting packed layers at their integer-code size.
+    pub fn weight_resident_bytes(&self) -> usize {
+        self.model.decode_weight_bytes()
     }
 
     /// Finished outcomes accumulated so far, in retirement order.

@@ -36,7 +36,9 @@ mod stats;
 mod tensor;
 
 pub use error::TensorError;
-pub use matmul::{matmul_a_bt, matmul_a_bt_with, matmul_at_b, matmul_at_b_with, MatmulKernel};
+pub use matmul::{
+    matmul_a_bt, matmul_a_bt_with, matmul_at_b, matmul_at_b_with, matmul_fill_b_with, MatmulKernel,
+};
 pub use ops::{
     add_bias_backward, add_bias_forward, cross_entropy_backward, cross_entropy_forward,
     embedding_backward, embedding_forward, gelu_backward, gelu_forward, layernorm_backward,

@@ -170,13 +170,19 @@ const IR: usize = 4;
 /// within the block (the accumulator is loaded from `C` before the block
 /// and stored after), so the result is bit-identical to the plain scalar
 /// loop.
+///
+/// `b` holds rows `[b_row0, …)` of the right-hand operand, so a caller can
+/// pass either the whole matrix (`b_row0 = 0`) or just the panel covering
+/// the current `p` block ([`matmul_fill_b_with`]).
 #[inline(always)]
+#[allow(clippy::too_many_arguments)] // private register kernel; every operand is load-bearing
 fn micro_tile<const ROWS: usize>(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
     (i, j): (usize, usize),
     prange: std::ops::Range<usize>,
+    b_row0: usize,
     k: usize,
     n: usize,
 ) {
@@ -185,7 +191,7 @@ fn micro_tile<const ROWS: usize>(
         accr.copy_from_slice(&c[(i + r) * n + j..(i + r) * n + j + JR]);
     }
     for p in prange {
-        let brow: [f32; JR] = b[p * n + j..p * n + j + JR]
+        let brow: [f32; JR] = b[(p - b_row0) * n + j..(p - b_row0) * n + j + JR]
             .try_into()
             .expect("JR-sized slice");
         for (r, accr) in acc.iter_mut().enumerate() {
@@ -213,7 +219,7 @@ fn blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
                 while j + JR <= jmax {
                     let mut i = ib;
                     while i < quads_end {
-                        micro_tile::<IR>(a, b, c, (i, j), pb..pmax, k, n);
+                        micro_tile::<IR>(a, b, c, (i, j), pb..pmax, 0, k, n);
                         i += IR;
                     }
                     j += JR;
@@ -229,6 +235,115 @@ fn blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
                         for p in pb..pmax {
                             let av = arow[p];
                             let brow = &b[p * n..(p + 1) * n];
+                            for jj in jtail..jmax {
+                                crow[jj] += av * brow[jj];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = A · B` where `B` is *produced on demand* in `TILE`-row panels.
+///
+/// `fill(p0, panel)` must write rows `p0 .. p0 + panel.len() / b_cols` of
+/// the `b_rows x b_cols` right-hand operand into `panel` (row-major). The
+/// kernel hoists the `p` block to the outer loop so each panel is
+/// materialized once per worker and reused across every output tile — the
+/// execution pattern of a decode path whose weights live as packed
+/// quantized codes and are dequantized one cache block at a time.
+///
+/// Peak extra memory is one `TILE x b_cols` panel per worker instead of
+/// the whole dense `B`. Because every output element still accumulates in
+/// ascending-`p` order through the same [`micro_tile`] / scalar-tail code
+/// paths as [`MatmulKernel::Blocked`] (reordering the `ib`/`jb` loops
+/// around the `p` blocks never reorders any single element's adds), the
+/// result is **bit-identical** to `a.matmul(&b_dense)` for every thread
+/// count — the property `fill_b_is_bit_identical_to_dense` pins down.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b_rows`.
+pub fn matmul_fill_b_with(
+    a: &Tensor,
+    b_rows: usize,
+    b_cols: usize,
+    threads: usize,
+    fill: &(dyn Fn(usize, &mut [f32]) + Sync),
+) -> Result<Tensor, TensorError> {
+    if a.cols() != b_rows {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_fill_b",
+            lhs: a.shape(),
+            rhs: (b_rows, b_cols),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b_cols;
+    let mut out = Tensor::zeros(m, n);
+    if out.is_empty() {
+        return Ok(out);
+    }
+    let ad = a.as_slice();
+    let workers = effective_threads(threads, m, k, n);
+    pool::parallel_rows_mut(out.as_mut_slice(), m, n, workers, |row0, panel| {
+        let rows = panel.len() / n.max(1);
+        let mut scratch = vec![0.0f32; k.min(TILE) * n];
+        blocked_fill_b(
+            &ad[row0 * k..(row0 + rows) * k],
+            panel,
+            rows,
+            k,
+            n,
+            fill,
+            &mut scratch,
+        );
+    });
+    Ok(out)
+}
+
+/// [`blocked`] with the `p` block hoisted outermost and `B` rows streamed
+/// into `scratch` one panel at a time. Identical per-element accumulation
+/// order (each element's adds ascend over `p` regardless of which loop is
+/// outermost), hence bit-identical results.
+fn blocked_fill_b(
+    a: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    fill: &(dyn Fn(usize, &mut [f32]) + Sync),
+    scratch: &mut [f32],
+) {
+    for pb in (0..k).step_by(TILE) {
+        let pmax = (pb + TILE).min(k);
+        let b = &mut scratch[..(pmax - pb) * n];
+        fill(pb, b);
+        let b = &*b;
+        for ib in (0..m).step_by(TILE) {
+            let imax = (ib + TILE).min(m);
+            for jb in (0..n).step_by(TILE) {
+                let jmax = (jb + TILE).min(n);
+                let quads_end = ib + (imax - ib) / IR * IR;
+                let mut j = jb;
+                while j + JR <= jmax {
+                    let mut i = ib;
+                    while i < quads_end {
+                        micro_tile::<IR>(a, b, c, (i, j), pb..pmax, pb, k, n);
+                        i += IR;
+                    }
+                    j += JR;
+                }
+                let tails = [(ib, quads_end, j), (quads_end, imax, jb)];
+                for (row0, row1, jtail) in tails {
+                    for i in row0..row1 {
+                        let arow = &a[i * k..(i + 1) * k];
+                        let crow = &mut c[i * n..(i + 1) * n];
+                        for p in pb..pmax {
+                            let av = arow[p];
+                            let brow = &b[(p - pb) * n..(p - pb + 1) * n];
                             for jj in jtail..jmax {
                                 crow[jj] += av * brow[jj];
                             }
@@ -419,6 +534,49 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fill_b_is_bit_identical_to_dense() {
+        let mut rng = TensorRng::seed_from(11);
+        // ragged in every dimension, plus micro-tile-aligned and tiny shapes
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 48, 33),
+            (3, 7, 5),
+            (33, 65, 34),
+            (48, 64, 96),
+            (70, 64, 48),
+        ] {
+            let a = Tensor::randn(m, k, 1.0, &mut rng);
+            let b = Tensor::randn(k, n, 1.0, &mut rng);
+            let want = a.matmul_with(&b, MatmulKernel::Blocked).unwrap();
+            let bd = b.as_slice();
+            let fill = |p0: usize, panel: &mut [f32]| {
+                panel.copy_from_slice(&bd[p0 * n..p0 * n + panel.len()]);
+            };
+            for threads in [1usize, 2, 3, 8] {
+                let got = matmul_fill_b_with(&a, k, n, threads, &fill).unwrap();
+                assert_eq!(
+                    want.as_slice(),
+                    got.as_slice(),
+                    "bit drift at {m}x{k}x{n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_b_handles_degenerate_shapes_and_mismatch() {
+        let fill = |_: usize, panel: &mut [f32]| panel.fill(1.0);
+        for &(m, k, n) in &[(0usize, 3usize, 2usize), (2, 0, 3), (2, 3, 0)] {
+            let a = Tensor::zeros(m, k);
+            let c = matmul_fill_b_with(&a, k, n, 4, &fill).unwrap();
+            assert_eq!(c.shape(), (m, n), "{m}x{k}x{n}");
+            assert!(c.as_slice().iter().all(|&v| v == 0.0));
+        }
+        let a = Tensor::zeros(2, 3);
+        assert!(matmul_fill_b_with(&a, 4, 2, 1, &fill).is_err());
     }
 
     #[test]

@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // checkpoint round-trip; compression hooks are runtime configuration,
     // so the policy is re-applied after loading
     let mut bytes = Vec::new();
-    save_model(&mut model, &mut bytes)?;
+    save_model(&model, &mut bytes)?;
     let mut restored = load_model(&mut bytes.as_slice())?;
     apply_policy(
         &mut restored,

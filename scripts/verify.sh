@@ -16,6 +16,17 @@ cargo test -q
 EDGELLM_THREADS=2 cargo test -q
 EDGELLM_THREADS=2 cargo test -q --test serving_equivalence
 
+# The compressed-weight cache must never serve stale bits: run the
+# staleness suite explicitly — it mutates through every invalidation
+# path (optimizer, masks, schemes, LoRA merge, checkpoint restore) and
+# asserts bit-equality with a fresh recompute after each.
+cargo test -q -p edge-llm-model --test weight_cache
+
+# Record the cache's measured wins (adaptation s/iter, decode tokens/s,
+# resident weight bytes) as machine-readable JSON; the binary exits
+# nonzero if either speedup regresses below 1.5x.
+cargo run --release -q --bin bench_cache -- BENCH_4.json
+
 # Budget check: the quick report tier exists so a laptop can regenerate
 # the headline tables in well under a coffee break. Hold it to a
 # generous multiple of its measured runtime so a quadratic regression

@@ -59,9 +59,8 @@ fn adapt_under(threads: usize) -> (Vec<u8>, Vec<u8>) {
     )
     .unwrap();
     let mut params = Vec::new();
-    save_model(&mut model, &mut params).unwrap();
-    let ckpt =
-        TrainingCheckpoint::capture(&mut model, &opt, ITERS as u64, &rng, policy_extra(&policy));
+    save_model(&model, &mut params).unwrap();
+    let ckpt = TrainingCheckpoint::capture(&model, &opt, ITERS as u64, &rng, policy_extra(&policy));
     let mut ckpt_bytes = Vec::new();
     ckpt.write_to(&mut ckpt_bytes).unwrap();
     (params, ckpt_bytes)

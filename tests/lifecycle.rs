@@ -50,7 +50,7 @@ fn adapted_checkpoint_roundtrips_with_policy() {
     adapt(&mut model, &task, 60, 0.1, &mut rng);
 
     let mut bytes = Vec::new();
-    save_model(&mut model, &mut bytes).unwrap();
+    save_model(&model, &mut bytes).unwrap();
     let mut restored = load_model(&mut bytes.as_slice()).unwrap();
     apply_policy(&mut restored, &policy).unwrap();
 

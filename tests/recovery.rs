@@ -26,7 +26,7 @@ fn setup(seed: u64) -> (EdgeModel, Sgd, TensorRng, Dataset) {
     (model, Sgd::new(0.05), rng, ds)
 }
 
-fn model_bytes(model: &mut EdgeModel) -> Vec<u8> {
+fn model_bytes(model: &EdgeModel) -> Vec<u8> {
     let mut buf = Vec::new();
     save_model(model, &mut buf).unwrap();
     buf
@@ -55,7 +55,7 @@ fn assert_kill_and_resume_identical(policy: &CompressionPolicy, schedule: Window
         &res,
     )
     .unwrap();
-    let straight = model_bytes(&mut model);
+    let straight = model_bytes(&model);
 
     let (mut model, mut opt, mut rng, ds) = setup(11);
     apply_policy(&mut model, policy).unwrap();
@@ -72,8 +72,7 @@ fn assert_kill_and_resume_identical(policy: &CompressionPolicy, schedule: Window
         &res,
     )
     .unwrap();
-    let ckpt =
-        TrainingCheckpoint::capture(&mut model, &opt, CUT as u64, &rng, policy_extra(policy));
+    let ckpt = TrainingCheckpoint::capture(&model, &opt, CUT as u64, &rng, policy_extra(policy));
     let mut bytes = Vec::new();
     ckpt.write_to(&mut bytes).unwrap();
 
@@ -97,7 +96,7 @@ fn assert_kill_and_resume_identical(policy: &CompressionPolicy, schedule: Window
     .unwrap();
     assert_eq!(
         straight,
-        model_bytes(&mut model2),
+        model_bytes(&model2),
         "resumed run drifted from straight run"
     );
 }
@@ -144,7 +143,7 @@ fn kill_and_resume_with_different_thread_count_is_bit_identical() {
         &res,
     )
     .unwrap();
-    let straight = model_bytes(&mut model);
+    let straight = model_bytes(&model);
 
     // the same run killed at CUT under 2 threads...
     set_configured_threads(2);
@@ -163,8 +162,7 @@ fn kill_and_resume_with_different_thread_count_is_bit_identical() {
         &res,
     )
     .unwrap();
-    let ckpt =
-        TrainingCheckpoint::capture(&mut model, &opt, CUT as u64, &rng, policy_extra(&policy));
+    let ckpt = TrainingCheckpoint::capture(&model, &opt, CUT as u64, &rng, policy_extra(&policy));
     let mut bytes = Vec::new();
     ckpt.write_to(&mut bytes).unwrap();
 
@@ -186,7 +184,7 @@ fn kill_and_resume_with_different_thread_count_is_bit_identical() {
         &res,
     )
     .unwrap();
-    let resumed = model_bytes(&mut model2);
+    let resumed = model_bytes(&model2);
     set_configured_threads(1);
     assert_eq!(
         straight, resumed,
@@ -299,8 +297,8 @@ fn exhausted_rollback_budget_fails_typed() {
 
 #[test]
 fn corrupted_checkpoint_bytes_are_rejected() {
-    let (mut model, opt, rng, _ds) = setup(3);
-    let ckpt = TrainingCheckpoint::capture(&mut model, &opt, 5, &rng, b"p=1".to_vec());
+    let (model, opt, rng, _ds) = setup(3);
+    let ckpt = TrainingCheckpoint::capture(&model, &opt, 5, &rng, b"p=1".to_vec());
     let mut bytes = Vec::new();
     ckpt.write_to(&mut bytes).unwrap();
 
