@@ -1,0 +1,109 @@
+//! Telemetry overhead microbenchmarks: the disabled instrumentation
+//! point (one relaxed atomic load), the enabled span open/close and
+//! counter bump, and a full adaptation step with recording off vs on.
+//!
+//! The machine-readable gate (disabled probes < 1% of a step) is
+//! regenerated with `cargo run --release --bin bench_telemetry` from the
+//! repo root; this harness exists for statistically careful per-call
+//! numbers when a registry is available.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edge_llm::compress::apply_layer_policy;
+use edge_llm::telemetry;
+use edge_llm_luc::LayerPolicy;
+use edge_llm_model::{AdaptiveTuner, EdgeModel, ModelConfig, Sgd, WindowSchedule};
+use edge_llm_quant::BitWidth;
+use edge_llm_tensor::TensorRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_model() -> EdgeModel {
+    let cfg = ModelConfig::tiny().with_layers(4).with_d_model(128, 4);
+    let mut rng = TensorRng::seed_from(42);
+    let mut model = EdgeModel::new(cfg, &mut rng).expect("bench config");
+    for l in 0..model.n_layers() {
+        apply_layer_policy(
+            &mut model,
+            l,
+            LayerPolicy {
+                bits: BitWidth::W4,
+                prune_ratio: 0.25,
+            },
+        )
+        .expect("bench policy");
+    }
+    model
+}
+
+fn bench_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_points");
+
+    telemetry::disable();
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let _ = black_box(telemetry::span("bench.point"));
+        })
+    });
+    group.bench_function("counter_disabled", |b| {
+        b.iter(|| telemetry::counter("bench.point", black_box(1)))
+    });
+
+    telemetry::enable(Arc::new(telemetry::MonotonicClock::default()));
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let _ = black_box(telemetry::span("bench.point"));
+        })
+    });
+    group.bench_function("counter_enabled", |b| {
+        b.iter(|| telemetry::counter("bench.point", black_box(1)))
+    });
+    telemetry::disable();
+
+    group.finish();
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_step");
+    group.sample_size(20);
+
+    for traced in [false, true] {
+        let mut model = bench_model();
+        let tokens: Vec<usize> = {
+            let mut rng = TensorRng::seed_from(7);
+            (0..model.config().seq_len)
+                .map(|_| rng.index(model.config().vocab_size))
+                .collect()
+        };
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 1 });
+        tuner
+            .step(&mut model, &mut opt, &tokens, &tokens, 1)
+            .expect("warmup step");
+        if traced {
+            telemetry::enable(Arc::new(telemetry::MonotonicClock::default()));
+        }
+        let name = if traced {
+            "adapt_step_traced"
+        } else {
+            "adapt_step_plain"
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                tuner
+                    .step(&mut model, &mut opt, &tokens, &tokens, 1)
+                    .expect("bench step");
+                if traced {
+                    let _ = black_box(telemetry::take_events());
+                }
+            })
+        });
+        if traced {
+            telemetry::disable();
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_points, bench_step);
+criterion_main!(benches);

@@ -24,6 +24,7 @@ use edge_llm_model::{
 };
 use edge_llm_quant::BitWidth;
 use edge_llm_serve::{BatchedInferenceEngine, FinishReason, ServeRequest};
+use edge_llm_telemetry as telemetry;
 use edge_llm_tensor::TensorRng;
 use std::fmt;
 use std::fs;
@@ -58,6 +59,9 @@ pub enum Command {
         /// Kernel worker threads (`0` = all cores). `None` leaves the
         /// `EDGELLM_THREADS` environment default in place.
         threads: Option<usize>,
+        /// Write a JSON-lines telemetry trace to this path. `None` falls
+        /// back to the `EDGELLM_TRACE` environment variable.
+        trace_out: Option<String>,
     },
     /// Generate a continuation from an adapted checkpoint.
     Generate {
@@ -86,6 +90,9 @@ pub enum Command {
         /// Kernel worker threads (`0` = all cores). `None` leaves the
         /// `EDGELLM_THREADS` environment default in place.
         threads: Option<usize>,
+        /// Write a JSON-lines telemetry trace to this path. `None` falls
+        /// back to the `EDGELLM_TRACE` environment variable.
+        trace_out: Option<String>,
     },
     /// Print a checkpoint's configuration and size.
     Inspect {
@@ -132,10 +139,11 @@ edgellm — on-device LLM adaptation (Edge-LLM reproduction)
 USAGE:
   edgellm adapt    --corpus <file> --out <ckpt> [--budget 0.25] [--window 2]
                    [--iterations 400] [--seed 42] [--checkpoint-every N]
-                   [--resume <ckpt>.state] [--threads N]
+                   [--resume <ckpt>.state] [--threads N] [--trace-out <path>]
   edgellm generate --ckpt <ckpt> --prompt <text> [--tokens 40] [--top-k 3]
                    [--temperature 0.8] [--seed 42]
   edgellm serve    --ckpt <ckpt> --requests <file> [--batch 4] [--threads N]
+                   [--trace-out <path>]
   edgellm inspect  --ckpt <ckpt>
   edgellm policy   --corpus <file> [--budget 0.25] [--seed 42]
   edgellm help
@@ -151,6 +159,10 @@ alone: batching never changes outputs, only throughput.
 Kernel threads: results are bit-identical for every thread count, so
 --threads only changes speed. 0 means all cores; the EDGELLM_THREADS
 environment variable sets the default when the flag is absent.
+
+Tracing: --trace-out <path> (or the EDGELLM_TRACE environment variable)
+writes a JSON-lines span/counter trace of the run. Recording never
+changes results, only observes them.
 ";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -213,6 +225,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             checkpoint_every: parse_flag(rest, "--checkpoint-every", 0)?,
             resume: flag_value(rest, "--resume").map(str::to_string),
             threads: parse_opt_flag(rest, "--threads")?,
+            trace_out: flag_value(rest, "--trace-out").map(str::to_string),
         }),
         "generate" => Ok(Command::Generate {
             ckpt: required_flag(rest, "--ckpt")?,
@@ -227,6 +240,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             requests: required_flag(rest, "--requests")?,
             batch: parse_flag(rest, "--batch", 4)?,
             threads: parse_opt_flag(rest, "--threads")?,
+            trace_out: flag_value(rest, "--trace-out").map(str::to_string),
         }),
         "inspect" => Ok(Command::Inspect {
             ckpt: required_flag(rest, "--ckpt")?,
@@ -243,6 +257,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 
 fn run_err<E: fmt::Display>(e: E) -> CliError {
     CliError::Run(e.to_string())
+}
+
+/// Turns recording on when a trace destination is configured (flag first,
+/// then `EDGELLM_TRACE`); returns the destination path.
+fn start_trace(trace_out: &Option<String>) -> Option<String> {
+    let path = trace_out.clone().or_else(telemetry::env_trace_path)?;
+    telemetry::enable(std::sync::Arc::new(telemetry::MonotonicClock::default()));
+    Some(path)
+}
+
+/// Stops recording and writes the collected events as JSON lines.
+fn finish_trace<W: std::io::Write>(path: &str, out: &mut W) -> Result<(), CliError> {
+    let events = telemetry::disable();
+    let file = fs::File::create(path)
+        .map_err(|e| CliError::Run(format!("cannot create trace file {path}: {e}")))?;
+    let mut w = std::io::BufWriter::new(file);
+    telemetry::write_jsonl(&mut w, &events).map_err(run_err)?;
+    w.flush().map_err(run_err)?;
+    writeln!(out, "trace written to {path} ({} events)", events.len()).map_err(run_err)
 }
 
 fn text_task(corpus_path: &str) -> Result<TextLmTask, CliError> {
@@ -322,10 +355,12 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             checkpoint_every,
             resume,
             threads,
+            trace_out,
         } => {
             if let Some(t) = threads {
                 edge_llm_tensor::set_configured_threads(*t);
             }
+            let trace_path = start_trace(trace_out);
             let task = text_task(corpus)?;
             // Dataset sampling uses its own seed-derived stream so a resumed
             // run can regenerate the identical dataset from the checkpoint.
@@ -432,6 +467,25 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             if *checkpoint_every > 0 {
                 writeln!(out, "training state written to {state_path}").map_err(run_err)?;
             }
+            if run.steps_executed > 0 {
+                let p = run.phases;
+                let ms = |ns: u64| ns as f64 / 1e6;
+                writeln!(
+                    out,
+                    "phase totals: forward {:.1}ms backward {:.1}ms optimizer {:.1}ms \
+                     checkpoint {:.1}ms ({} layer requants, {} cache evictions)",
+                    ms(p.forward_ns),
+                    ms(p.backward_ns),
+                    ms(p.optimizer_ns),
+                    ms(p.checkpoint_ns),
+                    p.requant_layers,
+                    p.cache_invalidations
+                )
+                .map_err(run_err)?;
+            }
+            if let Some(path) = &trace_path {
+                finish_trace(path, out)?;
+            }
         }
         Command::Generate {
             ckpt,
@@ -478,10 +532,12 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             requests,
             batch,
             threads,
+            trace_out,
         } => {
             if let Some(t) = threads {
                 edge_llm_tensor::set_configured_threads(*t);
             }
+            let trace_path = start_trace(trace_out);
             let mut file = fs::File::open(ckpt)
                 .map_err(|e| CliError::Run(format!("cannot open {ckpt}: {e}")))?;
             let model = load_model(&mut file).map_err(run_err)?;
@@ -546,6 +602,16 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 engine.weight_resident_bytes()
             )
             .map_err(run_err)?;
+            let report = engine.report();
+            writeln!(
+                out,
+                "latency: queue wait {} | decode token {}",
+                report.queue_wait, report.decode_token
+            )
+            .map_err(run_err)?;
+            if let Some(path) = &trace_path {
+                finish_trace(path, out)?;
+            }
         }
         Command::Inspect { ckpt } => {
             let mut file = fs::File::open(ckpt)
@@ -751,8 +817,25 @@ mod tests {
                 checkpoint_every: 0,
                 resume: None,
                 threads: None,
+                trace_out: None,
             }
         );
+    }
+
+    #[test]
+    fn parse_trace_out_flag() {
+        let cmd = parse_args(&argv("adapt --corpus a --out b --trace-out trace.jsonl")).unwrap();
+        match cmd {
+            Command::Adapt { trace_out, .. } => {
+                assert_eq!(trace_out.as_deref(), Some("trace.jsonl"))
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cmd = parse_args(&argv("serve --ckpt m --requests q --trace-out t.jsonl")).unwrap();
+        match cmd {
+            Command::Serve { trace_out, .. } => assert_eq!(trace_out.as_deref(), Some("t.jsonl")),
+            other => panic!("wrong command {other:?}"),
+        }
     }
 
     #[test]
@@ -866,6 +949,7 @@ mod tests {
             checkpoint_every: 0,
             resume: None,
             threads: None,
+            trace_out: None,
         };
         let mut buf = Vec::new();
         run(&adapt, &mut buf).unwrap();
@@ -914,6 +998,7 @@ mod tests {
             checkpoint_every: 0,
             resume: None,
             threads: None,
+            trace_out: None,
         }
     }
 
@@ -1026,6 +1111,7 @@ mod tests {
                 requests: "q.txt".into(),
                 batch: 8,
                 threads: Some(2),
+                trace_out: None,
             }
         );
         assert!(matches!(
@@ -1102,11 +1188,13 @@ id=late tokens=8 deadline=2 :: sensors
 ",
         )
         .unwrap();
+        let trace_path = dir.join("trace.jsonl");
         let cmd = Command::Serve {
             ckpt: ckpt_path.to_string_lossy().into_owned(),
             requests: requests_path.to_string_lossy().into_owned(),
             batch: 2,
             threads: None,
+            trace_out: Some(trace_path.to_string_lossy().into_owned()),
         };
         let mut buf = Vec::new();
         run(&cmd, &mut buf).unwrap();
@@ -1118,6 +1206,12 @@ id=late tokens=8 deadline=2 :: sensors
         assert!(text.contains("served 3 requests"), "{text}");
         assert!(text.contains("tokens/s"), "{text}");
         assert!(text.contains("batched passes"), "{text}");
+        assert!(text.contains("latency: queue wait"), "{text}");
+        assert!(text.contains("trace written to"), "{text}");
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.lines().count() > 0, "trace file is empty");
+        assert!(trace.contains("\"serve.step\""), "{trace}");
+        assert!(trace.contains("serve.evict.completed"), "{trace}");
     }
 
     #[test]
@@ -1127,6 +1221,7 @@ id=late tokens=8 deadline=2 :: sensors
             requests: "/nonexistent/queue.txt".into(),
             batch: 4,
             threads: None,
+            trace_out: None,
         };
         assert!(matches!(run(&cmd, &mut Vec::new()), Err(CliError::Run(_))));
     }

@@ -60,4 +60,5 @@ pub use edge_llm_model as model;
 pub use edge_llm_prune as prune;
 pub use edge_llm_quant as quant;
 pub use edge_llm_serve as serve;
+pub use edge_llm_telemetry as telemetry;
 pub use edge_llm_tensor as tensor;

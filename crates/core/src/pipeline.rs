@@ -257,6 +257,9 @@ pub struct AdaptationOutcome {
     pub threads: usize,
     /// The quality/latency evaluation used (voting or final exit).
     pub eval: EvalResult,
+    /// Where adaptation time went: per-phase totals across executed
+    /// steps plus checkpoint-write time and re-quantization counts.
+    pub phases: crate::resilience::PhaseTotals,
     /// What the resilient runtime did to keep the run alive (empty on a
     /// clean run).
     pub journal: RecoveryJournal,
@@ -464,6 +467,7 @@ pub fn run_method_with(
         policy_ratio: policy.mean_prune_ratio(),
         threads: edge_llm_tensor::configured_threads(),
         eval,
+        phases: run.phases,
         journal: run.journal,
     })
 }

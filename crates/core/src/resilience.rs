@@ -32,8 +32,9 @@ use crate::EdgeLlmError;
 use edge_llm_data::Dataset;
 use edge_llm_luc::CompressionPolicy;
 use edge_llm_model::{
-    AdaptiveTuner, EdgeModel, Optimizer, Sgd, TrainingCheckpoint, WindowSchedule,
+    AdaptiveTuner, EdgeModel, Optimizer, Sgd, StepPhases, TrainingCheckpoint, WindowSchedule,
 };
+use edge_llm_telemetry as telemetry;
 use edge_llm_tensor::TensorRng;
 use std::fmt;
 use std::path::PathBuf;
@@ -471,6 +472,39 @@ pub fn restore_run(
     Ok((model, ckpt.optimizer(), ckpt.rng(), policy))
 }
 
+/// Per-phase wall-clock totals accumulated over every executed tuning
+/// step (including replays after rollback), plus checkpoint-write time.
+/// The phase fields come from [`StepPhases`]; `checkpoint_ns` is measured
+/// around the capture-and-persist block that steps never see.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Forward-pass time (embedding through loss), nanoseconds.
+    pub forward_ns: u64,
+    /// Backward-pass time, nanoseconds.
+    pub backward_ns: u64,
+    /// Optimizer + mask-enforcement time, nanoseconds.
+    pub optimizer_ns: u64,
+    /// Whole-step time (>= forward + backward + optimizer), nanoseconds.
+    pub step_ns: u64,
+    /// Checkpoint capture + serialization + disk-write time, nanoseconds.
+    pub checkpoint_ns: u64,
+    /// Layer re-quantizations triggered across all steps.
+    pub requant_layers: u64,
+    /// Compressed-weight cache evictions across all steps.
+    pub cache_invalidations: u64,
+}
+
+impl PhaseTotals {
+    fn absorb(&mut self, p: &StepPhases) {
+        self.forward_ns += p.forward_ns;
+        self.backward_ns += p.backward_ns;
+        self.optimizer_ns += p.optimizer_ns;
+        self.step_ns += p.total_ns;
+        self.requant_layers += p.requant_layers as u64;
+        self.cache_invalidations += p.cache_invalidations;
+    }
+}
+
 /// What the resilient loop hands back in addition to a trained model.
 #[derive(Debug, Clone)]
 pub struct AdaptRun {
@@ -482,6 +516,8 @@ pub struct AdaptRun {
     pub total_ms: f64,
     /// Steps actually executed (>= iterations when rollbacks replayed).
     pub steps_executed: usize,
+    /// Where the time went: per-phase and checkpoint-write totals.
+    pub phases: PhaseTotals,
     /// Everything the runtime did to keep the run alive.
     pub journal: RecoveryJournal,
 }
@@ -516,15 +552,22 @@ pub fn resilient_adapt(
     let mut guard = DivergenceGuard::new(res.spike_factor, res.ewma_alpha, res.warmup_steps);
     let mut fired = vec![false; res.faults.len()];
     let mut it = tuner.iterations();
-    let mut snapshot = TrainingCheckpoint::capture(model, opt, it as u64, rng, extra.clone());
-    if let Some(path) = &res.checkpoint_path {
-        snapshot.save_file(path)?;
-        journal.record(RecoveryEvent::CheckpointWritten {
-            iteration: it as u64,
-            bytes: checkpoint_size(&snapshot)?,
-            path: Some(path.display().to_string()),
-        });
-    }
+    let mut phases = PhaseTotals::default();
+    let mut snapshot = {
+        let _s = telemetry::span("adapt.checkpoint");
+        let t_ckpt = Instant::now();
+        let snapshot = TrainingCheckpoint::capture(model, opt, it as u64, rng, extra.clone());
+        if let Some(path) = &res.checkpoint_path {
+            snapshot.save_file(path)?;
+            journal.record(RecoveryEvent::CheckpointWritten {
+                iteration: it as u64,
+                bytes: checkpoint_size(&snapshot)?,
+                path: Some(path.display().to_string()),
+            });
+        }
+        phases.checkpoint_ns += t_ckpt.elapsed().as_nanos() as u64;
+        snapshot
+    };
     // learning-rate scale accumulated by backoff since the last snapshot
     // (the snapshot's own lr already includes earlier backoffs)
     let mut lr_scale = 1.0f32;
@@ -611,6 +654,7 @@ pub fn resilient_adapt(
         };
         total_ms += t0.elapsed().as_secs_f64() * 1e3;
         steps_executed += 1;
+        phases.absorb(&report.phases);
 
         if let Some(reason) = guard.observe(report.loss, report.grad_norm) {
             journal.record(RecoveryEvent::DivergenceDetected {
@@ -662,6 +706,8 @@ pub fn resilient_adapt(
         it += 1;
 
         if res.checkpoint_every > 0 && it.is_multiple_of(res.checkpoint_every) && it < iterations {
+            let _s = telemetry::span("adapt.checkpoint");
+            let t_ckpt = Instant::now();
             snapshot = TrainingCheckpoint::capture(model, opt, it as u64, rng, extra.clone());
             lr_scale = 1.0;
             let bytes = checkpoint_size(&snapshot)?;
@@ -677,6 +723,7 @@ pub fn resilient_adapt(
                 bytes,
                 path: path_str,
             });
+            phases.checkpoint_ns += t_ckpt.elapsed().as_nanos() as u64;
         }
     }
 
@@ -685,6 +732,7 @@ pub fn resilient_adapt(
         peak_activation_bytes: peak_activation,
         total_ms,
         steps_executed,
+        phases,
         journal,
     })
 }

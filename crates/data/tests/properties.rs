@@ -121,3 +121,70 @@ fn cloze_answers_are_kb_consistent() {
         }
     });
 }
+
+#[test]
+fn tokenizer_round_trips_printable_ascii() {
+    use edge_llm_data::CharTokenizer;
+    let tok = CharTokenizer::new();
+    run_cases("tokenizer round-trip", 64, |g| {
+        let len = g.usize_in(0, 256);
+        let text: String = (0..len)
+            .map(|_| (0x20 + g.usize_in(0, 94) as u8) as char)
+            .collect();
+        let ids = tok.encode(&text);
+        assert_eq!(ids.len(), text.len());
+        assert!(ids.iter().all(|&id| id < tok.vocab_size()));
+        assert_eq!(tok.decode(&ids), text, "printable ASCII must round-trip");
+    });
+}
+
+#[test]
+fn tokenizer_maps_non_printable_to_unknown() {
+    use edge_llm_data::CharTokenizer;
+    let tok = CharTokenizer::new();
+    run_cases("tokenizer unknowns", 32, |g| {
+        // control chars, DEL, and multi-byte UTF-8 all land on unk -> '?'
+        let bad = *g.choose(&['\t', '\n', '\x7F', 'é', '日', '\u{1F600}']);
+        let text = format!("ok{bad}ok");
+        let ids = tok.encode(&text);
+        assert!(ids.contains(&tok.unk_id()));
+        let back = tok.decode(&ids);
+        assert!(back.starts_with("ok") && back.ends_with("ok"));
+        assert!(back.contains('?'), "unknowns decode to '?': {back:?}");
+        // decode is total: out-of-range ids also map to '?', no panic
+        assert_eq!(tok.decode(&[tok.vocab_size() + 7]), "?");
+    });
+}
+
+#[test]
+fn tokenizer_handles_degenerate_inputs() {
+    use edge_llm_data::CharTokenizer;
+    let tok = CharTokenizer::new();
+    assert_eq!(tok.encode(""), Vec::<usize>::new());
+    assert_eq!(tok.decode(&[]), "");
+    let spaces = "   ";
+    assert_eq!(tok.decode(&tok.encode(spaces)), spaces);
+    let max_len = "~".repeat(1 << 16);
+    assert_eq!(tok.decode(&tok.encode(&max_len)), max_len);
+}
+
+#[test]
+fn cloze_answers_are_consistent_with_samples() {
+    run_cases("cloze consistency", 48, |g| {
+        let subjects = g.usize_in(2, 10);
+        let relations = g.usize_in(1, 4);
+        let task = ClozeQaTask::with_seed(subjects, relations, g.u64());
+        assert_eq!(task.n_facts(), subjects * relations);
+        // the fact table itself stays inside the vocabulary
+        for s in 0..subjects {
+            for r in 0..relations {
+                assert!(task.answer(s, r) < task.vocab_size());
+            }
+        }
+        // sampling never panics even at the minimum viable length
+        let seq = g.usize_in(1, 48);
+        let sample = task.sample(seq, g.rng());
+        assert_eq!(sample.tokens.len(), seq);
+        assert_eq!(sample.targets.len(), seq);
+    });
+}

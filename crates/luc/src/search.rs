@@ -1,6 +1,7 @@
 use crate::policy::{CompressionPolicy, LayerPolicy};
 use crate::sensitivity::SensitivityProfile;
 use crate::LucError;
+use edge_llm_telemetry as telemetry;
 
 /// Search strategy for the unified per-layer policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +86,7 @@ pub fn search_policy(
     budget: f32,
     algorithm: SearchAlgorithm,
 ) -> Result<SearchOutcome, LucError> {
+    let _span = telemetry::span("luc.search");
     profile.validate()?;
     let all = combos(profile);
     let n = profile.n_layers();
@@ -95,11 +97,15 @@ pub fn search_policy(
             min_achievable: min_cost,
         });
     }
-    match algorithm {
+    let outcome = match algorithm {
         SearchAlgorithm::Greedy => greedy(profile, &all, budget, n),
         SearchAlgorithm::DynamicProgramming => dp(profile, &all, budget, n),
         SearchAlgorithm::Exhaustive => exhaustive(profile, &all, budget, n),
+    };
+    if let Ok(outcome) = &outcome {
+        telemetry::counter("luc.evaluations", outcome.evaluations as u64);
     }
+    outcome
 }
 
 fn cheapest_per_delta(profile: &SensitivityProfile, all: &[Combo], layer: usize) -> Combo {

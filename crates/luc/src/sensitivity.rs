@@ -1,6 +1,7 @@
 use crate::policy::LayerPolicy;
 use crate::LucError;
 use edge_llm_quant::BitWidth;
+use edge_llm_telemetry as telemetry;
 
 /// Anything that can report the task loss of the model with a single layer
 /// compressed — typically a wrapper around `EdgeModel` plus a calibration
@@ -163,6 +164,7 @@ pub fn profile(
     bit_choices: &[BitWidth],
     ratio_choices: &[f32],
 ) -> Result<SensitivityProfile, LucError> {
+    let _span = telemetry::span("luc.profile");
     if bit_choices.is_empty() || ratio_choices.is_empty() {
         return Err(LucError::BadParameter {
             reason: "choice sets must be non-empty".into(),

@@ -10,7 +10,9 @@
 use crate::error::ModelError;
 use crate::model::EdgeModel;
 use crate::optim::Optimizer;
+use edge_llm_telemetry as telemetry;
 use edge_llm_tensor::{configured_threads, cross_entropy_backward, cross_entropy_forward};
+use std::time::Instant;
 
 /// A half-open range of layers `[start, end)` trained in one iteration.
 /// The exit head used is the one at layer `end - 1`.
@@ -87,6 +89,29 @@ impl WindowSchedule {
     }
 }
 
+/// Per-phase breakdown of one adaptation step. Wall-clock fields come
+/// from the OS monotonic clock and are **observational only** — they vary
+/// run to run while every computed value stays bit-identical. The
+/// re-quantization/invalidation tallies are exact and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepPhases {
+    /// Forward pass to the window's exit plus the loss forward.
+    pub forward_ns: u64,
+    /// Loss backward plus the truncated backward pass.
+    pub backward_ns: u64,
+    /// Gradient-norm sweep, optimizer update, and mask re-enforcement.
+    pub optimizer_ns: u64,
+    /// The whole step (phases plus scheduling overhead); phase sums are
+    /// held to within 5% of this by `tests/telemetry.rs`.
+    pub total_ns: u64,
+    /// Layers whose projections re-quantized during the step — 1 per step
+    /// for a depth-1 window once caches are warm (the PR 4 invariant),
+    /// `n_layers` when the cache is broken or disabled.
+    pub requant_layers: usize,
+    /// Weight-cache evictions during the step, over every projection.
+    pub cache_invalidations: u64,
+}
+
 /// Per-step report returned by [`AdaptiveTuner::step`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TuneStepReport {
@@ -104,6 +129,8 @@ pub struct TuneStepReport {
     /// Kernel worker threads configured while the step ran (wall-clock
     /// context only — results are bit-identical for every value).
     pub threads: usize,
+    /// Where the step's time went and how much re-quantization it did.
+    pub phases: StepPhases,
 }
 
 /// Drives adaptive layer tuning of an [`EdgeModel`].
@@ -172,21 +199,58 @@ impl AdaptiveTuner {
         targets: &[usize],
         batch: usize,
     ) -> Result<TuneStepReport, ModelError> {
+        let _step_span = telemetry::span("tune.step");
+        let t_step = Instant::now();
+        let requants_before = model.block_requant_counts();
+        let cache_before = model.weight_cache_stats();
         let window = self.schedule.window_for(self.iter, model.n_layers());
         self.iter += 1;
         let exit_layer = window.exit_layer();
-        let fwd = model.forward_exit(tokens, batch, exit_layer, window.start)?;
-        let ce = cross_entropy_forward(&fwd.logits, targets)?;
-        let dlogits = cross_entropy_backward(&ce, targets)?;
-        let activation_bytes = fwd.caches.activation_bytes();
-        model.backward_exit(&fwd.caches, &dlogits)?;
-        let mut grad_sq = 0f64;
-        model.visit_params_window(window, exit_layer, &mut |_, _, g| {
-            grad_sq += g.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
-        });
-        opt.begin_step();
-        model.visit_params_window(window, exit_layer, &mut |id, p, g| opt.update(id, p, g));
-        model.enforce_masks();
+
+        let t0 = Instant::now();
+        let (fwd, ce) = {
+            let _s = telemetry::span("tune.forward");
+            let fwd = model.forward_exit(tokens, batch, exit_layer, window.start)?;
+            let ce = cross_entropy_forward(&fwd.logits, targets)?;
+            (fwd, ce)
+        };
+        let forward_ns = t0.elapsed().as_nanos() as u64;
+
+        let t0 = Instant::now();
+        let activation_bytes = {
+            let _s = telemetry::span("tune.backward");
+            let dlogits = cross_entropy_backward(&ce, targets)?;
+            let activation_bytes = fwd.caches.activation_bytes();
+            model.backward_exit(&fwd.caches, &dlogits)?;
+            activation_bytes
+        };
+        let backward_ns = t0.elapsed().as_nanos() as u64;
+
+        let t0 = Instant::now();
+        let grad_sq = {
+            let _s = telemetry::span("tune.optimizer");
+            let mut grad_sq = 0f64;
+            model.visit_params_window(window, exit_layer, &mut |_, _, g| {
+                grad_sq += g.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+            });
+            opt.begin_step();
+            model.visit_params_window(window, exit_layer, &mut |id, p, g| opt.update(id, p, g));
+            model.enforce_masks();
+            grad_sq
+        };
+        let optimizer_ns = t0.elapsed().as_nanos() as u64;
+
+        let requants_after = model.block_requant_counts();
+        let cache_after = model.weight_cache_stats();
+        let requant_layers = requants_before
+            .iter()
+            .zip(&requants_after)
+            .filter(|(b, a)| a > b)
+            .count();
+        let cache_invalidations = cache_after.invalidations - cache_before.invalidations;
+        telemetry::counter("tune.requant_layers", requant_layers as u64);
+        telemetry::counter("tune.cache_invalidations", cache_invalidations);
+
         Ok(TuneStepReport {
             loss: ce.loss,
             window,
@@ -194,6 +258,14 @@ impl AdaptiveTuner {
             forward_layers: exit_layer + 1,
             grad_norm: grad_sq.sqrt() as f32,
             threads: configured_threads(),
+            phases: StepPhases {
+                forward_ns,
+                backward_ns,
+                optimizer_ns,
+                total_ns: t_step.elapsed().as_nanos() as u64,
+                requant_layers,
+                cache_invalidations,
+            },
         })
     }
 

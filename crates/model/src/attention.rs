@@ -300,6 +300,16 @@ impl Attention {
     pub fn weight_storage_bytes(&self) -> usize {
         self.qkv.weight_storage_bytes() + self.proj.weight_storage_bytes()
     }
+
+    /// Effective-weight re-quantizations across both projections.
+    pub fn requant_count(&self) -> u64 {
+        self.qkv.requant_count() + self.proj.requant_count()
+    }
+
+    /// Weight-cache evictions across both projections.
+    pub fn cache_invalidation_count(&self) -> u64 {
+        self.qkv.cache_invalidation_count() + self.proj.cache_invalidation_count()
+    }
 }
 
 fn split_head(

@@ -211,6 +211,16 @@ impl Block {
     pub fn weight_storage_bytes(&self) -> usize {
         self.attn.weight_storage_bytes() + self.mlp.weight_storage_bytes()
     }
+
+    /// Effective-weight re-quantizations across this block's projections.
+    pub fn requant_count(&self) -> u64 {
+        self.attn.requant_count() + self.mlp.requant_count()
+    }
+
+    /// Weight-cache evictions across this block's projections.
+    pub fn cache_invalidation_count(&self) -> u64 {
+        self.attn.cache_invalidation_count() + self.mlp.cache_invalidation_count()
+    }
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ mod norm;
 mod optim;
 mod voting;
 
-pub use adaptive::{AdaptiveTuner, LayerWindow, TuneStepReport, WindowSchedule};
+pub use adaptive::{AdaptiveTuner, LayerWindow, StepPhases, TuneStepReport, WindowSchedule};
 pub use attention::{Attention, AttentionCache};
 pub use batched::{batched_decode_step, BatchedStep, SequenceKv};
 pub use beam::{beam_search, BeamHypothesis};
@@ -63,7 +63,9 @@ pub use lora::{LoraCache, LoraLinear};
 pub use lr::LrSchedule;
 pub use memory::{MemoryBreakdown, MemoryModel};
 pub use mlp::{Mlp, MlpCache};
-pub use model::{EdgeModel, ExitForward, ForwardCaches, ParamVisitor, ParamVisitorRo};
+pub use model::{
+    EdgeModel, ExitForward, ForwardCaches, ParamVisitor, ParamVisitorRo, WeightCacheStats,
+};
 pub use norm::LayerNorm;
 pub use optim::{Adam, Optimizer, Sgd, SgdState};
 pub use voting::{combine, fit_learned_weights, VotingCombiner, VotingPolicy};

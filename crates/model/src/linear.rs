@@ -8,6 +8,7 @@ use edge_llm_tensor::{
     TensorRng,
 };
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// A fully-connected layer `y = x · W + b` with explicit gradients and
@@ -47,6 +48,29 @@ pub struct Linear {
     act_quant: Option<QuantScheme>,
     wcache: WeightCache,
     cache_enabled: bool,
+    counters: CacheCounters,
+}
+
+/// Telemetry tallies for the compressed-weight datapath. Atomics because
+/// the immutable forward paths (shared across batched-decode workers)
+/// bump them through `&self`; purely observational — they never influence
+/// computed values.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    /// Effective-weight materializations with a quant scheme installed
+    /// (each one is a re-quantization of the full weight).
+    requants: AtomicU64,
+    /// Cache evictions that actually dropped a cached form.
+    invalidations: AtomicU64,
+}
+
+impl Clone for CacheCounters {
+    fn clone(&self) -> Self {
+        CacheCounters {
+            requants: AtomicU64::new(self.requants.load(Ordering::Relaxed)),
+            invalidations: AtomicU64::new(self.invalidations.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Lazily-populated derived forms of the weight. `OnceLock` lets the
@@ -90,6 +114,7 @@ impl Linear {
             act_quant: None,
             wcache: WeightCache::default(),
             cache_enabled: true,
+            counters: CacheCounters::default(),
         }
     }
 
@@ -215,8 +240,24 @@ impl Linear {
     }
 
     fn invalidate_weight_cache(&mut self) {
+        let had_cached = self.wcache.dense.get().is_some() || self.wcache.packed.get().is_some();
         self.wcache.dense.take();
         self.wcache.packed.take();
+        if had_cached {
+            self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Times this layer materialized its effective weight with a quant
+    /// scheme installed (each is a full re-quantization). Monotonic over
+    /// the layer's lifetime; the tuner reports per-step deltas.
+    pub fn requant_count(&self) -> u64 {
+        self.counters.requants.load(Ordering::Relaxed)
+    }
+
+    /// Cache invalidations that actually evicted a cached weight form.
+    pub fn cache_invalidation_count(&self) -> u64 {
+        self.counters.invalidations.load(Ordering::Relaxed)
     }
 
     /// Quantizes the weight into packed integer codes so the no-cache
@@ -252,6 +293,7 @@ impl Linear {
         let Some(scheme) = self.quant else {
             return Ok(Cow::Borrowed(&self.w));
         };
+        self.counters.requants.fetch_add(1, Ordering::Relaxed);
         let mut w = fake_quant(&self.w, scheme)?;
         // Quantization can perturb pruned zeros off zero; re-mask.
         if let Some(m) = &self.mask {

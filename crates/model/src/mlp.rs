@@ -144,6 +144,16 @@ impl Mlp {
     pub fn weight_storage_bytes(&self) -> usize {
         self.fc1.weight_storage_bytes() + self.fc2.weight_storage_bytes()
     }
+
+    /// Effective-weight re-quantizations across both projections.
+    pub fn requant_count(&self) -> u64 {
+        self.fc1.requant_count() + self.fc2.requant_count()
+    }
+
+    /// Weight-cache evictions across both projections.
+    pub fn cache_invalidation_count(&self) -> u64 {
+        self.fc1.cache_invalidation_count() + self.fc2.cache_invalidation_count()
+    }
 }
 
 #[cfg(test)]

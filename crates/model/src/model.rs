@@ -664,6 +664,43 @@ impl EdgeModel {
             .sum();
         blocks + exits + self.shared_head.weight_storage_bytes()
     }
+
+    /// Lifetime re-quantization count of each block's projections, in
+    /// layer order. The tuner diffs consecutive snapshots to report how
+    /// many *layers* re-quantized in one step — the quantity the depth-1
+    /// regression test pins at exactly one.
+    pub fn block_requant_counts(&self) -> Vec<u64> {
+        self.blocks.iter().map(|b| b.requant_count()).collect()
+    }
+
+    /// Aggregate compressed-weight-cache telemetry over every projection
+    /// (blocks, exit heads, shared head).
+    pub fn weight_cache_stats(&self) -> WeightCacheStats {
+        let mut stats = WeightCacheStats::default();
+        for b in &self.blocks {
+            stats.requants += b.requant_count();
+            stats.invalidations += b.cache_invalidation_count();
+        }
+        for e in &self.exits {
+            if let Some(h) = &e.head {
+                stats.requants += h.requant_count();
+                stats.invalidations += h.cache_invalidation_count();
+            }
+        }
+        stats.requants += self.shared_head.requant_count();
+        stats.invalidations += self.shared_head.cache_invalidation_count();
+        stats
+    }
+}
+
+/// Model-wide compressed-weight-cache tallies (monotonic over the model's
+/// lifetime; diff snapshots for per-step deltas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WeightCacheStats {
+    /// Effective-weight materializations with a quant scheme installed.
+    pub requants: u64,
+    /// Cache evictions that dropped a cached weight form.
+    pub invalidations: u64,
 }
 
 #[cfg(test)]

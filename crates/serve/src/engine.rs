@@ -4,8 +4,10 @@ use crate::request::{validate_request, FinishReason, ServeOutcome, ServeRequest}
 use edge_llm_model::{
     batched_decode_step, combine, sample_token, BatchedStep, EdgeModel, ModelError, SequenceKv,
 };
+use edge_llm_telemetry::{self as telemetry, Clock, LatencySummary, MonotonicClock};
 use edge_llm_tensor::TensorRng;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One in-flight request bound to a batch slot.
 #[derive(Debug)]
@@ -36,11 +38,55 @@ struct Slot {
 pub struct BatchedInferenceEngine<'a> {
     model: &'a EdgeModel,
     slots: Vec<Option<Slot>>,
-    queue: VecDeque<ServeRequest>,
+    queue: VecDeque<QueuedRequest>,
     finished: Vec<ServeOutcome>,
     /// Retired KV caches kept warm for the next admission (slot reuse).
     spare_kvs: Vec<SequenceKv>,
     steps_run: usize,
+    /// Stamps queue-wait and decode latencies. Observational only: no
+    /// clock reading ever influences a token, so a test can inject a
+    /// [`edge_llm_telemetry::FakeClock`] without perturbing outputs.
+    clock: Arc<dyn Clock>,
+    stats: EngineStats,
+}
+
+/// A request waiting for a slot, with its submission timestamp.
+#[derive(Debug)]
+struct QueuedRequest {
+    req: ServeRequest,
+    submitted_ns: u64,
+}
+
+/// Latency samples and eviction tallies accumulated by the engine.
+#[derive(Debug, Default)]
+struct EngineStats {
+    queue_wait_ns: Vec<u64>,
+    decode_token_ns: Vec<u64>,
+    completed: usize,
+    deadline_exceeded: usize,
+    capacity_exhausted: usize,
+    rejected: usize,
+}
+
+/// Serving telemetry summary: where requests ended up and how long they
+/// waited. Returned by [`BatchedInferenceEngine::report`]; the `serve`
+/// CLI prints it after draining the request file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineReport {
+    /// Batched forward passes executed.
+    pub steps: usize,
+    /// Requests that produced their full token budget.
+    pub completed: usize,
+    /// Requests evicted by their deadline.
+    pub deadline_exceeded: usize,
+    /// Requests evicted by KV-capacity exhaustion.
+    pub capacity_exhausted: usize,
+    /// Requests rejected at validation, never admitted.
+    pub rejected: usize,
+    /// Submission-to-admission wait per admitted request.
+    pub queue_wait: LatencySummary,
+    /// Shared-forward-pass latency attributed to each generated token.
+    pub decode_token: LatencySummary,
 }
 
 impl<'a> BatchedInferenceEngine<'a> {
@@ -51,6 +97,20 @@ impl<'a> BatchedInferenceEngine<'a> {
     ///
     /// Returns [`ModelError::BadConfig`] when `max_batch` is zero.
     pub fn new(model: &'a EdgeModel, max_batch: usize) -> Result<Self, ModelError> {
+        Self::with_clock(model, max_batch, Arc::new(MonotonicClock::new()))
+    }
+
+    /// As [`BatchedInferenceEngine::new`] with an explicit latency clock
+    /// (tests inject a deterministic one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadConfig`] when `max_batch` is zero.
+    pub fn with_clock(
+        model: &'a EdgeModel,
+        max_batch: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, ModelError> {
         if max_batch == 0 {
             return Err(ModelError::BadConfig {
                 reason: "batch size must be at least 1".into(),
@@ -67,6 +127,8 @@ impl<'a> BatchedInferenceEngine<'a> {
             finished: Vec::new(),
             spare_kvs: Vec::new(),
             steps_run: 0,
+            clock,
+            stats: EngineStats::default(),
         })
     }
 
@@ -75,6 +137,8 @@ impl<'a> BatchedInferenceEngine<'a> {
     /// [`FinishReason::Rejected`] outcome.
     pub fn submit(&mut self, req: ServeRequest) {
         if let Err(e) = validate_request(self.model, &req) {
+            self.stats.rejected += 1;
+            telemetry::counter("serve.evict.rejected", 1);
             self.finished.push(ServeOutcome {
                 id: req.id,
                 tokens: Vec::new(),
@@ -86,7 +150,10 @@ impl<'a> BatchedInferenceEngine<'a> {
             });
             return;
         }
-        self.queue.push_back(req);
+        self.queue.push_back(QueuedRequest {
+            req,
+            submitted_ns: self.clock.now_ns(),
+        });
     }
 
     /// Requests waiting for a slot.
@@ -131,6 +198,7 @@ impl<'a> BatchedInferenceEngine<'a> {
     /// (validation, deadline, capacity) are reported per request in
     /// outcomes, never as an `Err`.
     pub fn step(&mut self) -> Result<bool, ModelError> {
+        let _span = telemetry::span("serve.step");
         self.retire_and_admit();
         let mut active: Vec<&mut Slot> = self.slots.iter_mut().filter_map(|s| s.as_mut()).collect();
         if active.is_empty() {
@@ -152,8 +220,14 @@ impl<'a> BatchedInferenceEngine<'a> {
                 exits,
             });
         }
-        let logits = batched_decode_step(self.model, &mut steps)?;
+        let t0 = self.clock.now_ns();
+        let logits = {
+            let _s = telemetry::span("serve.decode");
+            batched_decode_step(self.model, &mut steps)?
+        };
+        let pass_ns = self.clock.now_ns().saturating_sub(t0);
         drop(steps);
+        let mut tokens_out = 0u64;
         for (row, slot) in active.iter_mut().enumerate() {
             if !logits[row].is_empty() {
                 let probs = combine(&logits[row], &slot.req.voting.combiner)?;
@@ -161,11 +235,29 @@ impl<'a> BatchedInferenceEngine<'a> {
                 slot.last_probs = Some(probs.row(0).to_vec());
                 slot.known.push(next);
                 slot.generated += 1;
+                tokens_out += 1;
+                // the shared pass is the latency every token in it saw
+                self.stats.decode_token_ns.push(pass_ns);
             }
             slot.fed += 1;
         }
+        telemetry::counter("serve.decode_tokens", tokens_out);
         self.steps_run += 1;
         Ok(true)
+    }
+
+    /// Serving telemetry accumulated so far: eviction causes and
+    /// queue-wait / per-token decode latency percentiles.
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            steps: self.steps_run,
+            completed: self.stats.completed,
+            deadline_exceeded: self.stats.deadline_exceeded,
+            capacity_exhausted: self.stats.capacity_exhausted,
+            rejected: self.stats.rejected,
+            queue_wait: LatencySummary::from_ns(self.stats.queue_wait_ns.clone()),
+            decode_token: LatencySummary::from_ns(self.stats.decode_token_ns.clone()),
+        }
     }
 
     /// Steps until idle and returns every accumulated outcome.
@@ -210,6 +302,21 @@ impl<'a> BatchedInferenceEngine<'a> {
                 None => None,
             };
             if let Some(finish) = finish {
+                match finish {
+                    FinishReason::Completed => {
+                        self.stats.completed += 1;
+                        telemetry::counter("serve.evict.completed", 1);
+                    }
+                    FinishReason::DeadlineExceeded => {
+                        self.stats.deadline_exceeded += 1;
+                        telemetry::counter("serve.evict.deadline", 1);
+                    }
+                    FinishReason::CapacityExhausted => {
+                        self.stats.capacity_exhausted += 1;
+                        telemetry::counter("serve.evict.capacity", 1);
+                    }
+                    FinishReason::Rejected { .. } => {}
+                }
                 let slot = slot_opt.take().expect("finish computed from a live slot");
                 self.finished.push(ServeOutcome {
                     id: slot.req.id.clone(),
@@ -231,10 +338,14 @@ impl<'a> BatchedInferenceEngine<'a> {
         let mut admitted = false;
         for slot_opt in self.slots.iter_mut() {
             if slot_opt.is_none() {
-                let Some(req) = self.queue.pop_front() else {
+                let Some(QueuedRequest { req, submitted_ns }) = self.queue.pop_front() else {
                     break;
                 };
                 admitted = true;
+                self.stats
+                    .queue_wait_ns
+                    .push(self.clock.now_ns().saturating_sub(submitted_ns));
+                telemetry::counter("serve.admitted", 1);
                 let kv = self
                     .spare_kvs
                     .pop()

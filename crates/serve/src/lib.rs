@@ -50,6 +50,7 @@ mod engine;
 mod request;
 mod solo;
 
-pub use engine::BatchedInferenceEngine;
+pub use edge_llm_telemetry::LatencySummary;
+pub use engine::{BatchedInferenceEngine, EngineReport};
 pub use request::{validate_request, FinishReason, ServeOutcome, ServeRequest};
 pub use solo::run_solo;

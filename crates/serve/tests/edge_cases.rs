@@ -1,0 +1,129 @@
+//! Serving-engine edge cases: eviction-cause accounting under deadline
+//! and capacity pressure, admission when every slot retires at once, and
+//! zero-capacity configuration errors.
+
+use edge_llm_model::{Decoding, EdgeModel, ModelConfig, VotingPolicy};
+use edge_llm_serve::{BatchedInferenceEngine, FinishReason, ServeRequest};
+use edge_llm_tensor::TensorRng;
+
+fn model() -> EdgeModel {
+    let mut rng = TensorRng::seed_from(7);
+    EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap()
+}
+
+fn request(model: &EdgeModel, id: &str, seed: u64) -> ServeRequest {
+    ServeRequest {
+        id: id.into(),
+        prompt: vec![1, 2, 3],
+        max_new_tokens: 3,
+        decoding: Decoding::Greedy,
+        voting: VotingPolicy::final_only(model.n_layers()),
+        seed,
+        deadline_steps: None,
+    }
+}
+
+#[test]
+fn eviction_causes_are_accounted_per_reason() {
+    let m = model();
+    let mut engine = BatchedInferenceEngine::new(&m, 4).unwrap();
+
+    // completes normally
+    engine.submit(request(&m, "done", 1));
+    // deadline of 2 fed tokens trips during the 3-token prompt
+    let mut dl = request(&m, "late", 2);
+    dl.deadline_steps = Some(2);
+    engine.submit(dl);
+    // token budget larger than the KV capacity (seq_len 8): the cache
+    // fills before the budget is spent
+    let mut cap = request(&m, "big", 3);
+    cap.max_new_tokens = 100;
+    engine.submit(cap);
+    // invalid prompt: rejected at submission, never occupies a slot
+    let mut bad = request(&m, "bad", 4);
+    bad.prompt = vec![99_999];
+    engine.submit(bad);
+
+    let outcomes = engine.run_to_completion().unwrap();
+    assert_eq!(outcomes.len(), 4);
+    let finish = |id: &str| &outcomes.iter().find(|o| o.id == id).unwrap().finish;
+    assert_eq!(*finish("done"), FinishReason::Completed);
+    assert_eq!(*finish("late"), FinishReason::DeadlineExceeded);
+    assert_eq!(*finish("big"), FinishReason::CapacityExhausted);
+    assert!(matches!(*finish("bad"), FinishReason::Rejected { .. }));
+
+    // the report's cause tallies must match the outcomes exactly
+    let report = engine.report();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.deadline_exceeded, 1);
+    assert_eq!(report.capacity_exhausted, 1);
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.steps, engine.steps_run());
+    // three admissions produced queue-wait samples; every generated
+    // token produced a decode-latency sample
+    assert_eq!(report.queue_wait.count, 3);
+    let generated: usize = outcomes.iter().map(|o| o.tokens.len()).sum();
+    assert_eq!(report.decode_token.count, generated);
+    assert!(report.queue_wait.p50_ns <= report.queue_wait.max_ns);
+    assert!(report.decode_token.p50_ns <= report.decode_token.p95_ns);
+}
+
+#[test]
+fn deadline_vs_capacity_priority_is_deterministic() {
+    // A request that hits its deadline on the same step the KV cache
+    // fills must always be reported as deadline (the solo reference
+    // checks completed -> deadline -> capacity in that order).
+    let m = model();
+    let mut engine = BatchedInferenceEngine::new(&m, 1).unwrap();
+    let mut r = request(&m, "both", 5);
+    r.max_new_tokens = 100; // never completes by budget
+    r.deadline_steps = Some(8); // deadline == KV capacity (seq_len 8)
+    engine.submit(r);
+    let outcomes = engine.run_to_completion().unwrap();
+    assert_eq!(outcomes[0].finish, FinishReason::DeadlineExceeded);
+    let report = engine.report();
+    assert_eq!(report.deadline_exceeded, 1);
+    assert_eq!(report.capacity_exhausted, 0);
+}
+
+#[test]
+fn admission_when_all_slots_retire_at_once() {
+    // Five zero-budget requests through a two-slot engine: every
+    // admission immediately satisfies its finish condition, so each
+    // retire/admit cycle drains freed slots without a forward pass.
+    let m = model();
+    let mut engine = BatchedInferenceEngine::new(&m, 2).unwrap();
+    for i in 0..5 {
+        let mut r = request(&m, &format!("z{i}"), i);
+        r.max_new_tokens = 0;
+        engine.submit(r);
+    }
+    let outcomes = engine.run_to_completion().unwrap();
+    assert_eq!(outcomes.len(), 5);
+    assert!(outcomes
+        .iter()
+        .all(|o| o.finish == FinishReason::Completed && o.tokens.is_empty()));
+    assert_eq!(engine.steps_run(), 0, "no forward pass was needed");
+    let report = engine.report();
+    assert_eq!(report.completed, 5);
+    assert_eq!(report.queue_wait.count, 5, "every request was admitted");
+    assert_eq!(report.decode_token.count, 0);
+    assert!(engine.is_idle());
+}
+
+#[test]
+fn zero_capacity_engine_is_a_clean_error() {
+    let m = model();
+    let err = BatchedInferenceEngine::new(&m, 0);
+    assert!(err.is_err(), "zero-slot engine must be refused, not panic");
+    let msg = format!("{}", err.err().unwrap());
+    assert!(!msg.is_empty());
+}
+
+#[test]
+fn report_on_fresh_engine_is_all_zero() {
+    let m = model();
+    let engine = BatchedInferenceEngine::new(&m, 2).unwrap();
+    let report = engine.report();
+    assert_eq!(report, edge_llm_serve::EngineReport::default());
+}

@@ -164,6 +164,7 @@ where
         }
         return;
     }
+    edge_llm_telemetry::counter("pool.parallel_ops", 1);
     std::thread::scope(|scope| {
         let mut rest = out;
         let mut workers = Vec::with_capacity(panels.len() - 1);
@@ -208,6 +209,7 @@ where
     if chunks.len() <= 1 {
         return (0..n).map(f).collect();
     }
+    edge_llm_telemetry::counter("pool.parallel_ops", 1);
     let mut results: Vec<Vec<T>> = std::thread::scope(|scope| {
         let mut workers = Vec::with_capacity(chunks.len());
         for chunk in chunks.iter().skip(1).cloned() {

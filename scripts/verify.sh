@@ -1,8 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: formatting, lints, release build, full tests.
 # Run from the repository root: scripts/verify.sh
+# Optional: --coverage (or EDGELLM_COVERAGE=1) appends a line-coverage
+# run; it fails loudly if no coverage tool is installed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+WITH_COVERAGE="${EDGELLM_COVERAGE:-0}"
+for arg in "$@"; do
+    case "$arg" in
+        --coverage) WITH_COVERAGE=1 ;;
+        *)
+            echo "error: unknown argument '$arg' (supported: --coverage)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+# A bench gate that "passes" because its output file vanished or turned
+# to garbage is worse than one that fails: every gate JSON must exist
+# and parse, or verification stops here.
+check_bench_json() {
+    local path="$1"
+    if [ ! -s "$path" ]; then
+        echo "error: bench gate output $path is missing or empty." >&2
+        echo "       Its bench binary exited without writing results; re-run it and" >&2
+        echo "       inspect its stderr instead of trusting a stale green." >&2
+        exit 1
+    fi
+    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$path" 2>/dev/null; then
+        echo "error: bench gate output $path is not valid JSON (truncated write?)." >&2
+        exit 1
+    fi
+}
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
@@ -26,6 +56,12 @@ cargo test -q -p edge-llm-model --test weight_cache
 # resident weight bytes) as machine-readable JSON; the binary exits
 # nonzero if either speedup regresses below 1.5x.
 cargo run --release -q --bin bench_cache -- BENCH_4.json
+check_bench_json BENCH_4.json
+
+# Telemetry must be free when off: the binary exits nonzero if the
+# disabled instrumentation points cost 1% or more of an adaptation step.
+cargo run --release -q --bin bench_telemetry -- BENCH_5.json
+check_bench_json BENCH_5.json
 
 # Budget check: the quick report tier exists so a laptop can regenerate
 # the headline tables in well under a coffee break. Hold it to a
@@ -39,4 +75,22 @@ echo "quick report tier: ${elapsed}s (budget ${QUICK_BUDGET_S}s)"
 if [ "$elapsed" -gt "$QUICK_BUDGET_S" ]; then
     echo "error: quick report tier exceeded its ${QUICK_BUDGET_S}s budget" >&2
     exit 1
+fi
+
+# Opt-in line coverage (scripts/verify.sh --coverage, or
+# EDGELLM_COVERAGE=1). The tier-1 gate stays coverage-free so the
+# default flow never depends on extra tooling; when requested, a missing
+# tool is a hard failure, not a silent skip.
+if [ "$WITH_COVERAGE" = "1" ]; then
+    if cargo llvm-cov --version >/dev/null 2>&1; then
+        cargo llvm-cov --workspace --summary-only
+    elif command -v cargo-tarpaulin >/dev/null 2>&1; then
+        cargo tarpaulin --workspace --out Stdout
+    else
+        echo "error: --coverage requested but neither cargo-llvm-cov nor" >&2
+        echo "       cargo-tarpaulin is installed. Install one, e.g.:" >&2
+        echo "         cargo install cargo-llvm-cov   (needs llvm-tools-preview)" >&2
+        echo "         cargo install cargo-tarpaulin" >&2
+        exit 1
+    fi
 fi

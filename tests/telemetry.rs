@@ -1,0 +1,222 @@
+//! End-to-end contract of the telemetry layer.
+//!
+//! Three guarantees, each proven directly:
+//!
+//! 1. **Exact span trees** — under the deterministic fake clock, a 2-step
+//!    adaptation run produces a fully predictable event stream: two
+//!    `tune.step` roots, each with `tune.forward` / `tune.backward` /
+//!    `tune.optimizer` children, at exactly the timestamps the tick clock
+//!    dictates.
+//! 2. **Phase accounting** — the per-phase breakdown in each step report
+//!    sums to within 5% of the step's reported wall clock.
+//! 3. **Observation never perturbs** — the same adaptation and serving
+//!    runs produce byte-identical parameters, checkpoints, and outcomes
+//!    with tracing on and off.
+//!
+//! Telemetry state is process-global, so every test here runs under a
+//! shared lock and leaves recording disabled.
+
+use edge_llm::resilience::{resilient_adapt, ResilienceConfig};
+use edge_llm_data::{Dataset, ModArithTask, TaskGenerator};
+use edge_llm_model::{
+    save_model, AdaptiveTuner, EdgeModel, ModelConfig, Sgd, TrainingCheckpoint, WindowSchedule,
+};
+use edge_llm_serve::{BatchedInferenceEngine, ServeOutcome, ServeRequest};
+use edge_llm_telemetry::{
+    counter_totals, span_tree, write_jsonl, Event, FakeClock, MonotonicClock,
+};
+use edge_llm_tensor::{set_configured_threads, TensorRng};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes tests: telemetry recording and the thread knob are both
+/// process-wide.
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    SESSION.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn setup(seed: u64) -> (EdgeModel, Sgd, TensorRng, Dataset) {
+    let task = ModArithTask::new(7);
+    let mut rng = TensorRng::seed_from(seed);
+    let cfg = ModelConfig::tiny().with_vocab(task.vocab_size());
+    let model = EdgeModel::new(cfg.clone(), &mut rng).unwrap();
+    let ds = Dataset::from_samples((0..8).map(|_| task.sample(cfg.seq_len, &mut rng)).collect());
+    (model, Sgd::new(0.05), rng, ds)
+}
+
+fn two_step_adaptation() -> Vec<Event> {
+    let (mut model, mut opt, _rng, ds) = setup(11);
+    let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 1 });
+    for it in 0..2 {
+        let b = ds.batch_at(it * 2, 2);
+        tuner
+            .step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)
+            .unwrap();
+    }
+    edge_llm_telemetry::disable()
+}
+
+#[test]
+fn two_step_adaptation_produces_the_exact_span_tree() {
+    let _guard = lock();
+    // one worker: no pool counters, so the event stream is fully
+    // determined by the instrumentation points
+    set_configured_threads(1);
+    edge_llm_telemetry::enable(Arc::new(FakeClock::with_tick(10)));
+    let events = two_step_adaptation();
+    set_configured_threads(0);
+
+    let roots = span_tree(&events);
+    assert_eq!(roots.len(), 2, "one root span per adaptation step");
+    let expected = vec![
+        (0, "tune.step"),
+        (1, "tune.forward"),
+        (1, "tune.backward"),
+        (1, "tune.optimizer"),
+    ];
+    for (i, root) in roots.iter().enumerate() {
+        assert_eq!(root.flatten(), expected, "step {i} span shape");
+        // children tile the parent in order, strictly nested
+        for c in &root.children {
+            assert!(c.start_ns > root.start_ns && c.end_ns < root.end_ns);
+            assert!(c.start_ns < c.end_ns);
+        }
+    }
+
+    // the tick clock makes every timestamp exact: each step performs ten
+    // clock reads (4 span starts/ends interleaved with 2 counters)
+    assert_eq!((roots[0].start_ns, roots[0].end_ns), (0, 90));
+    assert_eq!((roots[1].start_ns, roots[1].end_ns), (100, 190));
+
+    // per-step counters are always emitted, even when zero, so the trace
+    // shape does not depend on cache state
+    let totals = counter_totals(&events);
+    assert!(totals.contains_key("tune.requant_layers"));
+    assert!(totals.contains_key("tune.cache_invalidations"));
+
+    // and the whole stream serializes to one JSON object per line
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, &events).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text.lines().count(), events.len());
+    assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+}
+
+#[test]
+fn phase_timings_sum_to_the_step_wall_clock() {
+    let _guard = lock();
+    let (mut model, mut opt, _rng, ds) = setup(13);
+    let mut tuner = AdaptiveTuner::new(WindowSchedule::FullDepth);
+    let (mut phase_sum, mut wall_sum) = (0u64, 0u64);
+    for it in 0..10 {
+        let b = ds.batch_at(it * 2, 2);
+        let report = tuner
+            .step(&mut model, &mut opt, &b.tokens, &b.targets, b.batch)
+            .unwrap();
+        let p = report.phases;
+        assert!(p.total_ns > 0);
+        let sum = p.forward_ns + p.backward_ns + p.optimizer_ns;
+        assert!(sum <= p.total_ns, "phases cannot exceed the step clock");
+        phase_sum += sum;
+        wall_sum += p.total_ns;
+    }
+    let covered = phase_sum as f64 / wall_sum as f64;
+    assert!(
+        covered > 0.95,
+        "phases must account for >=95% of step wall clock, got {:.1}%",
+        covered * 100.0
+    );
+}
+
+fn adapt_bytes() -> (Vec<u8>, Vec<u8>) {
+    const ITERS: usize = 6;
+    let (mut model, mut opt, mut rng, ds) = setup(17);
+    let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 1 });
+    let run = resilient_adapt(
+        &mut model,
+        &mut opt,
+        &mut tuner,
+        &mut rng,
+        &ds,
+        2,
+        ITERS,
+        Vec::new(),
+        &ResilienceConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(run.steps_executed, ITERS);
+    let mut params = Vec::new();
+    save_model(&model, &mut params).unwrap();
+    let ckpt = TrainingCheckpoint::capture(&model, &opt, ITERS as u64, &rng, Vec::new());
+    let mut ckpt_bytes = Vec::new();
+    ckpt.write_to(&mut ckpt_bytes).unwrap();
+    (params, ckpt_bytes)
+}
+
+#[test]
+fn adaptation_is_byte_identical_with_tracing_on() {
+    let _guard = lock();
+    let (ref_params, ref_ckpt) = adapt_bytes();
+
+    edge_llm_telemetry::enable(Arc::new(MonotonicClock::default()));
+    let (traced_params, traced_ckpt) = adapt_bytes();
+    let events = edge_llm_telemetry::disable();
+
+    assert!(!events.is_empty(), "tracing was on, events must exist");
+    assert_eq!(ref_params, traced_params, "params drifted under tracing");
+    assert_eq!(ref_ckpt, traced_ckpt, "checkpoint drifted under tracing");
+
+    // the fake clock must not change results either (timestamps are
+    // never fed back into computation)
+    edge_llm_telemetry::enable(Arc::new(FakeClock::with_tick(3)));
+    let (fake_params, fake_ckpt) = adapt_bytes();
+    edge_llm_telemetry::disable();
+    assert_eq!(ref_params, fake_params);
+    assert_eq!(ref_ckpt, fake_ckpt);
+}
+
+fn serve_outcomes(model: &EdgeModel) -> Vec<ServeOutcome> {
+    let mut engine = BatchedInferenceEngine::new(model, 2).unwrap();
+    for i in 0..4u64 {
+        engine.submit(ServeRequest {
+            id: format!("r{i}"),
+            prompt: vec![1, 2, 3],
+            max_new_tokens: 3,
+            decoding: edge_llm_model::Decoding::TopK {
+                k: 3,
+                temperature: 0.9,
+            },
+            voting: edge_llm_model::VotingPolicy::final_only(model.n_layers()),
+            seed: i,
+            deadline_steps: None,
+        });
+    }
+    engine.run_to_completion().unwrap()
+}
+
+#[test]
+fn serving_is_byte_identical_with_tracing_on() {
+    let _guard = lock();
+    let mut rng = TensorRng::seed_from(19);
+    let model = EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap();
+
+    let reference = serve_outcomes(&model);
+    edge_llm_telemetry::enable(Arc::new(MonotonicClock::default()));
+    let traced = serve_outcomes(&model);
+    let events = edge_llm_telemetry::disable();
+
+    assert!(!events.is_empty());
+    assert_eq!(reference.len(), traced.len());
+    for (a, b) in reference.iter().zip(&traced) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.tokens, b.tokens, "{}: tokens drifted under tracing", a.id);
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.steps, b.steps);
+        let bits = |p: &Option<Vec<f32>>| {
+            p.as_ref()
+                .map(|v| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>())
+        };
+        assert_eq!(bits(&a.final_probs), bits(&b.final_probs));
+    }
+}
