@@ -1,11 +1,12 @@
 //! Command-line interface for the Edge-LLM reproduction.
 //!
-//! Five subcommands cover the on-device lifecycle:
+//! Six subcommands cover the on-device lifecycle:
 //!
 //! ```text
 //! edgellm adapt    --corpus notes.txt --budget 0.25 --out model.ckpt
 //! edgellm generate --ckpt model.ckpt --prompt "monday:" --tokens 40
 //! edgellm serve    --ckpt model.ckpt --requests queue.txt --batch 4
+//! edgellm loadgen  --scenario burst --workers 2
 //! edgellm inspect  --ckpt model.ckpt
 //! edgellm policy   --corpus notes.txt --budget 0.25
 //! ```
@@ -17,6 +18,7 @@ use edge_llm::compress::apply_policy;
 use edge_llm::oracle::ModelOracle;
 use edge_llm::resilience::{resilient_adapt, ResilienceConfig};
 use edge_llm_data::{Dataset, TaskGenerator, TextLmTask};
+use edge_llm_fleet::{run_fleet, FleetConfig, ScenarioSpec};
 use edge_llm_luc::{profile, search_policy, CompressionPolicy, SearchAlgorithm};
 use edge_llm_model::{
     generate, load_model, save_model, AdaptiveTuner, Decoding, EdgeModel, ModelConfig, Sgd,
@@ -94,6 +96,30 @@ pub enum Command {
         /// back to the `EDGELLM_TRACE` environment variable.
         trace_out: Option<String>,
     },
+    /// Drive a seeded traffic scenario through the sharded serving
+    /// fleet and print the fleet report.
+    Loadgen {
+        /// Built-in scenario name (steady|burst|crash|stall).
+        scenario: String,
+        /// Number of engine workers.
+        workers: usize,
+        /// Batch slots per worker.
+        batch: usize,
+        /// Bounded per-worker queue depth.
+        queue: usize,
+        /// Replay budget per session after a worker crash.
+        retries: usize,
+        /// Shed sessions that queue longer than this many ticks.
+        slo: Option<u64>,
+        /// Override the scenario's traffic seed.
+        seed: Option<u64>,
+        /// Kernel worker threads (`0` = all cores). `None` leaves the
+        /// `EDGELLM_THREADS` environment default in place.
+        threads: Option<usize>,
+        /// Write a JSON-lines telemetry trace to this path. `None` falls
+        /// back to the `EDGELLM_TRACE` environment variable.
+        trace_out: Option<String>,
+    },
     /// Print a checkpoint's configuration and size.
     Inspect {
         /// Checkpoint path.
@@ -144,6 +170,9 @@ USAGE:
                    [--temperature 0.8] [--seed 42]
   edgellm serve    --ckpt <ckpt> --requests <file> [--batch 4] [--threads N]
                    [--trace-out <path>]
+  edgellm loadgen  --scenario <steady|burst|crash|stall> [--workers 2]
+                   [--batch 4] [--queue 16] [--retries 2] [--slo N]
+                   [--seed N] [--threads N] [--trace-out <path>]
   edgellm inspect  --ckpt <ckpt>
   edgellm policy   --corpus <file> [--budget 0.25] [--seed 42]
   edgellm help
@@ -155,6 +184,14 @@ Options (all optional): id, tokens (max new tokens), mode
 (greedy|sample|topk), k, temp, seed, voting (final|last|conf|avg),
 deadline (max fed tokens). Each request decodes exactly as it would
 alone: batching never changes outputs, only throughput.
+
+Load generation (loadgen): drives a seeded traffic scenario through the
+sharded serving fleet against a synthetic tiny model — no checkpoint
+needed. Scenarios bundle arrival patterns, priority mixes, and fault
+schedules (worker crashes/stalls); the same scenario and seed always
+produce the same sessions, shed decisions, and token streams, so fleet
+behaviour under overload is a reproducible experiment. Only the
+wall-clock decode latency line varies between runs.
 
 Kernel threads: results are bit-identical for every thread count, so
 --threads only changes speed. 0 means all cores; the EDGELLM_THREADS
@@ -239,6 +276,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             ckpt: required_flag(rest, "--ckpt")?,
             requests: required_flag(rest, "--requests")?,
             batch: parse_flag(rest, "--batch", 4)?,
+            threads: parse_opt_flag(rest, "--threads")?,
+            trace_out: flag_value(rest, "--trace-out").map(str::to_string),
+        }),
+        "loadgen" => Ok(Command::Loadgen {
+            scenario: required_flag(rest, "--scenario")?,
+            workers: parse_flag(rest, "--workers", 2)?,
+            batch: parse_flag(rest, "--batch", 4)?,
+            queue: parse_flag(rest, "--queue", 16)?,
+            retries: parse_flag(rest, "--retries", 2)?,
+            slo: parse_opt_flag(rest, "--slo")?,
+            seed: parse_opt_flag(rest, "--seed")?,
             threads: parse_opt_flag(rest, "--threads")?,
             trace_out: flag_value(rest, "--trace-out").map(str::to_string),
         }),
@@ -609,6 +657,72 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 report.queue_wait, report.decode_token
             )
             .map_err(run_err)?;
+            if let Some(path) = &trace_path {
+                finish_trace(path, out)?;
+            }
+        }
+        Command::Loadgen {
+            scenario,
+            workers,
+            batch,
+            queue,
+            retries,
+            slo,
+            seed,
+            threads,
+            trace_out,
+        } => {
+            if let Some(t) = threads {
+                edge_llm_tensor::set_configured_threads(*t);
+            }
+            let trace_path = start_trace(trace_out);
+            let mut spec = ScenarioSpec::builtin(scenario).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown scenario {scenario:?} (expected one of {})",
+                    ScenarioSpec::builtin_names().join(", ")
+                ))
+            })?;
+            if let Some(s) = seed {
+                spec.seed = *s;
+            }
+            // the fleet is exercised against a synthetic tiny model: the
+            // scenario is about router behaviour, not model quality
+            let mut rng = TensorRng::seed_from(17);
+            let model = EdgeModel::new(ModelConfig::tiny(), &mut rng).map_err(run_err)?;
+            let traffic = spec.generate(model.config().vocab_size, model.n_layers());
+            let cfg = FleetConfig {
+                workers: *workers,
+                batch_per_worker: *batch,
+                queue_depth: *queue,
+                max_retries: *retries,
+                slo_queue_ticks: *slo,
+                faults: spec.faults.clone(),
+            };
+            writeln!(
+                out,
+                "scenario {} (seed {}): {} sessions over {} ticks, \
+                 {} workers x {} slots, queue {}, retries {}",
+                spec.name,
+                spec.seed,
+                traffic.len(),
+                spec.span_ticks,
+                workers,
+                batch,
+                queue,
+                retries
+            )
+            .map_err(run_err)?;
+            for fault in &spec.faults {
+                writeln!(
+                    out,
+                    "  fault @tick {}: {}",
+                    fault.at_iteration,
+                    fault.kind.label()
+                )
+                .map_err(run_err)?;
+            }
+            let run = run_fleet(&model, &cfg, &traffic).map_err(run_err)?;
+            writeln!(out, "{}", run.report).map_err(run_err)?;
             if let Some(path) = &trace_path {
                 finish_trace(path, out)?;
             }
@@ -1118,6 +1232,58 @@ mod tests {
             parse_args(&argv("serve --ckpt m.ckpt")),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_loadgen_flags() {
+        let cmd = parse_args(&argv("loadgen --scenario burst --workers 4 --slo 8")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Loadgen {
+                scenario: "burst".into(),
+                workers: 4,
+                batch: 4,
+                queue: 16,
+                retries: 2,
+                slo: Some(8),
+                seed: None,
+                threads: None,
+                trace_out: None,
+            }
+        );
+        assert!(matches!(
+            parse_args(&argv("loadgen --workers 2")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn loadgen_rejects_unknown_scenarios() {
+        let cmd = parse_args(&argv("loadgen --scenario banana")).unwrap();
+        match run(&cmd, &mut Vec::new()) {
+            Err(CliError::Usage(msg)) => {
+                assert!(msg.contains("banana"), "{msg}");
+                assert!(msg.contains("steady"), "names not listed: {msg}");
+            }
+            other => panic!("unknown scenario accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_loadgen_reports_fleet_behaviour() {
+        let cmd = parse_args(&argv(
+            "loadgen --scenario crash --workers 2 --batch 2 --queue 4 --retries 2",
+        ))
+        .unwrap();
+        let mut buf = Vec::new();
+        run(&cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("scenario crash"), "{text}");
+        assert!(text.contains("fault @tick 4: worker-crash(0)"), "{text}");
+        assert!(text.contains("fleet:"), "{text}");
+        assert!(text.contains("queue wait (ticks)"), "{text}");
+        // the crash scenario actually forces replays through the router
+        assert!(!text.contains("0 replays"), "{text}");
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub enum EdgeLlmError {
     Hw(edge_llm_hw::HwError),
     /// A tensor kernel failed.
     Tensor(edge_llm_tensor::TensorError),
+    /// The serving layer (engine construction or fleet routing) failed.
+    Serve(edge_llm_serve::ServeError),
     /// The experiment configuration was inconsistent.
     BadConfig {
         /// Human-readable reason.
@@ -36,6 +38,7 @@ impl fmt::Display for EdgeLlmError {
             EdgeLlmError::Luc(e) => write!(f, "luc error: {e}"),
             EdgeLlmError::Hw(e) => write!(f, "hardware error: {e}"),
             EdgeLlmError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EdgeLlmError::Serve(e) => write!(f, "serving error: {e}"),
             EdgeLlmError::BadConfig { reason } => write!(f, "invalid experiment config: {reason}"),
             EdgeLlmError::Diverged { iteration, rollbacks, last_loss } => write!(
                 f,
@@ -52,6 +55,7 @@ impl Error for EdgeLlmError {
             EdgeLlmError::Luc(e) => Some(e),
             EdgeLlmError::Hw(e) => Some(e),
             EdgeLlmError::Tensor(e) => Some(e),
+            EdgeLlmError::Serve(e) => Some(e),
             EdgeLlmError::BadConfig { .. } | EdgeLlmError::Diverged { .. } => None,
         }
     }
@@ -81,6 +85,12 @@ impl From<edge_llm_tensor::TensorError> for EdgeLlmError {
     }
 }
 
+impl From<edge_llm_serve::ServeError> for EdgeLlmError {
+    fn from(e: edge_llm_serve::ServeError) -> Self {
+        EdgeLlmError::Serve(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +104,15 @@ mod tests {
             reason: "nope".into(),
         };
         assert!(b.source().is_none());
+    }
+
+    #[test]
+    fn serve_errors_wrap_with_source() {
+        let e = EdgeLlmError::from(edge_llm_serve::ServeError::ZeroCapacity {
+            what: "fleet workers",
+        });
+        assert!(e.to_string().contains("serving error"));
+        assert!(e.to_string().contains("fleet workers"));
+        assert!(e.source().is_some());
     }
 }

@@ -63,10 +63,27 @@ pub enum FaultKind {
     /// Simulate memory pressure: the runtime sheds activation memory by
     /// shrinking the backprop window depth.
     MemoryPressure,
+    /// Serving-side fault: kill fleet worker `worker` at the scheduled
+    /// tick, dropping its in-flight sessions (the router replays them on
+    /// a healthy worker). Ignored by the adaptation loop.
+    WorkerCrash {
+        /// Index of the worker to kill.
+        worker: usize,
+    },
+    /// Serving-side fault: stall fleet worker `worker` for `ticks`
+    /// scheduler ticks (it makes no forward progress but loses no
+    /// state). Ignored by the adaptation loop.
+    WorkerStall {
+        /// Index of the worker to stall.
+        worker: usize,
+        /// Scheduler ticks the worker stays frozen.
+        ticks: usize,
+    },
 }
 
 impl FaultKind {
-    fn label(&self) -> String {
+    /// Human-readable label used in journals and scenario reports.
+    pub fn label(&self) -> String {
         match self {
             FaultKind::FlipGradBit { bit } => format!("flip-grad-bit({bit})"),
             FaultKind::NanGrad => "nan-grad".into(),
@@ -74,19 +91,73 @@ impl FaultKind {
             FaultKind::CorruptCheckpoint => "corrupt-checkpoint".into(),
             FaultKind::Preempt => "preempt".into(),
             FaultKind::MemoryPressure => "memory-pressure".into(),
+            FaultKind::WorkerCrash { worker } => format!("worker-crash({worker})"),
+            FaultKind::WorkerStall { worker, ticks } => {
+                format!("worker-stall({worker},{ticks})")
+            }
         }
     }
 }
 
-/// A fault scheduled at a specific adaptation iteration. Each planned
-/// fault fires exactly once (transient-fault model): after a rollback the
-/// replayed iteration runs clean.
+/// A fault scheduled at a specific adaptation iteration (or, for the
+/// serving-side kinds, fleet scheduler tick). Each planned fault fires
+/// exactly once (transient-fault model): after a rollback the replayed
+/// iteration runs clean, and a replayed session sees no second crash
+/// from the same schedule entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlannedFault {
-    /// Iteration at which the fault fires.
+    /// Iteration (tuner loop) or tick (fleet router) at which the fault
+    /// fires.
     pub at_iteration: u64,
     /// What goes wrong.
     pub kind: FaultKind,
+}
+
+/// Fired-once bookkeeping over a set of [`PlannedFault`]s.
+///
+/// Both the resilient tuner loop and the fleet router consume fault
+/// schedules the same way: at each time index, every not-yet-fired fault
+/// scheduled there fires exactly once, even if the loop later revisits
+/// the index (rollback replay, crash replay). This type owns that
+/// bookkeeping so the two runtimes cannot drift.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<PlannedFault>,
+    fired: Vec<bool>,
+}
+
+impl FaultPlan {
+    /// Builds a plan over `faults` with nothing fired yet.
+    pub fn new(faults: &[PlannedFault]) -> Self {
+        FaultPlan {
+            faults: faults.to_vec(),
+            fired: vec![false; faults.len()],
+        }
+    }
+
+    /// Returns every not-yet-fired fault scheduled at `at`, marking each
+    /// as fired (in schedule order). Revisiting `at` returns nothing.
+    pub fn due(&mut self, at: u64) -> Vec<PlannedFault> {
+        let mut out = Vec::new();
+        for (i, fault) in self.faults.iter().enumerate() {
+            if !self.fired[i] && fault.at_iteration == at {
+                self.fired[i] = true;
+                out.push(*fault);
+            }
+        }
+        out
+    }
+
+    /// Scheduled faults that have not fired yet.
+    pub fn remaining(&self) -> usize {
+        self.fired.iter().filter(|f| !**f).count()
+    }
+
+    /// Whether every scheduled fault has fired (trivially true for an
+    /// empty plan).
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
 }
 
 /// Configuration of the resilient adaptation runtime.
@@ -550,7 +621,7 @@ pub fn resilient_adapt(
 ) -> Result<AdaptRun, EdgeLlmError> {
     let mut journal = RecoveryJournal::new();
     let mut guard = DivergenceGuard::new(res.spike_factor, res.ewma_alpha, res.warmup_steps);
-    let mut fired = vec![false; res.faults.len()];
+    let mut plan = FaultPlan::new(&res.faults);
     let mut it = tuner.iterations();
     let mut phases = PhaseTotals::default();
     let mut snapshot = {
@@ -579,11 +650,7 @@ pub fn resilient_adapt(
 
     while it < iterations {
         let mut step_fault: Option<FaultKind> = None;
-        for (i, fault) in res.faults.iter().enumerate() {
-            if fired[i] || fault.at_iteration != it as u64 {
-                continue;
-            }
-            fired[i] = true;
+        for fault in plan.due(it as u64) {
             journal.record(RecoveryEvent::FaultInjected {
                 iteration: it as u64,
                 kind: fault.kind.label(),
@@ -639,6 +706,9 @@ pub fn resilient_adapt(
                         }
                     }
                 }
+                // serving-side faults are interpreted by the fleet
+                // router's tick loop, never by the tuner
+                FaultKind::WorkerCrash { .. } | FaultKind::WorkerStall { .. } => {}
                 kind => step_fault = Some(kind),
             }
         }
@@ -822,8 +892,45 @@ mod tests {
             FaultKind::CorruptCheckpoint,
             FaultKind::Preempt,
             FaultKind::MemoryPressure,
+            FaultKind::WorkerCrash { worker: 0 },
+            FaultKind::WorkerStall {
+                worker: 0,
+                ticks: 3,
+            },
         ];
         let labels: std::collections::HashSet<String> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn fault_plan_fires_each_entry_exactly_once() {
+        let faults = [
+            PlannedFault {
+                at_iteration: 2,
+                kind: FaultKind::NanGrad,
+            },
+            PlannedFault {
+                at_iteration: 2,
+                kind: FaultKind::WorkerCrash { worker: 1 },
+            },
+            PlannedFault {
+                at_iteration: 5,
+                kind: FaultKind::Preempt,
+            },
+        ];
+        let mut plan = FaultPlan::new(&faults);
+        assert_eq!(plan.remaining(), 3);
+        assert!(plan.due(0).is_empty());
+        let at2 = plan.due(2);
+        assert_eq!(at2.len(), 2, "both faults at 2 fire, in schedule order");
+        assert_eq!(at2[0].kind, FaultKind::NanGrad);
+        assert_eq!(at2[1].kind, FaultKind::WorkerCrash { worker: 1 });
+        // a rollback replaying iteration 2 sees a clean run
+        assert!(plan.due(2).is_empty());
+        assert_eq!(plan.remaining(), 1);
+        assert!(!plan.is_exhausted());
+        assert_eq!(plan.due(5).len(), 1);
+        assert!(plan.is_exhausted());
+        assert!(FaultPlan::default().is_exhausted());
     }
 }

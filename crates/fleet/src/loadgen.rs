@@ -1,0 +1,212 @@
+//! Deterministic load generation for fleet experiments.
+//!
+//! A [`ScenarioSpec`] is a seeded recipe for a traffic mix: arrival
+//! distribution, session-length mix, priority skew, decoding mix, and a
+//! fault schedule. `generate` expands it into concrete [`FleetRequest`]s
+//! using only the scenario seed, so the same spec always produces the
+//! same traffic — scenarios are reproducible experiment inputs, not
+//! random noise.
+
+use crate::router::FleetRequest;
+use edge_llm::resilience::{FaultKind, PlannedFault};
+use edge_llm_model::{Decoding, VotingPolicy};
+use edge_llm_serve::ServeRequest;
+use edge_llm_tensor::TensorRng;
+
+/// When sessions show up at the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Arrival ticks drawn uniformly over `[0, span_ticks)`.
+    Uniform,
+    /// `percent`% of sessions land on exactly `at_tick`; the rest are
+    /// uniform over the span. Models a thundering herd.
+    Burst {
+        /// The herd's tick.
+        at_tick: u64,
+        /// Share of sessions in the herd (0–100).
+        percent: u8,
+    },
+}
+
+/// A seeded traffic scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in request ids and reports).
+    pub name: String,
+    /// Seed for every random draw the generator makes.
+    pub seed: u64,
+    /// Sessions to generate.
+    pub sessions: usize,
+    /// Arrival window in ticks.
+    pub span_ticks: u64,
+    /// Arrival distribution over the window.
+    pub arrival: Arrival,
+    /// Inclusive prompt-length range.
+    pub prompt_len: (usize, usize),
+    /// Inclusive generation-budget range.
+    pub max_new_tokens: (usize, usize),
+    /// Priority values drawn uniformly — skew by repeating entries
+    /// (e.g. `[0, 1, 1, 2]` makes priority 1 twice as common).
+    pub priorities: Vec<u8>,
+    /// Share of sessions using sampled decoding instead of greedy
+    /// (0–100). Sampled sessions exercise the rng-resume replay path.
+    pub sampled_percent: u8,
+    /// Fault schedule injected alongside the traffic (`at_iteration` is
+    /// the fleet tick).
+    pub faults: Vec<PlannedFault>,
+}
+
+impl ScenarioSpec {
+    /// The built-in scenario names, in presentation order.
+    pub fn builtin_names() -> [&'static str; 4] {
+        ["steady", "burst", "crash", "stall"]
+    }
+
+    /// Looks up a built-in scenario by name.
+    pub fn builtin(name: &str) -> Option<ScenarioSpec> {
+        let base = ScenarioSpec {
+            name: name.to_string(),
+            seed: 61,
+            sessions: 24,
+            span_ticks: 24,
+            arrival: Arrival::Uniform,
+            prompt_len: (1, 4),
+            max_new_tokens: (1, 4),
+            priorities: vec![1],
+            sampled_percent: 50,
+            faults: Vec::new(),
+        };
+        match name {
+            "steady" => Some(base),
+            "burst" => Some(ScenarioSpec {
+                sessions: 32,
+                span_ticks: 16,
+                arrival: Arrival::Burst {
+                    at_tick: 3,
+                    percent: 75,
+                },
+                priorities: vec![0, 1, 1, 2],
+                ..base
+            }),
+            "crash" => Some(ScenarioSpec {
+                sessions: 16,
+                span_ticks: 8,
+                faults: vec![
+                    PlannedFault {
+                        at_iteration: 4,
+                        kind: FaultKind::WorkerCrash { worker: 0 },
+                    },
+                    PlannedFault {
+                        at_iteration: 9,
+                        kind: FaultKind::WorkerCrash { worker: 1 },
+                    },
+                ],
+                ..base
+            }),
+            "stall" => Some(ScenarioSpec {
+                sessions: 16,
+                span_ticks: 8,
+                faults: vec![PlannedFault {
+                    at_iteration: 2,
+                    kind: FaultKind::WorkerStall {
+                        worker: 0,
+                        ticks: 3,
+                    },
+                }],
+                ..base
+            }),
+            _ => None,
+        }
+    }
+
+    /// Expands the scenario into concrete requests against a model shape
+    /// (`vocab` for prompt tokens, `n_layers` for the voting policy).
+    /// Deterministic in the scenario alone.
+    pub fn generate(&self, vocab: usize, n_layers: usize) -> Vec<FleetRequest> {
+        let mut rng = TensorRng::seed_from(self.seed);
+        let span = self.span_ticks.max(1);
+        (0..self.sessions)
+            .map(|i| {
+                let submit_tick = match self.arrival {
+                    Arrival::Uniform => rng.index(span as usize) as u64,
+                    Arrival::Burst { at_tick, percent } => {
+                        if rng.index(100) < percent as usize {
+                            at_tick
+                        } else {
+                            rng.index(span as usize) as u64
+                        }
+                    }
+                };
+                let range =
+                    |rng: &mut TensorRng, (lo, hi): (usize, usize)| lo + rng.index(hi - lo + 1);
+                let prompt_len = range(&mut rng, self.prompt_len);
+                let prompt: Vec<usize> = (0..prompt_len).map(|_| rng.index(vocab)).collect();
+                let decoding = if rng.index(100) < self.sampled_percent as usize {
+                    Decoding::Sample { temperature: 0.8 }
+                } else {
+                    Decoding::Greedy
+                };
+                let priority = self.priorities[rng.index(self.priorities.len().max(1))];
+                FleetRequest {
+                    req: ServeRequest {
+                        id: format!("{}-{i}", self.name),
+                        prompt,
+                        max_new_tokens: range(&mut rng, self.max_new_tokens),
+                        decoding,
+                        voting: VotingPolicy::final_only(n_layers),
+                        seed: rng.next_u64(),
+                        deadline_steps: None,
+                    },
+                    priority,
+                    submit_tick,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_all_resolve_and_unknown_does_not() {
+        for name in ScenarioSpec::builtin_names() {
+            let spec = ScenarioSpec::builtin(name).unwrap();
+            assert_eq!(spec.name, name);
+            assert!(spec.sessions > 0);
+        }
+        assert!(ScenarioSpec::builtin("nope").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_bounds() {
+        let spec = ScenarioSpec::builtin("burst").unwrap();
+        let a = spec.generate(16, 2);
+        let b = spec.generate(16, 2);
+        assert_eq!(a, b, "same spec, same traffic");
+        assert_eq!(a.len(), spec.sessions);
+        for fr in &a {
+            assert!(fr.submit_tick < spec.span_ticks);
+            assert!(fr.req.prompt.iter().all(|&t| t < 16));
+            assert!(fr.req.prompt.len() >= spec.prompt_len.0);
+            assert!(fr.req.prompt.len() <= spec.prompt_len.1);
+            assert!(fr.req.max_new_tokens >= spec.max_new_tokens.0);
+            assert!(fr.req.max_new_tokens <= spec.max_new_tokens.1);
+            assert!(spec.priorities.contains(&fr.priority));
+        }
+        // the burst actually concentrates arrivals on the herd tick
+        let herd = a.iter().filter(|fr| fr.submit_tick == 3).count();
+        assert!(herd > a.len() / 2, "{herd} of {} in the herd", a.len());
+    }
+
+    #[test]
+    fn different_seeds_change_the_traffic() {
+        let spec = ScenarioSpec::builtin("steady").unwrap();
+        let other = ScenarioSpec {
+            seed: spec.seed + 1,
+            ..spec.clone()
+        };
+        assert_ne!(spec.generate(16, 2), other.generate(16, 2));
+    }
+}

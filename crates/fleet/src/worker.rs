@@ -1,0 +1,113 @@
+//! The engine worker thread: one [`BatchedInferenceEngine`] driven in
+//! lock-step by router commands over an mpsc channel.
+//!
+//! The worker owns no scheduling policy at all — it submits what it is
+//! told, steps when it is told, and reports exactly what happened. Every
+//! control-plane decision (placement, shedding, crash replay) lives in
+//! the router, which is what makes an N-worker fleet deterministic: the
+//! threads only ever run between two barriers of a single tick.
+
+use edge_llm_model::EdgeModel;
+use edge_llm_serve::{
+    BatchedInferenceEngine, ServeError, ServeOutcome, ServeRequest, SessionProgress,
+};
+use edge_llm_tensor::pool::serial_scope;
+use edge_llm_tensor::TensorRng;
+use std::sync::mpsc::{Receiver, Sender};
+
+/// A router command for one worker. Channel order is delivery order, so
+/// the router's deterministic emission order fixes the worker's
+/// execution order.
+pub(crate) enum Cmd {
+    /// Admit a session, optionally resuming a mid-flight sampling rng
+    /// (crash replay).
+    Submit(Box<ServeRequest>, Option<TensorRng>),
+    /// Advance the engine by one batched forward pass and reply with a
+    /// [`StepReply`].
+    Step,
+    /// Simulated crash + supervisor restart: drop the engine (and every
+    /// in-flight session) and stand up a fresh one.
+    Reset,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Everything one `Step` produced, shipped back to the router.
+pub(crate) struct StepReply {
+    /// Sessions retired during this step, in retirement order.
+    pub finished: Vec<ServeOutcome>,
+    /// Per-token progress records (token + rng snapshot) for the
+    /// router's replay log.
+    pub progress: Vec<SessionProgress>,
+    /// Decode-latency samples (ns) added during this step.
+    pub decode_ns: Vec<u64>,
+}
+
+fn fresh_engine(model: &EdgeModel, batch: usize) -> Result<BatchedInferenceEngine<'_>, ServeError> {
+    let mut engine = BatchedInferenceEngine::new(model, batch)?;
+    engine.set_progress_capture(true);
+    Ok(engine)
+}
+
+/// The worker thread body. Runs until `Shutdown`, the command channel
+/// closes, or engine (re)construction fails — failures are shipped as an
+/// `Err` reply so the router surfaces them instead of hanging.
+pub(crate) fn worker_loop(
+    model: &EdgeModel,
+    batch: usize,
+    rx: Receiver<Cmd>,
+    tx: Sender<Result<StepReply, ServeError>>,
+) {
+    let mut engine = match fresh_engine(model, batch) {
+        Ok(e) => e,
+        Err(e) => {
+            let _ = tx.send(Err(e));
+            return;
+        }
+    };
+    // Sample index already shipped to the router; each reply sends only
+    // the suffix the engine accumulated since.
+    let mut decode_taken = 0usize;
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Submit(req, rng) => match rng {
+                Some(rng) => engine.submit_with_rng(*req, rng),
+                None => engine.submit(*req),
+            },
+            Cmd::Reset => {
+                engine = match fresh_engine(model, batch) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                };
+                decode_taken = 0;
+            }
+            Cmd::Step => {
+                // Kernel-level threading is pinned to one thread inside a
+                // worker: the fleet's parallelism is worker-granular, and
+                // this keeps N workers from oversubscribing the machine
+                // through the shared kernel pool.
+                let stepped = serial_scope(|| engine.step());
+                let reply = match stepped {
+                    Ok(_) => {
+                        let samples = engine.decode_token_samples();
+                        let decode_ns = samples[decode_taken..].to_vec();
+                        decode_taken = samples.len();
+                        Ok(StepReply {
+                            finished: engine.take_finished(),
+                            progress: engine.take_progress(),
+                            decode_ns,
+                        })
+                    }
+                    Err(e) => Err(ServeError::Model(e)),
+                };
+                if tx.send(reply).is_err() {
+                    return;
+                }
+            }
+            Cmd::Shutdown => return,
+        }
+    }
+}

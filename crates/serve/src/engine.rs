@@ -1,6 +1,8 @@
 //! The continuous-batching engine.
 
+use crate::error::ServeError;
 use crate::request::{validate_request, FinishReason, ServeOutcome, ServeRequest};
+use crate::shed::ShedCause;
 use edge_llm_model::{
     batched_decode_step, combine, sample_token, BatchedStep, EdgeModel, ModelError, SequenceKv,
 };
@@ -8,6 +10,22 @@ use edge_llm_telemetry::{self as telemetry, Clock, LatencySummary, MonotonicCloc
 use edge_llm_tensor::TensorRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// One generated-token checkpoint captured by the engine when progress
+/// capture is enabled: the token a session just accepted and the
+/// sampling-rng state *after* drawing it. A router holding the stream of
+/// these can replay the session's remaining tokens bit-identically on
+/// another engine ([`BatchedInferenceEngine::submit_with_rng`] with the
+/// prompt extended by the accepted tokens).
+#[derive(Debug, Clone)]
+pub struct SessionProgress {
+    /// The owning request's id.
+    pub id: String,
+    /// The token just accepted into the session.
+    pub token: usize,
+    /// Sampling-rng state after the draw that produced `token`.
+    pub rng: TensorRng,
+}
 
 /// One in-flight request bound to a batch slot.
 #[derive(Debug)]
@@ -48,13 +66,20 @@ pub struct BatchedInferenceEngine<'a> {
     /// [`edge_llm_telemetry::FakeClock`] without perturbing outputs.
     clock: Arc<dyn Clock>,
     stats: EngineStats,
+    /// When set, every accepted token is recorded as a
+    /// [`SessionProgress`] for the fleet router's replay log.
+    capture_progress: bool,
+    progress: Vec<SessionProgress>,
 }
 
-/// A request waiting for a slot, with its submission timestamp.
+/// A request waiting for a slot, with its submission timestamp and an
+/// optional sampling-rng override (crash replay resumes a mid-flight
+/// rng stream instead of reseeding from the request seed).
 #[derive(Debug)]
 struct QueuedRequest {
     req: ServeRequest,
     submitted_ns: u64,
+    rng_override: Option<TensorRng>,
 }
 
 /// Latency samples and eviction tallies accumulated by the engine.
@@ -95,8 +120,9 @@ impl<'a> BatchedInferenceEngine<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::BadConfig`] when `max_batch` is zero.
-    pub fn new(model: &'a EdgeModel, max_batch: usize) -> Result<Self, ModelError> {
+    /// Returns [`ServeError::ZeroCapacity`] when `max_batch` is zero and
+    /// [`ServeError::Model`] when weight packing fails.
+    pub fn new(model: &'a EdgeModel, max_batch: usize) -> Result<Self, ServeError> {
         Self::with_clock(model, max_batch, Arc::new(MonotonicClock::new()))
     }
 
@@ -105,15 +131,15 @@ impl<'a> BatchedInferenceEngine<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::BadConfig`] when `max_batch` is zero.
+    /// As [`BatchedInferenceEngine::new`].
     pub fn with_clock(
         model: &'a EdgeModel,
         max_batch: usize,
         clock: Arc<dyn Clock>,
-    ) -> Result<Self, ModelError> {
+    ) -> Result<Self, ServeError> {
         if max_batch == 0 {
-            return Err(ModelError::BadConfig {
-                reason: "batch size must be at least 1".into(),
+            return Err(ServeError::ZeroCapacity {
+                what: "batch slots",
             });
         }
         // Serving never mutates weights, so quantized layers can hold
@@ -129,6 +155,8 @@ impl<'a> BatchedInferenceEngine<'a> {
             steps_run: 0,
             clock,
             stats: EngineStats::default(),
+            capture_progress: false,
+            progress: Vec::new(),
         })
     }
 
@@ -136,9 +164,25 @@ impl<'a> BatchedInferenceEngine<'a> {
     /// reaches the queue: it is reported immediately as a
     /// [`FinishReason::Rejected`] outcome.
     pub fn submit(&mut self, req: ServeRequest) {
+        self.submit_inner(req, None);
+    }
+
+    /// As [`BatchedInferenceEngine::submit`], but the session's sampling
+    /// rng starts from `rng` instead of being seeded from `req.seed`.
+    ///
+    /// This is the crash-replay admission path: the fleet router rebuilds
+    /// a lost session by extending the prompt with the tokens it had
+    /// already accepted and resuming the rng stream from the last
+    /// [`SessionProgress`] snapshot, which reproduces the remaining
+    /// tokens bit-identically.
+    pub fn submit_with_rng(&mut self, req: ServeRequest, rng: TensorRng) {
+        self.submit_inner(req, Some(rng));
+    }
+
+    fn submit_inner(&mut self, req: ServeRequest, rng_override: Option<TensorRng>) {
         if let Err(e) = validate_request(self.model, &req) {
             self.stats.rejected += 1;
-            telemetry::counter("serve.evict.rejected", 1);
+            telemetry::counter(ShedCause::Rejected.counter_name(), 1);
             self.finished.push(ServeOutcome {
                 id: req.id,
                 tokens: Vec::new(),
@@ -153,7 +197,30 @@ impl<'a> BatchedInferenceEngine<'a> {
         self.queue.push_back(QueuedRequest {
             req,
             submitted_ns: self.clock.now_ns(),
+            rng_override,
         });
+    }
+
+    /// Turns per-token progress capture on or off (off by default; the
+    /// recording cost is one [`SessionProgress`] clone per generated
+    /// token when on).
+    pub fn set_progress_capture(&mut self, on: bool) {
+        self.capture_progress = on;
+        if !on {
+            self.progress.clear();
+        }
+    }
+
+    /// Drains the progress events recorded since the last call.
+    pub fn take_progress(&mut self) -> Vec<SessionProgress> {
+        std::mem::take(&mut self.progress)
+    }
+
+    /// Raw per-token decode latency samples (nanoseconds) accumulated so
+    /// far; the fleet aggregates these across workers before
+    /// summarizing.
+    pub fn decode_token_samples(&self) -> &[u64] {
+        &self.stats.decode_token_ns
     }
 
     /// Requests waiting for a slot.
@@ -236,6 +303,13 @@ impl<'a> BatchedInferenceEngine<'a> {
                 slot.known.push(next);
                 slot.generated += 1;
                 tokens_out += 1;
+                if self.capture_progress {
+                    self.progress.push(SessionProgress {
+                        id: slot.req.id.clone(),
+                        token: next,
+                        rng: slot.rng.clone(),
+                    });
+                }
                 // the shared pass is the latency every token in it saw
                 self.stats.decode_token_ns.push(pass_ns);
             }
@@ -303,20 +377,12 @@ impl<'a> BatchedInferenceEngine<'a> {
             };
             if let Some(finish) = finish {
                 match finish {
-                    FinishReason::Completed => {
-                        self.stats.completed += 1;
-                        telemetry::counter("serve.evict.completed", 1);
-                    }
-                    FinishReason::DeadlineExceeded => {
-                        self.stats.deadline_exceeded += 1;
-                        telemetry::counter("serve.evict.deadline", 1);
-                    }
-                    FinishReason::CapacityExhausted => {
-                        self.stats.capacity_exhausted += 1;
-                        telemetry::counter("serve.evict.capacity", 1);
-                    }
+                    FinishReason::Completed => self.stats.completed += 1,
+                    FinishReason::DeadlineExceeded => self.stats.deadline_exceeded += 1,
+                    FinishReason::CapacityExhausted => self.stats.capacity_exhausted += 1,
                     FinishReason::Rejected { .. } => {}
                 }
+                telemetry::counter(ShedCause::from(&finish).counter_name(), 1);
                 let slot = slot_opt.take().expect("finish computed from a live slot");
                 self.finished.push(ServeOutcome {
                     id: slot.req.id.clone(),
@@ -338,7 +404,12 @@ impl<'a> BatchedInferenceEngine<'a> {
         let mut admitted = false;
         for slot_opt in self.slots.iter_mut() {
             if slot_opt.is_none() {
-                let Some(QueuedRequest { req, submitted_ns }) = self.queue.pop_front() else {
+                let Some(QueuedRequest {
+                    req,
+                    submitted_ns,
+                    rng_override,
+                }) = self.queue.pop_front()
+                else {
                     break;
                 };
                 admitted = true;
@@ -350,7 +421,7 @@ impl<'a> BatchedInferenceEngine<'a> {
                     .spare_kvs
                     .pop()
                     .unwrap_or_else(|| SequenceKv::new(self.model));
-                let rng = TensorRng::seed_from(req.seed);
+                let rng = rng_override.unwrap_or_else(|| TensorRng::seed_from(req.seed));
                 let known = req.prompt.clone();
                 *slot_opt = Some(Slot {
                     req,

@@ -1,0 +1,117 @@
+//! Typed serving-layer errors.
+//!
+//! Construction and fleet-level failures used to surface as generic
+//! `BadConfig` strings; callers (and tests) could only match on message
+//! text. This module gives the serving layer its own error enum so a
+//! zero-capacity engine, an exhausted retry budget, and an internal
+//! model failure are distinguishable without string inspection. The
+//! pipeline wraps it as `EdgeLlmError::Serve`.
+
+use crate::shed::ShedCause;
+use edge_llm_model::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Error type for serving-engine and fleet construction/operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A capacity knob (batch slots, fleet workers, queue bound) was
+    /// configured as zero — the component could never make progress.
+    ZeroCapacity {
+        /// Which knob was zero.
+        what: &'static str,
+    },
+    /// A session's worker crashed more times than the fleet's retry
+    /// budget allows; the session was shed rather than replayed again.
+    RetriesExhausted {
+        /// The session's request id.
+        id: String,
+        /// Replay attempts consumed before giving up.
+        retries: usize,
+    },
+    /// A session was shed by the fleet router for a non-retry cause
+    /// (queue overflow, displacement, SLO expiry).
+    Shed {
+        /// The session's request id.
+        id: String,
+        /// Why the router dropped it.
+        cause: ShedCause,
+    },
+    /// The underlying model failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ZeroCapacity { what } => {
+                write!(f, "{what} must be at least 1")
+            }
+            ServeError::RetriesExhausted { id, retries } => {
+                write!(f, "session {id} shed after {retries} crash-replay retries")
+            }
+            ServeError::Shed { id, cause } => {
+                write!(f, "session {id} shed: {}", cause.label())
+            }
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            ServeError::ZeroCapacity { .. }
+            | ServeError::RetriesExhausted { .. }
+            | ServeError::Shed { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_zero_knob() {
+        let e = ServeError::ZeroCapacity {
+            what: "batch slots",
+        };
+        assert!(e.to_string().contains("batch slots"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn retries_exhausted_reports_session_and_count() {
+        let e = ServeError::RetriesExhausted {
+            id: "r7".into(),
+            retries: 3,
+        };
+        let text = e.to_string();
+        assert!(text.contains("r7") && text.contains('3'), "{text}");
+    }
+
+    #[test]
+    fn shed_reports_session_and_cause() {
+        let e = ServeError::Shed {
+            id: "s3".into(),
+            cause: ShedCause::QueueFull,
+        };
+        let text = e.to_string();
+        assert!(text.contains("s3") && text.contains("queue-full"), "{text}");
+    }
+
+    #[test]
+    fn model_errors_wrap_with_source() {
+        let e = ServeError::from(ModelError::BadConfig { reason: "x".into() });
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+    }
+}

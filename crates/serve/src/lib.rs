@@ -25,7 +25,7 @@
 //! use edge_llm_serve::{BatchedInferenceEngine, FinishReason, ServeRequest};
 //! use edge_llm_tensor::TensorRng;
 //!
-//! # fn main() -> Result<(), edge_llm_model::ModelError> {
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = TensorRng::seed_from(0);
 //! let model = EdgeModel::new(ModelConfig::tiny(), &mut rng)?;
 //! let mut engine = BatchedInferenceEngine::new(&model, 4)?;
@@ -47,10 +47,14 @@
 //! ```
 
 mod engine;
+mod error;
 mod request;
+mod shed;
 mod solo;
 
 pub use edge_llm_telemetry::LatencySummary;
-pub use engine::{BatchedInferenceEngine, EngineReport};
+pub use engine::{BatchedInferenceEngine, EngineReport, SessionProgress};
+pub use error::ServeError;
 pub use request::{validate_request, FinishReason, ServeOutcome, ServeRequest};
+pub use shed::ShedCause;
 pub use solo::run_solo;

@@ -3,7 +3,7 @@
 //! zero-capacity configuration errors.
 
 use edge_llm_model::{Decoding, EdgeModel, ModelConfig, VotingPolicy};
-use edge_llm_serve::{BatchedInferenceEngine, FinishReason, ServeRequest};
+use edge_llm_serve::{BatchedInferenceEngine, FinishReason, ServeError, ServeRequest};
 use edge_llm_tensor::TensorRng;
 
 fn model() -> EdgeModel {
@@ -112,12 +112,18 @@ fn admission_when_all_slots_retire_at_once() {
 }
 
 #[test]
-fn zero_capacity_engine_is_a_clean_error() {
+fn zero_capacity_engine_is_a_typed_error() {
     let m = model();
-    let err = BatchedInferenceEngine::new(&m, 0);
-    assert!(err.is_err(), "zero-slot engine must be refused, not panic");
-    let msg = format!("{}", err.err().unwrap());
-    assert!(!msg.is_empty());
+    let err = BatchedInferenceEngine::new(&m, 0)
+        .expect_err("zero-slot engine must be refused, not panic");
+    // Typed, not stringly: callers can match on the exact cause.
+    assert_eq!(
+        err,
+        ServeError::ZeroCapacity {
+            what: "batch slots"
+        }
+    );
+    assert!(err.to_string().contains("batch slots"));
 }
 
 #[test]

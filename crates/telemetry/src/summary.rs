@@ -1,9 +1,14 @@
-//! Order statistics over latency samples (the serve-report p50/p95/max).
+//! Order statistics over latency samples (the serve-report
+//! p50/p95/p99/max).
 
 use std::fmt;
 
 /// Percentile summary of a set of nanosecond samples, computed with the
 /// nearest-rank method (deterministic, no interpolation).
+///
+/// The fields are named for nanoseconds — the dominant use — but the
+/// math is unit-agnostic: the fleet router summarizes queue-wait
+/// measured in scheduler ticks through the same type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LatencySummary {
     /// Number of samples.
@@ -12,6 +17,8 @@ pub struct LatencySummary {
     pub p50_ns: u64,
     /// 95th percentile.
     pub p95_ns: u64,
+    /// 99th percentile (the tail the fleet's SLO gates watch).
+    pub p99_ns: u64,
     /// Largest sample.
     pub max_ns: u64,
 }
@@ -33,6 +40,7 @@ impl LatencySummary {
             count: samples.len(),
             p50_ns: nearest_rank(50),
             p95_ns: nearest_rank(95),
+            p99_ns: nearest_rank(99),
             max_ns: *samples.last().expect("non-empty"),
         }
     }
@@ -43,10 +51,11 @@ impl fmt::Display for LatencySummary {
         let us = |ns: u64| ns as f64 / 1e3;
         write!(
             f,
-            "n={} p50={:.1}us p95={:.1}us max={:.1}us",
+            "n={} p50={:.1}us p95={:.1}us p99={:.1}us max={:.1}us",
             self.count,
             us(self.p50_ns),
             us(self.p95_ns),
+            us(self.p99_ns),
             us(self.max_ns)
         )
     }
@@ -70,13 +79,22 @@ mod tests {
         assert_eq!(s.count, 100);
         assert_eq!(s.p50_ns, 50);
         assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
         assert_eq!(s.max_ns, 100);
     }
 
     #[test]
     fn single_sample_dominates_every_percentile() {
         let s = LatencySummary::from_ns(vec![42]);
-        assert_eq!((s.p50_ns, s.p95_ns, s.max_ns), (42, 42, 42));
+        assert_eq!((s.p50_ns, s.p95_ns, s.p99_ns, s.max_ns), (42, 42, 42, 42));
+    }
+
+    #[test]
+    fn p99_sits_between_p95_and_max() {
+        let s = LatencySummary::from_ns((1..=1000).collect());
+        assert_eq!(s.p95_ns, 950);
+        assert_eq!(s.p99_ns, 990);
+        assert_eq!(s.max_ns, 1000);
     }
 
     #[test]

@@ -42,9 +42,12 @@ cargo test -q
 # The kernel backend guarantees bit-identical results for every thread
 # count; re-run the suite with two workers to hold it to that, and run
 # the serving differential suite explicitly — it is the proof that
-# continuous batching never changes a single token.
+# continuous batching never changes a single token. The fleet suite
+# extends that proof one level up: sharding across workers, rerouting,
+# and crash-replay never change a token either.
 EDGELLM_THREADS=2 cargo test -q
 EDGELLM_THREADS=2 cargo test -q --test serving_equivalence
+EDGELLM_THREADS=2 cargo test -q -p edge-llm-fleet --test fleet_equivalence
 
 # The compressed-weight cache must never serve stale bits: run the
 # staleness suite explicitly — it mutates through every invalidation
@@ -62,6 +65,13 @@ check_bench_json BENCH_4.json
 # disabled instrumentation points cost 1% or more of an adaptation step.
 cargo run --release -q --bin bench_telemetry -- BENCH_5.json
 check_bench_json BENCH_5.json
+
+# Fleet scaling: the sharded serving fleet must beat a single worker by
+# >=1.3x tokens/s on a multi-core box (the binary exits nonzero below
+# the bar; on one core it records "gated": false instead — threads
+# cannot beat one core and a fake bar only teaches people to ignore red).
+cargo run --release -q --bin bench_fleet -- BENCH_6.json
+check_bench_json BENCH_6.json
 
 # Budget check: the quick report tier exists so a laptop can regenerate
 # the headline tables in well under a coffee break. Hold it to a

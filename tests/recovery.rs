@@ -263,6 +263,9 @@ fn every_fault_class_recovers_or_degrades() {
                 );
             }
             FaultKind::FlipGradBit { .. } => {}
+            // serving-side faults: no-ops in the adaptation loop (the
+            // fleet router is what reacts to them)
+            FaultKind::WorkerCrash { .. } | FaultKind::WorkerStall { .. } => {}
         }
     }
 }
