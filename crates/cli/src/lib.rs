@@ -79,6 +79,11 @@ pub enum Command {
         temperature: f32,
         /// RNG seed.
         seed: u64,
+        /// Draft exit layer for self-speculative decoding (`Some` turns
+        /// it on, overriding `top_k`; output equals greedy decode).
+        draft_depth: Option<usize>,
+        /// Draft tokens per verify pass when self-speculating.
+        draft_k: usize,
     },
     /// Serve a batch of generation requests from a request file through
     /// the continuous-batching engine.
@@ -168,6 +173,7 @@ USAGE:
                    [--resume <ckpt>.state] [--threads N] [--trace-out <path>]
   edgellm generate --ckpt <ckpt> --prompt <text> [--tokens 40] [--top-k 3]
                    [--temperature 0.8] [--seed 42]
+                   [--draft-depth N [--draft-k 4]]
   edgellm serve    --ckpt <ckpt> --requests <file> [--batch 4] [--threads N]
                    [--trace-out <path>]
   edgellm loadgen  --scenario <steady|burst|crash|stall> [--workers 2]
@@ -181,9 +187,16 @@ Request file (serve): one request per line, '#' starts a comment line.
 Key=value options, then ' :: ', then the prompt text:
   id=r1 tokens=20 mode=topk k=3 temp=0.9 seed=7 voting=conf deadline=40 :: monday:
 Options (all optional): id, tokens (max new tokens), mode
-(greedy|sample|topk), k, temp, seed, voting (final|last|conf|avg),
-deadline (max fed tokens). Each request decodes exactly as it would
-alone: batching never changes outputs, only throughput.
+(greedy|sample|topk|spec), k, depth (spec draft exit layer), temp,
+seed, voting (final|last|conf|avg; spec defaults to final), deadline
+(max fed tokens). Each request decodes exactly as it would alone:
+batching never changes outputs, only throughput.
+
+Self-speculative decoding (generate --draft-depth N, serve mode=spec):
+drafts k tokens from exit layer N's logits, verifies them in one
+full-depth pass, and accepts the longest agreeing prefix plus the
+verifier's correction. Output is bit-identical to greedy full-depth
+decode — only throughput changes.
 
 Load generation (loadgen): drives a seeded traffic scenario through the
 sharded serving fleet against a synthetic tiny model — no checkpoint
@@ -271,6 +284,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             top_k: parse_flag(rest, "--top-k", 3)?,
             temperature: parse_flag(rest, "--temperature", 0.8)?,
             seed: parse_flag(rest, "--seed", 42)?,
+            draft_depth: parse_opt_flag(rest, "--draft-depth")?,
+            draft_k: parse_flag(rest, "--draft-k", 4)?,
         }),
         "serve" => Ok(Command::Serve {
             ckpt: required_flag(rest, "--ckpt")?,
@@ -542,6 +557,8 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             top_k,
             temperature,
             seed,
+            draft_depth,
+            draft_k,
         } => {
             let mut file = fs::File::open(ckpt)
                 .map_err(|e| CliError::Run(format!("cannot open {ckpt}: {e}")))?;
@@ -555,18 +572,34 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 )));
             }
             let mut rng = TensorRng::seed_from(*seed);
-            let decoding = if *top_k == 0 {
-                Decoding::Greedy
+            // --draft-depth switches to self-speculative decoding, which
+            // verifies (and emits) the final exit's greedy tokens — so it
+            // pins the voting policy to final-only.
+            let (decoding, voting) = if let Some(depth) = draft_depth {
+                (
+                    Decoding::SelfSpeculative {
+                        draft_depth: *depth,
+                        k: *draft_k,
+                    },
+                    VotingPolicy::final_only(model.n_layers()),
+                )
             } else {
-                Decoding::TopK {
-                    k: *top_k,
-                    temperature: *temperature,
-                }
+                let decoding = if *top_k == 0 {
+                    Decoding::Greedy
+                } else {
+                    Decoding::TopK {
+                        k: *top_k,
+                        temperature: *temperature,
+                    }
+                };
+                (
+                    decoding,
+                    VotingPolicy::all_exits(
+                        model.n_layers(),
+                        VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
+                    ),
+                )
             };
-            let voting = VotingPolicy::all_exits(
-                model.n_layers(),
-                VotingCombiner::ConfidenceWeighted { temperature: 1.0 },
-            );
             let ids = tok.encode(prompt);
             // Generation never mutates weights: pack any quantized layers
             // so decode runs off integer codes (no-op on dense models).
@@ -657,6 +690,17 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 report.queue_wait, report.decode_token
             )
             .map_err(run_err)?;
+            if report.spec_rounds > 0 {
+                writeln!(
+                    out,
+                    "speculative: {} rounds, acceptance rate {:.2}, \
+                     {:.2} tokens/verify pass",
+                    report.spec_rounds,
+                    report.spec_acceptance_rate().unwrap_or(0.0),
+                    report.spec_tokens_per_verify_pass().unwrap_or(0.0)
+                )
+                .map_err(run_err)?;
+            }
             if let Some(path) = &trace_path {
                 finish_trace(path, out)?;
             }
@@ -772,7 +816,8 @@ fn parse_request_file(
         let mut k = 3usize;
         let mut temp = 0.8f32;
         let mut seed = 42u64;
-        let mut voting_name = "conf".to_string();
+        let mut depth = 1usize;
+        let mut voting_name: Option<String> = None;
         let mut deadline = None;
         for pair in head.split_whitespace() {
             let Some((key, value)) = pair.split_once('=') else {
@@ -790,9 +835,10 @@ fn parse_request_file(
                 "tokens" => tokens = value.parse().map_err(|_| bad_value())?,
                 "mode" => mode = value.to_string(),
                 "k" => k = value.parse().map_err(|_| bad_value())?,
+                "depth" => depth = value.parse().map_err(|_| bad_value())?,
                 "temp" => temp = value.parse().map_err(|_| bad_value())?,
                 "seed" => seed = value.parse().map_err(|_| bad_value())?,
-                "voting" => voting_name = value.to_string(),
+                "voting" => voting_name = Some(value.to_string()),
                 "deadline" => deadline = Some(value.parse().map_err(|_| bad_value())?),
                 other => {
                     return Err(CliError::Usage(format!(
@@ -808,12 +854,20 @@ fn parse_request_file(
                 k,
                 temperature: temp,
             },
+            "spec" => Decoding::SelfSpeculative {
+                draft_depth: depth,
+                k,
+            },
             other => {
                 return Err(CliError::Usage(format!(
-                    "request line {n}: unknown mode {other:?} (greedy|sample|topk)"
+                    "request line {n}: unknown mode {other:?} (greedy|sample|topk|spec)"
                 )));
             }
         };
+        // spec requests verify against the final exit, so default the
+        // voting to `final` instead of the multi-exit blend
+        let voting_name = voting_name
+            .unwrap_or_else(|| if mode == "spec" { "final" } else { "conf" }.to_string());
         let voting = match voting_name.as_str() {
             "final" => VotingPolicy::final_only(n_layers),
             "last" => VotingPolicy::all_exits(n_layers, VotingCombiner::LastExit),
@@ -1006,6 +1060,41 @@ mod tests {
     }
 
     #[test]
+    fn parse_generate_draft_flags() {
+        let cmd = parse_args(&argv(
+            "generate --ckpt m.ckpt --prompt hi --draft-depth 2 --draft-k 8",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Generate {
+                draft_depth,
+                draft_k,
+                ..
+            } => {
+                assert_eq!(draft_depth, Some(2));
+                assert_eq!(draft_k, 8);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // speculation is off by default
+        match parse_args(&argv("generate --ckpt m.ckpt --prompt hi")).unwrap() {
+            Command::Generate {
+                draft_depth,
+                draft_k,
+                ..
+            } => {
+                assert_eq!(draft_depth, None);
+                assert_eq!(draft_k, 4);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            parse_args(&argv("generate --ckpt m --prompt p --draft-depth deep")),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn missing_required_flag_errors() {
         assert!(matches!(
             parse_args(&argv("adapt --out x")),
@@ -1092,6 +1181,8 @@ mod tests {
                 top_k: 0,
                 temperature: 1.0,
                 seed: 2,
+                draft_depth: None,
+                draft_k: 4,
             },
             &mut buf,
         )
@@ -1099,6 +1190,31 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(text.starts_with("water"));
         assert!(text.trim_end().len() >= "water".len() + 8);
+
+        // self-speculative decode emits the final exit's greedy stream, so
+        // its text is identical for every draft depth and k
+        let spec_text = |depth: usize, k: usize| {
+            let mut buf = Vec::new();
+            run(
+                &Command::Generate {
+                    ckpt: ckpt_path.to_string_lossy().into_owned(),
+                    prompt: "water".into(),
+                    tokens: 8,
+                    top_k: 0,
+                    temperature: 1.0,
+                    seed: 2,
+                    draft_depth: Some(depth),
+                    draft_k: k,
+                },
+                &mut buf,
+            )
+            .unwrap();
+            String::from_utf8(buf).unwrap()
+        };
+        let reference = spec_text(1, 2);
+        assert!(reference.starts_with("water"), "{reference}");
+        assert_eq!(spec_text(2, 4), reference);
+        assert_eq!(spec_text(3, 8), reference);
     }
 
     fn adapt_cmd(corpus: &Path, ckpt: &Path, iterations: usize) -> Command {
@@ -1332,6 +1448,42 @@ id=r1 tokens=12 mode=topk k=3 temp=0.9 seed=7 voting=avg deadline=40 :: monday:
     }
 
     #[test]
+    fn request_file_parses_spec_mode() {
+        let tok = edge_llm_data::CharTokenizer::new();
+        let text = "\
+id=s1 mode=spec :: drafted
+id=s2 mode=spec depth=2 k=6 voting=last :: tuned
+";
+        let reqs = parse_request_file(text, &tok, 4).unwrap();
+        // spec defaults: depth 1, the shared k default, final-exit voting
+        assert_eq!(
+            reqs[0].decoding,
+            Decoding::SelfSpeculative {
+                draft_depth: 1,
+                k: 3
+            }
+        );
+        assert_eq!(reqs[0].voting, VotingPolicy::final_only(4));
+        assert_eq!(
+            reqs[1].decoding,
+            Decoding::SelfSpeculative {
+                draft_depth: 2,
+                k: 6
+            }
+        );
+        // explicit voting wins over the spec default (and is rejected
+        // later by request validation, not the parser)
+        assert_eq!(reqs[1].voting.combiner, VotingCombiner::LastExit);
+
+        let err = parse_request_file("mode=banana :: p", &tok, 4).unwrap_err();
+        assert!(err.to_string().contains("spec"), "{err}");
+        assert!(matches!(
+            parse_request_file("mode=spec depth=deep :: p", &tok, 4),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn end_to_end_serve_reports_outcomes_and_throughput() {
         let dir = std::env::temp_dir().join("edgellm-cli-serve-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1348,9 +1500,10 @@ id=r1 tokens=12 mode=topk k=3 temp=0.9 seed=7 voting=avg deadline=40 :: monday:
         std::fs::write(
             &requests_path,
             "\
-id=morning tokens=6 :: water
+id=morning tokens=6 voting=final :: water
 id=evening tokens=4 mode=topk k=2 temp=0.9 seed=5 :: check
 id=late tokens=8 deadline=2 :: sensors
+id=drafty tokens=6 mode=spec depth=1 k=4 :: water
 ",
         )
         .unwrap();
@@ -1369,11 +1522,26 @@ id=late tokens=8 deadline=2 :: sensors
         assert!(text.contains("evening [completed, 4 tokens"), "{text}");
         // deadline of 2 fed tokens stops "late" during its 7-token prompt
         assert!(text.contains("late [deadline exceeded, 0 tokens"), "{text}");
-        assert!(text.contains("served 3 requests"), "{text}");
+        assert!(text.contains("drafty [completed, 6 tokens"), "{text}");
+        assert!(text.contains("served 4 requests"), "{text}");
         assert!(text.contains("tokens/s"), "{text}");
         assert!(text.contains("batched passes"), "{text}");
         assert!(text.contains("latency: queue wait"), "{text}");
+        assert!(text.contains("speculative:"), "{text}");
+        assert!(text.contains("tokens/verify pass"), "{text}");
         assert!(text.contains("trace written to"), "{text}");
+        // the spec request and the greedy request share prompt, length,
+        // and (by bit-identity) output text
+        let line = |id: &str| {
+            text.lines()
+                .find(|l| l.starts_with(id))
+                .unwrap_or_else(|| panic!("no line for {id}: {text}"))
+                .split("]: ")
+                .nth(1)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(line("morning"), line("drafty"), "{text}");
         let trace = std::fs::read_to_string(&trace_path).unwrap();
         assert!(trace.lines().count() > 0, "trace file is empty");
         assert!(trace.contains("\"serve.step\""), "{trace}");
@@ -1401,6 +1569,8 @@ id=late tokens=8 deadline=2 :: sensors
             top_k: 0,
             temperature: 1.0,
             seed: 1,
+            draft_depth: None,
+            draft_k: 4,
         };
         let mut buf = Vec::new();
         assert!(matches!(run(&cmd, &mut buf), Err(CliError::Run(_))));

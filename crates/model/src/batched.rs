@@ -49,11 +49,11 @@ use edge_llm_tensor::{gelu_forward, pool, softmax_rows, Tensor};
 pub struct SequenceKv {
     /// Per layer: cached keys and values, `(seq_len, d_model)`, filled up
     /// to `t`.
-    keys: Vec<Tensor>,
-    values: Vec<Tensor>,
-    t: usize,
-    capacity: usize,
-    d_model: usize,
+    pub(crate) keys: Vec<Tensor>,
+    pub(crate) values: Vec<Tensor>,
+    pub(crate) t: usize,
+    pub(crate) capacity: usize,
+    pub(crate) d_model: usize,
 }
 
 impl SequenceKv {
@@ -96,6 +96,16 @@ impl SequenceKv {
         self.t = 0;
     }
 
+    /// Rolls the cache back to `len` consumed tokens (no-op when `len`
+    /// is at or past the current length). Rows past `len` are never read
+    /// by later steps — every attention pass scans `0..t` only and every
+    /// write lands at `t` — so discarding them is purely a cursor move.
+    /// This is the rollback primitive speculative decoding uses to drop
+    /// rejected draft positions.
+    pub fn truncate(&mut self, len: usize) {
+        self.t = self.t.min(len);
+    }
+
     /// Bytes held by the key/value buffers.
     pub fn cache_bytes(&self) -> usize {
         self.keys
@@ -105,7 +115,7 @@ impl SequenceKv {
             .sum()
     }
 
-    fn check_model(&self, model: &EdgeModel) -> Result<(), ModelError> {
+    pub(crate) fn check_model(&self, model: &EdgeModel) -> Result<(), ModelError> {
         let cfg = model.config();
         if self.keys.len() != model.n_layers()
             || self.capacity != cfg.seq_len

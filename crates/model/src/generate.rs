@@ -27,6 +27,17 @@ pub enum Decoding {
         /// Softmax temperature (> 0).
         temperature: f32,
     },
+    /// Greedy decoding accelerated by self-speculation: draft `k` tokens
+    /// from the exit head at `draft_depth`, verify them in one full-depth
+    /// pass, accept the longest agreeing prefix. Token-identical to
+    /// [`Decoding::Greedy`] on the KV-cached decode path — the draft only
+    /// changes how many tokens each pass emits, never which.
+    SelfSpeculative {
+        /// Exit layer the draft reads (`< n_layers`).
+        draft_depth: usize,
+        /// Draft tokens per verify pass (>= 1).
+        k: usize,
+    },
 }
 
 /// Generates `n_new` tokens after `prompt`, feeding the model a fixed-size
@@ -34,6 +45,10 @@ pub enum Decoding {
 ///
 /// The model's per-position predictions come from `voting` (use
 /// [`VotingPolicy::final_only`] for vanilla decoding).
+///
+/// [`Decoding::SelfSpeculative`] dispatches to the KV-cached
+/// [`crate::speculative_generate`] path (which requires a final-exit
+/// voting policy); its windowing semantics are documented there.
 ///
 /// # Errors
 ///
@@ -61,6 +76,21 @@ pub fn generate(
         });
     }
     validate_decoding(decoding)?;
+    if let Decoding::SelfSpeculative { draft_depth, k } = decoding {
+        // Self-speculation verifies the *final exit's* greedy token; a
+        // multi-exit voting blend has no full-depth verifier to agree
+        // with, so only the vanilla final-exit policy is accepted. (With
+        // a single exit every combiner reduces to softmax of that exit,
+        // so the combiner choice is immaterial.)
+        if voting.exits != [model.n_layers() - 1] {
+            return Err(ModelError::BadConfig {
+                reason: "self-speculative decoding verifies the final exit only; \
+                         use a final-exit voting policy"
+                    .into(),
+            });
+        }
+        return crate::spec::speculative_generate(model, prompt, n_new, draft_depth, k);
+    }
     let mut tokens: Vec<usize> = prompt.to_vec();
     for _ in 0..n_new {
         // window of the last seq_len tokens, left-padded by repetition of
@@ -98,6 +128,9 @@ pub fn validate_decoding(decoding: Decoding) -> Result<(), ModelError> {
         Decoding::TopK { k, temperature } if k == 0 || temperature <= 0.0 => {
             bad("top-k needs k >= 1 and positive temperature")
         }
+        Decoding::SelfSpeculative { k: 0, .. } => {
+            bad("self-speculative decoding needs k >= 1 draft tokens")
+        }
         _ => Ok(()),
     }
 }
@@ -113,7 +146,10 @@ pub fn validate_decoding(decoding: Decoding) -> Result<(), ModelError> {
 /// agrees with `Sample` draw-for-draw.
 pub fn sample_token(probs: &[f32], decoding: Decoding, rng: &mut TensorRng) -> usize {
     match decoding {
-        Decoding::Greedy => argmax(probs),
+        // SelfSpeculative is greedy by construction: given a probability
+        // row, it picks exactly what greedy picks (the speculative
+        // machinery only changes how many rows one pass produces).
+        Decoding::Greedy | Decoding::SelfSpeculative { .. } => argmax(probs),
         Decoding::Sample { temperature } => {
             let reweighted = temper(probs, temperature);
             sample_from(&reweighted, rng)
@@ -167,7 +203,7 @@ fn sample_from(probs: &[f32], rng: &mut TensorRng) -> usize {
     probs.len() - 1
 }
 
-fn argmax(xs: &[f32]) -> usize {
+pub(crate) fn argmax(xs: &[f32]) -> usize {
     // first maximum on ties, matching the stable descending sort in
     // sample_token's top-k path so greedy and TopK{k: 1} agree exactly
     let mut best = 0;

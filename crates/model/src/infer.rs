@@ -6,10 +6,17 @@
 //! token's worth of compute, which is how an adapted Edge-LLM model would
 //! actually serve on a device. The session produces exactly the same
 //! logits as the batched forward pass (verified by the equivalence tests).
+//!
+//! A session is a single-slot view over the same machinery the serving
+//! engine batches: it owns one [`SequenceKv`] and runs every push through
+//! [`batched_decode_step`], so the solo and batched decode paths cannot
+//! drift apart — they are one code path.
 
+use crate::batched::{batched_decode_step, BatchedStep, SequenceKv};
 use crate::error::ModelError;
 use crate::model::EdgeModel;
-use edge_llm_tensor::{softmax_rows, Tensor};
+use crate::spec::{spec_round, SpecReport};
+use edge_llm_tensor::Tensor;
 
 /// Incremental decoding state over a borrowed model.
 ///
@@ -31,57 +38,47 @@ use edge_llm_tensor::{softmax_rows, Tensor};
 #[derive(Debug, Clone)]
 pub struct InferenceSession<'a> {
     model: &'a EdgeModel,
-    /// Per layer: cached keys and values, `(t, d_model)` filled up to `t`.
-    keys: Vec<Tensor>,
-    values: Vec<Tensor>,
-    t: usize,
+    kv: SequenceKv,
 }
 
 impl<'a> InferenceSession<'a> {
     /// Starts an empty session (capacity = the model's `seq_len`).
     pub fn new(model: &'a EdgeModel) -> Self {
-        let cfg = model.config();
-        let keys = (0..model.n_layers())
-            .map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model))
-            .collect();
-        let values = (0..model.n_layers())
-            .map(|_| Tensor::zeros(cfg.seq_len, cfg.d_model))
-            .collect();
         InferenceSession {
             model,
-            keys,
-            values,
-            t: 0,
+            kv: SequenceKv::new(model),
         }
     }
 
     /// Tokens consumed so far.
     pub fn len(&self) -> usize {
-        self.t
+        self.kv.len()
     }
 
     /// Whether no token has been pushed yet.
     pub fn is_empty(&self) -> bool {
-        self.t == 0
+        self.kv.is_empty()
     }
 
     /// Remaining capacity before the positional table is exhausted.
     pub fn remaining(&self) -> usize {
-        self.model.config().seq_len - self.t
+        self.kv.remaining()
     }
 
     /// Bytes held by the key/value caches.
     pub fn cache_bytes(&self) -> usize {
-        self.keys
-            .iter()
-            .chain(self.values.iter())
-            .map(|t| t.len() * 4)
-            .sum()
+        self.kv.cache_bytes()
     }
 
     /// Resets the session to empty without reallocating.
     pub fn reset(&mut self) {
-        self.t = 0;
+        self.kv.reset();
+    }
+
+    /// Rolls the session back to `len` consumed tokens (no-op past the
+    /// current length) — see [`SequenceKv::truncate`].
+    pub fn truncate(&mut self, len: usize) {
+        self.kv.truncate(len);
     }
 
     /// Feeds one token and returns the next-token logits `(1, vocab)` from
@@ -93,9 +90,9 @@ impl<'a> InferenceSession<'a> {
     /// is exhausted and [`ModelError::BadConfig`] for an
     /// out-of-vocabulary token.
     pub fn push_token(&mut self, token: usize) -> Result<Tensor, ModelError> {
-        let h = self.advance(token)?;
-        self.model
-            .exit_logits_no_cache(&h, self.model.n_layers() - 1)
+        let exits = [self.model.n_layers() - 1];
+        let mut rows = self.push_token_exits(token, &exits)?;
+        Ok(rows.swap_remove(0))
     }
 
     /// Feeds one token without computing any logits (prompt prefill).
@@ -104,7 +101,7 @@ impl<'a> InferenceSession<'a> {
     ///
     /// As [`InferenceSession::push_token`].
     pub fn advance_token(&mut self, token: usize) -> Result<(), ModelError> {
-        self.advance(token).map(|_| ())
+        self.push_token_exits(token, &[]).map(|_| ())
     }
 
     /// Feeds one token and returns per-exit logits for the given exits
@@ -119,88 +116,31 @@ impl<'a> InferenceSession<'a> {
         token: usize,
         exits: &[usize],
     ) -> Result<Vec<Tensor>, ModelError> {
-        if let Some(&bad) = exits.iter().find(|&&e| e >= self.model.n_layers()) {
-            return Err(ModelError::LayerOutOfRange {
-                layer: bad,
-                depth: self.model.n_layers(),
-            });
-        }
-        let capacity = self.model.config().seq_len;
-        if self.t >= capacity {
-            return Err(ModelError::CapacityExhausted { capacity });
-        }
-        let mut per_exit = vec![None; exits.len()];
-        let mut x = self.model.embed_one(token, self.t)?;
-        for l in 0..self.model.n_layers() {
-            x = self.block_step(l, &x)?;
-            for (slot, &e) in per_exit.iter_mut().zip(exits.iter()) {
-                if e == l {
-                    *slot = Some(self.model.exit_logits_no_cache(&x, l)?);
-                }
-            }
-        }
-        self.t += 1;
-        Ok(per_exit
-            .into_iter()
-            .map(|o| o.expect("exit bounds checked"))
-            .collect())
+        let mut steps = [BatchedStep {
+            token,
+            kv: &mut self.kv,
+            exits,
+        }];
+        let mut out = batched_decode_step(self.model, &mut steps)?;
+        Ok(out.swap_remove(0))
     }
 
-    fn advance(&mut self, token: usize) -> Result<Tensor, ModelError> {
-        let capacity = self.model.config().seq_len;
-        if self.t >= capacity {
-            return Err(ModelError::CapacityExhausted { capacity });
-        }
-        let mut x = self.model.embed_one(token, self.t)?;
-        for l in 0..self.model.n_layers() {
-            x = self.block_step(l, &x)?;
-        }
-        self.t += 1;
-        Ok(x)
-    }
-
-    /// One block applied to a single-token row, reading/extending the KV
-    /// cache for layer `l`.
-    fn block_step(&mut self, l: usize, x: &Tensor) -> Result<Tensor, ModelError> {
-        let cfg = self.model.config();
-        let (c, heads) = (cfg.d_model, cfg.n_heads);
-        let hs = c / heads;
-        let scale = 1.0 / (hs as f32).sqrt();
-        let block = self.model.block(l);
-        let n1 = block.ln1().forward_no_cache(x)?;
-        let (qkv_lin, proj) = block.attn().linears();
-        let qkv = qkv_lin.forward_no_cache(&n1)?; // (1, 3c)
-        let row = qkv.row(0);
-        self.keys[l].row_mut(self.t).copy_from_slice(&row[c..2 * c]);
-        self.values[l]
-            .row_mut(self.t)
-            .copy_from_slice(&row[2 * c..3 * c]);
-        let t_now = self.t + 1;
-        let mut concat = Tensor::zeros(1, c);
-        for h in 0..heads {
-            let q = &qkv.row(0)[h * hs..(h + 1) * hs];
-            // scores over cached keys
-            let mut scores = Tensor::zeros(1, t_now);
-            for p in 0..t_now {
-                let k = &self.keys[l].row(p)[h * hs..(h + 1) * hs];
-                let dot: f32 = q.iter().zip(k.iter()).map(|(a, b)| a * b).sum();
-                scores.set(0, p, dot * scale);
-            }
-            let att = softmax_rows(&scores);
-            let out = &mut concat.row_mut(0)[h * hs..(h + 1) * hs];
-            for p in 0..t_now {
-                let w = att.get(0, p);
-                let v = &self.values[l].row(p)[h * hs..(h + 1) * hs];
-                for (o, &vv) in out.iter_mut().zip(v.iter()) {
-                    *o += w * vv;
-                }
-            }
-        }
-        let a = proj.forward_no_cache(&concat)?;
-        let x1 = x.add(&a)?;
-        let n2 = block.ln2().forward_no_cache(&x1)?;
-        let m = block.mlp().forward_no_cache(&n2)?;
-        Ok(x1.add(&m)?)
+    /// One self-speculative draft/verify round: feeds `token`, drafts up
+    /// to `k` tokens from exit `draft_depth`, verifies them in one
+    /// full-depth pass, and rolls the cache back past rejected positions
+    /// — see [`spec_round`] for the exact semantics and the bit-identity
+    /// argument.
+    ///
+    /// # Errors
+    ///
+    /// As [`spec_round`].
+    pub fn speculative_round(
+        &mut self,
+        token: usize,
+        draft_depth: usize,
+        k: usize,
+    ) -> Result<SpecReport, ModelError> {
+        spec_round(self.model, &mut self.kv, token, draft_depth, k)
     }
 }
 
@@ -299,5 +239,24 @@ mod tests {
             session.cache_bytes(),
             2 * m.n_layers() * cfg.seq_len * cfg.d_model * 4
         );
+    }
+
+    #[test]
+    fn truncate_rolls_back_and_replays_identically() {
+        let m = model(8);
+        let mut session = InferenceSession::new(&m);
+        session.advance_token(1).unwrap();
+        session.advance_token(2).unwrap();
+        let reference = session.push_token(3).unwrap();
+        // roll back past the last token, then replay it
+        session.truncate(2);
+        assert_eq!(session.len(), 2);
+        let replay = session.push_token(3).unwrap();
+        for v in 0..m.config().vocab_size {
+            assert_eq!(reference.get(0, v).to_bits(), replay.get(0, v).to_bits());
+        }
+        // truncating past the end is a no-op
+        session.truncate(99);
+        assert_eq!(session.len(), 3);
     }
 }

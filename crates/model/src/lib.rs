@@ -45,6 +45,7 @@ mod mlp;
 mod model;
 mod norm;
 mod optim;
+mod spec;
 mod voting;
 
 pub use adaptive::{AdaptiveTuner, LayerWindow, StepPhases, TuneStepReport, WindowSchedule};
@@ -68,4 +69,5 @@ pub use model::{
 };
 pub use norm::LayerNorm;
 pub use optim::{Adam, Optimizer, Sgd, SgdState};
+pub use spec::{spec_round, speculative_generate, validate_spec_params, SpecReport};
 pub use voting::{combine, fit_learned_weights, VotingCombiner, VotingPolicy};

@@ -9,11 +9,17 @@
 //! and pin down the sampling primitive's edge-case contracts.
 
 use edge_llm_model::{
-    combine, generate, sample_token, Decoding, EdgeModel, InferenceSession, ModelConfig,
-    ModelError, VotingCombiner, VotingPolicy,
+    combine, generate, sample_token, speculative_generate, Decoding, EdgeModel, InferenceSession,
+    ModelConfig, ModelError, VotingCombiner, VotingPolicy,
 };
+use edge_llm_prune::magnitude_prune;
+use edge_llm_quant::{BitWidth, QuantScheme};
 use edge_llm_tensor::check::run_cases;
-use edge_llm_tensor::{Tensor, TensorRng};
+use edge_llm_tensor::{configured_threads, set_configured_threads, Tensor, TensorRng};
+use std::sync::Mutex;
+
+/// Serializes tests that touch the process-wide thread setting.
+static KNOB: Mutex<()> = Mutex::new(());
 
 fn model(seed: u64) -> EdgeModel {
     let mut rng = TensorRng::seed_from(seed);
@@ -223,6 +229,129 @@ fn exhausted_sessions_fail_cleanly_without_consuming_capacity() {
         }
         session.reset();
         assert!(session.push_token(1).is_ok());
+    });
+}
+
+/// Greedy final-exit decoding with [`speculative_generate`]'s exact
+/// windowing (keep the last `min(len, seq_len)` tokens, rebuild the cache
+/// when it fills), written on the incremental session API — an
+/// independent oracle for the draft/verify/rollback path, which never
+/// touches `spec_round` or its chunked verify forward.
+fn windowed_greedy(model: &EdgeModel, prompt: &[usize], n_new: usize) -> Vec<usize> {
+    let seq_len = model.config().seq_len;
+    let final_exit = [model.n_layers() - 1];
+    let mut rng = TensorRng::seed_from(0); // unused: greedy ignores the rng
+    let mut tokens = prompt.to_vec();
+    let mut produced = 0usize;
+    'window: while produced < n_new {
+        let mut session = InferenceSession::new(model);
+        let take = tokens.len().min(seq_len);
+        let window = &tokens[tokens.len() - take..];
+        for &t in &window[..window.len() - 1] {
+            session.advance_token(t).unwrap();
+        }
+        let mut frontier = *window.last().unwrap();
+        while produced < n_new {
+            if session.remaining() == 0 {
+                continue 'window;
+            }
+            let exits = session.push_token_exits(frontier, &final_exit).unwrap();
+            let probs = combine(&exits, &VotingCombiner::LastExit).unwrap();
+            let next = sample_token(probs.row(0), Decoding::Greedy, &mut rng);
+            tokens.push(next);
+            produced += 1;
+            frontier = next;
+        }
+    }
+    tokens
+}
+
+#[test]
+fn speculative_decode_is_bit_identical_to_greedy_for_every_depth_k_and_thread_count() {
+    let _guard = KNOB.lock().unwrap();
+    let saved = configured_threads();
+    // 4 layers so the draft depths cover shallow {1}, mid {2}, and the
+    // degenerate final-exit draft {n_layers - 1}
+    let mut rng = TensorRng::seed_from(31);
+    let m = EdgeModel::new(ModelConfig::tiny().with_layers(4), &mut rng).unwrap();
+    let seq_len = m.config().seq_len;
+    let vocab = m.config().vocab_size;
+    // prompts shorter and longer than seq_len; n_new past the window so
+    // the cache-rebuild path is exercised too
+    let long_prompt: Vec<usize> = (0..seq_len + 3).map(|i| (i * 3 + 1) % vocab).collect();
+    let prompts: Vec<Vec<usize>> = vec![vec![3, 7, 1], long_prompt];
+    for prompt in &prompts {
+        let n_new = seq_len + 2;
+        let reference = windowed_greedy(&m, prompt, n_new);
+        for threads in [1usize, 2, 4] {
+            set_configured_threads(threads);
+            for draft_depth in [1usize, 2, 3] {
+                for k in [1usize, 2, 4, 8] {
+                    let spec = speculative_generate(&m, prompt, n_new, draft_depth, k).unwrap();
+                    assert_eq!(
+                        spec,
+                        reference,
+                        "prompt len {}, threads {threads}, depth {draft_depth}, k {k}: \
+                         speculative decode must match greedy bit-for-bit",
+                        prompt.len()
+                    );
+                }
+            }
+        }
+    }
+    set_configured_threads(saved);
+}
+
+fn quantized_model(seed: u64, bits: BitWidth) -> EdgeModel {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut model = EdgeModel::new(ModelConfig::tiny(), &mut rng).unwrap();
+    let scheme = QuantScheme::symmetric(bits);
+    for l in 0..model.n_layers() {
+        let b = model.block_mut(l);
+        b.attn_mut().qkv_mut().set_quant(Some(scheme));
+        b.attn_mut().proj_mut().set_quant(Some(scheme));
+        b.mlp_mut().fc1_mut().set_quant(Some(scheme));
+        b.mlp_mut().fc2_mut().set_quant(Some(scheme));
+        let mask = magnitude_prune(b.mlp_mut().fc1_mut().weight(), 0.25).unwrap();
+        b.mlp_mut().fc1_mut().set_mask(Some(mask)).unwrap();
+    }
+    model
+}
+
+#[test]
+fn speculative_decode_matches_greedy_on_packed_and_dense_quantized_models() {
+    // the draft and verify forwards must agree with plain greedy whether
+    // the quantized weights run packed (integer codes) or dense
+    // (fake-quant floats) — and the two weight forms agree with each other
+    run_cases("spec packed equivalence", 6, |g| {
+        let bits = *g.choose(&[BitWidth::W2, BitWidth::W4]);
+        let seed = g.u64();
+        let packed = quantized_model(seed, bits);
+        packed.pack_frozen_weights().unwrap();
+        let dense = quantized_model(seed, bits);
+        let n_layers = packed.n_layers();
+        let prompt = vec![1, 2, 3];
+        let n_new = packed.config().seq_len; // crosses a window rebuild
+        let reference = windowed_greedy(&dense, &prompt, n_new);
+        assert_eq!(
+            windowed_greedy(&packed, &prompt, n_new),
+            reference,
+            "greedy oracle diverged between packed and dense ({bits:?})"
+        );
+        for draft_depth in 0..n_layers {
+            for k in [1usize, 4] {
+                let a = speculative_generate(&packed, &prompt, n_new, draft_depth, k).unwrap();
+                let b = speculative_generate(&dense, &prompt, n_new, draft_depth, k).unwrap();
+                assert_eq!(
+                    a, reference,
+                    "packed spec ({bits:?}, depth {draft_depth}, k {k})"
+                );
+                assert_eq!(
+                    b, reference,
+                    "dense spec ({bits:?}, depth {draft_depth}, k {k})"
+                );
+            }
+        }
     });
 }
 

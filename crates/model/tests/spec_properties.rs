@@ -1,0 +1,194 @@
+//! Randomized property tests for the self-speculative decode round.
+//!
+//! `spec_round` makes three promises these tests pin down against
+//! independent recomputations (never against its own internals):
+//!
+//! 1. `accepted` is exactly the longest prefix on which the shallow draft
+//!    and the full-depth verifier agree, plus the verifier's correction
+//!    token — recomputed here token-by-token on separate sessions.
+//! 2. After the rollback the KV cache holds exactly the consumed prefix:
+//!    `len == t0 + accepted.len()` (the last accepted token is the next
+//!    round's frontier and has not been fed yet).
+//! 3. The telemetry counters (`spec.draft_tokens`, `spec.verify_passes`,
+//!    `spec.accepted_tokens`) equal a from-scratch recount of the round
+//!    reports.
+//!
+//! All tests share one lock: the telemetry recorder is process-global, so
+//! a counter recount must not observe another test's rounds.
+
+use edge_llm_model::{
+    combine, sample_token, Decoding, EdgeModel, InferenceSession, ModelConfig, VotingCombiner,
+};
+use edge_llm_telemetry as telemetry;
+use edge_llm_tensor::check::{run_cases, Gen};
+use edge_llm_tensor::TensorRng;
+use std::sync::{Arc, Mutex};
+
+/// Serializes every test in this binary (telemetry state is global).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn random_model(g: &mut Gen) -> EdgeModel {
+    let layers = g.usize_in(2, 5);
+    let seq_len = g.usize_in(4, 13);
+    let cfg = ModelConfig::tiny()
+        .with_layers(layers)
+        .with_seq_len(seq_len);
+    let mut rng = TensorRng::seed_from(g.u64());
+    EdgeModel::new(cfg, &mut rng).unwrap()
+}
+
+/// Greedy argmax of one exit's combined distribution.
+fn greedy_at(session: &mut InferenceSession, token: usize, exit: usize) -> usize {
+    let exits = session.push_token_exits(token, &[exit]).unwrap();
+    let probs = combine(&exits, &VotingCombiner::LastExit).unwrap();
+    let mut rng = TensorRng::seed_from(0); // greedy ignores the rng
+    sample_token(probs.row(0), Decoding::Greedy, &mut rng)
+}
+
+#[test]
+fn accepted_is_the_longest_agreeing_prefix_plus_correction() {
+    let _guard = LOCK.lock().unwrap();
+    run_cases("spec longest agreeing prefix", 24, |g| {
+        let m = random_model(g);
+        let layers = m.n_layers();
+        let seq_len = m.config().seq_len;
+        let vocab = m.config().vocab_size;
+        let prompt_len = g.usize_in(1, seq_len);
+        let prompt: Vec<usize> = (0..prompt_len).map(|_| g.usize_in(0, vocab)).collect();
+        let draft_depth = g.usize_in(0, layers);
+        let k = g.usize_in(1, 9);
+        let t0 = prompt_len - 1;
+        let frontier = prompt[t0];
+        let k_eff = k.min(seq_len - t0 - 1);
+
+        // Recompute the draft on its own session: greedy tokens from the
+        // shallow exit. (Exit d's logits are identical whether or not the
+        // layers above d also run, so a full-depth session is a valid way
+        // to read the shallow head.)
+        let mut draft_sess = InferenceSession::new(&m);
+        for &t in &prompt[..t0] {
+            draft_sess.advance_token(t).unwrap();
+        }
+        let mut guesses = Vec::new();
+        let mut feed = frontier;
+        for _ in 0..k_eff {
+            let next = greedy_at(&mut draft_sess, feed, draft_depth);
+            guesses.push(next);
+            feed = next;
+        }
+
+        // Recompute the verifier on another session: full-depth greedy
+        // over [frontier, guesses...], one token at a time.
+        let mut verify_sess = InferenceSession::new(&m);
+        for &t in &prompt[..t0] {
+            verify_sess.advance_token(t).unwrap();
+        }
+        let mut expected = Vec::new();
+        for (j, &t) in std::iter::once(&frontier).chain(&guesses).enumerate() {
+            let v = greedy_at(&mut verify_sess, t, layers - 1);
+            expected.push(v);
+            if j >= guesses.len() || guesses[j] != v {
+                break;
+            }
+        }
+
+        let mut sess = InferenceSession::new(&m);
+        for &t in &prompt[..t0] {
+            sess.advance_token(t).unwrap();
+        }
+        let round = sess.speculative_round(frontier, draft_depth, k).unwrap();
+        let ctx = format!(
+            "layers {layers}, seq_len {seq_len}, prompt {prompt_len}, \
+             depth {draft_depth}, k {k}"
+        );
+        assert_eq!(round.accepted, expected, "{ctx}: accepted prefix");
+        assert_eq!(round.drafted, k_eff, "{ctx}: drafted count");
+        assert_eq!(round.verified, round.drafted + 1, "{ctx}: verified count");
+        // every accepted token except the correction agreed with the draft
+        let agreed = round.accepted.len() - 1;
+        assert_eq!(
+            round.accepted[..agreed],
+            guesses[..agreed],
+            "{ctx}: agreement"
+        );
+        if round.accepted.len() <= guesses.len() {
+            assert_ne!(
+                round.accepted[agreed], guesses[agreed],
+                "{ctx}: a short acceptance must end at a real disagreement"
+            );
+        }
+    });
+}
+
+#[test]
+fn cache_length_after_rollback_equals_the_accepted_position() {
+    let _guard = LOCK.lock().unwrap();
+    run_cases("spec rollback length", 24, |g| {
+        let m = random_model(g);
+        let seq_len = m.config().seq_len;
+        let vocab = m.config().vocab_size;
+        let prompt_len = g.usize_in(1, seq_len);
+        let prompt: Vec<usize> = (0..prompt_len).map(|_| g.usize_in(0, vocab)).collect();
+        let draft_depth = g.usize_in(0, m.n_layers());
+        let k = g.usize_in(1, 9);
+
+        let mut sess = InferenceSession::new(&m);
+        for &t in &prompt[..prompt_len - 1] {
+            sess.advance_token(t).unwrap();
+        }
+        let mut t0 = prompt_len - 1;
+        let mut frontier = prompt[t0];
+        // chain rounds until the cache fills: the invariant must hold at
+        // every intermediate state, not just after one round
+        while sess.remaining() > 0 {
+            let round = sess.speculative_round(frontier, draft_depth, k).unwrap();
+            assert!(!round.accepted.is_empty(), "a round always makes progress");
+            assert_eq!(
+                sess.len(),
+                t0 + round.accepted.len(),
+                "rollback must leave exactly the consumed prefix resident"
+            );
+            t0 = sess.len();
+            frontier = *round.accepted.last().unwrap();
+        }
+    });
+}
+
+#[test]
+fn telemetry_counters_equal_a_recount_of_the_round_reports() {
+    let _guard = LOCK.lock().unwrap();
+    run_cases("spec counter recount", 8, |g| {
+        let m = random_model(g);
+        let seq_len = m.config().seq_len;
+        let vocab = m.config().vocab_size;
+        let draft_depth = g.usize_in(0, m.n_layers());
+        let k = g.usize_in(1, 6);
+
+        telemetry::enable(Arc::new(telemetry::FakeClock::with_tick(1)));
+        let mut rounds = Vec::new();
+        let mut sess = InferenceSession::new(&m);
+        let mut frontier = g.usize_in(0, vocab);
+        while sess.remaining() > 0 {
+            let round = sess.speculative_round(frontier, draft_depth, k).unwrap();
+            frontier = *round.accepted.last().unwrap();
+            rounds.push(round);
+        }
+        let events = telemetry::disable();
+        assert!(sess.len() == seq_len && !rounds.is_empty());
+
+        let totals = telemetry::counter_totals(&events);
+        let recount = |f: fn(&edge_llm_model::SpecReport) -> usize| -> u64 {
+            rounds.iter().map(|r| f(r) as u64).sum()
+        };
+        assert_eq!(totals["spec.draft_tokens"], recount(|r| r.drafted));
+        assert_eq!(totals["spec.verify_passes"], rounds.len() as u64);
+        assert_eq!(
+            totals["spec.accepted_tokens"],
+            recount(|r| r.accepted.len())
+        );
+        // the spans that time the two halves of a round are present too
+        let spans = telemetry::aggregate_span_ns(&events);
+        assert_eq!(spans["spec.verify"].0, rounds.len());
+        assert_eq!(spans["spec.draft"].0, rounds.len());
+    });
+}

@@ -4,7 +4,8 @@ use crate::error::ServeError;
 use crate::request::{validate_request, FinishReason, ServeOutcome, ServeRequest};
 use crate::shed::ShedCause;
 use edge_llm_model::{
-    batched_decode_step, combine, sample_token, BatchedStep, EdgeModel, ModelError, SequenceKv,
+    batched_decode_step, combine, sample_token, spec_round, BatchedStep, Decoding, EdgeModel,
+    ModelError, SequenceKv,
 };
 use edge_llm_telemetry::{self as telemetry, Clock, LatencySummary, MonotonicClock};
 use edge_llm_tensor::TensorRng;
@@ -91,6 +92,9 @@ struct EngineStats {
     deadline_exceeded: usize,
     capacity_exhausted: usize,
     rejected: usize,
+    spec_rounds: usize,
+    spec_drafted: usize,
+    spec_accepted: usize,
 }
 
 /// Serving telemetry summary: where requests ended up and how long they
@@ -112,6 +116,31 @@ pub struct EngineReport {
     pub queue_wait: LatencySummary,
     /// Shared-forward-pass latency attributed to each generated token.
     pub decode_token: LatencySummary,
+    /// Self-speculative draft/verify rounds executed.
+    pub spec_rounds: usize,
+    /// Draft tokens proposed across all speculative rounds.
+    pub spec_drafted: usize,
+    /// Tokens emitted by speculative rounds (accepted prefix plus the
+    /// verifier's correction/bonus token, after budget clamping).
+    pub spec_accepted: usize,
+}
+
+impl EngineReport {
+    /// Fraction of drafted tokens the verifier accepted. Every round
+    /// emits exactly one non-draft token (the verifier's correction or
+    /// bonus), so accepted drafts are `spec_accepted - spec_rounds`.
+    /// `None` when no tokens were drafted.
+    pub fn spec_acceptance_rate(&self) -> Option<f64> {
+        (self.spec_drafted > 0).then(|| {
+            self.spec_accepted.saturating_sub(self.spec_rounds) as f64 / self.spec_drafted as f64
+        })
+    }
+
+    /// Average tokens emitted per full-depth verify pass. `None` when no
+    /// speculative round ran.
+    pub fn spec_tokens_per_verify_pass(&self) -> Option<f64> {
+        (self.spec_rounds > 0).then(|| self.spec_accepted as f64 / self.spec_rounds as f64)
+    }
 }
 
 impl<'a> BatchedInferenceEngine<'a> {
@@ -267,42 +296,93 @@ impl<'a> BatchedInferenceEngine<'a> {
     pub fn step(&mut self) -> Result<bool, ModelError> {
         let _span = telemetry::span("serve.step");
         self.retire_and_admit();
-        let mut active: Vec<&mut Slot> = self.slots.iter_mut().filter_map(|s| s.as_mut()).collect();
-        if active.is_empty() {
+        // Split the active slots: a speculative slot at its generation
+        // stage runs a private draft/verify round (its pass covers k+1
+        // positions of its own sequence); everything else — prefill for
+        // every mode, generation for the sampling modes — shares one
+        // batched single-position pass. Per-slot state stays fully
+        // isolated either way, so the split cannot couple outputs.
+        let mut batched: Vec<&mut Slot> = Vec::new();
+        let mut speculative: Vec<&mut Slot> = Vec::new();
+        for slot in self.slots.iter_mut().filter_map(|s| s.as_mut()) {
+            let generating = slot.fed == slot.known.len() - 1;
+            match slot.req.decoding {
+                Decoding::SelfSpeculative { .. } if generating => speculative.push(slot),
+                _ => batched.push(slot),
+            }
+        }
+        if batched.is_empty() && speculative.is_empty() {
             return Ok(false);
         }
-        let mut steps: Vec<BatchedStep> = Vec::with_capacity(active.len());
-        for slot in active.iter_mut() {
-            let token = slot.known[slot.fed];
-            // logits are only needed when feeding the last known token;
-            // everything earlier is prompt prefill
-            let exits: &[usize] = if slot.fed == slot.known.len() - 1 {
-                &slot.req.voting.exits
-            } else {
-                &[]
-            };
-            steps.push(BatchedStep {
-                token,
-                kv: &mut slot.kv,
-                exits,
-            });
-        }
-        let t0 = self.clock.now_ns();
-        let logits = {
-            let _s = telemetry::span("serve.decode");
-            batched_decode_step(self.model, &mut steps)?
-        };
-        let pass_ns = self.clock.now_ns().saturating_sub(t0);
-        drop(steps);
         let mut tokens_out = 0u64;
-        for (row, slot) in active.iter_mut().enumerate() {
-            if !logits[row].is_empty() {
-                let probs = combine(&logits[row], &slot.req.voting.combiner)?;
-                let next = sample_token(probs.row(0), slot.req.decoding, &mut slot.rng);
-                slot.last_probs = Some(probs.row(0).to_vec());
+        if !batched.is_empty() {
+            let mut steps: Vec<BatchedStep> = Vec::with_capacity(batched.len());
+            for slot in batched.iter_mut() {
+                let token = slot.known[slot.fed];
+                // logits are only needed when feeding the last known token;
+                // everything earlier is prompt prefill
+                let exits: &[usize] = if slot.fed == slot.known.len() - 1 {
+                    &slot.req.voting.exits
+                } else {
+                    &[]
+                };
+                steps.push(BatchedStep {
+                    token,
+                    kv: &mut slot.kv,
+                    exits,
+                });
+            }
+            let t0 = self.clock.now_ns();
+            let logits = {
+                let _s = telemetry::span("serve.decode");
+                batched_decode_step(self.model, &mut steps)?
+            };
+            let pass_ns = self.clock.now_ns().saturating_sub(t0);
+            drop(steps);
+            for (row, slot) in batched.iter_mut().enumerate() {
+                if !logits[row].is_empty() {
+                    let probs = combine(&logits[row], &slot.req.voting.combiner)?;
+                    let next = sample_token(probs.row(0), slot.req.decoding, &mut slot.rng);
+                    slot.last_probs = Some(probs.row(0).to_vec());
+                    slot.known.push(next);
+                    slot.generated += 1;
+                    tokens_out += 1;
+                    if self.capture_progress {
+                        self.progress.push(SessionProgress {
+                            id: slot.req.id.clone(),
+                            token: next,
+                            rng: slot.rng.clone(),
+                        });
+                    }
+                    // the shared pass is the latency every token in it saw
+                    self.stats.decode_token_ns.push(pass_ns);
+                }
+                slot.fed += 1;
+            }
+        }
+        for slot in speculative.iter_mut() {
+            let Decoding::SelfSpeculative { draft_depth, k } = slot.req.decoding else {
+                unreachable!("slot classified speculative above");
+            };
+            let token = slot.known[slot.fed];
+            let t0 = self.clock.now_ns();
+            let round = {
+                let _s = telemetry::span("serve.decode");
+                spec_round(self.model, &mut slot.kv, token, draft_depth, k)?
+            };
+            let round_ns = self.clock.now_ns().saturating_sub(t0);
+            // tokens past the remaining budget are dropped and the cache
+            // rolled back with them, exactly like the solo reference
+            let keep = round
+                .accepted
+                .len()
+                .min(slot.req.max_new_tokens - slot.generated);
+            if keep < round.accepted.len() {
+                slot.kv
+                    .truncate(slot.kv.len() - (round.accepted.len() - keep));
+            }
+            for &next in &round.accepted[..keep] {
                 slot.known.push(next);
-                slot.generated += 1;
-                tokens_out += 1;
                 if self.capture_progress {
                     self.progress.push(SessionProgress {
                         id: slot.req.id.clone(),
@@ -310,10 +390,16 @@ impl<'a> BatchedInferenceEngine<'a> {
                         rng: slot.rng.clone(),
                     });
                 }
-                // the shared pass is the latency every token in it saw
-                self.stats.decode_token_ns.push(pass_ns);
+                // the round is the latency every token it emitted saw
+                self.stats.decode_token_ns.push(round_ns);
             }
-            slot.fed += 1;
+            slot.generated += keep;
+            slot.last_probs = Some(round.probs[keep - 1].clone());
+            slot.fed += keep;
+            tokens_out += keep as u64;
+            self.stats.spec_rounds += 1;
+            self.stats.spec_drafted += round.drafted;
+            self.stats.spec_accepted += keep;
         }
         telemetry::counter("serve.decode_tokens", tokens_out);
         self.steps_run += 1;
@@ -331,6 +417,9 @@ impl<'a> BatchedInferenceEngine<'a> {
             rejected: self.stats.rejected,
             queue_wait: LatencySummary::from_ns(self.stats.queue_wait_ns.clone()),
             decode_token: LatencySummary::from_ns(self.stats.decode_token_ns.clone()),
+            spec_rounds: self.stats.spec_rounds,
+            spec_drafted: self.stats.spec_drafted,
+            spec_accepted: self.stats.spec_accepted,
         }
     }
 
@@ -572,6 +661,81 @@ mod tests {
         engine.submit(request(&m, "second", 2));
         engine.run_to_completion().unwrap();
         assert_eq!(engine.spare_kvs.len(), 1, "cache is recycled, not leaked");
+    }
+
+    #[test]
+    fn speculative_outcomes_match_solo_bitwise() {
+        let mut rng = TensorRng::seed_from(9);
+        let m = EdgeModel::new(ModelConfig::tiny().with_layers(4), &mut rng).unwrap();
+        let mut engine = BatchedInferenceEngine::new(&m, 3).unwrap();
+        let mut requests = Vec::new();
+        for (i, (depth, k)) in [(1usize, 2usize), (2, 4), (3, 1)].iter().enumerate() {
+            let mut r = request(&m, &format!("spec{i}"), i as u64);
+            r.decoding = Decoding::SelfSpeculative {
+                draft_depth: *depth,
+                k: *k,
+            };
+            r.max_new_tokens = 4;
+            requests.push(r);
+        }
+        // a greedy batch-mate shares the engine with the speculative slots
+        requests.push(request(&m, "greedy", 7));
+        for r in &requests {
+            engine.submit(r.clone());
+        }
+        let outcomes = engine.run_to_completion().unwrap();
+        for req in &requests {
+            let solo = run_solo(&m, req).unwrap();
+            let batched = outcomes.iter().find(|o| o.id == req.id).unwrap();
+            assert_outcome_bit_equal(batched, &solo);
+        }
+        let report = engine.report();
+        assert!(report.spec_rounds > 0);
+        assert!(report.spec_accepted >= report.spec_rounds);
+        assert!(report.spec_tokens_per_verify_pass().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn speculative_stream_equals_greedy_stream() {
+        let mut rng = TensorRng::seed_from(10);
+        let m = EdgeModel::new(ModelConfig::tiny().with_layers(4), &mut rng).unwrap();
+        let mut greedy = request(&m, "r", 1);
+        greedy.max_new_tokens = 4;
+        let mut spec = greedy.clone();
+        spec.decoding = Decoding::SelfSpeculative {
+            draft_depth: 1,
+            k: 4,
+        };
+        let a = run_solo(&m, &greedy).unwrap();
+        let b = run_solo(&m, &spec).unwrap();
+        assert_eq!(a.tokens, b.tokens, "speculation must not change a token");
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn speculative_request_needs_final_exit_voting() {
+        let mut rng = TensorRng::seed_from(11);
+        let m = EdgeModel::new(ModelConfig::tiny().with_layers(4), &mut rng).unwrap();
+        let mut r = request(&m, "bad", 0);
+        r.decoding = Decoding::SelfSpeculative {
+            draft_depth: 1,
+            k: 2,
+        };
+        r.voting = VotingPolicy::all_exits(m.n_layers(), VotingCombiner::Average);
+        let mut engine = BatchedInferenceEngine::new(&m, 1).unwrap();
+        engine.submit(r.clone());
+        let outcomes = engine.run_to_completion().unwrap();
+        assert!(matches!(outcomes[0].finish, FinishReason::Rejected { .. }));
+        // bad draft parameters are rejected the same way
+        let mut r2 = request(&m, "bad2", 0);
+        r2.decoding = Decoding::SelfSpeculative {
+            draft_depth: 99,
+            k: 2,
+        };
+        engine.submit(r2);
+        let outcomes = engine.run_to_completion().unwrap();
+        assert!(matches!(outcomes[0].finish, FinishReason::Rejected { .. }));
     }
 
     #[test]

@@ -82,6 +82,18 @@ pub fn validate_request(model: &EdgeModel, req: &ServeRequest) -> Result<(), Mod
         });
     }
     validate_decoding(req.decoding)?;
+    if let Decoding::SelfSpeculative { draft_depth, k } = req.decoding {
+        edge_llm_model::validate_spec_params(model, draft_depth, k)?;
+        // the verifier is the final exit's greedy token; a multi-exit
+        // voting blend has nothing to verify against
+        if req.voting.exits != [model.n_layers() - 1] {
+            return Err(ModelError::BadConfig {
+                reason: "self-speculative decoding verifies the final exit only; \
+                         use a final-exit voting policy"
+                    .into(),
+            });
+        }
+    }
     if req.voting.exits.is_empty() {
         return Err(ModelError::BadConfig {
             reason: "voting policy needs at least one exit".into(),

@@ -9,7 +9,7 @@
 //! bug.
 
 use crate::request::{validate_request, FinishReason, ServeOutcome, ServeRequest};
-use edge_llm_model::{combine, sample_token, EdgeModel, InferenceSession, ModelError};
+use edge_llm_model::{combine, sample_token, Decoding, EdgeModel, InferenceSession, ModelError};
 use edge_llm_tensor::TensorRng;
 
 /// Runs `req` alone through a fresh [`InferenceSession`] and returns the
@@ -55,16 +55,35 @@ pub fn run_solo(model: &EdgeModel, req: &ServeRequest) -> Result<ServeOutcome, M
         }
         let token = known[fed];
         if fed == known.len() - 1 {
-            let exit_logits = session.push_token_exits(token, &req.voting.exits)?;
-            let probs = combine(&exit_logits, &req.voting.combiner)?;
-            let next = sample_token(probs.row(0), req.decoding, &mut rng);
-            last_probs = Some(probs.row(0).to_vec());
-            known.push(next);
-            generated += 1;
+            if let Decoding::SelfSpeculative { draft_depth, k } = req.decoding {
+                // One draft/verify round may emit several tokens; each is
+                // the verifier's greedy pick, so the stream is identical
+                // to plain greedy decode. Tokens past the remaining
+                // budget are dropped and the cache rolled back with
+                // them, keeping `fed` equal to what greedy would have
+                // consumed at retirement.
+                let round = session.speculative_round(token, draft_depth, k)?;
+                let keep = round.accepted.len().min(req.max_new_tokens - generated);
+                if keep < round.accepted.len() {
+                    session.truncate(session.len() - (round.accepted.len() - keep));
+                }
+                known.extend_from_slice(&round.accepted[..keep]);
+                generated += keep;
+                last_probs = Some(round.probs[keep - 1].clone());
+                fed += keep;
+            } else {
+                let exit_logits = session.push_token_exits(token, &req.voting.exits)?;
+                let probs = combine(&exit_logits, &req.voting.combiner)?;
+                let next = sample_token(probs.row(0), req.decoding, &mut rng);
+                last_probs = Some(probs.row(0).to_vec());
+                known.push(next);
+                generated += 1;
+                fed += 1;
+            }
         } else {
             session.advance_token(token)?;
+            fed += 1;
         }
-        fed += 1;
     };
     Ok(ServeOutcome {
         id: req.id.clone(),

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Per-crate line-coverage floor gate for scripts/verify.sh --coverage.
+
+Modes:
+  check   compare a coverage report against scripts/coverage_baseline.json
+          and exit nonzero if any crate regressed below its floor (minus
+          the baseline's margin), if a crate is missing from the report,
+          or if the baseline has never been seeded.
+  update  rewrite the baseline floors from the measured report.
+
+Supported report formats (auto-detected):
+  * cargo llvm-cov JSON export   (`cargo llvm-cov --json ...`)
+  * cargo tarpaulin JSON report  (`cargo tarpaulin --out Json ...`)
+
+The update flow (documented in README.md): on a machine with one of the
+tools installed, run
+
+    scripts/verify.sh --coverage --update-baseline
+
+review the diff of scripts/coverage_baseline.json, and commit it. The
+check is offline-first: the baseline lives in-repo so a regression shows
+up as a failing gate plus a reviewable diff, never as a silent drop.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+CRATE_RE = re.compile(r"(?:^|/)crates/([^/]+)/src/")
+
+
+def crate_of(path):
+    """Maps a source-file path to its crate name, or None for non-crate
+    files (the workspace-root tests directory, benches, etc.)."""
+    m = CRATE_RE.search(path.replace("\\", "/"))
+    return m.group(1) if m else None
+
+
+def parse_llvm_cov(report):
+    """Yields (crate, covered, coverable) from a cargo llvm-cov JSON
+    export."""
+    per_crate = {}
+    for datum in report.get("data", []):
+        for f in datum.get("files", []):
+            crate = crate_of(f.get("filename", ""))
+            if crate is None:
+                continue
+            lines = f.get("summary", {}).get("lines", {})
+            cov, tot = per_crate.get(crate, (0, 0))
+            per_crate[crate] = (
+                cov + int(lines.get("covered", 0)),
+                tot + int(lines.get("count", 0)),
+            )
+    return per_crate
+
+
+def parse_tarpaulin(report):
+    """Yields (crate, covered, coverable) from a cargo tarpaulin JSON
+    report."""
+    per_crate = {}
+    for f in report.get("files", []):
+        path = f.get("path", [])
+        path = "/".join(path) if isinstance(path, list) else str(path)
+        crate = crate_of(path)
+        if crate is None:
+            continue
+        traces = f.get("traces", [])
+        if traces:
+            coverable = len(traces)
+            covered = sum(1 for t in traces if t.get("stats", {}).get("Line", 0) > 0)
+        else:
+            covered = int(f.get("covered", 0))
+            coverable = int(f.get("coverable", 0))
+        cov, tot = per_crate.get(crate, (0, 0))
+        per_crate[crate] = (cov + covered, tot + coverable)
+    return per_crate
+
+
+def measure(report_path):
+    with open(report_path) as fh:
+        report = json.load(fh)
+    if "data" in report:
+        per_crate = parse_llvm_cov(report)
+    elif "files" in report:
+        per_crate = parse_tarpaulin(report)
+    else:
+        sys.exit(
+            f"error: {report_path} is neither a cargo llvm-cov JSON export "
+            "nor a cargo tarpaulin JSON report"
+        )
+    if not per_crate:
+        sys.exit(f"error: {report_path} contains no files under crates/*/src/")
+    return {
+        crate: 100.0 * cov / tot
+        for crate, (cov, tot) in sorted(per_crate.items())
+        if tot > 0
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("mode", choices=["check", "update"])
+    ap.add_argument("--report", required=True, help="coverage report JSON")
+    ap.add_argument(
+        "--baseline",
+        default="scripts/coverage_baseline.json",
+        help="per-crate floor file (default: scripts/coverage_baseline.json)",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    margin = float(baseline.get("margin_pct", 0.0))
+    floors = baseline.get("floors") or {}
+    measured = measure(args.report)
+
+    if args.mode == "update":
+        baseline["floors"] = {
+            crate: math.floor(pct * 10) / 10 for crate, pct in measured.items()
+        }
+        with open(args.baseline, "w") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        print(f"check_coverage: wrote {len(measured)} crate floors to {args.baseline}")
+        for crate, pct in measured.items():
+            print(f"  {crate}: {pct:.1f}%")
+        return
+
+    if not floors:
+        sys.exit(
+            "error: the coverage baseline has never been seeded "
+            f"({args.baseline} has no floors).\n"
+            "       A coverage run with nothing to compare against is not a "
+            "gate; seed it once with:\n"
+            "         scripts/verify.sh --coverage --update-baseline\n"
+            "       and commit the resulting baseline diff."
+        )
+
+    failures = []
+    for crate, floor in sorted(floors.items()):
+        if crate not in measured:
+            failures.append(
+                f"{crate}: in the baseline but absent from the report "
+                "(crate renamed/removed? run --update-baseline)"
+            )
+            continue
+        got = measured[crate]
+        if got < floor - margin:
+            failures.append(
+                f"{crate}: line coverage {got:.1f}% fell below its floor "
+                f"{floor:.1f}% (margin {margin:.1f}%)"
+            )
+    for crate, pct in measured.items():
+        status = "" if crate in floors else "  [no floor yet — run --update-baseline]"
+        print(f"  {crate}: {pct:.1f}% (floor {floors.get(crate, '—')}){status}")
+    new_crates = sorted(set(measured) - set(floors))
+    if new_crates:
+        failures.append(
+            "crates without a recorded floor: "
+            + ", ".join(new_crates)
+            + " (run --update-baseline and commit the diff)"
+        )
+
+    if failures:
+        print("check_coverage: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_coverage: all {len(floors)} crate floors hold (margin {margin:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,11 +7,16 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WITH_COVERAGE="${EDGELLM_COVERAGE:-0}"
+COVERAGE_MODE=check
 for arg in "$@"; do
     case "$arg" in
         --coverage) WITH_COVERAGE=1 ;;
+        --update-baseline)
+            WITH_COVERAGE=1
+            COVERAGE_MODE=update
+            ;;
         *)
-            echo "error: unknown argument '$arg' (supported: --coverage)" >&2
+            echo "error: unknown argument '$arg' (supported: --coverage, --update-baseline)" >&2
             exit 2
             ;;
     esac
@@ -49,6 +54,12 @@ EDGELLM_THREADS=2 cargo test -q
 EDGELLM_THREADS=2 cargo test -q --test serving_equivalence
 EDGELLM_THREADS=2 cargo test -q -p edge-llm-fleet --test fleet_equivalence
 
+# Self-speculative decoding promises bit-identity with greedy decode at
+# every thread count: run its oracle and property suites explicitly with
+# two workers (they also run inside the full suites above).
+EDGELLM_THREADS=2 cargo test -q -p edge-llm-model --test decode_equivalence
+EDGELLM_THREADS=2 cargo test -q -p edge-llm-model --test spec_properties
+
 # The compressed-weight cache must never serve stale bits: run the
 # staleness suite explicitly — it mutates through every invalidation
 # path (optimizer, masks, schemes, LoRA merge, checkpoint restore) and
@@ -73,6 +84,12 @@ check_bench_json BENCH_5.json
 cargo run --release -q --bin bench_fleet -- BENCH_6.json
 check_bench_json BENCH_6.json
 
+# Self-speculative decoding must beat sequential greedy decode on
+# wall-clock tokens/s at the default (depth 1, k 4) point — the binary
+# exits nonzero otherwise, and records acceptance-rate counters.
+cargo run --release -q --bin bench_spec -- BENCH_7.json
+check_bench_json BENCH_7.json
+
 # Budget check: the quick report tier exists so a laptop can regenerate
 # the headline tables in well under a coffee break. Hold it to a
 # generous multiple of its measured runtime so a quadratic regression
@@ -90,12 +107,17 @@ fi
 # Opt-in line coverage (scripts/verify.sh --coverage, or
 # EDGELLM_COVERAGE=1). The tier-1 gate stays coverage-free so the
 # default flow never depends on extra tooling; when requested, a missing
-# tool is a hard failure, not a silent skip.
+# tool is a hard failure, not a silent skip — and the measured numbers
+# are gated against the per-crate floors in scripts/coverage_baseline.json
+# (scripts/check_coverage.py), so a coverage regression fails loudly
+# instead of scrolling by. Refresh the floors with --update-baseline and
+# commit the diff.
 if [ "$WITH_COVERAGE" = "1" ]; then
     if cargo llvm-cov --version >/dev/null 2>&1; then
-        cargo llvm-cov --workspace --summary-only
+        cargo llvm-cov --workspace --json --output-path COVERAGE.json >/dev/null
     elif command -v cargo-tarpaulin >/dev/null 2>&1; then
-        cargo tarpaulin --workspace --out Stdout
+        cargo tarpaulin --workspace --out Json --output-dir .
+        mv tarpaulin-report.json COVERAGE.json
     else
         echo "error: --coverage requested but neither cargo-llvm-cov nor" >&2
         echo "       cargo-tarpaulin is installed. Install one, e.g.:" >&2
@@ -103,4 +125,6 @@ if [ "$WITH_COVERAGE" = "1" ]; then
         echo "         cargo install cargo-tarpaulin" >&2
         exit 1
     fi
+    python3 scripts/check_coverage.py "$COVERAGE_MODE" \
+        --report COVERAGE.json --baseline scripts/coverage_baseline.json
 fi

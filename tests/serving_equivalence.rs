@@ -34,26 +34,36 @@ fn random_request(g: &mut Gen, model: &EdgeModel, id: usize) -> ServeRequest {
     let prompt: Vec<usize> = (0..prompt_len)
         .map(|_| g.usize_in(0, cfg.vocab_size))
         .collect();
-    let decoding = match g.usize_in(0, 3) {
+    let decoding = match g.usize_in(0, 4) {
         0 => Decoding::Greedy,
         1 => Decoding::Sample {
             temperature: g.f32_in(0.3, 2.0),
         },
-        _ => Decoding::TopK {
+        2 => Decoding::TopK {
             k: g.usize_in(1, cfg.vocab_size + 4),
             temperature: g.f32_in(0.3, 2.0),
         },
+        _ => Decoding::SelfSpeculative {
+            draft_depth: g.usize_in(0, n_layers),
+            k: g.usize_in(1, 7),
+        },
     };
-    let voting = match g.usize_in(0, 4) {
-        0 => VotingPolicy::final_only(n_layers),
-        1 => VotingPolicy::all_exits(n_layers, VotingCombiner::Average),
-        2 => VotingPolicy::all_exits(n_layers, VotingCombiner::LastExit),
-        _ => VotingPolicy::all_exits(
-            n_layers,
-            VotingCombiner::ConfidenceWeighted {
-                temperature: g.f32_in(0.5, 2.0),
-            },
-        ),
+    // speculative requests verify against the final exit, so they only
+    // validate with a final-exit voting policy
+    let voting = if matches!(decoding, Decoding::SelfSpeculative { .. }) {
+        VotingPolicy::final_only(n_layers)
+    } else {
+        match g.usize_in(0, 4) {
+            0 => VotingPolicy::final_only(n_layers),
+            1 => VotingPolicy::all_exits(n_layers, VotingCombiner::Average),
+            2 => VotingPolicy::all_exits(n_layers, VotingCombiner::LastExit),
+            _ => VotingPolicy::all_exits(
+                n_layers,
+                VotingCombiner::ConfidenceWeighted {
+                    temperature: g.f32_in(0.5, 2.0),
+                },
+            ),
+        }
     };
     ServeRequest {
         id: format!("r{id}"),
@@ -223,6 +233,127 @@ fn arrival_order_never_changes_any_request() {
         requests.reverse();
         assert_engine_matches_solo(&model, &requests, batch, "reversed order");
     });
+}
+
+/// A self-speculative request with a final-exit voting policy.
+fn spec_request(
+    id: &str,
+    n_layers: usize,
+    draft_depth: usize,
+    k: usize,
+    prompt: Vec<usize>,
+    max_new_tokens: usize,
+) -> ServeRequest {
+    ServeRequest {
+        id: id.into(),
+        prompt,
+        max_new_tokens,
+        decoding: Decoding::SelfSpeculative { draft_depth, k },
+        voting: VotingPolicy::final_only(n_layers),
+        seed: 0,
+        deadline_steps: None,
+    }
+}
+
+#[test]
+fn mixed_speculative_and_greedy_slots_match_solo_bitwise() {
+    let _guard = KNOB.lock().unwrap();
+    let saved = configured_threads();
+    // 4 layers so the spec slots span shallow, mid, and final-exit drafts
+    let mut rng = TensorRng::seed_from(21);
+    let model = EdgeModel::new(ModelConfig::tiny().with_layers(4), &mut rng).unwrap();
+    let nl = model.n_layers();
+    let requests = vec![
+        spec_request("spec-shallow", nl, 1, 2, vec![1, 2, 3], 4),
+        ServeRequest {
+            id: "greedy-mate".into(),
+            prompt: vec![3, 1],
+            max_new_tokens: 5,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::all_exits(nl, VotingCombiner::Average),
+            seed: 7,
+            deadline_steps: None,
+        },
+        spec_request("spec-mid", nl, 2, 4, vec![4, 5], 5),
+        ServeRequest {
+            id: "sample-mate".into(),
+            prompt: vec![6],
+            max_new_tokens: 4,
+            decoding: Decoding::Sample { temperature: 0.9 },
+            voting: VotingPolicy::final_only(nl),
+            seed: 8,
+            deadline_steps: None,
+        },
+        spec_request("spec-deep", nl, nl - 1, 8, vec![7, 8, 9, 1], 3),
+    ];
+    for threads in [1usize, 2, 4] {
+        set_configured_threads(threads);
+        for batch in [1usize, 2, 3, 8] {
+            assert_engine_matches_solo(
+                &model,
+                &requests,
+                batch,
+                &format!("spec mix, batch {batch}, threads {threads}"),
+            );
+        }
+    }
+    set_configured_threads(saved);
+}
+
+#[test]
+fn eviction_mid_verify_leaves_surviving_slots_bit_identical() {
+    let mut rng = TensorRng::seed_from(22);
+    let model = EdgeModel::new(ModelConfig::tiny().with_layers(4), &mut rng).unwrap();
+    let nl = model.n_layers();
+    let seq_len = model.config().seq_len;
+    // a spec slot killed by its fed-token deadline partway through its
+    // rounds, one killed by cache capacity, and batch-mates (one of them
+    // speculative) that must retire unperturbed
+    let mut deadline_victim = spec_request("deadline-victim", nl, 1, 8, vec![1, 2], seq_len);
+    deadline_victim.deadline_steps = Some(4);
+    let capacity_victim = spec_request(
+        "capacity-victim",
+        nl,
+        2,
+        4,
+        (0..seq_len - 1)
+            .map(|i| i % model.config().vocab_size)
+            .collect(),
+        seq_len,
+    );
+    let requests = vec![
+        deadline_victim,
+        capacity_victim,
+        spec_request("spec-survivor", nl, 1, 3, vec![5, 6], 4),
+        ServeRequest {
+            id: "greedy-survivor".into(),
+            prompt: vec![7, 8],
+            max_new_tokens: 4,
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(nl),
+            seed: 9,
+            deadline_steps: None,
+        },
+    ];
+    for batch in [2usize, 4] {
+        assert_engine_matches_solo(
+            &model,
+            &requests,
+            batch,
+            &format!("mid-verify evict, batch {batch}"),
+        );
+    }
+    // and the victims really did evict for the reasons constructed above
+    let mut engine = BatchedInferenceEngine::new(&model, 4).unwrap();
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let outcomes = engine.run_to_completion().unwrap();
+    let finish = |id: &str| outcomes.iter().find(|o| o.id == id).unwrap().finish.clone();
+    assert_eq!(finish("deadline-victim"), FinishReason::DeadlineExceeded);
+    assert_eq!(finish("capacity-victim"), FinishReason::CapacityExhausted);
+    assert_eq!(finish("spec-survivor"), FinishReason::Completed);
+    assert_eq!(finish("greedy-survivor"), FinishReason::Completed);
 }
 
 #[test]
