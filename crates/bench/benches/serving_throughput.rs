@@ -45,6 +45,7 @@ fn request_mix(cfg: &ModelConfig, n: usize) -> Vec<ServeRequest> {
             },
             seed: 1000 + i as u64,
             deadline_steps: None,
+            tenant: None,
         })
         .collect()
 }

@@ -18,11 +18,12 @@ use edge_llm::compress::apply_policy;
 use edge_llm::oracle::ModelOracle;
 use edge_llm::resilience::{resilient_adapt, ResilienceConfig};
 use edge_llm_data::{Dataset, TaskGenerator, TextLmTask};
-use edge_llm_fleet::{run_fleet, FleetConfig, ScenarioSpec};
+use edge_llm_fleet::{run_fleet_with_adapters, FleetConfig, ScenarioSpec};
 use edge_llm_luc::{profile, search_policy, CompressionPolicy, SearchAlgorithm};
 use edge_llm_model::{
-    generate, load_model, save_model, AdaptiveTuner, Decoding, EdgeModel, ModelConfig, Sgd,
-    TrainingCheckpoint, VotingCombiner, VotingPolicy, WindowSchedule,
+    generate, load_model, save_model, AdapterTarget, AdaptiveTuner, Decoding, EdgeModel,
+    ModelConfig, Sgd, TenantAdapter, TrainingCheckpoint, VotingCombiner, VotingPolicy,
+    WindowSchedule,
 };
 use edge_llm_quant::BitWidth;
 use edge_llm_serve::{BatchedInferenceEngine, FinishReason, ServeRequest};
@@ -118,6 +119,10 @@ pub enum Command {
         slo: Option<u64>,
         /// Override the scenario's traffic seed.
         seed: Option<u64>,
+        /// Spread sessions across this many tenants, each with its own
+        /// seeded LoRA adapter over the shared frozen base (0 = all
+        /// sessions on the base).
+        tenants: usize,
         /// Kernel worker threads (`0` = all cores). `None` leaves the
         /// `EDGELLM_THREADS` environment default in place.
         threads: Option<usize>,
@@ -178,7 +183,8 @@ USAGE:
                    [--trace-out <path>]
   edgellm loadgen  --scenario <steady|burst|crash|stall> [--workers 2]
                    [--batch 4] [--queue 16] [--retries 2] [--slo N]
-                   [--seed N] [--threads N] [--trace-out <path>]
+                   [--seed N] [--tenants N] [--threads N]
+                   [--trace-out <path>]
   edgellm inspect  --ckpt <ckpt>
   edgellm policy   --corpus <file> [--budget 0.25] [--seed 42]
   edgellm help
@@ -189,8 +195,11 @@ Key=value options, then ' :: ', then the prompt text:
 Options (all optional): id, tokens (max new tokens), mode
 (greedy|sample|topk|spec), k, depth (spec draft exit layer), temp,
 seed, voting (final|last|conf|avg; spec defaults to final), deadline
-(max fed tokens). Each request decodes exactly as it would alone:
-batching never changes outputs, only throughput.
+(max fed tokens), tenant (decode with that tenant's LoRA adapter over
+the shared frozen base; the adapter is seeded from the tenant name).
+Each request decodes exactly as it would alone: batching never changes
+outputs, only throughput — and a tenant's stream never changes with
+who shares the batch.
 
 Self-speculative decoding (generate --draft-depth N, serve mode=spec):
 drafts k tokens from exit layer N's logits, verifies them in one
@@ -204,7 +213,9 @@ needed. Scenarios bundle arrival patterns, priority mixes, and fault
 schedules (worker crashes/stalls); the same scenario and seed always
 produce the same sessions, shed decisions, and token streams, so fleet
 behaviour under overload is a reproducible experiment. Only the
-wall-clock decode latency line varies between runs.
+wall-clock decode latency line varies between runs. --tenants N spreads
+sessions across N tenants, each decoding with its own seeded LoRA
+adapter over the one frozen base on every worker.
 
 Kernel threads: results are bit-identical for every thread count, so
 --threads only changes speed. 0 means all cores; the EDGELLM_THREADS
@@ -302,6 +313,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             retries: parse_flag(rest, "--retries", 2)?,
             slo: parse_opt_flag(rest, "--slo")?,
             seed: parse_opt_flag(rest, "--seed")?,
+            tenants: parse_flag(rest, "--tenants", 0)?,
             threads: parse_opt_flag(rest, "--threads")?,
             trace_out: flag_value(rest, "--trace-out").map(str::to_string),
         }),
@@ -345,6 +357,25 @@ fn text_task(corpus_path: &str) -> Result<TextLmTask, CliError> {
     let corpus = fs::read_to_string(corpus_path)
         .map_err(|e| CliError::Run(format!("cannot read corpus {corpus_path}: {e}")))?;
     TextLmTask::new(&corpus).map_err(run_err)
+}
+
+/// Derives a deterministic per-tenant LoRA adapter from the tenant name
+/// alone (FNV-1a of the name seeds the factors), so `serve` and
+/// `loadgen` agree on what any tenant's adapter looks like without a
+/// registry file. Rank-1 deltas on the first layer's attention input
+/// and the last layer's FFN output are enough to make each tenant's
+/// stream distinct while staying tiny next to the packed base.
+fn seeded_tenant_adapter(cfg: &ModelConfig, tenant: &str) -> TenantAdapter {
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    let sites = [
+        (0, AdapterTarget::Qkv),
+        (cfg.n_layers - 1, AdapterTarget::Fc2),
+    ];
+    TenantAdapter::seeded(cfg, seed, 1, &sites)
 }
 
 fn cli_model_config(vocab: usize) -> ModelConfig {
@@ -637,6 +668,19 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 return Err(CliError::Run(format!("no requests in {requests}")));
             }
             let mut engine = BatchedInferenceEngine::new(&model, *batch).map_err(run_err)?;
+            // every tenant named in the file gets its name-seeded adapter
+            // registered up front; requests without one run the base
+            let mut tenants: Vec<String> = Vec::new();
+            for t in parsed.iter().filter_map(|r| r.tenant.clone()) {
+                if !tenants.contains(&t) {
+                    tenants.push(t);
+                }
+            }
+            for t in &tenants {
+                engine
+                    .register_adapter(t, seeded_tenant_adapter(model.config(), t))
+                    .map_err(run_err)?;
+            }
             let ids: Vec<String> = parsed.iter().map(|r| r.id.clone()).collect();
             for r in parsed {
                 engine.submit(r);
@@ -691,13 +735,41 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             )
             .map_err(run_err)?;
             if report.spec_rounds > 0 {
+                // a round with zero drafts has no acceptance rate — print
+                // n/a rather than a fabricated 0.00
+                let ratio = |v: Option<f64>| match v {
+                    Some(v) => format!("{v:.2}"),
+                    None => "n/a".to_string(),
+                };
                 writeln!(
                     out,
-                    "speculative: {} rounds, acceptance rate {:.2}, \
-                     {:.2} tokens/verify pass",
+                    "speculative: {} rounds, acceptance rate {}, \
+                     {} tokens/verify pass",
                     report.spec_rounds,
-                    report.spec_acceptance_rate().unwrap_or(0.0),
-                    report.spec_tokens_per_verify_pass().unwrap_or(0.0)
+                    ratio(report.spec_acceptance_rate()),
+                    ratio(report.spec_tokens_per_verify_pass())
+                )
+                .map_err(run_err)?;
+            }
+            if !tenants.is_empty() {
+                let resident: Vec<String> = report
+                    .adapter_resident_bytes
+                    .iter()
+                    .map(|(t, b)| format!("{t}={b}B"))
+                    .collect();
+                writeln!(
+                    out,
+                    "adapters: {} hits, {} misses, {} lru + {} replaced evictions; \
+                     resident: {}",
+                    report.adapter_hits,
+                    report.adapter_misses,
+                    report.adapter_evictions_lru,
+                    report.adapter_evictions_replaced,
+                    if resident.is_empty() {
+                        "none".to_string()
+                    } else {
+                        resident.join(" ")
+                    }
                 )
                 .map_err(run_err)?;
             }
@@ -713,6 +785,7 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             retries,
             slo,
             seed,
+            tenants,
             threads,
             trace_out,
         } => {
@@ -729,6 +802,7 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             if let Some(s) = seed {
                 spec.seed = *s;
             }
+            spec.tenants = *tenants;
             // the fleet is exercised against a synthetic tiny model: the
             // scenario is about router behaviour, not model quality
             let mut rng = TensorRng::seed_from(17);
@@ -765,7 +839,23 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 )
                 .map_err(run_err)?;
             }
-            let run = run_fleet(&model, &cfg, &traffic).map_err(run_err)?;
+            let adapters: Vec<(String, TenantAdapter)> = (0..*tenants)
+                .map(|i| {
+                    let name = format!("tenant-{i}");
+                    let adapter = seeded_tenant_adapter(model.config(), &name);
+                    (name, adapter)
+                })
+                .collect();
+            if !adapters.is_empty() {
+                writeln!(
+                    out,
+                    "  {} tenant adapters over one frozen base",
+                    adapters.len()
+                )
+                .map_err(run_err)?;
+            }
+            let run =
+                run_fleet_with_adapters(&model, &cfg, &adapters, &traffic).map_err(run_err)?;
             writeln!(out, "{}", run.report).map_err(run_err)?;
             if let Some(path) = &trace_path {
                 finish_trace(path, out)?;
@@ -819,6 +909,7 @@ fn parse_request_file(
         let mut depth = 1usize;
         let mut voting_name: Option<String> = None;
         let mut deadline = None;
+        let mut tenant = None;
         for pair in head.split_whitespace() {
             let Some((key, value)) = pair.split_once('=') else {
                 return Err(CliError::Usage(format!(
@@ -840,6 +931,12 @@ fn parse_request_file(
                 "seed" => seed = value.parse().map_err(|_| bad_value())?,
                 "voting" => voting_name = Some(value.to_string()),
                 "deadline" => deadline = Some(value.parse().map_err(|_| bad_value())?),
+                "tenant" => {
+                    if value.is_empty() {
+                        return Err(bad_value());
+                    }
+                    tenant = Some(value.to_string());
+                }
                 other => {
                     return Err(CliError::Usage(format!(
                         "request line {n}: unknown option {other:?}"
@@ -894,6 +991,7 @@ fn parse_request_file(
             voting,
             seed,
             deadline_steps: deadline,
+            tenant,
         });
     }
     Ok(requests)
@@ -1352,7 +1450,10 @@ mod tests {
 
     #[test]
     fn parse_loadgen_flags() {
-        let cmd = parse_args(&argv("loadgen --scenario burst --workers 4 --slo 8")).unwrap();
+        let cmd = parse_args(&argv(
+            "loadgen --scenario burst --workers 4 --slo 8 --tenants 3",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Loadgen {
@@ -1363,6 +1464,7 @@ mod tests {
                 retries: 2,
                 slo: Some(8),
                 seed: None,
+                tenants: 3,
                 threads: None,
                 trace_out: None,
             }
@@ -1407,13 +1509,15 @@ mod tests {
         let tok = edge_llm_data::CharTokenizer::new();
         let text = "\
 # queue for the morning
-id=r1 tokens=12 mode=topk k=3 temp=0.9 seed=7 voting=avg deadline=40 :: monday:
+id=r1 tokens=12 mode=topk k=3 temp=0.9 seed=7 voting=avg deadline=40 tenant=alice :: monday:
 
  :: bare prompt with defaults
 ";
         let reqs = parse_request_file(text, &tok, 4).unwrap();
         assert_eq!(reqs.len(), 2);
         assert_eq!(reqs[0].id, "r1");
+        assert_eq!(reqs[0].tenant.as_deref(), Some("alice"));
+        assert_eq!(reqs[1].tenant, None);
         assert_eq!(reqs[0].max_new_tokens, 12);
         assert_eq!(
             reqs[0].decoding,
@@ -1438,6 +1542,7 @@ id=r1 tokens=12 mode=topk k=3 temp=0.9 seed=7 voting=avg deadline=40 :: monday:
             "mode=banana :: p",
             "voting=banana :: p",
             "tokens=many :: p",
+            "tenant= :: p",
             " :: ",
         ] {
             assert!(
@@ -1484,6 +1589,16 @@ id=s2 mode=spec depth=2 k=6 voting=last :: tuned
     }
 
     #[test]
+    fn end_to_end_loadgen_serves_tenants_over_one_base() {
+        let cmd = parse_args(&argv("loadgen --scenario steady --workers 2 --tenants 3")).unwrap();
+        let mut buf = Vec::new();
+        run(&cmd, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3 tenant adapters"), "{text}");
+        assert!(text.contains("24 served"), "every session serves: {text}");
+    }
+
+    #[test]
     fn end_to_end_serve_reports_outcomes_and_throughput() {
         let dir = std::env::temp_dir().join("edgellm-cli-serve-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1504,6 +1619,7 @@ id=morning tokens=6 voting=final :: water
 id=evening tokens=4 mode=topk k=2 temp=0.9 seed=5 :: check
 id=late tokens=8 deadline=2 :: sensors
 id=drafty tokens=6 mode=spec depth=1 k=4 :: water
+id=tenanted tokens=6 voting=final tenant=alice :: water
 ",
         )
         .unwrap();
@@ -1523,7 +1639,11 @@ id=drafty tokens=6 mode=spec depth=1 k=4 :: water
         // deadline of 2 fed tokens stops "late" during its 7-token prompt
         assert!(text.contains("late [deadline exceeded, 0 tokens"), "{text}");
         assert!(text.contains("drafty [completed, 6 tokens"), "{text}");
-        assert!(text.contains("served 4 requests"), "{text}");
+        assert!(text.contains("tenanted [completed, 6 tokens"), "{text}");
+        assert!(text.contains("served 5 requests"), "{text}");
+        // one tenant, admitted once: a single adapter miss, resident after
+        assert!(text.contains("adapters: 0 hits, 1 misses"), "{text}");
+        assert!(text.contains("resident: alice="), "{text}");
         assert!(text.contains("tokens/s"), "{text}");
         assert!(text.contains("batched passes"), "{text}");
         assert!(text.contains("latency: queue wait"), "{text}");

@@ -32,7 +32,7 @@
 
 use crate::worker::{worker_loop, Cmd, StepReply};
 use edge_llm::resilience::{FaultKind, FaultPlan, PlannedFault};
-use edge_llm_model::EdgeModel;
+use edge_llm_model::{EdgeModel, TenantAdapter};
 use edge_llm_serve::{
     FinishReason, LatencySummary, ServeError, ServeOutcome, ServeRequest, ShedCause,
 };
@@ -450,6 +450,26 @@ pub fn run_fleet(
     cfg: &FleetConfig,
     requests: &[FleetRequest],
 ) -> Result<FleetRun, ServeError> {
+    run_fleet_with_adapters(model, cfg, &[], requests)
+}
+
+/// [`run_fleet`] over a multi-tenant fleet: every worker engine gets all
+/// of `adapters` registered against the shared frozen base before
+/// serving, and a worker rebuilt after a crash re-registers them —
+/// failover re-places tenant sessions with their adapter resident.
+/// Requests naming a tenant not in `adapters` are rejected per session
+/// by the engine, never as an `Err`.
+///
+/// # Errors
+///
+/// As [`run_fleet`], plus adapter resolution failures (bad layer index
+/// or factor shapes for this model) surfaced at worker construction.
+pub fn run_fleet_with_adapters(
+    model: &EdgeModel,
+    cfg: &FleetConfig,
+    adapters: &[(String, TenantAdapter)],
+    requests: &[FleetRequest],
+) -> Result<FleetRun, ServeError> {
     validate(cfg)?;
     let _span = telemetry::span("fleet.run");
 
@@ -489,7 +509,7 @@ pub fn run_fleet(
             let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
             let (reply_tx, reply_rx) = mpsc::channel::<Result<StepReply, ServeError>>();
             let batch = cfg.batch_per_worker;
-            scope.spawn(move || worker_loop(model, batch, cmd_rx, reply_tx));
+            scope.spawn(move || worker_loop(model, batch, adapters, cmd_rx, reply_tx));
             cmd_txs.push(cmd_tx);
             reply_rxs.push(reply_rx);
         }

@@ -7,7 +7,7 @@
 //! the router, which is what makes an N-worker fleet deterministic: the
 //! threads only ever run between two barriers of a single tick.
 
-use edge_llm_model::EdgeModel;
+use edge_llm_model::{EdgeModel, TenantAdapter};
 use edge_llm_serve::{
     BatchedInferenceEngine, ServeError, ServeOutcome, ServeRequest, SessionProgress,
 };
@@ -43,9 +43,20 @@ pub(crate) struct StepReply {
     pub decode_ns: Vec<u64>,
 }
 
-fn fresh_engine(model: &EdgeModel, batch: usize) -> Result<BatchedInferenceEngine<'_>, ServeError> {
+/// Builds a worker engine with every fleet tenant's adapter registered.
+/// `Reset` rebuilds through here too, so a supervisor restart comes back
+/// with the same adapter registry — a crashed worker can replay a
+/// tenant session without the router re-shipping the adapter.
+fn fresh_engine<'m>(
+    model: &'m EdgeModel,
+    batch: usize,
+    adapters: &[(String, TenantAdapter)],
+) -> Result<BatchedInferenceEngine<'m>, ServeError> {
     let mut engine = BatchedInferenceEngine::new(model, batch)?;
     engine.set_progress_capture(true);
+    for (tenant, adapter) in adapters {
+        engine.register_adapter(tenant, adapter.clone())?;
+    }
     Ok(engine)
 }
 
@@ -55,10 +66,11 @@ fn fresh_engine(model: &EdgeModel, batch: usize) -> Result<BatchedInferenceEngin
 pub(crate) fn worker_loop(
     model: &EdgeModel,
     batch: usize,
+    adapters: &[(String, TenantAdapter)],
     rx: Receiver<Cmd>,
     tx: Sender<Result<StepReply, ServeError>>,
 ) {
-    let mut engine = match fresh_engine(model, batch) {
+    let mut engine = match fresh_engine(model, batch, adapters) {
         Ok(e) => e,
         Err(e) => {
             let _ = tx.send(Err(e));
@@ -75,7 +87,7 @@ pub(crate) fn worker_loop(
                 None => engine.submit(*req),
             },
             Cmd::Reset => {
-                engine = match fresh_engine(model, batch) {
+                engine = match fresh_engine(model, batch, adapters) {
                     Ok(e) => e,
                     Err(e) => {
                         let _ = tx.send(Err(e));

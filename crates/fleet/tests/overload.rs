@@ -27,6 +27,7 @@ fn request(m: &EdgeModel, id: &str, seed: u64) -> ServeRequest {
         voting: VotingPolicy::final_only(m.n_layers()),
         seed,
         deadline_steps: None,
+        tenant: None,
     }
 }
 

@@ -38,6 +38,7 @@
 //! of `(batch, workers)`, so results stay bit-identical for every thread
 //! count.
 
+use crate::adapter::{AdapterTarget, ResolvedAdapter};
 use crate::error::ModelError;
 use crate::model::EdgeModel;
 use edge_llm_tensor::{gelu_forward, pool, softmax_rows, Tensor};
@@ -148,6 +149,10 @@ pub struct BatchedStep<'a> {
     /// Exit layers to return logits for (empty to skip logits entirely,
     /// e.g. during prompt prefill).
     pub exits: &'a [usize],
+    /// This slot's tenant adapter, if any. The base projections stay one
+    /// shared multi-row matmul; the delta is added to this slot's rows
+    /// only, via [`ResolvedAdapter::apply_row`].
+    pub adapter: Option<&'a ResolvedAdapter>,
 }
 
 /// Advances every sequence in `steps` by one token through a shared
@@ -270,7 +275,15 @@ fn decode_chunk(
         let block = model.block(l);
         let n1 = block.ln1().forward_no_cache(&x)?;
         let (qkv_lin, proj) = block.attn().linears();
-        let qkv = qkv_lin.forward_rows_no_cache(&n1)?; // (n, 3c)
+        let mut qkv = qkv_lin.forward_rows_no_cache(&n1)?; // (n, 3c)
+                                                           // Per-slot adapter deltas land *before* the key/value rows are
+                                                           // copied into the caches, so adapted K/V history is what later
+                                                           // steps attend over — same as a solo run with the adapter.
+        for (i, step) in steps.iter().enumerate() {
+            if let Some(ad) = step.adapter {
+                ad.apply_row(l, AdapterTarget::Qkv, n1.row(i), qkv.row_mut(i))?;
+            }
+        }
         let mut concat = Tensor::zeros(n, c);
         for (i, step) in steps.iter_mut().enumerate() {
             let t = step.kv.t;
@@ -300,13 +313,28 @@ fn decode_chunk(
                 }
             }
         }
-        let a = proj.forward_rows_no_cache(&concat)?;
+        let mut a = proj.forward_rows_no_cache(&concat)?;
+        for (i, step) in steps.iter().enumerate() {
+            if let Some(ad) = step.adapter {
+                ad.apply_row(l, AdapterTarget::Proj, concat.row(i), a.row_mut(i))?;
+            }
+        }
         let x1 = x.add(&a)?;
         let n2 = block.ln2().forward_no_cache(&x1)?;
         let (fc1, fc2) = block.mlp().linears();
-        let mid = fc1.forward_rows_no_cache(&n2)?;
+        let mut mid = fc1.forward_rows_no_cache(&n2)?;
+        for (i, step) in steps.iter().enumerate() {
+            if let Some(ad) = step.adapter {
+                ad.apply_row(l, AdapterTarget::Fc1, n2.row(i), mid.row_mut(i))?;
+            }
+        }
         let act = gelu_forward(&mid);
-        let m_out = fc2.forward_rows_no_cache(&act)?;
+        let mut m_out = fc2.forward_rows_no_cache(&act)?;
+        for (i, step) in steps.iter().enumerate() {
+            if let Some(ad) = step.adapter {
+                ad.apply_row(l, AdapterTarget::Fc2, act.row(i), m_out.row_mut(i))?;
+            }
+        }
         x = x1.add(&m_out)?;
         // one shared unembedding matmul over every slot exiting at l
         let needing: Vec<usize> = (0..n).filter(|&i| steps[i].exits.contains(&l)).collect();
@@ -399,6 +427,7 @@ mod tests {
                     token: sequences[i][t],
                     kv,
                     exits: &exits,
+                    adapter: None,
                 })
                 .collect();
             let batched = batched_decode_step(&m, &mut steps).unwrap();
@@ -428,12 +457,14 @@ mod tests {
                 token: a_tokens[t],
                 kv: &mut kv_a,
                 exits: &exits,
+                adapter: None,
             });
             if t >= 3 {
                 steps.push(BatchedStep {
                     token: b_tokens[t - 3],
                     kv: &mut kv_b,
                     exits: &exits,
+                    adapter: None,
                 });
             }
             let out = batched_decode_step(&m, &mut steps).unwrap();
@@ -482,6 +513,7 @@ mod tests {
                         token: sequences[i][t],
                         kv,
                         exits: &exits,
+                        adapter: None,
                     })
                     .collect();
                 all.push(batched_decode_step(&m, &mut steps).unwrap());
@@ -514,6 +546,7 @@ mod tests {
             token: 1,
             kv: &mut kv,
             exits: &[],
+            adapter: None,
         }];
         let out = batched_decode_step(&m, &mut steps).unwrap();
         assert!(out[0].is_empty());
@@ -532,11 +565,13 @@ mod tests {
                     token: 1,
                     kv: &mut kv_good,
                     exits: &exits,
+                    adapter: None,
                 },
                 BatchedStep {
                     token: 99_999,
                     kv: &mut kv_bad,
                     exits: &exits,
+                    adapter: None,
                 },
             ];
             assert!(matches!(
@@ -552,6 +587,7 @@ mod tests {
                 token: 1,
                 kv: &mut kv_good,
                 exits: &[99],
+                adapter: None,
             }];
             assert!(matches!(
                 batched_decode_step(&m, &mut steps),
@@ -571,6 +607,7 @@ mod tests {
                 token: 1,
                 kv: &mut kv_full,
                 exits: &[],
+                adapter: None,
             }];
             batched_decode_step(&m, &mut steps).unwrap();
         }
@@ -581,11 +618,13 @@ mod tests {
                 token: 1,
                 kv: &mut kv_fresh,
                 exits: &[],
+                adapter: None,
             },
             BatchedStep {
                 token: 1,
                 kv: &mut kv_full,
                 exits: &[],
+                adapter: None,
             },
         ];
         assert!(matches!(

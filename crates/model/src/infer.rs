@@ -12,11 +12,13 @@
 //! [`batched_decode_step`], so the solo and batched decode paths cannot
 //! drift apart — they are one code path.
 
+use crate::adapter::ResolvedAdapter;
 use crate::batched::{batched_decode_step, BatchedStep, SequenceKv};
 use crate::error::ModelError;
 use crate::model::EdgeModel;
-use crate::spec::{spec_round, SpecReport};
+use crate::spec::{spec_round_with_adapter, SpecReport};
 use edge_llm_tensor::Tensor;
+use std::sync::Arc;
 
 /// Incremental decoding state over a borrowed model.
 ///
@@ -39,6 +41,7 @@ use edge_llm_tensor::Tensor;
 pub struct InferenceSession<'a> {
     model: &'a EdgeModel,
     kv: SequenceKv,
+    adapter: Option<Arc<ResolvedAdapter>>,
 }
 
 impl<'a> InferenceSession<'a> {
@@ -47,7 +50,17 @@ impl<'a> InferenceSession<'a> {
         InferenceSession {
             model,
             kv: SequenceKv::new(model),
+            adapter: None,
         }
+    }
+
+    /// Attaches (or clears) a tenant adapter; every subsequent push and
+    /// speculative round applies its deltas after the base projections.
+    /// The session is the oracle side of the multi-tenant differential
+    /// tests: solo-with-adapter is what mixed-tenant batching must match
+    /// bit-for-bit.
+    pub fn set_adapter(&mut self, adapter: Option<Arc<ResolvedAdapter>>) {
+        self.adapter = adapter;
     }
 
     /// Tokens consumed so far.
@@ -120,6 +133,7 @@ impl<'a> InferenceSession<'a> {
             token,
             kv: &mut self.kv,
             exits,
+            adapter: self.adapter.as_deref(),
         }];
         let mut out = batched_decode_step(self.model, &mut steps)?;
         Ok(out.swap_remove(0))
@@ -140,7 +154,14 @@ impl<'a> InferenceSession<'a> {
         draft_depth: usize,
         k: usize,
     ) -> Result<SpecReport, ModelError> {
-        spec_round(self.model, &mut self.kv, token, draft_depth, k)
+        spec_round_with_adapter(
+            self.model,
+            &mut self.kv,
+            token,
+            draft_depth,
+            k,
+            self.adapter.as_deref(),
+        )
     }
 }
 

@@ -26,6 +26,7 @@
 //! # }
 //! ```
 
+mod adapter;
 mod adaptive;
 mod attention;
 mod batched;
@@ -48,6 +49,7 @@ mod optim;
 mod spec;
 mod voting;
 
+pub use adapter::{AdapterDelta, AdapterTarget, ResolvedAdapter, TenantAdapter};
 pub use adaptive::{AdaptiveTuner, LayerWindow, StepPhases, TuneStepReport, WindowSchedule};
 pub use attention::{Attention, AttentionCache};
 pub use batched::{batched_decode_step, BatchedStep, SequenceKv};
@@ -69,5 +71,7 @@ pub use model::{
 };
 pub use norm::LayerNorm;
 pub use optim::{Adam, Optimizer, Sgd, SgdState};
-pub use spec::{spec_round, speculative_generate, validate_spec_params, SpecReport};
+pub use spec::{
+    spec_round, spec_round_with_adapter, speculative_generate, validate_spec_params, SpecReport,
+};
 pub use voting::{combine, fit_learned_weights, VotingCombiner, VotingPolicy};

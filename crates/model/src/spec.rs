@@ -31,6 +31,7 @@
 //! [`crate::sample_token`] rule), so draft/verifier agreement is exact
 //! token equality, never a float comparison.
 
+use crate::adapter::{AdapterTarget, ResolvedAdapter};
 use crate::batched::SequenceKv;
 use crate::error::ModelError;
 use crate::generate::argmax;
@@ -107,6 +108,26 @@ pub fn spec_round(
     draft_depth: usize,
     k: usize,
 ) -> Result<SpecReport, ModelError> {
+    spec_round_with_adapter(model, kv, token, draft_depth, k, None)
+}
+
+/// [`spec_round`] with a per-tenant adapter: both the shallow draft
+/// passes and the full-depth verify pass apply the adapter's deltas
+/// after each base projection, so the round is bit-identical to an
+/// adapted greedy session (the multi-tenant serving engine's speculative
+/// slots route here).
+///
+/// # Errors
+///
+/// As [`spec_round`].
+pub fn spec_round_with_adapter(
+    model: &EdgeModel,
+    kv: &mut SequenceKv,
+    token: usize,
+    draft_depth: usize,
+    k: usize,
+    adapter: Option<&ResolvedAdapter>,
+) -> Result<SpecReport, ModelError> {
     let cfg = model.config();
     validate_spec_params(model, draft_depth, k)?;
     if token >= cfg.vocab_size {
@@ -134,7 +155,7 @@ pub fn spec_round(
         let _draft = telemetry::span("spec.draft");
         let mut feed = token;
         for _ in 0..k_eff {
-            let logits = forward_chunk(model, kv, &[feed], draft_depth)?;
+            let logits = forward_chunk(model, kv, &[feed], draft_depth, adapter)?;
             let probs = combine(&logits, &VotingCombiner::LastExit)?;
             let g = argmax(probs.row(0));
             guesses.push(g);
@@ -151,7 +172,7 @@ pub fn spec_round(
     fed.extend(guesses.iter().copied());
     let rows = {
         let _verify = telemetry::span("spec.verify");
-        forward_chunk(model, kv, &fed, final_exit)?
+        forward_chunk(model, kv, &fed, final_exit, adapter)?
     };
     telemetry::counter("spec.verify_passes", 1);
 
@@ -230,6 +251,7 @@ pub fn speculative_generate(
                 &mut kv,
                 &window[..window.len() - 1],
                 model.n_layers() - 1,
+                None,
             )?;
         }
         // Invariant: the cache has consumed every stream token except the
@@ -274,6 +296,7 @@ pub(crate) fn forward_chunk(
     kv: &mut SequenceKv,
     fed: &[usize],
     exit_layer: usize,
+    adapter: Option<&ResolvedAdapter>,
 ) -> Result<Vec<Tensor>, ModelError> {
     let cfg = model.config();
     let (c, heads) = (cfg.d_model, cfg.n_heads);
@@ -290,10 +313,17 @@ pub(crate) fn forward_chunk(
         let block = model.block(l);
         let n1 = block.ln1().forward_no_cache(&x)?;
         let (qkv_lin, proj) = block.attn().linears();
-        let qkv = qkv_lin.forward_rows_no_cache(&n1)?; // (n, 3c)
-                                                       // Write every position's K/V first; position i then attends over
-                                                       // rows 0..=t0+i only, exactly the causal prefix a sequential
-                                                       // session would have cached.
+        let mut qkv = qkv_lin.forward_rows_no_cache(&n1)?; // (n, 3c)
+        if let Some(ad) = adapter {
+            // Delta lands before the K/V writes: the cached history must
+            // be the adapted one, same as the batched step's contract.
+            for i in 0..n {
+                ad.apply_row(l, AdapterTarget::Qkv, n1.row(i), qkv.row_mut(i))?;
+            }
+        }
+        // Write every position's K/V first; position i then attends over
+        // rows 0..=t0+i only, exactly the causal prefix a sequential
+        // session would have cached.
         for (i, row) in (0..n).map(|i| (i, qkv.row(i))) {
             kv.keys[l].row_mut(t0 + i).copy_from_slice(&row[c..2 * c]);
             kv.values[l]
@@ -323,13 +353,28 @@ pub(crate) fn forward_chunk(
                 }
             }
         }
-        let a = proj.forward_rows_no_cache(&concat)?;
+        let mut a = proj.forward_rows_no_cache(&concat)?;
+        if let Some(ad) = adapter {
+            for i in 0..n {
+                ad.apply_row(l, AdapterTarget::Proj, concat.row(i), a.row_mut(i))?;
+            }
+        }
         let x1 = x.add(&a)?;
         let n2 = block.ln2().forward_no_cache(&x1)?;
         let (fc1, fc2) = block.mlp().linears();
-        let mid = fc1.forward_rows_no_cache(&n2)?;
+        let mut mid = fc1.forward_rows_no_cache(&n2)?;
+        if let Some(ad) = adapter {
+            for i in 0..n {
+                ad.apply_row(l, AdapterTarget::Fc1, n2.row(i), mid.row_mut(i))?;
+            }
+        }
         let act = gelu_forward(&mid);
-        let m_out = fc2.forward_rows_no_cache(&act)?;
+        let mut m_out = fc2.forward_rows_no_cache(&act)?;
+        if let Some(ad) = adapter {
+            for i in 0..n {
+                ad.apply_row(l, AdapterTarget::Fc2, act.row(i), m_out.row_mut(i))?;
+            }
+        }
         x = x1.add(&m_out)?;
     }
     kv.t = t0 + n;
@@ -358,7 +403,7 @@ mod tests {
         let fed = [1usize, 4, 7, 2];
         let exit = m.n_layers() - 1;
         let mut chunk_kv = SequenceKv::new(&m);
-        let chunk = forward_chunk(&m, &mut chunk_kv, &fed, exit).unwrap();
+        let chunk = forward_chunk(&m, &mut chunk_kv, &fed, exit, None).unwrap();
         assert_eq!(chunk_kv.len(), fed.len());
         let mut solo = InferenceSession::new(&m);
         for (i, &tok) in fed.iter().enumerate() {
@@ -394,7 +439,7 @@ mod tests {
         let seq_len = m.config().seq_len;
         let mut kv = SequenceKv::new(&m);
         for t in 0..seq_len - 1 {
-            forward_chunk(&m, &mut kv, &[t % m.config().vocab_size], 0).unwrap();
+            forward_chunk(&m, &mut kv, &[t % m.config().vocab_size], 0, None).unwrap();
         }
         assert_eq!(kv.remaining(), 1);
         // remaining == 1 leaves no draft room: a round is a plain greedy step

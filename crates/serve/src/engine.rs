@@ -1,11 +1,12 @@
 //! The continuous-batching engine.
 
+use crate::adapter_cache::AdapterCache;
 use crate::error::ServeError;
 use crate::request::{validate_request, FinishReason, ServeOutcome, ServeRequest};
 use crate::shed::ShedCause;
 use edge_llm_model::{
-    batched_decode_step, combine, sample_token, spec_round, BatchedStep, Decoding, EdgeModel,
-    ModelError, SequenceKv,
+    batched_decode_step, combine, sample_token, spec_round_with_adapter, BatchedStep, Decoding,
+    EdgeModel, ModelError, ResolvedAdapter, SequenceKv, TenantAdapter,
 };
 use edge_llm_telemetry::{self as telemetry, Clock, LatencySummary, MonotonicClock};
 use edge_llm_tensor::TensorRng;
@@ -40,6 +41,10 @@ struct Slot {
     fed: usize,
     generated: usize,
     last_probs: Option<Vec<f32>>,
+    /// The tenant adapter acquired at admission. The slot holds its own
+    /// `Arc`, so a cache eviction mid-stream never changes this slot's
+    /// bits — eviction only makes the *next* admission re-load.
+    adapter: Option<Arc<ResolvedAdapter>>,
 }
 
 /// Serves many requests through shared batched forward passes with
@@ -71,6 +76,8 @@ pub struct BatchedInferenceEngine<'a> {
     /// [`SessionProgress`] for the fleet router's replay log.
     capture_progress: bool,
     progress: Vec<SessionProgress>,
+    /// Per-tenant LoRA adapters over the shared frozen base.
+    adapters: AdapterCache,
 }
 
 /// A request waiting for a slot, with its submission timestamp and an
@@ -100,7 +107,7 @@ struct EngineStats {
 /// Serving telemetry summary: where requests ended up and how long they
 /// waited. Returned by [`BatchedInferenceEngine::report`]; the `serve`
 /// CLI prints it after draining the request file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EngineReport {
     /// Batched forward passes executed.
     pub steps: usize,
@@ -123,6 +130,17 @@ pub struct EngineReport {
     /// Tokens emitted by speculative rounds (accepted prefix plus the
     /// verifier's correction/bonus token, after budget clamping).
     pub spec_accepted: usize,
+    /// Admissions that found their tenant's adapter resident.
+    pub adapter_hits: u64,
+    /// Admissions that had to (re-)load their tenant's adapter.
+    pub adapter_misses: u64,
+    /// Resident adapters evicted LRU to hold the bytes budget.
+    pub adapter_evictions_lru: u64,
+    /// Resident adapters dropped by a tenant re-registering.
+    pub adapter_evictions_replaced: u64,
+    /// `(tenant, resident factor bytes)` per currently-resident adapter,
+    /// in tenant order — the only per-tenant weight state in the engine.
+    pub adapter_resident_bytes: Vec<(String, usize)>,
 }
 
 impl EngineReport {
@@ -186,7 +204,38 @@ impl<'a> BatchedInferenceEngine<'a> {
             stats: EngineStats::default(),
             capture_progress: false,
             progress: Vec::new(),
+            adapters: AdapterCache::new(),
         })
+    }
+
+    /// Registers (or replaces) `tenant`'s LoRA adapter, validating it
+    /// against the engine's model up front so a misshapen adapter fails
+    /// here instead of mid-decode. Requests naming an unregistered
+    /// tenant are rejected at submission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Model`] when the adapter does not fit the
+    /// model (bad layer, factor shapes, or scale).
+    pub fn register_adapter(
+        &mut self,
+        tenant: &str,
+        adapter: TenantAdapter,
+    ) -> Result<(), ServeError> {
+        adapter.resolve(self.model)?;
+        self.adapters.register(tenant, adapter);
+        Ok(())
+    }
+
+    /// Caps resident adapter factors at `bytes`, evicting LRU tenants
+    /// immediately if the current residents exceed it.
+    pub fn set_adapter_budget_bytes(&mut self, bytes: usize) {
+        self.adapters.set_budget_bytes(bytes);
+    }
+
+    /// Read access to the adapter cache (tests and reports).
+    pub fn adapter_cache(&self) -> &AdapterCache {
+        &self.adapters
     }
 
     /// Enqueues a request (FIFO admission). An invalid request never
@@ -209,15 +258,25 @@ impl<'a> BatchedInferenceEngine<'a> {
     }
 
     fn submit_inner(&mut self, req: ServeRequest, rng_override: Option<TensorRng>) {
-        if let Err(e) = validate_request(self.model, &req) {
+        // Tenant resolution is part of validation: a request naming a
+        // tenant the engine has no adapter for can never decode
+        // correctly, so it is rejected up front like a bad prompt.
+        let unknown_tenant = req
+            .tenant
+            .as_deref()
+            .filter(|t| !self.adapters.knows(t))
+            .map(|t| format!("unknown tenant '{t}': no adapter registered"));
+        if let Some(reason) = validate_request(self.model, &req)
+            .err()
+            .map(|e| e.to_string())
+            .or(unknown_tenant)
+        {
             self.stats.rejected += 1;
             telemetry::counter(ShedCause::Rejected.counter_name(), 1);
             self.finished.push(ServeOutcome {
                 id: req.id,
                 tokens: Vec::new(),
-                finish: FinishReason::Rejected {
-                    reason: e.to_string(),
-                },
+                finish: FinishReason::Rejected { reason },
                 steps: 0,
                 final_probs: None,
             });
@@ -330,6 +389,7 @@ impl<'a> BatchedInferenceEngine<'a> {
                     token,
                     kv: &mut slot.kv,
                     exits,
+                    adapter: slot.adapter.as_deref(),
                 });
             }
             let t0 = self.clock.now_ns();
@@ -368,7 +428,14 @@ impl<'a> BatchedInferenceEngine<'a> {
             let t0 = self.clock.now_ns();
             let round = {
                 let _s = telemetry::span("serve.decode");
-                spec_round(self.model, &mut slot.kv, token, draft_depth, k)?
+                spec_round_with_adapter(
+                    self.model,
+                    &mut slot.kv,
+                    token,
+                    draft_depth,
+                    k,
+                    slot.adapter.as_deref(),
+                )?
             };
             let round_ns = self.clock.now_ns().saturating_sub(t0);
             // tokens past the remaining budget are dropped and the cache
@@ -420,6 +487,11 @@ impl<'a> BatchedInferenceEngine<'a> {
             spec_rounds: self.stats.spec_rounds,
             spec_drafted: self.stats.spec_drafted,
             spec_accepted: self.stats.spec_accepted,
+            adapter_hits: self.adapters.hits(),
+            adapter_misses: self.adapters.misses(),
+            adapter_evictions_lru: self.adapters.evictions_lru(),
+            adapter_evictions_replaced: self.adapters.evictions_replaced(),
+            adapter_resident_bytes: self.adapters.resident_by_tenant(),
         }
     }
 
@@ -512,6 +584,14 @@ impl<'a> BatchedInferenceEngine<'a> {
                     .unwrap_or_else(|| SequenceKv::new(self.model));
                 let rng = rng_override.unwrap_or_else(|| TensorRng::seed_from(req.seed));
                 let known = req.prompt.clone();
+                // Resolution cannot fail here: submission rejected
+                // unknown tenants, registration validated shapes against
+                // this same model, and tenants are never unregistered.
+                let adapter = req.tenant.as_deref().and_then(|t| {
+                    self.adapters
+                        .acquire(t, self.model)
+                        .expect("adapter validated at registration")
+                });
                 *slot_opt = Some(Slot {
                     req,
                     kv,
@@ -520,6 +600,7 @@ impl<'a> BatchedInferenceEngine<'a> {
                     fed: 0,
                     generated: 0,
                     last_probs: None,
+                    adapter,
                 });
             }
         }
@@ -547,6 +628,7 @@ mod tests {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed,
             deadline_steps: None,
+            tenant: None,
         }
     }
 

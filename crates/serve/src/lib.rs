@@ -37,6 +37,7 @@
 //!     voting: VotingPolicy::final_only(model.n_layers()),
 //!     seed: 7,
 //!     deadline_steps: None,
+//!     tenant: None,
 //! });
 //! let outcomes = engine.run_to_completion()?;
 //! assert_eq!(outcomes.len(), 1);
@@ -46,15 +47,17 @@
 //! # }
 //! ```
 
+mod adapter_cache;
 mod engine;
 mod error;
 mod request;
 mod shed;
 mod solo;
 
+pub use adapter_cache::AdapterCache;
 pub use edge_llm_telemetry::LatencySummary;
 pub use engine::{BatchedInferenceEngine, EngineReport, SessionProgress};
 pub use error::ServeError;
 pub use request::{validate_request, FinishReason, ServeOutcome, ServeRequest};
 pub use shed::ShedCause;
-pub use solo::run_solo;
+pub use solo::{run_solo, run_solo_with_adapter};

@@ -25,6 +25,10 @@ pub struct ServeRequest {
     /// in wall-clock engine steps, so queue wait never counts against a
     /// request and the outcome is interleaving-independent.
     pub deadline_steps: Option<usize>,
+    /// Tenant whose registered LoRA adapter this request decodes with
+    /// (`None` = the frozen base alone). The engine rejects a request
+    /// naming a tenant it has no adapter registered for.
+    pub tenant: Option<String>,
 }
 
 /// Why a request left the engine.
@@ -157,6 +161,7 @@ mod tests {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 0,
             deadline_steps: None,
+            tenant: None,
         }
     }
 

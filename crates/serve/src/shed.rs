@@ -31,6 +31,13 @@ pub enum ShedCause {
     SloExpired,
     /// Lost its worker more times than the crash-replay retry budget.
     RetriesExhausted,
+    /// A tenant's resident adapter was evicted as the least recently
+    /// used entry to fit the adapter cache's bytes budget (sessions
+    /// holding it keep decoding; the next admission re-loads it).
+    AdapterLru,
+    /// A tenant's resident adapter was dropped because the tenant
+    /// re-registered a new adapter version.
+    AdapterReplaced,
 }
 
 impl ShedCause {
@@ -48,6 +55,8 @@ impl ShedCause {
             ShedCause::Displaced => "fleet.shed.displaced",
             ShedCause::SloExpired => "fleet.shed.slo_expired",
             ShedCause::RetriesExhausted => "fleet.shed.retries_exhausted",
+            ShedCause::AdapterLru => "serve.adapter.evict.lru",
+            ShedCause::AdapterReplaced => "serve.adapter.evict.replaced",
         }
     }
 
@@ -62,6 +71,8 @@ impl ShedCause {
             ShedCause::Displaced => "displaced",
             ShedCause::SloExpired => "slo-expired",
             ShedCause::RetriesExhausted => "retries-exhausted",
+            ShedCause::AdapterLru => "adapter-lru",
+            ShedCause::AdapterReplaced => "adapter-replaced",
         }
     }
 
@@ -78,7 +89,7 @@ impl ShedCause {
     }
 
     /// Every cause, in a fixed report order.
-    pub const ALL: [ShedCause; 8] = [
+    pub const ALL: [ShedCause; 10] = [
         ShedCause::Completed,
         ShedCause::DeadlineExceeded,
         ShedCause::CapacityExhausted,
@@ -87,6 +98,8 @@ impl ShedCause {
         ShedCause::Displaced,
         ShedCause::SloExpired,
         ShedCause::RetriesExhausted,
+        ShedCause::AdapterLru,
+        ShedCause::AdapterReplaced,
     ];
 }
 
@@ -140,5 +153,19 @@ mod tests {
         );
         assert!(!ShedCause::from(&FinishReason::DeadlineExceeded).is_fleet_shed());
         assert!(ShedCause::QueueFull.is_fleet_shed());
+    }
+
+    #[test]
+    fn adapter_causes_are_engine_level() {
+        assert_eq!(
+            ShedCause::AdapterLru.counter_name(),
+            "serve.adapter.evict.lru"
+        );
+        assert_eq!(
+            ShedCause::AdapterReplaced.counter_name(),
+            "serve.adapter.evict.replaced"
+        );
+        assert!(!ShedCause::AdapterLru.is_fleet_shed());
+        assert!(!ShedCause::AdapterReplaced.is_fleet_shed());
     }
 }

@@ -9,11 +9,17 @@
 //! bug.
 
 use crate::request::{validate_request, FinishReason, ServeOutcome, ServeRequest};
-use edge_llm_model::{combine, sample_token, Decoding, EdgeModel, InferenceSession, ModelError};
+use edge_llm_model::{
+    combine, sample_token, Decoding, EdgeModel, InferenceSession, ModelError, ResolvedAdapter,
+};
 use edge_llm_tensor::TensorRng;
+use std::sync::Arc;
 
 /// Runs `req` alone through a fresh [`InferenceSession`] and returns the
 /// outcome the batched engine is required to reproduce bit-for-bit.
+/// `req.tenant` is ignored here — resolving a tenant id to an adapter is
+/// the engine's job; pass the adapter itself to
+/// [`run_solo_with_adapter`] for the multi-tenant oracle.
 ///
 /// # Errors
 ///
@@ -21,6 +27,22 @@ use edge_llm_tensor::TensorRng;
 /// ([`FinishReason::Rejected`]), matching the engine; an `Err` only
 /// signals an internal model failure.
 pub fn run_solo(model: &EdgeModel, req: &ServeRequest) -> Result<ServeOutcome, ModelError> {
+    run_solo_with_adapter(model, req, None)
+}
+
+/// [`run_solo`] with a tenant adapter attached to the session — the
+/// solo-with-merged-adapter oracle of the multi-tenant differential
+/// tests: a tenant's stream under mixed-tenant batching must reproduce
+/// this outcome bit-for-bit.
+///
+/// # Errors
+///
+/// As [`run_solo`].
+pub fn run_solo_with_adapter(
+    model: &EdgeModel,
+    req: &ServeRequest,
+    adapter: Option<Arc<ResolvedAdapter>>,
+) -> Result<ServeOutcome, ModelError> {
     if let Err(e) = validate_request(model, req) {
         return Ok(ServeOutcome {
             id: req.id.clone(),
@@ -33,6 +55,7 @@ pub fn run_solo(model: &EdgeModel, req: &ServeRequest) -> Result<ServeOutcome, M
         });
     }
     let mut session = InferenceSession::new(model);
+    session.set_adapter(adapter);
     let mut rng = TensorRng::seed_from(req.seed);
     let mut known = req.prompt.clone();
     let mut fed = 0usize;
@@ -113,6 +136,7 @@ mod tests {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 11,
             deadline_steps: None,
+            tenant: None,
         }
     }
 

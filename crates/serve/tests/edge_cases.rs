@@ -20,6 +20,7 @@ fn request(model: &EdgeModel, id: &str, seed: u64) -> ServeRequest {
         voting: VotingPolicy::final_only(model.n_layers()),
         seed,
         deadline_steps: None,
+        tenant: None,
     }
 }
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Per-crate line-coverage floor gate for scripts/verify.sh --coverage.
+"""Per-crate coverage floor gate for scripts/verify.sh --coverage.
 
 Modes:
   check   compare a coverage report against scripts/coverage_baseline.json
@@ -11,9 +11,17 @@ Modes:
 Supported report formats (auto-detected):
   * cargo llvm-cov JSON export   (`cargo llvm-cov --json ...`)
   * cargo tarpaulin JSON report  (`cargo tarpaulin --out Json ...`)
+  * scripts/profraw_coverage.py  (per-crate *function* coverage parsed
+                                  straight from .profraw files; needs no
+                                  tool beyond rustc + python3)
 
-The update flow (documented in README.md): on a machine with one of the
-tools installed, run
+Line coverage and function coverage are different rulers, so the
+baseline records which metric seeded its floors ("metric") and check
+mode refuses to compare a report measured with the other one — re-seed
+with --update-baseline instead of silently comparing percentages that
+mean different things.
+
+The update flow (documented in README.md): run
 
     scripts/verify.sh --coverage --update-baseline
 
@@ -78,17 +86,29 @@ def parse_tarpaulin(report):
     return per_crate
 
 
+def parse_functions(report):
+    """Yields (crate, covered, coverable) from a profraw_coverage.py
+    function-coverage report."""
+    return {
+        crate: (int(c.get("covered", 0)), int(c.get("count", 0)))
+        for crate, c in report.get("crates", {}).items()
+    }
+
+
 def measure(report_path):
+    """Returns (per-crate percentages, metric name)."""
     with open(report_path) as fh:
         report = json.load(fh)
     if "data" in report:
-        per_crate = parse_llvm_cov(report)
+        per_crate, metric = parse_llvm_cov(report), "lines"
     elif "files" in report:
-        per_crate = parse_tarpaulin(report)
+        per_crate, metric = parse_tarpaulin(report), "lines"
+    elif "crates" in report:
+        per_crate, metric = parse_functions(report), report.get("metric", "functions")
     else:
         sys.exit(
-            f"error: {report_path} is neither a cargo llvm-cov JSON export "
-            "nor a cargo tarpaulin JSON report"
+            f"error: {report_path} is not a cargo llvm-cov JSON export, a "
+            "cargo tarpaulin JSON report, or a profraw_coverage.py report"
         )
     if not per_crate:
         sys.exit(f"error: {report_path} contains no files under crates/*/src/")
@@ -96,7 +116,7 @@ def measure(report_path):
         crate: 100.0 * cov / tot
         for crate, (cov, tot) in sorted(per_crate.items())
         if tot > 0
-    }
+    }, metric
 
 
 def main():
@@ -114,16 +134,20 @@ def main():
         baseline = json.load(fh)
     margin = float(baseline.get("margin_pct", 0.0))
     floors = baseline.get("floors") or {}
-    measured = measure(args.report)
+    measured, metric = measure(args.report)
 
     if args.mode == "update":
         baseline["floors"] = {
             crate: math.floor(pct * 10) / 10 for crate, pct in measured.items()
         }
+        baseline["metric"] = metric
         with open(args.baseline, "w") as fh:
             json.dump(baseline, fh, indent=2)
             fh.write("\n")
-        print(f"check_coverage: wrote {len(measured)} crate floors to {args.baseline}")
+        print(
+            f"check_coverage: wrote {len(measured)} crate {metric}-coverage "
+            f"floors to {args.baseline}"
+        )
         for crate, pct in measured.items():
             print(f"  {crate}: {pct:.1f}%")
         return
@@ -134,6 +158,17 @@ def main():
             f"({args.baseline} has no floors).\n"
             "       A coverage run with nothing to compare against is not a "
             "gate; seed it once with:\n"
+            "         scripts/verify.sh --coverage --update-baseline\n"
+            "       and commit the resulting baseline diff."
+        )
+    baseline_metric = baseline.get("metric", "lines")
+    if baseline_metric != metric:
+        sys.exit(
+            f"error: the baseline floors measure {baseline_metric} coverage "
+            f"but the report measures {metric} coverage.\n"
+            "       Those are different rulers; comparing them would let a "
+            "real regression hide.\n"
+            "       Re-seed with the backend you are gating on:\n"
             "         scripts/verify.sh --coverage --update-baseline\n"
             "       and commit the resulting baseline diff."
         )
@@ -149,7 +184,7 @@ def main():
         got = measured[crate]
         if got < floor - margin:
             failures.append(
-                f"{crate}: line coverage {got:.1f}% fell below its floor "
+                f"{crate}: {metric} coverage {got:.1f}% fell below its floor "
                 f"{floor:.1f}% (margin {margin:.1f}%)"
             )
     for crate, pct in measured.items():

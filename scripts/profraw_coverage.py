@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Pure-Python per-crate *function* coverage from LLVM .profraw files.
+
+Fallback coverage backend for scripts/verify.sh --coverage on machines
+with neither cargo-llvm-cov nor cargo-tarpaulin installed (and no
+llvm-profdata new enough for the toolchain's profraw version). It needs
+nothing beyond rustc itself:
+
+    RUSTFLAGS="-C instrument-coverage" \
+    LLVM_PROFILE_FILE="$PWD/target/coverage/profraw/edgellm-%p-%m.profraw" \
+    CARGO_TARGET_DIR=target/coverage cargo test --workspace
+    python3 scripts/profraw_coverage.py target/coverage/profraw --out COVERAGE.json
+
+It parses the raw profile format (version 10) directly: a function is
+*covered* when its first counter — the function-entry region counter —
+is nonzero in any profile. Counts are aggregated per workspace crate by
+demangling each profiled symbol just far enough to read its crate name,
+then mapping `package-name` -> `crates/<dir>` via the workspace's
+Cargo.toml files. Third-party dependencies compiled into the test
+binaries are ignored.
+
+The emitted report is intentionally tiny:
+
+    {"metric": "functions",
+     "crates": {"model": {"covered": 812, "count": 900}, ...}}
+
+scripts/check_coverage.py auto-detects this shape next to the
+cargo-llvm-cov and tarpaulin formats. Function coverage and line
+coverage are different rulers, so the baseline records which metric
+seeded it and the checker refuses to compare floors across metrics.
+
+Raw-profile layout (little-endian, version 10), validated against
+rustc-emitted profiles:
+
+    header       16 x u64: magic, version, BinaryIdsSize, NumData,
+                 PaddingBytesBeforeCounters, NumCounters,
+                 PaddingBytesAfterCounters, NumBitmapBytes,
+                 PaddingBytesAfterBitmapBytes, NamesSize, CountersDelta,
+                 BitmapDelta, NamesDelta, NumValueKinds, (reserved x2)
+    binary ids   BinaryIdsSize bytes
+    data         NumData x 64-byte records: NameRef u64 @0, FuncHash u64
+                 @8, NumCounters u32 @48; records consume the counter
+                 array sequentially in record order
+    counters     NumCounters x u64, 8-aligned
+    bitmap       NumBitmapBytes bytes, 8-aligned
+    names        ULEB128 uncompressed-size, ULEB128 compressed-size,
+                 zlib blob (raw bytes when compressed-size is 0);
+                 decompressed names are '\\x01'-separated
+    NameRef      first 8 bytes of md5(name), little-endian
+"""
+
+import argparse
+import glob
+import hashlib
+import json
+import os
+import re
+import struct
+import sys
+import zlib
+
+MAGIC_64 = 0xFF6C70726F667281  # "\xfflprofr\x81" read as little-endian u64
+SUPPORTED_VERSION = 10
+HEADER_U64S = 16
+DATA_RECORD_BYTES = 64
+
+
+def align8(n):
+    return (n + 7) & ~7
+
+
+def read_uleb128(buf, pos):
+    value = shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def name_ref(name):
+    """LLVM's IndexedInstrProf hash of a function name: truncated MD5."""
+    return int.from_bytes(hashlib.md5(name).digest()[:8], "little")
+
+
+def parse_names_blob(blob):
+    """Decodes a __llvm_prf_names payload into a list of symbol names."""
+    out, pos = [], 0
+    while pos < len(blob):
+        uncompressed, pos = read_uleb128(blob, pos)
+        compressed, pos = read_uleb128(blob, pos)
+        if compressed:
+            chunk = zlib.decompress(blob[pos : pos + compressed])
+            pos += compressed
+        else:
+            chunk = blob[pos : pos + uncompressed]
+            pos += uncompressed
+        out.extend(n for n in chunk.split(b"\x01") if n)
+    return out
+
+
+def parse_profraw(path):
+    """Returns {name_ref: entry_count_sum} and [names] for one profile."""
+    with open(path, "rb") as fh:
+        buf = fh.read()
+    if len(buf) < HEADER_U64S * 8:
+        raise ValueError(f"{path}: truncated header")
+    hdr = struct.unpack_from(f"<{HEADER_U64S}Q", buf, 0)
+    if hdr[0] != MAGIC_64:
+        raise ValueError(f"{path}: bad magic {hdr[0]:#x} (not a 64-bit profraw)")
+    if hdr[1] != SUPPORTED_VERSION:
+        raise ValueError(
+            f"{path}: profraw version {hdr[1]} (this parser handles "
+            f"{SUPPORTED_VERSION}; teach it the new layout before trusting it)"
+        )
+    binary_ids_size, num_data = hdr[2], hdr[3]
+    pad_before_counters, num_counters = hdr[4], hdr[5]
+    pad_after_counters, num_bitmap_bytes = hdr[6], hdr[7]
+    pad_after_bitmap, names_size = hdr[8], hdr[9]
+
+    data_off = HEADER_U64S * 8 + align8(binary_ids_size)
+    counters_off = data_off + num_data * DATA_RECORD_BYTES + pad_before_counters
+    bitmap_off = counters_off + num_counters * 8 + pad_after_counters
+    names_off = bitmap_off + num_bitmap_bytes + pad_after_bitmap
+    if names_off + names_size > len(buf):
+        raise ValueError(f"{path}: sections overrun the file (corrupt write?)")
+
+    entry_counts, cursor = {}, 0
+    for i in range(num_data):
+        rec = data_off + i * DATA_RECORD_BYTES
+        (ref,) = struct.unpack_from("<Q", buf, rec)
+        (n_counters,) = struct.unpack_from("<I", buf, rec + 48)
+        if n_counters:
+            (entry,) = struct.unpack_from("<Q", buf, counters_off + cursor * 8)
+            entry_counts[ref] = entry_counts.get(ref, 0) + entry
+        cursor += n_counters
+    if cursor != num_counters:
+        raise ValueError(
+            f"{path}: data records claim {cursor} counters, header says "
+            f"{num_counters} — layout drift, refusing to guess"
+        )
+    names = parse_names_blob(buf[names_off : names_off + names_size])
+    return entry_counts, names
+
+
+# --- crate attribution ------------------------------------------------------
+
+V0_CRATE_RE = re.compile(rb"_R[a-zA-Z0-9]*?C(?:s[0-9a-zA-Z]+_)?(\d+)")
+
+
+def crate_of_symbol(sym):
+    """Best-effort crate name from a mangled Rust symbol (bytes)."""
+    if sym.startswith(b"_ZN"):  # legacy mangling: _ZN<len><seg>...E
+        pos = 3
+        m = re.match(rb"(\d+)", sym[pos:])
+        if not m:
+            return None
+        seg_len = int(m.group(1))
+        pos += len(m.group(1))
+        return sym[pos : pos + seg_len].decode("utf-8", "replace")
+    m = V0_CRATE_RE.match(sym)  # v0 mangling: crate root is C<ident>
+    if m:
+        start = m.end()
+        return sym[start : start + int(m.group(1))].decode("utf-8", "replace")
+    return None
+
+
+def workspace_crates(repo_root):
+    """Maps symbol-level crate names (underscored package names) to the
+    crate directory names used by the coverage baseline."""
+    mapping = {}
+    for cargo_toml in glob.glob(os.path.join(repo_root, "crates", "*", "Cargo.toml")):
+        crate_dir = os.path.basename(os.path.dirname(cargo_toml))
+        with open(cargo_toml) as fh:
+            m = re.search(r'^name\s*=\s*"([^"]+)"', fh.read(), re.MULTILINE)
+        if m:
+            mapping[m.group(1).replace("-", "_")] = crate_dir
+    return mapping
+
+
+def collect(profraw_dir, repo_root):
+    paths = sorted(glob.glob(os.path.join(profraw_dir, "*.profraw")))
+    if not paths:
+        sys.exit(
+            f"error: no .profraw files under {profraw_dir}.\n"
+            "       Run the instrumented test suite first (see this script's "
+            "docstring or scripts/verify.sh --coverage)."
+        )
+    merged_counts, all_names = {}, set()
+    for path in paths:
+        counts, names = parse_profraw(path)
+        for ref, entry in counts.items():
+            merged_counts[ref] = merged_counts.get(ref, 0) + entry
+        all_names.update(names)
+
+    crate_dirs = workspace_crates(repo_root)
+    per_crate = {}
+    unattributed = 0
+    for name in all_names:
+        crate = crate_of_symbol(name)
+        crate_dir = crate_dirs.get(crate) if crate else None
+        if crate_dir is None:
+            unattributed += 1
+            continue
+        covered, count = per_crate.get(crate_dir, (0, 0))
+        hit = merged_counts.get(name_ref(name), 0) > 0
+        per_crate[crate_dir] = (covered + (1 if hit else 0), count + 1)
+    return per_crate, len(paths), unattributed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("profraw_dir", help="directory holding *.profraw files")
+    ap.add_argument("--out", required=True, help="report JSON to write")
+    ap.add_argument(
+        "--repo-root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="workspace root (default: this script's parent's parent)",
+    )
+    args = ap.parse_args()
+
+    per_crate, n_files, unattributed = collect(args.profraw_dir, args.repo_root)
+    if not per_crate:
+        sys.exit(
+            "error: parsed the profiles but attributed zero functions to "
+            "workspace crates — symbol mangling drift? Inspect a profile with "
+            "this script's parse_profraw() before trusting any number."
+        )
+    report = {
+        "metric": "functions",
+        "crates": {
+            crate: {"covered": covered, "count": count}
+            for crate, (covered, count) in sorted(per_crate.items())
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"profraw_coverage: {n_files} profile(s), "
+        f"{sum(c for _, (_, c) in per_crate.items())} workspace functions "
+        f"({unattributed} foreign symbols ignored) -> {args.out}"
+    )
+    for crate, (covered, count) in sorted(per_crate.items()):
+        print(f"  {crate}: {covered}/{count} functions ({100.0 * covered / count:.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

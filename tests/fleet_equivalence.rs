@@ -16,11 +16,16 @@
 //!    the fault-free configurations.)
 
 use edge_llm::resilience::{FaultKind, PlannedFault};
-use edge_llm_fleet::{run_fleet, FleetConfig, FleetRequest, FleetRun, SessionFinish};
-use edge_llm_model::{Decoding, EdgeModel, ModelConfig, VotingCombiner, VotingPolicy};
-use edge_llm_serve::{BatchedInferenceEngine, ServeRequest};
+use edge_llm_fleet::{
+    run_fleet, run_fleet_with_adapters, FleetConfig, FleetRequest, FleetRun, SessionFinish,
+};
+use edge_llm_model::{
+    AdapterTarget, Decoding, EdgeModel, ModelConfig, TenantAdapter, VotingCombiner, VotingPolicy,
+};
+use edge_llm_serve::{run_solo_with_adapter, BatchedInferenceEngine, ServeRequest};
 use edge_llm_tensor::check::{run_cases, Gen};
 use edge_llm_tensor::TensorRng;
+use std::sync::Arc;
 
 fn tiny_model(seed: u64) -> EdgeModel {
     let mut rng = TensorRng::seed_from(seed);
@@ -62,6 +67,7 @@ fn random_request(g: &mut Gen, model: &EdgeModel, id: usize) -> ServeRequest {
         } else {
             None
         },
+        tenant: None,
     }
 }
 
@@ -211,6 +217,78 @@ fn crashed_workers_replay_token_identically() {
                 assert_eq!(
                     crashed.tokens, base.tokens,
                     "{}: tokens changed under crash ({} retries)",
+                    base.id, crashed.retries
+                );
+                assert_eq!(crashed.finish, base.finish, "{}: finish", base.id);
+            }
+        }
+    });
+}
+
+#[test]
+fn crashed_workers_replay_tenant_sessions_with_adapters_resident() {
+    let model = tiny_model(26);
+    // three tenants, each a distinct low-rank adapter over the shared base
+    let adapters: Vec<(String, TenantAdapter)> = (0..3)
+        .map(|t| {
+            let sites = [(0, AdapterTarget::Qkv), (1, AdapterTarget::Fc2)];
+            (
+                format!("tenant-{t}"),
+                TenantAdapter::seeded(model.config(), 100 + t as u64, 1, &sites),
+            )
+        })
+        .collect();
+    run_cases("fleet_eq_tenant_crash", 4, |g| {
+        let n = g.usize_in(4, 11);
+        let mut traffic = fleet_traffic(g, &model, n, 5);
+        for (i, fr) in traffic.iter_mut().enumerate() {
+            if g.bool() {
+                fr.req.tenant = Some(format!("tenant-{}", i % 3));
+            }
+        }
+        // crash-free single-worker baseline, itself proven against the
+        // solo-with-adapter oracle so the whole chain is anchored
+        let baseline = run_fleet_with_adapters(&model, &roomy(1), &adapters, &traffic).unwrap();
+        for fr in &traffic {
+            let adapter = fr.req.tenant.as_deref().map(|t| {
+                let (_, a) = adapters.iter().find(|(name, _)| name == t).unwrap();
+                Arc::new(a.resolve(&model).unwrap())
+            });
+            let solo = run_solo_with_adapter(&model, &fr.req, adapter).unwrap();
+            let fleet = baseline.outcome(&solo.id).unwrap();
+            assert_eq!(fleet.tokens, solo.tokens, "{}: baseline tokens", solo.id);
+            assert_eq!(
+                fleet.finish,
+                SessionFinish::Served(solo.finish.clone()),
+                "{}: baseline finish",
+                solo.id
+            );
+        }
+        // a crashed worker rebuilds with every adapter re-registered, so
+        // failover re-places tenant sessions and resumes them exactly
+        for workers in [2usize, 4] {
+            let mut cfg = roomy(workers);
+            cfg.faults = vec![
+                PlannedFault {
+                    at_iteration: g.usize_in(1, 12) as u64,
+                    kind: FaultKind::WorkerCrash {
+                        worker: g.usize_in(0, workers),
+                    },
+                },
+                PlannedFault {
+                    at_iteration: g.usize_in(1, 20) as u64,
+                    kind: FaultKind::WorkerCrash {
+                        worker: g.usize_in(0, workers),
+                    },
+                },
+            ];
+            let run = run_fleet_with_adapters(&model, &cfg, &adapters, &traffic).unwrap();
+            assert_eq!(run.outcomes.len(), baseline.outcomes.len());
+            for base in &baseline.outcomes {
+                let crashed = run.outcome(&base.id).unwrap();
+                assert_eq!(
+                    crashed.tokens, base.tokens,
+                    "{}: tenant tokens changed under crash ({} retries)",
                     base.id, crashed.retries
                 );
                 assert_eq!(crashed.finish, base.finish, "{}: finish", base.id);

@@ -77,6 +77,7 @@ fn random_request(g: &mut Gen, model: &EdgeModel, id: usize) -> ServeRequest {
         } else {
             None
         },
+        tenant: None,
     }
 }
 
@@ -162,6 +163,7 @@ fn every_batch_size_yields_the_same_stream_for_a_fixed_mix() {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 1,
             deadline_steps: None,
+            tenant: None,
         },
         ServeRequest {
             id: "sample".into(),
@@ -171,6 +173,7 @@ fn every_batch_size_yields_the_same_stream_for_a_fixed_mix() {
             voting: VotingPolicy::all_exits(model.n_layers(), VotingCombiner::Average),
             seed: 2,
             deadline_steps: None,
+            tenant: None,
         },
         ServeRequest {
             id: "topk".into(),
@@ -186,6 +189,7 @@ fn every_batch_size_yields_the_same_stream_for_a_fixed_mix() {
             ),
             seed: 3,
             deadline_steps: None,
+            tenant: None,
         },
         ServeRequest {
             id: "deadline".into(),
@@ -195,6 +199,7 @@ fn every_batch_size_yields_the_same_stream_for_a_fixed_mix() {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 4,
             deadline_steps: Some(5),
+            tenant: None,
         },
         ServeRequest {
             id: "capacity".into(),
@@ -204,6 +209,7 @@ fn every_batch_size_yields_the_same_stream_for_a_fixed_mix() {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 5,
             deadline_steps: None,
+            tenant: None,
         },
     ];
     for threads in [1usize, 2, 4] {
@@ -252,6 +258,7 @@ fn spec_request(
         voting: VotingPolicy::final_only(n_layers),
         seed: 0,
         deadline_steps: None,
+        tenant: None,
     }
 }
 
@@ -273,6 +280,7 @@ fn mixed_speculative_and_greedy_slots_match_solo_bitwise() {
             voting: VotingPolicy::all_exits(nl, VotingCombiner::Average),
             seed: 7,
             deadline_steps: None,
+            tenant: None,
         },
         spec_request("spec-mid", nl, 2, 4, vec![4, 5], 5),
         ServeRequest {
@@ -283,6 +291,7 @@ fn mixed_speculative_and_greedy_slots_match_solo_bitwise() {
             voting: VotingPolicy::final_only(nl),
             seed: 8,
             deadline_steps: None,
+            tenant: None,
         },
         spec_request("spec-deep", nl, nl - 1, 8, vec![7, 8, 9, 1], 3),
     ];
@@ -333,6 +342,7 @@ fn eviction_mid_verify_leaves_surviving_slots_bit_identical() {
             voting: VotingPolicy::final_only(nl),
             seed: 9,
             deadline_steps: None,
+            tenant: None,
         },
     ];
     for batch in [2usize, 4] {
@@ -392,6 +402,7 @@ fn rejected_and_evicted_requests_report_identically() {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 1,
             deadline_steps: None,
+            tenant: None,
         },
         ServeRequest {
             id: "bad-token".into(),
@@ -401,6 +412,7 @@ fn rejected_and_evicted_requests_report_identically() {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 2,
             deadline_steps: None,
+            tenant: None,
         },
         ServeRequest {
             id: "bad-temp".into(),
@@ -410,6 +422,7 @@ fn rejected_and_evicted_requests_report_identically() {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 3,
             deadline_steps: None,
+            tenant: None,
         },
         ServeRequest {
             id: "zero-deadline".into(),
@@ -419,6 +432,7 @@ fn rejected_and_evicted_requests_report_identically() {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 4,
             deadline_steps: Some(0),
+            tenant: None,
         },
         ServeRequest {
             id: "survivor".into(),
@@ -428,6 +442,7 @@ fn rejected_and_evicted_requests_report_identically() {
             voting: VotingPolicy::final_only(model.n_layers()),
             seed: 5,
             deadline_steps: None,
+            tenant: None,
         },
     ];
     assert_engine_matches_solo(&model, &requests, 4, "degenerate requests");

@@ -190,6 +190,7 @@ fn serve_outcomes(model: &EdgeModel) -> Vec<ServeOutcome> {
             voting: edge_llm_model::VotingPolicy::final_only(model.n_layers()),
             seed: i,
             deadline_steps: None,
+            tenant: None,
         });
     }
     engine.run_to_completion().unwrap()
