@@ -1,7 +1,8 @@
 use crate::error::ModelError;
 use edge_llm_prune::PruneMask;
 use edge_llm_quant::{
-    fake_quant, fake_quant_backward, fake_quant_row_in_place, QuantScheme, QuantizedTensor,
+    fake_quant, fake_quant_backward, fake_quant_row_in_place, packed_decode_matmul,
+    packed_gemm_supported, quantize_activations, QuantScheme, QuantizedTensor,
 };
 use edge_llm_tensor::{
     add_bias_backward, add_bias_forward, matmul_a_bt, matmul_at_b, matmul_fill_b_with, Tensor,
@@ -48,6 +49,7 @@ pub struct Linear {
     act_quant: Option<QuantScheme>,
     wcache: WeightCache,
     cache_enabled: bool,
+    int_decode_enabled: bool,
     counters: CacheCounters,
 }
 
@@ -84,6 +86,11 @@ struct WeightCache {
     /// The weight as packed integer codes (decode/serving path); holds the
     /// layer's resident weight bytes at the LUC policy's bit-width ratio.
     packed: OnceLock<Arc<QuantizedTensor>>,
+    /// The masked *transposed* weight as packed codes (one symmetric
+    /// scale per **output channel**) — the operand of the packed integer
+    /// GEMM. Populated only for layers eligible for the integer decode
+    /// route (see [`Linear::int_decode_schemes`]).
+    packed_t: OnceLock<Arc<QuantizedTensor>>,
 }
 
 /// Activations cached by [`Linear::forward`] for the backward pass.
@@ -114,6 +121,7 @@ impl Linear {
             act_quant: None,
             wcache: WeightCache::default(),
             cache_enabled: true,
+            int_decode_enabled: true,
             counters: CacheCounters::default(),
         }
     }
@@ -218,6 +226,44 @@ impl Linear {
         self.cache_enabled
     }
 
+    /// Enables or disables the packed integer-GEMM decode route (enabled
+    /// by default). Disabling falls back to the f32 routes
+    /// (fake-quantized activations x dequantized weight panels) — the
+    /// baseline the decode benchmarks compare against. The flag is a
+    /// route selector only: it never invalidates caches, and layers
+    /// outside [`Linear::int_decode_schemes`] eligibility ignore it.
+    pub fn set_integer_decode_enabled(&mut self, enabled: bool) {
+        self.int_decode_enabled = enabled;
+    }
+
+    /// Whether the packed integer-GEMM decode route is enabled.
+    pub fn integer_decode_enabled(&self) -> bool {
+        self.int_decode_enabled
+    }
+
+    /// The `(weight, activation)` schemes of the integer decode route, or
+    /// `None` when this layer stays on the f32 paths.
+    ///
+    /// Eligible layers carry a symmetric per-row weight scheme **and** an
+    /// asymmetric per-row activation scheme, both at ≤ 8-bit codes
+    /// ([`packed_gemm_supported`]) — i.e. layers whose LUC policy already
+    /// models a fully integer datapath. Weight-only or activation-only
+    /// layers keep their existing f32 routes bit-for-bit.
+    pub fn int_decode_schemes(&self) -> Option<(QuantScheme, QuantScheme)> {
+        if !self.int_decode_enabled {
+            return None;
+        }
+        match (self.quant, self.act_quant) {
+            (Some(w), Some(a)) if packed_gemm_supported(w, a) => Some((w, a)),
+            _ => None,
+        }
+    }
+
+    /// Whether the transposed integer-GEMM weight is currently packed.
+    pub fn is_int_packed(&self) -> bool {
+        self.wcache.packed_t.get().is_some()
+    }
+
     /// Whether a dense effective weight is currently cached (test hook for
     /// the staleness suite).
     pub fn has_cached_weight(&self) -> bool {
@@ -233,16 +279,21 @@ impl Linear {
     /// the packed codes plus group metadata once [`Linear::pack_weights`]
     /// has run, the dense f32 weight otherwise.
     pub fn weight_storage_bytes(&self) -> usize {
+        let packed_t = self.wcache.packed_t.get().map_or(0, |q| q.storage_bytes());
         match self.wcache.packed.get() {
-            Some(q) => q.storage_bytes(),
+            Some(q) => q.storage_bytes() + packed_t,
+            None if packed_t > 0 => packed_t,
             None => self.w.len() * 4,
         }
     }
 
     fn invalidate_weight_cache(&mut self) {
-        let had_cached = self.wcache.dense.get().is_some() || self.wcache.packed.get().is_some();
+        let had_cached = self.wcache.dense.get().is_some()
+            || self.wcache.packed.get().is_some()
+            || self.wcache.packed_t.get().is_some();
         self.wcache.dense.take();
         self.wcache.packed.take();
+        self.wcache.packed_t.take();
         if had_cached {
             self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
         }
@@ -274,12 +325,86 @@ impl Linear {
         let Some(scheme) = self.quant else {
             return Ok(());
         };
-        if !self.cache_enabled || self.wcache.packed.get().is_some() {
+        if !self.cache_enabled {
             return Ok(());
         }
-        let q = Arc::new(QuantizedTensor::quantize(&self.w, scheme)?);
-        let _ = self.wcache.packed.set(q);
+        if self.wcache.packed.get().is_none() {
+            let q = Arc::new(QuantizedTensor::quantize(&self.w, scheme)?);
+            let _ = self.wcache.packed.set(q);
+        }
+        // Eligible layers additionally pack the transposed integer-GEMM
+        // operand so serving never pays the build on the first token.
+        if let Some((ws, _)) = self.int_decode_schemes() {
+            if self.wcache.packed_t.get().is_none() {
+                let q = Arc::new(self.int_weight(ws)?);
+                let _ = self.wcache.packed_t.set(q);
+            }
+        }
         Ok(())
+    }
+
+    /// Builds the packed integer-GEMM weight: the masked **transposed**
+    /// weight (`d_out x d_in`, so symmetric per-row scales land on output
+    /// channels and hoist out of the reduction) quantized under the
+    /// layer's weight scheme. Masked positions are written as exact zero
+    /// before quantization; symmetric quantization maps them to the
+    /// zero-point code, so they contribute exactly nothing to the integer
+    /// accumulation — the transposed grid needs no re-mask pass.
+    ///
+    /// This grid is the canonical numerics of the integer decode route
+    /// (DESIGN.md §5k): it differs from the fake-quant grid of the stored
+    /// `(d_in, d_out)` orientation, whose per-*input*-row scales cannot
+    /// be hoisted out of an integer accumulation at all.
+    fn int_weight(&self, scheme: QuantScheme) -> Result<QuantizedTensor, ModelError> {
+        let (d_in, d_out) = self.w.shape();
+        self.counters.requants.fetch_add(1, Ordering::Relaxed);
+        let keep = self.mask.as_ref().map(|m| m.as_slice());
+        let mut wt = Tensor::zeros(d_out, d_in);
+        {
+            let dst = wt.as_mut_slice();
+            let src = self.w.as_slice();
+            for p in 0..d_in {
+                for j in 0..d_out {
+                    let kept = match keep {
+                        Some(k) => k[p * d_out + j],
+                        None => true,
+                    };
+                    dst[j * d_in + p] = if kept { src[p * d_out + j] } else { 0.0 };
+                }
+            }
+        }
+        Ok(QuantizedTensor::quantize(&wt, scheme)?)
+    }
+
+    /// Runs the packed integer GEMM for eligible layers, or returns
+    /// `Ok(None)` so the caller falls through to the f32 routes.
+    ///
+    /// The activation rows are quantized per-row (making each batch row
+    /// bit-identical to the same row decoded solo — the property batched
+    /// serving, speculative draft/verify chunks, and per-row adapter
+    /// deltas all lean on), then multiplied directly against the packed
+    /// transposed weight words. With the cache enabled the packed operand
+    /// is built at most once per mutation; with it disabled the operand
+    /// is rebuilt fresh each call — both feed the identical kernel, so
+    /// the routes are bit-identical by construction.
+    fn integer_decode_matmul(&self, x: &Tensor) -> Result<Option<Tensor>, ModelError> {
+        let Some((ws, act)) = self.int_decode_schemes() else {
+            return Ok(None);
+        };
+        let x_q = quantize_activations(x, act)?;
+        let y = if self.cache_enabled {
+            match self.wcache.packed_t.get() {
+                Some(q) => packed_decode_matmul(&x_q, q, 0)?,
+                None => {
+                    let q = Arc::new(self.int_weight(ws)?);
+                    let q = self.wcache.packed_t.get_or_init(|| q);
+                    packed_decode_matmul(&x_q, q, 0)?
+                }
+            }
+        } else {
+            packed_decode_matmul(&x_q, &self.int_weight(ws)?, 0)?
+        };
+        Ok(Some(y))
     }
 
     /// The weight actually used by the forward pass (masked and, when a
@@ -348,14 +473,19 @@ impl Linear {
     }
 
     /// Forward pass without retaining activations (inference / frozen
-    /// layers in adaptive tuning). Uses the packed decode path when
-    /// [`Linear::pack_weights`] has run, the dense cache otherwise; both
-    /// are bit-identical to recomputing the effective weight.
+    /// layers in adaptive tuning). Eligible layers (weight *and*
+    /// activation quantization, see [`Linear::int_decode_schemes`]) run
+    /// the packed integer GEMM; otherwise the packed f32 decode path when
+    /// [`Linear::pack_weights`] has run, the dense cache otherwise; every
+    /// route is bit-identical to its own cache-disabled recompute.
     ///
     /// # Errors
     ///
     /// Propagates shape errors from the underlying kernels.
     pub fn forward_no_cache(&self, x: &Tensor) -> Result<Tensor, ModelError> {
+        if let Some(y) = self.integer_decode_matmul(x)? {
+            return self.add_bias(y);
+        }
         let x_used = self.effective_input(x)?;
         let y = self.matmul_effective(&x_used)?;
         self.add_bias(y)
@@ -376,6 +506,12 @@ impl Linear {
     ///
     /// Propagates shape errors from the underlying kernels.
     pub fn forward_rows_no_cache(&self, x: &Tensor) -> Result<Tensor, ModelError> {
+        // The integer route quantizes activations per input row by
+        // construction, so it already satisfies this method's contract and
+        // serves solo and batched decode through one head.
+        if let Some(y) = self.integer_decode_matmul(x)? {
+            return self.add_bias(y);
+        }
         let x_used = match self.act_quant {
             None => {
                 let y = self.matmul_effective(x)?;
@@ -811,6 +947,89 @@ mod tests {
         // 4-bit codes: 8x fewer code bytes, plus per-row metadata
         assert_eq!(l.weight_storage_bytes(), 64 * 64 / 2 + 64 * 4);
         assert!(l.weight_storage_bytes() * 7 < dense_bytes);
+    }
+
+    #[test]
+    fn integer_decode_is_bit_identical_across_routes() {
+        let mut rng = TensorRng::seed_from(18);
+        for bits in [BitWidth::W2, BitWidth::W4, BitWidth::W8] {
+            let mut l = Linear::new(40, 24, &mut rng);
+            l.set_mask(Some(magnitude_prune(l.weight(), 0.4).unwrap()))
+                .unwrap();
+            l.set_quant(Some(QuantScheme::symmetric(bits)));
+            l.set_activation_quant(Some(QuantScheme::asymmetric(BitWidth::W8)));
+            assert!(l.int_decode_schemes().is_some());
+            let x = Tensor::randn(3, 40, 1.0, &mut rng);
+            // lazy cache build
+            let lazy = l.forward_no_cache(&x).unwrap();
+            assert!(l.is_int_packed());
+            // explicit pack, solo row, batched rows — all the same kernel
+            let packed = l.forward_no_cache(&x).unwrap();
+            assert_eq!(lazy.as_slice(), packed.as_slice(), "{bits}");
+            let rows = l.forward_rows_no_cache(&x).unwrap();
+            assert_eq!(lazy.as_slice(), rows.as_slice(), "{bits} rows");
+            // cache-disabled route rebuilds the operand fresh every call
+            l.set_cache_enabled(false);
+            let fresh = l.forward_no_cache(&x).unwrap();
+            assert_eq!(lazy.as_slice(), fresh.as_slice(), "{bits} no-cache");
+        }
+    }
+
+    #[test]
+    fn integer_decode_solo_rows_equal_batched_rows() {
+        let mut rng = TensorRng::seed_from(19);
+        let mut l = Linear::new(16, 10, &mut rng);
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W4)));
+        l.set_activation_quant(Some(QuantScheme::asymmetric(BitWidth::W8)));
+        let x = Tensor::randn(5, 16, 1.0, &mut rng);
+        let batched = l.forward_rows_no_cache(&x).unwrap();
+        for r in 0..5 {
+            let row = Tensor::from_vec(1, 16, x.row(r).to_vec()).unwrap();
+            let solo = l.forward_no_cache(&row).unwrap();
+            assert_eq!(batched.row(r), solo.row(0), "row {r}");
+        }
+    }
+
+    #[test]
+    fn integer_decode_knob_reverts_to_f32_route() {
+        let mut rng = TensorRng::seed_from(20);
+        let mut l = Linear::new(24, 12, &mut rng);
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W4)));
+        l.set_activation_quant(Some(QuantScheme::asymmetric(BitWidth::W8)));
+        let x = Tensor::randn(2, 24, 1.0, &mut rng);
+        let int_y = l.forward_no_cache(&x).unwrap();
+        assert!(l.is_int_packed());
+        l.set_integer_decode_enabled(false);
+        assert!(l.int_decode_schemes().is_none());
+        // f32 fallback: fake-quantized activations x cached dense weight
+        let f32_y = l.forward_no_cache(&x).unwrap();
+        let x_hat = fake_quant(&x, QuantScheme::asymmetric(BitWidth::W8)).unwrap();
+        let expect = x_hat.matmul(&l.effective_weight().unwrap()).unwrap();
+        assert_eq!(f32_y.as_slice(), expect.as_slice());
+        // the two grids agree to quantization error, not bitwise
+        let rel = edge_llm_tensor::l2_norm(&int_y.sub(&f32_y).unwrap())
+            / edge_llm_tensor::l2_norm(&f32_y).max(1e-6);
+        assert!(rel < 0.3, "grid divergence too large: rel {rel}");
+        // W16 activations are never eligible (i32 lane budget)
+        l.set_integer_decode_enabled(true);
+        l.set_activation_quant(Some(QuantScheme::asymmetric(BitWidth::W16)));
+        assert!(l.int_decode_schemes().is_none());
+    }
+
+    #[test]
+    fn mutations_invalidate_int_packed_weight() {
+        let mut rng = TensorRng::seed_from(21);
+        let mut l = Linear::new(8, 8, &mut rng);
+        l.set_quant(Some(QuantScheme::symmetric(BitWidth::W4)));
+        l.set_activation_quant(Some(QuantScheme::asymmetric(BitWidth::W8)));
+        l.pack_weights().unwrap();
+        assert!(l.is_packed() && l.is_int_packed());
+        let _ = l.weight_mut();
+        assert!(!l.is_int_packed(), "weight_mut must drop packed_t");
+        l.pack_weights().unwrap();
+        assert!(l.is_int_packed());
+        l.visit_params(&mut |_, _| {});
+        assert!(!l.is_int_packed(), "visit_params must drop packed_t");
     }
 
     #[test]

@@ -651,6 +651,24 @@ impl EdgeModel {
         }
     }
 
+    /// Enables or disables the packed integer-GEMM decode route on every
+    /// projection (enabled by default). Only layers carrying both a
+    /// symmetric per-row weight scheme and an asymmetric per-row
+    /// activation scheme at ≤ 8 bits are affected; disabling reproduces
+    /// the f32 row-dequantizing baseline the decode benchmark gates
+    /// against.
+    pub fn set_integer_decode_enabled(&mut self, enabled: bool) {
+        for b in &mut self.blocks {
+            b.set_integer_decode_enabled(enabled);
+        }
+        self.shared_head.set_integer_decode_enabled(enabled);
+        for e in &mut self.exits {
+            if let Some(h) = &mut e.head {
+                h.set_integer_decode_enabled(enabled);
+            }
+        }
+    }
+
     /// Bytes the decode path keeps resident for projection weights (block
     /// QKV/proj/fc1/fc2 plus unembedding heads): packed-code bytes for
     /// packed layers, dense f32 bytes otherwise. Embeddings and norms are

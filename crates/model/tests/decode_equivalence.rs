@@ -355,6 +355,54 @@ fn speculative_decode_matches_greedy_on_packed_and_dense_quantized_models() {
     });
 }
 
+/// A model whose projections carry both weight and activation
+/// quantization — eligible for the packed integer-GEMM decode route.
+fn integer_model(seed: u64, bits: BitWidth) -> EdgeModel {
+    let mut model = quantized_model(seed, bits);
+    let act = QuantScheme::asymmetric(BitWidth::W8);
+    for l in 0..model.n_layers() {
+        let b = model.block_mut(l);
+        b.attn_mut().qkv_mut().set_activation_quant(Some(act));
+        b.attn_mut().proj_mut().set_activation_quant(Some(act));
+        b.mlp_mut().fc1_mut().set_activation_quant(Some(act));
+        b.mlp_mut().fc2_mut().set_activation_quant(Some(act));
+    }
+    model
+}
+
+#[test]
+fn integer_decode_route_is_bit_identical_packed_vs_lazy_including_spec() {
+    // With weight + activation quantization installed the decode matmuls
+    // run the packed integer GEMM. Pre-packed (pack_frozen_weights) and
+    // lazily-built operands feed the identical kernel, so full decode —
+    // including the speculative draft/verify/rollback path and its chunked
+    // verify forwards — must agree bit-for-bit between the two.
+    run_cases("integer decode equivalence", 4, |g| {
+        let bits = *g.choose(&[BitWidth::W2, BitWidth::W4]);
+        let seed = g.u64();
+        let packed = integer_model(seed, bits);
+        packed.pack_frozen_weights().unwrap();
+        let lazy = integer_model(seed, bits);
+        let n_layers = packed.n_layers();
+        let prompt = vec![1, 2, 3];
+        let n_new = packed.config().seq_len; // crosses a window rebuild
+        let reference = windowed_greedy(&lazy, &prompt, n_new);
+        assert_eq!(
+            windowed_greedy(&packed, &prompt, n_new),
+            reference,
+            "greedy oracle diverged between packed and lazy ({bits:?})"
+        );
+        for draft_depth in [1usize, n_layers - 1] {
+            for k in [1usize, 4] {
+                let a = speculative_generate(&packed, &prompt, n_new, draft_depth, k).unwrap();
+                let b = speculative_generate(&lazy, &prompt, n_new, draft_depth, k).unwrap();
+                assert_eq!(a, reference, "packed spec ({bits:?}, d{draft_depth}, k{k})");
+                assert_eq!(b, reference, "lazy spec ({bits:?}, d{draft_depth}, k{k})");
+            }
+        }
+    });
+}
+
 #[test]
 fn learned_combiner_votes_like_a_weighted_average() {
     // spot-check the remaining combiner against a hand computation so

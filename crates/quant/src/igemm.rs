@@ -16,14 +16,10 @@
 //! on executable code.
 
 use crate::affine::QuantizedTensor;
+use crate::bitwidth::BitWidth;
 use crate::scheme::{Granularity, QuantMode};
 use crate::QuantError;
-use edge_llm_tensor::{pool, Tensor};
-
-/// Activation-row panels below this many multiply-accumulates stay serial
-/// (same cutoff rationale as the f32 kernels: the result is bit-identical
-/// either way, only wall-clock changes).
-const MIN_PARALLEL_MACS: usize = 1 << 16;
+use edge_llm_tensor::{lanes, pool, Tensor};
 
 /// Computes `x · Wᵀ` entirely in integer arithmetic.
 ///
@@ -103,20 +99,26 @@ pub fn integer_matmul_with(
             *dst = c as i32 - zw;
         }
     }
-    let workers = if m * k * n < MIN_PARALLEL_MACS {
-        1
-    } else {
-        pool::resolve_threads(threads).min(m)
-    };
+    // The lane micro-kernel's overflow contract needs every product under
+    // 2^17, which holds whenever both operands are <= 8-bit codes; wider
+    // operands (per-tensor W16 activations) keep the scalar i64 loop. Both
+    // paths are exact integer sums, so the choice never changes the bits.
+    let lane_safe = xs.bits <= BitWidth::W8 && ws.bits <= BitWidth::W8;
+    let workers = pool::matmul_workers(threads, m, k, n);
     pool::parallel_rows_mut(out.as_mut_slice(), m, n, workers, |i0, panel| {
         for (r, crow) in panel.chunks_mut(n).enumerate() {
             let xr = &x_codes[(i0 + r) * k..(i0 + r + 1) * k];
             for (j, cv) in crow.iter_mut().enumerate() {
                 let wr = &w_codes[j * k..(j + 1) * k];
-                let mut acc: i64 = 0;
-                for p in 0..k {
-                    acc += (xr[p] as i64) * (wr[p] as i64);
-                }
+                let acc: i64 = if lane_safe {
+                    lanes::dot_i32_i64(xr, wr)
+                } else {
+                    let mut acc: i64 = 0;
+                    for p in 0..k {
+                        acc += (xr[p] as i64) * (wr[p] as i64);
+                    }
+                    acc
+                };
                 *cv = acc as f32 * rescale[j];
             }
         }

@@ -36,8 +36,10 @@ mod igemm;
 mod metrics;
 mod observer;
 mod packed;
+mod pgemm;
 mod qmatmul;
 mod scheme;
+mod scratch;
 
 pub use affine::QuantizedTensor;
 pub use bitwidth::BitWidth;
@@ -46,6 +48,10 @@ pub use igemm::{integer_matmul, integer_matmul_with};
 pub use metrics::{quant_mse, sqnr_db};
 pub use observer::{quantize_with_range, RangeObserver};
 pub use packed::PackedInts;
+pub use pgemm::{
+    packed_decode_matmul, packed_decode_matmul_scalar, packed_gemm_supported, quantize_activations,
+    QuantizedActivations,
+};
 pub use qmatmul::{quantized_matmul, quantized_matmul_with};
 pub use scheme::{Granularity, QuantMode, QuantScheme};
 

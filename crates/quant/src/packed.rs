@@ -75,6 +75,21 @@ impl PackedInts {
         (0..self.len).map(|i| self.get(i)).collect()
     }
 
+    /// Codes stored per 32-bit word at this width.
+    pub fn per_word(&self) -> usize {
+        (32 / self.bits.bits()) as usize
+    }
+
+    /// The raw little-endian packed words (for integer-arithmetic kernels
+    /// that unpack a whole word into SIMD lanes at once).
+    ///
+    /// Code `i` occupies bits `(i % per_word) * bits ..` of word
+    /// `i / per_word`; unused high bits of a partially-filled final word
+    /// are zero.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
     /// Actual bytes occupied by the packed words.
     pub fn storage_bytes(&self) -> usize {
         self.words.len() * 4

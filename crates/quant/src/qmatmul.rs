@@ -1,11 +1,6 @@
 use crate::affine::QuantizedTensor;
-use crate::QuantError;
+use crate::{scratch, QuantError};
 use edge_llm_tensor::{pool, Tensor};
-
-/// Products below this many multiply-accumulates stay serial: the panel
-/// spawn overhead dwarfs the arithmetic (mirrors the cutoff the dense
-/// kernels in `edge-llm-tensor` apply).
-const MIN_PARALLEL_MACS: usize = 1 << 16;
 
 /// Computes `x · Wᵀ` where `W` is quantized row-wise (`W: n x k`,
 /// `x: m x k`, result `m x n`), honouring the process-wide thread setting.
@@ -13,7 +8,13 @@ const MIN_PARALLEL_MACS: usize = 1 << 16;
 /// Weight rows are dequantized one at a time into a per-worker scratch
 /// buffer, so the peak extra memory is one row of f32 per worker
 /// regardless of the weight size — the execution pattern an edge device
-/// with a small on-chip buffer would use.
+/// with a small on-chip buffer would use. The scratch buffer is
+/// thread-local and reused across calls (see `crate::scratch`), so
+/// steady-state serial calls allocate nothing.
+///
+/// This path is the reference / fallback route; the decode hot path runs
+/// the packed integer GEMM ([`crate::packed_decode_matmul`]) instead,
+/// which never materializes an f32 weight row at all.
 ///
 /// # Errors
 ///
@@ -53,26 +54,22 @@ pub fn quantized_matmul_with(
     if out.is_empty() {
         return Ok(out);
     }
-    let macs = m.saturating_mul(k).saturating_mul(n);
-    let workers = if macs < MIN_PARALLEL_MACS {
-        1
-    } else {
-        pool::resolve_threads(threads).min(m)
-    };
+    let workers = pool::matmul_workers(threads, m, k, n);
     pool::parallel_rows_mut(out.as_mut_slice(), m, n, workers, |i0, panel| {
         let rows = panel.len() / n.max(1);
-        let mut wrow = vec![0.0f32; k];
-        for j in 0..n {
-            w.dequantize_row_into(j, &mut wrow);
-            for r in 0..rows {
-                let xr = x.row(i0 + r);
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += xr[p] * wrow[p];
+        scratch::with_f32_scratch(k, |wrow| {
+            for j in 0..n {
+                w.dequantize_row_into(j, wrow);
+                for r in 0..rows {
+                    let xr = x.row(i0 + r);
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += xr[p] * wrow[p];
+                    }
+                    panel[r * n + j] = acc;
                 }
-                panel[r * n + j] = acc;
             }
-        }
+        });
     });
     Ok(out)
 }
@@ -136,6 +133,27 @@ mod tests {
             let dense = matmul_a_bt(&x, &q.dequantize()).unwrap();
             assert_eq!(serial.as_slice(), dense.as_slice());
         }
+    }
+
+    #[test]
+    fn steady_state_serial_calls_do_not_allocate_scratch() {
+        let mut rng = TensorRng::seed_from(11);
+        // below the parallel cutoff, so the whole kernel runs on this
+        // thread and the thread-local alloc counter is deterministic
+        let x = Tensor::randn(3, 40, 1.0, &mut rng);
+        let w = Tensor::randn(5, 40, 0.3, &mut rng);
+        let q = QuantizedTensor::quantize(&w, QuantScheme::symmetric(BitWidth::W4)).unwrap();
+        let warm = quantized_matmul_with(&x, &q, 1).unwrap();
+        let before = crate::scratch::fresh_alloc_count();
+        for _ in 0..4 {
+            let again = quantized_matmul_with(&x, &q, 1).unwrap();
+            assert_eq!(warm.as_slice(), again.as_slice());
+        }
+        assert_eq!(
+            crate::scratch::fresh_alloc_count(),
+            before,
+            "steady-state calls must reuse the dequant scratch buffer"
+        );
     }
 
     #[test]

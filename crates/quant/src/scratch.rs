@@ -1,0 +1,77 @@
+//! Thread-local scratch buffers for the streaming kernels.
+//!
+//! [`crate::quantized_matmul_with`] needs one dequantized weight row of
+//! f32 per worker. Allocating it per call puts an allocation on the decode
+//! path for every matmul; instead each thread keeps one growable buffer
+//! and hands it out via [`with_f32_scratch`]. The buffer is *taken* out of
+//! the slot for the duration of the closure (re-entrant calls simply fall
+//! back to a fresh allocation rather than aliasing), and put back after.
+//!
+//! Scoped worker threads spawned by `edge_llm_tensor::pool` are fresh per
+//! kernel call, so only the calling thread's buffer survives across calls
+//! — which is exactly the serial reference path the reuse matters for; the
+//! parallel path amortizes its per-worker allocation over a panel that is
+//! already past the [`edge_llm_tensor::pool::MIN_PARALLEL_MACS`] cutoff.
+
+use std::cell::{Cell, RefCell};
+
+thread_local! {
+    static F32_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static FRESH_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` on a zeroed f32 slice of length `len`, reusing this thread's
+/// scratch buffer when its capacity suffices.
+pub(crate) fn with_f32_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = F32_SCRATCH.with(|s| s.take());
+    if buf.capacity() < len {
+        FRESH_ALLOCS.with(|c| c.set(c.get() + 1));
+        buf = Vec::with_capacity(len);
+    }
+    buf.clear();
+    buf.resize(len, 0.0);
+    let r = f(&mut buf);
+    F32_SCRATCH.with(|s| {
+        s.replace(buf);
+    });
+    r
+}
+
+/// How many times this thread's scratch had to grow (fresh allocation).
+/// Steady-state repeated kernel calls must not move this counter — the
+/// unit tests assert exactly that.
+#[cfg(test)]
+pub(crate) fn fresh_alloc_count() -> usize {
+    FRESH_ALLOCS.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_reuses_capacity_and_zeroes() {
+        with_f32_scratch(8, |s| {
+            s.fill(7.0);
+        });
+        let before = fresh_alloc_count();
+        with_f32_scratch(8, |s| {
+            assert!(s.iter().all(|&v| v == 0.0), "scratch must be zeroed");
+        });
+        with_f32_scratch(4, |s| assert_eq!(s.len(), 4));
+        assert_eq!(fresh_alloc_count(), before, "no growth within capacity");
+        with_f32_scratch(1 << 12, |s| assert_eq!(s.len(), 1 << 12));
+        assert_eq!(fresh_alloc_count(), before + 1, "growth allocates once");
+    }
+
+    #[test]
+    fn reentrant_use_falls_back_to_fresh_buffer() {
+        with_f32_scratch(4, |outer| {
+            outer.fill(1.0);
+            with_f32_scratch(4, |inner| {
+                assert!(inner.iter().all(|&v| v == 0.0));
+            });
+            assert!(outer.iter().all(|&v| v == 1.0), "outer survives inner");
+        });
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod check;
 mod error;
+pub mod lanes;
 mod matmul;
 mod ops;
 pub mod pool;

@@ -31,12 +31,6 @@ use crate::tensor::Tensor;
 /// Cache block edge used by the blocked kernels.
 const TILE: usize = 32;
 
-/// Outputs smaller than this many multiply-accumulates (`m * k * n`) stay
-/// serial even when more threads are configured: panel spawn overhead
-/// dwarfs the arithmetic below it. Serial and parallel results are
-/// bit-identical, so the cutoff affects wall-clock only.
-const MIN_PARALLEL_MACS: usize = 1 << 16;
-
 /// Selects the matmul implementation.
 ///
 /// The naive kernel exists as a correctness oracle for tests and as the
@@ -74,15 +68,7 @@ impl MatmulKernel {
     }
 }
 
-/// Workers a `m x k x n` product actually uses: the resolved count, capped
-/// by the row count and the work-size cutoff.
-fn effective_threads(requested: usize, m: usize, k: usize, n: usize) -> usize {
-    let macs = m.saturating_mul(k).saturating_mul(n);
-    if macs < MIN_PARALLEL_MACS {
-        return 1;
-    }
-    pool::resolve_threads(requested).min(m.max(1))
-}
+use pool::matmul_workers as effective_threads;
 
 impl Tensor {
     /// Computes `self · other` with the default kernel: the blocked kernel,

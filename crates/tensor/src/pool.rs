@@ -29,6 +29,31 @@ use std::sync::OnceLock;
 /// Environment variable controlling the default worker count.
 pub const THREADS_ENV_VAR: &str = "EDGELLM_THREADS";
 
+/// Products below this many multiply-accumulates (`m * k * n`) stay serial
+/// even when more workers are configured.
+///
+/// Rationale: the pool spawns scoped workers per kernel call (no parked
+/// threads, see the module docs), so going parallel costs one
+/// `thread::spawn` + `join` per extra worker — roughly 10–30 µs on a
+/// CPU-class edge part. At ~1 MAC/ns serial throughput, `2^16` MACs is
+/// ~65 µs of arithmetic: below that the spawn overhead rivals or exceeds
+/// the work being split. Because the serial and parallel paths are
+/// bit-identical by construction, the cutoff affects wall-clock only,
+/// never results. Every matmul-shaped kernel in the workspace (dense f32,
+/// row-dequantizing, packed-integer) shares this one constant.
+pub const MIN_PARALLEL_MACS: usize = 1 << 16;
+
+/// Workers an `m x k x n` matmul-shaped product actually uses: the
+/// resolved request, capped by the number of splittable output rows and
+/// forced serial below [`MIN_PARALLEL_MACS`].
+pub fn matmul_workers(requested: usize, m: usize, k: usize, n: usize) -> usize {
+    let macs = m.saturating_mul(k).saturating_mul(n);
+    if macs < MIN_PARALLEL_MACS {
+        return 1;
+    }
+    resolve_threads(requested).min(m.max(1))
+}
+
 /// Upper bound on workers per kernel call; panels shrink past the point
 /// of usefulness long before this.
 const MAX_THREADS: usize = 64;
@@ -322,6 +347,19 @@ mod tests {
             let other = std::thread::spawn(|| resolve_threads(5)).join().unwrap();
             assert_eq!(other, 5);
         });
+    }
+
+    #[test]
+    fn matmul_workers_applies_cutoff_and_row_cap() {
+        // below the MAC cutoff: always serial, whatever was requested
+        assert_eq!(matmul_workers(8, 4, 16, 16), 1);
+        // above the cutoff: the request resolves, capped by the row count
+        assert_eq!(matmul_workers(8, 256, 64, 64), 8);
+        assert_eq!(matmul_workers(8, 3, 512, 512), 3);
+        // degenerate shapes never panic and stay serial
+        assert_eq!(matmul_workers(8, 0, 0, 0), 1);
+        // saturating product: absurd shapes cannot overflow the cutoff math
+        assert_eq!(matmul_workers(2, usize::MAX, 2, 2), 2);
     }
 
     #[test]

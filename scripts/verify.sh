@@ -66,6 +66,12 @@ EDGELLM_THREADS=2 cargo test -q -p edge-llm --test tenant_equivalence
 EDGELLM_THREADS=2 cargo test -q -p edge-llm-model --test decode_equivalence
 EDGELLM_THREADS=2 cargo test -q -p edge-llm-model --test spec_properties
 
+# The packed integer GEMM promises bit-identical results scalar-vs-SIMD
+# and serial-vs-parallel at every thread count; run its oracle and
+# word-boundary property suites explicitly with two workers.
+EDGELLM_THREADS=2 cargo test -q -p edge-llm-quant --test parallel_oracle
+EDGELLM_THREADS=2 cargo test -q -p edge-llm-quant --test packed_props
+
 # The compressed-weight cache must never serve stale bits: run the
 # staleness suite explicitly — it mutates through every invalidation
 # path (optimizer, masks, schemes, LoRA merge, checkpoint restore) and
@@ -101,6 +107,13 @@ check_bench_json BENCH_7.json
 # resident weight bytes (the binary exits nonzero above the bar).
 cargo run --release -q --bin bench_tenants -- BENCH_8.json
 check_bench_json BENCH_8.json
+
+# The packed integer GEMM must keep paying for itself on the decode hot
+# path: the integer datapath must beat the f32 row-dequantizing path by
+# >=1.2x at W4, and W2 decode (the i16 lane kernel) must be at least as
+# fast as W4 — the binary exits nonzero below either bar.
+cargo run --release -q --bin bench_igemm -- BENCH_9.json
+check_bench_json BENCH_9.json
 
 # Budget check: the quick report tier exists so a laptop can regenerate
 # the headline tables in well under a coffee break. Hold it to a
