@@ -130,6 +130,9 @@ pub enum Command {
         /// back to the `EDGELLM_TRACE` environment variable.
         trace_out: Option<String>,
     },
+    /// Run, analyze, or gate a declarative experiment spec through the
+    /// lab runner.
+    Lab(LabCommand),
     /// Print a checkpoint's configuration and size.
     Inspect {
         /// Checkpoint path.
@@ -146,6 +149,38 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// The `edgellm lab` sub-subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LabCommand {
+    /// Execute every trial of an experiment spec and build its analysis
+    /// tables.
+    Run {
+        /// Path to the experiment spec (JSONL, see `experiments/`).
+        spec: String,
+        /// Root directory for run artifacts.
+        out_dir: String,
+        /// Explicit run id (default: spec name + content digest).
+        run_id: Option<String>,
+        /// Kernel worker threads (`0` = all cores). `None` leaves the
+        /// `EDGELLM_THREADS` environment default in place.
+        threads: Option<usize>,
+    },
+    /// Rebuild the analysis tables for an existing run directory.
+    Analyze {
+        /// Run directory (`.lab/runs/<run_id>`).
+        run: String,
+    },
+    /// Gate a run against a stored baseline (or regenerate it).
+    Check {
+        /// Run directory (`.lab/runs/<run_id>`).
+        run: String,
+        /// Baseline file (see `experiments/baselines/`).
+        baseline: String,
+        /// Regenerate the baseline from this run instead of checking.
+        update: bool,
+    },
 }
 
 /// CLI error: bad arguments or a failed command.
@@ -185,6 +220,10 @@ USAGE:
                    [--batch 4] [--queue 16] [--retries 2] [--slo N]
                    [--seed N] [--tenants N] [--threads N]
                    [--trace-out <path>]
+  edgellm lab run     --spec <file.jsonl> [--out-dir .lab] [--run-id <id>]
+                      [--threads N]
+  edgellm lab analyze --run <.lab/runs/ID>
+  edgellm lab check   --run <.lab/runs/ID> --baseline <file.json> [--update]
   edgellm inspect  --ckpt <ckpt>
   edgellm policy   --corpus <file> [--budget 0.25] [--seed 42]
   edgellm help
@@ -216,6 +255,17 @@ behaviour under overload is a reproducible experiment. Only the
 wall-clock decode latency line varies between runs. --tenants N spreads
 sessions across N tenants, each decoding with its own seeded LoRA
 adapter over the one frozen base on every worker.
+
+Experiments (lab): a spec under experiments/ is a JSONL grid of seeded
+scenarios (spec_decode|tenants|fleet|igemm families) with A/B variant
+plans. `lab run` executes every (task x variant x repeat) trial
+in-process, writes trial records under <out-dir>/runs/<run_id>/, builds
+JSONL analysis tables (metrics, summaries, deltas, timing, oracles),
+and fails if any differential oracle breaks — repeats must be
+byte-identical, and declared variants_equal metrics must agree.
+`lab check` gates the analysis against a stored baseline; with
+--update it regenerates the baseline from the run (baselines are
+generated, never hand-edited).
 
 Kernel threads: results are bit-identical for every thread count, so
 --threads only changes speed. 0 means all cores; the EDGELLM_THREADS
@@ -317,6 +367,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             threads: parse_opt_flag(rest, "--threads")?,
             trace_out: flag_value(rest, "--trace-out").map(str::to_string),
         }),
+        "lab" => {
+            let Some(action) = rest.first() else {
+                return Err(CliError::Usage(
+                    "lab needs an action: run|analyze|check".to_string(),
+                ));
+            };
+            let rest = &rest[1..];
+            match action.as_str() {
+                "run" => Ok(Command::Lab(LabCommand::Run {
+                    spec: required_flag(rest, "--spec")?,
+                    out_dir: flag_value(rest, "--out-dir").unwrap_or(".lab").to_string(),
+                    run_id: flag_value(rest, "--run-id").map(str::to_string),
+                    threads: parse_opt_flag(rest, "--threads")?,
+                })),
+                "analyze" => Ok(Command::Lab(LabCommand::Analyze {
+                    run: required_flag(rest, "--run")?,
+                })),
+                "check" => Ok(Command::Lab(LabCommand::Check {
+                    run: required_flag(rest, "--run")?,
+                    baseline: required_flag(rest, "--baseline")?,
+                    update: rest.iter().any(|a| a == "--update"),
+                })),
+                other => Err(CliError::Usage(format!(
+                    "unknown lab action {other:?} (run|analyze|check)"
+                ))),
+            }
+        }
         "inspect" => Ok(Command::Inspect {
             ckpt: required_flag(rest, "--ckpt")?,
         }),
@@ -861,6 +938,7 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
                 finish_trace(path, out)?;
             }
         }
+        Command::Lab(lab) => run_lab(lab, out)?,
         Command::Inspect { ckpt } => {
             let mut file = fs::File::open(ckpt)
                 .map_err(|e| CliError::Run(format!("cannot open {ckpt}: {e}")))?;
@@ -872,6 +950,102 @@ pub fn run<W: std::io::Write>(command: &Command, out: &mut W) -> Result<(), CliE
             writeln!(out, "vocab: {}", cfg.vocab_size).map_err(run_err)?;
             writeln!(out, "parameters: {}", model.num_params()).map_err(run_err)?;
         }
+    }
+    Ok(())
+}
+
+/// Executes one `edgellm lab` action. Oracle or gate failures exit
+/// through [`CliError::Run`] after every violation is printed, so a red
+/// verify shows the whole picture, not just the first break.
+fn run_lab<W: std::io::Write>(lab: &LabCommand, out: &mut W) -> Result<(), CliError> {
+    match lab {
+        LabCommand::Run {
+            spec,
+            out_dir,
+            run_id,
+            threads,
+        } => {
+            if let Some(t) = threads {
+                edge_llm_tensor::set_configured_threads(*t);
+            }
+            let spec_text = fs::read_to_string(spec)
+                .map_err(|e| CliError::Run(format!("cannot read {spec}: {e}")))?;
+            let parsed = edge_llm_lab::ExperimentSpec::parse_jsonl(&spec_text).map_err(run_err)?;
+            let opts = edge_llm_lab::RunOptions {
+                out_dir: PathBuf::from(out_dir),
+                run_id: run_id.clone(),
+            };
+            let outcome =
+                edge_llm_lab::run_experiment(&parsed, &spec_text, &opts).map_err(run_err)?;
+            writeln!(
+                out,
+                "experiment {}: {} trials -> {}",
+                parsed.name,
+                outcome.trials,
+                outcome.run_dir.display()
+            )
+            .map_err(run_err)?;
+            let report = edge_llm_lab::analyze_run(&outcome.run_dir).map_err(run_err)?;
+            print_analysis(&report, out)?;
+            if !report.oracle_failures.is_empty() {
+                return Err(CliError::Run(format!(
+                    "{} differential oracle(s) failed",
+                    report.oracle_failures.len()
+                )));
+            }
+        }
+        LabCommand::Analyze { run } => {
+            let report = edge_llm_lab::analyze_run(Path::new(run)).map_err(run_err)?;
+            print_analysis(&report, out)?;
+            if !report.oracle_failures.is_empty() {
+                return Err(CliError::Run(format!(
+                    "{} differential oracle(s) failed",
+                    report.oracle_failures.len()
+                )));
+            }
+        }
+        LabCommand::Check {
+            run,
+            baseline,
+            update,
+        } => {
+            let report = edge_llm_lab::check_run(Path::new(run), Path::new(baseline), *update)
+                .map_err(run_err)?;
+            if report.updated {
+                writeln!(out, "baseline regenerated: {baseline}").map_err(run_err)?;
+                return Ok(());
+            }
+            for failure in &report.failures {
+                writeln!(out, "FAIL {failure}").map_err(run_err)?;
+            }
+            if report.failures.is_empty() {
+                writeln!(
+                    out,
+                    "check passed: {} assertions against {baseline}",
+                    report.checked
+                )
+                .map_err(run_err)?;
+            } else {
+                return Err(CliError::Run(format!(
+                    "{} of {} checks failed against {baseline}",
+                    report.failures.len(),
+                    report.checked
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_analysis<W: std::io::Write>(
+    report: &edge_llm_lab::AnalysisReport,
+    out: &mut W,
+) -> Result<(), CliError> {
+    for (table, rows) in &report.table_rows {
+        writeln!(out, "  analysis/{table}: {rows} rows").map_err(run_err)?;
+    }
+    for failure in &report.oracle_failures {
+        writeln!(out, "ORACLE FAIL {failure}").map_err(run_err)?;
     }
     Ok(())
 }

@@ -2,6 +2,11 @@
 //! the f32 row-dequantizing packed baseline, and emits it as
 //! machine-readable JSON (`BENCH_9.json`).
 //!
+//! The scenario also exists declaratively as `experiments/igemm.jsonl`
+//! (`edgellm lab run`), which pins the W4/W2 speedup gates and the
+//! packed-vs-lazy structural-equality oracle; this binary remains the
+//! wall-clock authority.
+//!
 //! ```text
 //! bench_igemm [output-path]
 //! ```

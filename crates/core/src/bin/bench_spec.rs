@@ -1,6 +1,12 @@
 //! Measures self-speculative decoding against plain greedy KV-cached
 //! decode and emits the result as machine-readable JSON (`BENCH_7.json`).
 //!
+//! The scenario also exists declaratively as
+//! `experiments/spec_decode.jsonl` (`edgellm lab run`), which pins the
+//! greedy≡spec token-checksum oracle, the ≥1.0x speedup gate, and the
+//! acceptance-rate band; this binary remains the wall-clock authority
+//! (best-of-N bins, explicit depth/k knobs).
+//!
 //! ```text
 //! bench_spec [output-path] [--depth N] [--k K] [--no-gate]
 //! ```

@@ -1,6 +1,10 @@
 //! Measures fleet throughput scaling and burst queue latency as
 //! machine-readable JSON (`BENCH_6.json`).
 //!
+//! The scenario also exists declaratively as `experiments/fleet.jsonl`
+//! (`edgellm lab run`), which pins the equal-work oracle across worker
+//! counts; the core-count-dependent speedup gate stays here.
+//!
 //! ```text
 //! bench_fleet [output-path]
 //! ```

@@ -1,6 +1,10 @@
 //! Measures multi-tenant adapter serving cost as machine-readable JSON
 //! (`BENCH_8.json`).
 //!
+//! The scenario also exists declaratively as `experiments/tenants.jsonl`
+//! (`edgellm lab run`), which pins the ≤1.2x 8-tenant residency ratio
+//! as a deltas-table gate; this binary remains the wall-clock authority.
+//!
 //! ```text
 //! bench_tenants [output-path]
 //! ```

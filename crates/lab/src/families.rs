@@ -1,0 +1,706 @@
+//! Engine drivers: one function per task family that runs *this repo's*
+//! code in-process over merged trial params and reports metrics.
+//!
+//! Each driver splits its results along the lab's determinism contract:
+//!
+//! * **metrics** — pure functions of (params, seed): token checksums,
+//!   served/shed counts, resident bytes, acceptance accounting. These go
+//!   to `trial_output.json` and must be byte-identical across repeats
+//!   and thread counts.
+//! * **timing** — wall-clock-derived rates (tokens/s). These go to the
+//!   `timing.json` sidecar and are only ever gated with tolerance bands.
+//!
+//! The families mirror the `bench_spec` / `bench_tenants` /
+//! `bench_fleet` / `bench_igemm` scenarios so committed experiment specs
+//! can reproduce the BENCH_* headline numbers declaratively; scales are
+//! parameters, so the same driver serves both the verify-tier smoke spec
+//! and the full bench-scale specs under `experiments/`.
+
+use crate::json::Json;
+use crate::schemas::{token_checksum, Family, LabError};
+use edge_llm::compress::{apply_activation_quant, apply_policy};
+use edge_llm::luc::CompressionPolicy;
+use edge_llm::quant::{BitWidth, QuantScheme};
+use edge_llm_fleet::{run_fleet, FleetConfig, ScenarioSpec, SessionFinish};
+use edge_llm_model::{
+    AdapterTarget, AdaptiveTuner, Decoding, EdgeModel, InferenceSession, ModelConfig, Sgd,
+    TenantAdapter, VotingPolicy, WindowSchedule,
+};
+use edge_llm_serve::{BatchedInferenceEngine, ServeRequest};
+use edge_llm_tensor::TensorRng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// What a family driver hands back to the runner.
+#[derive(Debug)]
+pub struct TrialResult {
+    /// Deterministic metrics, in insertion order.
+    pub metrics: Vec<(String, Json)>,
+    /// Wall-clock-derived values (never byte-compared).
+    pub timing: Vec<(String, Json)>,
+}
+
+impl TrialResult {
+    fn new() -> Self {
+        TrialResult {
+            metrics: Vec::new(),
+            timing: Vec::new(),
+        }
+    }
+
+    fn metric(&mut self, name: &str, v: Json) {
+        self.metrics.push((name.to_string(), v));
+    }
+
+    fn time(&mut self, name: &str, v: Json) {
+        self.timing.push((name.to_string(), v));
+    }
+}
+
+/// Runs one trial of `family` with the merged `params` at `seed`.
+///
+/// # Errors
+///
+/// [`LabError::Spec`] on unknown or ill-typed params;
+/// [`LabError::Trial`] if the engine run itself fails.
+pub fn run_family(family: Family, seed: u64, params: &Json) -> Result<TrialResult, LabError> {
+    match family {
+        Family::SpecDecode => run_spec_decode(seed, params),
+        Family::Tenants => run_tenants(seed, params),
+        Family::Fleet => run_fleet_family(seed, params),
+        Family::Igemm => run_igemm(seed, params),
+    }
+}
+
+// ---- param access -------------------------------------------------------
+
+fn check_keys(params: &Json, allowed: &[&str]) -> Result<(), LabError> {
+    for (k, _) in params.as_object().unwrap_or(&[]) {
+        if !allowed.contains(&k.as_str()) {
+            return Err(LabError::Spec(format!(
+                "unknown param {k:?} (allowed: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn p_usize(params: &Json, key: &str, default: usize) -> Result<usize, LabError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_i64()
+            .filter(|i| *i >= 0)
+            .map(|i| i as usize)
+            .ok_or_else(|| LabError::Spec(format!("param {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn p_f32(params: &Json, key: &str, default: f32) -> Result<f32, LabError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| LabError::Spec(format!("param {key:?} must be a number"))),
+    }
+}
+
+fn p_str<'a>(params: &'a Json, key: &str, default: &'a str) -> Result<&'a str, LabError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| LabError::Spec(format!("param {key:?} must be a string"))),
+    }
+}
+
+fn p_bool(params: &Json, key: &str, default: bool) -> Result<bool, LabError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| LabError::Spec(format!("param {key:?} must be a boolean"))),
+    }
+}
+
+fn p_bits(params: &Json, key: &str, default: BitWidth) -> Result<BitWidth, LabError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => match v.as_str() {
+            Some("w2") => Ok(BitWidth::W2),
+            Some("w4") => Ok(BitWidth::W4),
+            Some("w8") => Ok(BitWidth::W8),
+            Some("w16") => Ok(BitWidth::W16),
+            _ => Err(LabError::Spec(format!(
+                "param {key:?} must be one of \"w2\"|\"w4\"|\"w8\"|\"w16\""
+            ))),
+        },
+    }
+}
+
+fn model_config(params: &Json, def: (usize, usize, usize, usize)) -> Result<ModelConfig, LabError> {
+    let (layers, d_model, heads, seq_len) = def;
+    Ok(ModelConfig::tiny()
+        .with_layers(p_usize(params, "layers", layers)?)
+        .with_d_model(
+            p_usize(params, "d_model", d_model)?,
+            p_usize(params, "heads", heads)?,
+        )
+        .with_seq_len(p_usize(params, "seq_len", seq_len)?))
+}
+
+fn trial(e: impl std::fmt::Display) -> LabError {
+    LabError::Trial(e.to_string())
+}
+
+// ---- model cache --------------------------------------------------------
+
+/// Trained/compressed base models keyed by their full recipe, shared
+/// across a run's variants and repeats. A spec_decode task's greedy and
+/// spec arms (and every repeat) reuse one adapted model instead of
+/// re-running 160 tuner steps each; the cache key is the canonical JSON
+/// of everything that shapes the weights, so any param change misses.
+fn model_cache() -> &'static Mutex<HashMap<String, Arc<EdgeModel>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<EdgeModel>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn cached_model(
+    key: String,
+    build: impl FnOnce() -> Result<EdgeModel, LabError>,
+) -> Result<Arc<EdgeModel>, LabError> {
+    if let Some(m) = model_cache().lock().expect("model cache lock").get(&key) {
+        return Ok(Arc::clone(m));
+    }
+    // Built outside the lock: builds can take seconds and other trials
+    // may want different models meanwhile.
+    let model = Arc::new(build()?);
+    let mut cache = model_cache().lock().expect("model cache lock");
+    Ok(Arc::clone(cache.entry(key).or_insert(model)))
+}
+
+/// Drops all cached base models (tests use this to bound memory).
+pub fn clear_model_cache() {
+    model_cache().lock().expect("model cache lock").clear();
+}
+
+// ---- spec_decode --------------------------------------------------------
+
+const SPEC_KEYS: &[&str] = &[
+    "layers",
+    "d_model",
+    "heads",
+    "seq_len",
+    "train_steps",
+    "cycle",
+    "prompt_len",
+    "decode_tokens",
+    "mode",
+    "depth",
+    "k",
+];
+
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Rebuilds `session` on the last window of `tokens`, returning the
+/// frontier token (same windowing as `bench_spec`).
+fn rebuild_window(
+    session: &mut InferenceSession,
+    tokens: &[usize],
+    seq_len: usize,
+) -> Result<usize, LabError> {
+    session.reset();
+    let take = tokens.len().min(seq_len);
+    let window = &tokens[tokens.len() - take..];
+    for &t in &window[..window.len() - 1] {
+        session.advance_token(t).map_err(trial)?;
+    }
+    Ok(*window.last().expect("non-empty window"))
+}
+
+fn run_spec_decode(seed: u64, params: &Json) -> Result<TrialResult, LabError> {
+    check_keys(params, SPEC_KEYS)?;
+    let cfg = model_config(params, (2, 32, 4, 48))?;
+    let train_steps = p_usize(params, "train_steps", 40)?;
+    let cycle = p_usize(params, "cycle", 7)?.max(1);
+    let prompt_len = p_usize(params, "prompt_len", 3)?.max(1);
+    let n_new = p_usize(params, "decode_tokens", 32)?;
+    let mode = p_str(params, "mode", "greedy")?;
+    let depth = p_usize(params, "depth", 1)?;
+    let k = p_usize(params, "k", 4)?;
+    if mode != "greedy" && mode != "spec" {
+        return Err(LabError::Spec(format!(
+            "param \"mode\" must be \"greedy\" or \"spec\", got {mode:?}"
+        )));
+    }
+
+    let key = format!(
+        "spec_decode/{seed}/{}x{}h{}s{}/steps{train_steps}/cycle{cycle}",
+        cfg.n_layers, cfg.d_model, cfg.n_heads, cfg.seq_len
+    );
+    let cfg_for_build = cfg.clone();
+    let model = cached_model(key, move || {
+        // Same calibration recipe as bench_spec: adapt on a cyclic
+        // successor task with round-robin depth-1 windows so every exit
+        // head learns the mapping and the draft is worth verifying.
+        let seq = cfg_for_build.seq_len;
+        let mut rng = TensorRng::seed_from(seed);
+        let mut model = EdgeModel::new(cfg_for_build, &mut rng).map_err(trial)?;
+        let tokens: Vec<usize> = (0..seq).map(|i| i % cycle).collect();
+        let targets: Vec<usize> = (0..seq).map(|i| (i + 1) % cycle).collect();
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut tuner = AdaptiveTuner::new(WindowSchedule::RoundRobin { depth: 1 });
+        for _ in 0..train_steps {
+            tuner
+                .step(&mut model, &mut opt, &tokens, &targets, 1)
+                .map_err(trial)?;
+        }
+        Ok(model)
+    })?;
+
+    let seq_len = model.config().seq_len;
+    let prompt: Vec<usize> = (0..prompt_len).map(|i| i % cycle).collect();
+    let mut session = InferenceSession::new(&model);
+    let mut tokens = prompt.clone();
+    let mut frontier = rebuild_window(&mut session, &tokens, seq_len)?;
+    let mut result = TrialResult::new();
+
+    let (mut rounds, mut drafted, mut accepted) = (0usize, 0usize, 0usize);
+    let t0 = Instant::now();
+    if mode == "greedy" {
+        for _ in 0..n_new {
+            if session.remaining() == 0 {
+                frontier = rebuild_window(&mut session, &tokens, seq_len)?;
+            }
+            let logits = session.push_token(frontier).map_err(trial)?;
+            frontier = argmax(logits.row(0));
+            tokens.push(frontier);
+        }
+    } else {
+        let mut produced = 0usize;
+        while produced < n_new {
+            if session.remaining() == 0 {
+                frontier = rebuild_window(&mut session, &tokens, seq_len)?;
+            }
+            let round = session
+                .speculative_round(frontier, depth, k)
+                .map_err(trial)?;
+            rounds += 1;
+            drafted += round.drafted;
+            accepted += round.accepted.len();
+            let keep = round.accepted.len().min(n_new - produced);
+            if keep < round.accepted.len() {
+                session.truncate(session.len() - (round.accepted.len() - keep));
+            }
+            tokens.extend_from_slice(&round.accepted[..keep]);
+            produced += keep;
+            frontier = *tokens.last().expect("round accepts at least one token");
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let emitted = &tokens[prompt.len()..];
+    result.metric("tokens_emitted", Json::Int(emitted.len() as i64));
+    result.metric("token_checksum", Json::str(&token_checksum(emitted)));
+    if mode == "spec" {
+        // every round emits exactly one non-draft token (the verifier's
+        // correction or bonus), so accepted drafts = accepted - rounds
+        let acceptance_rate = if drafted > 0 {
+            (accepted - rounds) as f64 / drafted as f64
+        } else {
+            0.0
+        };
+        result.metric("rounds", Json::Int(rounds as i64));
+        result.metric("drafted", Json::Int(drafted as i64));
+        result.metric("accepted", Json::Int(accepted as i64));
+        result.metric("acceptance_rate", Json::Float(acceptance_rate));
+    }
+    result.time("tokens_per_s", Json::Float(emitted.len() as f64 / secs));
+    Ok(result)
+}
+
+// ---- tenants ------------------------------------------------------------
+
+const TENANT_KEYS: &[&str] = &[
+    "layers",
+    "d_model",
+    "heads",
+    "seq_len",
+    "bits",
+    "prune_ratio",
+    "tenants",
+    "sessions",
+    "max_batch",
+    "adapter_rank",
+];
+
+fn run_tenants(seed: u64, params: &Json) -> Result<TrialResult, LabError> {
+    check_keys(params, TENANT_KEYS)?;
+    let cfg = model_config(params, (2, 64, 4, 32))?;
+    let bits = p_bits(params, "bits", BitWidth::W4)?;
+    let prune_ratio = p_f32(params, "prune_ratio", 0.25)?;
+    let tenants = p_usize(params, "tenants", 1)?.max(1);
+    let sessions = p_usize(params, "sessions", 16)?;
+    let max_batch = p_usize(params, "max_batch", 4)?;
+    let rank = p_usize(params, "adapter_rank", 1)?;
+
+    let key = format!(
+        "tenants/{seed}/{}x{}h{}s{}/{bits:?}@{prune_ratio}",
+        cfg.n_layers, cfg.d_model, cfg.n_heads, cfg.seq_len
+    );
+    let cfg_for_build = cfg.clone();
+    let model = cached_model(key, move || {
+        let mut rng = TensorRng::seed_from(seed);
+        let mut model = EdgeModel::new(cfg_for_build.clone(), &mut rng).map_err(trial)?;
+        apply_policy(
+            &mut model,
+            &CompressionPolicy::uniform(cfg_for_build.n_layers, bits, prune_ratio),
+        )
+        .map_err(trial)?;
+        Ok(model)
+    })?;
+
+    let mut engine = BatchedInferenceEngine::new(&model, max_batch).map_err(trial)?;
+    let cfg = model.config();
+    let sites = [
+        (0, AdapterTarget::Qkv),
+        (cfg.n_layers - 1, AdapterTarget::Fc2),
+    ];
+    for t in 0..tenants {
+        let adapter = TenantAdapter::seeded(cfg, seed.wrapping_add(t as u64), rank, &sites);
+        engine
+            .register_adapter(&format!("tenant-{t}"), adapter)
+            .map_err(trial)?;
+    }
+    // Same workload shape as bench_tenants: requests identical across
+    // tenant counts apart from the tenant assignment.
+    let mut rng = TensorRng::seed_from(seed.wrapping_add(7));
+    for i in 0..sessions {
+        let prompt_len = 4 + rng.index(5);
+        let prompt = (0..prompt_len).map(|_| rng.index(cfg.vocab_size)).collect();
+        engine.submit(ServeRequest {
+            id: format!("s{i}"),
+            prompt,
+            max_new_tokens: 8 + rng.index(9),
+            decoding: Decoding::Greedy,
+            voting: VotingPolicy::final_only(cfg.n_layers),
+            seed: rng.next_u64(),
+            deadline_steps: None,
+            tenant: Some(format!("tenant-{}", i % tenants)),
+        });
+    }
+    let t0 = Instant::now();
+    let outcomes = engine.run_to_completion().map_err(trial)?;
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Outcomes arrive in completion order, which scheduling details may
+    // shift; checksum in id order so the fingerprint only sees streams.
+    let mut by_id: Vec<_> = outcomes.iter().collect();
+    by_id.sort_by(|a, b| a.id.cmp(&b.id));
+    let all_tokens: Vec<usize> = by_id
+        .iter()
+        .flat_map(|o| o.tokens.iter().copied())
+        .collect();
+    let base_bytes = engine.weight_resident_bytes();
+    let adapter_bytes = engine.adapter_cache().resident_bytes();
+    let mut result = TrialResult::new();
+    result.metric("served", Json::Int(outcomes.len() as i64));
+    result.metric("tokens", Json::Int(all_tokens.len() as i64));
+    result.metric("token_checksum", Json::str(&token_checksum(&all_tokens)));
+    result.metric("base_bytes", Json::Int(base_bytes as i64));
+    result.metric("adapter_bytes", Json::Int(adapter_bytes as i64));
+    result.metric(
+        "resident_bytes",
+        Json::Int((base_bytes + adapter_bytes) as i64),
+    );
+    result.time("tokens_per_s", Json::Float(all_tokens.len() as f64 / secs));
+    Ok(result)
+}
+
+// ---- fleet --------------------------------------------------------------
+
+const FLEET_KEYS: &[&str] = &[
+    "layers",
+    "d_model",
+    "heads",
+    "seq_len",
+    "scenario",
+    "sessions",
+    "span_ticks",
+    "max_new_min",
+    "max_new_max",
+    "tenants",
+    "workers",
+    "batch_per_worker",
+    "queue_depth",
+    "max_retries",
+    "slo_queue_ticks",
+];
+
+fn run_fleet_family(seed: u64, params: &Json) -> Result<TrialResult, LabError> {
+    check_keys(params, FLEET_KEYS)?;
+    let cfg = model_config(params, (2, 32, 4, 32))?;
+    let scenario_name = p_str(params, "scenario", "steady")?;
+    let mut spec = ScenarioSpec::builtin(scenario_name).ok_or_else(|| {
+        LabError::Spec(format!(
+            "unknown scenario {scenario_name:?} (one of: {})",
+            ScenarioSpec::builtin_names().join(", ")
+        ))
+    })?;
+    spec.seed = seed;
+    spec.sessions = p_usize(params, "sessions", spec.sessions)?;
+    spec.span_ticks = p_usize(params, "span_ticks", spec.span_ticks as usize)? as u64;
+    spec.max_new_tokens = (
+        p_usize(params, "max_new_min", spec.max_new_tokens.0)?,
+        p_usize(params, "max_new_max", spec.max_new_tokens.1)?,
+    );
+    spec.tenants = p_usize(params, "tenants", spec.tenants)?;
+    let fleet_cfg = FleetConfig {
+        workers: p_usize(params, "workers", 1)?.max(1),
+        batch_per_worker: p_usize(params, "batch_per_worker", 4)?,
+        queue_depth: p_usize(params, "queue_depth", 64)?,
+        max_retries: p_usize(params, "max_retries", 2)?,
+        slo_queue_ticks: match params.get("slo_queue_ticks") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_i64()
+                    .filter(|i| *i >= 0)
+                    .map(|i| i as u64)
+                    .ok_or_else(|| {
+                        LabError::Spec(
+                            "param \"slo_queue_ticks\" must be a non-negative integer".into(),
+                        )
+                    })?,
+            ),
+        },
+        faults: spec.faults.clone(),
+    };
+
+    let key = format!(
+        "fleet/{seed}/{}x{}h{}s{}",
+        cfg.n_layers, cfg.d_model, cfg.n_heads, cfg.seq_len
+    );
+    let cfg_for_build = cfg.clone();
+    let model = cached_model(key, move || {
+        let mut rng = TensorRng::seed_from(seed);
+        EdgeModel::new(cfg_for_build, &mut rng).map_err(trial)
+    })?;
+
+    let traffic = spec.generate(model.config().vocab_size, model.n_layers());
+    let t0 = Instant::now();
+    let run = run_fleet(&model, &fleet_cfg, &traffic).map_err(trial)?;
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    // Outcomes are in completion order, which legitimately differs
+    // across worker counts; checksum in id order so the workers=1 vs N
+    // oracle compares streams, not scheduling.
+    let mut by_id: Vec<_> = run.outcomes.iter().collect();
+    by_id.sort_by(|a, b| a.id.cmp(&b.id));
+    let all_tokens: Vec<usize> = by_id
+        .iter()
+        .flat_map(|o| o.tokens.iter().copied())
+        .collect();
+    let report = &run.report;
+    let mut result = TrialResult::new();
+    result.metric("served", Json::Int(report.served as i64));
+    result.metric("total_shed", Json::Int(report.total_shed() as i64));
+    for (cause, n) in &report.shed {
+        result.metric(&format!("shed.{cause:?}"), Json::Int(*n as i64));
+    }
+    result.metric("replays", Json::Int(report.replays as i64));
+    result.metric(
+        "replayed_sessions",
+        Json::Int(run.outcomes.iter().filter(|o| o.retries > 0).count() as i64),
+    );
+    result.metric(
+        "shed_sessions",
+        Json::Int(
+            run.outcomes
+                .iter()
+                .filter(|o| matches!(o.finish, SessionFinish::Shed(_)))
+                .count() as i64,
+        ),
+    );
+    result.metric(
+        "tokens_generated",
+        Json::Int(report.tokens_generated as i64),
+    );
+    result.metric("ticks", Json::Int(report.ticks as i64));
+    // Queue waits are measured in lock-step router ticks, so the whole
+    // latency summary is deterministic and belongs with the metrics.
+    result.metric(
+        "queue_wait_p50_ticks",
+        Json::Int(report.queue_wait_ticks.p50_ns as i64),
+    );
+    result.metric(
+        "queue_wait_p95_ticks",
+        Json::Int(report.queue_wait_ticks.p95_ns as i64),
+    );
+    result.metric(
+        "queue_wait_p99_ticks",
+        Json::Int(report.queue_wait_ticks.p99_ns as i64),
+    );
+    result.metric(
+        "queue_wait_max_ticks",
+        Json::Int(report.queue_wait_ticks.max_ns as i64),
+    );
+    result.metric("token_checksum", Json::str(&token_checksum(&all_tokens)));
+    result.time(
+        "tokens_per_s",
+        Json::Float(report.tokens_generated as f64 / secs),
+    );
+    Ok(result)
+}
+
+// ---- igemm --------------------------------------------------------------
+
+const IGEMM_KEYS: &[&str] = &[
+    "layers",
+    "d_model",
+    "heads",
+    "seq_len",
+    "bits",
+    "sparsity",
+    "integer",
+    "pack",
+    "decode_tokens",
+];
+
+fn run_igemm(seed: u64, params: &Json) -> Result<TrialResult, LabError> {
+    check_keys(params, IGEMM_KEYS)?;
+    let cfg = model_config(params, (4, 64, 4, 4))?;
+    let bits = p_bits(params, "bits", BitWidth::W4)?;
+    let sparsity = p_f32(params, "sparsity", 0.25)?;
+    let integer = p_bool(params, "integer", true)?;
+    let pack = p_bool(params, "pack", true)?;
+    let n_tokens = p_usize(params, "decode_tokens", 32)?;
+
+    // No model cache here: the datapath knobs (integer, pack) live on
+    // the model itself, and building an uncompressed tiny model is
+    // milliseconds — caching would key on the knobs anyway.
+    let mut rng = TensorRng::seed_from(seed);
+    let mut model = EdgeModel::new(cfg.clone(), &mut rng).map_err(trial)?;
+    apply_policy(
+        &mut model,
+        &CompressionPolicy::uniform(cfg.n_layers, bits, sparsity),
+    )
+    .map_err(trial)?;
+    apply_activation_quant(&mut model, Some(QuantScheme::asymmetric(BitWidth::W8)))
+        .map_err(trial)?;
+    model.set_integer_decode_enabled(integer);
+    if pack {
+        model.pack_frozen_weights().map_err(trial)?;
+    }
+
+    let mut session = InferenceSession::new(&model);
+    session.push_token(0).map_err(trial)?;
+    // The argmax stream fingerprints the route's numerics: packed vs
+    // lazy on the same route must agree exactly (decode_equivalence
+    // pins this); integer vs dequant differ by quantization grid and
+    // are deliberately NOT compared.
+    let mut argmaxes = Vec::with_capacity(n_tokens);
+    let t0 = Instant::now();
+    for t in 0..n_tokens {
+        if session.remaining() == 0 {
+            session.reset();
+        }
+        let logits = session
+            .push_token(t % model.config().vocab_size)
+            .map_err(trial)?;
+        argmaxes.push(argmax(logits.row(0)));
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let mut result = TrialResult::new();
+    result.metric("tokens_decoded", Json::Int(n_tokens as i64));
+    result.metric("argmax_checksum", Json::str(&token_checksum(&argmaxes)));
+    result.time("tokens_per_s", Json::Float(n_tokens as f64 / secs));
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(text: &str) -> Json {
+        Json::parse(text).expect("test params parse")
+    }
+
+    #[test]
+    fn unknown_params_are_rejected() {
+        for (family, text) in [
+            (Family::SpecDecode, r#"{"warp": 1}"#),
+            (Family::Tenants, r#"{"warp": 1}"#),
+            (Family::Fleet, r#"{"warp": 1}"#),
+            (Family::Igemm, r#"{"warp": 1}"#),
+        ] {
+            let err = run_family(family, 1, &obj(text)).unwrap_err();
+            assert!(matches!(err, LabError::Spec(_)), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn spec_decode_greedy_and_spec_emit_identical_streams() {
+        clear_model_cache();
+        let base = r#"{"layers": 2, "d_model": 16, "heads": 2, "seq_len": 32,
+                       "train_steps": 12, "decode_tokens": 12}"#;
+        let greedy = run_family(Family::SpecDecode, 5, &obj(base)).unwrap();
+        let spec_params = merge(base, r#"{"mode": "spec", "depth": 1, "k": 4}"#);
+        let spec = run_family(Family::SpecDecode, 5, &spec_params).unwrap();
+        assert_eq!(
+            get(&greedy, "token_checksum"),
+            get(&spec, "token_checksum"),
+            "spec decode must emit the greedy stream bit-identically"
+        );
+        assert_eq!(get(&greedy, "tokens_emitted"), Json::Int(12));
+        assert!(spec.metrics.iter().any(|(k, _)| k == "acceptance_rate"));
+    }
+
+    #[test]
+    fn igemm_packed_matches_lazy_on_the_integer_route() {
+        let base = r#"{"layers": 2, "d_model": 32, "heads": 2, "seq_len": 4,
+                       "decode_tokens": 8}"#;
+        let packed = run_family(Family::Igemm, 3, &obj(base)).unwrap();
+        let lazy = run_family(Family::Igemm, 3, &merge(base, r#"{"pack": false}"#)).unwrap();
+        assert_eq!(
+            get(&packed, "argmax_checksum"),
+            get(&lazy, "argmax_checksum")
+        );
+    }
+
+    #[test]
+    fn fleet_reports_deterministic_counts() {
+        let params = obj(
+            r#"{"layers": 2, "d_model": 16, "heads": 2, "scenario": "steady",
+                             "sessions": 6, "workers": 2}"#,
+        );
+        let a = run_family(Family::Fleet, 9, &params).unwrap();
+        let b = run_family(Family::Fleet, 9, &params).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(get(&a, "served"), Json::Int(6));
+    }
+
+    fn merge(base: &str, over: &str) -> Json {
+        crate::schemas::merge_params(&obj(base), &obj(over))
+    }
+
+    fn get(r: &TrialResult, key: &str) -> Json {
+        r.metrics
+            .iter()
+            .find(|(k, _)| k == key)
+            .unwrap_or_else(|| panic!("metric {key} missing"))
+            .1
+            .clone()
+    }
+}

@@ -1,0 +1,43 @@
+//! Declarative experiment lab: seeded scenario grids over this repo's
+//! engines, with differential trial oracles and generated baseline
+//! regression gates.
+//!
+//! The repo's headline claims (spec-decode speedup, fleet scaling,
+//! tenant residency, integer-GEMM wins) started life in ad-hoc
+//! `bench_*` bins. The lab turns those one-offs into *data*: an
+//! experiment is a JSONL file of tasks — each a seeded scenario with
+//! explicit A/B variant plans — that the runner executes in-process,
+//! writing per-trial input/output records under `.lab/runs/<run_id>/`
+//! and building JSONL analysis tables straight from the telemetry sink.
+//!
+//! Three properties make the tables trustworthy:
+//!
+//! * **Determinism is a recorded artifact, not a hope.** Every
+//!   `trial_output.json` contains only values that are pure functions
+//!   of (params, seed) — token checksums, served/shed counts, resident
+//!   bytes, semantic counters — and the runner re-proves byte-identity
+//!   across repeats on every run. Wall-clock lands in a separate
+//!   `timing.json` sidecar.
+//! * **Differential oracles run with the trials.** Declared
+//!   `variants_equal` constraints (spec decode emits the greedy stream;
+//!   packed equals lazy on the integer route; worker counts don't change
+//!   the work) fail the run, not just a dashboard.
+//! * **Baselines are generated.** `lab check --update` derives the
+//!   expected table from an actual run — exact rows plus a digest for
+//!   deterministic values, spec-declared tolerance bands for timing —
+//!   so regression gates never drift from what the code produces.
+//!
+//! The CLI surface is `edgellm lab run|analyze|check`;
+//! `scripts/verify.sh` gates `experiments/smoke.jsonl` against the
+//! committed baseline on every verify.
+
+pub mod analysis;
+pub mod families;
+pub mod json;
+pub mod runner;
+pub mod schemas;
+
+pub use analysis::{analyze_run, check_run, AnalysisReport, CheckReport, Summary};
+pub use json::{Json, JsonError};
+pub use runner::{run_experiment, RunOptions, RunOutcome};
+pub use schemas::{ExperimentSpec, Family, GateSpec, LabError, OracleSpec, TaskSpec, Variant};

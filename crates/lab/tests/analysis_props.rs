@@ -1,0 +1,178 @@
+//! Property tests for the lab-analysis aggregation primitives: every
+//! number the tables report is checked against an independent naive
+//! reference on seeded randomized inputs, including the empty and
+//! one-sample corners where nearest-rank formulas usually go wrong.
+
+use edge_llm_lab::analysis::{delta_row, percentile, summarize};
+use edge_llm_tensor::TensorRng;
+
+/// Naive nearest-rank reference, written the textbook way rather than
+/// the integer-arithmetic way the implementation uses: sort, take the
+/// smallest sample whose rank covers p% of the set.
+fn naive_percentile(samples: &[f64], p: u8) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let mut rank = ((f64::from(p.min(100)) / 100.0) * n as f64).ceil() as usize;
+    if rank < 1 {
+        rank = 1;
+    }
+    Some(sorted[rank - 1])
+}
+
+fn random_samples(rng: &mut TensorRng, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|_| f64::from(rng.uniform(-1e3, 1e3)))
+        .collect()
+}
+
+#[test]
+fn percentile_matches_naive_reference_on_random_traces() {
+    let mut rng = TensorRng::seed_from(0x1ab);
+    for len in 0..48 {
+        let samples = random_samples(&mut rng, len);
+        for p in [0u8, 1, 25, 50, 75, 90, 95, 99, 100] {
+            assert_eq!(
+                percentile(&samples, p),
+                naive_percentile(&samples, p),
+                "p{p} over {len} samples"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentile_empty_and_single_sample() {
+    for p in [0u8, 50, 95, 100] {
+        assert_eq!(percentile(&[], p), None, "empty set must yield None");
+        assert_eq!(
+            percentile(&[7.5], p),
+            Some(7.5),
+            "every percentile of one sample is that sample"
+        );
+    }
+}
+
+#[test]
+fn percentile_is_order_invariant_and_picks_a_member() {
+    let mut rng = TensorRng::seed_from(0x2cd);
+    for _ in 0..32 {
+        let len = 1 + (rng.next_u64() % 20) as usize;
+        let samples = random_samples(&mut rng, len);
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        for p in [50u8, 95] {
+            let v = percentile(&samples, p).unwrap();
+            assert_eq!(Some(v), percentile(&reversed, p), "order must not matter");
+            assert!(
+                samples.contains(&v),
+                "nearest-rank must return a member of the set, got {v}"
+            );
+        }
+    }
+}
+
+/// The lab tables and the fleet reports must agree on what "p95" means:
+/// `percentile` over the same data as `LatencySummary::from_ns` must
+/// land on the same sample.
+#[test]
+fn percentile_agrees_with_latency_summary() {
+    let mut rng = TensorRng::seed_from(0x3ef);
+    for len in [1usize, 2, 3, 7, 20, 101] {
+        let ns: Vec<u64> = (0..len).map(|_| rng.next_u64() % 10_000).collect();
+        let as_f64: Vec<f64> = ns.iter().map(|&v| v as f64).collect();
+        let summary = edge_llm_telemetry::LatencySummary::from_ns(ns);
+        for (p, expect) in [
+            (50u8, summary.p50_ns),
+            (95, summary.p95_ns),
+            (99, summary.p99_ns),
+        ] {
+            assert_eq!(
+                percentile(&as_f64, p),
+                Some(expect as f64),
+                "p{p} over {len} samples disagrees with LatencySummary"
+            );
+        }
+    }
+}
+
+#[test]
+fn summarize_matches_naive_fold() {
+    let mut rng = TensorRng::seed_from(0x4a1);
+    assert!(summarize(&[]).is_none(), "empty set must yield None");
+    for len in 1..40 {
+        let samples = random_samples(&mut rng, len);
+        let s = summarize(&samples).unwrap();
+        let naive_min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let naive_max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let naive_total: f64 = samples.iter().sum();
+        assert_eq!(s.count, len);
+        assert_eq!(s.min, naive_min);
+        assert_eq!(s.max, naive_max);
+        assert_eq!(s.total, naive_total);
+        assert_eq!(Some(s.p50), naive_percentile(&samples, 50));
+        assert_eq!(Some(s.p95), naive_percentile(&samples, 95));
+    }
+    let one = summarize(&[42.0]).unwrap();
+    assert_eq!(
+        (one.count, one.min, one.max, one.p50, one.p95, one.total),
+        (1, 42.0, 42.0, 42.0, 42.0, 42.0),
+        "one-sample summary must collapse to the sample"
+    );
+}
+
+#[test]
+fn delta_rows_report_exact_ratio_and_delta() {
+    let mut rng = TensorRng::seed_from(0x5b2);
+    for _ in 0..64 {
+        let base = f64::from(rng.uniform(0.5, 100.0));
+        let value = f64::from(rng.uniform(0.5, 100.0));
+        let row = delta_row("t", "v", "m", base, value);
+        assert_eq!(
+            row.get("delta").and_then(|j| j.as_f64()),
+            Some(value - base)
+        );
+        assert_eq!(
+            row.get("ratio").and_then(|j| j.as_f64()),
+            Some(value / base)
+        );
+    }
+    // A zero base cannot produce a meaningful ratio; the row pins it to
+    // 0.0 rather than inf/NaN so gates on "ratio ge X" fail loudly.
+    let zero = delta_row("t", "v", "m", 0.0, 3.0);
+    assert_eq!(zero.get("ratio").and_then(|j| j.as_f64()), Some(0.0));
+    assert_eq!(zero.get("delta").and_then(|j| j.as_f64()), Some(3.0));
+}
+
+/// Counter roll-ups: the per-trial totals the runner records must match
+/// a naive sum over a randomized emission trace. Single test fn touching
+/// the global telemetry recorder, so nothing else in this binary races it.
+#[test]
+fn counter_rollups_match_naive_sums_on_random_traces() {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    const NAMES: [&str; 4] = ["spec.rounds", "spec.accepted", "serve.tokens", "fleet.shed"];
+    let mut rng = TensorRng::seed_from(0x6c3);
+    for round in 0..16 {
+        edge_llm_telemetry::enable(Arc::new(edge_llm_telemetry::MonotonicClock::new()));
+        let mut naive: BTreeMap<&str, u64> = BTreeMap::new();
+        // Round 0 emits nothing: the empty trace must roll up to empty.
+        for _ in 0..(round * 7) {
+            let name = NAMES[(rng.next_u64() % NAMES.len() as u64) as usize];
+            let delta = rng.next_u64() % 1_000;
+            edge_llm_telemetry::counter(name, delta);
+            *naive.entry(name).or_insert(0) += delta;
+        }
+        let events = edge_llm_telemetry::disable();
+        let totals = edge_llm_telemetry::counter_totals(&events);
+        assert_eq!(
+            totals.into_iter().collect::<BTreeMap<_, _>>(),
+            naive,
+            "round {round}"
+        );
+    }
+}

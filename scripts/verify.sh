@@ -23,20 +23,14 @@ for arg in "$@"; do
 done
 
 # A bench gate that "passes" because its output file vanished or turned
-# to garbage is worse than one that fails: every gate JSON must exist
-# and parse, or verification stops here.
+# to garbage is worse than one that fails: every gate JSON must exist,
+# parse, and carry its marker key, or verification stops here. The
+# checker is shared with the lab artifact gates (scripts/check_bench.py)
+# and self-tests before first use so a broken checker cannot wave
+# broken artifacts through.
+python3 scripts/check_bench.py selftest
 check_bench_json() {
-    local path="$1"
-    if [ ! -s "$path" ]; then
-        echo "error: bench gate output $path is missing or empty." >&2
-        echo "       Its bench binary exited without writing results; re-run it and" >&2
-        echo "       inspect its stderr instead of trusting a stale green." >&2
-        exit 1
-    fi
-    if ! python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$path" 2>/dev/null; then
-        echo "error: bench gate output $path is not valid JSON (truncated write?)." >&2
-        exit 1
-    fi
+    python3 scripts/check_bench.py validate --key bench "$1"
 }
 
 cargo fmt --all -- --check
@@ -114,6 +108,27 @@ check_bench_json BENCH_8.json
 # fast as W4 — the binary exits nonzero below either bar.
 cargo run --release -q --bin bench_igemm -- BENCH_9.json
 check_bench_json BENCH_9.json
+
+# Declarative experiment gate: run the quick-tier smoke spec through the
+# lab runner with two workers, then hold the run to the committed
+# generated baseline (experiments/baselines/smoke.json). The run itself
+# fails on any differential-oracle miss (repeat identity, A/B variant
+# equality); the check additionally fails if any deterministic metric
+# drifted from the baseline (exact digest + per-row count/p50) or a
+# spec-declared gate regressed. Refresh after an intentional change with:
+#   cargo run --release -q --bin edgellm -- lab check \
+#     --run .lab/runs/smoke --baseline experiments/baselines/smoke.json --update
+EDGELLM_THREADS=2 cargo run --release -q --bin edgellm -- \
+    lab run --spec experiments/smoke.jsonl --run-id smoke
+python3 scripts/check_bench.py validate --key schema \
+    .lab/runs/smoke/run.json \
+    .lab/runs/smoke/trials/*/trial_input.json \
+    .lab/runs/smoke/trials/*/trial_output.json \
+    .lab/runs/smoke/trials/*/timing.json
+python3 scripts/check_bench.py validate --key schema --jsonl \
+    .lab/runs/smoke/analysis/*.jsonl
+cargo run --release -q --bin edgellm -- \
+    lab check --run .lab/runs/smoke --baseline experiments/baselines/smoke.json
 
 # Budget check: the quick report tier exists so a laptop can regenerate
 # the headline tables in well under a coffee break. Hold it to a
